@@ -1,0 +1,80 @@
+"""E3 — cut-strategy ablation (Section 3.1's trade-off discussion).
+
+"Equi-width binning gives fast and intuitive results [but] does not tell
+much about the shape of the underlying distribution.  [Maximizing]
+intra-cluster distance tells much more about the data but requires more
+calculations."  We measure both halves on three distribution shapes:
+split quality (within-partition SSE, lower = tighter) and runtime.
+
+Expected shape: on bimodal data ``twomeans`` wins on SSE; on uniform
+data all strategies tie; equi-width is the cheapest, sketch trades a
+little accuracy for one-pass operation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtlasConfig, NumericCutStrategy
+from repro.core.cut import cut
+from repro.datagen.shapes import bimodal_values, skewed_values, uniform_values
+from repro.dataset.table import Table
+from repro.evaluation.harness import ResultTable, Timer
+from repro.evaluation.metrics import split_sse
+from repro.query.query import ConjunctiveQuery
+
+N_ROWS = 50_000
+
+SHAPES = {
+    "uniform": uniform_values,
+    "skewed": skewed_values,
+    "bimodal": bimodal_values,
+}
+
+
+def _cut_point(table, strategy) -> float:
+    config = AtlasConfig(numeric_strategy=strategy)
+    result = cut(table, ConjunctiveQuery(), "x", config)
+    return result.regions[0].predicate_on("x").high
+
+
+def test_cut_strategy_ablation(save_report, benchmark):
+    report = ResultTable(
+        ["shape", "strategy", "cut point", "within-SSE", "time_ms"],
+        title=f"E3: cut strategies vs distribution shape (n={N_ROWS})",
+    )
+    sse: dict[tuple[str, str], float] = {}
+    for shape_name, generator in SHAPES.items():
+        values = np.asarray(generator(N_ROWS, seed=0), dtype=float)
+        table = Table.from_dict({"x": values.tolist()})
+        for strategy in NumericCutStrategy:
+            with Timer() as timer:
+                point = _cut_point(table, strategy)
+            quality = split_sse(values, [point])
+            sse[(shape_name, strategy.value)] = quality
+            report.add_row(
+                [shape_name, strategy.value, point, quality,
+                 timer.elapsed * 1000]
+            )
+    save_report("cut_strategies", report.render())
+
+    # On bimodal data the intra-cluster-distance split must beat the
+    # blind strategies decisively (Section 3.3.2's premise).
+    assert sse[("bimodal", "twomeans")] < sse[("bimodal", "median")]
+    # On skewed data the equi-depth median must beat equi-width on
+    # balance-driven SSE? No: SSE favours mean splits; instead check the
+    # one-pass sketch tracks the exact median closely.
+    assert sse[("skewed", "sketch")] <= sse[("skewed", "median")] * 1.2
+
+    table = Table.from_dict(
+        {"x": bimodal_values(N_ROWS, seed=0).tolist()}
+    )
+    config = AtlasConfig(numeric_strategy=NumericCutStrategy.TWO_MEANS)
+    benchmark(lambda: cut(table, ConjunctiveQuery(), "x", config))
+
+
+@pytest.mark.parametrize("strategy", list(NumericCutStrategy))
+def test_cut_speed_by_strategy(strategy, benchmark):
+    values = uniform_values(N_ROWS, seed=1)
+    table = Table.from_dict({"x": values.tolist()})
+    config = AtlasConfig(numeric_strategy=strategy)
+    benchmark(lambda: cut(table, ConjunctiveQuery(), "x", config))

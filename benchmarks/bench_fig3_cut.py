@@ -1,0 +1,62 @@
+"""FIG3 — Figure 3: the CUT operation on Age and Sex.
+
+The paper's worked example: from the query ``Age: [20, 90] ∧ Sex:
+{'M','F'}``, CUT on Age splits the range around its median (≈55 for the
+uniform age population drawn here) and CUT on Sex separates males from
+females, each keeping the other predicate intact.  The benchmark times a
+single CUT call — the primitive §5.1 says "is called many times" and
+must be fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cut import cut
+from repro.dataset.table import Table
+from repro.evaluation.harness import ResultTable
+from repro.evaluation.workloads import figure3_query
+
+N_ROWS = 100_000
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_dict(
+        {
+            "Age": rng.uniform(20, 90, N_ROWS).tolist(),
+            "Sex": rng.choice(["M", "F"], N_ROWS).tolist(),
+        },
+        name="fig3",
+    )
+
+
+def test_fig3_report(table, save_report, benchmark):
+    query = figure3_query()
+    age_map = cut(table, query, "Age")
+    sex_map = cut(table, query, "Sex")
+
+    report = ResultTable(
+        ["cut", "region", "description", "cover"],
+        title=f"FIG3: CUT on Age and Sex (n={N_ROWS})",
+    )
+    for name, the_map in (("Age", age_map), ("Sex", sex_map)):
+        covers = the_map.covers(table)
+        for index, region in enumerate(the_map.regions):
+            report.add_row(
+                [name, index, region.describe_inline(), float(covers[index])]
+            )
+    save_report("fig3_cut", report.render())
+
+    # Figure-3 shape: the age boundary sits near the median 55.
+    boundary = age_map.regions[0].predicate_on("Age").high
+    assert 52 < boundary < 58
+    assert {
+        tuple(sorted(r.predicate_on("Sex").values)) for r in sex_map.regions
+    } == {("F",), ("M",)}
+    # Each sex region keeps the untouched Age range of the user query.
+    for region in sex_map.regions:
+        assert region.predicate_on("Age").low == 20
+        assert region.predicate_on("Age").high == 90
+
+    benchmark(lambda: cut(table, query, "Age"))

@@ -1,0 +1,75 @@
+"""FIG4 — Figure 4: agglomerative map clustering.
+
+The paper's example clusters candidate maps over {age, income, edu} and
+{size, weight} into two groups via exactly three merge operations.  The
+report prints the merge trail and final clusters; the benchmark times
+the clustering step (distance matrix + agglomeration).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import generate_candidates
+from repro.core.clustering import cluster_maps
+from repro.dataset.table import Table
+from repro.evaluation.harness import ResultTable
+from repro.query.query import ConjunctiveQuery
+
+N_ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(1)
+    age = rng.uniform(20, 70, N_ROWS)
+    income = age * 1_000 + rng.normal(0, 2_000, N_ROWS)
+    edu = np.where(age + rng.normal(0, 5, N_ROWS) > 45, "graduate", "undergrad")
+    size = rng.normal(160, 15, N_ROWS)
+    weight = size * 0.5 - 20 + rng.normal(0, 2, N_ROWS)
+    return Table.from_dict(
+        {
+            "age": age.tolist(),
+            "income": income.tolist(),
+            "edu": edu.tolist(),
+            "size": size.tolist(),
+            "weight": weight.tolist(),
+        },
+        name="fig4",
+    )
+
+
+def test_fig4_report(table, save_report, benchmark):
+    candidates = generate_candidates(table, ConjunctiveQuery())
+    clustering = cluster_maps(candidates, table)
+
+    report = ResultTable(
+        ["merge", "cluster a", "cluster b", "nVI distance"],
+        title=f"FIG4: agglomerative map clustering (n={N_ROWS})",
+    )
+    labels = [c.label for c in candidates]
+    for step_number, step in enumerate(clustering.agglomeration.steps, 1):
+        report.add_row(
+            [
+                step_number,
+                "+".join(labels[i].removeprefix("cut:") for i in step.a),
+                "+".join(labels[i].removeprefix("cut:") for i in step.b),
+                step.distance,
+            ]
+        )
+    final = ResultTable(["cluster", "maps"], title="final clusters")
+    for index, cluster in enumerate(clustering.clusters):
+        final.add_row(
+            [index, " + ".join(m.attributes[0] for m in cluster)]
+        )
+    save_report("fig4_clustering", report.render() + "\n\n" + final.render())
+
+    # Figure 4: two clusters, three merges.
+    groups = [
+        frozenset(m.attributes[0] for m in cluster)
+        for cluster in clustering.clusters
+    ]
+    assert frozenset({"age", "income", "edu"}) in groups
+    assert frozenset({"size", "weight"}) in groups
+    assert clustering.n_merges == 3
+
+    benchmark(lambda: cluster_maps(candidates, table))

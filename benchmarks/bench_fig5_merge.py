@@ -1,0 +1,84 @@
+"""FIG5 — Figure 5: product vs composition of two maps.
+
+The worked example: a size map and a weight map merge either into the
+global 2×2 grid (product — one shared weight boundary) or into
+region-local re-cuts (composition — the weight boundary adapts to each
+size region: ≈45 for small items, ≈65 for large ones, exactly the
+figure's numbers).  The benchmark times both operators.
+"""
+
+import pytest
+
+from repro.core.config import AtlasConfig, NumericCutStrategy
+from repro.core.cut import cut
+from repro.core.merge import composition, product
+from repro.datagen import figure5_dataset
+from repro.evaluation.harness import ResultTable
+from repro.query.query import ConjunctiveQuery
+
+N_ROWS = 12_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return figure5_dataset(n_rows=N_ROWS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pieces(data):
+    config = AtlasConfig(numeric_strategy=NumericCutStrategy.TWO_MEANS)
+    table = data.table
+    size_map = cut(table, ConjunctiveQuery(), "size", config)
+    weight_map = cut(table, ConjunctiveQuery(), "weight", config)
+    return config, size_map, weight_map
+
+
+def test_fig5_report(data, pieces, save_report, benchmark):
+    config, size_map, weight_map = pieces
+    table = data.table
+
+    merged_product = product([size_map, weight_map], table)
+    merged_composition = composition([size_map, weight_map], table, config)
+
+    report = ResultTable(
+        ["operator", "region", "description", "cover"],
+        title=f"FIG5: product vs composition (n={N_ROWS})",
+    )
+    for name, merged in (
+        ("product", merged_product),
+        ("composition", merged_composition),
+    ):
+        covers = merged.covers(table)
+        for index, region in enumerate(merged.regions):
+            report.add_row(
+                [name, index, region.describe_inline(), float(covers[index])]
+            )
+    save_report("fig5_merge", report.render())
+
+    # Product: one global weight boundary shared by all regions.
+    product_bounds = {
+        round(r.predicate_on("weight").high, 1)
+        for r in merged_product.regions
+        if r.predicate_on("weight").high != float("inf")
+    }
+    assert len(product_bounds) == 1
+
+    # Composition: the weight boundary shifts with the size region
+    # (~45 for small items, ~65 for large — the figure's values).
+    comp_bounds = sorted(
+        {
+            round(r.predicate_on("weight").high, 1)
+            for r in merged_composition.regions
+            if r.predicate_on("weight").high != float("inf")
+        }
+    )
+    assert len(comp_bounds) == 2
+    assert 40 < comp_bounds[0] < 50
+    assert 60 < comp_bounds[1] < 70
+
+    benchmark(lambda: composition([size_map, weight_map], table, config))
+
+
+def test_fig5_product_speed(data, pieces, benchmark):
+    __, size_map, weight_map = pieces
+    benchmark(lambda: product([size_map, weight_map], data.table))

@@ -1,0 +1,80 @@
+"""E6 — ranking behaviour (claim C5, Section 3.4).
+
+"The maps with many queries will have a high score.  If two views have
+the same number of queries, then the entropy favors the most balanced
+one. ... the last ones will tend to reveal small subsets of outliers."
+We construct maps with controlled region counts and balance and verify
+the produced order matches all three statements.
+"""
+
+import pytest
+
+from repro.core.datamap import DataMap
+from repro.core.ranking import rank_maps
+from repro.dataset.table import Table
+from repro.evaluation.harness import ResultTable
+from repro.query.predicate import RangePredicate
+from repro.query.query import ConjunctiveQuery
+
+N_ROWS = 50_000
+
+
+@pytest.fixture(scope="module")
+def table():
+    return Table.from_dict(
+        {"x": [i / N_ROWS * 100 for i in range(N_ROWS)]}
+    )
+
+
+def _map_with_cuts(points, label):
+    bounds = [0.0] + list(points) + [100.0]
+    regions = [
+        ConjunctiveQuery(
+            [
+                RangePredicate(
+                    "x", bounds[i], bounds[i + 1],
+                    closed_low=(i == 0), closed_high=True,
+                )
+            ]
+        )
+        for i in range(len(bounds) - 1)
+    ]
+    return DataMap(regions, label=label)
+
+
+def test_ranking_order(table, save_report, benchmark):
+    maps = [
+        _map_with_cuts([99.5], "2 regions, outlier"),
+        _map_with_cuts([25.0, 50.0, 75.0], "4 regions, balanced"),
+        _map_with_cuts([50.0], "2 regions, balanced"),
+        _map_with_cuts([70.0, 90.0], "3 regions, skewed"),
+        _map_with_cuts([33.0, 66.0], "3 regions, balanced"),
+    ]
+    ranked = rank_maps(maps, table)
+
+    report = ResultTable(
+        ["rank", "map", "regions", "entropy", "covers"],
+        title=f"E6: entropy ranking (n={N_ROWS})",
+    )
+    for rank, entry in enumerate(ranked, start=1):
+        report.add_row(
+            [
+                rank,
+                entry.map.label,
+                entry.map.n_regions,
+                entry.score,
+                "/".join(f"{c:.2f}" for c in entry.covers),
+            ]
+        )
+    save_report("ranking", report.render())
+
+    order = [r.map.label for r in ranked]
+    # many queries first
+    assert order[0] == "4 regions, balanced"
+    # balance breaks the tie at equal region count
+    assert order.index("3 regions, balanced") < order.index("3 regions, skewed")
+    assert order.index("2 regions, balanced") < order.index("2 regions, outlier")
+    # outlier-revealing map comes last
+    assert order[-1] == "2 regions, outlier"
+
+    benchmark(lambda: rank_maps(maps, table))

@@ -1,0 +1,59 @@
+"""E7 — sketch-based CUT accuracy and speed (claim C7, Section 5.1).
+
+"[CUT] could be approximated with one-pass algorithms such as sketches."
+We compare the Greenwald–Khanna approximate median against the exact
+median across stream sizes and ε values: rank error (must stay ≤ ε) and
+summary size (must stay ~O((1/ε) log εn), i.e. tiny next to n).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.harness import ResultTable, Timer
+from repro.sketch.quantile import GKQuantileSketch
+
+STREAM_SIZES = (10_000, 100_000, 500_000)
+EPSILONS = (0.05, 0.01, 0.005)
+
+
+def _rank_error(values: np.ndarray, answer: float) -> float:
+    ordered = np.sort(values)
+    rank = np.searchsorted(ordered, answer, side="right")
+    return abs(rank - 0.5 * values.size) / values.size
+
+
+def test_sketch_median_accuracy(save_report, benchmark):
+    rng = np.random.default_rng(0)
+    report = ResultTable(
+        ["n", "epsilon", "rank error", "summary tuples", "exact_ms",
+         "sketch_ms"],
+        title="E7: GK sketch median vs exact median",
+    )
+    for n in STREAM_SIZES:
+        values = rng.lognormal(0, 1.5, n)
+        with Timer() as exact_timer:
+            np.median(values)
+        for epsilon in EPSILONS:
+            sketch = GKQuantileSketch(epsilon=epsilon)
+            with Timer() as sketch_timer:
+                sketch.extend(values.tolist())
+                answer = sketch.median()
+            error = _rank_error(values, answer)
+            report.add_row(
+                [n, epsilon, error, sketch.space,
+                 exact_timer.elapsed * 1000, sketch_timer.elapsed * 1000]
+            )
+            # the epsilon contract (C7)
+            assert error <= epsilon + 1e-9
+            # sub-linear space: the summary is a vanishing fraction of n
+            assert sketch.space < max(1_000, n * 0.05)
+    save_report("sketch_cut", report.render())
+
+    values = rng.uniform(0, 1, 100_000)
+
+    def one_pass_median():
+        sketch = GKQuantileSketch(epsilon=0.01)
+        sketch.extend(values.tolist())
+        return sketch.median()
+
+    benchmark.pedantic(one_pass_median, rounds=3, iterations=1)

@@ -1,0 +1,71 @@
+"""E11 — the dependence-threshold sweep (Section 3.2's open parameter).
+
+"There should be a point after which two maps are too far away to be
+aggregated.  However, it is not yet clear how to set this parameter."
+We sweep the Rajski-distance threshold on the census workload, where the
+ground truth is known ({Age, Sex} and {Education, Salary} dependent, Eye
+color independent), and report the cluster structure at each setting —
+showing the wide plateau on which the grouping is exactly right, which
+is what makes the default (0.95) safe.
+"""
+
+import pytest
+
+from repro.core.candidates import generate_candidates
+from repro.core.clustering import cluster_maps
+from repro.core.config import AtlasConfig
+from repro.datagen import census_table
+from repro.evaluation.harness import ResultTable
+from repro.evaluation.workloads import figure2_query
+
+THRESHOLDS = (0.5, 0.8, 0.9, 0.95, 0.99, 0.999, 1.0)
+N_ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    table = census_table(n_rows=N_ROWS, seed=0)
+    candidates = generate_candidates(table, figure2_query())
+    return table, candidates
+
+
+def _grouping(clustering) -> list[str]:
+    return sorted(
+        "+".join(sorted(m.attributes[0] for m in cluster))
+        for cluster in clustering.clusters
+    )
+
+
+def test_threshold_sweep(workload, save_report, benchmark):
+    table, candidates = workload
+    target = sorted(["Age+Sex", "Education+Salary", "Eye color"])
+
+    report = ResultTable(
+        ["threshold", "clusters", "grouping", "correct"],
+        title=f"E11: dependence-threshold sweep (n={N_ROWS})",
+    )
+    correct_settings = []
+    for threshold in THRESHOLDS:
+        config = AtlasConfig(dependence_threshold=threshold)
+        clustering = cluster_maps(candidates, table, config)
+        grouping = _grouping(clustering)
+        correct = grouping == target
+        if correct:
+            correct_settings.append(threshold)
+        report.add_row(
+            [threshold, clustering.n_clusters, " | ".join(grouping), correct]
+        )
+    save_report("threshold_sweep", report.render())
+
+    # a strict threshold keeps everything apart
+    strict = cluster_maps(
+        candidates, table, AtlasConfig(dependence_threshold=0.5)
+    )
+    assert strict.n_clusters == len(candidates)
+    # the default sits on the correct plateau
+    assert 0.95 in correct_settings
+    # the plateau is wide (at least two settings agree)
+    assert len(correct_settings) >= 2
+
+    config = AtlasConfig(dependence_threshold=0.95)
+    benchmark(lambda: cluster_maps(candidates, table, config))

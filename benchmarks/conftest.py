@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Every experiment prints its findings as a ResultTable and also writes
+them to ``benchmarks/results/<experiment>.txt`` so the measured numbers
+survive output capturing (EXPERIMENTS.md quotes these files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Callable(name, text): print a report and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the wheel
+package (the offline environment ships setuptools 65 only)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — a reproduction of "Fast Cartography for Data Explorers".
+
+Atlas (Sellam & Kersten, PVLDB 6(12), 2013) answers database queries with
+*data maps*: small ranked sets of conjunctive queries, each describing an
+interesting region of the data.  This package implements the full system:
+
+* :mod:`repro.dataset` — the columnar DBMS substrate,
+* :mod:`repro.query` — the conjunctive query language,
+* :mod:`repro.sketch` — one-pass approximation substrate (Section 5.1),
+* :mod:`repro.core` — the map-generation framework (Section 3),
+* :mod:`repro.baselines` — comparison algorithms (Section 6),
+* :mod:`repro.datagen` — synthetic datasets for the experiments,
+* :mod:`repro.frontend` — text rendering + interactive driver (Figure 6),
+* :mod:`repro.evaluation` — experiment harness and quality metrics.
+
+Quickstart::
+
+    from repro import Atlas, parse_query
+    from repro.datagen import census_table
+
+    table = census_table(n_rows=10_000, seed=0)
+    maps = Atlas(table).explore(parse_query("Age: [17, 90]"))
+    print(maps.describe())
+"""
+
+from repro.core import (
+    AnytimeExplorer,
+    Atlas,
+    AtlasConfig,
+    CategoricalCutStrategy,
+    DataMap,
+    ExplorationSession,
+    Linkage,
+    MapSet,
+    MergeMethod,
+    NumericCutStrategy,
+    cut,
+)
+from repro.dataset import Catalog, Table, read_csv
+from repro.db import SqlAtlas, SqlConnection
+from repro.errors import AtlasError
+from repro.query import (
+    AnyPredicate,
+    ConjunctiveQuery,
+    RangePredicate,
+    SetPredicate,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnyPredicate",
+    "AnytimeExplorer",
+    "Atlas",
+    "AtlasConfig",
+    "AtlasError",
+    "Catalog",
+    "CategoricalCutStrategy",
+    "ConjunctiveQuery",
+    "DataMap",
+    "ExplorationSession",
+    "Linkage",
+    "MapSet",
+    "MergeMethod",
+    "NumericCutStrategy",
+    "RangePredicate",
+    "SetPredicate",
+    "SqlAtlas",
+    "SqlConnection",
+    "Table",
+    "__version__",
+    "cut",
+    "parse_query",
+    "read_csv",
+]

@@ -1,0 +1,23 @@
+"""Baseline algorithms Atlas is compared against (paper Sections 2, 3.2, 6).
+
+K-means (the rejected centroid method), CLIQUE-style exhaustive subspace
+clustering, the exhaustive tuple-level single-link dendrogram, and the
+naive equi-width grid.
+"""
+
+from repro.baselines.clique import CliqueResult, SubspaceCluster, clique
+from repro.baselines.dendrogram import Dendrogram, single_link_dendrogram
+from repro.baselines.grid import grid_map
+from repro.baselines.kmeans import KMeansResult, exact_two_means_1d, kmeans
+
+__all__ = [
+    "CliqueResult",
+    "Dendrogram",
+    "KMeansResult",
+    "SubspaceCluster",
+    "clique",
+    "exact_two_means_1d",
+    "grid_map",
+    "kmeans",
+    "single_link_dendrogram",
+]

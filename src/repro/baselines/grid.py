@@ -1,0 +1,45 @@
+"""Naive equi-width grid maps: the no-intelligence baseline.
+
+What a front-end without Atlas's dependency detection and data-adaptive
+cutting would do: take attributes in schema order, equi-width cut each in
+two, and return the plain product grid.  Used by the merge-strategy and
+baseline benchmarks as the floor to beat.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import AtlasConfig, NumericCutStrategy
+from repro.core.cut import cut
+from repro.core.datamap import DataMap
+from repro.core.merge import product
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+
+def grid_map(
+    table: Table,
+    attributes: Sequence[str],
+    query: ConjunctiveQuery | None = None,
+    n_splits: int = 2,
+) -> DataMap:
+    """Equi-width product grid over the given attributes."""
+    if not attributes:
+        raise MapError("grid_map needs at least one attribute")
+    query = query or ConjunctiveQuery()
+    config = AtlasConfig(
+        numeric_strategy=NumericCutStrategy.EQUIWIDTH,
+        n_splits=n_splits,
+        max_regions=max(8, n_splits ** len(attributes)),
+    )
+    pieces = []
+    for attribute in attributes:
+        piece = cut(table, query, attribute, config)
+        if not piece.is_trivial:
+            pieces.append(piece)
+    if not pieces:
+        raise MapError("no attribute could be cut into a grid")
+    merged = product(pieces, table)
+    return merged.relabel("grid:" + "×".join(attributes))

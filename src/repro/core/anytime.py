@@ -1,0 +1,147 @@
+"""Anytime map generation (paper Section 5.1, "Sampling and refinement").
+
+The paper sketches "an anytime variation of our framework: the quality of
+the results would improve as computation time increases.  It would
+continually take small samples of the data and update a set of
+approximate results.  This way, the user would have instant results and
+the system could interrupt the exploration after a timeout."
+
+:class:`AnytimeExplorer` implements exactly that contract:
+
+* a :class:`~repro.sketch.reservoir.GrowingSample` yields nested uniform
+  samples of geometrically increasing size;
+* each *tick* re-runs the full pipeline on the current sample and
+  publishes an :class:`AnytimeResult` snapshot;
+* a *stability* score — 1 − normalized VI between the current and the
+  previous top map, measured on the current sample — quantifies result
+  convergence, so callers can stop on stability, on timeout, or on
+  sample exhaustion (whichever comes first).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Iterator
+
+from repro.core.atlas import Atlas, MapSet
+from repro.core.config import AtlasConfig
+from repro.core.distance import map_nvi
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+from repro.sketch.reservoir import GrowingSample
+
+
+@dataclasses.dataclass(frozen=True)
+class AnytimeResult:
+    """One published snapshot of the anytime computation."""
+
+    tick: int
+    sample_size: int
+    elapsed: float
+    map_set: MapSet
+    #: 1 − nVI(previous top map, current top map) on the current sample;
+    #: 1.0 when the top map did not change, 0.0 on the first tick.
+    stability: float
+
+    @property
+    def converged(self) -> bool:
+        """True when the top map was identical to the previous tick's."""
+        return self.stability >= 0.999
+
+
+class AnytimeExplorer:
+    """Anytime wrapper around the Atlas pipeline.
+
+    Parameters
+    ----------
+    table:
+        Full dataset (the engine never scans more of it than the sample).
+    query:
+        The query being explored (None = whole table).
+    config:
+        Engine configuration used on every tick (``sample_size`` inside it
+        is ignored — the growing sample replaces it).
+    initial_size, growth_factor:
+        Sampling schedule.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        query: ConjunctiveQuery | None = None,
+        config: AtlasConfig | None = None,
+        initial_size: int = 1000,
+        growth_factor: float = 2.0,
+    ):
+        if table.n_rows == 0:
+            raise MapError("cannot explore an empty table")
+        self._table = table
+        self._query = query or ConjunctiveQuery()
+        base = config or AtlasConfig()
+        self._config = base.replace(sample_size=None)
+        self._sample = GrowingSample(
+            table,
+            initial_size=initial_size,
+            growth_factor=growth_factor,
+            rng=self._config.seed,
+        )
+
+    def ticks(self) -> Iterator[AnytimeResult]:
+        """Yield snapshots of increasing sample size until exhaustion.
+
+        The caller is free to stop consuming at any point — that is the
+        anytime contract.  The final tick runs on the full table.
+        """
+        started = time.perf_counter()
+        previous_top = None
+        tick = 0
+        while True:
+            sample = self._sample.current()
+            engine = Atlas(sample, self._config)
+            map_set = engine.explore(self._query)
+
+            if previous_top is None or not map_set.ranked:
+                stability = 0.0
+            else:
+                stability = 1.0 - map_nvi(previous_top, map_set.best, sample)
+            if map_set.ranked:
+                previous_top = map_set.best
+
+            yield AnytimeResult(
+                tick=tick,
+                sample_size=sample.n_rows,
+                elapsed=time.perf_counter() - started,
+                map_set=map_set,
+                stability=stability,
+            )
+            if self._sample.exhausted:
+                return
+            self._sample.grow()
+            tick += 1
+
+    def run(
+        self,
+        timeout: float | None = None,
+        stability_target: float | None = None,
+    ) -> AnytimeResult:
+        """Consume ticks until timeout / stability / exhaustion.
+
+        Returns the last published snapshot.  ``timeout`` is checked
+        *between* ticks (a tick is never aborted mid-flight), matching
+        the paper's "interrupt the exploration after a timeout".
+        """
+        last: AnytimeResult | None = None
+        for result in self.ticks():
+            last = result
+            if timeout is not None and result.elapsed >= timeout:
+                break
+            if (
+                stability_target is not None
+                and result.tick > 0
+                and result.stability >= stability_target
+            ):
+                break
+        assert last is not None  # ticks() always yields at least once
+        return last

@@ -1,0 +1,49 @@
+"""Candidate map generation (paper Section 3.1, step 1 of the framework).
+
+Candidates are "several simple maps, each based on a single attribute",
+obtained by applying ``CUT_k`` to every predicate of the user query.  When
+the user query carries no predicates at all, every DIMENSION column of the
+table (Section-5.2 cardinality guard applied) is cut instead — the "just
+give me a feel for the data" entry point.
+
+Trivial maps (attributes that would not split: constant columns, single
+category) are silently skipped, as are attributes classified KEY or TEXT.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AtlasConfig
+from repro.core.cut import cut
+from repro.core.datamap import DataMap
+from repro.dataset.table import Table
+from repro.dataset.types import ColumnRole
+from repro.query.query import ConjunctiveQuery
+
+
+def candidate_attributes(table: Table, query: ConjunctiveQuery) -> list[str]:
+    """Attributes eligible for CUT: query scope ∩ mappable columns."""
+    if len(query) > 0:
+        scope = [a for a in query.attributes if a in table]
+    else:
+        scope = list(table.column_names)
+    return [
+        attr
+        for attr in scope
+        if table.column(attr).role() is ColumnRole.DIMENSION
+    ]
+
+
+def generate_candidates(
+    table: Table,
+    query: ConjunctiveQuery,
+    config: AtlasConfig | None = None,
+) -> list[DataMap]:
+    """Produce one single-attribute candidate map per eligible attribute."""
+    config = config or AtlasConfig()
+    candidates: list[DataMap] = []
+    for attribute in candidate_attributes(table, query):
+        candidate = cut(table, query, attribute, config)
+        if candidate.is_trivial:
+            continue
+        candidates.append(candidate)
+    return candidates

@@ -1,0 +1,90 @@
+"""Map clustering (paper Section 3.2, step 2 of the framework).
+
+Groups candidate maps that "describe the same aspect of the data":
+pairwise VI distances over the data, then agglomerative clustering with a
+stop threshold.  Two convenience vetoes implement the Section-2
+constraints *during* clustering, exactly the "hierarchical algorithms let
+us control the size of the clusters" argument:
+
+* a cluster never grows past ``max_predicates`` maps — merged regions get
+  one predicate per clustered attribute;
+* a cluster never grows so large that the merged map would exceed
+  ``max_regions`` regions (region count of a merge is the product of the
+  members' region counts, before empty regions are dropped).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from repro.core.config import AtlasConfig
+from repro.core.datamap import DataMap
+from repro.core.distance import MapDistanceMatrix, distance_matrix  # noqa: F401 - re-exported
+from repro.core.linkage import AgglomerationResult, agglomerate
+from repro.dataset.table import Table
+
+
+@dataclasses.dataclass(frozen=True)
+class MapClustering:
+    """Outcome of the clustering step."""
+
+    clusters: tuple[tuple[DataMap, ...], ...]
+    matrix: MapDistanceMatrix
+    agglomeration: AgglomerationResult
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters formed."""
+        return len(self.clusters)
+
+    @property
+    def n_merges(self) -> int:
+        """Number of merge operations performed (Figure 4 counts these)."""
+        return self.agglomeration.n_merges
+
+
+def cluster_maps(
+    candidates: Sequence[DataMap],
+    table: Table,
+    config: AtlasConfig | None = None,
+) -> MapClustering:
+    """Cluster candidate maps by statistical dependency (VI distance)."""
+    candidates = tuple(candidates)
+    matrix = distance_matrix(candidates, table)
+    return cluster_maps_from_matrix(candidates, matrix, config)
+
+
+def cluster_maps_from_matrix(
+    candidates: Sequence[DataMap],
+    matrix: MapDistanceMatrix,
+    config: AtlasConfig | None = None,
+) -> MapClustering:
+    """Cluster candidates given precomputed distances.
+
+    Used by the SQL-only engine, whose distance matrix comes from
+    COUNT(*) statements rather than in-memory assignment vectors.
+    """
+    config = config or AtlasConfig()
+    candidates = tuple(candidates)
+    region_counts = [m.n_regions for m in candidates]
+
+    def can_merge(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+        if len(a) + len(b) > config.max_predicates:
+            return False
+        product_regions = math.prod(region_counts[i] for i in a + b)
+        return product_regions <= config.max_regions
+
+    # The threshold is expressed on normalized VI so it is scale-free
+    # across maps with different region counts.
+    result = agglomerate(
+        matrix.normalized,
+        threshold=config.dependence_threshold,
+        linkage=config.linkage,
+        can_merge=can_merge,
+    )
+    clusters = tuple(
+        tuple(candidates[i] for i in cluster) for cluster in result.clusters
+    )
+    return MapClustering(clusters=clusters, matrix=matrix, agglomeration=result)

@@ -1,0 +1,130 @@
+"""Atlas engine configuration.
+
+Every "knob" the paper names gets a field here, with the paper's value as
+the default:
+
+* ``max_regions = 8`` — "a map with more than 8 regions is hard to read"
+  (Section 2).
+* ``max_predicates = 3`` — "queries should be simple, with very few
+  predicates (we target less than 3)" (Section 2); interpreted as at most
+  3 restrictive predicates per region query.
+* ``n_splits = 2`` — "we choose to restrict the number of partitions per
+  attribute to two" (Section 3.1).
+* ``max_maps = 12`` — a data map answer is "a small set of database
+  queries (less than a dozen)" (abstract); we cap the ranked result list.
+
+The open parameters the paper flags are exposed too: the cutting
+strategies (Section 3.1), the linkage (Section 3.2), the dependence
+threshold ("it is not yet clear how to set this parameter", Section 3.2),
+and the merge method (Section 3.3 proposes both product and composition).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ConfigError
+
+
+class NumericCutStrategy(enum.Enum):
+    """How CUT splits an ordinal attribute (Section 3.1 / 5.1)."""
+
+    MEDIAN = "median"          # equi-depth; "currently, we use the median"
+    EQUIWIDTH = "equiwidth"    # "fast and intuitive"
+    TWO_MEANS = "twomeans"     # "intra-cluster distance ... as in K-means"
+    SKETCH = "sketch"          # one-pass GK approximate quantiles (§5.1)
+
+
+class CategoricalCutStrategy(enum.Enum):
+    """How CUT splits a categorical attribute (Section 3.1)."""
+
+    FREQUENCY = "frequency"    # "use the frequency of occurrence of each value"
+    ALPHABETIC = "alphabetic"  # "a simple alphabetic order"
+    USER_ORDER = "user_order"  # "the order in which the user gives them"
+
+
+class MergeMethod(enum.Enum):
+    """How candidates of one cluster are combined (Section 3.3)."""
+
+    PRODUCT = "product"
+    COMPOSITION = "composition"
+
+
+class Linkage(enum.Enum):
+    """Agglomeration rule for map clustering (Section 3.2 favours SLINK)."""
+
+    SINGLE = "single"
+    COMPLETE = "complete"
+    AVERAGE = "average"
+
+
+@dataclasses.dataclass(frozen=True)
+class AtlasConfig:
+    """All tunables of the map-generation pipeline."""
+
+    max_regions: int = 8
+    max_predicates: int = 3
+    n_splits: int = 2
+    max_maps: int = 12
+    numeric_strategy: NumericCutStrategy = NumericCutStrategy.MEDIAN
+    categorical_strategy: CategoricalCutStrategy = CategoricalCutStrategy.FREQUENCY
+    merge_method: MergeMethod = MergeMethod.PRODUCT
+    linkage: Linkage = Linkage.SINGLE
+    #: Two maps cluster together when their Rajski distance
+    #: (``VI / H(joint)``, 1 ⇔ independent) falls below this value, i.e.
+    #: when they share at least ``1 − threshold`` of their joint
+    #: information.  The paper leaves this parameter open (§3.2).
+    dependence_threshold: float = 0.95
+    #: Regions whose cover falls below this fraction are dropped from
+    #: merged maps (0 keeps everything with non-zero cover).
+    min_region_cover: float = 0.0
+    #: When set, the pipeline runs on a uniform sample of this many rows
+    #: (the Section-5.1 "sampling and refinement" speed lever).
+    sample_size: int | None = None
+    #: ε for the sketch cutting strategy.
+    sketch_epsilon: float = 0.005
+    #: Random seed for sampling and tie-breaking randomness.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_regions < 2:
+            raise ConfigError(f"max_regions must be >= 2, got {self.max_regions}")
+        if self.max_predicates < 1:
+            raise ConfigError(
+                f"max_predicates must be >= 1, got {self.max_predicates}"
+            )
+        if self.n_splits < 2:
+            raise ConfigError(f"n_splits must be >= 2, got {self.n_splits}")
+        if self.n_splits > self.max_regions:
+            raise ConfigError(
+                f"n_splits ({self.n_splits}) cannot exceed "
+                f"max_regions ({self.max_regions})"
+            )
+        if self.max_maps < 1:
+            raise ConfigError(f"max_maps must be >= 1, got {self.max_maps}")
+        if not 0.0 <= self.dependence_threshold <= 1.0:
+            raise ConfigError(
+                "dependence_threshold must be in [0, 1], "
+                f"got {self.dependence_threshold}"
+            )
+        if not 0.0 <= self.min_region_cover < 1.0:
+            raise ConfigError(
+                f"min_region_cover must be in [0, 1), got {self.min_region_cover}"
+            )
+        if self.sample_size is not None and self.sample_size < 1:
+            raise ConfigError(
+                f"sample_size must be >= 1 or None, got {self.sample_size}"
+            )
+        if not 0.0 < self.sketch_epsilon < 0.5:
+            raise ConfigError(
+                f"sketch_epsilon must be in (0, 0.5), got {self.sketch_epsilon}"
+            )
+
+    def replace(self, **changes: object) -> "AtlasConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: The configuration the paper describes verbatim.
+PAPER_DEFAULTS = AtlasConfig()

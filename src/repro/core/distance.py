@@ -1,0 +1,99 @@
+"""Pairwise map distances (paper Section 3.2, "Distance").
+
+The distance between two maps is the Variation of Information between
+their underlying variables (Definition 2), estimated from the table.
+:class:`MapDistanceMatrix` assigns every tuple to its region once per map
+and reuses the assignment vectors for all pairs — the paper's §5.1 point
+that CUT/assignment "is called many times" and must be cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.contingency import joint_distribution_from_assignments
+from repro.core.datamap import DataMap
+from repro.core.information import rajski_distance, variation_of_information
+from repro.dataset.table import Table
+from repro.errors import MapError
+
+
+@dataclasses.dataclass(frozen=True)
+class MapDistanceMatrix:
+    """Symmetric VI distances between candidate maps.
+
+    Attributes
+    ----------
+    maps:
+        The candidate maps, indexing the matrix.
+    distances:
+        ``distances[i, j]`` = VI between maps i and j (nats).
+    normalized:
+        Rajski distances ``VI / H(joint)`` in [0, 1] (1 ⇔ independent);
+        the clustering threshold is expressed on this scale.
+    """
+
+    maps: tuple[DataMap, ...]
+    distances: np.ndarray
+    normalized: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.maps)
+        if self.distances.shape != (n, n) or self.normalized.shape != (n, n):
+            raise MapError("distance matrix shape does not match map count")
+
+    def distance(self, i: int, j: int) -> float:
+        """VI distance between maps ``i`` and ``j``."""
+        return float(self.distances[i, j])
+
+    def closest_pair(self) -> tuple[int, int]:
+        """Indices of the closest distinct pair (ties: lowest indices)."""
+        n = len(self.maps)
+        if n < 2:
+            raise MapError("need at least two maps for a closest pair")
+        masked = self.distances + np.diag(np.full(n, np.inf))
+        flat = int(np.argmin(masked))
+        return divmod(flat, n)
+
+
+def distance_matrix(maps: Sequence[DataMap], table: Table) -> MapDistanceMatrix:
+    """Compute all pairwise VI distances over ``table``."""
+    maps = tuple(maps)
+    if not maps:
+        raise MapError("need at least one map")
+    if table.n_rows == 0:
+        raise MapError("cannot compute distances on an empty table")
+    assignments = [m.assign(table) for m in maps]
+    n = len(maps)
+    raw = np.zeros((n, n), dtype=np.float64)
+    scaled = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            joint = joint_distribution_from_assignments(
+                assignments[i], assignments[j],
+                maps[i].n_regions, maps[j].n_regions,
+            )
+            raw[i, j] = raw[j, i] = variation_of_information(joint)
+            scaled[i, j] = scaled[j, i] = rajski_distance(joint)
+    return MapDistanceMatrix(maps=maps, distances=raw, normalized=scaled)
+
+
+def map_vi(map_a: DataMap, map_b: DataMap, table: Table) -> float:
+    """Convenience: VI between two maps over ``table``."""
+    joint = joint_distribution_from_assignments(
+        map_a.assign(table), map_b.assign(table),
+        map_a.n_regions, map_b.n_regions,
+    )
+    return variation_of_information(joint)
+
+
+def map_nvi(map_a: DataMap, map_b: DataMap, table: Table) -> float:
+    """Convenience: Rajski distance in [0, 1] between two maps."""
+    joint = joint_distribution_from_assignments(
+        map_a.assign(table), map_b.assign(table),
+        map_a.n_regions, map_b.n_regions,
+    )
+    return rajski_distance(joint)

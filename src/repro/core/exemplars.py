@@ -1,0 +1,79 @@
+"""Region exemplars (paper Section 5.2, "Real life users").
+
+"It could be interesting to describe the regions with random or, if
+possible, representative examples."  Two selectors:
+
+* :func:`random_examples` — uniform sample of region rows;
+* :func:`representative_examples` — the region's most *typical* rows:
+  the ones minimizing a normalized distance to the region's per-column
+  centre (median for numeric columns, modal label for categorical ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+
+def random_examples(
+    table: Table,
+    region: ConjunctiveQuery,
+    k: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> Table:
+    """A uniform sample of ``k`` rows from the region."""
+    member_rows = np.nonzero(region.mask(table))[0]
+    if member_rows.size == 0:
+        raise MapError("region has no rows to exemplify")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    chosen = rng.choice(
+        member_rows, size=min(k, member_rows.size), replace=False
+    )
+    return table.take(np.sort(chosen), name=f"{table.name}_examples")
+
+
+def representative_examples(
+    table: Table, region: ConjunctiveQuery, k: int = 3
+) -> Table:
+    """The ``k`` most typical rows of the region.
+
+    Typicality is the sum over columns of a normalized deviation from
+    the region's centre: ``|x − median| / (global std)`` for numeric
+    columns, ``0/1`` match against the modal label for categorical ones.
+    Missing values count as a full deviation, so fully-populated typical
+    rows win over holey ones.
+    """
+    member_rows = np.nonzero(region.mask(table))[0]
+    if member_rows.size == 0:
+        raise MapError("region has no rows to exemplify")
+
+    deviation = np.zeros(member_rows.size, dtype=np.float64)
+    for column in table.columns:
+        if isinstance(column, NumericColumn):
+            values = column.data[member_rows]
+            valid = values[~np.isnan(values)]
+            if valid.size == 0:
+                continue
+            centre = float(np.median(valid))
+            global_values = column.data[~np.isnan(column.data)]
+            scale = float(global_values.std()) or 1.0
+            per_row = np.abs(values - centre) / scale
+            per_row[np.isnan(values)] = 1.0
+            deviation += per_row
+        elif isinstance(column, CategoricalColumn):
+            codes = column.codes[member_rows]
+            present = codes[codes >= 0]
+            if present.size == 0:
+                continue
+            counts = np.bincount(present, minlength=len(column.categories))
+            modal = int(np.argmax(counts))
+            deviation += (codes != modal).astype(np.float64)
+
+    order = np.argsort(deviation, kind="stable")
+    chosen = member_rows[order[: min(k, member_rows.size)]]
+    return table.take(chosen, name=f"{table.name}_representatives")

@@ -1,0 +1,217 @@
+"""Region explanations (paper Section 5.2, "Real life users").
+
+"One research direction would be to explain why a region is
+interesting, by charting the attributes of the subset versus those of
+the whole database."  This module implements that chart: for a region
+query, every column of the table is compared between the region's
+tuples and the full table —
+
+* numeric columns: mean shift in global-standard-deviation units, and
+  the relative change of the mean;
+* categorical columns: the *lift* of each label (region frequency over
+  global frequency) with the largest absolute log-lift reported.
+
+Attributes are ranked by a common surprise score so the most distinctive
+ones chart first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+
+@dataclasses.dataclass(frozen=True)
+class NumericContrast:
+    """How a numeric attribute differs inside a region."""
+
+    attribute: str
+    region_mean: float
+    global_mean: float
+    shift_in_sd: float
+
+    @property
+    def surprise(self) -> float:
+        """Magnitude of the standardized shift."""
+        return abs(self.shift_in_sd)
+
+    def describe(self) -> str:
+        direction = "higher" if self.shift_in_sd > 0 else "lower"
+        return (
+            f"{self.attribute}: mean {self.region_mean:.4g} vs "
+            f"{self.global_mean:.4g} overall "
+            f"({abs(self.shift_in_sd):.2f} sd {direction})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoricalContrast:
+    """How a categorical attribute differs inside a region."""
+
+    attribute: str
+    label: str
+    region_frequency: float
+    global_frequency: float
+
+    @property
+    def lift(self) -> float:
+        """Region frequency over global frequency."""
+        if self.global_frequency == 0.0:
+            return float("inf")
+        return self.region_frequency / self.global_frequency
+
+    @property
+    def surprise(self) -> float:
+        """|log2 lift|, capped for labels absent on one side."""
+        lift = self.lift
+        if lift == 0.0 or math.isinf(lift):
+            return 10.0
+        return abs(math.log2(lift))
+
+    def describe(self) -> str:
+        return (
+            f"{self.attribute} = {self.label!r}: "
+            f"{self.region_frequency * 100:.1f}% of the region vs "
+            f"{self.global_frequency * 100:.1f}% overall "
+            f"(lift {self.lift:.2f})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionExplanation:
+    """The full chart for one region."""
+
+    query: ConjunctiveQuery
+    n_region_rows: int
+    n_total_rows: int
+    contrasts: tuple[NumericContrast | CategoricalContrast, ...]
+
+    @property
+    def cover(self) -> float:
+        """Fraction of the table inside the region."""
+        return self.n_region_rows / self.n_total_rows if self.n_total_rows else 0.0
+
+    def top(self, k: int = 3) -> tuple[NumericContrast | CategoricalContrast, ...]:
+        """The k most surprising contrasts."""
+        return self.contrasts[:k]
+
+    def describe(self, k: int = 3) -> str:
+        lines = [
+            f"Region {self.query.describe_inline()} — "
+            f"{self.n_region_rows} rows ({self.cover * 100:.1f}%)"
+        ]
+        for contrast in self.top(k):
+            lines.append(f"  {contrast.describe()}")
+        return "\n".join(lines)
+
+
+def explain_region(
+    table: Table,
+    region: ConjunctiveQuery,
+    skip_attributes: tuple[str, ...] = (),
+) -> RegionExplanation:
+    """Chart a region's attributes against the whole table.
+
+    ``skip_attributes`` usually holds the attributes the region query
+    already restricts — their contrast is definitional, not insightful.
+    """
+    mask = region.mask(table)
+    n_region = int(mask.sum())
+    if n_region == 0:
+        raise MapError("cannot explain an empty region")
+
+    contrasts: list[NumericContrast | CategoricalContrast] = []
+    for column in table.columns:
+        if column.name in skip_attributes:
+            continue
+        if isinstance(column, NumericColumn):
+            contrast = _numeric_contrast(column, mask)
+        elif isinstance(column, CategoricalColumn):
+            contrast = _categorical_contrast(column, mask)
+        else:  # pragma: no cover - no other kinds exist
+            continue
+        if contrast is not None:
+            contrasts.append(contrast)
+
+    contrasts.sort(key=lambda c: -c.surprise)
+    return RegionExplanation(
+        query=region,
+        n_region_rows=n_region,
+        n_total_rows=table.n_rows,
+        contrasts=tuple(contrasts),
+    )
+
+
+def _numeric_contrast(
+    column: NumericColumn, mask: np.ndarray
+) -> NumericContrast | None:
+    data = column.data
+    inside = data[mask]
+    inside = inside[~np.isnan(inside)]
+    overall = data[~np.isnan(data)]
+    if inside.size == 0 or overall.size == 0:
+        return None
+    sd = float(overall.std())
+    region_mean = float(inside.mean())
+    global_mean = float(overall.mean())
+    shift = 0.0 if sd == 0.0 else (region_mean - global_mean) / sd
+    return NumericContrast(
+        attribute=column.name,
+        region_mean=region_mean,
+        global_mean=global_mean,
+        shift_in_sd=shift,
+    )
+
+
+def _categorical_contrast(
+    column: CategoricalColumn, mask: np.ndarray
+) -> CategoricalContrast | None:
+    codes = column.codes
+    inside = codes[mask]
+    inside = inside[inside >= 0]
+    overall = codes[codes >= 0]
+    if inside.size == 0 or overall.size == 0:
+        return None
+    n_categories = len(column.categories)
+    inside_freq = np.bincount(inside, minlength=n_categories) / inside.size
+    global_freq = np.bincount(overall, minlength=n_categories) / overall.size
+
+    best: CategoricalContrast | None = None
+    for code, label in enumerate(column.categories):
+        if global_freq[code] == 0.0 and inside_freq[code] == 0.0:
+            continue
+        contrast = CategoricalContrast(
+            attribute=column.name,
+            label=label,
+            region_frequency=float(inside_freq[code]),
+            global_frequency=float(global_freq[code]),
+        )
+        if best is None or contrast.surprise > best.surprise:
+            best = contrast
+    return best
+
+
+def explain_map(
+    table: Table, regions: "list[ConjunctiveQuery]", skip_cut_attributes: bool = True
+) -> list[RegionExplanation]:
+    """Explain every region of a map.
+
+    When ``skip_cut_attributes`` is set, the attributes a region's own
+    query restricts are excluded from its chart.
+    """
+    explanations = []
+    for region in regions:
+        skip = (
+            tuple(p.attribute for p in region.predicates if p.is_restrictive)
+            if skip_cut_attributes
+            else ()
+        )
+        explanations.append(explain_region(table, region, skip))
+    return explanations

@@ -1,0 +1,142 @@
+"""Information-theoretic quantities (paper Section 3.2 and 3.4).
+
+* :func:`entropy` — Shannon entropy, the ranking score of Section 3.4.
+* :func:`mutual_information` — the dependency measure the paper starts
+  from (Cover & Thomas), *not* a metric (no triangle inequality).
+* :func:`variation_of_information` — Meilă's VI, the paper's preferred
+  distance: ``VI(X, Y) = H(X) + H(Y) − 2 I(X; Y)``, a true metric.
+* :func:`normalized_vi` — VI divided by its maximum ``log(n_outcomes)``,
+  handy for scale-free thresholds.
+
+All quantities are in nats by default; pass ``base=2`` for bits.  Zero
+probabilities contribute zero (the usual ``0 log 0 = 0`` convention).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MapError
+
+
+def _validate_distribution(p: np.ndarray, name: str) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.size == 0:
+        raise MapError(f"{name}: empty distribution")
+    if (p < -1e-12).any():
+        raise MapError(f"{name}: negative probabilities")
+    total = float(p.sum())
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+        raise MapError(f"{name}: probabilities sum to {total}, expected 1")
+    return np.clip(p, 0.0, None)
+
+
+def entropy(p: np.ndarray, base: float | None = None) -> float:
+    """Shannon entropy ``H(p)`` of a distribution."""
+    p = _validate_distribution(p, "entropy")
+    positive = p[p > 0]
+    h = float(-(positive * np.log(positive)).sum())
+    return h / math.log(base) if base else h
+
+
+def entropy_of_counts(counts: np.ndarray, base: float | None = None) -> float:
+    """Entropy of the empirical distribution of a count vector."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise MapError("entropy_of_counts: all counts are zero")
+    return entropy(counts / total, base=base)
+
+
+def joint_entropy(joint: np.ndarray, base: float | None = None) -> float:
+    """Entropy ``H(X, Y)`` of a joint probability table."""
+    return entropy(np.asarray(joint, dtype=np.float64).ravel(), base=base)
+
+
+def marginals(joint: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row and column marginals of a joint probability table."""
+    joint = np.asarray(joint, dtype=np.float64)
+    if joint.ndim != 2:
+        raise MapError(f"joint table must be 2-D, got shape {joint.shape}")
+    return joint.sum(axis=1), joint.sum(axis=0)
+
+
+def mutual_information(joint: np.ndarray, base: float | None = None) -> float:
+    """Mutual information ``I(X; Y)`` from a joint probability table.
+
+    Computed as ``H(X) + H(Y) − H(X, Y)`` and clamped to be non-negative
+    (floating-point noise can push it a hair below zero).
+    """
+    row, col = marginals(joint)
+    value = (
+        entropy(row, base=base)
+        + entropy(col, base=base)
+        - joint_entropy(joint, base=base)
+    )
+    return max(0.0, value)
+
+
+def variation_of_information(
+    joint: np.ndarray, base: float | None = None
+) -> float:
+    """Meilă's Variation of Information: ``H(X|Y) + H(Y|X)``.
+
+    A true metric on the space of partitions (symmetric, zero iff the
+    partitions are identical up to relabelling, triangle inequality) —
+    exactly the property Section 3.2 wants over raw mutual information.
+    """
+    row, col = marginals(joint)
+    h_joint = joint_entropy(joint, base=base)
+    value = 2.0 * h_joint - entropy(row, base=base) - entropy(col, base=base)
+    return max(0.0, value)
+
+
+def max_vi(n_outcomes_a: int, n_outcomes_b: int, base: float | None = None) -> float:
+    """Upper bound on VI between variables with the given outcome counts.
+
+    ``VI ≤ H(X) + H(Y) ≤ log(a) + log(b)``; we use the tighter
+    ``log(a · b)`` cap which equals that sum.
+    """
+    if n_outcomes_a < 1 or n_outcomes_b < 1:
+        raise MapError("outcome counts must be >= 1")
+    value = math.log(n_outcomes_a) + math.log(n_outcomes_b)
+    return value / math.log(base) if base else value
+
+
+def normalized_vi(joint: np.ndarray, base: float | None = None) -> float:
+    """VI scaled into [0, 1] by the log of the joint outcome count."""
+    joint = np.asarray(joint, dtype=np.float64)
+    bound = max_vi(joint.shape[0], joint.shape[1], base=base)
+    if bound == 0.0:
+        return 0.0
+    return min(1.0, variation_of_information(joint, base=base) / bound)
+
+
+def rajski_distance(joint: np.ndarray, base: float | None = None) -> float:
+    """Rajski's normalized information distance: ``VI / H(X, Y)``.
+
+    Equals ``1 − I(X; Y) / H(X, Y)``; a true metric on [0, 1] that is 1
+    exactly when the variables are independent and 0 when they determine
+    each other.  This is the scale-free form the clustering threshold is
+    expressed on: unlike VI/log(cells), it pins independence at 1
+    regardless of how balanced the maps are.
+    """
+    h = joint_entropy(joint, base=base)
+    if h == 0.0:
+        # A single joint outcome: both variables are constants, hence equal.
+        return 0.0
+    return min(1.0, variation_of_information(joint, base=base) / h)
+
+
+def normalized_mutual_information(
+    joint: np.ndarray, base: float | None = None
+) -> float:
+    """NMI = ``I(X; Y) / sqrt(H(X) H(Y))`` (0 when either entropy is 0)."""
+    row, col = marginals(joint)
+    h_row = entropy(row, base=base)
+    h_col = entropy(col, base=base)
+    if h_row == 0.0 or h_col == 0.0:
+        return 0.0
+    return mutual_information(joint, base=base) / math.sqrt(h_row * h_col)

@@ -1,0 +1,131 @@
+"""Agglomerative hierarchical clustering over a precomputed distance matrix.
+
+Section 3.2 favours agglomerative methods ("such as SLINK") because the
+number of clusters is unknown a priori and the hierarchy lets the engine
+control cluster sizes.  This module provides the generic agglomeration
+loop with single (SLINK-equivalent result), complete, and average linkage,
+a merge-constraint hook, and a stop threshold.
+
+The implementation is the O(n³) textbook loop — candidate-map counts are
+bounded by the attribute count of a query (a handful), so asymptotics are
+irrelevant here and clarity wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import Linkage
+from repro.errors import MapError
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeStep:
+    """One agglomeration step: clusters ``a`` and ``b`` merged at ``distance``."""
+
+    a: tuple[int, ...]
+    b: tuple[int, ...]
+    distance: float
+
+
+@dataclasses.dataclass(frozen=True)
+class AgglomerationResult:
+    """Final clusters (as index tuples) plus the merge history."""
+
+    clusters: tuple[tuple[int, ...], ...]
+    steps: tuple[MergeStep, ...]
+
+    @property
+    def n_merges(self) -> int:
+        """Number of merge operations performed (Figure 4 reports this)."""
+        return len(self.steps)
+
+
+def _cluster_distance(
+    members_a: Sequence[int],
+    members_b: Sequence[int],
+    distances: np.ndarray,
+    linkage: Linkage,
+) -> float:
+    block = distances[np.ix_(members_a, members_b)]
+    if linkage is Linkage.SINGLE:
+        return float(block.min())
+    if linkage is Linkage.COMPLETE:
+        return float(block.max())
+    if linkage is Linkage.AVERAGE:
+        return float(block.mean())
+    raise MapError(f"unknown linkage {linkage}")  # pragma: no cover
+
+
+def agglomerate(
+    distances: np.ndarray,
+    threshold: float,
+    linkage: Linkage = Linkage.SINGLE,
+    can_merge: Callable[[tuple[int, ...], tuple[int, ...]], bool] | None = None,
+) -> AgglomerationResult:
+    """Merge clusters bottom-up until no pair is close and allowed.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric (n, n) distance matrix.
+    threshold:
+        Pairs at distance strictly greater than this never merge —
+        the Section-3.2 "point after which two maps are too far away".
+    linkage:
+        Cluster-distance rule.
+    can_merge:
+        Optional veto: called with the two member tuples; returning False
+        blocks that merge (used for the map-size convenience caps).  A
+        blocked pair may merge later through other clusters, but is
+        re-checked each round.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise MapError(f"distance matrix must be square, got {distances.shape}")
+    if n == 0:
+        return AgglomerationResult(clusters=(), steps=())
+    if not np.allclose(distances, distances.T, atol=1e-9):
+        raise MapError("distance matrix must be symmetric")
+
+    clusters: list[tuple[int, ...]] = [(i,) for i in range(n)]
+    steps: list[MergeStep] = []
+
+    while len(clusters) > 1:
+        best: tuple[float, int, int] | None = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                d = _cluster_distance(clusters[i], clusters[j], distances, linkage)
+                if d > threshold:
+                    continue
+                if can_merge is not None and not can_merge(clusters[i], clusters[j]):
+                    continue
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        if best is None:
+            break
+        d, i, j = best
+        merged = tuple(sorted(clusters[i] + clusters[j]))
+        steps.append(MergeStep(a=clusters[i], b=clusters[j], distance=d))
+        clusters = [
+            c for k, c in enumerate(clusters) if k not in (i, j)
+        ] + [merged]
+
+    ordered = tuple(sorted(clusters, key=lambda c: c[0]))
+    return AgglomerationResult(clusters=ordered, steps=tuple(steps))
+
+
+def dendrogram(
+    distances: np.ndarray, linkage: Linkage = Linkage.SINGLE
+) -> AgglomerationResult:
+    """Full agglomeration to a single cluster (no threshold, no veto).
+
+    This is the "exhaustive solution (for instance, a dendrogram)" the
+    paper contrasts Atlas against in Section 2; the baselines package
+    exposes it for the comparison benchmarks.
+    """
+    return agglomerate(distances, threshold=float("inf"), linkage=linkage)

@@ -1,0 +1,124 @@
+"""Merging maps within a cluster (paper Section 3.3, step 3).
+
+Two operators:
+
+* :func:`product` — Definition 3.  ``M1 × M2`` intersects each region of
+  M1 with each region of M2.  Associative and commutative, so it extends
+  to any number of maps.  Contradictory intersections (provably empty
+  queries) and zero-cover regions are dropped — the definition permits
+  them but they carry no information and waste the region budget.
+* :func:`composition` — Definition 4.  ``M1 ∘ M2`` re-CUTs every region
+  of M1 on the attributes M2 is based on.  With a data-adaptive cutting
+  strategy the cut points differ per region, which is what lets
+  composition "reveal the clusters in the data" (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import AtlasConfig
+from repro.core.cut import cut
+from repro.core.datamap import DataMap
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+
+def product(
+    maps: Sequence[DataMap],
+    table: Table | None = None,
+    min_region_cover: float = 0.0,
+) -> DataMap:
+    """The product operator ``M1 × M2 × ...`` (Definition 3).
+
+    When ``table`` is given, regions whose cover is ``<= min_region_cover``
+    are dropped (empty intersections carry no tuples).  Without a table
+    the full syntactic product is returned, minus provably contradictory
+    combinations.
+    """
+    maps = list(maps)
+    if not maps:
+        raise MapError("product of zero maps is undefined")
+    if len(maps) == 1:
+        return maps[0]
+
+    regions: list[ConjunctiveQuery] = list(maps[0].regions)
+    for other in maps[1:]:
+        combined: list[ConjunctiveQuery] = []
+        for left in regions:
+            for right in other.regions:
+                conjunction = left.conjoin(right)
+                if conjunction is not None:
+                    combined.append(conjunction)
+        regions = combined
+    if not regions:
+        raise MapError("product produced no satisfiable region")
+
+    attributes: list[str] = []
+    for m in maps:
+        for attr in m.attributes:
+            if attr not in attributes:
+                attributes.append(attr)
+    label = " × ".join(m.label for m in maps)
+    merged = DataMap(regions, attributes=attributes, label=label)
+    if table is not None:
+        merged = merged.drop_empty_regions(table, min_cover=min_region_cover)
+    return merged
+
+
+def composition(
+    maps: Sequence[DataMap],
+    table: Table,
+    config: AtlasConfig | None = None,
+    base_query: ConjunctiveQuery | None = None,
+) -> DataMap:
+    """The composition operator ``M1 ∘ M2 ∘ ...`` (Definition 4).
+
+    Each region of the first map is recursively CUT on the attributes of
+    the remaining maps; cut points are computed *within the region*, so a
+    data-adaptive strategy (e.g. ``twomeans``) adapts to local structure.
+
+    ``base_query`` only disambiguates the parent ranges of the first map's
+    own attribute; regions carry their predicates so it is optional.
+    """
+    config = config or AtlasConfig()
+    maps = list(maps)
+    if not maps:
+        raise MapError("composition of zero maps is undefined")
+    if len(maps) == 1:
+        return maps[0]
+
+    base, *rest = maps
+    rest_attributes: list[str] = []
+    for m in rest:
+        for attr in m.attributes:
+            if attr not in rest_attributes and attr not in base.attributes:
+                rest_attributes.append(attr)
+
+    regions: list[ConjunctiveQuery] = list(base.regions)
+    for attribute in rest_attributes:
+        refined: list[ConjunctiveQuery] = []
+        for region in regions:
+            sub_map = cut(table, region, attribute, config)
+            refined.extend(sub_map.regions)
+        regions = refined
+
+    attributes = list(base.attributes) + rest_attributes
+    label = " ∘ ".join(m.label for m in maps)
+    merged = DataMap(regions, attributes=attributes, label=label)
+    return merged.drop_empty_regions(table, min_cover=config.min_region_cover)
+
+
+def merge_cluster(
+    cluster: Sequence[DataMap],
+    table: Table,
+    config: AtlasConfig | None = None,
+) -> DataMap:
+    """Merge one cluster with the configured method (Section 3.3)."""
+    from repro.core.config import MergeMethod  # local import avoids cycle risk
+
+    config = config or AtlasConfig()
+    if config.merge_method is MergeMethod.PRODUCT:
+        return product(cluster, table, min_region_cover=config.min_region_cover)
+    return composition(cluster, table, config)

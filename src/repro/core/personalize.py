@@ -1,0 +1,130 @@
+"""Personalized sessions (paper Section 5.2, "Real life users").
+
+"Another direction would be to propose personalized sessions, during
+which what is proposed depends on the past behavior of the user or his
+peers (as in collaborative filtering)."
+
+The signal available in the Figure-1 loop is *which attributes the user
+keeps drilling into*.  :class:`InterestProfile` accumulates that signal
+(optionally decayed, optionally merged with peer profiles — the
+collaborative part), and :func:`personalized_rank` blends it with the
+Section-3.4 entropy score: a map over attributes the user cares about
+rises, everything else keeps its entropy order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.core.datamap import DataMap
+from repro.core.ranking import RankedMap, rank_maps
+from repro.dataset.table import Table
+from repro.errors import ConfigError
+from repro.query.query import ConjunctiveQuery
+
+
+class InterestProfile:
+    """Attribute-affinity counters learned from exploration behaviour."""
+
+    def __init__(self, decay: float = 1.0):
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError(f"decay must be in (0, 1], got {decay}")
+        self._decay = float(decay)
+        self._weights: dict[str, float] = {}
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """Current attribute weights (copies; higher = more interest)."""
+        return dict(self._weights)
+
+    def observe_query(self, query: ConjunctiveQuery) -> None:
+        """Record a submitted query: its restrictive attributes gain weight."""
+        self._age()
+        for predicate in query.restrictive_predicates:
+            self._weights[predicate.attribute] = (
+                self._weights.get(predicate.attribute, 0.0) + 1.0
+            )
+
+    def observe_drill(self, region: ConjunctiveQuery) -> None:
+        """Alias of :meth:`observe_query` — a drill submits the region."""
+        self.observe_query(region)
+
+    def _age(self) -> None:
+        if self._decay < 1.0:
+            self._weights = {
+                attr: weight * self._decay
+                for attr, weight in self._weights.items()
+            }
+
+    def affinity(self, attributes: Sequence[str]) -> float:
+        """Mean normalized interest over the given attributes, in [0, 1]."""
+        if not attributes or not self._weights:
+            return 0.0
+        top = max(self._weights.values())
+        if top <= 0.0:
+            return 0.0
+        return sum(
+            self._weights.get(attr, 0.0) / top for attr in attributes
+        ) / len(attributes)
+
+    def merged_with(
+        self, peers: Iterable["InterestProfile"], peer_weight: float = 0.5
+    ) -> "InterestProfile":
+        """Blend in peer behaviour (the collaborative-filtering variant).
+
+        Peer counters are normalized before blending so a prolific peer
+        does not drown the user's own signal.
+        """
+        if not 0.0 <= peer_weight <= 1.0:
+            raise ConfigError(f"peer_weight must be in [0, 1], got {peer_weight}")
+        merged = InterestProfile(decay=self._decay)
+        merged._weights = dict(self._weights)
+        for peer in peers:
+            top = max(peer._weights.values(), default=0.0)
+            if top <= 0.0:
+                continue
+            for attr, weight in peer._weights.items():
+                merged._weights[attr] = (
+                    merged._weights.get(attr, 0.0)
+                    + peer_weight * weight / top
+                )
+        return merged
+
+
+def personalized_rank(
+    maps: Sequence[DataMap],
+    table: Table,
+    profile: InterestProfile,
+    blend: float = 0.3,
+    max_maps: int | None = None,
+) -> list[RankedMap]:
+    """Rank maps by blended entropy + interest affinity.
+
+    ``blend = 0`` reproduces the paper's pure entropy ranking;
+    ``blend = 1`` ranks purely by learned interest.  Entropy scores are
+    normalized by the batch maximum so the two signals share a scale.
+    """
+    if not 0.0 <= blend <= 1.0:
+        raise ConfigError(f"blend must be in [0, 1], got {blend}")
+    base = rank_maps(maps, table)
+    if not base:
+        return []
+    top_entropy = max(entry.score for entry in base) or 1.0
+    rescored = [
+        RankedMap(
+            map=entry.map,
+            score=(
+                (1.0 - blend) * entry.score / top_entropy
+                + blend * profile.affinity(entry.map.attributes)
+            ),
+            covers=entry.covers,
+        )
+        for entry in base
+    ]
+    rescored.sort(
+        key=lambda r: (-r.score, len(r.map.attributes), r.map.label)
+    )
+    if max_maps is not None:
+        rescored = rescored[:max_maps]
+    return rescored

@@ -1,0 +1,89 @@
+"""Ranking the result set (paper Section 3.4, step 4).
+
+Maps are ranked "by decreasing order of entropy" of their cover
+distribution: maps with many queries score high, ties favour the most
+balanced map, and maps revealing small outlier subsets sink to the end.
+
+Covers are renormalized over the regions (escaped tuples excluded) so the
+score reflects *how the map partitions what it covers*; a map covering
+nothing scores zero.  Ties after entropy break deterministically: fewer
+attributes first (simpler map), then label.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.datamap import DataMap
+from repro.core.information import entropy
+from repro.dataset.table import Table
+
+
+@dataclasses.dataclass(frozen=True)
+class RankedMap:
+    """One result map with its ranking score."""
+
+    map: DataMap
+    score: float
+    covers: tuple[float, ...]
+
+    @property
+    def label(self) -> str:
+        """Display label of the underlying map."""
+        return self.map.label
+
+
+def map_entropy(data_map: DataMap, table: Table) -> float:
+    """Entropy (nats) of the map's renormalized cover distribution."""
+    covers = data_map.covers(table)
+    total = float(covers.sum())
+    if total <= 0.0:
+        return 0.0
+    return entropy(covers / total)
+
+
+def rank_maps(
+    maps: Sequence[DataMap],
+    table: Table,
+    max_maps: int | None = None,
+) -> list[RankedMap]:
+    """Rank maps by decreasing entropy (Section 3.4).
+
+    ``max_maps`` truncates the ranked list (the abstract promises "less
+    than a dozen" queries per map and a small list of maps).
+    """
+    ranked: list[RankedMap] = []
+    for data_map in maps:
+        covers = data_map.covers(table)
+        total = float(covers.sum())
+        score = entropy(covers / total) if total > 0 else 0.0
+        ranked.append(
+            RankedMap(
+                map=data_map,
+                score=score,
+                covers=tuple(float(c) for c in covers),
+            )
+        )
+    ranked.sort(
+        key=lambda r: (-r.score, len(r.map.attributes), r.map.label)
+    )
+    if max_maps is not None:
+        ranked = ranked[:max_maps]
+    return ranked
+
+
+def balance(covers: Sequence[float]) -> float:
+    """Balance score in [0, 1]: entropy over its maximum for that size.
+
+    1 means perfectly even covers; used by tests and benches to verify
+    the tie-breaking claim of Section 3.4.
+    """
+    covers = np.asarray(covers, dtype=np.float64)
+    covers = covers[covers > 0]
+    if covers.size <= 1:
+        return 1.0
+    h = entropy(covers / covers.sum())
+    return float(h / np.log(covers.size))

@@ -1,0 +1,136 @@
+"""Exploration sessions: the Figure-1 interaction loop.
+
+After Atlas answers a query with maps, the user "can pick one and submit
+it for further exploration" (drill into a region — the region becomes the
+new query and is itself broken down) or "request a new map" (move down
+the ranked list).  :class:`ExplorationSession` keeps that loop's state: a
+breadcrumb stack of queries, the current map set, and a cursor into it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.atlas import Atlas, MapSet
+from repro.core.config import AtlasConfig
+from repro.core.datamap import DataMap
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionStep:
+    """One breadcrumb entry: the query explored and the answer obtained."""
+
+    query: ConjunctiveQuery
+    map_set: MapSet
+
+
+class ExplorationSession:
+    """Stateful drill-down / next-map loop over one table.
+
+    The session keeps an :class:`~repro.core.personalize.InterestProfile`
+    fed by every submitted query, so :meth:`personalized_maps` can
+    re-rank the current answer by learned interest (§5.2 future work).
+    """
+
+    def __init__(self, table: Table, config: AtlasConfig | None = None):
+        from repro.core.personalize import InterestProfile
+
+        self._atlas = Atlas(table, config)
+        self._history: list[SessionStep] = []
+        self._cursor = 0
+        self._profile = InterestProfile()
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    @property
+    def atlas(self) -> Atlas:
+        """The underlying engine."""
+        return self._atlas
+
+    @property
+    def depth(self) -> int:
+        """Number of drill-down levels currently on the stack."""
+        return len(self._history)
+
+    @property
+    def current(self) -> SessionStep:
+        """The step being looked at."""
+        if not self._history:
+            raise MapError("session not started; call start() first")
+        return self._history[-1]
+
+    @property
+    def current_map(self) -> DataMap:
+        """The map the cursor points at."""
+        ranked = self.current.map_set.ranked
+        if not ranked:
+            raise MapError("current map set is empty")
+        return ranked[self._cursor].map
+
+    def breadcrumb(self) -> list[str]:
+        """Human-readable trail of the queries explored so far."""
+        return [step.query.describe_inline() for step in self._history]
+
+    # ------------------------------------------------------------------ #
+    # The Figure-1 interaction verbs
+    # ------------------------------------------------------------------ #
+
+    def start(self, query: ConjunctiveQuery | None = None) -> MapSet:
+        """Begin (or restart) the session at ``query``."""
+        self._history = []
+        self._cursor = 0
+        return self._push(query or ConjunctiveQuery())
+
+    def drill(self, region_index: int) -> MapSet:
+        """Submit a region of the current map for further exploration."""
+        regions = self.current_map.regions
+        if not 0 <= region_index < len(regions):
+            raise MapError(
+                f"region index {region_index} out of range "
+                f"(map has {len(regions)} regions)"
+            )
+        return self._push(regions[region_index])
+
+    def next_map(self) -> DataMap:
+        """Request a new map: advance the cursor (wraps around)."""
+        ranked = self.current.map_set.ranked
+        if not ranked:
+            raise MapError("current map set is empty")
+        self._cursor = (self._cursor + 1) % len(ranked)
+        return ranked[self._cursor].map
+
+    def back(self) -> MapSet:
+        """Pop one drill-down level (error at the root)."""
+        if len(self._history) <= 1:
+            raise MapError("already at the root of the exploration")
+        self._history.pop()
+        self._cursor = 0
+        return self.current.map_set
+
+    @property
+    def profile(self):
+        """The interest profile learned from this session's queries."""
+        return self._profile
+
+    def personalized_maps(self, blend: float = 0.3):
+        """The current maps re-ranked by entropy + learned interest."""
+        from repro.core.personalize import personalized_rank
+
+        return personalized_rank(
+            [r.map for r in self.current.map_set.ranked],
+            self._atlas.table,
+            self._profile,
+            blend=blend,
+        )
+
+    def _push(self, query: ConjunctiveQuery) -> MapSet:
+        map_set = self._atlas.explore(query)
+        self._history.append(SessionStep(query=query, map_set=map_set))
+        self._cursor = 0
+        self._profile.observe_query(query)
+        return map_set

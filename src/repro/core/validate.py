@@ -1,0 +1,154 @@
+"""Map validation: the paper's contracts as an executable checklist.
+
+Downstream code that builds or transforms maps (custom merge operators,
+hand-written maps, persisted sessions) can verify them against every
+requirement the paper states:
+
+* Definition 1 — regions are pairwise disjoint on the data and their
+  union covers what the parent query describes;
+* Section 2 — at most ``max_regions`` regions ("hard to read" beyond 8)
+  and at most ``max_predicates`` cut attributes per region;
+* basic sanity — no empty regions, covers consistent with assignment.
+
+:func:`validate_map` returns a :class:`ValidationReport` listing every
+violation with enough context to fix it; ``report.ok`` gates pipelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import AtlasConfig
+from repro.core.datamap import DataMap
+from repro.dataset.table import Table
+from repro.query.query import ConjunctiveQuery
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One broken contract."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one map."""
+
+    map_label: str
+    violations: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every contract holds."""
+        return not self.violations
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"map {self.map_label!r}: all contracts hold"
+        lines = [f"map {self.map_label!r}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def validate_map(
+    data_map: DataMap,
+    table: Table,
+    parent: ConjunctiveQuery | None = None,
+    config: AtlasConfig | None = None,
+    require_partition: bool = True,
+) -> ValidationReport:
+    """Check a map against the paper's contracts over ``table``.
+
+    ``parent`` is the query the map decomposes (defaults to everything);
+    ``require_partition`` can be disabled for maps that legitimately
+    leave escapes (e.g. after dropping empty regions on dirty data).
+    """
+    config = config or AtlasConfig()
+    parent = parent or ConjunctiveQuery()
+    violations: list[Violation] = []
+
+    # --- Section-2 convenience caps ----------------------------------
+    if data_map.n_regions > config.max_regions:
+        violations.append(
+            Violation(
+                "max_regions",
+                f"{data_map.n_regions} regions exceed the cap of "
+                f"{config.max_regions} (maps beyond 8 are 'hard to read')",
+            )
+        )
+    if len(data_map.attributes) > config.max_predicates:
+        violations.append(
+            Violation(
+                "max_predicates",
+                f"map is based on {len(data_map.attributes)} attributes, "
+                f"cap is {config.max_predicates}",
+            )
+        )
+
+    # --- Definition-1 partition contract ------------------------------
+    parent_mask = parent.mask(table)
+    union = np.zeros(table.n_rows, dtype=bool)
+    for index, region in enumerate(data_map.regions):
+        region_mask = region.mask(table)
+        overlap = union & region_mask
+        if overlap.any():
+            violations.append(
+                Violation(
+                    "disjointness",
+                    f"region {index} overlaps an earlier region on "
+                    f"{int(overlap.sum())} row(s)",
+                )
+            )
+        union |= region_mask
+        if not region_mask.any():
+            violations.append(
+                Violation("non_empty", f"region {index} covers no rows")
+            )
+        outside = region_mask & ~parent_mask
+        if outside.any():
+            violations.append(
+                Violation(
+                    "containment",
+                    f"region {index} reaches {int(outside.sum())} row(s) "
+                    "outside the parent query",
+                )
+            )
+
+    if require_partition:
+        uncovered = parent_mask & ~union
+        if uncovered.any():
+            violations.append(
+                Violation(
+                    "coverage",
+                    f"{int(uncovered.sum())} described row(s) belong to "
+                    "no region",
+                )
+            )
+
+    return ValidationReport(
+        map_label=data_map.label, violations=tuple(violations)
+    )
+
+
+def validate_map_set(
+    maps: "list[DataMap]",
+    table: Table,
+    parent: ConjunctiveQuery | None = None,
+    config: AtlasConfig | None = None,
+    require_partition: bool = True,
+) -> list[ValidationReport]:
+    """Validate every map of an answer; one report per map."""
+    return [
+        validate_map(
+            m, table, parent=parent, config=config,
+            require_partition=require_partition,
+        )
+        for m in maps
+    ]

@@ -1,0 +1,49 @@
+"""Synthetic dataset generators for the reproduction experiments.
+
+The paper's real datasets (a survey, SDSS, TPC benchmarks) are not
+available offline; these generators reproduce their schemas and — more
+importantly — the statistical dependency structure each experiment needs.
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.datagen.census import census_table
+from repro.datagen.dirty import (
+    corrupt,
+    inject_label_noise,
+    inject_missing,
+    inject_outliers,
+)
+from repro.datagen.shapes import (
+    bimodal_values,
+    shape_table,
+    skewed_values,
+    uniform_values,
+)
+from repro.datagen.skysurvey import sky_survey_table
+from repro.datagen.subspace import (
+    SubspaceDataset,
+    SubspaceSpec,
+    default_specs,
+    figure5_dataset,
+    subspace_dataset,
+)
+from repro.datagen.tpc import tpc_catalog
+
+__all__ = [
+    "SubspaceDataset",
+    "SubspaceSpec",
+    "bimodal_values",
+    "census_table",
+    "corrupt",
+    "default_specs",
+    "figure5_dataset",
+    "inject_label_noise",
+    "inject_missing",
+    "inject_outliers",
+    "shape_table",
+    "skewed_values",
+    "sky_survey_table",
+    "subspace_dataset",
+    "tpc_catalog",
+    "uniform_values",
+]

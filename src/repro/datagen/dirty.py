@@ -1,0 +1,127 @@
+"""Dirty-data injection (paper Section 5.2: "the raw data may be
+imprecise or contain mistakes").
+
+Utilities that corrupt a clean table in the ways real survey / catalog
+data is dirty, so robustness experiments can sweep the corruption rate:
+
+* :func:`inject_missing` — random cells become missing;
+* :func:`inject_outliers` — numeric cells replaced by far-out values;
+* :func:`inject_label_noise` — categorical cells re-labelled at random.
+
+All functions return a new table; the input is never modified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import DatasetError
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise DatasetError(f"corruption rate must be in [0, 1], got {rate}")
+
+
+def inject_missing(
+    table: Table,
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+    columns: tuple[str, ...] | None = None,
+) -> Table:
+    """Blank out a ``rate`` fraction of cells, uniformly per column."""
+    _check_rate(rate)
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    target = set(columns) if columns is not None else None
+    out = []
+    for column in table.columns:
+        if target is not None and column.name not in target:
+            out.append(column)
+            continue
+        hit = rng.random(len(column)) < rate
+        if isinstance(column, NumericColumn):
+            data = column.data.copy()
+            data[hit] = np.nan
+            out.append(NumericColumn(column.name, data))
+        elif isinstance(column, CategoricalColumn):
+            codes = column.codes.copy()
+            codes[hit] = -1
+            out.append(
+                CategoricalColumn(column.name, codes, column.categories)
+            )
+        else:  # pragma: no cover
+            out.append(column)
+    return Table(out, name=f"{table.name}_missing")
+
+
+def inject_outliers(
+    table: Table,
+    rate: float,
+    magnitude: float = 10.0,
+    rng: np.random.Generator | int | None = None,
+) -> Table:
+    """Replace a ``rate`` fraction of numeric cells by far-out values.
+
+    An outlier lands ``magnitude`` global standard deviations away from
+    the column mean, on a random side.
+    """
+    _check_rate(rate)
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    out = []
+    for column in table.columns:
+        if not isinstance(column, NumericColumn):
+            out.append(column)
+            continue
+        data = column.data.copy()
+        valid = data[~np.isnan(data)]
+        if valid.size == 0:
+            out.append(column)
+            continue
+        hit = rng.random(len(column)) < rate
+        sides = np.where(rng.random(len(column)) < 0.5, -1.0, 1.0)
+        scale = float(valid.std()) or 1.0
+        data[hit] = float(valid.mean()) + sides[hit] * magnitude * scale
+        out.append(NumericColumn(column.name, data))
+    return Table(out, name=f"{table.name}_outliers")
+
+
+def inject_label_noise(
+    table: Table,
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+) -> Table:
+    """Re-label a ``rate`` fraction of categorical cells uniformly."""
+    _check_rate(rate)
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    out = []
+    for column in table.columns:
+        if not isinstance(column, CategoricalColumn) or not column.categories:
+            out.append(column)
+            continue
+        codes = column.codes.copy()
+        hit = (rng.random(len(column)) < rate) & (codes >= 0)
+        codes[hit] = rng.integers(
+            0, len(column.categories), size=int(hit.sum())
+        )
+        out.append(CategoricalColumn(column.name, codes, column.categories))
+    return Table(out, name=f"{table.name}_noisy")
+
+
+def corrupt(
+    table: Table,
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+) -> Table:
+    """Apply all three corruptions at ``rate / 3`` each (a realistic mix)."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    step = rate / 3.0
+    dirty = inject_missing(table, step, rng)
+    dirty = inject_outliers(dirty, step, rng=rng)
+    dirty = inject_label_noise(dirty, step, rng)
+    return dirty.rename(f"{table.name}_dirty")

@@ -1,0 +1,62 @@
+"""One-dimensional distribution shapes for the cut-strategy ablation (E3).
+
+Section 3.1 weighs cutting strategies against each other: equi-width is
+"fast and intuitive" but "does not tell much about the shape of the
+underlying distribution"; the intra-cluster-distance split "tells much
+more about the data but requires more calculations".  These generators
+provide the distribution shapes on which that trade-off shows:
+uniform (all strategies agree), skewed (equi-width collapses), bimodal
+(only the 2-means split finds the gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.column import NumericColumn
+from repro.dataset.table import Table
+
+
+def uniform_values(
+    n: int, low: float = 0.0, high: float = 100.0, seed: int | None = 0
+) -> np.ndarray:
+    """Uniform values on [low, high]."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, n)
+
+
+def skewed_values(
+    n: int, shape: float = 1.5, scale: float = 10.0, seed: int | None = 0
+) -> np.ndarray:
+    """Right-skewed (lognormal-like) values: a long, thin upper tail."""
+    rng = np.random.default_rng(seed)
+    return rng.lognormal(mean=np.log(scale), sigma=shape, size=n)
+
+
+def bimodal_values(
+    n: int,
+    centers: tuple[float, float] = (20.0, 80.0),
+    spread: float = 5.0,
+    weight: float = 0.5,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Two well-separated Gaussian modes (ground-truth gap between them)."""
+    rng = np.random.default_rng(seed)
+    first = rng.random(n) < weight
+    return np.where(
+        first,
+        rng.normal(centers[0], spread, n),
+        rng.normal(centers[1], spread, n),
+    )
+
+
+def shape_table(n: int = 20_000, seed: int | None = 0) -> Table:
+    """A table with one column per shape (for ablation runs)."""
+    return Table(
+        [
+            NumericColumn("uniform", uniform_values(n, seed=seed)),
+            NumericColumn("skewed", skewed_values(n, seed=seed)),
+            NumericColumn("bimodal", bimodal_values(n, seed=seed)),
+        ],
+        name="shapes",
+    )

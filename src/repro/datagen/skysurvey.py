@@ -1,0 +1,82 @@
+"""Sky-survey generator: the SDSS stand-in of Section 5.2.
+
+The paper names the Sloan Digital Sky Survey as a target "real life
+database".  SDSS data is not available offline, so this generator emits a
+photometric catalog with the same *shape*: positions, magnitudes in five
+bands with realistic color correlations, redshift, and an object class —
+and with the statistical dependencies an explorer would discover
+(class ↔ redshift, class ↔ colors, magnitudes correlated across bands).
+
+Object classes: STAR (z ≈ 0, blue-ish colors), GALAXY (z ~ 0.1, red-ish),
+QSO (z ~ 1.5, point-like and blue).  Values are loosely calibrated to the
+public SDSS DR7 ranges; only the dependency structure matters for the
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+
+_CLASSES = ("STAR", "GALAXY", "QSO")
+_CLASS_PROBS = (0.45, 0.45, 0.10)
+
+
+def sky_survey_table(n_rows: int = 20_000, seed: int | None = 0) -> Table:
+    """Generate an SDSS-like photometric catalog.
+
+    Columns: ``ra``, ``dec`` (degrees), ``class``, ``redshift``,
+    magnitudes ``mag_u``, ``mag_g``, ``mag_r``, ``mag_i``, ``mag_z``.
+    """
+    rng = np.random.default_rng(seed)
+
+    ra = rng.uniform(0.0, 360.0, n_rows)
+    dec = rng.uniform(-10.0, 70.0, n_rows)
+
+    object_class = rng.choice(len(_CLASSES), size=n_rows, p=_CLASS_PROBS)
+    is_star = object_class == 0
+    is_galaxy = object_class == 1
+    is_qso = object_class == 2
+
+    redshift = np.empty(n_rows, dtype=np.float64)
+    redshift[is_star] = np.abs(rng.normal(0.0, 0.0005, int(is_star.sum())))
+    redshift[is_galaxy] = np.abs(rng.normal(0.12, 0.06, int(is_galaxy.sum())))
+    redshift[is_qso] = np.abs(rng.normal(1.5, 0.6, int(is_qso.sum())))
+
+    # r-band magnitude baseline per class, then colors relative to r.
+    mag_r = np.empty(n_rows, dtype=np.float64)
+    mag_r[is_star] = rng.normal(17.5, 1.4, int(is_star.sum()))
+    mag_r[is_galaxy] = rng.normal(19.2, 1.1, int(is_galaxy.sum()))
+    mag_r[is_qso] = rng.normal(19.6, 0.9, int(is_qso.sum()))
+
+    g_minus_r = np.where(
+        is_galaxy, rng.normal(0.85, 0.25, n_rows), rng.normal(0.35, 0.25, n_rows)
+    )
+    u_minus_g = np.where(
+        is_qso, rng.normal(0.25, 0.20, n_rows), rng.normal(1.10, 0.40, n_rows)
+    )
+    r_minus_i = rng.normal(0.35, 0.15, n_rows)
+    i_minus_z = rng.normal(0.25, 0.15, n_rows)
+
+    mag_g = mag_r + g_minus_r
+    mag_u = mag_g + u_minus_g
+    mag_i = mag_r - r_minus_i
+    mag_z = mag_i - i_minus_z
+
+    labels = [_CLASSES[c] for c in object_class]
+    return Table(
+        [
+            NumericColumn("ra", ra),
+            NumericColumn("dec", dec),
+            CategoricalColumn.from_values("class", labels),
+            NumericColumn("redshift", np.round(redshift, 5)),
+            NumericColumn("mag_u", np.round(mag_u, 3)),
+            NumericColumn("mag_g", np.round(mag_g, 3)),
+            NumericColumn("mag_r", np.round(mag_r, 3)),
+            NumericColumn("mag_i", np.round(mag_i, 3)),
+            NumericColumn("mag_z", np.round(mag_z, 3)),
+        ],
+        name="skysurvey",
+    )

@@ -1,0 +1,136 @@
+"""TPC-H-like multi-table generator (Section 5.2's other named target).
+
+Emits a miniature order-management star schema — ``customers`` and
+``orders`` with a foreign key — sized by a scale factor, wired into a
+:class:`~repro.dataset.catalog.Catalog`.  The value distributions carry
+explorable dependencies (market segment ↔ account balance, order priority
+↔ total price, region ↔ segment mix) so the multi-table benchmark has
+structure to find after star materialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.catalog import Catalog
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+
+_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+
+def tpc_catalog(
+    scale: float = 0.01,
+    seed: int | None = 0,
+    include_lineitems: bool = False,
+) -> Catalog:
+    """Generate a TPC-like catalog (two tables, optionally three).
+
+    ``scale=1.0`` ≈ 15k customers / 150k orders (a laptop-friendly remix
+    of TPC-H's 150k/1.5M at SF1).  The foreign key
+    ``orders.custkey -> customers.custkey`` is declared and validated;
+    with ``include_lineitems`` a third table hangs off orders
+    (``lineitems.orderkey -> orders.orderkey``), turning the star into
+    the snowflake shape Section 5.2 worries about.
+    """
+    rng = np.random.default_rng(seed)
+    n_customers = max(10, int(15_000 * scale))
+    n_orders = max(20, int(150_000 * scale))
+
+    customers = _customers_table(n_customers, rng)
+    orders = _orders_table(n_orders, n_customers, rng)
+
+    catalog = Catalog(name="tpc")
+    catalog.add_table(customers)
+    catalog.add_table(orders)
+    catalog.add_foreign_key("orders", "custkey", "customers", "custkey")
+    if include_lineitems:
+        catalog.add_table(_lineitems_table(n_orders, rng))
+        catalog.add_foreign_key("lineitems", "orderkey", "orders", "orderkey")
+    return catalog
+
+
+def _customers_table(n_customers: int, rng: np.random.Generator) -> Table:
+    custkey = np.arange(n_customers, dtype=np.float64)
+    region_codes = rng.choice(len(_REGIONS), size=n_customers)
+    # Segment mix depends on region (an explorable dependency).
+    segment_codes = np.empty(n_customers, dtype=np.int64)
+    for region in range(len(_REGIONS)):
+        in_region = region_codes == region
+        probs = np.full(len(_SEGMENTS), 1.0)
+        probs[region % len(_SEGMENTS)] = 3.0  # each region favours one segment
+        probs /= probs.sum()
+        segment_codes[in_region] = rng.choice(
+            len(_SEGMENTS), size=int(in_region.sum()), p=probs
+        )
+    # Account balance depends on segment.
+    base_balance = np.array([4000.0, 7000.0, 3000.0, 5500.0, 9000.0])
+    acctbal = base_balance[segment_codes] + rng.normal(0.0, 1200.0, n_customers)
+    return Table(
+        [
+            NumericColumn("custkey", custkey),
+            CategoricalColumn.from_values(
+                "segment", [_SEGMENTS[c] for c in segment_codes]
+            ),
+            CategoricalColumn.from_values(
+                "region", [_REGIONS[c] for c in region_codes]
+            ),
+            NumericColumn("acctbal", np.round(acctbal, 2)),
+        ],
+        name="customers",
+    )
+
+
+def _lineitems_table(n_orders: int, rng: np.random.Generator) -> Table:
+    """~4 line items per order, with quantity/discount structure."""
+    n_items = n_orders * 4
+    linekey = np.arange(n_items, dtype=np.float64)
+    orderkey = rng.integers(0, n_orders, size=n_items).astype(np.float64)
+    quantity = rng.integers(1, 51, size=n_items).astype(np.float64)
+    # bulk lines get better discounts: an explorable dependency
+    discount = np.clip(
+        quantity / 500.0 + rng.normal(0.03, 0.02, n_items), 0.0, 0.2
+    )
+    shipmode_codes = rng.choice(3, size=n_items)
+    shipmodes = ("AIR", "SHIP", "TRUCK")
+    return Table(
+        [
+            NumericColumn("linekey", linekey),
+            NumericColumn("orderkey", orderkey),
+            NumericColumn("quantity", quantity),
+            NumericColumn("discount", np.round(discount, 4)),
+            CategoricalColumn.from_values(
+                "shipmode", [shipmodes[c] for c in shipmode_codes]
+            ),
+        ],
+        name="lineitems",
+    )
+
+
+def _orders_table(
+    n_orders: int, n_customers: int, rng: np.random.Generator
+) -> Table:
+    orderkey = np.arange(n_orders, dtype=np.float64)
+    custkey = rng.integers(0, n_customers, size=n_orders).astype(np.float64)
+    # Order date as day ordinal over seven years (TPC-H 1992-1998).
+    orderdate = rng.integers(0, 7 * 365, size=n_orders).astype(np.float64)
+    priority_codes = rng.choice(len(_PRIORITIES), size=n_orders)
+    # Urgent orders skew to higher totals.
+    price_base = np.array([210_000.0, 180_000.0, 150_000.0, 140_000.0, 120_000.0])
+    totalprice = np.abs(
+        price_base[priority_codes] * rng.lognormal(-1.0, 0.6, n_orders)
+    )
+    return Table(
+        [
+            NumericColumn("orderkey", orderkey),
+            NumericColumn("custkey", custkey),
+            NumericColumn("orderdate", orderdate),
+            CategoricalColumn.from_values(
+                "priority", [_PRIORITIES[c] for c in priority_codes]
+            ),
+            NumericColumn("totalprice", np.round(totalprice, 2)),
+        ],
+        name="orders",
+    )

@@ -1,0 +1,54 @@
+"""Columnar dataset substrate: the DBMS layer Atlas sits on.
+
+The paper's prototype runs on MonetDB; this package provides the same
+operational surface in pure Python/numpy — typed columns, immutable
+tables with mask selection, CSV ingestion with type inference, per-column
+statistics with the Section-5.2 cardinality guard, and a multi-table
+catalog with foreign keys and star-join materialization.
+"""
+
+from repro.dataset.catalog import Catalog
+from repro.dataset.column import (
+    MISSING_CODE,
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    column_from_values,
+)
+from repro.dataset.infer import (
+    column_from_tokens,
+    date_to_ordinal,
+    infer_kind,
+    ordinal_to_date,
+)
+from repro.dataset.io_csv import read_csv, read_csv_text, write_csv
+from repro.dataset.join import ForeignKey, hash_join, materialize_star
+from repro.dataset.stats import ColumnSummary, TableProfile, profile_table, summarize
+from repro.dataset.table import Table
+from repro.dataset.types import ColumnKind, ColumnRole
+
+__all__ = [
+    "Catalog",
+    "CategoricalColumn",
+    "Column",
+    "ColumnKind",
+    "ColumnRole",
+    "ColumnSummary",
+    "ForeignKey",
+    "MISSING_CODE",
+    "NumericColumn",
+    "Table",
+    "TableProfile",
+    "column_from_tokens",
+    "column_from_values",
+    "date_to_ordinal",
+    "hash_join",
+    "infer_kind",
+    "ordinal_to_date",
+    "materialize_star",
+    "profile_table",
+    "read_csv",
+    "read_csv_text",
+    "summarize",
+    "write_csv",
+]

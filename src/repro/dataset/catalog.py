@@ -1,0 +1,171 @@
+"""Multi-table catalog: the substrate's stand-in for a DBMS schema.
+
+Section 5.2 of the paper points out that real databases are "multiple
+tables with foreign key relationships", not one wide relation.  The
+:class:`Catalog` registers tables and foreign keys, validates referential
+integrity, and can materialize a star join around any fact table so the
+mapping engine sees the single relation it expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.join import ForeignKey, materialize_star
+from repro.dataset.table import Table
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """A named collection of tables plus foreign-key metadata."""
+
+    def __init__(self, name: str = "catalog"):
+        self._name = name
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    @property
+    def name(self) -> str:
+        """Catalog name."""
+        return self._name
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Registered table names, in registration order."""
+        return tuple(self._tables)
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        """Declared foreign-key edges."""
+        return tuple(self._foreign_keys)
+
+    def add_table(self, table: Table) -> None:
+        """Register a table; the name must be fresh."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Fetch a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"catalog {self._name!r} has no table {name!r}; "
+                f"known tables: {', '.join(self._tables) or '(none)'}"
+            ) from None
+
+    def add_foreign_key(
+        self,
+        child_table: str,
+        child_column: str,
+        parent_table: str,
+        parent_column: str,
+    ) -> ForeignKey:
+        """Declare and validate a foreign key.
+
+        Validation checks that both columns exist and that every non-missing
+        child value appears in the parent column (referential integrity).
+        """
+        child = self.table(child_table)
+        parent = self.table(parent_table)
+        child.column(child_column)
+        parent.column(parent_column)
+        self._check_integrity(child, child_column, parent, parent_column)
+        fk = ForeignKey(child_table, child_column, parent_table, parent_column)
+        self._foreign_keys.append(fk)
+        return fk
+
+    @staticmethod
+    def _check_integrity(
+        child: Table, child_column: str, parent: Table, parent_column: str
+    ) -> None:
+        from repro.dataset.join import _key_values  # local import: same layer
+
+        child_values = _key_values(child, child_column)
+        parent_values = set(_key_values(parent, parent_column).tolist())
+        child_list = child_values.tolist()
+        missing = [v for v in child_list if v not in parent_values]
+        if missing:
+            raise CatalogError(
+                f"foreign key {child.name}.{child_column} -> "
+                f"{parent.name}.{parent_column} broken: "
+                f"{len(missing)} orphan values, first {missing[0]!r}"
+            )
+
+    def star_around(
+        self,
+        fact_table: str,
+        sample: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> Table:
+        """Materialize the star join centred on ``fact_table``.
+
+        Follows every declared foreign key whose child is the fact table.
+        ``sample`` joins only a fact-row sample (the §5.2 cost mitigation).
+        """
+        fact = self.table(fact_table)
+        dims = [
+            (self.table(fk.parent_table), fk.child_column, fk.parent_column)
+            for fk in self._foreign_keys
+            if fk.child_table == fact_table
+        ]
+        if not dims:
+            raise CatalogError(
+                f"table {fact_table!r} has no outgoing foreign keys to follow"
+            )
+        return materialize_star(fact, dims, sample=sample, rng=rng)
+
+    def snowflake_around(
+        self,
+        fact_table: str,
+        sample: int | None = None,
+        rng: np.random.Generator | int | None = None,
+        max_depth: int = 4,
+    ) -> Table:
+        """Materialize the *transitive* join around ``fact_table``.
+
+        Real schemas are snowflakes, not stars: the fact references a
+        dimension which references another dimension (lineitems →
+        orders → customers).  This follows foreign keys breadth-first up
+        to ``max_depth`` hops.  Parent-of-parent columns arrive under
+        their prefixed names (``orders.custkey``), so second-hop edges
+        are matched by the parent table's own declared keys.
+        """
+        from repro.dataset.join import hash_join
+
+        fact = self.table(fact_table)
+        wide = fact if sample is None else fact.sample(sample, rng=rng)
+        # (table name whose FKs we still need to follow, column prefix)
+        frontier: list[tuple[str, str]] = [(fact_table, "")]
+        used_fk_columns: list[str] = []
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: list[tuple[str, str]] = []
+            for child_name, prefix in frontier:
+                for fk in self._foreign_keys:
+                    if fk.child_table != child_name:
+                        continue
+                    child_column = prefix + fk.child_column
+                    if child_column not in wide:
+                        raise CatalogError(
+                            f"snowflake join lost column {child_column!r}"
+                        )
+                    parent = self.table(fk.parent_table)
+                    wide = hash_join(
+                        wide, parent, child_column, fk.parent_column
+                    )
+                    used_fk_columns.append(child_column)
+                    next_frontier.append(
+                        (fk.parent_table, f"{fk.parent_table}.")
+                    )
+            frontier = next_frontier
+        kept = [n for n in wide.column_names if n not in used_fk_columns]
+        return wide.project(kept).rename(f"{fact_table}_snowflake")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Catalog {self._name!r} tables={list(self._tables)} "
+            f"fks={len(self._foreign_keys)}>"
+        )

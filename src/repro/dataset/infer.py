@@ -1,0 +1,114 @@
+"""Type inference for raw (string) values, used by CSV ingestion.
+
+The rules are deliberately simple and deterministic:
+
+* every non-missing token parses as a number    -> NUMERIC
+* every non-missing token is an ISO date        -> NUMERIC (day ordinal)
+* otherwise                                     -> CATEGORICAL
+
+Section 3.1 treats dates as ordinal attributes — CUT splits their value
+range like any number — so ISO ``YYYY-MM-DD`` tokens are stored as days
+since 1970-01-01 (:func:`date_to_ordinal` / :func:`ordinal_to_date`
+convert back and forth for display).
+
+Missing tokens are ``''``, ``'NA'``, ``'NaN'``, ``'null'``, ``'None'``
+(case-insensitive).  A column that is entirely missing defaults to
+categorical with zero categories.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, Column, NumericColumn
+from repro.dataset.types import ColumnKind
+from repro.errors import TypeInferenceError
+
+#: Tokens treated as missing values (compared case-insensitively).
+MISSING_TOKENS = frozenset({"", "na", "nan", "null", "none"})
+
+_ISO_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_ordinal(token: str) -> float | None:
+    """Days since 1970-01-01 for an ISO date token, or None."""
+    if not _ISO_DATE_RE.match(token.strip()):
+        return None
+    try:
+        parsed = datetime.date.fromisoformat(token.strip())
+    except ValueError:
+        return None
+    return float((parsed - _EPOCH).days)
+
+
+def ordinal_to_date(ordinal: float) -> str:
+    """ISO date for a day ordinal (inverse of :func:`date_to_ordinal`)."""
+    return (_EPOCH + datetime.timedelta(days=int(ordinal))).isoformat()
+
+
+def is_missing_token(token: str) -> bool:
+    """True if ``token`` denotes a missing value."""
+    return token.strip().lower() in MISSING_TOKENS
+
+
+def _try_float(token: str) -> float | None:
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def infer_kind(tokens: Sequence[str]) -> ColumnKind:
+    """Infer the column kind of a sequence of raw string tokens."""
+    saw_value = False
+    all_numbers = True
+    all_dates = True
+    for token in tokens:
+        if is_missing_token(token):
+            continue
+        saw_value = True
+        if _try_float(token) is None:
+            all_numbers = False
+        if date_to_ordinal(token) is None:
+            all_dates = False
+        if not all_numbers and not all_dates:
+            return ColumnKind.CATEGORICAL
+    if not saw_value:
+        return ColumnKind.CATEGORICAL
+    return ColumnKind.NUMERIC
+
+
+def column_from_tokens(
+    name: str, tokens: Sequence[str], kind: ColumnKind | None = None
+) -> Column:
+    """Build a typed column from raw string tokens.
+
+    ``kind`` forces the target type; ``None`` infers it.  Forcing NUMERIC on
+    unparseable tokens raises :class:`TypeInferenceError` naming the first
+    offending value, which makes CSV schema overrides fail loudly.  ISO
+    dates load as day ordinals (Section 3.1 treats dates as ordinals).
+    """
+    if kind is None:
+        kind = infer_kind(tokens)
+    if kind is ColumnKind.NUMERIC:
+        data = np.empty(len(tokens), dtype=np.float64)
+        for i, token in enumerate(tokens):
+            if is_missing_token(token):
+                data[i] = np.nan
+                continue
+            value = _try_float(token)
+            if value is None:
+                value = date_to_ordinal(token)
+            if value is None:
+                raise TypeInferenceError(
+                    f"column {name!r}: token {token!r} at row {i} is not numeric"
+                )
+            data[i] = value
+        return NumericColumn(name, data)
+    values = [None if is_missing_token(t) else t.strip() for t in tokens]
+    return CategoricalColumn.from_values(name, values)

@@ -1,0 +1,112 @@
+"""CSV ingestion and export for the columnar substrate.
+
+This is the loading path for the "real life databases" of Section 5.2:
+read a delimited file, infer one typed column per field, and hand back an
+immutable :class:`~repro.dataset.table.Table`.  Schema overrides let the
+caller force a column numeric or categorical when inference guesses wrong.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.infer import column_from_tokens
+from repro.dataset.table import Table
+from repro.dataset.types import ColumnKind
+from repro.errors import SchemaError
+
+
+def read_csv(
+    path: str | Path,
+    name: str | None = None,
+    delimiter: str = ",",
+    kinds: Mapping[str, ColumnKind] | None = None,
+) -> Table:
+    """Load a CSV file with a header row into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    name:
+        Relation name; defaults to the file stem.
+    delimiter:
+        Field separator.
+    kinds:
+        Optional per-column type overrides.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return read_csv_text(
+            handle.read(),
+            name=path.stem if name is None else name,
+            delimiter=delimiter,
+            kinds=kinds,
+        )
+
+
+def read_csv_text(
+    text: str,
+    name: str = "table",
+    delimiter: str = ",",
+    kinds: Mapping[str, ColumnKind] | None = None,
+) -> Table:
+    """Parse CSV from an in-memory string (header row required)."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise SchemaError("CSV input is empty (no header row)")
+    header = [field.strip() for field in rows[0]]
+    if len(set(header)) != len(header):
+        raise SchemaError(f"CSV header has duplicate column names: {header}")
+    body = rows[1:]
+    width = len(header)
+    for row_number, row in enumerate(body, start=2):
+        if len(row) != width:
+            raise SchemaError(
+                f"CSV row {row_number} has {len(row)} fields, expected {width}"
+            )
+    kinds = dict(kinds or {})
+    unknown = set(kinds) - set(header)
+    if unknown:
+        raise SchemaError(f"type overrides for unknown columns: {sorted(unknown)}")
+    columns = []
+    for index, column_name in enumerate(header):
+        tokens = [row[index] for row in body]
+        columns.append(
+            column_from_tokens(column_name, tokens, kinds.get(column_name))
+        )
+    return Table(columns, name=name)
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write a table to a CSV file with a header row.
+
+    Missing values are written as empty fields; numeric values that are
+    whole numbers are written without a trailing ``.0`` so round-trips
+    through :func:`read_csv` preserve integer-looking data.
+    """
+    path = Path(path)
+    materialized: list[list[str]] = []
+    for col in table.columns:
+        if isinstance(col, NumericColumn):
+            cells = [
+                ""
+                if value != value  # NaN check without importing numpy here
+                else (str(int(value)) if float(value).is_integer() else repr(value))
+                for value in col.data.tolist()
+            ]
+        elif isinstance(col, CategoricalColumn):
+            cells = ["" if label is None else label for label in col.decode()]
+        else:  # pragma: no cover - defensive; no other column kinds exist
+            raise SchemaError(f"cannot serialize column kind {col.kind}")
+        materialized.append(cells)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for row_index in range(table.n_rows):
+            writer.writerow([cells[row_index] for cells in materialized])

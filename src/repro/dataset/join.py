@@ -1,0 +1,149 @@
+"""Foreign-key join materialization (the Section-5.2 multi-table path).
+
+The paper's "naive way" to handle multi-table layouts is to materialize the
+join into one large temporary table; it also suggests working on subsets.
+Both are implemented here:
+
+* :func:`hash_join` — equi-join two tables on a key pair.
+* :func:`materialize_star` — follow a chain of foreign keys from a fact
+  table outward, producing the single wide table the mapping engine needs,
+  optionally on a row sample of the fact table (the paper's "work on
+  subsets only" mitigation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, Column, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import CatalogError
+
+
+@dataclasses.dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge: ``child.child_column`` references ``parent.parent_column``."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.child_table}.{self.child_column} -> "
+            f"{self.parent_table}.{self.parent_column}"
+        )
+
+
+def _key_values(table: Table, column_name: str) -> np.ndarray:
+    """Extract join-key values as a comparable numpy array."""
+    col = table.column(column_name)
+    if isinstance(col, NumericColumn):
+        return col.data
+    if isinstance(col, CategoricalColumn):
+        # Compare by label, not code: two tables encode independently.
+        labels = np.array(
+            [label if label is not None else "\0<missing>" for label in col.decode()],
+            dtype=object,
+        )
+        return labels
+    raise CatalogError(f"unsupported join key column {column_name!r}")
+
+
+def _parent_index(values: np.ndarray, table_name: str, column_name: str) -> dict:
+    index: dict = {}
+    for row, value in enumerate(values.tolist()):
+        if value in index:
+            raise CatalogError(
+                f"join key {table_name}.{column_name} is not unique "
+                f"(duplicate value {value!r})"
+            )
+        index[value] = row
+    return index
+
+
+def hash_join(
+    child: Table,
+    parent: Table,
+    child_column: str,
+    parent_column: str,
+    prefix_parent: bool = True,
+) -> Table:
+    """Equi-join ``child`` with ``parent`` on a key pair.
+
+    The parent key must be unique (a primary key).  Child rows with no
+    matching parent are dropped (inner join).  Parent columns are renamed
+    ``{parent.name}.{column}`` when ``prefix_parent`` is set, except the
+    join key itself which is omitted (it duplicates the child column).
+    """
+    child_keys = _key_values(child, child_column)
+    parent_keys = _key_values(parent, parent_column)
+    index = _parent_index(parent_keys, parent.name, parent_column)
+
+    parent_rows = np.empty(child.n_rows, dtype=np.int64)
+    keep = np.zeros(child.n_rows, dtype=bool)
+    for row, value in enumerate(child_keys.tolist()):
+        match = index.get(value)
+        if match is not None:
+            parent_rows[row] = match
+            keep[row] = True
+
+    kept_child = child.select(keep)
+    kept_parent_rows = parent_rows[keep]
+
+    columns: list[Column] = list(kept_child.columns)
+    taken_names = set(kept_child.column_names)
+    for col in parent.columns:
+        if col.name == parent_column:
+            continue
+        new_name = f"{parent.name}.{col.name}" if prefix_parent else col.name
+        if new_name in taken_names:
+            raise CatalogError(
+                f"join would duplicate column {new_name!r}; "
+                "set prefix_parent=True or rename the column"
+            )
+        taken_names.add(new_name)
+        columns.append(col.take(kept_parent_rows).rename(new_name))
+    return Table(columns, name=f"{child.name}_join_{parent.name}")
+
+
+def materialize_star(
+    fact: Table,
+    dimensions: list[tuple[Table, str, str]],
+    sample: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    keep_keys: bool = False,
+) -> Table:
+    """Materialize a star schema into one wide table.
+
+    Parameters
+    ----------
+    fact:
+        The central (fact) table.
+    dimensions:
+        List of ``(dimension_table, fact_fk_column, dimension_pk_column)``.
+    sample:
+        If given, join only a uniform sample of this many fact rows — the
+        paper's "work on subsets only" cost mitigation.
+    rng:
+        Randomness for the sample.
+    keep_keys:
+        By default the foreign-key columns used for joining are projected
+        out of the result: once the dimension attributes are in place the
+        FK is pure navigation, and Section 5.2 warns that undetected key
+        columns lead to "very long and useless computations".  Pass True
+        to keep them.
+    """
+    base = fact if sample is None else fact.sample(sample, rng=rng)
+    wide = base
+    used_keys: list[str] = []
+    for dim_table, fk_column, pk_column in dimensions:
+        wide = hash_join(wide, dim_table, fk_column, pk_column)
+        used_keys.append(fk_column)
+    if not keep_keys:
+        kept = [n for n in wide.column_names if n not in used_keys]
+        wide = wide.project(kept)
+    return wide.rename(f"{fact.name}_star")

@@ -1,0 +1,108 @@
+"""Per-column summaries and the Section-5.2 cardinality guard report.
+
+``summarize`` produces the numbers a data explorer sees before mapping
+starts (and that the Atlas engine uses to pick candidate attributes);
+``profile_table`` applies the role classification to a whole table and
+explains *why* each excluded column was excluded — the paper notes that a
+failure to detect key/text columns "could lead to very long and useless
+computations".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dataset.column import CategoricalColumn, Column, NumericColumn
+from repro.dataset.table import Table
+from repro.dataset.types import ColumnKind, ColumnRole
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnSummary:
+    """Summary statistics of one column."""
+
+    name: str
+    kind: ColumnKind
+    role: ColumnRole
+    n_rows: int
+    n_missing: int
+    distinct: int
+    minimum: float | None = None
+    maximum: float | None = None
+    mean: float | None = None
+    median: float | None = None
+    std: float | None = None
+    top_values: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def missing_ratio(self) -> float:
+        """Fraction of rows that are missing."""
+        return self.n_missing / self.n_rows if self.n_rows else 0.0
+
+
+def summarize(column: Column) -> ColumnSummary:
+    """Compute a :class:`ColumnSummary` for one column."""
+    base = {
+        "name": column.name,
+        "kind": column.kind,
+        "role": column.role(),
+        "n_rows": len(column),
+        "n_missing": column.missing_count(),
+        "distinct": column.distinct_count(),
+    }
+    if isinstance(column, NumericColumn):
+        if base["n_rows"] - base["n_missing"] > 0:
+            return ColumnSummary(
+                **base,
+                minimum=column.min(),
+                maximum=column.max(),
+                mean=column.mean(),
+                median=column.median(),
+                std=column.std(),
+            )
+        return ColumnSummary(**base)
+    if isinstance(column, CategoricalColumn):
+        counts = sorted(
+            column.value_counts().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ColumnSummary(**base, top_values=tuple(counts[:10]))
+    return ColumnSummary(**base)  # pragma: no cover - no other kinds exist
+
+
+@dataclasses.dataclass(frozen=True)
+class TableProfile:
+    """Role classification of every column in a table."""
+
+    table_name: str
+    summaries: tuple[ColumnSummary, ...]
+
+    @property
+    def dimensions(self) -> tuple[str, ...]:
+        """Columns eligible for map generation."""
+        return tuple(
+            s.name for s in self.summaries if s.role is ColumnRole.DIMENSION
+        )
+
+    @property
+    def excluded(self) -> dict[str, str]:
+        """Mapping excluded column -> human-readable reason."""
+        reasons: dict[str, str] = {}
+        for s in self.summaries:
+            if s.role is ColumnRole.KEY:
+                reasons[s.name] = (
+                    f"looks like a key: {s.distinct} distinct values "
+                    f"over {s.n_rows - s.n_missing} rows"
+                )
+            elif s.role is ColumnRole.TEXT:
+                reasons[s.name] = (
+                    f"looks like free text: {s.distinct} distinct labels"
+                )
+        return reasons
+
+
+def profile_table(table: Table) -> TableProfile:
+    """Summarize and role-classify every column of ``table``."""
+    return TableProfile(
+        table_name=table.name,
+        summaries=tuple(summarize(col) for col in table.columns),
+    )

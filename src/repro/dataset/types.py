@@ -1,0 +1,56 @@
+"""Column type system for the columnar dataset substrate.
+
+Atlas (the paper's system) runs on MonetDB and distinguishes only the data
+shapes its CUT primitive cares about: *ordinal* attributes (numbers, dates)
+that can be range-split, and *categorical* attributes (labels) that are
+split by grouping values.  Section 5.2 of the paper additionally warns about
+columns with "very large cardinality and/or no semantics (codes, names,
+comments or keys)" which must be detected and excluded from mapping.
+
+This module defines the :class:`ColumnKind` enum and the :class:`ColumnRole`
+classification used by that cardinality guard.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ColumnKind(enum.Enum):
+    """Physical kind of a column.
+
+    NUMERIC columns store float64 values (integers, floats, dates coerced to
+    ordinals) and support range predicates.  CATEGORICAL columns store
+    dictionary-encoded labels and support set predicates.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ColumnRole(enum.Enum):
+    """Semantic role of a column, used by the Section-5.2 cardinality guard.
+
+    DIMENSION columns are eligible for CUT and map generation.  KEY columns
+    look like identifiers (unique or near-unique values).  TEXT columns are
+    high-cardinality labels (names, comments, codes).  KEY and TEXT columns
+    are excluded from candidate-map generation to avoid the "very long and
+    useless computations" the paper warns about.
+    """
+
+    DIMENSION = "dimension"
+    KEY = "key"
+    TEXT = "text"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Fraction of distinct values above which a column is considered key-like.
+KEY_DISTINCT_RATIO = 0.95
+
+#: Absolute distinct-count above which a categorical column is text-like.
+TEXT_CARDINALITY_LIMIT = 1000

@@ -1,0 +1,102 @@
+"""AST nodes for the restricted SQL dialect (paper Section 4).
+
+The dialect covers what the Atlas engine needs from a remote DBMS:
+selection with conjunctive WHERE clauses (the "Charles" restriction),
+COUNT/MIN/MAX/AVG/SUM aggregation for covers and column statistics, and
+GROUP BY for the histogram pushdown of Section 5.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` with op in =, <>, <, <=, >, >=."""
+
+    column: str
+    operator: str
+    value: float | str
+
+
+@dataclasses.dataclass(frozen=True)
+class Between:
+    """``column BETWEEN low AND high`` (closed on both sides)."""
+
+    column: str
+    low: float
+    high: float
+
+
+@dataclasses.dataclass(frozen=True)
+class InList:
+    """``column IN ('a', 'b', ...)``."""
+
+    column: str
+    values: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class IsNull:
+    """``column IS [NOT] NULL``."""
+
+    column: str
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class BooleanLiteral:
+    """``TRUE`` or ``FALSE`` (the emitter uses TRUE for any-predicates)."""
+
+    value: bool
+
+
+#: A WHERE clause is a conjunction of these atoms.
+Condition = Comparison | Between | InList | IsNull | BooleanLiteral
+
+
+@dataclasses.dataclass(frozen=True)
+class Aggregate:
+    """``FUNC(column)`` or ``COUNT(*)`` in the select list."""
+
+    function: str  # COUNT, MIN, MAX, AVG, SUM
+    column: str | None  # None = * (COUNT only)
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """Result column name."""
+        if self.alias:
+            return self.alias
+        target = "*" if self.column is None else self.column
+        return f"{self.function.lower()}({target})"
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectStatement:
+    """One parsed SELECT statement.
+
+    ``columns`` is None for ``SELECT *``; ``aggregates`` is non-empty
+    for aggregate queries (mutually exclusive with plain columns unless
+    grouping).
+    """
+
+    table: str
+    columns: tuple[str, ...] | None
+    aggregates: tuple[Aggregate, ...]
+    where: tuple[Condition, ...]
+    group_by: tuple[str, ...]
+    limit: int | None
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for aggregate (possibly grouped) queries."""
+        return bool(self.aggregates)
+
+
+def conjunction_of(conditions: Sequence[Condition]) -> tuple[Condition, ...]:
+    """Normalize a condition list (drops redundant TRUE literals)."""
+    kept = [c for c in conditions if not isinstance(c, BooleanLiteral) or not c.value]
+    return tuple(kept)

@@ -1,0 +1,106 @@
+"""Connections: the driver abstraction of the Section-4 architecture.
+
+The paper's prototype talks to MonetDB over its native MAPI driver and
+notes a generic version would go through ODBC/JDBC with plain SQL.  Both
+shapes exist here:
+
+* :class:`NativeConnection` — the MAPI analogue: hands typed tables to
+  the engine directly (what :class:`~repro.core.atlas.Atlas` uses).
+* :class:`SqlConnection` — the ODBC/JDBC analogue: accepts only SQL
+  text, parses and executes it against the registered tables, and keeps
+  a statement log so tests can assert exactly what would cross the wire.
+
+``SqlConnection.run_query`` executes the output of
+:func:`repro.query.sql.query_to_sql`, closing the loop: every
+conjunctive query the engine builds is executable through the generic
+path, and :mod:`tests.db.test_equivalence` proves both paths agree.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.dataset.table import Table
+from repro.db.executor import execute
+from repro.db.parser import parse_sql
+from repro.errors import QueryError
+from repro.query.query import ConjunctiveQuery
+from repro.query.sql import count_to_sql, query_to_sql
+
+
+class Connection(abc.ABC):
+    """A handle on a database the explorer can read."""
+
+    @abc.abstractmethod
+    def table_names(self) -> tuple[str, ...]:
+        """Names of the visible relations."""
+
+    @abc.abstractmethod
+    def fetch(self, table_name: str) -> Table:
+        """Materialize one relation."""
+
+
+class NativeConnection(Connection):
+    """Direct, typed access (the MAPI analogue)."""
+
+    def __init__(self, tables: dict[str, Table] | None = None):
+        self._tables = dict(tables or {})
+
+    def register(self, table: Table) -> None:
+        """Expose a table through the connection."""
+        self._tables[table.name] = table
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def fetch(self, table_name: str) -> Table:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise QueryError(f"unknown table {table_name!r}") from None
+
+
+class SqlConnection(Connection):
+    """SQL-text-only access (the ODBC/JDBC analogue).
+
+    Every call goes through :func:`repro.db.parser.parse_sql` and the
+    executor — nothing bypasses the SQL surface, which is exactly the
+    genericity constraint Section 4 describes.
+    """
+
+    def __init__(self, tables: dict[str, Table] | None = None):
+        self._tables = dict(tables or {})
+        self._log: list[str] = []
+
+    def register(self, table: Table) -> None:
+        """Expose a table through the connection."""
+        self._tables[table.name] = table
+
+    @property
+    def statement_log(self) -> tuple[str, ...]:
+        """Every SQL statement executed, in order."""
+        return tuple(self._log)
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def fetch(self, table_name: str) -> Table:
+        return self.query(f'SELECT * FROM "{_escape(table_name)}"')
+
+    def query(self, sql: str) -> Table:
+        """Execute raw SQL text."""
+        self._log.append(sql)
+        return execute(parse_sql(sql), self._tables)
+
+    def run_query(self, query: ConjunctiveQuery, table_name: str) -> Table:
+        """Execute a conjunctive query through the SQL surface."""
+        return self.query(query_to_sql(query, table_name))
+
+    def count(self, query: ConjunctiveQuery, table_name: str) -> int:
+        """COUNT(*) of a conjunctive query through the SQL surface."""
+        result = self.query(count_to_sql(query, table_name))
+        return int(result.numeric("count(*)").data[0])
+
+
+def _escape(identifier: str) -> str:
+    return identifier.replace('"', '""')

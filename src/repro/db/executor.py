@@ -1,0 +1,205 @@
+"""Executor: run parsed SQL against the columnar substrate.
+
+Semantics follow SQL three-valued logic collapsed to "unknown is false":
+comparisons, BETWEEN, and IN never match missing values; ``IS NULL``
+selects them explicitly.  Aggregates skip missing values except
+``COUNT(*)``, which counts rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, Column, NumericColumn
+from repro.dataset.table import Table
+from repro.db.ast import (
+    Aggregate,
+    Between,
+    BooleanLiteral,
+    Comparison,
+    Condition,
+    InList,
+    IsNull,
+    SelectStatement,
+)
+from repro.db.tokens import SqlSyntaxError
+from repro.errors import QueryError
+
+
+class SqlExecutionError(QueryError):
+    """The statement is well-formed but cannot run on this data."""
+
+
+def execute(statement: SelectStatement, tables: dict[str, Table]) -> Table:
+    """Execute a parsed SELECT over a name -> table mapping."""
+    table = tables.get(statement.table)
+    if table is None:
+        raise SqlExecutionError(
+            f"unknown table {statement.table!r}; "
+            f"known: {', '.join(sorted(tables)) or '(none)'}"
+        )
+
+    mask = _where_mask(statement.where, table)
+    selected = table.select(mask)
+
+    if statement.is_aggregate:
+        result = _aggregate(statement, selected)
+    else:
+        if statement.columns is not None:
+            selected = selected.project(statement.columns)
+        result = selected
+
+    if statement.limit is not None:
+        result = result.take(
+            np.arange(min(statement.limit, result.n_rows))
+        )
+    return result
+
+
+def _where_mask(conditions: tuple[Condition, ...], table: Table) -> np.ndarray:
+    mask = np.ones(table.n_rows, dtype=bool)
+    for condition in conditions:
+        mask &= _condition_mask(condition, table)
+    return mask
+
+
+def _condition_mask(condition: Condition, table: Table) -> np.ndarray:
+    if isinstance(condition, BooleanLiteral):
+        return np.full(table.n_rows, condition.value, dtype=bool)
+    if isinstance(condition, IsNull):
+        missing = table.column(condition.column).missing_mask()
+        return ~missing if condition.negated else missing
+    if isinstance(condition, Between):
+        data = table.numeric(condition.column).data
+        result = (data >= condition.low) & (data <= condition.high)
+        result[np.isnan(data)] = False
+        return result
+    if isinstance(condition, InList):
+        column = table.categorical(condition.column)
+        wanted = {
+            code
+            for code, cat in enumerate(column.categories)
+            if cat in set(condition.values)
+        }
+        if not wanted:
+            return np.zeros(table.n_rows, dtype=bool)
+        return np.isin(column.codes, np.fromiter(wanted, dtype=np.int32))
+    if isinstance(condition, Comparison):
+        return _comparison_mask(condition, table)
+    raise SqlExecutionError(f"unsupported condition {condition!r}")
+
+
+def _comparison_mask(condition: Comparison, table: Table) -> np.ndarray:
+    column = table.column(condition.column)
+    operator = condition.operator
+    if isinstance(column, NumericColumn):
+        if not isinstance(condition.value, float):
+            raise SqlExecutionError(
+                f"numeric column {condition.column!r} compared to a string"
+            )
+        data = column.data
+        result = _apply_operator(data, condition.value, operator)
+        result[np.isnan(data)] = False
+        return result
+    if isinstance(column, CategoricalColumn):
+        if operator not in ("=", "<>"):
+            raise SqlExecutionError(
+                f"operator {operator} not supported on categorical "
+                f"column {condition.column!r}"
+            )
+        value = str(condition.value)
+        try:
+            code = column.categories.index(value)
+        except ValueError:
+            code = -2  # matches nothing, including missing
+        hits = column.codes == code
+        if operator == "=":
+            return hits
+        return ~hits & (column.codes >= 0)
+    raise SqlExecutionError(f"unsupported column kind for {condition.column!r}")
+
+
+def _apply_operator(data: np.ndarray, value: float, operator: str) -> np.ndarray:
+    if operator == "=":
+        return data == value
+    if operator == "<>":
+        return data != value
+    if operator == "<":
+        return data < value
+    if operator == "<=":
+        return data <= value
+    if operator == ">":
+        return data > value
+    if operator == ">=":
+        return data >= value
+    raise SqlExecutionError(f"unknown operator {operator!r}")
+
+
+def _aggregate(statement: SelectStatement, selected: Table) -> Table:
+    if statement.group_by:
+        return _grouped_aggregate(statement, selected)
+    values = {
+        aggregate.output_name: [_evaluate_aggregate(aggregate, selected)]
+        for aggregate in statement.aggregates
+    }
+    return Table.from_dict(values, name=f"{statement.table}_agg")
+
+
+def _grouped_aggregate(statement: SelectStatement, selected: Table) -> Table:
+    group_columns = [selected.column(name) for name in statement.group_by]
+    group_keys = _group_keys(group_columns)
+    unique_keys, inverse = np.unique(group_keys, return_inverse=True)
+
+    data: dict[str, list] = {name: [] for name in statement.group_by}
+    for aggregate in statement.aggregates:
+        data[aggregate.output_name] = []
+    for group_index in range(unique_keys.size):
+        rows = np.nonzero(inverse == group_index)[0]
+        group_table = selected.take(rows)
+        for name in statement.group_by:
+            column = group_table.column(name)
+            if isinstance(column, CategoricalColumn):
+                data[name].append(column.decode()[0])
+            else:
+                data[name].append(float(column.data[0]))
+        for aggregate in statement.aggregates:
+            data[aggregate.output_name].append(
+                _evaluate_aggregate(aggregate, group_table)
+            )
+    return Table.from_dict(data, name=f"{statement.table}_agg")
+
+
+def _group_keys(columns: list[Column]) -> np.ndarray:
+    parts = []
+    for column in columns:
+        if isinstance(column, CategoricalColumn):
+            parts.append(column.codes.astype("U16"))
+        elif isinstance(column, NumericColumn):
+            parts.append(column.data.astype("U32"))
+        else:  # pragma: no cover - no other kinds exist
+            raise SqlExecutionError("cannot group on this column kind")
+    keys = parts[0]
+    for part in parts[1:]:
+        keys = np.char.add(np.char.add(keys, "\x1f"), part)
+    return keys
+
+
+def _evaluate_aggregate(aggregate: Aggregate, table: Table) -> float:
+    if aggregate.function == "COUNT":
+        if aggregate.column is None:
+            return float(table.n_rows)
+        column = table.column(aggregate.column)
+        return float(len(column) - column.missing_count())
+    column = table.numeric(aggregate.column)
+    valid = column.data[~np.isnan(column.data)]
+    if valid.size == 0:
+        return float("nan")
+    if aggregate.function == "MIN":
+        return float(valid.min())
+    if aggregate.function == "MAX":
+        return float(valid.max())
+    if aggregate.function == "AVG":
+        return float(valid.mean())
+    if aggregate.function == "SUM":
+        return float(valid.sum())
+    raise SqlExecutionError(f"unknown aggregate {aggregate.function!r}")

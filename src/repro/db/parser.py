@@ -1,0 +1,216 @@
+"""Recursive-descent parser for the restricted SQL dialect.
+
+Grammar (conjunctive WHERE only — the "Charles" restriction of
+Section 4; OR/NOT are recognized by the tokenizer but rejected here
+with a clear message)::
+
+    select    := SELECT select_list FROM identifier
+                 [WHERE condition (AND condition)*]
+                 [GROUP BY identifier (, identifier)*]
+                 [LIMIT number]
+    select_list := '*' | item (, item)*
+    item      := identifier | aggregate [AS identifier]
+    aggregate := COUNT ( '*' | identifier ) | (MIN|MAX|AVG|SUM) ( identifier )
+    condition := TRUE | FALSE
+               | identifier IS [NOT] NULL
+               | identifier op literal
+               | identifier BETWEEN number AND number
+               | identifier IN ( literal (, literal)* )
+"""
+
+from __future__ import annotations
+
+from repro.db.ast import (
+    Aggregate,
+    Between,
+    BooleanLiteral,
+    Comparison,
+    Condition,
+    InList,
+    IsNull,
+    SelectStatement,
+    conjunction_of,
+)
+from repro.db.tokens import SqlSyntaxError, Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = ("COUNT", "MIN", "MAX", "AVG", "SUM")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # Cursor helpers
+    # ------------------------------------------------------------------ #
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(token_type, value):
+            wanted = value or token_type.value
+            raise SqlSyntaxError(
+                f"expected {wanted} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self._peek().matches(token_type, value):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Grammar
+    # ------------------------------------------------------------------ #
+
+    def parse_select(self) -> SelectStatement:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        columns, aggregates = self._select_list()
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._expect(TokenType.IDENTIFIER).value
+
+        where: tuple[Condition, ...] = ()
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._conjunction()
+
+        group_by: tuple[str, ...] = ()
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by = self._identifier_list()
+
+        limit: int | None = None
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            token = self._expect(TokenType.NUMBER)
+            limit = int(float(token.value))
+
+        self._expect(TokenType.END)
+
+        if group_by and not aggregates:
+            raise SqlSyntaxError("GROUP BY requires aggregate select items")
+        return SelectStatement(
+            table=table,
+            columns=columns,
+            aggregates=tuple(aggregates),
+            where=conjunction_of(where),
+            group_by=group_by,
+            limit=limit,
+        )
+
+    def _select_list(self) -> tuple[tuple[str, ...] | None, list[Aggregate]]:
+        if self._accept(TokenType.STAR):
+            return None, []
+        columns: list[str] = []
+        aggregates: list[Aggregate] = []
+        while True:
+            token = self._peek()
+            if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
+                aggregates.append(self._aggregate())
+            elif token.type is TokenType.IDENTIFIER:
+                columns.append(self._advance().value)
+            else:
+                raise SqlSyntaxError(
+                    f"expected a column or aggregate at position {token.position}"
+                )
+            if not self._accept(TokenType.PUNCTUATION, ","):
+                break
+        return (tuple(columns) if columns else None), aggregates
+
+    def _aggregate(self) -> Aggregate:
+        function = self._advance().value
+        self._expect(TokenType.PUNCTUATION, "(")
+        if self._accept(TokenType.STAR):
+            if function != "COUNT":
+                raise SqlSyntaxError(f"{function}(*) is not valid SQL")
+            column = None
+        else:
+            column = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.PUNCTUATION, ")")
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        return Aggregate(function=function, column=column, alias=alias)
+
+    def _identifier_list(self) -> tuple[str, ...]:
+        names = [self._expect(TokenType.IDENTIFIER).value]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            names.append(self._expect(TokenType.IDENTIFIER).value)
+        return tuple(names)
+
+    def _conjunction(self) -> tuple[Condition, ...]:
+        conditions = [self._condition()]
+        while True:
+            token = self._peek()
+            if token.matches(TokenType.KEYWORD, "AND"):
+                self._advance()
+                conditions.append(self._condition())
+                continue
+            if token.matches(TokenType.KEYWORD, "OR") or token.matches(
+                TokenType.KEYWORD, "NOT"
+            ):
+                raise SqlSyntaxError(
+                    "only conjunctive WHERE clauses are supported "
+                    "(the paper's 'Charles' restriction)"
+                )
+            break
+        return tuple(conditions)
+
+    def _condition(self) -> Condition:
+        token = self._peek()
+        if token.matches(TokenType.KEYWORD, "TRUE"):
+            self._advance()
+            return BooleanLiteral(True)
+        if token.matches(TokenType.KEYWORD, "FALSE"):
+            self._advance()
+            return BooleanLiteral(False)
+        column = self._expect(TokenType.IDENTIFIER).value
+
+        if self._accept(TokenType.KEYWORD, "IS"):
+            negated = self._accept(TokenType.KEYWORD, "NOT")
+            self._expect(TokenType.KEYWORD, "NULL")
+            return IsNull(column=column, negated=negated)
+
+        if self._accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._number()
+            self._expect(TokenType.KEYWORD, "AND")
+            high = self._number()
+            return Between(column=column, low=low, high=high)
+
+        if self._accept(TokenType.KEYWORD, "IN"):
+            self._expect(TokenType.PUNCTUATION, "(")
+            values = [self._string()]
+            while self._accept(TokenType.PUNCTUATION, ","):
+                values.append(self._string())
+            self._expect(TokenType.PUNCTUATION, ")")
+            return InList(column=column, values=tuple(values))
+
+        operator_token = self._expect(TokenType.OPERATOR)
+        operator = "<>" if operator_token.value == "!=" else operator_token.value
+        value_token = self._peek()
+        if value_token.type is TokenType.NUMBER:
+            return Comparison(column, operator, self._number())
+        if value_token.type is TokenType.STRING:
+            return Comparison(column, operator, self._string())
+        raise SqlSyntaxError(
+            f"expected a literal at position {value_token.position}"
+        )
+
+    def _number(self) -> float:
+        return float(self._expect(TokenType.NUMBER).value)
+
+    def _string(self) -> str:
+        return self._expect(TokenType.STRING).value
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(text)).parse_select()

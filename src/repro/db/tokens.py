@@ -1,0 +1,190 @@
+"""SQL tokenizer for the generic DBMS access layer (paper Section 4).
+
+The paper notes a generic Atlas must talk to any DBMS through "standard
+APIs such as ODBC or JDBC... only SQL may be used".  This package makes
+that path executable offline: the SQL text produced by
+:mod:`repro.query.sql` is tokenized here, parsed in
+:mod:`repro.db.parser`, and executed against the columnar substrate in
+:mod:`repro.db.executor`.
+
+The tokenizer covers exactly the dialect the emitter produces plus the
+small extensions the tests exercise: keywords, bare and double-quoted
+identifiers, single-quoted string literals (with ``''`` escapes),
+numbers, comparison operators, parentheses, commas, and ``*``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import QueryError
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    STAR = "star"
+    END = "end"
+
+
+#: Words recognized as keywords (uppercased during tokenization).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN",
+        "GROUP", "BY", "ORDER", "LIMIT", "COUNT", "MIN", "MAX", "AVG",
+        "SUM", "AS", "TRUE", "FALSE", "ASC", "DESC", "IS", "NULL",
+    }
+)
+
+_OPERATORS = ("<>", "<=", ">=", "=", "<", ">", "!=")
+_PUNCTUATION = "(),"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """True when the type (and, if given, the value) match."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", index))
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, index))
+            index += 1
+            continue
+        operator = _match_operator(text, index)
+        if operator:
+            tokens.append(Token(TokenType.OPERATOR, operator, index))
+            index += len(operator)
+            continue
+        if char == "'":
+            literal, index = _read_string(text, index)
+            tokens.append(Token(TokenType.STRING, literal, index))
+            continue
+        if char == '"':
+            identifier, index = _read_quoted_identifier(text, index)
+            tokens.append(Token(TokenType.IDENTIFIER, identifier, index))
+            continue
+        if char.isdigit() or (
+            char in "+-." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            number, index = _read_number(text, index)
+            tokens.append(Token(TokenType.NUMBER, number, index))
+            continue
+        if char.isalpha() or char == "_":
+            word, index = _read_word(text, index)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _match_operator(text: str, index: int) -> str | None:
+    for operator in _OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None
+
+
+def _read_string(text: str, index: int) -> tuple[str, int]:
+    # index points at the opening quote
+    out: list[str] = []
+    cursor = index + 1
+    while cursor < len(text):
+        char = text[cursor]
+        if char == "'":
+            if cursor + 1 < len(text) and text[cursor + 1] == "'":
+                out.append("'")
+                cursor += 2
+                continue
+            return "".join(out), cursor + 1
+        out.append(char)
+        cursor += 1
+    raise SqlSyntaxError(f"unterminated string literal starting at {index}")
+
+
+def _read_quoted_identifier(text: str, index: int) -> tuple[str, int]:
+    out: list[str] = []
+    cursor = index + 1
+    while cursor < len(text):
+        char = text[cursor]
+        if char == '"':
+            if cursor + 1 < len(text) and text[cursor + 1] == '"':
+                out.append('"')
+                cursor += 2
+                continue
+            return "".join(out), cursor + 1
+        out.append(char)
+        cursor += 1
+    raise SqlSyntaxError(f"unterminated identifier starting at {index}")
+
+
+def _read_number(text: str, index: int) -> tuple[str, int]:
+    cursor = index
+    if text[cursor] in "+-":
+        cursor += 1
+    seen_dot = False
+    seen_exp = False
+    while cursor < len(text):
+        char = text[cursor]
+        if char.isdigit():
+            cursor += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            cursor += 1
+        elif char in "eE" and not seen_exp and cursor + 1 < len(text):
+            nxt = text[cursor + 1]
+            if nxt.isdigit() or nxt in "+-":
+                seen_exp = True
+                cursor += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    return text[index:cursor], cursor
+
+
+def _read_word(text: str, index: int) -> tuple[str, int]:
+    cursor = index
+    while cursor < len(text) and (
+        text[cursor].isalnum() or text[cursor] in "_."
+    ):
+        cursor += 1
+    return text[index:cursor], cursor

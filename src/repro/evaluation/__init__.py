@@ -1,0 +1,38 @@
+"""Experiment harness: metrics, timing/table utilities, shared workloads."""
+
+from repro.evaluation.harness import ResultTable, Timer
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    attribute_recall,
+    best_map_purity,
+    best_map_recovery,
+    map_purity,
+    map_recovery,
+    purity,
+    region_balance,
+    split_sse,
+)
+from repro.evaluation.workloads import (
+    FIGURE2_QUERY_TEXT,
+    figure2_query,
+    figure3_query,
+    random_query,
+)
+
+__all__ = [
+    "FIGURE2_QUERY_TEXT",
+    "ResultTable",
+    "Timer",
+    "adjusted_rand_index",
+    "attribute_recall",
+    "best_map_purity",
+    "best_map_recovery",
+    "figure2_query",
+    "figure3_query",
+    "map_purity",
+    "map_recovery",
+    "purity",
+    "random_query",
+    "region_balance",
+    "split_sse",
+]

@@ -1,0 +1,91 @@
+"""Experiment harness utilities: timing and result-table rendering.
+
+Every benchmark prints its findings as a fixed-width text table (the
+reproduction's analogue of the paper's figures); :class:`ResultTable`
+renders those consistently and keeps the printing code out of the
+benchmark logic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class ResultTable:
+    """Fixed-width text table with typed cells.
+
+    >>> t = ResultTable(["n", "latency"], title="demo")
+    >>> t.add_row([1000, 0.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self._columns = [str(c) for c in columns]
+        self._rows: list[list[str]] = []
+        self._title = title
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append one row; cells are formatted on the way in."""
+        if len(cells) != len(self._columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self._columns)}"
+            )
+        self._rows.append([_format_cell(c) for c in cells])
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The table as a fixed-width string."""
+        widths = [
+            max(len(self._columns[i]), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(self._columns[i])
+            for i in range(len(self._columns))
+        ]
+        header = " | ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self._columns)
+        )
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self._title:
+            lines.append(f"== {self._title} ==")
+        lines.append(header)
+        lines.append(rule)
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout (benchmarks call this once per experiment)."""
+        print()
+        print(self.render())
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,75 @@
+"""Experiment report aggregator.
+
+``python -m repro.evaluation.report [results_dir]`` prints every saved
+experiment table from ``benchmarks/results/`` in a stable order — the
+quick way to review a full benchmark run without scrolling pytest
+output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+#: Display order: figures first, then claims by number.
+PREFERRED_ORDER = (
+    "fig2_census",
+    "fig3_cut",
+    "fig4_clustering",
+    "fig5_merge",
+    "latency_vs_rows",
+    "latency_vs_attributes",
+    "latency_sampling",
+    "convenience",
+    "cut_strategies",
+    "anytime_convergence",
+    "vs_baselines",
+    "ranking",
+    "sketch_cut",
+    "merge_strategies",
+    "multitable",
+    "linkage",
+    "threshold_sweep",
+    "splits_tradeoff",
+    "robustness",
+    "sql_pushdown",
+)
+
+
+def collect_reports(results_dir: Path) -> list[tuple[str, str]]:
+    """(name, content) pairs for every saved report, display-ordered."""
+    if not results_dir.is_dir():
+        return []
+    available = {path.stem: path for path in results_dir.glob("*.txt")}
+    ordered: list[tuple[str, str]] = []
+    for name in PREFERRED_ORDER:
+        if name in available:
+            ordered.append((name, available.pop(name).read_text().rstrip()))
+    for name in sorted(available):
+        ordered.append((name, available[name].read_text().rstrip()))
+    return ordered
+
+
+def render_all(results_dir: Path) -> str:
+    """All reports concatenated, or a hint when none exist."""
+    reports = collect_reports(results_dir)
+    if not reports:
+        return (
+            f"no experiment reports under {results_dir} — run\n"
+            "  pytest benchmarks/ --benchmark-only\n"
+            "to generate them."
+        )
+    return "\n\n".join(content for __, content in reports)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point."""
+    argv = sys.argv[1:] if argv is None else argv
+    default = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    results_dir = Path(argv[0]) if argv else default
+    print(render_all(results_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

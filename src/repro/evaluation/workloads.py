@@ -1,0 +1,93 @@
+"""Standard workloads shared by tests, examples, and benchmarks.
+
+Centralizing the queries keeps every experiment pinned to the exact
+scenario DESIGN.md describes (e.g. the Figure-2 user query verbatim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.query.parser import parse_query
+from repro.query.predicate import (
+    AnyPredicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+#: The introductory user query of Section 1, verbatim.
+FIGURE2_QUERY_TEXT = """
+Sex: any
+Salary: any
+Age: [17, 90]
+Eye color: {'Blue', 'Green', 'Brown'}
+Education: {'BSc', 'MSc'}
+"""
+
+
+def figure2_query() -> ConjunctiveQuery:
+    """The paper's introductory survey query."""
+    return parse_query(FIGURE2_QUERY_TEXT)
+
+
+def figure3_query() -> ConjunctiveQuery:
+    """The Figure-3 query: ``Age: [20, 90] ∧ Sex: {'M', 'F'}``."""
+    return ConjunctiveQuery(
+        [
+            RangePredicate("Age", 20, 90),
+            SetPredicate("Sex", ["M", "F"]),
+        ]
+    )
+
+
+def random_query(
+    table: Table,
+    rng: np.random.Generator | int | None = None,
+    max_attributes: int = 4,
+) -> ConjunctiveQuery:
+    """A random conjunctive query over a table (for stress workloads, E2).
+
+    Picks 1..max_attributes dimension columns; numeric attributes get a
+    random sub-range covering 30–100% of the observed span, categorical
+    attributes get a random non-empty label subset (or ``any``).
+    """
+    from repro.dataset.column import CategoricalColumn, NumericColumn
+    from repro.dataset.types import ColumnRole
+
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    dimensions = [
+        c for c in table.columns if c.role() is ColumnRole.DIMENSION
+    ]
+    if not dimensions:
+        return ConjunctiveQuery()
+    count = int(rng.integers(1, min(max_attributes, len(dimensions)) + 1))
+    chosen = rng.choice(len(dimensions), size=count, replace=False)
+
+    predicates = []
+    for index in chosen:
+        column = dimensions[int(index)]
+        if isinstance(column, NumericColumn):
+            low, high = column.min(), column.max()
+            if not (low < high):
+                predicates.append(AnyPredicate(column.name))
+                continue
+            span = high - low
+            width = span * float(rng.uniform(0.3, 1.0))
+            start = low + float(rng.uniform(0.0, span - width)) if span > width else low
+            predicates.append(
+                RangePredicate(column.name, start, start + width)
+            )
+        elif isinstance(column, CategoricalColumn):
+            categories = list(column.categories)
+            if len(categories) < 2 or rng.random() < 0.3:
+                predicates.append(AnyPredicate(column.name))
+                continue
+            size = int(rng.integers(1, len(categories) + 1))
+            picked = rng.choice(len(categories), size=size, replace=False)
+            predicates.append(
+                SetPredicate(column.name, [categories[int(i)] for i in picked])
+            )
+    return ConjunctiveQuery(predicates)

@@ -1,0 +1,24 @@
+"""Text front-end: ASCII map rendering and the scriptable exploration REPL."""
+
+from repro.frontend.heatmap import render_heatmap
+from repro.frontend.render import (
+    cover_bar,
+    render_breadcrumb,
+    render_examples,
+    render_map,
+    render_map_set,
+    render_profile,
+)
+from repro.frontend.repl import ExplorerRepl, run_script
+
+__all__ = [
+    "ExplorerRepl",
+    "cover_bar",
+    "render_breadcrumb",
+    "render_examples",
+    "render_heatmap",
+    "render_map",
+    "render_map_set",
+    "render_profile",
+    "run_script",
+]

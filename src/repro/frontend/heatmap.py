@@ -1,0 +1,130 @@
+"""2-D ASCII heat maps: the terminal analogue of the Figure-6 map view.
+
+The Atlas GUI displays a map as shaded 2-D regions.  In a terminal the
+same information renders as a character density plot — one cell per
+(x-bin, y-bin), shaded by tuple count — with the map's cut lines drawn
+through the grid so the user sees *where* the regions split the cloud.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.datamap import DataMap
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.predicate import RangePredicate
+
+#: Density ramp from empty to dense.
+SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    table: Table,
+    attr_x: str,
+    attr_y: str,
+    data_map: DataMap | None = None,
+    width: int = 60,
+    height: int = 20,
+) -> str:
+    """Render a density plot of two numeric attributes.
+
+    When ``data_map`` is given, the finite range boundaries its regions
+    place on ``attr_x`` / ``attr_y`` are drawn as ``|`` columns and
+    ``-`` rows (crossings as ``+``), visualizing the map's partition.
+    """
+    if width < 4 or height < 2:
+        raise MapError("heat map needs width >= 4 and height >= 2")
+    x = table.numeric(attr_x).data
+    y = table.numeric(attr_y).data
+    keep = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[keep], y[keep]
+    if x.size == 0:
+        raise MapError("no complete (x, y) pairs to plot")
+    x_low, x_high = float(x.min()), float(x.max())
+    y_low, y_high = float(y.min()), float(y.max())
+    if x_low == x_high or y_low == y_high:
+        raise MapError("degenerate axis: constant attribute")
+
+    cols = np.clip(
+        ((x - x_low) / (x_high - x_low) * width).astype(int), 0, width - 1
+    )
+    rows = np.clip(
+        ((y - y_low) / (y_high - y_low) * height).astype(int), 0, height - 1
+    )
+    grid = np.zeros((height, width), dtype=np.int64)
+    np.add.at(grid, (rows, cols), 1)
+
+    peak = grid.max()
+    canvas = [
+        [
+            SHADES[min(len(SHADES) - 1, int(count / peak * (len(SHADES) - 1)))]
+            if peak
+            else " "
+            for count in row
+        ]
+        for row in grid
+    ]
+
+    if data_map is not None:
+        _draw_cuts(
+            canvas, data_map, attr_x, attr_y,
+            x_low, x_high, y_low, y_high, width, height,
+        )
+
+    # y grows upward: print top row last-binned first
+    lines = [f"{attr_y} ^"]
+    for row_index in range(height - 1, -1, -1):
+        lines.append("  |" + "".join(canvas[row_index]))
+    lines.append("  +" + "-" * width + f"> {attr_x}")
+    lines.append(
+        f"   x: [{x_low:g}, {x_high:g}]   y: [{y_low:g}, {y_high:g}]"
+    )
+    return "\n".join(lines)
+
+
+def _map_bounds(data_map: DataMap, attribute: str) -> list[float]:
+    bounds: set[float] = set()
+    for region in data_map.regions:
+        predicate = region.predicate_on(attribute)
+        if isinstance(predicate, RangePredicate):
+            for bound in (predicate.low, predicate.high):
+                if math.isfinite(bound):
+                    bounds.add(float(bound))
+    return sorted(bounds)
+
+
+def _draw_cuts(
+    canvas: list[list[str]],
+    data_map: DataMap,
+    attr_x: str,
+    attr_y: str,
+    x_low: float,
+    x_high: float,
+    y_low: float,
+    y_high: float,
+    width: int,
+    height: int,
+) -> None:
+    x_cut_cols = {
+        int((bound - x_low) / (x_high - x_low) * width)
+        for bound in _map_bounds(data_map, attr_x)
+        if x_low < bound < x_high
+    }
+    y_cut_rows = {
+        int((bound - y_low) / (y_high - y_low) * height)
+        for bound in _map_bounds(data_map, attr_y)
+        if y_low < bound < y_high
+    }
+    for row_index in range(height):
+        for col_index in range(width):
+            on_x = col_index in x_cut_cols
+            on_y = row_index in y_cut_rows
+            if on_x and on_y:
+                canvas[row_index][col_index] = "+"
+            elif on_x:
+                canvas[row_index][col_index] = "|"
+            elif on_y:
+                canvas[row_index][col_index] = "-"

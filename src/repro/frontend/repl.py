@@ -1,0 +1,198 @@
+"""Scriptable exploration driver: the interaction loop of Figure 1.
+
+A tiny command interpreter over :class:`~repro.core.session.
+ExplorationSession`.  Input and output streams are injectable, so the
+loop is fully testable and the examples can replay canned scripts.
+
+Commands::
+
+    maps            show the current ranked maps
+    next            advance to the next map (the "request a new map" verb)
+    drill <i>       submit region i of the current map for exploration
+    back            pop one drill-down level
+    where           show the breadcrumb trail
+    quit            leave the loop
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+
+from repro.core.config import AtlasConfig
+from repro.core.exemplars import representative_examples
+from repro.core.explain import explain_region
+from repro.core.session import ExplorationSession
+from repro.dataset.table import Table
+from repro.errors import AtlasError
+from repro.frontend.render import (
+    render_breadcrumb,
+    render_examples,
+    render_map,
+    render_map_set,
+)
+from repro.query.parser import parse_query
+from repro.query.query import ConjunctiveQuery
+
+PROMPT = "atlas> "
+
+HELP_TEXT = """commands:
+  maps         show the ranked maps for the current query
+  next         cycle to the next ranked map
+  drill <i>    explore region i of the current map
+  explain <i>  why is region i interesting? (subset vs whole, §5.2)
+  examples <i> representative tuples of region i (§5.2)
+  back         return to the previous query
+  where        show the exploration breadcrumb
+  help         this text
+  quit         exit"""
+
+
+class ExplorerRepl:
+    """Line-oriented front-end over an exploration session."""
+
+    def __init__(
+        self,
+        table: Table,
+        config: AtlasConfig | None = None,
+        stdin: io.TextIOBase | None = None,
+        stdout: io.TextIOBase | None = None,
+    ):
+        self._session = ExplorationSession(table, config)
+        self._stdin = stdin if stdin is not None else sys.stdin
+        self._stdout = stdout if stdout is not None else sys.stdout
+
+    @property
+    def session(self) -> ExplorationSession:
+        """The underlying session (examples inspect it after a script)."""
+        return self._session
+
+    def run(self, initial_query: ConjunctiveQuery | str | None = None) -> None:
+        """Start the loop; returns when the input ends or on ``quit``."""
+        if isinstance(initial_query, str):
+            initial_query = parse_query(initial_query)
+        map_set = self._session.start(initial_query)
+        self._print(render_map_set(map_set, self._session.atlas.table))
+        self._print(HELP_TEXT)
+        for raw_line in self._stdin:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line in {"quit", "exit", "q"}:
+                break
+            try:
+                self._dispatch(line)
+            except AtlasError as error:
+                self._print(f"error: {error}")
+        self._print("bye.")
+
+    def _dispatch(self, line: str) -> None:
+        command, _, argument = line.partition(" ")
+        table = self._session.atlas.table
+        if command == "maps":
+            self._print(render_map_set(self._session.current.map_set, table))
+        elif command == "next":
+            shown = self._session.next_map()
+            self._print(render_map(shown, table))
+        elif command == "drill":
+            index = self._parse_index(argument)
+            map_set = self._session.drill(index)
+            self._print(render_map_set(map_set, table))
+        elif command == "back":
+            map_set = self._session.back()
+            self._print(render_map_set(map_set, table))
+        elif command == "explain":
+            index = self._parse_index(argument)
+            region = self._region(index)
+            skip = tuple(
+                p.attribute for p in region.predicates if p.is_restrictive
+            )
+            explanation = explain_region(table, region, skip)
+            self._print(explanation.describe(k=3))
+        elif command == "examples":
+            index = self._parse_index(argument)
+            examples = representative_examples(table, self._region(index), k=3)
+            self._print(render_examples(examples, title="representatives"))
+        elif command == "where":
+            self._print(render_breadcrumb(self._session.breadcrumb()))
+        elif command == "help":
+            self._print(HELP_TEXT)
+        else:
+            self._print(f"unknown command {command!r}; try 'help'")
+
+    def _region(self, index: int):
+        regions = self._session.current_map.regions
+        if not 0 <= index < len(regions):
+            raise AtlasError(
+                f"region index {index} out of range "
+                f"(map has {len(regions)} regions)"
+            )
+        return regions[index]
+
+    @staticmethod
+    def _parse_index(argument: str) -> int:
+        argument = argument.strip()
+        if not argument.isdigit():
+            raise AtlasError(f"drill needs a region number, got {argument!r}")
+        return int(argument)
+
+    def _print(self, text: str) -> None:
+        self._stdout.write(text + "\n")
+
+
+def run_script(
+    table: Table,
+    commands: list[str],
+    initial_query: ConjunctiveQuery | str | None = None,
+    config: AtlasConfig | None = None,
+) -> str:
+    """Run a canned command script and return the transcript."""
+    stdin = io.StringIO("\n".join(commands) + "\n")
+    stdout = io.StringIO()
+    repl = ExplorerRepl(table, config=config, stdin=stdin, stdout=stdout)
+    repl.run(initial_query)
+    return stdout.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point: ``atlas-explore data.csv [--query q.txt]``.
+
+    Loads a CSV into the columnar substrate and starts the interactive
+    exploration loop on it — the closest a terminal gets to Figure 6.
+    """
+    import argparse
+
+    from repro.dataset.io_csv import read_csv
+
+    parser = argparse.ArgumentParser(
+        prog="atlas-explore",
+        description="Explore a CSV file with Atlas data maps.",
+    )
+    parser.add_argument("csv", help="path to a CSV file with a header row")
+    parser.add_argument(
+        "--query",
+        help="path to a query file in the paper's syntax "
+             "(e.g. \"Age: [17, 90]\"); defaults to the whole table",
+    )
+    parser.add_argument(
+        "--max-maps", type=int, default=None,
+        help="cap on the number of maps per answer",
+    )
+    arguments = parser.parse_args(argv)
+
+    table = read_csv(arguments.csv)
+    config = AtlasConfig()
+    if arguments.max_maps is not None:
+        config = config.replace(max_maps=arguments.max_maps)
+
+    initial_query: ConjunctiveQuery | None = None
+    if arguments.query:
+        with open(arguments.query) as handle:
+            initial_query = parse_query(handle.read())
+
+    ExplorerRepl(table, config=config).run(initial_query)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

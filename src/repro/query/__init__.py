@@ -1,0 +1,41 @@
+"""Conjunctive query language: the paper's "Charles" dialect stand-in.
+
+Provides predicates (range / set / any), immutable conjunctive queries
+with cover evaluation, a parser for the paper's textual syntax, a SQL
+emitter, and the algebra used to verify the CUT partition contract.
+"""
+
+from repro.query.algebra import (
+    predicate_contains,
+    predicates_disjoint,
+    queries_disjoint_on,
+    query_contains,
+    regions_partition,
+)
+from repro.query.parser import parse_predicate, parse_query
+from repro.query.predicate import (
+    AnyPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+from repro.query.sql import count_to_sql, predicate_to_sql, query_to_sql
+
+__all__ = [
+    "AnyPredicate",
+    "ConjunctiveQuery",
+    "Predicate",
+    "RangePredicate",
+    "SetPredicate",
+    "count_to_sql",
+    "parse_predicate",
+    "parse_query",
+    "predicate_contains",
+    "predicate_to_sql",
+    "predicates_disjoint",
+    "queries_disjoint_on",
+    "query_contains",
+    "query_to_sql",
+    "regions_partition",
+]

@@ -1,0 +1,89 @@
+"""Query algebra helpers: containment, disjointness, coverage checks.
+
+These are the semantic tools the tests and the map engine use to verify
+the CUT contract of Definition 1: the sub-ranges ``S^j_k`` must be
+pairwise disjoint and their union must give back ``S_k``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.query.predicate import (
+    AnyPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+
+def predicates_disjoint(a: Predicate, b: Predicate) -> bool:
+    """True when no value can satisfy both predicates (same attribute)."""
+    if isinstance(a, AnyPredicate) or isinstance(b, AnyPredicate):
+        return False
+    return a.intersect(b) is None
+
+
+def predicate_contains(outer: Predicate, inner: Predicate) -> bool:
+    """True when every value satisfying ``inner`` satisfies ``outer``."""
+    if isinstance(outer, AnyPredicate):
+        return True
+    if isinstance(inner, AnyPredicate):
+        return False
+    if isinstance(outer, RangePredicate) and isinstance(inner, RangePredicate):
+        low_ok = outer.low < inner.low or (
+            outer.low == inner.low and (outer.closed_low or not inner.closed_low)
+        )
+        high_ok = outer.high > inner.high or (
+            outer.high == inner.high and (outer.closed_high or not inner.closed_high)
+        )
+        return low_ok and high_ok
+    if isinstance(outer, SetPredicate) and isinstance(inner, SetPredicate):
+        return inner.values <= outer.values
+    return False
+
+
+def query_contains(outer: ConjunctiveQuery, inner: ConjunctiveQuery) -> bool:
+    """Syntactic containment: ``inner ⊆ outer`` region-wise.
+
+    Every restrictive predicate of ``outer`` must be implied by some
+    predicate of ``inner`` on the same attribute.
+    """
+    for pred in outer.predicates:
+        if not pred.is_restrictive:
+            continue
+        inner_pred = inner.predicate_on(pred.attribute)
+        if inner_pred is None or not predicate_contains(pred, inner_pred):
+            return False
+    return True
+
+
+def queries_disjoint_on(
+    a: ConjunctiveQuery, b: ConjunctiveQuery, table: Table
+) -> bool:
+    """Empirical disjointness: no row of ``table`` satisfies both."""
+    return not bool((a.mask(table) & b.mask(table)).any())
+
+
+def regions_partition(
+    regions: Sequence[ConjunctiveQuery],
+    parent: ConjunctiveQuery,
+    table: Table,
+) -> bool:
+    """Check the CUT contract empirically over a table.
+
+    True when the regions are pairwise disjoint on the rows of ``table``
+    and together cover exactly the rows the parent query describes.
+    """
+    parent_mask = parent.mask(table)
+    union = np.zeros(table.n_rows, dtype=bool)
+    for region in regions:
+        region_mask = region.mask(table)
+        if bool((union & region_mask).any()):
+            return False
+        union |= region_mask
+    return bool(np.array_equal(union, parent_mask))

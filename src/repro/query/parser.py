@@ -1,0 +1,166 @@
+"""Parser for the paper's textual query syntax (Figure 2 / Section 1).
+
+Accepted per-line forms, one predicate per line::
+
+    Age: [17, 90]            closed numeric range
+    Age: (17, 90]            half-open numeric range
+    Age: [17, inf)           one-sided range
+    Sex: {'Male'}            set of labels
+    Eye color: {'Blue', 'Green', 'Brown'}
+    Education: 'MSc'         single-label shorthand for {'MSc'}
+    Salary: any              unrestricted attribute
+
+Attribute names may contain spaces (everything before the first colon).
+Blank lines and ``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.query.predicate import (
+    AnyPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+_RANGE_RE = re.compile(
+    r"""^(?P<lo_bracket>[\[(])\s*
+        (?P<low>[^,\s]+)\s*,\s*
+        (?P<high>[^,\s\])]+)\s*
+        (?P<hi_bracket>[\])])$""",
+    re.VERBOSE,
+)
+
+_SET_RE = re.compile(r"^\{(?P<body>.*)\}$", re.DOTALL)
+
+_QUOTED_RE = re.compile(r"'(?P<single>[^']*)'|\"(?P<double>[^\"]*)\"")
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a multi-line query in the paper's syntax.
+
+    Several lines restricting the same attribute are conjoined (their
+    intersection); a contradictory pair is a :class:`ParseError`.
+    """
+    merged: dict[str, Predicate] = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        predicate = _parse_line(line, line_number)
+        existing = merged.get(predicate.attribute)
+        if existing is None:
+            merged[predicate.attribute] = predicate
+            continue
+        try:
+            both = existing.intersect(predicate)
+        except Exception as exc:
+            raise ParseError(f"line {line_number}: {exc}") from exc
+        if both is None:
+            raise ParseError(
+                f"line {line_number}: predicate on "
+                f"{predicate.attribute!r} contradicts an earlier line"
+            )
+        merged[predicate.attribute] = both
+    return ConjunctiveQuery(merged.values())
+
+
+def parse_predicate(line: str) -> Predicate:
+    """Parse one predicate line."""
+    return _parse_line(line.strip(), line_number=1)
+
+
+def _parse_line(line: str, line_number: int) -> Predicate:
+    if ":" not in line:
+        raise ParseError(
+            f"line {line_number}: expected 'attribute: predicate', got {line!r}"
+        )
+    attribute, _, body = line.partition(":")
+    attribute = attribute.strip()
+    body = body.strip()
+    if not attribute:
+        raise ParseError(f"line {line_number}: empty attribute name in {line!r}")
+    if not body:
+        raise ParseError(f"line {line_number}: empty predicate body in {line!r}")
+
+    if body.lower() == "any":
+        return AnyPredicate(attribute)
+
+    range_match = _RANGE_RE.match(body)
+    if range_match:
+        return _build_range(attribute, range_match, line_number)
+
+    set_match = _SET_RE.match(body)
+    if set_match:
+        return _build_set(attribute, set_match.group("body"), line_number)
+
+    quoted = _QUOTED_RE.fullmatch(body)
+    if quoted:
+        value = quoted.group("single")
+        if value is None:
+            value = quoted.group("double")
+        return SetPredicate(attribute, [value])
+
+    raise ParseError(
+        f"line {line_number}: cannot parse predicate body {body!r} "
+        "(expected a range [a, b], a set {'v', ...}, a quoted value, or 'any')"
+    )
+
+
+def _parse_bound(token: str, line_number: int) -> float:
+    token = token.strip()
+    lowered = token.lower()
+    if lowered in {"inf", "+inf", "infinity"}:
+        return float("inf")
+    if lowered in {"-inf", "-infinity"}:
+        return float("-inf")
+    try:
+        return float(token)
+    except ValueError:
+        raise ParseError(
+            f"line {line_number}: range bound {token!r} is not numeric"
+        ) from None
+
+
+def _build_range(attribute: str, match: re.Match, line_number: int) -> RangePredicate:
+    low = _parse_bound(match.group("low"), line_number)
+    high = _parse_bound(match.group("high"), line_number)
+    closed_low = match.group("lo_bracket") == "["
+    closed_high = match.group("hi_bracket") == "]"
+    try:
+        return RangePredicate(attribute, low, high, closed_low, closed_high)
+    except Exception as exc:
+        raise ParseError(f"line {line_number}: {exc}") from exc
+
+
+def _build_set(attribute: str, body: str, line_number: int) -> SetPredicate:
+    body = body.strip()
+    if not body:
+        raise ParseError(f"line {line_number}: empty set for {attribute!r}")
+    values: list[str] = []
+    matched_span_end = 0
+    for match in _QUOTED_RE.finditer(body):
+        between = body[matched_span_end:match.start()].strip()
+        if between not in {"", ","}:
+            raise ParseError(
+                f"line {line_number}: unexpected token {between!r} in set"
+            )
+        value = match.group("single")
+        if value is None:
+            value = match.group("double")
+        values.append(value)
+        matched_span_end = match.end()
+    tail = body[matched_span_end:].strip()
+    if values:
+        if tail not in {"", ","}:
+            raise ParseError(f"line {line_number}: unexpected trailing {tail!r}")
+        return SetPredicate(attribute, values)
+    # Unquoted fallback: comma-separated bare words.
+    bare = [token.strip() for token in body.split(",")]
+    if any(not token for token in bare):
+        raise ParseError(f"line {line_number}: malformed set body {body!r}")
+    return SetPredicate(attribute, bare)

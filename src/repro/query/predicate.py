@@ -1,0 +1,288 @@
+"""Predicates of the conjunctive query language.
+
+The paper restricts queries to conjunctions of per-attribute predicates
+``P_k : att_k ∈ S_k`` (Section 3).  Three predicate shapes cover the
+examples in the paper:
+
+* :class:`RangePredicate` — ``Age: [17, 90]`` (ordinal attributes),
+* :class:`SetPredicate` — ``Sex: {'Male'}`` (categorical attributes),
+* :class:`AnyPredicate` — ``Salary: any`` (no restriction; it carries the
+  attribute so CUT knows which columns the user cares about).
+
+Every predicate evaluates to a boolean row mask against a table.  Missing
+values never satisfy a restricting predicate, matching SQL three-valued
+logic collapsed to "unknown is false".
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import PredicateError
+
+
+class Predicate(abc.ABC):
+    """One per-attribute predicate ``att ∈ S``."""
+
+    __slots__ = ("_attribute",)
+
+    def __init__(self, attribute: str):
+        if not attribute:
+            raise PredicateError("predicate needs a non-empty attribute name")
+        self._attribute = attribute
+
+    @property
+    def attribute(self) -> str:
+        """Name of the attribute the predicate restricts."""
+        return self._attribute
+
+    @property
+    def is_restrictive(self) -> bool:
+        """False for ``any`` predicates, True otherwise."""
+        return True
+
+    @abc.abstractmethod
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows in ``table`` satisfying the predicate."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Render the predicate in the paper's textual syntax."""
+
+    @abc.abstractmethod
+    def intersect(self, other: "Predicate") -> "Predicate | None":
+        """Predicate equivalent to ``self AND other`` on the same attribute.
+
+        Returns ``None`` when the conjunction is unsatisfiable.  Raises
+        :class:`PredicateError` when the attributes differ or shapes are
+        incompatible (range vs set).
+        """
+
+    @abc.abstractmethod
+    def _key(self) -> tuple:
+        """Hashable identity used for __eq__/__hash__."""
+
+    def _check_same_attribute(self, other: "Predicate") -> None:
+        if self._attribute != other._attribute:
+            raise PredicateError(
+                f"cannot intersect predicates on different attributes: "
+                f"{self._attribute!r} vs {other._attribute!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class AnyPredicate(Predicate):
+    """No restriction: ``att: any``.  Matches every row, even missing."""
+
+    __slots__ = ()
+
+    @property
+    def is_restrictive(self) -> bool:
+        return False
+
+    def mask(self, table: Table) -> np.ndarray:
+        table.column(self._attribute)  # validate the attribute exists
+        return np.ones(table.n_rows, dtype=bool)
+
+    def describe(self) -> str:
+        return f"{self._attribute}: any"
+
+    def intersect(self, other: Predicate) -> Predicate:
+        self._check_same_attribute(other)
+        return other
+
+    def _key(self) -> tuple:
+        return (self._attribute,)
+
+
+class RangePredicate(Predicate):
+    """Interval restriction on a numeric attribute: ``att ∈ [low, high]``.
+
+    Bounds may individually be open or closed; infinite bounds express
+    one-sided ranges.  The paper's examples use closed intervals.
+    """
+
+    __slots__ = ("_low", "_high", "_closed_low", "_closed_high")
+
+    def __init__(
+        self,
+        attribute: str,
+        low: float,
+        high: float,
+        closed_low: bool = True,
+        closed_high: bool = True,
+    ):
+        super().__init__(attribute)
+        low = float(low)
+        high = float(high)
+        if math.isnan(low) or math.isnan(high):
+            raise PredicateError(f"range bounds on {attribute!r} may not be NaN")
+        if low > high:
+            raise PredicateError(
+                f"inverted range on {attribute!r}: [{low}, {high}]"
+            )
+        if low == high and not (closed_low and closed_high):
+            raise PredicateError(
+                f"degenerate open range on {attribute!r} at {low} is empty"
+            )
+        self._low = low
+        self._high = high
+        self._closed_low = bool(closed_low)
+        self._closed_high = bool(closed_high)
+
+    @property
+    def low(self) -> float:
+        """Lower bound."""
+        return self._low
+
+    @property
+    def high(self) -> float:
+        """Upper bound."""
+        return self._high
+
+    @property
+    def closed_low(self) -> bool:
+        """True if the lower bound is included."""
+        return self._closed_low
+
+    @property
+    def closed_high(self) -> bool:
+        """True if the upper bound is included."""
+        return self._closed_high
+
+    @property
+    def width(self) -> float:
+        """Interval width (``high - low``)."""
+        return self._high - self._low
+
+    def mask(self, table: Table) -> np.ndarray:
+        data = table.numeric(self._attribute).data
+        lower = data >= self._low if self._closed_low else data > self._low
+        upper = data <= self._high if self._closed_high else data < self._high
+        result = lower & upper
+        result[np.isnan(data)] = False
+        return result
+
+    def describe(self) -> str:
+        lo = "[" if self._closed_low else "("
+        hi = "]" if self._closed_high else ")"
+        return f"{self._attribute}: {lo}{_fmt(self._low)}, {_fmt(self._high)}{hi}"
+
+    def intersect(self, other: Predicate) -> Predicate | None:
+        self._check_same_attribute(other)
+        if isinstance(other, AnyPredicate):
+            return self
+        if not isinstance(other, RangePredicate):
+            raise PredicateError(
+                f"cannot intersect a range with a {type(other).__name__} "
+                f"on {self._attribute!r}"
+            )
+        if self._low > other._low:
+            low, closed_low = self._low, self._closed_low
+        elif self._low < other._low:
+            low, closed_low = other._low, other._closed_low
+        else:
+            low, closed_low = self._low, self._closed_low and other._closed_low
+        if self._high < other._high:
+            high, closed_high = self._high, self._closed_high
+        elif self._high > other._high:
+            high, closed_high = other._high, other._closed_high
+        else:
+            high, closed_high = self._high, self._closed_high and other._closed_high
+        if low > high or (low == high and not (closed_low and closed_high)):
+            return None
+        return RangePredicate(self._attribute, low, high, closed_low, closed_high)
+
+    def _key(self) -> tuple:
+        return (self._attribute, self._low, self._high,
+                self._closed_low, self._closed_high)
+
+
+class SetPredicate(Predicate):
+    """Membership restriction on a categorical attribute: ``att ∈ {v1, ...}``.
+
+    The order in which the caller lists the values is preserved in
+    :attr:`ordered_values`: Section 3.1 of the paper suggests cutting
+    categorical attributes "in the order in which the user gives them".
+    """
+
+    __slots__ = ("_values", "_ordered")
+
+    def __init__(self, attribute: str, values: Iterable[str]):
+        super().__init__(attribute)
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for v in values:
+            label = str(v)
+            if label not in seen:
+                seen.add(label)
+                ordered.append(label)
+        if not ordered:
+            raise PredicateError(f"empty set predicate on {attribute!r}")
+        self._ordered = tuple(ordered)
+        self._values = frozenset(ordered)
+
+    @property
+    def values(self) -> frozenset[str]:
+        """The admitted labels."""
+        return self._values
+
+    @property
+    def ordered_values(self) -> tuple[str, ...]:
+        """The admitted labels in user-given order (duplicates removed)."""
+        return self._ordered
+
+    def mask(self, table: Table) -> np.ndarray:
+        col = table.categorical(self._attribute)
+        wanted_codes = {
+            code for code, cat in enumerate(col.categories) if cat in self._values
+        }
+        if not wanted_codes:
+            return np.zeros(table.n_rows, dtype=bool)
+        return np.isin(col.codes, np.fromiter(wanted_codes, dtype=np.int32))
+
+    def describe(self) -> str:
+        inner = ", ".join(f"'{v}'" for v in sorted(self._values))
+        return f"{self._attribute}: {{{inner}}}"
+
+    def intersect(self, other: Predicate) -> Predicate | None:
+        self._check_same_attribute(other)
+        if isinstance(other, AnyPredicate):
+            return self
+        if not isinstance(other, SetPredicate):
+            raise PredicateError(
+                f"cannot intersect a set with a {type(other).__name__} "
+                f"on {self._attribute!r}"
+            )
+        common = self._values & other._values
+        if not common:
+            return None
+        # Keep this predicate's user order for the surviving labels.
+        return SetPredicate(
+            self._attribute, [v for v in self._ordered if v in common]
+        )
+
+    def _key(self) -> tuple:
+        return (self._attribute, self._values)
+
+
+def _fmt(value: float) -> str:
+    """Format a bound compactly: integers without decimals, inf as symbol."""
+    if math.isinf(value):
+        return "-inf" if value < 0 else "inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"

@@ -1,0 +1,88 @@
+"""SQL emission: the ODBC/JDBC escape hatch of Section 4.
+
+The paper notes that a generic Atlas would talk standard SQL to any DBMS.
+This module renders conjunctive queries as SQL so the engine's decisions
+remain executable against a real database, and so tests can assert the
+exact text a driver would receive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import QueryError
+from repro.query.predicate import (
+    AnyPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier, doubling embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def quote_literal(value: str) -> str:
+    """Single-quote a string literal, doubling embedded quotes."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _number(value: float) -> str:
+    if math.isinf(value):
+        raise QueryError("SQL cannot express an infinite range bound; drop it")
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def predicate_to_sql(predicate: Predicate) -> str:
+    """Render one predicate as a SQL boolean expression."""
+    ident = quote_identifier(predicate.attribute)
+    if isinstance(predicate, AnyPredicate):
+        return "TRUE"
+    if isinstance(predicate, RangePredicate):
+        clauses = []
+        if not math.isinf(predicate.low):
+            op = ">=" if predicate.closed_low else ">"
+            clauses.append(f"{ident} {op} {_number(predicate.low)}")
+        if not math.isinf(predicate.high):
+            op = "<=" if predicate.closed_high else "<"
+            clauses.append(f"{ident} {op} {_number(predicate.high)}")
+        if not clauses:
+            return "TRUE"
+        if (
+            predicate.closed_low
+            and predicate.closed_high
+            and not math.isinf(predicate.low)
+            and not math.isinf(predicate.high)
+        ):
+            return (
+                f"{ident} BETWEEN {_number(predicate.low)} "
+                f"AND {_number(predicate.high)}"
+            )
+        return " AND ".join(clauses)
+    if isinstance(predicate, SetPredicate):
+        values = ", ".join(quote_literal(v) for v in sorted(predicate.values))
+        return f"{ident} IN ({values})"
+    raise QueryError(f"cannot render predicate type {type(predicate).__name__}")
+
+
+def query_to_sql(query: ConjunctiveQuery, table_name: str) -> str:
+    """Render ``SELECT * FROM table WHERE ...`` for a conjunctive query."""
+    where = " AND ".join(
+        predicate_to_sql(p) for p in query.predicates if p.is_restrictive
+    )
+    base = f"SELECT * FROM {quote_identifier(table_name)}"
+    return f"{base} WHERE {where}" if where else base
+
+
+def count_to_sql(query: ConjunctiveQuery, table_name: str) -> str:
+    """Render the COUNT(*) query the engine uses to measure covers."""
+    where = " AND ".join(
+        predicate_to_sql(p) for p in query.predicates if p.is_restrictive
+    )
+    base = f"SELECT COUNT(*) FROM {quote_identifier(table_name)}"
+    return f"{base} WHERE {where}" if where else base

@@ -1,0 +1,84 @@
+"""Misra–Gries heavy-hitters sketch.
+
+Used by the categorical CUT strategies on high-cardinality columns: a
+single pass identifies the labels frequent enough to deserve their own
+side of a split, without materializing a full histogram.  Guarantees:
+with capacity ``k``, any label occurring more than ``n / (k + 1)`` times
+is retained, and every reported count under-estimates the true count by
+at most ``n / (k + 1)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SketchError
+
+
+class MisraGriesSketch:
+    """One-pass frequent-items summary with ``capacity`` counters."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise SketchError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._counters: dict[str, int] = {}
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of counters."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of items inserted so far."""
+        return self._count
+
+    @property
+    def error_bound(self) -> float:
+        """Maximum count under-estimation: ``n / (capacity + 1)``."""
+        return self._count / (self._capacity + 1)
+
+    def insert(self, item: str) -> None:
+        """Insert one item."""
+        self._count += 1
+        counters = self._counters
+        if item in counters:
+            counters[item] += 1
+            return
+        if len(counters) < self._capacity:
+            counters[item] = 1
+            return
+        # Decrement-all step; drop counters reaching zero.
+        exhausted = []
+        for key in counters:
+            counters[key] -= 1
+            if counters[key] == 0:
+                exhausted.append(key)
+        for key in exhausted:
+            del counters[key]
+
+    def extend(self, items: Iterable[str]) -> None:
+        """Insert many items."""
+        for item in items:
+            self.insert(item)
+
+    def heavy_hitters(self, min_fraction: float = 0.0) -> dict[str, int]:
+        """Estimated counts of retained items.
+
+        ``min_fraction`` filters to items whose *lower-bound* frequency
+        exceeds that fraction of the stream.
+        """
+        if not 0.0 <= min_fraction <= 1.0:
+            raise SketchError(
+                f"min_fraction must be in [0, 1], got {min_fraction}"
+            )
+        floor = min_fraction * self._count
+        return {
+            item: count
+            for item, count in sorted(
+                self._counters.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            if count >= floor
+        }

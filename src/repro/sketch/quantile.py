@@ -1,0 +1,167 @@
+"""Greenwald–Khanna ε-approximate quantile sketch.
+
+Section 5.1 of the paper proposes approximating the CUT median "with
+one-pass algorithms such as sketches", citing the Babcock et al. data
+stream survey.  The Greenwald–Khanna (GK) sketch is the classic choice:
+it maintains ``O((1/ε) log(εn))`` tuples and answers any quantile query
+with rank error at most ``εn`` after a single pass.
+
+Reference: M. Greenwald and S. Khanna, "Space-efficient online computation
+of quantile summaries", SIGMOD 2001.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterable
+
+from repro.errors import SketchError
+
+
+@dataclasses.dataclass
+class _Tuple:
+    """One GK summary tuple ``(value, g, delta)``.
+
+    ``g`` is the gap in minimum rank to the previous tuple; ``delta`` is
+    the uncertainty of the tuple's own rank.
+    """
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSketch:
+    """One-pass ε-approximate quantile summary.
+
+    Parameters
+    ----------
+    epsilon:
+        Rank-error bound as a fraction of the stream length.  A query for
+        quantile ``q`` returns a value whose rank is within ``epsilon * n``
+        of ``q * n``.
+    """
+
+    def __init__(self, epsilon: float = 0.01):
+        if not 0.0 < epsilon < 1.0:
+            raise SketchError(f"epsilon must be in (0, 1), got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._tuples: list[_Tuple] = []
+        self._count = 0
+        # Compress every 1/(2ε) inserts, as in the original paper.
+        self._compress_period = max(1, int(math.floor(1.0 / (2.0 * epsilon))))
+        self._since_compress = 0
+
+    @property
+    def epsilon(self) -> float:
+        """Configured rank-error fraction."""
+        return self._epsilon
+
+    @property
+    def count(self) -> int:
+        """Number of values inserted so far."""
+        return self._count
+
+    @property
+    def space(self) -> int:
+        """Current number of summary tuples held."""
+        return len(self._tuples)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, value: float) -> None:
+        """Insert one value (NaN values are rejected)."""
+        value = float(value)
+        if math.isnan(value):
+            raise SketchError("cannot insert NaN into a quantile sketch")
+        self._insert(value)
+        self._since_compress += 1
+        if self._since_compress >= self._compress_period:
+            self._compress()
+            self._since_compress = 0
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert many values."""
+        for value in values:
+            self.insert(value)
+
+    def _insert(self, value: float) -> None:
+        tuples = self._tuples
+        self._count += 1
+        # Find insertion position (first tuple with larger value).
+        lo, hi = 0, len(tuples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuples[mid].value < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        position = lo
+        if position == 0 or position == len(tuples):
+            # New minimum or maximum: exact rank (delta = 0).
+            tuples.insert(position, _Tuple(value, 1, 0))
+            return
+        threshold = int(math.floor(2.0 * self._epsilon * self._count))
+        neighbour = tuples[position]
+        tuples.insert(
+            position, _Tuple(value, 1, max(0, neighbour.g + neighbour.delta - 1))
+        )
+        if tuples[position].delta > threshold:
+            # Degenerate at tiny counts; clamp to keep the invariant.
+            tuples[position].delta = max(0, threshold - 1)
+
+    def _compress(self) -> None:
+        tuples = self._tuples
+        if len(tuples) < 3:
+            return
+        threshold = int(math.floor(2.0 * self._epsilon * self._count))
+        # Walk from the tail, merging tuple i into i+1 when allowed.
+        i = len(tuples) - 2
+        while i >= 1:
+            current, nxt = tuples[i], tuples[i + 1]
+            if current.g + nxt.g + nxt.delta <= threshold:
+                nxt.g += current.g
+                del tuples[i]
+            i -= 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, quantile: float) -> float:
+        """Value at the given quantile, within ``epsilon`` rank error.
+
+        Standard GK answer: walk the summary and return the last tuple
+        whose maximum possible rank does not overshoot the target by more
+        than the error budget.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise SketchError(f"quantile must be in [0, 1], got {quantile}")
+        if self._count == 0:
+            raise SketchError("cannot query an empty quantile sketch")
+        # The extremes are tracked exactly (delta 0 on first/last insert).
+        if quantile == 0.0:
+            return self._tuples[0].value
+        if quantile == 1.0:
+            return self._tuples[-1].value
+        target = max(1.0, math.ceil(quantile * self._count))
+        margin = max(self._epsilon * self._count, 1.0)
+        min_rank = 0
+        answer = self._tuples[0].value
+        for entry in self._tuples:
+            min_rank += entry.g
+            if min_rank + entry.delta > target + margin:
+                break
+            answer = entry.value
+        return answer
+
+    def median(self) -> float:
+        """Approximate median (the CUT default of Section 5.1)."""
+        return self.query(0.5)
+
+    def merge_summary(self) -> list[tuple[float, int, int]]:
+        """Expose the summary tuples (value, g, delta) for inspection."""
+        return [(t.value, t.g, t.delta) for t in self._tuples]

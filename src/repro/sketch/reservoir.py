@@ -1,0 +1,117 @@
+"""Reservoir sampling: the substrate of the anytime engine (Section 5.1).
+
+The paper's anytime variant "would continually take small samples of the
+data and update a set of approximate results".  :class:`ReservoirSampler`
+maintains a uniform fixed-size sample over a stream (Vitter's algorithm R),
+and :class:`GrowingSample` maintains a *nested* family of uniform samples
+of increasing size over a fixed table — each refinement step extends the
+previous sample, so anytime results are comparable across ticks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import SketchError
+
+
+class ReservoirSampler:
+    """Uniform fixed-size sample over a stream (algorithm R)."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator | int | None = None):
+        if capacity < 1:
+            raise SketchError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._items: list[object] = []
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        """Reservoir size."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Number of stream items observed."""
+        return self._seen
+
+    @property
+    def items(self) -> list[object]:
+        """Current sample (order not meaningful)."""
+        return list(self._items)
+
+    def insert(self, item: object) -> None:
+        """Observe one stream item."""
+        self._seen += 1
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self._capacity:
+            self._items[slot] = item
+
+    def extend(self, items: Iterable[object]) -> None:
+        """Observe many stream items."""
+        for item in items:
+            self.insert(item)
+
+
+class GrowingSample:
+    """Nested uniform samples of a fixed table, for anytime refinement.
+
+    A random permutation of the row indices is drawn once; the first ``k``
+    entries of the permutation are a uniform sample of size ``k``, and
+    samples for increasing ``k`` are nested.  ``grow()`` enlarges the
+    sample by the configured growth factor and returns the new sample
+    table; ``exhausted`` reports when the full table has been reached.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        initial_size: int = 1000,
+        growth_factor: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if initial_size < 1:
+            raise SketchError(f"initial_size must be >= 1, got {initial_size}")
+        if growth_factor <= 1.0:
+            raise SketchError(
+                f"growth_factor must be > 1, got {growth_factor}"
+            )
+        self._table = table
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._permutation = self._rng.permutation(table.n_rows)
+        self._size = min(int(initial_size), table.n_rows)
+        self._growth_factor = float(growth_factor)
+
+    @property
+    def size(self) -> int:
+        """Current sample size."""
+        return self._size
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the sample covers the whole table."""
+        return self._size >= self._table.n_rows
+
+    def current(self) -> Table:
+        """The current sample as a table."""
+        rows = np.sort(self._permutation[: self._size])
+        return self._table.take(rows, name=f"{self._table.name}_sample{self._size}")
+
+    def grow(self) -> Table:
+        """Enlarge the sample by the growth factor and return it."""
+        if not self.exhausted:
+            self._size = min(
+                int(self._size * self._growth_factor), self._table.n_rows
+            )
+        return self.current()

@@ -1,0 +1,62 @@
+"""Unit tests for the CLIQUE-style subspace clustering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clique import clique
+from repro.dataset.table import Table
+from repro.errors import AtlasError
+
+
+def _planted_table(n=2000, seed=0) -> Table:
+    rng = np.random.default_rng(seed)
+    # two clusters living in (a, b); c is uniform noise
+    cluster = rng.random(n) < 0.5
+    a = np.where(cluster, rng.normal(10, 1, n), rng.normal(90, 1, n))
+    b = np.where(cluster, rng.normal(20, 1, n), rng.normal(80, 1, n))
+    c = rng.uniform(0, 100, n)
+    return Table.from_dict({"a": a.tolist(), "b": b.tolist(), "c": c.tolist()})
+
+
+class TestClique:
+    def test_finds_planted_2d_clusters(self):
+        table = _planted_table()
+        result = clique(table, xi=10, tau=0.05, max_dimensions=2)
+        two_d = result.clusters_in(["a", "b"])
+        assert len(two_d) == 2
+        sizes = sorted(c.size for c in two_d)
+        assert sizes[0] > 700  # each planted cluster holds ~1000 rows
+
+    def test_noise_dimension_fully_dense_1d(self):
+        table = _planted_table()
+        result = clique(table, xi=10, tau=0.05, max_dimensions=1)
+        # uniform noise: all bins dense, connected into one cluster
+        noise_clusters = result.clusters_in(["c"])
+        assert len(noise_clusters) == 1
+
+    def test_1d_clusters_found(self):
+        table = _planted_table()
+        result = clique(table, xi=10, tau=0.05, max_dimensions=1)
+        assert len(result.clusters_in(["a"])) == 2
+
+    def test_max_dimensions_respected(self):
+        table = _planted_table()
+        result = clique(table, xi=5, tau=0.01, max_dimensions=1)
+        assert all(len(c.attributes) == 1 for c in result.clusters)
+
+    def test_high_tau_prunes_everything(self):
+        table = _planted_table()
+        result = clique(table, xi=10, tau=0.9)
+        assert result.n_dense_units == 0
+
+    def test_parameter_validation(self):
+        table = _planted_table(100)
+        with pytest.raises(AtlasError):
+            clique(table, xi=1)
+        with pytest.raises(AtlasError):
+            clique(table, tau=0.0)
+
+    def test_needs_numeric_columns(self):
+        table = Table.from_dict({"c": ["a", "b"]})
+        with pytest.raises(AtlasError, match="numeric"):
+            clique(table)

@@ -1,0 +1,60 @@
+"""Unit tests for the exhaustive single-link dendrogram baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dendrogram import single_link_dendrogram
+from repro.errors import AtlasError
+
+
+class TestDendrogram:
+    def test_two_blobs_cut_at_two(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [rng.normal(0, 0.1, (50, 2)), rng.normal(10, 0.1, (50, 2))]
+        )
+        dendro = single_link_dendrogram(points)
+        labels = dendro.cut(2)
+        assert len(set(labels[:50].tolist())) == 1
+        assert len(set(labels[50:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_cut_one_is_single_cluster(self):
+        points = np.random.default_rng(1).random((20, 2))
+        labels = single_link_dendrogram(points).cut(1)
+        assert set(labels.tolist()) == {0}
+
+    def test_cut_n_is_all_singletons(self):
+        points = np.random.default_rng(2).random((10, 2))
+        labels = single_link_dendrogram(points).cut(10)
+        assert len(set(labels.tolist())) == 10
+
+    def test_cut_at_height(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        dendro = single_link_dendrogram(points)
+        labels = dendro.cut_at(2.0)  # merges the 1.0-gaps only
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_edge_weights_sorted(self):
+        points = np.random.default_rng(3).random((30, 3))
+        dendro = single_link_dendrogram(points)
+        assert (np.diff(dendro.weights) >= 0).all()
+        assert dendro.edges.shape == (29, 2)
+
+    def test_bad_cut_rejected(self):
+        points = np.random.default_rng(4).random((5, 1))
+        dendro = single_link_dendrogram(points)
+        with pytest.raises(AtlasError):
+            dendro.cut(0)
+        with pytest.raises(AtlasError):
+            dendro.cut(6)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(AtlasError):
+            single_link_dendrogram(np.array([[1.0]]))
+
+    def test_1d_input(self):
+        labels = single_link_dendrogram(np.array([0.0, 0.1, 5.0])).cut(2)
+        assert labels[0] == labels[1] != labels[2]

@@ -1,0 +1,50 @@
+"""Unit tests for the naive equi-width grid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.grid import grid_map
+from repro.dataset.table import Table
+from repro.errors import MapError
+
+
+@pytest.fixture
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_dict(
+        {
+            "x": rng.uniform(0, 100, 500).tolist(),
+            "y": rng.uniform(0, 100, 500).tolist(),
+        }
+    )
+
+
+class TestGridMap:
+    def test_grid_shape(self, table):
+        result = grid_map(table, ["x", "y"])
+        assert result.n_regions == 4
+        assert result.label == "grid:x×y"
+
+    def test_grid_is_partition(self, table):
+        result = grid_map(table, ["x", "y"])
+        assert (result.assign(table) >= 0).all()
+
+    def test_finer_grid(self, table):
+        result = grid_map(table, ["x"], n_splits=4)
+        assert result.n_regions == 4
+
+    def test_no_attributes_rejected(self, table):
+        with pytest.raises(MapError):
+            grid_map(table, [])
+
+    def test_constant_attribute_skipped(self):
+        table = Table.from_dict(
+            {"flat": [1.0] * 100, "varied": list(range(100))}
+        )
+        result = grid_map(table, ["flat", "varied"])
+        assert result.attributes == ("varied",)
+
+    def test_all_constant_rejected(self):
+        table = Table.from_dict({"flat": [1.0] * 10})
+        with pytest.raises(MapError, match="no attribute"):
+            grid_map(table, ["flat"])

@@ -1,0 +1,62 @@
+"""Unit tests for the k-means baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import exact_two_means_1d, kmeans
+from repro.errors import AtlasError
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [rng.normal(0, 0.5, (100, 2)), rng.normal(10, 0.5, (100, 2))]
+        )
+        result = kmeans(points, k=2, rng=0)
+        assert result.labels[:100].std() == 0  # first cluster is pure
+        assert result.labels[100:].std() == 0
+        assert result.labels[0] != result.labels[-1]
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 10, (300, 2))
+        inertias = [kmeans(points, k, rng=0).inertia for k in (1, 2, 4, 8)]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_1d_input_accepted(self):
+        result = kmeans(np.array([1.0, 2.0, 9.0, 10.0]), k=2, rng=0)
+        assert result.centroids.shape == (2, 1)
+
+    def test_k_equals_n(self):
+        points = np.array([[0.0], [5.0], [9.0]])
+        result = kmeans(points, k=3, rng=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(AtlasError):
+            kmeans(np.zeros((5, 2)), k=0)
+        with pytest.raises(AtlasError):
+            kmeans(np.zeros((5, 2)), k=6)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((50, 2))
+        result = kmeans(points, k=3, rng=0)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestExactTwoMeans:
+    def test_obvious_gap(self):
+        values = np.array([1.0, 2.0, 3.0, 101.0, 102.0, 103.0])
+        cut, sse = exact_two_means_1d(values)
+        assert cut == pytest.approx(52.0)
+        assert sse == pytest.approx(4.0)
+
+    def test_constant_rejected(self):
+        with pytest.raises(AtlasError):
+            exact_two_means_1d(np.array([5.0, 5.0]))
+
+    def test_two_values(self):
+        cut, sse = exact_two_means_1d(np.array([0.0, 10.0]))
+        assert cut == 5.0
+        assert sse == 0.0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.datagen import census_table
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A six-row table with one numeric and one categorical column."""
+    return Table(
+        [
+            NumericColumn("age", [20, 30, 40, 50, 60, 70]),
+            CategoricalColumn.from_values(
+                "sex", ["M", "F", "M", "F", "M", "F"]
+            ),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def missing_table() -> Table:
+    """A table with missing values in both column kinds."""
+    return Table(
+        [
+            NumericColumn("x", [1.0, np.nan, 3.0, np.nan, 5.0]),
+            CategoricalColumn.from_values("y", ["a", None, "b", "a", None]),
+        ],
+        name="missing",
+    )
+
+
+@pytest.fixture(scope="session")
+def census_small() -> Table:
+    """A 4k-row census table shared across tests (read-only)."""
+    return census_table(n_rows=4000, seed=42)

@@ -1,0 +1,57 @@
+"""Unit tests for candidate-map generation (framework step 1)."""
+
+from repro.core.candidates import candidate_attributes, generate_candidates
+from repro.core.config import AtlasConfig
+from repro.dataset.table import Table
+from repro.evaluation.workloads import figure2_query
+from repro.query.parser import parse_query
+from repro.query.query import ConjunctiveQuery
+
+
+class TestScope:
+    def test_query_attributes_define_scope(self, census_small):
+        query = parse_query("Age: [17, 90]\nSex: any")
+        assert candidate_attributes(census_small, query) == ["Age", "Sex"]
+
+    def test_empty_query_maps_whole_table(self, census_small):
+        attrs = candidate_attributes(census_small, ConjunctiveQuery())
+        assert attrs == list(census_small.column_names)
+
+    def test_key_columns_excluded(self):
+        table = Table.from_dict(
+            {"id": list(range(100)), "group": ["a", "b"] * 50}
+        )
+        assert candidate_attributes(table, ConjunctiveQuery()) == ["group"]
+
+    def test_unknown_query_attributes_skipped(self, census_small):
+        query = parse_query("Age: any\nNotAColumn: any")
+        assert candidate_attributes(census_small, query) == ["Age"]
+
+
+class TestGeneration:
+    def test_one_candidate_per_attribute(self, census_small):
+        candidates = generate_candidates(census_small, figure2_query())
+        assert len(candidates) == 5
+        labels = {c.label for c in candidates}
+        assert labels == {
+            "cut:Sex", "cut:Salary", "cut:Age", "cut:Eye color",
+            "cut:Education",
+        }
+
+    def test_candidates_are_single_attribute(self, census_small):
+        for candidate in generate_candidates(census_small, figure2_query()):
+            assert len(candidate.attributes) == 1
+
+    def test_candidates_respect_n_splits(self, census_small):
+        config = AtlasConfig(n_splits=2)
+        for candidate in generate_candidates(
+            census_small, figure2_query(), config
+        ):
+            assert candidate.n_regions == 2
+
+    def test_constant_attribute_skipped(self):
+        table = Table.from_dict(
+            {"flat": [1.0] * 50, "varied": list(range(25)) * 2}
+        )
+        candidates = generate_candidates(table, ConjunctiveQuery())
+        assert [c.label for c in candidates] == ["cut:varied"]

@@ -1,0 +1,62 @@
+"""Unit tests for map clustering (framework step 2)."""
+
+import pytest
+
+from repro.core.candidates import generate_candidates
+from repro.core.clustering import cluster_maps
+from repro.core.config import AtlasConfig
+from repro.evaluation.workloads import figure2_query
+
+
+@pytest.fixture(scope="module")
+def census_clustering(request):
+    from repro.datagen import census_table
+
+    table = census_table(n_rows=8000, seed=7)
+    query = figure2_query()
+    candidates = generate_candidates(table, query)
+    return table, candidates
+
+
+class TestFigure2Clusters:
+    def test_dependent_attributes_group(self, census_clustering):
+        table, candidates = census_clustering
+        clustering = cluster_maps(candidates, table)
+        groups = [
+            frozenset(m.attributes[0] for m in cluster)
+            for cluster in clustering.clusters
+        ]
+        assert frozenset({"Age", "Sex"}) in groups
+        assert frozenset({"Salary", "Education"}) in groups
+        assert frozenset({"Eye color"}) in groups
+
+    def test_two_merges_performed(self, census_clustering):
+        table, candidates = census_clustering
+        clustering = cluster_maps(candidates, table)
+        assert clustering.n_merges == 2
+        assert clustering.n_clusters == 3
+
+
+class TestConvenienceVetoes:
+    def test_max_predicates_caps_cluster_size(self, census_clustering):
+        table, candidates = census_clustering
+        config = AtlasConfig(max_predicates=1)
+        clustering = cluster_maps(candidates, table, config)
+        assert all(len(c) == 1 for c in clustering.clusters)
+
+    def test_region_budget_caps_merges(self, census_clustering):
+        table, candidates = census_clustering
+        # 2-region maps: a pair has 4 regions; capping at 3 forbids pairs.
+        config = AtlasConfig(max_regions=3, n_splits=2)
+        clustering = cluster_maps(candidates, table, config)
+        assert all(len(c) == 1 for c in clustering.clusters)
+
+    def test_loose_threshold_merges_more(self, census_clustering):
+        table, candidates = census_clustering
+        strict = cluster_maps(
+            candidates, table, AtlasConfig(dependence_threshold=0.01)
+        )
+        loose = cluster_maps(
+            candidates, table, AtlasConfig(dependence_threshold=1.0)
+        )
+        assert loose.n_clusters <= strict.n_clusters

@@ -1,0 +1,86 @@
+"""Unit tests for the map distance matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.datamap import DataMap
+from repro.core.distance import distance_matrix, map_nvi, map_vi
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.predicate import RangePredicate, SetPredicate
+from repro.query.query import ConjunctiveQuery
+
+
+def _range_map(attr: str, cutpoint: float, low=0.0, high=100.0) -> DataMap:
+    return DataMap(
+        [
+            ConjunctiveQuery([RangePredicate(attr, low, cutpoint)]),
+            ConjunctiveQuery(
+                [RangePredicate(attr, cutpoint, high, closed_low=False)]
+            ),
+        ],
+        label=f"cut:{attr}",
+    )
+
+
+@pytest.fixture
+def correlated_table() -> Table:
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 100, 2000)
+    y = x + rng.normal(0, 1, 2000)  # y tracks x
+    z = rng.uniform(0, 100, 2000)   # z independent
+    return Table.from_dict(
+        {"x": x.tolist(), "y": y.tolist(), "z": z.tolist()}
+    )
+
+
+class TestPairwise:
+    def test_identical_maps_distance_zero(self, correlated_table):
+        m = _range_map("x", 50)
+        assert map_vi(m, m, correlated_table) == pytest.approx(0.0, abs=1e-9)
+        assert map_nvi(m, m, correlated_table) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dependent_closer_than_independent(self, correlated_table):
+        mx = _range_map("x", 50)
+        my = _range_map("y", 50)
+        mz = _range_map("z", 50)
+        assert map_nvi(mx, my, correlated_table) < 0.2
+        assert map_nvi(mx, mz, correlated_table) > 0.9
+
+    def test_vi_triangle_inequality_on_maps(self, correlated_table):
+        maps = [_range_map("x", 30), _range_map("y", 60), _range_map("z", 50)]
+        d = lambda a, b: map_vi(a, b, correlated_table)
+        for i in range(3):
+            for j in range(3):
+                for k in range(3):
+                    assert d(maps[i], maps[k]) <= (
+                        d(maps[i], maps[j]) + d(maps[j], maps[k]) + 1e-9
+                    )
+
+
+class TestMatrix:
+    def test_shape_and_symmetry(self, correlated_table):
+        maps = [_range_map("x", 50), _range_map("y", 50), _range_map("z", 50)]
+        matrix = distance_matrix(maps, correlated_table)
+        assert matrix.distances.shape == (3, 3)
+        assert np.allclose(matrix.distances, matrix.distances.T)
+        assert np.allclose(np.diag(matrix.distances), 0.0)
+
+    def test_closest_pair(self, correlated_table):
+        maps = [_range_map("x", 50), _range_map("y", 50), _range_map("z", 50)]
+        matrix = distance_matrix(maps, correlated_table)
+        assert set(matrix.closest_pair()) == {0, 1}
+
+    def test_single_map_no_closest_pair(self, correlated_table):
+        matrix = distance_matrix([_range_map("x", 50)], correlated_table)
+        with pytest.raises(MapError):
+            matrix.closest_pair()
+
+    def test_empty_maps_rejected(self, correlated_table):
+        with pytest.raises(MapError):
+            distance_matrix([], correlated_table)
+
+    def test_empty_table_rejected(self):
+        empty = Table.from_dict({"x": []})
+        with pytest.raises(MapError):
+            distance_matrix([_range_map("x", 50)], empty)

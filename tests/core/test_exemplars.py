@@ -1,0 +1,80 @@
+"""Unit tests for region exemplars (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exemplars import random_examples, representative_examples
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.predicate import RangePredicate, SetPredicate
+from repro.query.query import ConjunctiveQuery
+
+
+@pytest.fixture
+def table() -> Table:
+    # 100 typical rows near x=50/'common', 2 oddballs
+    xs = [50.0 + (i % 5) for i in range(100)] + [0.0, 100.0]
+    labels = ["common"] * 100 + ["weird", "weird"]
+    return Table.from_dict({"x": xs, "label": labels})
+
+
+@pytest.fixture
+def whole() -> ConjunctiveQuery:
+    return ConjunctiveQuery([RangePredicate("x", -10, 110)])
+
+
+class TestRandomExamples:
+    def test_members_only(self, table):
+        region = ConjunctiveQuery([RangePredicate("x", 45, 60)])
+        sample = random_examples(table, region, k=5, rng=0)
+        assert sample.n_rows == 5
+        assert (sample.numeric("x").data >= 45).all()
+
+    def test_k_capped_at_region_size(self, table):
+        region = ConjunctiveQuery([SetPredicate("label", ["weird"])])
+        sample = random_examples(table, region, k=10, rng=0)
+        assert sample.n_rows == 2
+
+    def test_empty_region_rejected(self, table):
+        region = ConjunctiveQuery([RangePredicate("x", 900, 901)])
+        with pytest.raises(MapError):
+            random_examples(table, region)
+
+    def test_deterministic_with_seed(self, table, whole):
+        a = random_examples(table, whole, k=3, rng=9).numeric("x").data
+        b = random_examples(table, whole, k=3, rng=9).numeric("x").data
+        assert np.array_equal(a, b)
+
+
+class TestRepresentativeExamples:
+    def test_picks_typical_rows(self, table, whole):
+        representatives = representative_examples(table, whole, k=3)
+        # the oddballs (x=0/100, label='weird') must not be chosen
+        assert (np.abs(representatives.numeric("x").data - 52) < 5).all()
+        assert set(representatives.categorical("label").decode()) == {"common"}
+
+    def test_respects_region_restriction(self, table):
+        region = ConjunctiveQuery([SetPredicate("label", ["weird"])])
+        representatives = representative_examples(table, region, k=1)
+        assert representatives.categorical("label").decode() == ["weird"]
+
+    def test_missing_values_penalized(self):
+        table = Table.from_dict(
+            {
+                "x": [10.0, 10.0, None, 10.0],
+                "y": [1.0, 1.0, 1.0, 1.0],
+            }
+        )
+        whole = ConjunctiveQuery([RangePredicate("y", 0, 2)])
+        top = representative_examples(table, whole, k=3)
+        # the NaN row sorts last, so it is excluded from the top 3
+        assert not np.isnan(top.numeric("x").data).any()
+
+    def test_empty_region_rejected(self, table):
+        region = ConjunctiveQuery([RangePredicate("x", 900, 901)])
+        with pytest.raises(MapError):
+            representative_examples(table, region)
+
+    def test_k_larger_than_region(self, table):
+        region = ConjunctiveQuery([SetPredicate("label", ["weird"])])
+        assert representative_examples(table, region, k=10).n_rows == 2

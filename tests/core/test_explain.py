@@ -1,0 +1,128 @@
+"""Unit tests for region explanations (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import (
+    CategoricalContrast,
+    NumericContrast,
+    explain_map,
+    explain_region,
+)
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.parser import parse_query
+from repro.query.predicate import RangePredicate
+from repro.query.query import ConjunctiveQuery
+
+
+@pytest.fixture
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    n = 4000
+    group = rng.random(n) < 0.5
+    # group=True rows: high income, mostly 'urban'
+    income = np.where(group, rng.normal(80, 5, n), rng.normal(40, 5, n))
+    zone = np.where(
+        rng.random(n) < np.where(group, 0.9, 0.2), "urban", "rural"
+    )
+    marker = np.where(group, 1.0, 0.0)
+    return Table.from_dict(
+        {
+            "marker": marker.tolist(),
+            "income": income.tolist(),
+            "zone": zone.tolist(),
+            "noise": rng.uniform(0, 1, n).tolist(),
+        }
+    )
+
+
+@pytest.fixture
+def region() -> ConjunctiveQuery:
+    return ConjunctiveQuery([RangePredicate("marker", 0.5, 1.5)])
+
+
+class TestExplainRegion:
+    def test_counts(self, table, region):
+        explanation = explain_region(table, region)
+        assert explanation.n_total_rows == 4000
+        assert 0.4 < explanation.cover < 0.6
+
+    def test_income_is_most_surprising_numeric(self, table, region):
+        explanation = explain_region(table, region, skip_attributes=("marker",))
+        top_numeric = next(
+            c for c in explanation.contrasts if isinstance(c, NumericContrast)
+        )
+        assert top_numeric.attribute == "income"
+        assert top_numeric.shift_in_sd > 0.5
+
+    def test_zone_lift_detected(self, table, region):
+        explanation = explain_region(table, region, skip_attributes=("marker",))
+        zone = next(
+            c for c in explanation.contrasts if c.attribute == "zone"
+        )
+        assert isinstance(zone, CategoricalContrast)
+        assert zone.surprise > 0.3
+
+    def test_noise_ranks_last(self, table, region):
+        explanation = explain_region(table, region, skip_attributes=("marker",))
+        assert explanation.contrasts[-1].attribute == "noise"
+
+    def test_skip_attributes_respected(self, table, region):
+        explanation = explain_region(table, region, skip_attributes=("marker",))
+        assert all(c.attribute != "marker" for c in explanation.contrasts)
+
+    def test_empty_region_rejected(self, table):
+        empty = ConjunctiveQuery([RangePredicate("marker", 99, 100)])
+        with pytest.raises(MapError, match="empty region"):
+            explain_region(table, empty)
+
+    def test_describe_readable(self, table, region):
+        text = explain_region(table, region).describe(k=2)
+        assert "rows" in text
+        assert "overall" in text
+
+
+class TestExplainMap:
+    def test_one_explanation_per_region(self, table):
+        regions = [
+            ConjunctiveQuery([RangePredicate("marker", 0.5, 1.5)]),
+            ConjunctiveQuery([RangePredicate("marker", -0.5, 0.5)]),
+        ]
+        explanations = explain_map(table, regions)
+        assert len(explanations) == 2
+        # cut attribute skipped by default
+        for explanation in explanations:
+            assert all(
+                c.attribute != "marker" for c in explanation.contrasts
+            )
+
+    def test_two_regions_contrast_oppositely(self, table):
+        regions = [
+            ConjunctiveQuery([RangePredicate("marker", 0.5, 1.5)]),
+            ConjunctiveQuery([RangePredicate("marker", -0.5, 0.5)]),
+        ]
+        first, second = explain_map(table, regions)
+        income_high = next(
+            c for c in first.contrasts if c.attribute == "income"
+        )
+        income_low = next(
+            c for c in second.contrasts if c.attribute == "income"
+        )
+        assert income_high.shift_in_sd > 0 > income_low.shift_in_sd
+
+
+class TestContrastScores:
+    def test_lift_infinite_when_absent_globally(self):
+        contrast = CategoricalContrast("c", "x", 0.5, 0.0)
+        assert contrast.lift == float("inf")
+        assert contrast.surprise == 10.0
+
+    def test_zero_frequency_in_region(self):
+        contrast = CategoricalContrast("c", "x", 0.0, 0.5)
+        assert contrast.lift == 0.0
+        assert contrast.surprise == 10.0
+
+    def test_neutral_lift_no_surprise(self):
+        contrast = CategoricalContrast("c", "x", 0.4, 0.4)
+        assert contrast.surprise == pytest.approx(0.0)

@@ -1,0 +1,149 @@
+"""Unit tests for entropy / MI / VI / Rajski distance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.information import (
+    entropy,
+    entropy_of_counts,
+    joint_entropy,
+    marginals,
+    max_vi,
+    mutual_information,
+    normalized_mutual_information,
+    normalized_vi,
+    rajski_distance,
+    variation_of_information,
+)
+from repro.errors import MapError
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert entropy(np.ones(4) / 4) == pytest.approx(math.log(4))
+
+    def test_point_mass_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_base_two(self):
+        assert entropy(np.ones(8) / 8, base=2) == pytest.approx(3.0)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(MapError, match="sum"):
+            entropy(np.array([0.5, 0.2]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(MapError, match="negative"):
+            entropy(np.array([1.5, -0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MapError, match="empty"):
+            entropy(np.array([]))
+
+    def test_of_counts(self):
+        assert entropy_of_counts(np.array([5, 5])) == pytest.approx(math.log(2))
+
+    def test_of_zero_counts_rejected(self):
+        with pytest.raises(MapError):
+            entropy_of_counts(np.array([0, 0]))
+
+
+def _independent_joint() -> np.ndarray:
+    row = np.array([0.3, 0.7])
+    col = np.array([0.4, 0.6])
+    return np.outer(row, col)
+
+
+def _identical_joint() -> np.ndarray:
+    return np.diag([0.25, 0.35, 0.40])
+
+
+class TestMutualInformation:
+    def test_independent_is_zero(self):
+        assert mutual_information(_independent_joint()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_equals_entropy(self):
+        joint = _identical_joint()
+        row, __ = marginals(joint)
+        assert mutual_information(joint) == pytest.approx(entropy(row))
+
+    def test_non_negative_clamp(self):
+        # a joint that is numerically independent
+        joint = np.outer([0.5, 0.5], [0.5, 0.5])
+        assert mutual_information(joint) >= 0.0
+
+
+class TestVariationOfInformation:
+    def test_identical_is_zero(self):
+        assert variation_of_information(_identical_joint()) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_independent_is_sum_of_entropies(self):
+        joint = _independent_joint()
+        row, col = marginals(joint)
+        assert variation_of_information(joint) == pytest.approx(
+            entropy(row) + entropy(col)
+        )
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        joint = rng.random((3, 4))
+        joint /= joint.sum()
+        assert variation_of_information(joint) == pytest.approx(
+            variation_of_information(joint.T)
+        )
+
+    def test_bounded_by_max_vi(self):
+        rng = np.random.default_rng(1)
+        joint = rng.random((3, 5))
+        joint /= joint.sum()
+        assert variation_of_information(joint) <= max_vi(3, 5) + 1e-9
+
+
+class TestNormalizedDistances:
+    def test_rajski_independent_is_one(self):
+        assert rajski_distance(_independent_joint()) == pytest.approx(1.0)
+
+    def test_rajski_identical_is_zero(self):
+        assert rajski_distance(_identical_joint()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rajski_single_cell(self):
+        assert rajski_distance(np.array([[1.0]])) == 0.0
+
+    def test_rajski_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        for __ in range(20):
+            joint = rng.random((3, 3))
+            joint /= joint.sum()
+            assert 0.0 <= rajski_distance(joint) <= 1.0
+
+    def test_normalized_vi_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        joint = rng.random((4, 2))
+        joint /= joint.sum()
+        assert 0.0 <= normalized_vi(joint) <= 1.0
+
+    def test_nmi_identical_is_one(self):
+        assert normalized_mutual_information(_identical_joint()) == pytest.approx(1.0)
+
+    def test_nmi_constant_variable_is_zero(self):
+        joint = np.array([[0.5, 0.5]])  # X constant
+        assert normalized_mutual_information(joint) == 0.0
+
+    def test_max_vi_validation(self):
+        with pytest.raises(MapError):
+            max_vi(0, 3)
+
+
+class TestMarginal:
+    def test_marginals_sum_to_one(self):
+        row, col = marginals(_independent_joint())
+        assert row.sum() == pytest.approx(1.0)
+        assert col.sum() == pytest.approx(1.0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(MapError, match="2-D"):
+            marginals(np.ones(3) / 3)

@@ -1,0 +1,87 @@
+"""Unit tests for agglomerative clustering over a distance matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Linkage
+from repro.core.linkage import agglomerate, dendrogram
+from repro.errors import MapError
+
+
+def _matrix(pairs: dict[tuple[int, int], float], n: int) -> np.ndarray:
+    out = np.full((n, n), 10.0)
+    np.fill_diagonal(out, 0.0)
+    for (i, j), value in pairs.items():
+        out[i, j] = out[j, i] = value
+    return out
+
+
+class TestAgglomerate:
+    def test_two_tight_pairs(self):
+        distances = _matrix({(0, 1): 0.1, (2, 3): 0.2}, 5)
+        result = agglomerate(distances, threshold=1.0)
+        assert result.clusters == ((0, 1), (2, 3), (4,))
+        assert result.n_merges == 2
+
+    def test_merge_order_is_closest_first(self):
+        distances = _matrix({(0, 1): 0.1, (2, 3): 0.2}, 4)
+        result = agglomerate(distances, threshold=1.0)
+        assert result.steps[0].distance == pytest.approx(0.1)
+        assert result.steps[1].distance == pytest.approx(0.2)
+
+    def test_threshold_blocks_far_merges(self):
+        distances = _matrix({(0, 1): 0.5}, 3)
+        result = agglomerate(distances, threshold=0.4)
+        assert result.clusters == ((0,), (1,), (2,))
+
+    def test_chain_merges_under_single_linkage(self):
+        # 0-1 close, 1-2 close, 0-2 far: single linkage chains all three.
+        distances = _matrix({(0, 1): 0.1, (1, 2): 0.1, (0, 2): 5.0}, 3)
+        result = agglomerate(distances, threshold=1.0, linkage=Linkage.SINGLE)
+        assert result.clusters == ((0, 1, 2),)
+
+    def test_complete_linkage_blocks_chain(self):
+        distances = _matrix({(0, 1): 0.1, (1, 2): 0.1, (0, 2): 5.0}, 3)
+        result = agglomerate(
+            distances, threshold=1.0, linkage=Linkage.COMPLETE
+        )
+        # the chained cluster would have max distance 5 > threshold
+        assert len(result.clusters) == 2
+
+    def test_average_linkage_between(self):
+        distances = _matrix({(0, 1): 0.1, (1, 2): 0.1, (0, 2): 1.5}, 3)
+        result = agglomerate(
+            distances, threshold=1.0, linkage=Linkage.AVERAGE
+        )
+        # average of (0.1, 1.5) = 0.8 <= 1.0: merges
+        assert result.clusters == ((0, 1, 2),)
+
+    def test_can_merge_veto(self):
+        distances = _matrix({(0, 1): 0.1, (2, 3): 0.2}, 4)
+        result = agglomerate(
+            distances,
+            threshold=1.0,
+            can_merge=lambda a, b: len(a) + len(b) <= 1,
+        )
+        assert result.n_merges == 0
+
+    def test_empty_matrix(self):
+        result = agglomerate(np.zeros((0, 0)), threshold=1.0)
+        assert result.clusters == ()
+
+    def test_asymmetric_rejected(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(MapError, match="symmetric"):
+            agglomerate(bad, threshold=1.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MapError, match="square"):
+            agglomerate(np.zeros((2, 3)), threshold=1.0)
+
+
+class TestDendrogram:
+    def test_full_agglomeration(self):
+        distances = _matrix({(0, 1): 0.1}, 4)
+        result = dendrogram(distances)
+        assert result.clusters == ((0, 1, 2, 3),)
+        assert result.n_merges == 3

@@ -1,0 +1,158 @@
+"""Unit tests for the product and composition operators (Definitions 3, 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtlasConfig, NumericCutStrategy
+from repro.core.cut import cut
+from repro.core.datamap import DataMap
+from repro.core.merge import composition, merge_cluster, product
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.predicate import RangePredicate, SetPredicate
+from repro.query.query import ConjunctiveQuery
+
+
+def _range_map(attr, point, low, high) -> DataMap:
+    return DataMap(
+        [
+            ConjunctiveQuery([RangePredicate(attr, low, point)]),
+            ConjunctiveQuery(
+                [RangePredicate(attr, point, high, closed_low=False)]
+            ),
+        ],
+        label=f"cut:{attr}",
+    )
+
+
+@pytest.fixture
+def size_weight_table() -> Table:
+    rng = np.random.default_rng(0)
+    size = np.concatenate(
+        [rng.normal(130, 5, 500), rng.normal(170, 5, 500)]
+    )
+    weight = np.concatenate(
+        [rng.normal(50, 3, 500), rng.normal(60, 3, 500)]
+    )
+    return Table.from_dict(
+        {"size": size.tolist(), "weight": weight.tolist()}
+    )
+
+
+class TestProduct:
+    def test_figure5_shape(self):
+        m1 = _range_map("size", 150, 100, 200)
+        m2 = _range_map("weight", 55, 30, 90)
+        merged = product([m1, m2])
+        assert merged.n_regions == 4
+        assert set(merged.attributes) == {"size", "weight"}
+
+    def test_associative_commutative(self):
+        a = _range_map("x", 1, 0, 2)
+        b = _range_map("y", 1, 0, 2)
+        c = _range_map("z", 1, 0, 2)
+        left = product([product([a, b]), c])
+        right = product([a, product([b, c])])
+        swapped = product([c, b, a])
+        assert left == right == swapped
+
+    def test_single_map_identity(self):
+        m = _range_map("x", 1, 0, 2)
+        assert product([m]) is m
+
+    def test_zero_maps_rejected(self):
+        with pytest.raises(MapError):
+            product([])
+
+    def test_contradictions_dropped(self):
+        m1 = DataMap([ConjunctiveQuery([RangePredicate("x", 0, 1)]),
+                      ConjunctiveQuery([RangePredicate("x", 2, 3)])])
+        m2 = DataMap([ConjunctiveQuery([RangePredicate("x", 0, 1)]),
+                      ConjunctiveQuery([RangePredicate("x", 2, 3)])])
+        merged = product([m1, m2])
+        # only the two compatible combinations survive
+        assert merged.n_regions == 2
+
+    def test_empty_regions_dropped_with_table(self, size_weight_table):
+        # weight < 10 never happens: that region should disappear
+        m1 = _range_map("size", 150, 100, 200)
+        odd = DataMap(
+            [
+                ConjunctiveQuery([RangePredicate("weight", 0, 10)]),
+                ConjunctiveQuery(
+                    [RangePredicate("weight", 10, 90, closed_low=False)]
+                ),
+            ]
+        )
+        merged = product([m1, odd], size_weight_table)
+        assert merged.n_regions == 2
+
+    def test_all_contradictory_rejected(self):
+        m1 = DataMap([ConjunctiveQuery([RangePredicate("x", 0, 1)])])
+        m2 = DataMap([ConjunctiveQuery([RangePredicate("x", 5, 6)])])
+        with pytest.raises(MapError, match="no satisfiable"):
+            product([m1, m2])
+
+    def test_regions_partition_data(self, size_weight_table):
+        m1 = _range_map("size", 150, 100, 200)
+        m2 = _range_map("weight", 55, 30, 90)
+        merged = product([m1, m2], size_weight_table)
+        assignment = merged.assign(size_weight_table)
+        # product of partitions is a partition: nothing escapes
+        assert (assignment >= 0).all()
+
+
+class TestComposition:
+    def test_recuts_regions_locally(self, size_weight_table):
+        config = AtlasConfig(numeric_strategy=NumericCutStrategy.TWO_MEANS)
+        base = cut(size_weight_table, ConjunctiveQuery(), "size", config)
+        other = cut(size_weight_table, ConjunctiveQuery(), "weight", config)
+        composed = composition([base, other], size_weight_table, config)
+        assert composed.n_regions == 4
+        # weight cut points inside the two size regions should differ:
+        # they adapt to the local weight distribution.
+        weight_bounds = {
+            region.predicate_on("weight").high
+            for region in composed.regions
+            if region.predicate_on("weight").high != float("inf")
+        }
+        assert len(weight_bounds) >= 2
+
+    def test_attributes_union(self, size_weight_table):
+        base = cut(size_weight_table, ConjunctiveQuery(), "size")
+        other = cut(size_weight_table, ConjunctiveQuery(), "weight")
+        composed = composition([base, other], size_weight_table)
+        assert set(composed.attributes) == {"size", "weight"}
+
+    def test_single_map_identity(self, size_weight_table):
+        base = cut(size_weight_table, ConjunctiveQuery(), "size")
+        assert composition([base], size_weight_table) is base
+
+    def test_zero_maps_rejected(self, size_weight_table):
+        with pytest.raises(MapError):
+            composition([], size_weight_table)
+
+    def test_composition_is_partition(self, size_weight_table):
+        base = cut(size_weight_table, ConjunctiveQuery(), "size")
+        other = cut(size_weight_table, ConjunctiveQuery(), "weight")
+        composed = composition([base, other], size_weight_table)
+        assignment = composed.assign(size_weight_table)
+        assert (assignment >= 0).all()
+
+
+class TestMergeCluster:
+    def test_dispatches_on_config(self, size_weight_table):
+        from repro.core.config import MergeMethod
+
+        base = cut(size_weight_table, ConjunctiveQuery(), "size")
+        other = cut(size_weight_table, ConjunctiveQuery(), "weight")
+        via_product = merge_cluster(
+            [base, other], size_weight_table,
+            AtlasConfig(merge_method=MergeMethod.PRODUCT),
+        )
+        via_composition = merge_cluster(
+            [base, other], size_weight_table,
+            AtlasConfig(merge_method=MergeMethod.COMPOSITION),
+        )
+        assert via_product.n_regions == 4
+        assert via_composition.n_regions == 4

@@ -1,0 +1,112 @@
+"""Unit tests for entropy ranking (framework step 4, Section 3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.datamap import DataMap
+from repro.core.ranking import balance, map_entropy, rank_maps
+from repro.dataset.table import Table
+from repro.query.predicate import RangePredicate
+from repro.query.query import ConjunctiveQuery
+
+
+def _uniform_table(n: int = 100) -> Table:
+    return Table.from_dict({"x": [i / n * 100 for i in range(n)]})
+
+
+def _map_with_cuts(points: list[float], low=0.0, high=100.0) -> DataMap:
+    bounds = [low] + points + [high]
+    regions = []
+    for i in range(len(bounds) - 1):
+        regions.append(
+            ConjunctiveQuery(
+                [
+                    RangePredicate(
+                        "x", bounds[i], bounds[i + 1],
+                        closed_low=(i == 0), closed_high=True,
+                    )
+                ]
+            )
+        )
+    return DataMap(regions, label=f"{len(regions)}regions")
+
+
+class TestMapEntropy:
+    def test_balanced_two_regions(self):
+        table = _uniform_table()
+        assert map_entropy(_map_with_cuts([50.0]), table) == pytest.approx(
+            math.log(2), abs=0.05
+        )
+
+    def test_more_regions_higher_entropy(self):
+        """Section 3.4: maps with many queries have a high score."""
+        table = _uniform_table()
+        two = map_entropy(_map_with_cuts([50.0]), table)
+        four = map_entropy(_map_with_cuts([25.0, 50.0, 75.0]), table)
+        assert four > two
+
+    def test_balanced_beats_skewed_at_same_size(self):
+        """Section 3.4: ties favour the most balanced map."""
+        table = _uniform_table()
+        balanced = map_entropy(_map_with_cuts([50.0]), table)
+        skewed = map_entropy(_map_with_cuts([90.0]), table)
+        assert balanced > skewed
+
+    def test_map_covering_nothing_scores_zero(self):
+        table = _uniform_table()
+        nowhere = DataMap(
+            [ConjunctiveQuery([RangePredicate("x", 500, 600)])]
+        )
+        assert map_entropy(nowhere, table) == 0.0
+
+
+class TestRankMaps:
+    def test_descending_order(self):
+        table = _uniform_table()
+        maps = [
+            _map_with_cuts([90.0]),
+            _map_with_cuts([25.0, 50.0, 75.0]),
+            _map_with_cuts([50.0]),
+        ]
+        ranked = rank_maps(maps, table)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert ranked[0].map.n_regions == 4
+
+    def test_outlier_revealing_maps_sink(self):
+        """Section 3.4: maps revealing small outlier subsets come last."""
+        table = _uniform_table()
+        ranked = rank_maps(
+            [_map_with_cuts([50.0]), _map_with_cuts([99.0])], table
+        )
+        assert ranked[-1].map.label == "2regions"
+        assert ranked[-1].covers[1] < 0.05
+
+    def test_max_maps_truncates(self):
+        table = _uniform_table()
+        maps = [_map_with_cuts([float(p)]) for p in range(10, 90, 10)]
+        assert len(rank_maps(maps, table, max_maps=3)) == 3
+
+    def test_covers_recorded(self):
+        table = _uniform_table()
+        ranked = rank_maps([_map_with_cuts([50.0])], table)
+        assert ranked[0].covers == pytest.approx((0.5, 0.5), abs=0.02)
+
+    def test_deterministic_tie_break_by_label(self):
+        table = _uniform_table()
+        a = _map_with_cuts([50.0]).relabel("alpha")
+        b = _map_with_cuts([50.0]).relabel("beta")
+        ranked = rank_maps([b, a], table)
+        assert [r.map.label for r in ranked] == ["alpha", "beta"]
+
+
+class TestBalance:
+    def test_even_is_one(self):
+        assert balance([0.25, 0.25, 0.25, 0.25]) == pytest.approx(1.0)
+
+    def test_skew_below_one(self):
+        assert balance([0.97, 0.01, 0.01, 0.01]) < 0.3
+
+    def test_single_region(self):
+        assert balance([1.0]) == 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for the exploration session (Figure-1 interaction loop)."""
+
+import pytest
+
+from repro.core.config import AtlasConfig
+from repro.core.session import ExplorationSession
+from repro.errors import MapError
+from repro.evaluation.workloads import figure2_query
+
+
+@pytest.fixture
+def session(census_small) -> ExplorationSession:
+    return ExplorationSession(census_small, AtlasConfig(seed=3))
+
+
+class TestLifecycle:
+    def test_not_started_raises(self, session):
+        with pytest.raises(MapError, match="start"):
+            session.current
+
+    def test_start(self, session):
+        map_set = session.start(figure2_query())
+        assert len(map_set) >= 1
+        assert session.depth == 1
+
+    def test_restart_resets(self, session):
+        session.start(figure2_query())
+        session.drill(0)
+        session.start(figure2_query())
+        assert session.depth == 1
+
+
+class TestDrill:
+    def test_drill_pushes_region_query(self, session, census_small):
+        session.start(figure2_query())
+        region = session.current_map.regions[0]
+        session.drill(0)
+        assert session.depth == 2
+        assert session.current.query == region
+
+    def test_drill_narrows_cover(self, session, census_small):
+        session.start(figure2_query())
+        parent_cover = session.current.query.cover(census_small)
+        session.drill(0)
+        child_cover = session.current.query.cover(census_small)
+        assert child_cover < parent_cover
+
+    def test_drill_out_of_range(self, session):
+        session.start(figure2_query())
+        with pytest.raises(MapError, match="out of range"):
+            session.drill(99)
+
+    def test_back(self, session):
+        session.start(figure2_query())
+        session.drill(0)
+        session.back()
+        assert session.depth == 1
+
+    def test_back_at_root_rejected(self, session):
+        session.start(figure2_query())
+        with pytest.raises(MapError, match="root"):
+            session.back()
+
+
+class TestNextMap:
+    def test_cycles_through_ranked_maps(self, session):
+        map_set = session.start(figure2_query())
+        first = session.current_map
+        second = session.next_map()
+        if len(map_set) > 1:
+            assert second != first
+        # full cycle returns to the start
+        for __ in range(len(map_set) - 1):
+            session.next_map()
+        assert session.current_map == first
+
+    def test_breadcrumb(self, session):
+        session.start(figure2_query())
+        session.drill(0)
+        trail = session.breadcrumb()
+        assert len(trail) == 2
+        assert "Age" in trail[0]
+
+
+class TestPersonalization:
+    def test_profile_learns_from_drills(self, session):
+        session.start(figure2_query())
+        session.drill(0)
+        drilled_attrs = {
+            p.attribute
+            for p in session.current.query.restrictive_predicates
+        }
+        assert drilled_attrs & set(session.profile.weights)
+
+    def test_personalized_maps_returns_ranked(self, session):
+        session.start(figure2_query())
+        ranked = session.personalized_maps(blend=0.5)
+        assert len(ranked) == len(session.current.map_set.ranked)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_blend_zero_keeps_entropy_order(self, session):
+        session.start(figure2_query())
+        baseline = [r.map.label for r in session.current.map_set.ranked]
+        ranked = [r.map.label for r in session.personalized_maps(blend=0.0)]
+        assert ranked == baseline

@@ -1,0 +1,65 @@
+"""Unit tests for the census (Figure-2) generator."""
+
+import numpy as np
+
+from repro.core.distance import map_nvi
+from repro.core.cut import cut
+from repro.datagen.census import census_table
+from repro.dataset.types import ColumnRole
+from repro.query.query import ConjunctiveQuery
+
+
+class TestSchema:
+    def test_columns(self):
+        table = census_table(100, seed=0)
+        assert table.column_names == (
+            "Age", "Sex", "Salary", "Education", "Eye color",
+        )
+
+    def test_age_range(self):
+        table = census_table(5000, seed=0)
+        age = table.numeric("Age")
+        assert age.min() >= 17
+        assert age.max() <= 90
+
+    def test_categories(self):
+        table = census_table(1000, seed=0)
+        assert set(table.categorical("Sex").categories) == {"Male", "Female"}
+        assert set(table.categorical("Salary").categories) == {"<50k", ">50k"}
+        assert set(table.categorical("Education").categories) == {"BSc", "MSc"}
+
+    def test_deterministic_by_seed(self):
+        a = census_table(500, seed=5).numeric("Age").data
+        b = census_table(500, seed=5).numeric("Age").data
+        assert np.array_equal(a, b)
+
+    def test_key_columns_optional(self):
+        plain = census_table(100, seed=0)
+        keyed = census_table(100, seed=0, include_key_columns=True)
+        assert "RespondentId" not in plain
+        assert keyed.column("RespondentId").role() is ColumnRole.KEY
+        assert keyed.column("Name").role() is ColumnRole.KEY
+
+
+class TestPlantedDependencies:
+    def test_salary_depends_on_education(self):
+        table = census_table(20_000, seed=0)
+        salary = cut(table, ConjunctiveQuery(), "Salary")
+        education = cut(table, ConjunctiveQuery(), "Education")
+        eye = cut(table, ConjunctiveQuery(), "Eye color")
+        assert map_nvi(salary, education, table) < 0.92
+        assert map_nvi(salary, eye, table) > 0.98
+
+    def test_sex_depends_on_age(self):
+        table = census_table(20_000, seed=0)
+        age = cut(table, ConjunctiveQuery(), "Age")
+        sex = cut(table, ConjunctiveQuery(), "Sex")
+        eye = cut(table, ConjunctiveQuery(), "Eye color")
+        assert map_nvi(age, sex, table) < 0.92
+        assert map_nvi(age, eye, table) > 0.98
+
+    def test_blocks_mutually_independent(self):
+        table = census_table(20_000, seed=0)
+        age = cut(table, ConjunctiveQuery(), "Age")
+        salary = cut(table, ConjunctiveQuery(), "Salary")
+        assert map_nvi(age, salary, table) > 0.98

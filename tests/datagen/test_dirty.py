@@ -1,0 +1,107 @@
+"""Unit tests for dirty-data injection."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import census_table
+from repro.datagen.dirty import (
+    corrupt,
+    inject_label_noise,
+    inject_missing,
+    inject_outliers,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return census_table(n_rows=5000, seed=0)
+
+
+class TestInjectMissing:
+    def test_rate_roughly_respected(self, clean):
+        dirty = inject_missing(clean, 0.2, rng=0)
+        ratio = dirty.numeric("Age").missing_count() / dirty.n_rows
+        assert 0.15 < ratio < 0.25
+
+    def test_categorical_cells_blanked(self, clean):
+        dirty = inject_missing(clean, 0.2, rng=0)
+        assert dirty.categorical("Sex").missing_count() > 0
+
+    def test_original_untouched(self, clean):
+        inject_missing(clean, 0.5, rng=0)
+        assert clean.numeric("Age").missing_count() == 0
+
+    def test_column_filter(self, clean):
+        dirty = inject_missing(clean, 0.5, rng=0, columns=("Age",))
+        assert dirty.numeric("Age").missing_count() > 0
+        assert dirty.categorical("Sex").missing_count() == 0
+
+    def test_rate_zero_is_identity(self, clean):
+        dirty = inject_missing(clean, 0.0, rng=0)
+        assert np.array_equal(
+            dirty.numeric("Age").data, clean.numeric("Age").data
+        )
+
+    def test_bad_rate(self, clean):
+        with pytest.raises(DatasetError):
+            inject_missing(clean, 1.5)
+
+
+class TestInjectOutliers:
+    def test_outliers_far_out(self, clean):
+        dirty = inject_outliers(clean, 0.05, magnitude=10.0, rng=0)
+        data = dirty.numeric("Age").data
+        clean_max = clean.numeric("Age").max()
+        assert data.max() > clean_max * 1.5
+
+    def test_rate_respected(self, clean):
+        dirty = inject_outliers(clean, 0.1, magnitude=10.0, rng=0)
+        moved = (
+            dirty.numeric("Age").data != clean.numeric("Age").data
+        ).mean()
+        assert 0.05 < moved < 0.15
+
+    def test_categorical_untouched(self, clean):
+        dirty = inject_outliers(clean, 0.5, rng=0)
+        assert (
+            dirty.categorical("Sex").decode()
+            == clean.categorical("Sex").decode()
+        )
+
+
+class TestInjectLabelNoise:
+    def test_labels_shuffled(self, clean):
+        dirty = inject_label_noise(clean, 0.3, rng=0)
+        changed = sum(
+            a != b
+            for a, b in zip(
+                dirty.categorical("Sex").decode(),
+                clean.categorical("Sex").decode(),
+            )
+        ) / clean.n_rows
+        # a third of cells re-drawn uniformly over 2 labels -> ~15% change
+        assert 0.08 < changed < 0.25
+
+    def test_category_set_preserved(self, clean):
+        dirty = inject_label_noise(clean, 0.5, rng=0)
+        assert set(dirty.categorical("Sex").categories) == {"Male", "Female"}
+
+    def test_numeric_untouched(self, clean):
+        dirty = inject_label_noise(clean, 0.5, rng=0)
+        assert np.array_equal(
+            dirty.numeric("Age").data, clean.numeric("Age").data
+        )
+
+
+class TestCorrupt:
+    def test_all_corruptions_applied(self, clean):
+        dirty = corrupt(clean, 0.3, rng=0)
+        assert dirty.numeric("Age").missing_count() > 0
+        assert dirty.numeric("Age").max() > clean.numeric("Age").max()
+        assert dirty.name.endswith("_dirty")
+
+    def test_shape_preserved(self, clean):
+        dirty = corrupt(clean, 0.3, rng=0)
+        assert dirty.n_rows == clean.n_rows
+        assert dirty.column_names == clean.column_names

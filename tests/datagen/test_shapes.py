@@ -1,0 +1,38 @@
+"""Unit tests for the 1-D distribution shapes."""
+
+import numpy as np
+
+from repro.datagen.shapes import (
+    bimodal_values,
+    shape_table,
+    skewed_values,
+    uniform_values,
+)
+
+
+class TestShapes:
+    def test_uniform_bounds(self):
+        values = uniform_values(5000, low=10, high=20, seed=0)
+        assert values.min() >= 10
+        assert values.max() <= 20
+
+    def test_skewed_has_long_tail(self):
+        values = skewed_values(10_000, seed=0)
+        assert np.mean(values) > np.median(values) * 1.5
+
+    def test_bimodal_gap(self):
+        values = bimodal_values(10_000, centers=(0.0, 100.0), spread=1.0, seed=0)
+        # essentially nothing in the middle
+        middle = ((values > 40) & (values < 60)).mean()
+        assert middle < 0.001
+
+    def test_bimodal_weight(self):
+        values = bimodal_values(
+            10_000, centers=(0.0, 100.0), spread=1.0, weight=0.8, seed=0
+        )
+        assert 0.75 < (values < 50).mean() < 0.85
+
+    def test_shape_table(self):
+        table = shape_table(100, seed=0)
+        assert table.column_names == ("uniform", "skewed", "bimodal")
+        assert table.n_rows == 100

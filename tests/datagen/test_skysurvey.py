@@ -1,0 +1,44 @@
+"""Unit tests for the sky-survey generator."""
+
+import numpy as np
+
+from repro.datagen.skysurvey import sky_survey_table
+
+
+class TestSkySurvey:
+    def test_schema(self):
+        table = sky_survey_table(500, seed=0)
+        assert table.column_names == (
+            "ra", "dec", "class", "redshift",
+            "mag_u", "mag_g", "mag_r", "mag_i", "mag_z",
+        )
+
+    def test_positions_in_range(self):
+        table = sky_survey_table(2000, seed=0)
+        assert 0 <= table.numeric("ra").min()
+        assert table.numeric("ra").max() <= 360
+
+    def test_class_redshift_dependency(self):
+        table = sky_survey_table(10_000, seed=0)
+        z = table.numeric("redshift").data
+        labels = np.array(table.categorical("class").decode())
+        assert z[labels == "STAR"].mean() < 0.01
+        assert 0.05 < z[labels == "GALAXY"].mean() < 0.3
+        assert z[labels == "QSO"].mean() > 1.0
+
+    def test_magnitudes_correlated(self):
+        table = sky_survey_table(5000, seed=0)
+        g = table.numeric("mag_g").data
+        r = table.numeric("mag_r").data
+        assert np.corrcoef(g, r)[0, 1] > 0.9
+
+    def test_class_proportions(self):
+        table = sky_survey_table(10_000, seed=0)
+        counts = table.categorical("class").value_counts()
+        assert counts["QSO"] < counts["STAR"]
+        assert counts["QSO"] < counts["GALAXY"]
+
+    def test_deterministic(self):
+        a = sky_survey_table(100, seed=3).numeric("mag_r").data
+        b = sky_survey_table(100, seed=3).numeric("mag_r").data
+        assert np.array_equal(a, b)

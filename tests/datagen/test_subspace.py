@@ -1,0 +1,88 @@
+"""Unit tests for the subspace-cluster generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.subspace import (
+    SubspaceSpec,
+    default_specs,
+    figure5_dataset,
+    subspace_dataset,
+)
+from repro.errors import DatasetError
+
+
+class TestSpecs:
+    def test_center_arity_checked(self):
+        with pytest.raises(DatasetError):
+            SubspaceSpec(attributes=("a", "b"), centers=((1.0,),))
+
+    def test_weights_arity_checked(self):
+        with pytest.raises(DatasetError):
+            SubspaceSpec(
+                attributes=("a",), centers=((1.0,), (2.0,)), weights=(1.0,)
+            )
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(DatasetError):
+            SubspaceSpec(attributes=(), centers=())
+
+
+class TestGeneration:
+    def test_default_schema(self):
+        data = subspace_dataset(1000, seed=0)
+        assert set(data.table.column_names) == {
+            "size", "weight", "age", "income", "noise0", "noise1",
+        }
+        assert data.table.n_rows == 1000
+
+    def test_labels_per_subspace(self):
+        data = subspace_dataset(500, seed=0)
+        assert set(data.labels) == {("size", "weight"), ("age", "income")}
+        assert data.labels_for(["size", "weight"]).shape == (500,)
+
+    def test_cluster_counts_match_specs(self):
+        data = subspace_dataset(2000, seed=0)
+        assert set(np.unique(data.labels_for(["age", "income"]))) == {0, 1, 2}
+
+    def test_clusters_are_separated(self):
+        data = subspace_dataset(2000, seed=0)
+        size = data.table.numeric("size").data
+        labels = data.labels_for(["size", "weight"])
+        gap = size[labels == 1].mean() - size[labels == 0].mean()
+        assert gap > 15  # centers at 140 / 165, spread 5
+
+    def test_duplicate_attribute_rejected(self):
+        specs = (
+            SubspaceSpec(attributes=("a",), centers=((0.0,), (1.0,))),
+            SubspaceSpec(attributes=("a",), centers=((5.0,), (6.0,))),
+        )
+        with pytest.raises(DatasetError, match="two subspaces"):
+            subspace_dataset(100, specs=specs)
+
+    def test_weighted_mixture(self):
+        spec = SubspaceSpec(
+            attributes=("v",),
+            centers=((0.0,), (100.0,)),
+            weights=(0.9, 0.1),
+            spread=1.0,
+        )
+        data = subspace_dataset(5000, specs=(spec,), n_noise_attributes=0, seed=0)
+        labels = data.labels_for(["v"])
+        assert 0.85 < (labels == 0).mean() < 0.95
+
+
+class TestFigure5:
+    def test_weight_modes_shift_with_size(self):
+        data = figure5_dataset(6000, seed=0)
+        table = data.table
+        size = table.numeric("size").data
+        weight = table.numeric("weight").data
+        small = size < 150
+        # small items' weights cluster near 35/55; large near 55/75
+        assert abs(np.median(weight[small]) - 45) < 5
+        assert abs(np.median(weight[~small]) - 65) < 5
+
+    def test_four_planted_groups(self):
+        data = figure5_dataset(1000, seed=0)
+        assert set(np.unique(data.labels_for(["size", "weight"]))) == {0, 1, 2, 3}

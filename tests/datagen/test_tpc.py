@@ -1,0 +1,48 @@
+"""Unit tests for the TPC-like multi-table generator."""
+
+import pytest
+
+from repro.datagen.tpc import tpc_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpc_catalog(scale=0.01, seed=0)
+
+
+class TestTpcCatalog:
+    def test_tables_registered(self, catalog):
+        assert set(catalog.table_names) == {"customers", "orders"}
+
+    def test_scale_controls_sizes(self):
+        small = tpc_catalog(scale=0.005, seed=0)
+        big = tpc_catalog(scale=0.02, seed=0)
+        assert (
+            big.table("orders").n_rows > small.table("orders").n_rows
+        )
+
+    def test_foreign_key_declared_and_valid(self, catalog):
+        fks = catalog.foreign_keys
+        assert len(fks) == 1
+        assert str(fks[0]) == "orders.custkey -> customers.custkey"
+
+    def test_star_materializes(self, catalog):
+        wide = catalog.star_around("orders")
+        assert wide.n_rows == catalog.table("orders").n_rows
+        assert "customers.segment" in wide
+        assert "customers.region" in wide
+
+    def test_priority_price_dependency(self, catalog):
+        wide = catalog.star_around("orders")
+        price = wide.numeric("totalprice").data
+        priority = wide.categorical("priority").decode()
+        urgent = [p == "1-URGENT" for p in priority]
+        slow = [p == "5-LOW" for p in priority]
+        urgent_mean = price[urgent].mean()
+        slow_mean = price[slow].mean()
+        assert urgent_mean > slow_mean
+
+    def test_minimum_sizes(self):
+        tiny = tpc_catalog(scale=0.0, seed=0)
+        assert tiny.table("customers").n_rows >= 10
+        assert tiny.table("orders").n_rows >= 20

@@ -1,0 +1,76 @@
+"""Unit tests for the multi-table catalog."""
+
+import pytest
+
+from repro.dataset.catalog import Catalog
+from repro.dataset.table import Table
+from repro.errors import CatalogError, DatasetError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog(name="shop")
+    cat.add_table(
+        Table.from_dict(
+            {"custkey": [1, 2], "segment": ["A", "B"]}, name="customers"
+        )
+    )
+    cat.add_table(
+        Table.from_dict(
+            {"orderkey": [1, 2, 3], "custkey": [1, 2, 1], "total": [9, 8, 7]},
+            name="orders",
+        )
+    )
+    return cat
+
+
+class TestRegistration:
+    def test_tables_registered(self, catalog):
+        assert catalog.table_names == ("customers", "orders")
+        assert catalog.table("orders").n_rows == 3
+
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="already registered"):
+            catalog.add_table(Table.from_dict({"x": [1]}, name="orders"))
+
+    def test_unknown_table_lists_known(self, catalog):
+        with pytest.raises(CatalogError, match="customers"):
+            catalog.table("nope")
+
+
+class TestForeignKeys:
+    def test_valid_fk_accepted(self, catalog):
+        fk = catalog.add_foreign_key("orders", "custkey", "customers", "custkey")
+        assert catalog.foreign_keys == (fk,)
+
+    def test_broken_fk_rejected(self, catalog):
+        catalog.add_table(
+            Table.from_dict(
+                {"orderkey": [9], "custkey": [99]}, name="bad_orders"
+            )
+        )
+        with pytest.raises(CatalogError, match="orphan"):
+            catalog.add_foreign_key(
+                "bad_orders", "custkey", "customers", "custkey"
+            )
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(DatasetError):
+            catalog.add_foreign_key("orders", "nope", "customers", "custkey")
+
+
+class TestStarAround:
+    def test_star_materialization(self, catalog):
+        catalog.add_foreign_key("orders", "custkey", "customers", "custkey")
+        wide = catalog.star_around("orders")
+        assert wide.n_rows == 3
+        assert "customers.segment" in wide
+
+    def test_star_without_fks_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="no outgoing"):
+            catalog.star_around("orders")
+
+    def test_star_with_sample(self, catalog):
+        catalog.add_foreign_key("orders", "custkey", "customers", "custkey")
+        wide = catalog.star_around("orders", sample=2, rng=0)
+        assert wide.n_rows <= 2

@@ -1,0 +1,65 @@
+"""Unit tests for ISO-date ingestion (dates are ordinals, §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.infer import (
+    column_from_tokens,
+    date_to_ordinal,
+    infer_kind,
+    ordinal_to_date,
+)
+from repro.dataset.io_csv import read_csv_text
+from repro.dataset.types import ColumnKind
+
+
+class TestDateConversion:
+    def test_epoch(self):
+        assert date_to_ordinal("1970-01-01") == 0.0
+
+    def test_roundtrip(self):
+        for date in ("1999-12-31", "2013-08-26", "2026-06-12"):
+            assert ordinal_to_date(date_to_ordinal(date)) == date
+
+    def test_ordering(self):
+        assert date_to_ordinal("2013-08-26") < date_to_ordinal("2013-08-30")
+
+    @pytest.mark.parametrize(
+        "token", ["not-a-date", "2013-13-45", "13-08-26", "2013/08/26"]
+    )
+    def test_invalid_tokens(self, token):
+        assert date_to_ordinal(token) is None
+
+
+class TestDateInference:
+    def test_date_column_is_numeric(self):
+        kind = infer_kind(["2013-08-26", "2013-08-30", ""])
+        assert kind is ColumnKind.NUMERIC
+
+    def test_mixed_dates_and_labels_categorical(self):
+        assert infer_kind(["2013-08-26", "hello"]) is ColumnKind.CATEGORICAL
+
+    def test_column_values_are_ordinals(self):
+        col = column_from_tokens("when", ["1970-01-01", "1970-01-11"])
+        assert col.data.tolist() == [0.0, 10.0]
+
+    def test_csv_with_dates_is_rangeable(self):
+        table = read_csv_text(
+            "event,when\nconf,2013-08-26\ntalk,2013-08-30\n"
+        )
+        when = table.numeric("when")
+        assert when.max() - when.min() == 4.0
+
+    def test_cut_on_dates(self):
+        from repro.core.cut import cut
+        from repro.query.query import ConjunctiveQuery
+
+        rows = "\n".join(
+            f"e{i},{ordinal_to_date(15000 + i * 10)}" for i in range(50)
+        )
+        table = read_csv_text("event,when\n" + rows)
+        result = cut(table, ConjunctiveQuery(), "when")
+        assert result.n_regions == 2
+        boundary = result.regions[0].predicate_on("when").high
+        # the boundary decodes back to a real date
+        assert ordinal_to_date(boundary).startswith(("2011", "2012"))

@@ -1,0 +1,54 @@
+"""Unit tests for type inference over raw tokens."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.infer import column_from_tokens, infer_kind, is_missing_token
+from repro.dataset.types import ColumnKind
+from repro.errors import TypeInferenceError
+
+
+class TestMissingTokens:
+    @pytest.mark.parametrize("token", ["", "NA", "NaN", "null", "None", "  na  "])
+    def test_recognized(self, token):
+        assert is_missing_token(token)
+
+    @pytest.mark.parametrize("token", ["0", "n/a?", "missing", "-"])
+    def test_not_recognized(self, token):
+        assert not is_missing_token(token)
+
+
+class TestInferKind:
+    def test_all_numbers(self):
+        assert infer_kind(["1", "2.5", "-3e2"]) is ColumnKind.NUMERIC
+
+    def test_numbers_with_missing(self):
+        assert infer_kind(["1", "", "3"]) is ColumnKind.NUMERIC
+
+    def test_any_label_makes_categorical(self):
+        assert infer_kind(["1", "x"]) is ColumnKind.CATEGORICAL
+
+    def test_all_missing_defaults_categorical(self):
+        assert infer_kind(["", "NA"]) is ColumnKind.CATEGORICAL
+
+
+class TestColumnFromTokens:
+    def test_numeric_with_missing(self):
+        col = column_from_tokens("x", ["1", "", "3"])
+        assert isinstance(col, NumericColumn)
+        assert np.isnan(col.data[1])
+
+    def test_categorical_strips_whitespace(self):
+        col = column_from_tokens("x", [" a ", "b"])
+        assert isinstance(col, CategoricalColumn)
+        assert col.decode() == ["a", "b"]
+
+    def test_forced_numeric_fails_loudly(self):
+        with pytest.raises(TypeInferenceError, match="row 1"):
+            column_from_tokens("x", ["1", "oops"], ColumnKind.NUMERIC)
+
+    def test_forced_categorical_keeps_numbers_as_labels(self):
+        col = column_from_tokens("x", ["1", "2"], ColumnKind.CATEGORICAL)
+        assert isinstance(col, CategoricalColumn)
+        assert col.decode() == ["1", "2"]

@@ -1,0 +1,81 @@
+"""Unit tests for CSV ingestion and export."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.io_csv import read_csv, read_csv_text, write_csv
+from repro.dataset.types import ColumnKind
+from repro.errors import SchemaError
+
+
+class TestReadCsvText:
+    def test_basic(self):
+        table = read_csv_text("a,b\n1,x\n2,y\n")
+        assert table.n_rows == 2
+        assert table.numeric("a").data.tolist() == [1.0, 2.0]
+        assert table.categorical("b").decode() == ["x", "y"]
+
+    def test_missing_fields(self):
+        table = read_csv_text("a,b\n1,\n,y\n")
+        assert np.isnan(table.numeric("a").data[1])
+        assert table.categorical("b").decode() == [None, "y"]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv_text("")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_ragged_row_rejected_with_row_number(self):
+        with pytest.raises(SchemaError, match="row 3"):
+            read_csv_text("a,b\n1,2\n3\n")
+
+    def test_type_override(self):
+        table = read_csv_text(
+            "zip\n02134\n90210\n", kinds={"zip": ColumnKind.CATEGORICAL}
+        )
+        assert table.categorical("zip").decode() == ["02134", "90210"]
+
+    def test_override_unknown_column_rejected(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            read_csv_text("a\n1\n", kinds={"b": ColumnKind.NUMERIC})
+
+    def test_custom_delimiter(self):
+        table = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert table.column_names == ("a", "b")
+
+    def test_header_only(self):
+        table = read_csv_text("a,b\n")
+        assert table.n_rows == 0
+        assert table.column_names == ("a", "b")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        original = read_csv_text("age,sex\n20,M\n30,F\n,\n", name="people")
+        write_csv(original, path)
+        reloaded = read_csv(path)
+        assert reloaded.name == "data"
+        assert reloaded.numeric("age").data.tolist()[:2] == [20.0, 30.0]
+        assert np.isnan(reloaded.numeric("age").data[2])
+        assert reloaded.categorical("sex").decode() == ["M", "F", None]
+
+    def test_floats_survive(self, tmp_path):
+        path = tmp_path / "f.csv"
+        original = read_csv_text("x\n1.25\n2.5\n")
+        write_csv(original, path)
+        assert read_csv(path).numeric("x").data.tolist() == [1.25, 2.5]
+
+    def test_integers_written_without_decimal(self, tmp_path):
+        path = tmp_path / "i.csv"
+        write_csv(read_csv_text("x\n7\n"), path)
+        assert "7" in path.read_text()
+        assert "7.0" not in path.read_text()
+
+    def test_read_csv_uses_file_stem_as_name(self, tmp_path):
+        path = tmp_path / "survey.csv"
+        path.write_text("a\n1\n")
+        assert read_csv(path).name == "survey"

@@ -1,0 +1,103 @@
+"""Unit tests for FK joins and star materialization."""
+
+import pytest
+
+from repro.dataset.join import ForeignKey, hash_join, materialize_star
+from repro.dataset.table import Table
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def orders() -> Table:
+    return Table.from_dict(
+        {
+            "orderkey": [1, 2, 3, 4],
+            "custkey": [10, 20, 10, 30],
+            "amount": [5.0, 7.0, 9.0, 11.0],
+        },
+        name="orders",
+    )
+
+
+@pytest.fixture
+def customers() -> Table:
+    return Table.from_dict(
+        {
+            "custkey": [10, 20],
+            "segment": ["A", "B"],
+        },
+        name="customers",
+    )
+
+
+class TestHashJoin:
+    def test_inner_join_drops_orphans(self, orders, customers):
+        joined = hash_join(orders, customers, "custkey", "custkey")
+        # order 4 (custkey 30) has no customer and is dropped
+        assert joined.n_rows == 3
+        assert joined.numeric("orderkey").data.tolist() == [1.0, 2.0, 3.0]
+
+    def test_parent_columns_prefixed(self, orders, customers):
+        joined = hash_join(orders, customers, "custkey", "custkey")
+        assert "customers.segment" in joined
+        assert joined.categorical("customers.segment").decode() == [
+            "A",
+            "B",
+            "A",
+        ]
+
+    def test_join_key_not_duplicated(self, orders, customers):
+        joined = hash_join(orders, customers, "custkey", "custkey")
+        assert "customers.custkey" not in joined
+
+    def test_non_unique_parent_key_rejected(self, orders):
+        bad_parent = Table.from_dict(
+            {"custkey": [10, 10], "x": [1, 2]}, name="dup"
+        )
+        with pytest.raises(CatalogError, match="not unique"):
+            hash_join(orders, bad_parent, "custkey", "custkey")
+
+    def test_categorical_join_keys(self):
+        child = Table.from_dict(
+            {"code": ["x", "y", "x"], "v": [1, 2, 3]}, name="child"
+        )
+        parent = Table.from_dict(
+            {"code": ["x", "y"], "label": ["ex", "why"]}, name="parent"
+        )
+        joined = hash_join(child, parent, "code", "code")
+        assert joined.categorical("parent.label").decode() == [
+            "ex",
+            "why",
+            "ex",
+        ]
+
+    def test_name_collision_detected(self, orders):
+        parent = Table.from_dict(
+            {"custkey": [10, 20, 30], "amount": [0, 0, 0]}, name="orders"
+        )
+        with pytest.raises(CatalogError, match="duplicate column"):
+            hash_join(orders, parent, "custkey", "custkey", prefix_parent=False)
+
+
+class TestMaterializeStar:
+    def test_two_dimensions(self, orders, customers):
+        regions = Table.from_dict(
+            {"orderkey": [1, 2, 3, 4], "zone": ["N", "S", "N", "S"]},
+            name="zones",
+        )
+        wide = materialize_star(
+            orders,
+            [(customers, "custkey", "custkey"), (regions, "orderkey", "orderkey")],
+        )
+        assert "customers.segment" in wide
+        assert "zones.zone" in wide
+
+    def test_sampled_star(self, orders, customers):
+        wide = materialize_star(
+            orders, [(customers, "custkey", "custkey")], sample=2, rng=0
+        )
+        assert wide.n_rows <= 2
+
+    def test_foreign_key_str(self):
+        fk = ForeignKey("orders", "custkey", "customers", "custkey")
+        assert str(fk) == "orders.custkey -> customers.custkey"

@@ -1,0 +1,52 @@
+"""Unit tests for column summaries and the cardinality-guard profile."""
+
+import numpy as np
+
+from repro.dataset.stats import profile_table, summarize
+from repro.dataset.table import Table
+from repro.dataset.types import ColumnKind, ColumnRole
+
+
+class TestSummarize:
+    def test_numeric_summary(self, tiny_table):
+        summary = summarize(tiny_table.column("age"))
+        assert summary.kind is ColumnKind.NUMERIC
+        assert summary.minimum == 20.0
+        assert summary.maximum == 70.0
+        assert summary.median == 45.0
+        assert summary.n_missing == 0
+        assert summary.missing_ratio == 0.0
+
+    def test_categorical_summary_top_values(self, tiny_table):
+        summary = summarize(tiny_table.column("sex"))
+        assert summary.top_values == (("F", 3), ("M", 3))
+
+    def test_missing_ratio(self, missing_table):
+        summary = summarize(missing_table.column("x"))
+        assert summary.n_missing == 2
+        assert summary.missing_ratio == 2 / 5
+
+    def test_all_missing_numeric_has_no_stats(self):
+        table = Table.from_dict({"x": [None, None]})
+        summary = summarize(table.column("x"))
+        assert summary.minimum is None
+        assert summary.mean is None
+
+
+class TestProfileTable:
+    def test_dimensions_and_exclusions(self):
+        table = Table.from_dict(
+            {
+                "id": list(range(200)),
+                "name": [f"row-{i}" for i in range(200)],
+                "group": ["a", "b"] * 100,
+                "value": list(np.tile([1.0, 2.0, 3.0, 4.0], 50)),
+            }
+        )
+        profile = profile_table(table)
+        assert profile.dimensions == ("group", "value")
+        assert set(profile.excluded) == {"id", "name"}
+        assert "key" in profile.excluded["id"]
+
+    def test_profile_names_table(self, tiny_table):
+        assert profile_table(tiny_table).table_name == "tiny"

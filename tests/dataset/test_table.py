@@ -1,0 +1,126 @@
+"""Unit tests for the Table relation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.dataset.types import ColumnKind
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        table = Table.from_dict({"a": [1, 2], "b": ["x", "y"]})
+        assert table.n_rows == 2
+        assert table.column_names == ("a", "b")
+        assert table.kinds() == {
+            "a": ColumnKind.NUMERIC,
+            "b": ColumnKind.CATEGORICAL,
+        }
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Table([NumericColumn("a", [1]), NumericColumn("a", [2])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="rows"):
+            Table([NumericColumn("a", [1]), NumericColumn("b", [1, 2])])
+
+    def test_empty_table(self):
+        table = Table([])
+        assert table.n_rows == 0
+        assert table.column_names == ()
+
+
+class TestAccess:
+    def test_column_lookup(self, tiny_table):
+        assert tiny_table.column("age").name == "age"
+
+    def test_unknown_column_raises_with_known_names(self, tiny_table):
+        with pytest.raises(SchemaError, match="age"):
+            tiny_table.column("nope")
+
+    def test_numeric_accessor_type_checks(self, tiny_table):
+        assert isinstance(tiny_table.numeric("age"), NumericColumn)
+        with pytest.raises(SchemaError, match="expected numeric"):
+            tiny_table.numeric("sex")
+
+    def test_categorical_accessor_type_checks(self, tiny_table):
+        assert isinstance(tiny_table.categorical("sex"), CategoricalColumn)
+        with pytest.raises(SchemaError, match="expected categorical"):
+            tiny_table.categorical("age")
+
+    def test_contains(self, tiny_table):
+        assert "age" in tiny_table
+        assert "nope" not in tiny_table
+
+
+class TestOperations:
+    def test_select(self, tiny_table):
+        mask = np.array([True, False, True, False, True, False])
+        selected = tiny_table.select(mask)
+        assert selected.n_rows == 3
+        assert selected.numeric("age").data.tolist() == [20.0, 40.0, 60.0]
+
+    def test_select_wrong_shape_rejected(self, tiny_table):
+        with pytest.raises(SchemaError, match="mask"):
+            tiny_table.select(np.array([True]))
+
+    def test_project(self, tiny_table):
+        projected = tiny_table.project(["sex"])
+        assert projected.column_names == ("sex",)
+        assert projected.n_rows == 6
+
+    def test_take_with_repeats(self, tiny_table):
+        taken = tiny_table.take(np.array([0, 0, 5]))
+        assert taken.numeric("age").data.tolist() == [20.0, 20.0, 70.0]
+
+    def test_sample_size_and_uniqueness(self, tiny_table):
+        sample = tiny_table.sample(4, rng=0)
+        assert sample.n_rows == 4
+        assert len(set(sample.numeric("age").data.tolist())) == 4
+
+    def test_sample_larger_than_table_caps(self, tiny_table):
+        assert tiny_table.sample(100, rng=0).n_rows == 6
+
+    def test_sample_deterministic_with_seed(self, tiny_table):
+        a = tiny_table.sample(3, rng=7).numeric("age").data.tolist()
+        b = tiny_table.sample(3, rng=7).numeric("age").data.tolist()
+        assert a == b
+
+    def test_with_column(self, tiny_table):
+        extended = tiny_table.with_column(
+            NumericColumn("height", [1.0] * 6)
+        )
+        assert "height" in extended
+        assert "height" not in tiny_table
+
+    def test_with_duplicate_column_rejected(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.with_column(NumericColumn("age", [0.0] * 6))
+
+    def test_rename(self, tiny_table):
+        assert tiny_table.rename("other").name == "other"
+
+
+class TestDisplay:
+    def test_head(self, tiny_table):
+        rows = tiny_table.head(2)
+        assert rows == [
+            {"age": 20.0, "sex": "M"},
+            {"age": 30.0, "sex": "F"},
+        ]
+
+    def test_head_caps_at_table_size(self, tiny_table):
+        assert len(tiny_table.head(100)) == 6
+
+    def test_dimension_columns_excludes_keys(self):
+        table = Table.from_dict(
+            {
+                "id": list(range(100)),
+                "group": ["a", "b"] * 50,
+            }
+        )
+        names = [c.name for c in table.dimension_columns()]
+        assert names == ["group"]

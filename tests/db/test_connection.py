@@ -1,0 +1,53 @@
+"""Unit tests for the connection layer."""
+
+import pytest
+
+from repro.dataset.table import Table
+from repro.db.connection import NativeConnection, SqlConnection
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_dict(
+        {"age": [20, 30, 40], "sex": ["M", "F", "M"]}, name="people"
+    )
+
+
+class TestNativeConnection:
+    def test_register_and_fetch(self, table):
+        connection = NativeConnection()
+        connection.register(table)
+        assert connection.table_names() == ("people",)
+        assert connection.fetch("people") is table
+
+    def test_unknown_table(self):
+        with pytest.raises(QueryError):
+            NativeConnection().fetch("nope")
+
+
+class TestSqlConnection:
+    def test_fetch_goes_through_sql(self, table):
+        connection = SqlConnection({"people": table})
+        fetched = connection.fetch("people")
+        assert fetched.n_rows == 3
+        assert connection.statement_log == ('SELECT * FROM "people"',)
+
+    def test_run_query(self, table):
+        connection = SqlConnection({"people": table})
+        query = parse_query("age: [25, 45]\nsex: any")
+        result = connection.run_query(query, "people")
+        assert result.n_rows == 2
+        assert "BETWEEN 25 AND 45" in connection.statement_log[-1]
+
+    def test_count(self, table):
+        connection = SqlConnection({"people": table})
+        query = parse_query("sex: {'M'}")
+        assert connection.count(query, "people") == 2
+        assert connection.statement_log[-1].startswith("SELECT COUNT(*)")
+
+    def test_raw_query(self, table):
+        connection = SqlConnection({"people": table})
+        result = connection.query("SELECT COUNT(*) FROM people WHERE age > 25")
+        assert result.numeric("count(*)").data[0] == 2.0

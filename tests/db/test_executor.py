@@ -1,0 +1,182 @@
+"""Unit tests for the SQL executor."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Table
+from repro.db.executor import SqlExecutionError, execute
+from repro.db.parser import parse_sql
+
+
+@pytest.fixture
+def tables() -> dict[str, Table]:
+    return {
+        "people": Table.from_dict(
+            {
+                "age": [20, 30, None, 50, 60],
+                "sex": ["M", "F", "F", None, "M"],
+                "score": [1.0, 2.0, 3.0, 4.0, 5.0],
+            },
+            name="people",
+        )
+    }
+
+
+def _run(sql: str, tables) -> Table:
+    return execute(parse_sql(sql), tables)
+
+
+class TestSelection:
+    def test_select_star(self, tables):
+        result = _run('SELECT * FROM "people"', tables)
+        assert result.n_rows == 5
+        assert result.column_names == ("age", "sex", "score")
+
+    def test_projection(self, tables):
+        result = _run('SELECT "sex" FROM people', tables)
+        assert result.column_names == ("sex",)
+
+    def test_between_skips_null(self, tables):
+        result = _run(
+            'SELECT * FROM people WHERE "age" BETWEEN 0 AND 100', tables
+        )
+        assert result.n_rows == 4  # the NULL age row is out
+
+    def test_in_list(self, tables):
+        result = _run("SELECT * FROM people WHERE \"sex\" IN ('F')", tables)
+        assert result.n_rows == 2
+
+    def test_comparison_on_numeric(self, tables):
+        result = _run("SELECT * FROM people WHERE age > 25", tables)
+        assert result.n_rows == 3
+
+    def test_equality_on_categorical(self, tables):
+        result = _run("SELECT * FROM people WHERE sex = 'M'", tables)
+        assert result.n_rows == 2
+
+    def test_not_equals_excludes_null(self, tables):
+        result = _run("SELECT * FROM people WHERE sex <> 'M'", tables)
+        assert result.n_rows == 2  # F, F — the NULL row never matches
+
+    def test_is_null(self, tables):
+        result = _run("SELECT * FROM people WHERE age IS NULL", tables)
+        assert result.n_rows == 1
+
+    def test_is_not_null(self, tables):
+        result = _run("SELECT * FROM people WHERE age IS NOT NULL", tables)
+        assert result.n_rows == 4
+
+    def test_conjunction(self, tables):
+        result = _run(
+            "SELECT * FROM people WHERE age > 25 AND sex = 'F'", tables
+        )
+        assert result.n_rows == 1
+
+    def test_false_literal(self, tables):
+        assert _run("SELECT * FROM people WHERE FALSE", tables).n_rows == 0
+
+    def test_limit(self, tables):
+        assert _run("SELECT * FROM people LIMIT 2", tables).n_rows == 2
+
+    def test_unknown_table(self, tables):
+        with pytest.raises(SqlExecutionError, match="unknown table"):
+            _run("SELECT * FROM nope", tables)
+
+    def test_unknown_value_matches_nothing(self, tables):
+        result = _run("SELECT * FROM people WHERE sex = 'X'", tables)
+        assert result.n_rows == 0
+
+
+class TestAggregates:
+    def test_count_star(self, tables):
+        result = _run("SELECT COUNT(*) FROM people", tables)
+        assert result.numeric("count(*)").data.tolist() == [5.0]
+
+    def test_count_column_skips_null(self, tables):
+        result = _run('SELECT COUNT("age") FROM people', tables)
+        assert result.numeric("count(age)").data.tolist() == [4.0]
+
+    def test_min_max_avg_sum(self, tables):
+        result = _run(
+            'SELECT MIN("score"), MAX("score"), AVG("score"), SUM("score") '
+            "FROM people",
+            tables,
+        )
+        assert result.numeric("min(score)").data[0] == 1.0
+        assert result.numeric("max(score)").data[0] == 5.0
+        assert result.numeric("avg(score)").data[0] == 3.0
+        assert result.numeric("sum(score)").data[0] == 15.0
+
+    def test_aggregate_with_where(self, tables):
+        result = _run(
+            "SELECT COUNT(*) FROM people WHERE sex = 'F'", tables
+        )
+        assert result.numeric("count(*)").data[0] == 2.0
+
+    def test_avg_of_empty_selection_is_nan(self, tables):
+        result = _run(
+            "SELECT AVG(score) FROM people WHERE age > 1000", tables
+        )
+        assert np.isnan(result.numeric("avg(score)").data[0])
+
+    def test_aggregate_alias(self, tables):
+        result = _run("SELECT COUNT(*) AS n FROM people", tables)
+        assert result.numeric("n").data[0] == 5.0
+
+
+class TestGroupBy:
+    def test_group_counts(self, tables):
+        result = _run(
+            'SELECT "sex", COUNT(*) FROM people GROUP BY "sex"', tables
+        )
+        by_sex = {
+            row["sex"]: row["count(*)"]
+            for row in result.head(result.n_rows)
+        }
+        assert by_sex["M"] == 2.0
+        assert by_sex["F"] == 2.0
+        # the NULL sex row forms its own group
+        assert len(by_sex) == 3
+
+    def test_group_aggregate(self, tables):
+        result = _run(
+            'SELECT "sex", AVG("score") FROM people GROUP BY "sex"', tables
+        )
+        by_sex = {
+            row["sex"]: row["avg(score)"]
+            for row in result.head(result.n_rows)
+        }
+        assert by_sex["M"] == 3.0  # scores 1 and 5
+
+    def test_group_by_numeric_column(self, tables):
+        result = _run(
+            'SELECT "score", COUNT(*) FROM people GROUP BY "score"', tables
+        )
+        assert result.n_rows == 5
+
+    def test_group_by_two_columns(self, tables):
+        result = _run(
+            'SELECT "sex", "age", COUNT(*) FROM people '
+            'GROUP BY "sex", "age"',
+            tables,
+        )
+        # every (sex, age) pair in the fixture is distinct
+        assert result.n_rows == 5
+        counts = result.numeric("count(*)").data
+        assert counts.sum() == 5.0
+
+    def test_group_by_with_where(self, tables):
+        result = _run(
+            'SELECT "sex", COUNT(*) FROM people '
+            "WHERE age IS NOT NULL GROUP BY \"sex\"",
+            tables,
+        )
+        total = result.numeric("count(*)").data.sum()
+        assert total == 4.0
+
+    def test_group_by_with_limit(self, tables):
+        result = _run(
+            'SELECT "sex", COUNT(*) FROM people GROUP BY "sex" LIMIT 1',
+            tables,
+        )
+        assert result.n_rows == 1

@@ -1,0 +1,101 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.db.ast import Between, Comparison, InList, IsNull
+from repro.db.parser import parse_sql
+from repro.db.tokens import SqlSyntaxError
+
+
+class TestSelectShapes:
+    def test_select_star(self):
+        statement = parse_sql('SELECT * FROM "t"')
+        assert statement.table == "t"
+        assert statement.columns is None
+        assert not statement.is_aggregate
+
+    def test_column_list(self):
+        statement = parse_sql('SELECT "a", b FROM t')
+        assert statement.columns == ("a", "b")
+
+    def test_count_star(self):
+        statement = parse_sql("SELECT COUNT(*) FROM t")
+        assert statement.aggregates[0].function == "COUNT"
+        assert statement.aggregates[0].column is None
+        assert statement.aggregates[0].output_name == "count(*)"
+
+    def test_aggregate_with_alias(self):
+        statement = parse_sql('SELECT AVG("x") AS mean_x FROM t')
+        assert statement.aggregates[0].output_name == "mean_x"
+
+    def test_group_by(self):
+        statement = parse_sql(
+            'SELECT "c", COUNT(*) FROM t GROUP BY "c"'
+        )
+        assert statement.group_by == ("c",)
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="GROUP BY"):
+            parse_sql('SELECT "c" FROM t GROUP BY "c"')
+
+    def test_limit(self):
+        assert parse_sql("SELECT * FROM t LIMIT 5").limit == 5
+
+    def test_min_star_rejected(self):
+        with pytest.raises(SqlSyntaxError, match=r"MIN\(\*\)"):
+            parse_sql("SELECT MIN(*) FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM t extra")
+
+
+class TestWhere:
+    def test_comparison(self):
+        statement = parse_sql('SELECT * FROM t WHERE "x" >= 10')
+        condition = statement.where[0]
+        assert condition == Comparison("x", ">=", 10.0)
+
+    def test_not_equals_normalized(self):
+        statement = parse_sql("SELECT * FROM t WHERE x != 1")
+        assert statement.where[0].operator == "<>"
+
+    def test_between(self):
+        statement = parse_sql('SELECT * FROM t WHERE "Age" BETWEEN 17 AND 90')
+        assert statement.where[0] == Between("Age", 17.0, 90.0)
+
+    def test_in_list(self):
+        statement = parse_sql(
+            "SELECT * FROM t WHERE \"Sex\" IN ('Female', 'Male')"
+        )
+        assert statement.where[0] == InList("Sex", ("Female", "Male"))
+
+    def test_is_null(self):
+        statement = parse_sql("SELECT * FROM t WHERE x IS NULL")
+        assert statement.where[0] == IsNull("x", negated=False)
+
+    def test_is_not_null(self):
+        statement = parse_sql("SELECT * FROM t WHERE x IS NOT NULL")
+        assert statement.where[0] == IsNull("x", negated=True)
+
+    def test_conjunction(self):
+        statement = parse_sql(
+            "SELECT * FROM t WHERE x > 1 AND y < 2 AND c IN ('a')"
+        )
+        assert len(statement.where) == 3
+
+    def test_true_literal_dropped(self):
+        statement = parse_sql("SELECT * FROM t WHERE TRUE AND x > 1")
+        assert len(statement.where) == 1
+
+    def test_or_rejected_with_explanation(self):
+        with pytest.raises(SqlSyntaxError, match="conjunctive"):
+            parse_sql("SELECT * FROM t WHERE x > 1 OR y < 2")
+
+    def test_string_comparison(self):
+        statement = parse_sql("SELECT * FROM t WHERE c = 'hello'")
+        assert statement.where[0] == Comparison("c", "=", "hello")
+
+    def test_missing_literal_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="literal"):
+            parse_sql("SELECT * FROM t WHERE x >")

@@ -1,0 +1,77 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.db.tokens import SqlSyntaxError, TokenType, tokenize
+
+
+def _types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def _values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop END
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert _values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_bare_identifier(self):
+        tokens = tokenize("age")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "age"
+
+    def test_quoted_identifier_with_space(self):
+        tokens = tokenize('"Eye color"')
+        assert tokens[0].value == "Eye color"
+        assert tokens[0].type is TokenType.IDENTIFIER
+
+    def test_quoted_identifier_escape(self):
+        assert tokenize('"we""ird"')[0].value == 'we"ird'
+
+    def test_string_literal(self):
+        assert tokenize("'Male'")[0].value == "Male"
+
+    def test_string_escape(self):
+        assert tokenize("'O''Brien'")[0].value == "O'Brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unterminated_identifier(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize('"oops')
+
+    @pytest.mark.parametrize(
+        "literal", ["42", "-7", "3.14", "1e5", "2.5e-3", "+9"]
+    )
+    def test_numbers(self, literal):
+        tokens = tokenize(literal)
+        assert tokens[0].type is TokenType.NUMBER
+        float(tokens[0].value)  # parses
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">=", "!="])
+    def test_operators(self, op):
+        assert tokenize(f"a {op} 1")[1].value == op
+
+    def test_star_and_punctuation(self):
+        types = _types("count(*) ,")[:-1]
+        assert types == [
+            TokenType.KEYWORD,
+            TokenType.PUNCTUATION,
+            TokenType.STAR,
+            TokenType.PUNCTUATION,
+            TokenType.PUNCTUATION,
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("select ;")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_dotted_identifier(self):
+        assert tokenize("customers.segment")[0].value == "customers.segment"

@@ -1,0 +1,56 @@
+"""Unit tests for the experiment harness utilities."""
+
+import time
+
+import pytest
+
+from repro.evaluation.harness import ResultTable, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable(["name", "value"], title="demo")
+        table.add_row(["alpha", 1.5])
+        table.add_row(["b", 20])
+        text = table.render()
+        assert "== demo ==" in text
+        lines = text.splitlines()
+        # header, rule, 2 rows after the title
+        assert len(lines) == 5
+        assert lines[1].index("|") == lines[3].index("|")
+
+    def test_row_arity_checked(self):
+        table = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = ResultTable(["x"])
+        table.add_row([0.123456])
+        table.add_row([123456.0])
+        table.add_row([0.00001])
+        text = table.render()
+        assert "0.1235" in text
+        assert "1.235e+05" in text
+        assert "1.000e-05" in text
+
+    def test_bool_formatting(self):
+        table = ResultTable(["ok"])
+        table.add_row([True])
+        assert "yes" in table.render()
+
+    def test_n_rows(self):
+        table = ResultTable(["a"])
+        assert table.n_rows == 0
+        table.add_row([1])
+        assert table.n_rows == 1
+
+    def test_empty_table_renders(self):
+        assert "a" in ResultTable(["a"]).render()

@@ -1,0 +1,35 @@
+"""Tests for the experiment report aggregator."""
+
+from pathlib import Path
+
+from repro.evaluation.report import collect_reports, main, render_all
+
+
+class TestCollectReports:
+    def test_orders_known_reports_first(self, tmp_path):
+        (tmp_path / "zz_custom.txt").write_text("custom\n")
+        (tmp_path / "fig2_census.txt").write_text("fig2\n")
+        (tmp_path / "ranking.txt").write_text("rank\n")
+        names = [name for name, __ in collect_reports(tmp_path)]
+        assert names == ["fig2_census", "ranking", "zz_custom"]
+
+    def test_missing_dir(self, tmp_path):
+        assert collect_reports(tmp_path / "nope") == []
+
+
+class TestRenderAll:
+    def test_concatenates(self, tmp_path):
+        (tmp_path / "a.txt").write_text("AAA\n")
+        (tmp_path / "b.txt").write_text("BBB\n")
+        text = render_all(tmp_path)
+        assert "AAA" in text and "BBB" in text
+
+    def test_hint_when_empty(self, tmp_path):
+        assert "pytest benchmarks/" in render_all(tmp_path)
+
+
+class TestMain:
+    def test_prints_reports(self, tmp_path, capsys):
+        (tmp_path / "fig3_cut.txt").write_text("FIG3 CONTENT\n")
+        assert main([str(tmp_path)]) == 0
+        assert "FIG3 CONTENT" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Unit tests for the shared workloads."""
+
+import numpy as np
+
+from repro.evaluation.workloads import figure2_query, figure3_query, random_query
+
+
+class TestPaperQueries:
+    def test_figure2(self):
+        query = figure2_query()
+        assert query.attributes == (
+            "Sex", "Salary", "Age", "Eye color", "Education",
+        )
+        assert query.predicate_on("Age").low == 17
+
+    def test_figure3(self):
+        query = figure3_query()
+        assert query.predicate_on("Age").low == 20
+        assert query.predicate_on("Sex").values == frozenset({"M", "F"})
+
+
+class TestRandomQuery:
+    def test_valid_over_census(self, census_small):
+        rng = np.random.default_rng(0)
+        for __ in range(25):
+            query = random_query(census_small, rng)
+            assert 1 <= len(query) <= 4
+            # every predicate must evaluate without error
+            assert query.count(census_small) >= 0
+
+    def test_deterministic_with_seed(self, census_small):
+        a = random_query(census_small, 9).describe()
+        b = random_query(census_small, 9).describe()
+        assert a == b
+
+    def test_numeric_ranges_within_span(self, census_small):
+        rng = np.random.default_rng(1)
+        for __ in range(25):
+            query = random_query(census_small, rng)
+            pred = query.predicate_on("Age")
+            if pred is not None and pred.is_restrictive:
+                assert pred.low >= 17 - 1e-9
+                assert pred.high <= 90 + 1e-9

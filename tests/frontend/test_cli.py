@@ -1,0 +1,44 @@
+"""Tests for the atlas-explore console entry point."""
+
+import io
+
+import pytest
+
+from repro.dataset.io_csv import write_csv
+from repro.datagen import census_table
+from repro.frontend import repl as repl_module
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "survey.csv"
+    write_csv(census_table(n_rows=800, seed=4), path)
+    return path
+
+
+class TestMain:
+    def test_explores_a_csv(self, csv_path, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        exit_code = repl_module.main([str(csv_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "map(s) for query" in out
+        assert "bye." in out
+
+    def test_query_file(self, csv_path, tmp_path, monkeypatch, capsys):
+        query_path = tmp_path / "query.txt"
+        query_path.write_text("Age: [17, 90]\nSex: any\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        repl_module.main([str(csv_path), "--query", str(query_path)])
+        out = capsys.readouterr().out
+        assert "Age: [17, 90]" in out
+
+    def test_max_maps_flag(self, csv_path, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        repl_module.main([str(csv_path), "--max-maps", "1"])
+        out = capsys.readouterr().out
+        assert "1 map(s)" in out
+
+    def test_missing_file_errors(self):
+        with pytest.raises(FileNotFoundError):
+            repl_module.main(["/nonexistent/data.csv"])

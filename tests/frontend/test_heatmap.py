@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII heat map."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtlasConfig, NumericCutStrategy
+from repro.core.cut import cut
+from repro.core.merge import product
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.frontend.heatmap import render_heatmap
+from repro.query.query import ConjunctiveQuery
+
+
+@pytest.fixture
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    x = np.concatenate([rng.normal(10, 1, 800), rng.normal(40, 1, 800)])
+    y = np.concatenate([rng.normal(5, 1, 800), rng.normal(25, 1, 800)])
+    return Table.from_dict({"x": x.tolist(), "y": y.tolist()})
+
+
+class TestRenderHeatmap:
+    def test_dimensions(self, table):
+        text = render_heatmap(table, "x", "y", width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 13  # header + 10 rows + axis + ranges
+        assert all(len(line) == 3 + 40 for line in lines[1:11])
+
+    def test_density_clusters_visible(self, table):
+        text = render_heatmap(table, "x", "y", width=40, height=10)
+        # the two dense blobs must produce dark cells
+        assert "@" in text
+
+    def test_cut_lines_drawn(self, table):
+        config = AtlasConfig(numeric_strategy=NumericCutStrategy.TWO_MEANS)
+        mx = cut(table, ConjunctiveQuery(), "x", config)
+        my = cut(table, ConjunctiveQuery(), "y", config)
+        merged = product([mx, my], table)
+        text = render_heatmap(table, "x", "y", data_map=merged)
+        assert "|" in text
+        assert "-|" not in "".join(text)  # lines are inside the grid
+        assert "+" in text  # the crossing of the two cuts
+
+    def test_axis_labels(self, table):
+        text = render_heatmap(table, "x", "y")
+        assert text.startswith("y ^")
+        assert "> x" in text
+
+    def test_nan_rows_ignored(self):
+        table = Table.from_dict(
+            {"x": [1, 2, None, 4], "y": [1, None, 3, 4]}
+        )
+        text = render_heatmap(table, "x", "y", width=4, height=2)
+        assert "x: [1, 4]" in text
+
+    def test_constant_axis_rejected(self):
+        table = Table.from_dict({"x": [1, 1], "y": [1, 2]})
+        with pytest.raises(MapError, match="degenerate"):
+            render_heatmap(table, "x", "y")
+
+    def test_empty_after_nan_rejected(self):
+        table = Table.from_dict({"x": [None], "y": [1.0]})
+        with pytest.raises(MapError, match="no complete"):
+            render_heatmap(table, "x", "y")
+
+    def test_too_small_canvas_rejected(self, table):
+        with pytest.raises(MapError):
+            render_heatmap(table, "x", "y", width=2, height=1)

@@ -1,0 +1,19 @@
+"""Unit tests for the example-tuples renderer."""
+
+from repro.dataset.table import Table
+from repro.frontend.render import render_examples
+
+
+class TestRenderExamples:
+    def test_rows_rendered(self):
+        table = Table.from_dict(
+            {"x": [1.5, 2.0], "label": ["a", None]}, name="t"
+        )
+        text = render_examples(table, title="demo")
+        assert text.splitlines()[0] == "demo (2 rows):"
+        assert "x=1.5, label=a" in text
+        assert "label=∅" in text  # missing value marker
+
+    def test_integers_rendered_compactly(self):
+        table = Table.from_dict({"x": [7.0]})
+        assert "x=7" in render_examples(table)

@@ -1,0 +1,28 @@
+"""Unit tests for the table-profile renderer."""
+
+from repro.dataset.stats import profile_table
+from repro.dataset.table import Table
+from repro.frontend.render import render_profile
+
+
+class TestRenderProfile:
+    def test_dimensions_and_exclusions_shown(self):
+        table = Table.from_dict(
+            {
+                "id": list(range(100)),
+                "group": ["a", "b"] * 50,
+                "value": [float(i % 7) for i in range(100)],
+            },
+            name="demo",
+        )
+        text = render_profile(profile_table(table))
+        assert "Profile of table 'demo':" in text
+        assert "✗ id" in text
+        assert "excluded: looks like a key" in text
+        assert "group: categorical, 2 distinct" in text
+        assert "range [0, 6]" in text
+
+    def test_missing_ratio_shown(self):
+        table = Table.from_dict({"x": [1.0, None, None, 4.0]})
+        text = render_profile(profile_table(table))
+        assert "50.0% missing" in text

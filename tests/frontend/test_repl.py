@@ -1,0 +1,89 @@
+"""Unit tests for the scriptable REPL."""
+
+import pytest
+
+from repro.core.config import AtlasConfig
+from repro.evaluation.workloads import FIGURE2_QUERY_TEXT
+from repro.frontend.repl import run_script
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.datagen import census_table
+
+    return census_table(n_rows=2000, seed=11)
+
+
+class TestCommands:
+    def test_initial_maps_shown(self, table):
+        out = run_script(table, ["quit"], initial_query=FIGURE2_QUERY_TEXT)
+        assert "map(s) for query" in out
+        assert "bye." in out
+
+    def test_maps_command(self, table):
+        out = run_script(table, ["maps", "quit"])
+        assert out.count("--- #1") >= 2  # initial display + maps command
+
+    def test_drill_and_back(self, table):
+        out = run_script(
+            table, ["drill 0", "where", "back", "quit"],
+            initial_query=FIGURE2_QUERY_TEXT,
+        )
+        assert "> " in out  # breadcrumb rendered
+
+    def test_next_cycles(self, table):
+        out = run_script(table, ["next", "quit"])
+        assert "Map:" in out
+
+    def test_invalid_drill_reports_error(self, table):
+        out = run_script(table, ["drill 99", "quit"])
+        assert "error:" in out
+
+    def test_drill_without_number_reports_error(self, table):
+        out = run_script(table, ["drill x", "quit"])
+        assert "error: drill needs a region number" in out
+
+    def test_unknown_command(self, table):
+        out = run_script(table, ["frobnicate", "quit"])
+        assert "unknown command" in out
+
+    def test_help(self, table):
+        out = run_script(table, ["help", "quit"])
+        assert "commands:" in out
+
+    def test_back_at_root_is_error_not_crash(self, table):
+        out = run_script(table, ["back", "quit"])
+        assert "error:" in out
+
+    def test_blank_lines_ignored(self, table):
+        out = run_script(table, ["", "   ", "quit"])
+        assert "bye." in out
+
+    def test_eof_terminates(self, table):
+        out = run_script(table, [])  # no quit; input just ends
+        assert "bye." in out
+
+    def test_explain_command(self, table):
+        out = run_script(
+            table, ["explain 0", "quit"], initial_query=FIGURE2_QUERY_TEXT
+        )
+        assert "overall" in out
+        assert "rows" in out
+
+    def test_examples_command(self, table):
+        out = run_script(
+            table, ["examples 0", "quit"], initial_query=FIGURE2_QUERY_TEXT
+        )
+        assert "representatives (3 rows):" in out
+        assert "Age=" in out
+
+    def test_explain_bad_index(self, table):
+        out = run_script(table, ["explain 42", "quit"])
+        assert "error:" in out
+
+    def test_config_passed_through(self, table):
+        out = run_script(
+            table, ["quit"], config=AtlasConfig(max_maps=1),
+            initial_query=FIGURE2_QUERY_TEXT,
+        )
+        assert "1 map(s)" in out

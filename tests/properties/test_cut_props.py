@@ -1,0 +1,109 @@
+"""Property-based tests for the CUT primitive (Definition 1).
+
+Whatever the data and strategy, CUT must return either the trivial map or
+a set of regions that (a) are pairwise disjoint, (b) reunite to the
+parent predicate's range, and (c) carry the cut attribute.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    AtlasConfig,
+    CategoricalCutStrategy,
+    NumericCutStrategy,
+)
+from repro.core.cut import cut
+from repro.dataset.table import Table
+from repro.query.algebra import regions_partition
+from repro.query.predicate import RangePredicate, SetPredicate
+from repro.query.query import ConjunctiveQuery
+
+numeric_columns = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=300
+)
+
+numeric_strategies = st.sampled_from(list(NumericCutStrategy))
+categorical_strategies = st.sampled_from(list(CategoricalCutStrategy))
+
+label_pools = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestNumericCutProperties:
+    @given(values=numeric_columns, strategy=numeric_strategies,
+           n_splits=st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_contract(self, values, strategy, n_splits):
+        table = Table.from_dict({"x": values})
+        config = AtlasConfig(numeric_strategy=strategy, n_splits=n_splits,
+                             max_regions=8)
+        query = ConjunctiveQuery()
+        result = cut(table, query, "x", config)
+        if result.is_trivial:
+            return
+        assert 2 <= result.n_regions <= n_splits
+        assert regions_partition(list(result.regions), query, table)
+        assert result.attributes == ("x",)
+
+    @given(values=numeric_columns, strategy=numeric_strategies)
+    @settings(max_examples=60, deadline=None)
+    def test_partition_within_parent_range(self, values, strategy):
+        low = min(values)
+        high = max(values)
+        if low == high:
+            return
+        table = Table.from_dict({"x": values})
+        config = AtlasConfig(numeric_strategy=strategy)
+        query = ConjunctiveQuery([RangePredicate("x", low, high)])
+        result = cut(table, query, "x", config)
+        if result.is_trivial:
+            return
+        assert regions_partition(list(result.regions), query, table)
+        # sub-ranges stay inside the parent range
+        for region in result.regions:
+            pred = region.predicate_on("x")
+            assert pred.low >= low - 1e-9
+            assert pred.high <= high + 1e-9
+
+    @given(values=numeric_columns)
+    @settings(max_examples=40, deadline=None)
+    def test_covers_never_exceed_one(self, values):
+        table = Table.from_dict({"x": values})
+        result = cut(table, ConjunctiveQuery(), "x")
+        assert result.covers(table).sum() <= 1.0 + 1e-9
+
+
+class TestCategoricalCutProperties:
+    @given(labels=label_pools, strategy=categorical_strategies,
+           counts=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+           n_splits=st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_contract(self, labels, strategy, counts, n_splits):
+        rows = []
+        for i, label in enumerate(labels):
+            rows.extend([label] * counts[i % len(counts)])
+        table = Table.from_dict({"c": rows})
+        config = AtlasConfig(
+            categorical_strategy=strategy, n_splits=n_splits, max_regions=8
+        )
+        query = ConjunctiveQuery([SetPredicate("c", labels)])
+        result = cut(table, query, "c", config)
+        if result.is_trivial:
+            assert len(labels) < 2
+            return
+        assert regions_partition(list(result.regions), query, table)
+        # every admitted label lands in exactly one region
+        seen: list[str] = []
+        for region in result.regions:
+            seen.extend(region.predicate_on("c").values)
+        assert sorted(seen) == sorted(labels)

@@ -1,0 +1,76 @@
+"""Fuzz tests: the parsers never hang, never crash with foreign errors.
+
+Failure-injection discipline for the two text surfaces (the paper's
+query syntax and the SQL dialect): arbitrary input must either parse or
+raise the dedicated syntax error — never an IndexError, never a numpy
+warning-turned-exception, never an infinite loop.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.parser import parse_sql
+from repro.db.tokens import SqlSyntaxError
+from repro.errors import ParseError, PredicateError
+from repro.query.parser import parse_query
+
+arbitrary_text = st.text(max_size=200)
+
+#: Text biased toward almost-valid queries (more interesting paths).
+query_like = st.lists(
+    st.sampled_from(
+        [
+            "Age: [17, 90]", "Age: [90, 17]", "Age: (1,", "x: {'a', 'b'}",
+            "x: {}", "x: any", "x:", ": any", "Age [17]", "# comment", "",
+            "x: {'a' 'b'}", "x: [a, b]", "x: [1, 2] extra", "💥: [1, 2]",
+        ]
+    ),
+    max_size=6,
+).map("\n".join)
+
+sql_like = st.lists(
+    st.sampled_from(
+        [
+            "SELECT", "*", "FROM", "t", "WHERE", "x", ">", "1", "AND",
+            "IN", "('a')", "BETWEEN", "2", "GROUP BY", "COUNT(*)",
+            "LIMIT", "'unterminated", '"id"', ",", "(", ")", "OR",
+        ]
+    ),
+    max_size=10,
+).map(" ".join)
+
+
+class TestQueryParserFuzz:
+    @given(arbitrary_text)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text(self, text):
+        try:
+            parse_query(text)
+        except (ParseError, PredicateError):
+            pass
+
+    @given(query_like)
+    @settings(max_examples=150, deadline=None)
+    def test_query_like_text(self, text):
+        try:
+            parse_query(text)
+        except (ParseError, PredicateError):
+            pass
+
+
+class TestSqlParserFuzz:
+    @given(arbitrary_text)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text(self, text):
+        try:
+            parse_sql(text)
+        except SqlSyntaxError:
+            pass
+
+    @given(sql_like)
+    @settings(max_examples=150, deadline=None)
+    def test_sql_like_text(self, text):
+        try:
+            parse_sql(text)
+        except SqlSyntaxError:
+            pass

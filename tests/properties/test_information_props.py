@@ -1,0 +1,114 @@
+"""Property-based tests for the information-theoretic core (claim C4).
+
+The paper's Section 3.2 chooses VI over raw mutual information *because*
+VI is a true metric.  These properties pin that down: symmetry, identity,
+and — the part MI lacks — the triangle inequality, over random
+three-variable systems.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.contingency import joint_distribution_from_assignments
+from repro.core.information import (
+    entropy,
+    mutual_information,
+    rajski_distance,
+    variation_of_information,
+)
+
+# Random joint distributions -------------------------------------------------
+
+joint_tables = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    elements=st.floats(0.001, 1.0),
+).map(lambda a: a / a.sum())
+
+
+# Random discrete variables over a shared sample -----------------------------
+
+def _assignments(seed: int, n_outcomes: int, n_samples: int = 400) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n_outcomes, n_samples)
+
+
+variables = st.tuples(
+    st.integers(0, 10_000), st.integers(1, 5)
+).map(lambda pair: (_assignments(*pair), pair[1]))
+
+
+class TestEntropyProperties:
+    @given(joint_tables)
+    @settings(max_examples=80)
+    def test_entropy_bounds(self, joint):
+        h = entropy(joint.ravel())
+        assert 0.0 <= h <= math.log(joint.size) + 1e-9
+
+    @given(joint_tables)
+    @settings(max_examples=80)
+    def test_mi_non_negative_and_bounded(self, joint):
+        mi = mutual_information(joint)
+        row = joint.sum(axis=1)
+        col = joint.sum(axis=0)
+        assert mi >= 0.0
+        assert mi <= min(entropy(row), entropy(col)) + 1e-9
+
+
+class TestViMetricProperties:
+    @given(joint_tables)
+    @settings(max_examples=80)
+    def test_vi_symmetry(self, joint):
+        assert math.isclose(
+            variation_of_information(joint),
+            variation_of_information(joint.T),
+            rel_tol=0,
+            abs_tol=1e-9,
+        )
+
+    @given(variables)
+    @settings(max_examples=50)
+    def test_vi_identity(self, variable):
+        assignment, n = variable
+        joint = joint_distribution_from_assignments(assignment, assignment, n, n)
+        assert variation_of_information(joint) <= 1e-9
+
+    @given(variables, variables, variables)
+    @settings(max_examples=50)
+    def test_vi_triangle_inequality(self, va, vb, vc):
+        """VI(X,Z) <= VI(X,Y) + VI(Y,Z) — the property MI lacks (C4)."""
+        (a, na), (b, nb), (c, nc) = va, vb, vc
+        d_ab = variation_of_information(
+            joint_distribution_from_assignments(a, b, na, nb)
+        )
+        d_bc = variation_of_information(
+            joint_distribution_from_assignments(b, c, nb, nc)
+        )
+        d_ac = variation_of_information(
+            joint_distribution_from_assignments(a, c, na, nc)
+        )
+        assert d_ac <= d_ab + d_bc + 1e-9
+
+    @given(joint_tables)
+    @settings(max_examples=80)
+    def test_rajski_unit_interval(self, joint):
+        assert 0.0 <= rajski_distance(joint) <= 1.0
+
+    @given(variables, variables, variables)
+    @settings(max_examples=50)
+    def test_rajski_triangle_inequality(self, va, vb, vc):
+        (a, na), (b, nb), (c, nc) = va, vb, vc
+        d_ab = rajski_distance(
+            joint_distribution_from_assignments(a, b, na, nb)
+        )
+        d_bc = rajski_distance(
+            joint_distribution_from_assignments(b, c, nb, nc)
+        )
+        d_ac = rajski_distance(
+            joint_distribution_from_assignments(a, c, na, nc)
+        )
+        assert d_ac <= d_ab + d_bc + 1e-9

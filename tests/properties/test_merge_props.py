@@ -1,0 +1,118 @@
+"""Property-based tests for the merge operators (Definitions 3 and 4)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AtlasConfig, NumericCutStrategy
+from repro.core.cut import cut
+from repro.core.merge import composition, product
+from repro.dataset.table import Table
+from repro.query.query import ConjunctiveQuery
+
+
+@st.composite
+def two_attribute_tables(draw):
+    """Small random tables over two numeric attributes."""
+    n = draw(st.integers(10, 120))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    style = draw(st.sampled_from(["uniform", "clustered", "skewed"]))
+    if style == "uniform":
+        x = rng.uniform(0, 100, n)
+        y = rng.uniform(0, 100, n)
+    elif style == "clustered":
+        pick = rng.random(n) < 0.5
+        x = np.where(pick, rng.normal(20, 3, n), rng.normal(80, 3, n))
+        y = np.where(pick, rng.normal(30, 3, n), rng.normal(70, 3, n))
+    else:
+        x = rng.lognormal(0, 1, n)
+        y = rng.lognormal(1, 0.5, n)
+    return Table.from_dict({"x": x.tolist(), "y": y.tolist()})
+
+
+strategies = st.sampled_from(
+    [NumericCutStrategy.MEDIAN, NumericCutStrategy.EQUIWIDTH,
+     NumericCutStrategy.TWO_MEANS]
+)
+
+
+def _maps(table, strategy):
+    config = AtlasConfig(numeric_strategy=strategy)
+    mx = cut(table, ConjunctiveQuery(), "x", config)
+    my = cut(table, ConjunctiveQuery(), "y", config)
+    return config, mx, my
+
+
+class TestProductProperties:
+    @given(two_attribute_tables(), strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_product_partitions_everything(self, table, strategy):
+        config, mx, my = _maps(table, strategy)
+        if mx.is_trivial or my.is_trivial:
+            return
+        merged = product([mx, my], table)
+        assignment = merged.assign(table)
+        assert (assignment >= 0).all()  # no escapes: full partition
+
+    @given(two_attribute_tables(), strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_product_region_count_bounded(self, table, strategy):
+        __, mx, my = _maps(table, strategy)
+        if mx.is_trivial or my.is_trivial:
+            return
+        merged = product([mx, my], table)
+        assert merged.n_regions <= mx.n_regions * my.n_regions
+
+    @given(two_attribute_tables(), strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_product_commutes(self, table, strategy):
+        __, mx, my = _maps(table, strategy)
+        if mx.is_trivial or my.is_trivial:
+            return
+        assert product([mx, my], table) == product([my, mx], table)
+
+    @given(two_attribute_tables(), strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_product_refines_both_factors(self, table, strategy):
+        """Knowing the product region determines each factor region."""
+        __, mx, my = _maps(table, strategy)
+        if mx.is_trivial or my.is_trivial:
+            return
+        merged = product([mx, my], table)
+        merged_assignment = merged.assign(table)
+        for factor in (mx, my):
+            factor_assignment = factor.assign(table)
+            for region in np.unique(merged_assignment):
+                members = factor_assignment[merged_assignment == region]
+                covered = members[members >= 0]
+                if covered.size:
+                    assert np.unique(covered).size == 1
+
+
+class TestCompositionProperties:
+    @given(two_attribute_tables(), strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_composition_partitions_everything(self, table, strategy):
+        config, mx, my = _maps(table, strategy)
+        if mx.is_trivial or my.is_trivial:
+            return
+        merged = composition([mx, my], table, config)
+        assignment = merged.assign(table)
+        assert (assignment >= 0).all()
+
+    @given(two_attribute_tables(), strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_composition_refines_base(self, table, strategy):
+        """Every composed region lies inside one region of the base map."""
+        config, mx, my = _maps(table, strategy)
+        if mx.is_trivial or my.is_trivial:
+            return
+        merged = composition([mx, my], table, config)
+        base_assignment = mx.assign(table)
+        merged_assignment = merged.assign(table)
+        for region in np.unique(merged_assignment):
+            members = base_assignment[merged_assignment == region]
+            covered = members[members >= 0]
+            if covered.size:
+                assert np.unique(covered).size == 1

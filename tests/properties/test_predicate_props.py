@@ -1,0 +1,94 @@
+"""Property-based tests for predicate algebra and query parsing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.table import Table
+from repro.query.parser import parse_predicate
+from repro.query.predicate import RangePredicate, SetPredicate
+
+
+def ranges() -> st.SearchStrategy[RangePredicate]:
+    return st.tuples(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.booleans(),
+        st.booleans(),
+    ).filter(
+        lambda t: t[0] < t[1] or (t[0] == t[1] and t[2] and t[3])
+    ).map(
+        lambda t: RangePredicate("x", min(t[0], t[1]), max(t[0], t[1]), t[2], t[3])
+    )
+
+
+def label_sets() -> st.SearchStrategy[SetPredicate]:
+    return st.lists(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Ll", "Lu", "Nd"),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    ).map(lambda labels: SetPredicate("c", labels))
+
+
+@st.composite
+def tables_and_ranges(draw):
+    values = draw(
+        st.lists(st.floats(-1e5, 1e5, allow_nan=False), min_size=1, max_size=200)
+    )
+    return Table.from_dict({"x": values, "c": ["v"] * len(values)}), draw(ranges())
+
+
+class TestIntersectionSemantics:
+    @given(tables_and_ranges(), ranges())
+    @settings(max_examples=80, deadline=None)
+    def test_range_intersection_matches_mask_and(self, table_and_a, b):
+        table, a = table_and_a
+        both = a.intersect(b)
+        expected = a.mask(table) & b.mask(table)
+        if both is None:
+            assert not expected.any()
+        else:
+            assert np.array_equal(both.mask(table), expected)
+
+    @given(label_sets(), label_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_set_intersection_is_value_intersection(self, a, b):
+        both = a.intersect(b)
+        expected = a.values & b.values
+        if both is None:
+            assert not expected
+        else:
+            assert both.values == expected
+
+    @given(ranges(), ranges())
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_commutes(self, a, b):
+        ab = a.intersect(b)
+        ba = b.intersect(a)
+        assert (ab is None) == (ba is None)
+        if ab is not None:
+            assert ab == ba
+
+
+class TestParserRoundTrip:
+    @given(ranges())
+    @settings(max_examples=80, deadline=None)
+    def test_range_describe_parses_back(self, predicate):
+        reparsed = parse_predicate(predicate.describe())
+        assert np.isclose(reparsed.low, predicate.low)
+        assert np.isclose(reparsed.high, predicate.high)
+        assert reparsed.closed_low == predicate.closed_low
+        assert reparsed.closed_high == predicate.closed_high
+
+    @given(label_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_set_describe_parses_back(self, predicate):
+        reparsed = parse_predicate(predicate.describe())
+        assert reparsed.values == predicate.values

@@ -1,0 +1,81 @@
+"""Property-based tests for the sketch substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.frequency import MisraGriesSketch
+from repro.sketch.quantile import GKQuantileSketch
+
+streams = st.lists(
+    st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=2000
+)
+
+
+class TestGKProperties:
+    @given(values=streams, quantile=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_rank_error_bound(self, values, quantile):
+        epsilon = 0.05
+        sketch = GKQuantileSketch(epsilon=epsilon)
+        sketch.extend(values)
+        answer = sketch.query(quantile)
+        ordered = np.sort(np.asarray(values))
+        n = len(values)
+        # rank window of the answer value
+        lo = np.searchsorted(ordered, answer, side="left")
+        hi = np.searchsorted(ordered, answer, side="right")
+        target = quantile * n
+        slack = max(epsilon * n, 1.0)  # 1 element of slack at tiny n
+        assert lo - slack <= target <= hi + slack
+
+    @given(values=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_answer_is_a_stream_value(self, values):
+        sketch = GKQuantileSketch(epsilon=0.05)
+        sketch.extend(values)
+        assert sketch.median() in values
+
+    @given(values=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_count_and_g_sum_invariant(self, values):
+        sketch = GKQuantileSketch(epsilon=0.05)
+        sketch.extend(values)
+        assert sketch.count == len(values)
+        assert sum(g for _, g, _ in sketch.merge_summary()) == len(values)
+
+
+class TestMisraGriesProperties:
+    @given(
+        items=st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=1000),
+        capacity=st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_bounds(self, items, capacity):
+        sketch = MisraGriesSketch(capacity=capacity)
+        sketch.extend(items)
+        true_counts = {}
+        for item in items:
+            true_counts[item] = true_counts.get(item, 0) + 1
+        bound = len(items) / (capacity + 1)
+        for item, estimate in sketch.heavy_hitters().items():
+            true = true_counts[item]
+            assert estimate <= true
+            assert estimate >= true - bound - 1e-9
+
+    @given(
+        items=st.lists(st.sampled_from("abc"), min_size=50, max_size=500),
+        capacity=st.integers(3, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frequent_items_retained(self, items, capacity):
+        sketch = MisraGriesSketch(capacity=capacity)
+        sketch.extend(items)
+        true_counts = {}
+        for item in items:
+            true_counts[item] = true_counts.get(item, 0) + 1
+        threshold = len(items) / (capacity + 1)
+        hitters = sketch.heavy_hitters()
+        for item, count in true_counts.items():
+            if count > threshold:
+                assert item in hitters

@@ -1,0 +1,111 @@
+"""Unit tests for the query algebra (containment / disjointness / partition)."""
+
+from repro.dataset.table import Table
+from repro.query.algebra import (
+    predicate_contains,
+    predicates_disjoint,
+    queries_disjoint_on,
+    query_contains,
+    regions_partition,
+)
+from repro.query.predicate import (
+    AnyPredicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+
+def _table() -> Table:
+    return Table.from_dict(
+        {"x": [1, 2, 3, 4, 5, 6], "c": list("aabbcc")}, name="t"
+    )
+
+
+class TestPredicateRelations:
+    def test_disjoint_ranges(self):
+        assert predicates_disjoint(
+            RangePredicate("x", 0, 1), RangePredicate("x", 2, 3)
+        )
+
+    def test_overlapping_ranges_not_disjoint(self):
+        assert not predicates_disjoint(
+            RangePredicate("x", 0, 2), RangePredicate("x", 1, 3)
+        )
+
+    def test_any_never_disjoint(self):
+        assert not predicates_disjoint(
+            AnyPredicate("x"), RangePredicate("x", 0, 1)
+        )
+
+    def test_range_containment(self):
+        assert predicate_contains(
+            RangePredicate("x", 0, 10), RangePredicate("x", 2, 8)
+        )
+        assert not predicate_contains(
+            RangePredicate("x", 2, 8), RangePredicate("x", 0, 10)
+        )
+
+    def test_containment_respects_open_bounds(self):
+        outer = RangePredicate("x", 0, 10, closed_high=False)
+        inner = RangePredicate("x", 0, 10, closed_high=True)
+        assert not predicate_contains(outer, inner)
+        assert predicate_contains(inner, outer)
+
+    def test_set_containment(self):
+        assert predicate_contains(
+            SetPredicate("c", ["a", "b"]), SetPredicate("c", ["a"])
+        )
+
+    def test_any_contains_all(self):
+        assert predicate_contains(AnyPredicate("x"), RangePredicate("x", 0, 1))
+        assert not predicate_contains(RangePredicate("x", 0, 1), AnyPredicate("x"))
+
+
+class TestQueryRelations:
+    def test_query_containment(self):
+        outer = ConjunctiveQuery([RangePredicate("x", 0, 10)])
+        inner = ConjunctiveQuery(
+            [RangePredicate("x", 2, 5), SetPredicate("c", ["a"])]
+        )
+        assert query_contains(outer, inner)
+        assert not query_contains(inner, outer)
+
+    def test_empirical_disjointness(self):
+        table = _table()
+        a = ConjunctiveQuery([RangePredicate("x", 1, 3)])
+        b = ConjunctiveQuery([RangePredicate("x", 4, 6)])
+        c = ConjunctiveQuery([RangePredicate("x", 3, 4)])
+        assert queries_disjoint_on(a, b, table)
+        assert not queries_disjoint_on(a, c, table)
+
+
+class TestRegionsPartition:
+    def test_valid_partition(self):
+        table = _table()
+        parent = ConjunctiveQuery([RangePredicate("x", 1, 6)])
+        regions = [
+            ConjunctiveQuery([RangePredicate("x", 1, 3)]),
+            ConjunctiveQuery(
+                [RangePredicate("x", 3, 6, closed_low=False)]
+            ),
+        ]
+        assert regions_partition(regions, parent, table)
+
+    def test_overlapping_regions_fail(self):
+        table = _table()
+        parent = ConjunctiveQuery([RangePredicate("x", 1, 6)])
+        regions = [
+            ConjunctiveQuery([RangePredicate("x", 1, 4)]),
+            ConjunctiveQuery([RangePredicate("x", 3, 6)]),
+        ]
+        assert not regions_partition(regions, parent, table)
+
+    def test_gap_fails(self):
+        table = _table()
+        parent = ConjunctiveQuery([RangePredicate("x", 1, 6)])
+        regions = [
+            ConjunctiveQuery([RangePredicate("x", 1, 2)]),
+            ConjunctiveQuery([RangePredicate("x", 5, 6)]),
+        ]
+        assert not regions_partition(regions, parent, table)

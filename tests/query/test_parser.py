@@ -1,0 +1,146 @@
+"""Unit tests for the textual query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.parser import parse_predicate, parse_query
+from repro.query.predicate import (
+    AnyPredicate,
+    RangePredicate,
+    SetPredicate,
+)
+
+
+class TestRanges:
+    def test_closed_range(self):
+        pred = parse_predicate("Age: [17, 90]")
+        assert isinstance(pred, RangePredicate)
+        assert (pred.low, pred.high) == (17.0, 90.0)
+        assert pred.closed_low and pred.closed_high
+
+    def test_half_open_range(self):
+        pred = parse_predicate("Age: (17, 90]")
+        assert not pred.closed_low and pred.closed_high
+
+    def test_infinite_bounds(self):
+        pred = parse_predicate("x: [-inf, 3)")
+        assert pred.low == float("-inf")
+        assert not pred.closed_high
+
+    def test_float_bounds(self):
+        pred = parse_predicate("x: [1.5, 2.75]")
+        assert (pred.low, pred.high) == (1.5, 2.75)
+
+    def test_inverted_range_is_parse_error(self):
+        with pytest.raises(ParseError, match="inverted"):
+            parse_predicate("x: [9, 1]")
+
+    def test_non_numeric_bound(self):
+        with pytest.raises(ParseError, match="not numeric"):
+            parse_predicate("x: [a, 9]")
+
+
+class TestSets:
+    def test_single_quoted_set(self):
+        pred = parse_predicate("Sex: {'Male'}")
+        assert isinstance(pred, SetPredicate)
+        assert pred.values == frozenset({"Male"})
+
+    def test_multi_value_set_preserves_order(self):
+        pred = parse_predicate("Eye color: {'Blue', 'Green', 'Brown'}")
+        assert pred.ordered_values == ("Blue", "Green", "Brown")
+
+    def test_double_quotes(self):
+        pred = parse_predicate('c: {"a", "b"}')
+        assert pred.values == frozenset({"a", "b"})
+
+    def test_values_with_special_characters(self):
+        pred = parse_predicate("Salary: {'>50k', '<50k'}")
+        assert pred.values == frozenset({">50k", "<50k"})
+
+    def test_bare_word_set(self):
+        pred = parse_predicate("c: {alpha, beta}")
+        assert pred.values == frozenset({"alpha", "beta"})
+
+    def test_single_value_shorthand(self):
+        pred = parse_predicate("Education: 'MSc'")
+        assert isinstance(pred, SetPredicate)
+        assert pred.values == frozenset({"MSc"})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ParseError, match="empty set"):
+            parse_predicate("c: {}")
+
+    def test_garbage_between_values_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("c: {'a' junk 'b'}")
+
+
+class TestAnyAndErrors:
+    def test_any(self):
+        pred = parse_predicate("Salary: any")
+        assert isinstance(pred, AnyPredicate)
+
+    def test_any_case_insensitive(self):
+        assert isinstance(parse_predicate("x: ANY"), AnyPredicate)
+
+    def test_missing_colon(self):
+        with pytest.raises(ParseError, match="attribute"):
+            parse_predicate("just words")
+
+    def test_empty_attribute(self):
+        with pytest.raises(ParseError, match="empty attribute"):
+            parse_predicate(": [1, 2]")
+
+    def test_empty_body(self):
+        with pytest.raises(ParseError, match="empty predicate"):
+            parse_predicate("x:")
+
+    def test_unparseable_body(self):
+        with pytest.raises(ParseError, match="cannot parse"):
+            parse_predicate("x: <>!")
+
+
+class TestParseQuery:
+    def test_figure2_query(self):
+        query = parse_query(
+            """
+            Sex: any
+            Salary: any
+            Age: [17, 90]
+            Eye color: {'Blue','Green','Brown'}
+            Education: {'BSc', 'MSc'}
+            """
+        )
+        assert query.attributes == (
+            "Sex", "Salary", "Age", "Eye color", "Education",
+        )
+        assert query.n_predicates == 3
+
+    def test_comments_and_blanks_ignored(self):
+        query = parse_query("# header\n\nAge: [1, 2]\n")
+        assert query.attributes == ("Age",)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_query("# ok\nAge: [1, 2]\nbroken line\n")
+
+    def test_empty_text_gives_empty_query(self):
+        assert len(parse_query("")) == 0
+
+    def test_attribute_names_with_spaces(self):
+        query = parse_query("Eye color: any")
+        assert query.attributes == ("Eye color",)
+
+    def test_duplicate_attribute_lines_conjoined(self):
+        query = parse_query("Age: [0, 50]\nAge: [30, 90]")
+        pred = query.predicate_on("Age")
+        assert (pred.low, pred.high) == (30.0, 50.0)
+
+    def test_contradictory_duplicate_rejected(self):
+        with pytest.raises(ParseError, match="contradicts"):
+            parse_query("Age: [0, 10]\nAge: [20, 30]")
+
+    def test_mixed_shape_duplicate_rejected(self):
+        with pytest.raises(ParseError, match="cannot intersect"):
+            parse_query("x: [0, 10]\nx: {'a'}")

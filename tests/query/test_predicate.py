@@ -1,0 +1,176 @@
+"""Unit tests for the predicate types."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Table
+from repro.errors import PredicateError
+from repro.query.predicate import (
+    AnyPredicate,
+    RangePredicate,
+    SetPredicate,
+)
+
+
+class TestAnyPredicate:
+    def test_matches_everything_including_missing(self, missing_table):
+        pred = AnyPredicate("x")
+        assert pred.mask(missing_table).all()
+
+    def test_not_restrictive(self):
+        assert not AnyPredicate("x").is_restrictive
+
+    def test_describe(self):
+        assert AnyPredicate("Age").describe() == "Age: any"
+
+    def test_unknown_attribute_raises(self, tiny_table):
+        with pytest.raises(Exception):
+            AnyPredicate("nope").mask(tiny_table)
+
+    def test_intersect_yields_other(self):
+        other = RangePredicate("x", 0, 1)
+        assert AnyPredicate("x").intersect(other) is other
+
+
+class TestRangePredicate:
+    def test_closed_interval_mask(self, tiny_table):
+        pred = RangePredicate("age", 30, 50)
+        assert pred.mask(tiny_table).tolist() == [
+            False, True, True, True, False, False,
+        ]
+
+    def test_open_bounds(self, tiny_table):
+        pred = RangePredicate("age", 30, 50, closed_low=False, closed_high=False)
+        assert pred.mask(tiny_table).tolist() == [
+            False, False, True, False, False, False,
+        ]
+
+    def test_missing_never_matches(self, missing_table):
+        pred = RangePredicate("x", -100, 100)
+        assert pred.mask(missing_table).tolist() == [
+            True, False, True, False, True,
+        ]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(PredicateError, match="inverted"):
+            RangePredicate("x", 10, 5)
+
+    def test_nan_bound_rejected(self):
+        with pytest.raises(PredicateError, match="NaN"):
+            RangePredicate("x", float("nan"), 5)
+
+    def test_degenerate_open_rejected(self):
+        with pytest.raises(PredicateError, match="empty"):
+            RangePredicate("x", 5, 5, closed_low=False)
+
+    def test_degenerate_closed_point_allowed(self, tiny_table):
+        pred = RangePredicate("age", 40, 40)
+        assert pred.mask(tiny_table).sum() == 1
+
+    def test_describe_formats(self):
+        assert RangePredicate("Age", 17, 90).describe() == "Age: [17, 90]"
+        assert (
+            RangePredicate("Age", 17.5, 90, closed_low=False).describe()
+            == "Age: (17.5, 90]"
+        )
+        assert (
+            RangePredicate("x", float("-inf"), 3, closed_low=False).describe()
+            == "x: (-inf, 3]"
+        )
+
+    def test_on_categorical_column_raises(self, tiny_table):
+        with pytest.raises(Exception, match="expected numeric"):
+            RangePredicate("sex", 0, 1).mask(tiny_table)
+
+    def test_equality_and_hash(self):
+        a = RangePredicate("x", 0, 1)
+        b = RangePredicate("x", 0, 1)
+        c = RangePredicate("x", 0, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestRangeIntersection:
+    def test_overlap(self):
+        out = RangePredicate("x", 0, 10).intersect(RangePredicate("x", 5, 20))
+        assert (out.low, out.high) == (5.0, 10.0)
+
+    def test_disjoint_returns_none(self):
+        assert RangePredicate("x", 0, 1).intersect(
+            RangePredicate("x", 2, 3)
+        ) is None
+
+    def test_touching_closed_bounds_keep_point(self):
+        out = RangePredicate("x", 0, 5).intersect(RangePredicate("x", 5, 9))
+        assert (out.low, out.high) == (5.0, 5.0)
+
+    def test_touching_open_bound_is_empty(self):
+        left = RangePredicate("x", 0, 5, closed_high=False)
+        right = RangePredicate("x", 5, 9)
+        assert left.intersect(right) is None
+
+    def test_open_closed_resolution_on_shared_bound(self):
+        a = RangePredicate("x", 0, 10, closed_low=False)
+        b = RangePredicate("x", 0, 10, closed_low=True)
+        out = a.intersect(b)
+        assert not out.closed_low
+
+    def test_different_attribute_rejected(self):
+        with pytest.raises(PredicateError, match="different attributes"):
+            RangePredicate("x", 0, 1).intersect(RangePredicate("y", 0, 1))
+
+    def test_range_set_mix_rejected(self):
+        with pytest.raises(PredicateError, match="cannot intersect"):
+            RangePredicate("x", 0, 1).intersect(SetPredicate("x", ["a"]))
+
+
+class TestSetPredicate:
+    def test_mask(self, tiny_table):
+        pred = SetPredicate("sex", ["M"])
+        assert pred.mask(tiny_table).tolist() == [
+            True, False, True, False, True, False,
+        ]
+
+    def test_missing_never_matches(self, missing_table):
+        pred = SetPredicate("y", ["a", "b"])
+        assert pred.mask(missing_table).tolist() == [
+            True, False, True, True, False,
+        ]
+
+    def test_unknown_labels_match_nothing(self, tiny_table):
+        pred = SetPredicate("sex", ["X"])
+        assert not pred.mask(tiny_table).any()
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(PredicateError, match="empty"):
+            SetPredicate("x", [])
+
+    def test_user_order_preserved_and_deduped(self):
+        pred = SetPredicate("x", ["b", "a", "b", "c"])
+        assert pred.ordered_values == ("b", "a", "c")
+        assert pred.values == frozenset({"a", "b", "c"})
+
+    def test_describe_sorted(self):
+        assert SetPredicate("Sex", ["M", "F"]).describe() == "Sex: {'F', 'M'}"
+
+    def test_intersection(self):
+        out = SetPredicate("x", ["a", "b", "c"]).intersect(
+            SetPredicate("x", ["b", "c", "d"])
+        )
+        assert out.values == frozenset({"b", "c"})
+
+    def test_intersection_keeps_left_order(self):
+        out = SetPredicate("x", ["c", "b", "a"]).intersect(
+            SetPredicate("x", ["a", "b"])
+        )
+        assert out.ordered_values == ("b", "a")
+
+    def test_disjoint_returns_none(self):
+        assert SetPredicate("x", ["a"]).intersect(SetPredicate("x", ["b"])) is None
+
+    def test_values_coerced_to_str(self):
+        assert SetPredicate("x", [1, 2]).values == frozenset({"1", "2"})
+
+    def test_on_numeric_column_raises(self, tiny_table):
+        with pytest.raises(Exception, match="expected categorical"):
+            SetPredicate("age", ["20"]).mask(tiny_table)

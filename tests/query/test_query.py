@@ -1,0 +1,117 @@
+"""Unit tests for conjunctive queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.predicate import (
+    AnyPredicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+
+def _q(*predicates) -> ConjunctiveQuery:
+    return ConjunctiveQuery(predicates)
+
+
+class TestConstruction:
+    def test_empty_query(self, tiny_table):
+        query = ConjunctiveQuery()
+        assert query.mask(tiny_table).all()
+        assert query.cover(tiny_table) == 1.0
+        assert query.describe() == "(true)"
+
+    def test_two_predicates_on_same_attribute_rejected(self):
+        with pytest.raises(QueryError, match="two predicates"):
+            _q(RangePredicate("x", 0, 1), RangePredicate("x", 2, 3))
+
+    def test_attribute_order_preserved(self):
+        query = _q(AnyPredicate("b"), AnyPredicate("a"))
+        assert query.attributes == ("b", "a")
+
+
+class TestEvaluation:
+    def test_conjunction_mask(self, tiny_table):
+        query = _q(RangePredicate("age", 30, 60), SetPredicate("sex", ["F"]))
+        assert query.mask(tiny_table).tolist() == [
+            False, True, False, True, False, False,
+        ]
+        assert query.count(tiny_table) == 2
+        assert query.cover(tiny_table) == pytest.approx(2 / 6)
+
+    def test_any_predicates_do_not_restrict(self, tiny_table):
+        query = _q(AnyPredicate("age"), SetPredicate("sex", ["M"]))
+        assert query.count(tiny_table) == 3
+
+    def test_evaluate_returns_subtable(self, tiny_table):
+        result = _q(RangePredicate("age", 0, 35)).evaluate(tiny_table)
+        assert result.n_rows == 2
+
+    def test_cover_of_empty_table(self):
+        from repro.dataset.table import Table
+
+        query = ConjunctiveQuery()
+        assert query.cover(Table([])) == 0.0
+
+
+class TestComplexityCounting:
+    def test_n_predicates_counts_only_restrictive(self):
+        query = _q(
+            AnyPredicate("a"),
+            RangePredicate("b", 0, 1),
+            SetPredicate("c", ["x"]),
+        )
+        assert query.n_predicates == 2
+        assert len(query) == 3
+
+
+class TestComposition:
+    def test_with_predicate_replaces(self):
+        query = _q(RangePredicate("x", 0, 10))
+        updated = query.with_predicate(RangePredicate("x", 0, 5))
+        assert updated.predicate_on("x").high == 5.0
+        assert query.predicate_on("x").high == 10.0  # immutability
+
+    def test_conjoin_merges_attributes(self):
+        a = _q(RangePredicate("x", 0, 10))
+        b = _q(SetPredicate("y", ["u"]))
+        both = a.conjoin(b)
+        assert set(both.attributes) == {"x", "y"}
+
+    def test_conjoin_intersects_shared_attribute(self):
+        a = _q(RangePredicate("x", 0, 10))
+        b = _q(RangePredicate("x", 5, 20))
+        both = a.conjoin(b)
+        assert (both.predicate_on("x").low, both.predicate_on("x").high) == (5, 10)
+
+    def test_conjoin_contradiction_returns_none(self):
+        a = _q(RangePredicate("x", 0, 1))
+        b = _q(RangePredicate("x", 2, 3))
+        assert a.conjoin(b) is None
+
+    def test_without_attribute(self):
+        query = _q(RangePredicate("x", 0, 1), AnyPredicate("y"))
+        assert query.without_attribute("x").attributes == ("y",)
+
+    def test_relax(self):
+        query = _q(RangePredicate("x", 0, 1))
+        relaxed = query.relax()
+        assert relaxed.attributes == ("x",)
+        assert not relaxed.predicate_on("x").is_restrictive
+
+
+class TestEqualityAndDisplay:
+    def test_order_insensitive_equality(self):
+        a = _q(RangePredicate("x", 0, 1), SetPredicate("y", ["u"]))
+        b = _q(SetPredicate("y", ["u"]), RangePredicate("x", 0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_multiline(self):
+        query = _q(RangePredicate("Age", 17, 90), SetPredicate("Sex", ["Male"]))
+        assert query.describe() == "Age: [17, 90]\nSex: {'Male'}"
+
+    def test_describe_inline(self):
+        query = _q(RangePredicate("Age", 17, 90))
+        assert query.describe_inline() == "Age: [17, 90]"

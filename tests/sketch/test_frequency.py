@@ -1,0 +1,67 @@
+"""Unit tests for the Misra–Gries heavy-hitters sketch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch.frequency import MisraGriesSketch
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(SketchError):
+            MisraGriesSketch(capacity=0)
+
+    def test_bad_min_fraction(self):
+        sketch = MisraGriesSketch()
+        with pytest.raises(SketchError):
+            sketch.heavy_hitters(min_fraction=2.0)
+
+
+class TestGuarantees:
+    def test_majority_item_always_retained(self):
+        sketch = MisraGriesSketch(capacity=1)
+        stream = ["a"] * 600 + ["b"] * 200 + ["c"] * 199
+        rng = np.random.default_rng(0)
+        rng.shuffle(stream)
+        sketch.extend(stream)
+        assert "a" in sketch.heavy_hitters()
+
+    def test_frequent_items_retained_with_capacity_k(self):
+        # items above n/(k+1) must be retained
+        sketch = MisraGriesSketch(capacity=4)
+        stream = ["x"] * 400 + ["y"] * 300 + [f"z{i}" for i in range(300)]
+        rng = np.random.default_rng(1)
+        rng.shuffle(stream)
+        sketch.extend(stream)
+        hitters = sketch.heavy_hitters()
+        assert "x" in hitters and "y" in hitters
+
+    def test_counts_underestimate_by_at_most_bound(self):
+        sketch = MisraGriesSketch(capacity=4)
+        stream = ["x"] * 500 + ["y"] * 300 + ["noise"] * 200
+        sketch.extend(stream)
+        hitters = sketch.heavy_hitters()
+        assert hitters["x"] <= 500
+        assert hitters["x"] >= 500 - sketch.error_bound
+
+    def test_error_bound_formula(self):
+        sketch = MisraGriesSketch(capacity=9)
+        sketch.extend(str(i) for i in range(100))
+        assert sketch.error_bound == pytest.approx(10.0)
+
+    def test_min_fraction_filter(self):
+        sketch = MisraGriesSketch(capacity=8)
+        sketch.extend(["big"] * 90 + ["small"] * 10)
+        assert "small" not in sketch.heavy_hitters(min_fraction=0.5)
+        assert "big" in sketch.heavy_hitters(min_fraction=0.5)
+
+    def test_capacity_never_exceeded(self):
+        sketch = MisraGriesSketch(capacity=3)
+        sketch.extend(str(i) for i in range(1000))
+        assert len(sketch.heavy_hitters()) <= 3
+
+    def test_hitters_sorted_by_count(self):
+        sketch = MisraGriesSketch(capacity=8)
+        sketch.extend(["a"] * 5 + ["b"] * 10 + ["c"] * 1)
+        assert list(sketch.heavy_hitters()) == ["b", "a", "c"]

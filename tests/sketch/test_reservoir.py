@@ -1,0 +1,75 @@
+"""Unit tests for reservoir sampling and the growing sample."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Table
+from repro.errors import SketchError
+from repro.sketch.reservoir import GrowingSample, ReservoirSampler
+
+
+class TestReservoirSampler:
+    def test_fills_to_capacity(self):
+        sampler = ReservoirSampler(capacity=5, rng=0)
+        sampler.extend(range(3))
+        assert sorted(sampler.items) == [0, 1, 2]
+        sampler.extend(range(3, 100))
+        assert len(sampler.items) == 5
+        assert sampler.seen == 100
+
+    def test_bad_capacity(self):
+        with pytest.raises(SketchError):
+            ReservoirSampler(capacity=0)
+
+    def test_uniformity_rough(self):
+        # Each of 20 items should appear in roughly 1/4 of samples of size 5.
+        hits = np.zeros(20)
+        for seed in range(400):
+            sampler = ReservoirSampler(capacity=5, rng=seed)
+            sampler.extend(range(20))
+            for item in sampler.items:
+                hits[item] += 1
+        expected = 400 * 5 / 20
+        assert (np.abs(hits - expected) < expected * 0.5).all()
+
+
+class TestGrowingSample:
+    def _table(self, n=100) -> Table:
+        return Table.from_dict({"x": list(range(n))}, name="t")
+
+    def test_initial_size(self):
+        sample = GrowingSample(self._table(), initial_size=10, rng=0)
+        assert sample.current().n_rows == 10
+        assert not sample.exhausted
+
+    def test_growth_schedule(self):
+        sample = GrowingSample(
+            self._table(), initial_size=10, growth_factor=2.0, rng=0
+        )
+        assert sample.grow().n_rows == 20
+        assert sample.grow().n_rows == 40
+        assert sample.grow().n_rows == 80
+        assert sample.grow().n_rows == 100
+        assert sample.exhausted
+
+    def test_samples_are_nested(self):
+        sample = GrowingSample(self._table(), initial_size=10, rng=0)
+        small = set(sample.current().numeric("x").data.tolist())
+        big = set(sample.grow().numeric("x").data.tolist())
+        assert small <= big
+
+    def test_no_duplicate_rows(self):
+        sample = GrowingSample(self._table(), initial_size=50, rng=0)
+        values = sample.current().numeric("x").data.tolist()
+        assert len(values) == len(set(values))
+
+    def test_initial_larger_than_table_is_exhausted(self):
+        sample = GrowingSample(self._table(10), initial_size=99, rng=0)
+        assert sample.exhausted
+        assert sample.current().n_rows == 10
+
+    def test_bad_parameters(self):
+        with pytest.raises(SketchError):
+            GrowingSample(self._table(), initial_size=0)
+        with pytest.raises(SketchError):
+            GrowingSample(self._table(), growth_factor=1.0)
