@@ -8,7 +8,7 @@ answers with — including the two maps of Figure 2 ({Age, Sex} and
 Run:  python examples/quickstart.py
 """
 
-from repro import Atlas, parse_query
+from repro import explorer, parse_query
 from repro.datagen import census_table
 from repro.frontend import render_map_set
 
@@ -29,8 +29,9 @@ print("\nUser query:")
 print(query.describe())
 
 # Instead of tuples, Atlas answers with a ranked list of data maps.
-engine = Atlas(table)
-result = engine.explore(query)
+# The fluent facade is the front door: every knob chains, and the
+# query may be the parsed object or the raw text itself.
+result = explorer(table).cut("median").explore(query)
 
 print("\n" + "=" * 60)
 print(render_map_set(result, table))

@@ -8,19 +8,42 @@ interesting region of the data.  This package implements the full system:
 * :mod:`repro.query` — the conjunctive query language,
 * :mod:`repro.sketch` — one-pass approximation substrate (Section 5.1),
 * :mod:`repro.core` — the map-generation framework (Section 3),
+* :mod:`repro.engine` — the composable pipeline, strategy registries,
+  shared execution context, and the fluent facade,
 * :mod:`repro.baselines` — comparison algorithms (Section 6),
 * :mod:`repro.datagen` — synthetic datasets for the experiments,
 * :mod:`repro.frontend` — text rendering + interactive driver (Figure 6),
 * :mod:`repro.evaluation` — experiment harness and quality metrics.
 
-Quickstart::
+Quickstart — the fluent facade::
 
-    from repro import Atlas, parse_query
+    from repro import explorer
     from repro.datagen import census_table
 
     table = census_table(n_rows=10_000, seed=0)
-    maps = Atlas(table).explore(parse_query("Age: [17, 90]"))
+    maps = explorer(table).cut("median").explore("Age: [17, 90]")
     print(maps.describe())
+
+Batches share one context, so repeated statistics are computed once::
+
+    results = explorer(table).sample(5_000).explore_many(
+        ["Age: [17, 90]", "Sex: ('Female')", None]  # None = whole table
+    )
+
+Custom strategies plug into the registries::
+
+    import numpy as np
+    from repro import register_numeric_cut
+
+    @register_numeric_cut("tertile")
+    def tertile(values, splits, config):
+        return [float(q) for q in np.quantile(values, [1 / 3, 2 / 3])]
+
+    maps = explorer(table).cut("tertile").explore()
+
+The classic class-based API (:class:`Atlas`, :class:`AnytimeExplorer`,
+:class:`ExplorationSession`, :class:`SqlAtlas`) remains available; all
+of it now drives the same :class:`~repro.engine.Pipeline`.
 """
 
 from repro.core import (
@@ -38,6 +61,17 @@ from repro.core import (
 )
 from repro.dataset import Catalog, Table, read_csv
 from repro.db import SqlAtlas, SqlConnection
+from repro.engine import (
+    ExecutionContext,
+    Explorer,
+    Pipeline,
+    Stage,
+    explorer,
+    register_categorical_cut,
+    register_linkage,
+    register_merge,
+    register_numeric_cut,
+)
 from repro.errors import AtlasError
 from repro.query import (
     AnyPredicate,
@@ -47,7 +81,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnyPredicate",
@@ -59,18 +93,27 @@ __all__ = [
     "CategoricalCutStrategy",
     "ConjunctiveQuery",
     "DataMap",
+    "ExecutionContext",
     "ExplorationSession",
+    "Explorer",
     "Linkage",
     "MapSet",
     "MergeMethod",
     "NumericCutStrategy",
+    "Pipeline",
     "RangePredicate",
     "SetPredicate",
     "SqlAtlas",
     "SqlConnection",
+    "Stage",
     "Table",
     "__version__",
     "cut",
+    "explorer",
     "parse_query",
     "read_csv",
+    "register_categorical_cut",
+    "register_linkage",
+    "register_merge",
+    "register_numeric_cut",
 ]

@@ -24,10 +24,11 @@ import dataclasses
 import time
 from collections.abc import Iterator
 
-from repro.core.atlas import Atlas, MapSet
 from repro.core.config import AtlasConfig
 from repro.core.distance import map_nvi
 from repro.dataset.table import Table
+from repro.engine.context import ExecutionContext
+from repro.engine.pipeline import MapSet, Pipeline
 from repro.errors import MapError
 from repro.query.query import ConjunctiveQuery
 from repro.sketch.reservoir import GrowingSample
@@ -74,6 +75,7 @@ class AnytimeExplorer:
         config: AtlasConfig | None = None,
         initial_size: int = 1000,
         growth_factor: float = 2.0,
+        pipeline: Pipeline | None = None,
     ):
         if table.n_rows == 0:
             raise MapError("cannot explore an empty table")
@@ -87,6 +89,10 @@ class AnytimeExplorer:
             growth_factor=growth_factor,
             rng=self._config.seed,
         )
+        # One shared pipeline; each tick binds a fresh context because
+        # the sample table changes (contexts key their statistics cache
+        # by table).
+        self._pipeline = pipeline or Pipeline.default()
 
     def ticks(self) -> Iterator[AnytimeResult]:
         """Yield snapshots of increasing sample size until exhaustion.
@@ -99,8 +105,8 @@ class AnytimeExplorer:
         tick = 0
         while True:
             sample = self._sample.current()
-            engine = Atlas(sample, self._config)
-            map_set = engine.explore(self._query)
+            context = ExecutionContext(sample, self._config)
+            map_set = self._pipeline.run(self._query, context)
 
             if previous_top is None or not map_set.ranked:
                 stability = 0.0

@@ -1,94 +1,31 @@
 """The Atlas engine: answer a query with a ranked list of data maps.
 
-This is the end-to-end pipeline of Section 3 — candidates, clustering,
-merging, ranking — wrapped in the DBMS-front-end shape of Figure 1: the
-engine holds a table (the DBMS layer), takes a conjunctive query, and
-returns a :class:`MapSet` of ranked maps instead of tuples.
+This is the DBMS-front-end shape of Figure 1 — the engine holds a table
+(the DBMS layer), takes a conjunctive query, and returns a
+:class:`MapSet` of ranked maps instead of tuples.  Since the engine
+refactor, Atlas is a thin adapter over :class:`repro.engine.Pipeline`:
+the Section-3 stages (scope → candidates → clustering → merging →
+ranking), per-stage timing, and the memoized statistics cache all live
+in :mod:`repro.engine`, and Atlas simply binds a table + configuration
+into a persistent :class:`~repro.engine.context.ExecutionContext` so
+consecutive queries (an interactive drill-down, say) reuse each other's
+masks, assignment vectors, and cut points.
 
-Per-stage wall-clock timings are recorded on every call because the
-paper's core non-functional requirement is quasi-real-time latency
-(Sections 1, 2, 5.1); the latency benchmarks read them directly.
+:class:`MapSet` and :class:`StageTimings` are re-exported here for
+backward compatibility; they are defined in
+:mod:`repro.engine.pipeline`.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from collections.abc import Iterator
-
-import numpy as np
-
-from repro.core.candidates import generate_candidates
-from repro.core.clustering import MapClustering, cluster_maps
 from repro.core.config import AtlasConfig
-from repro.core.datamap import DataMap
-from repro.core.merge import merge_cluster
-from repro.core.ranking import RankedMap, rank_maps
 from repro.dataset.table import Table
+from repro.engine.context import ExecutionContext
+from repro.engine.pipeline import MapSet, Pipeline, StageTimings  # noqa: F401 - re-exported
 from repro.errors import MapError
 from repro.query.query import ConjunctiveQuery
 
-
-@dataclasses.dataclass(frozen=True)
-class StageTimings:
-    """Wall-clock seconds spent in each pipeline stage."""
-
-    sampling: float
-    candidates: float
-    clustering: float
-    merging: float
-    ranking: float
-
-    @property
-    def total(self) -> float:
-        """Total pipeline time."""
-        return (
-            self.sampling
-            + self.candidates
-            + self.clustering
-            + self.merging
-            + self.ranking
-        )
-
-
-@dataclasses.dataclass(frozen=True)
-class MapSet:
-    """The answer to a query: ranked maps plus pipeline metadata."""
-
-    query: ConjunctiveQuery
-    ranked: tuple[RankedMap, ...]
-    clustering: MapClustering | None
-    timings: StageTimings
-    n_rows_used: int
-
-    @property
-    def maps(self) -> tuple[DataMap, ...]:
-        """The ranked maps, best first."""
-        return tuple(r.map for r in self.ranked)
-
-    @property
-    def best(self) -> DataMap:
-        """The top-ranked map."""
-        if not self.ranked:
-            raise MapError("the map set is empty (no attribute could be cut)")
-        return self.ranked[0].map
-
-    def __len__(self) -> int:
-        return len(self.ranked)
-
-    def __iter__(self) -> Iterator[RankedMap]:
-        return iter(self.ranked)
-
-    def describe(self) -> str:
-        """Multi-line rendering of the whole result set."""
-        if not self.ranked:
-            return "(no maps)"
-        blocks = []
-        for rank, entry in enumerate(self.ranked, start=1):
-            blocks.append(
-                f"#{rank} score={entry.score:.3f}\n{entry.map.describe()}"
-            )
-        return "\n\n".join(blocks)
+__all__ = ["Atlas", "MapSet", "StageTimings"]
 
 
 class Atlas:
@@ -101,14 +38,45 @@ class Atlas:
         :meth:`repro.dataset.Catalog.star_around` for multi-table data).
     config:
         Engine tunables; defaults to the paper's values.
+    context:
+        Optional pre-existing execution context to share statistics
+        with (the fluent facade passes its own so sessions and batches
+        hit one cache); must be bound to the same table.
+    pipeline:
+        Optional custom stage composition; defaults to the native
+        Section-3 pipeline.
     """
 
-    def __init__(self, table: Table, config: AtlasConfig | None = None):
+    def __init__(
+        self,
+        table: Table,
+        config: AtlasConfig | None = None,
+        *,
+        context: ExecutionContext | None = None,
+        pipeline: Pipeline | None = None,
+    ):
         if table.n_rows == 0:
             raise MapError("cannot explore an empty table")
         self._table = table
-        self._config = config or AtlasConfig()
-        self._rng = np.random.default_rng(self._config.seed)
+        if context is not None:
+            if context.table is not table:
+                raise MapError(
+                    "the shared context is bound to a different table"
+                )
+            # The pipeline reads configuration from the context; a
+            # conflicting explicit config would be silently ignored,
+            # so reject it instead.
+            if config is not None and config != context.config:
+                raise MapError(
+                    "config conflicts with the shared context's config; "
+                    "pass one or the other"
+                )
+            self._config = context.config
+            self._context = context
+        else:
+            self._config = config or AtlasConfig()
+            self._context = ExecutionContext(table, self._config)
+        self._pipeline = pipeline or Pipeline.default()
 
     @property
     def table(self) -> Table:
@@ -120,79 +88,22 @@ class Atlas:
         """Engine configuration."""
         return self._config
 
+    @property
+    def context(self) -> ExecutionContext:
+        """The execution context carrying the shared statistics cache."""
+        return self._context
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The stage composition queries run through."""
+        return self._pipeline
+
     def explore(self, query: ConjunctiveQuery | None = None) -> MapSet:
         """Run the full Section-3 pipeline for ``query``.
 
         ``None`` (or an empty query) means "map the whole table": every
-        dimension column becomes CUT scope.
+        dimension column becomes CUT scope.  Sampling (when configured)
+        draws from a per-query child generator, so identical calls
+        return identical maps.
         """
-        query = query or ConjunctiveQuery()
-
-        started = time.perf_counter()
-        scope = self._scope_table(query)
-        t_sampling = time.perf_counter() - started
-
-        started = time.perf_counter()
-        candidates = generate_candidates(scope, query, self._config)
-        t_candidates = time.perf_counter() - started
-
-        if not candidates:
-            timings = StageTimings(t_sampling, t_candidates, 0.0, 0.0, 0.0)
-            return MapSet(
-                query=query,
-                ranked=(),
-                clustering=None,
-                timings=timings,
-                n_rows_used=scope.n_rows,
-            )
-
-        started = time.perf_counter()
-        # Definition 2 takes "a random tuple in this set" — the set the
-        # user query describes.  Restricting the distance estimation to
-        # those tuples matters on dirty data: otherwise every row that
-        # fails the user query escapes *all* maps at once, and that
-        # shared escape outcome manufactures dependency between every
-        # candidate pair (measured in the E13 robustness experiment).
-        described = query.mask(scope)
-        cluster_scope = scope if described.all() else scope.select(described)
-        if cluster_scope.n_rows == 0:
-            cluster_scope = scope
-        clustering = cluster_maps(candidates, cluster_scope, self._config)
-        t_clustering = time.perf_counter() - started
-
-        started = time.perf_counter()
-        merged = [
-            merge_cluster(cluster, scope, self._config)
-            for cluster in clustering.clusters
-        ]
-        merged = [m for m in merged if not m.is_trivial]
-        t_merging = time.perf_counter() - started
-
-        started = time.perf_counter()
-        ranked = rank_maps(merged, scope, max_maps=self._config.max_maps)
-        t_ranking = time.perf_counter() - started
-
-        timings = StageTimings(
-            t_sampling, t_candidates, t_clustering, t_merging, t_ranking
-        )
-        return MapSet(
-            query=query,
-            ranked=tuple(ranked),
-            clustering=clustering,
-            timings=timings,
-            n_rows_used=scope.n_rows,
-        )
-
-    def _scope_table(self, query: ConjunctiveQuery) -> Table:
-        """Apply the Section-5.1 sampling lever, if configured.
-
-        Cutting and distances are computed over the rows the user query
-        describes; restricting to the query's mask happens inside CUT, so
-        here we only down-sample the table when asked to.
-        """
-        if (
-            self._config.sample_size is not None
-            and self._config.sample_size < self._table.n_rows
-        ):
-            return self._table.sample(self._config.sample_size, rng=self._rng)
-        return self._table
+        return self._pipeline.run(query or ConjunctiveQuery(), self._context)

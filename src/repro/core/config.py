@@ -59,18 +59,58 @@ class Linkage(enum.Enum):
     AVERAGE = "average"
 
 
+def _coerce_strategy(value: object, enum_cls: type[enum.Enum]) -> object:
+    """Normalize a strategy field to its enum member when one matches.
+
+    Strings naming an enum *value* (``"median"``) become the member;
+    any other string is kept verbatim — it is a key into the
+    :mod:`repro.engine.registry` registries, where custom strategies
+    live.  Only values are matched, never member names: a custom
+    strategy registered as ``"TWO_MEANS"`` must not be silently
+    shadowed by ``NumericCutStrategy.TWO_MEANS``.  Anything else is a
+    configuration error.
+    """
+    if isinstance(value, enum_cls):
+        return value
+    if isinstance(value, str):
+        try:
+            return enum_cls(value)
+        except ValueError:
+            return value
+    raise ConfigError(
+        f"expected a {enum_cls.__name__} or strategy name, "
+        f"got {type(value).__name__}"
+    )
+
+
+#: Strategy fields and the enum each one aliases.
+_STRATEGY_FIELDS: dict[str, type[enum.Enum]] = {
+    "numeric_strategy": NumericCutStrategy,
+    "categorical_strategy": CategoricalCutStrategy,
+    "merge_method": MergeMethod,
+    "linkage": Linkage,
+}
+
+
 @dataclasses.dataclass(frozen=True)
 class AtlasConfig:
-    """All tunables of the map-generation pipeline."""
+    """All tunables of the map-generation pipeline.
+
+    Strategy fields accept an enum member or a string registry key
+    (:mod:`repro.engine.registry`); strings matching a built-in are
+    normalized to the enum, custom names pass through untouched.
+    """
 
     max_regions: int = 8
     max_predicates: int = 3
     n_splits: int = 2
     max_maps: int = 12
-    numeric_strategy: NumericCutStrategy = NumericCutStrategy.MEDIAN
-    categorical_strategy: CategoricalCutStrategy = CategoricalCutStrategy.FREQUENCY
-    merge_method: MergeMethod = MergeMethod.PRODUCT
-    linkage: Linkage = Linkage.SINGLE
+    numeric_strategy: NumericCutStrategy | str = NumericCutStrategy.MEDIAN
+    categorical_strategy: CategoricalCutStrategy | str = (
+        CategoricalCutStrategy.FREQUENCY
+    )
+    merge_method: MergeMethod | str = MergeMethod.PRODUCT
+    linkage: Linkage | str = Linkage.SINGLE
     #: Two maps cluster together when their Rajski distance
     #: (``VI / H(joint)``, 1 ⇔ independent) falls below this value, i.e.
     #: when they share at least ``1 − threshold`` of their joint
@@ -88,6 +128,9 @@ class AtlasConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        for field_name, enum_cls in _STRATEGY_FIELDS.items():
+            normalized = _coerce_strategy(getattr(self, field_name), enum_cls)
+            object.__setattr__(self, field_name, normalized)
         if self.max_regions < 2:
             raise ConfigError(f"max_regions must be >= 2, got {self.max_regions}")
         if self.max_predicates < 1:
@@ -123,7 +166,41 @@ class AtlasConfig:
 
     def replace(self, **changes: object) -> "AtlasConfig":
         """Return a copy with the given fields changed."""
+        unknown = set(changes) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ConfigError(
+                f"unknown config fields: {', '.join(sorted(map(str, unknown)))}"
+            )
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON form: enums serialized by their string values.
+
+        The inverse of :meth:`from_dict`; lets a configuration travel
+        over the SQL gateway and future service boundaries.
+        """
+        out: dict[str, object] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            out[field.name] = value.value if isinstance(value, enum.Enum) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "AtlasConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ConfigError` (a silently dropped
+        knob is a misconfigured engine); strategy strings are coerced
+        back to enum members by ``__post_init__``.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ConfigError(
+                f"unknown config keys: {', '.join(sorted(map(str, unknown)))}; "
+                f"known: {', '.join(sorted(field_names))}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
 
 
 #: The configuration the paper describes verbatim.

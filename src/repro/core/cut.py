@@ -27,12 +27,18 @@ import numpy as np
 
 from repro.core.config import (
     AtlasConfig,
-    CategoricalCutStrategy,
-    NumericCutStrategy,
+    CategoricalCutStrategy,  # noqa: F401 - legacy alias, re-exported
+    NumericCutStrategy,  # noqa: F401 - legacy alias, re-exported
 )
 from repro.core.datamap import DataMap
 from repro.dataset.column import CategoricalColumn, NumericColumn
 from repro.dataset.table import Table
+from repro.engine.registry import (
+    CATEGORICAL_ORDERS,
+    NUMERIC_CUTS,
+    register_categorical_cut,
+    register_numeric_cut,
+)
 from repro.errors import MapError
 from repro.query.predicate import (
     AnyPredicate,
@@ -49,12 +55,16 @@ def cut(
     attribute: str,
     config: AtlasConfig | None = None,
     n_splits: int | None = None,
+    *,
+    region_mask: np.ndarray | None = None,
 ) -> DataMap:
     """Apply ``CUT_attribute`` to ``query`` over ``table``.
 
     Returns a :class:`DataMap` of at most ``n_splits`` regions based on
     ``attribute`` (exactly the paper's Definition 1), or the trivial map
-    ``{query}`` when no split is possible.
+    ``{query}`` when no split is possible.  ``region_mask`` lets callers
+    that already evaluated the query (the engine's statistics cache)
+    skip re-evaluating it here.
     """
     config = config or AtlasConfig()
     splits = config.n_splits if n_splits is None else int(n_splits)
@@ -62,7 +72,8 @@ def cut(
         raise MapError(f"CUT needs at least 2 splits, got {splits}")
 
     column = table.column(attribute)
-    region_mask = query.mask(table)
+    if region_mask is None:
+        region_mask = query.mask(table)
 
     if isinstance(column, NumericColumn):
         regions = _cut_numeric(
@@ -101,17 +112,7 @@ def _cut_numeric(
     if low == high:
         return []
 
-    strategy = config.numeric_strategy
-    if strategy is NumericCutStrategy.MEDIAN:
-        points = numeric_cut_points_median(values, splits)
-    elif strategy is NumericCutStrategy.EQUIWIDTH:
-        points = numeric_cut_points_equiwidth(values, splits)
-    elif strategy is NumericCutStrategy.TWO_MEANS:
-        points = numeric_cut_points_kmeans(values, splits)
-    elif strategy is NumericCutStrategy.SKETCH:
-        points = numeric_cut_points_sketch(values, splits, config.sketch_epsilon)
-    else:  # pragma: no cover - enum is exhaustive
-        raise MapError(f"unknown numeric strategy {strategy}")
+    points = NUMERIC_CUTS.get(config.numeric_strategy)(values, splits, config)
 
     parent = query.predicate_on(attribute)
     points = _clean_cut_points(points, parent, low, high)
@@ -287,22 +288,24 @@ def _cut_categorical(
     # Labels admitted by the predicate but absent from the column get 0.
     counts = {label: label_counts.get(label, 0) for label in admitted}
 
-    strategy = config.categorical_strategy
-    if strategy is CategoricalCutStrategy.FREQUENCY:
-        ordered = sorted(admitted, key=lambda lab: (-counts[lab], lab))
-    elif strategy is CategoricalCutStrategy.ALPHABETIC:
-        ordered = sorted(admitted)
-    elif strategy is CategoricalCutStrategy.USER_ORDER:
-        ordered = list(admitted)  # the predicate preserved user order
-    else:  # pragma: no cover - enum is exhaustive
-        raise MapError(f"unknown categorical strategy {strategy}")
-
+    ordered = ordered_labels(config.categorical_strategy, admitted, counts)
     groups = balanced_label_groups(ordered, counts, splits)
     if len(groups) < 2:
         return []
     return [
         query.with_predicate(SetPredicate(attribute, group)) for group in groups
     ]
+
+
+def ordered_labels(
+    strategy: object, admitted: list[str], counts: dict[str, int]
+) -> list[str]:
+    """Lay out categorical labels per the configured ordering strategy.
+
+    Shared by the native and SQL-only engines; ``strategy`` may be a
+    registry name or a :class:`CategoricalCutStrategy` member.
+    """
+    return CATEGORICAL_ORDERS.get(strategy)(list(admitted), counts)
 
 
 def balanced_label_groups(
@@ -336,3 +339,54 @@ def balanced_label_groups(
     if current:
         groups.append(current)
     return [g for g in groups if g]
+
+
+# --------------------------------------------------------------------- #
+# Built-in strategy registrations
+# --------------------------------------------------------------------- #
+# The enums in :mod:`repro.core.config` are aliases: each member's value
+# is the registry key registered here, so string and enum dispatch are
+# interchangeable and third parties can add strategies without touching
+# this module.
+
+
+@register_numeric_cut("median")
+def _median_strategy(values, splits, config):
+    """Equi-depth splits — "currently, we use the median" (§5.1)."""
+    return numeric_cut_points_median(values, splits)
+
+
+@register_numeric_cut("equiwidth")
+def _equiwidth_strategy(values, splits, config):
+    """Equi-width splits — "fast and intuitive" (§3.1)."""
+    return numeric_cut_points_equiwidth(values, splits)
+
+
+@register_numeric_cut("twomeans")
+def _twomeans_strategy(values, splits, config):
+    """Intra-cluster-distance splits "as in K-means" (§3.1)."""
+    return numeric_cut_points_kmeans(values, splits)
+
+
+@register_numeric_cut("sketch")
+def _sketch_strategy(values, splits, config):
+    """One-pass GK approximate quantile splits (§5.1)."""
+    return numeric_cut_points_sketch(values, splits, config.sketch_epsilon)
+
+
+@register_categorical_cut("frequency")
+def _frequency_order(labels, counts):
+    """Most frequent first (ties alphabetic) — the §3.1 default."""
+    return sorted(labels, key=lambda lab: (-counts[lab], lab))
+
+
+@register_categorical_cut("alphabetic")
+def _alphabetic_order(labels, counts):
+    """"A simple alphabetic order" (§3.1)."""
+    return sorted(labels)
+
+
+@register_categorical_cut("user_order")
+def _user_order(labels, counts):
+    """"The order in which the user gives them" (§3.1)."""
+    return list(labels)

@@ -23,6 +23,32 @@ from repro.query.query import ConjunctiveQuery
 ESCAPE = -1
 
 
+def assign_regions(regions, n_rows, mask_of) -> np.ndarray:
+    """Region index per row: first matching region wins, else ESCAPE.
+
+    The single implementation behind :meth:`DataMap.assign` and the
+    engine's cached :meth:`~repro.engine.context.TableStats.assignment`
+    — ``mask_of`` abstracts how a region's row mask is obtained.
+    """
+    assignment = np.full(n_rows, ESCAPE, dtype=np.int64)
+    unassigned = np.ones(n_rows, dtype=bool)
+    for index, region in enumerate(regions):
+        hit = mask_of(region) & unassigned
+        assignment[hit] = index
+        unassigned &= ~hit
+        if not unassigned.any():
+            break
+    return assignment
+
+
+def covers_from_assignment(assignment: np.ndarray, n_regions: int) -> np.ndarray:
+    """Per-region cover fractions from an assignment vector."""
+    if assignment.size == 0:
+        return np.zeros(n_regions, dtype=np.float64)
+    counts = np.bincount(assignment[assignment >= 0], minlength=n_regions)
+    return counts.astype(np.float64) / assignment.size
+
+
 class DataMap:
     """An immutable set of region queries.
 
@@ -122,25 +148,15 @@ class DataMap:
         the CUT disjointness contract) are assigned to the first matching
         region in display order, which keeps the result a function.
         """
-        assignment = np.full(table.n_rows, ESCAPE, dtype=np.int64)
-        unassigned = np.ones(table.n_rows, dtype=bool)
-        for index, region in enumerate(self._regions):
-            hit = region.mask(table) & unassigned
-            assignment[hit] = index
-            unassigned &= ~hit
-            if not unassigned.any():
-                break
-        return assignment
+        return assign_regions(
+            self._regions, table.n_rows, lambda region: region.mask(table)
+        )
 
     def covers(self, table: Table) -> np.ndarray:
         """Cover ``C(Q)`` of each region against ``table`` (Section 3)."""
         if table.n_rows == 0:
             return np.zeros(len(self._regions), dtype=np.float64)
-        assignment = self.assign(table)
-        counts = np.bincount(
-            assignment[assignment >= 0], minlength=len(self._regions)
-        )
-        return counts.astype(np.float64) / table.n_rows
+        return covers_from_assignment(self.assign(table), len(self._regions))
 
     def distribution(self, table: Table) -> np.ndarray:
         """Distribution of the underlying variable including escape mass.

@@ -19,6 +19,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.core.config import Linkage
+from repro.engine.registry import LINKAGES, register_linkage
 from repro.errors import MapError
 
 
@@ -48,22 +49,16 @@ def _cluster_distance(
     members_a: Sequence[int],
     members_b: Sequence[int],
     distances: np.ndarray,
-    linkage: Linkage,
+    linkage: "Linkage | str",
 ) -> float:
     block = distances[np.ix_(members_a, members_b)]
-    if linkage is Linkage.SINGLE:
-        return float(block.min())
-    if linkage is Linkage.COMPLETE:
-        return float(block.max())
-    if linkage is Linkage.AVERAGE:
-        return float(block.mean())
-    raise MapError(f"unknown linkage {linkage}")  # pragma: no cover
+    return float(LINKAGES.get(linkage)(block))
 
 
 def agglomerate(
     distances: np.ndarray,
     threshold: float,
-    linkage: Linkage = Linkage.SINGLE,
+    linkage: "Linkage | str" = Linkage.SINGLE,
     can_merge: Callable[[tuple[int, ...], tuple[int, ...]], bool] | None = None,
 ) -> AgglomerationResult:
     """Merge clusters bottom-up until no pair is close and allowed.
@@ -120,7 +115,7 @@ def agglomerate(
 
 
 def dendrogram(
-    distances: np.ndarray, linkage: Linkage = Linkage.SINGLE
+    distances: np.ndarray, linkage: "Linkage | str" = Linkage.SINGLE
 ) -> AgglomerationResult:
     """Full agglomeration to a single cluster (no threshold, no veto).
 
@@ -129,3 +124,26 @@ def dendrogram(
     exposes it for the comparison benchmarks.
     """
     return agglomerate(distances, threshold=float("inf"), linkage=linkage)
+
+
+# --------------------------------------------------------------------- #
+# Built-in linkage registrations (the Linkage enum members are aliases)
+# --------------------------------------------------------------------- #
+
+
+@register_linkage("single")
+def _single_linkage(block: np.ndarray) -> float:
+    """SLINK-equivalent: distance of the closest member pair (§3.2)."""
+    return float(block.min())
+
+
+@register_linkage("complete")
+def _complete_linkage(block: np.ndarray) -> float:
+    """Distance of the farthest member pair."""
+    return float(block.max())
+
+
+@register_linkage("average")
+def _average_linkage(block: np.ndarray) -> float:
+    """Mean pairwise distance (UPGMA)."""
+    return float(block.mean())

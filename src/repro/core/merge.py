@@ -21,6 +21,7 @@ from repro.core.config import AtlasConfig
 from repro.core.cut import cut
 from repro.core.datamap import DataMap
 from repro.dataset.table import Table
+from repro.engine.registry import MERGES, register_merge
 from repro.errors import MapError
 from repro.query.query import ConjunctiveQuery
 
@@ -115,10 +116,26 @@ def merge_cluster(
     table: Table,
     config: AtlasConfig | None = None,
 ) -> DataMap:
-    """Merge one cluster with the configured method (Section 3.3)."""
-    from repro.core.config import MergeMethod  # local import avoids cycle risk
+    """Merge one cluster with the configured method (Section 3.3).
 
+    Dispatches through the :data:`~repro.engine.registry.MERGES`
+    registry, so ``config.merge_method`` may name a custom operator.
+    """
     config = config or AtlasConfig()
-    if config.merge_method is MergeMethod.PRODUCT:
-        return product(cluster, table, min_region_cover=config.min_region_cover)
+    return MERGES.get(config.merge_method)(cluster, table, config)
+
+
+@register_merge("product")
+def _product_merge(
+    cluster: Sequence[DataMap], table: Table, config: AtlasConfig
+) -> DataMap:
+    """Definition 3: intersect regions pairwise."""
+    return product(cluster, table, min_region_cover=config.min_region_cover)
+
+
+@register_merge("composition")
+def _composition_merge(
+    cluster: Sequence[DataMap], table: Table, config: AtlasConfig
+) -> DataMap:
+    """Definition 4: re-CUT each region on the partners' attributes."""
     return composition(cluster, table, config)

@@ -13,7 +13,7 @@ attributes first (simpler map), then label.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -49,17 +49,23 @@ def rank_maps(
     maps: Sequence[DataMap],
     table: Table,
     max_maps: int | None = None,
+    covers_fn: "Callable[[DataMap], np.ndarray] | None" = None,
 ) -> list[RankedMap]:
     """Rank maps by decreasing entropy (Section 3.4).
 
     ``max_maps`` truncates the ranked list (the abstract promises "less
     than a dozen" queries per map and a small list of maps).
+    ``covers_fn`` overrides how covers are measured — the engine's
+    ranking stage passes its memoized statistics cache — so the score
+    formula and tie-breaking live in exactly one place.
     """
+    if covers_fn is None:
+        covers_fn = lambda m: m.covers(table)  # noqa: E731
     ranked: list[RankedMap] = []
     for data_map in maps:
-        covers = data_map.covers(table)
+        covers = covers_fn(data_map)
         total = float(covers.sum())
-        score = entropy(covers / total) if total > 0 else 0.0
+        score = float(entropy(covers / total)) if total > 0 else 0.0
         ranked.append(
             RankedMap(
                 map=data_map,

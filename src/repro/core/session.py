@@ -35,10 +35,20 @@ class ExplorationSession:
     re-rank the current answer by learned interest (§5.2 future work).
     """
 
-    def __init__(self, table: Table, config: AtlasConfig | None = None):
+    def __init__(
+        self,
+        table: Table,
+        config: AtlasConfig | None = None,
+        *,
+        engine: Atlas | None = None,
+    ):
         from repro.core.personalize import InterestProfile
 
-        self._atlas = Atlas(table, config)
+        # The Atlas adapter keeps one ExecutionContext alive, so every
+        # drill-down in this session reuses the statistics (masks,
+        # assignment vectors, cut points) of earlier answers.  Passing
+        # ``engine`` shares an existing context (the fluent facade does).
+        self._atlas = engine if engine is not None else Atlas(table, config)
         self._history: list[SessionStep] = []
         self._cursor = 0
         self._profile = InterestProfile()

@@ -17,24 +17,26 @@ trade-off the paper describes, measured in experiment E14.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.core.atlas import MapSet, StageTimings
+from repro.core.atlas import MapSet
 from repro.core.clustering import cluster_maps_from_matrix
-from repro.core.config import (
-    AtlasConfig,
-    CategoricalCutStrategy,
-    MergeMethod,
+from repro.core.config import AtlasConfig
+from repro.core.cut import (
+    balanced_label_groups,
+    ordered_labels,
+    _numeric_subpredicates,
 )
-from repro.core.cut import balanced_label_groups, _numeric_subpredicates
 from repro.core.datamap import DataMap
 from repro.core.distance import MapDistanceMatrix
 from repro.core.information import rajski_distance, variation_of_information
 from repro.core.ranking import RankedMap
 from repro.core.information import entropy
 from repro.db.connection import SqlConnection
+from repro.engine.context import ExecutionContext
+from repro.engine.pipeline import Pipeline
+from repro.engine.registry import strategy_key
+from repro.engine.stages import PipelineState
 from repro.db.pushdown import (
     sql_category_histogram,
     sql_count,
@@ -44,7 +46,7 @@ from repro.db.pushdown import (
     sql_region_counts,
 )
 from repro.dataset.types import ColumnKind
-from repro.errors import MapError, QueryError
+from repro.errors import ConfigError, MapError, QueryError
 from repro.query.predicate import SetPredicate
 from repro.query.query import ConjunctiveQuery
 
@@ -75,6 +77,15 @@ class SqlAtlas:
         self._connection = connection
         self._table_name = table_name
         self._config = config or AtlasConfig()
+        numeric = strategy_key(self._config.numeric_strategy)
+        if numeric != "median":
+            # Fail fast instead of silently computing medians: the
+            # other strategies need the raw values, which only SQL
+            # statements this engine does not issue could avoid.
+            raise ConfigError(
+                f"numeric cut strategy {numeric!r} cannot be pushed down "
+                "through the SQL surface; only 'median' is available"
+            )
         # Schema discovery: one bounded probe for column names/kinds.
         probe = connection.query(
             f'SELECT * FROM "{table_name}" LIMIT 200'
@@ -92,54 +103,25 @@ class SqlAtlas:
     # ------------------------------------------------------------------ #
 
     def explore(self, query: ConjunctiveQuery | None = None) -> MapSet:
-        """Run the Section-3 pipeline through the SQL surface."""
-        query = query or ConjunctiveQuery()
-        total = sql_count(self._connection, query, self._table_name)
-        if total == 0:
-            raise MapError("the query describes no tuples")
+        """Run the Section-3 pipeline through the SQL surface.
 
-        started = time.perf_counter()
-        candidates = [
-            candidate
-            for attribute in self._scope_attributes(query)
-            if not (candidate := self.cut(query, attribute)).is_trivial
-        ]
-        t_candidates = time.perf_counter() - started
+        The same :class:`~repro.engine.pipeline.Pipeline` driver as the
+        native engine, with every stage swapped for a statement-issuing
+        equivalent — the stage protocol is the pluggability seam.
+        """
+        context = ExecutionContext(None, self._config)
+        return self.pipeline().run(query or ConjunctiveQuery(), context)
 
-        if not candidates:
-            timings = StageTimings(0.0, t_candidates, 0.0, 0.0, 0.0)
-            return MapSet(
-                query=query, ranked=(), clustering=None,
-                timings=timings, n_rows_used=total,
+    def pipeline(self) -> Pipeline:
+        """This engine's stage composition (SQL equivalents of §3)."""
+        return Pipeline(
+            (
+                _SqlScopeStage(self),
+                _SqlCandidateStage(self),
+                _SqlClusteringStage(self),
+                _SqlMergeStage(self),
+                _SqlRankingStage(self),
             )
-
-        started = time.perf_counter()
-        matrix = self._distance_matrix(candidates, query, total)
-        clustering = cluster_maps_from_matrix(
-            candidates, matrix, self._config
-        )
-        t_clustering = time.perf_counter() - started
-
-        started = time.perf_counter()
-        merged = [
-            m for cluster in clustering.clusters
-            if not (m := self._merge(cluster, query)).is_trivial
-        ]
-        t_merging = time.perf_counter() - started
-
-        started = time.perf_counter()
-        ranked = self._rank(merged)
-        t_ranking = time.perf_counter() - started
-
-        timings = StageTimings(
-            0.0, t_candidates, t_clustering, t_merging, t_ranking
-        )
-        return MapSet(
-            query=query,
-            ranked=tuple(ranked[: self._config.max_maps]),
-            clustering=clustering,
-            timings=timings,
-            n_rows_used=total,
         )
 
     # ------------------------------------------------------------------ #
@@ -230,13 +212,9 @@ class SqlAtlas:
             counts = dict(histogram)
         if len(admitted) < 2:
             return []
-        strategy = self._config.categorical_strategy
-        if strategy is CategoricalCutStrategy.FREQUENCY:
-            ordered = sorted(admitted, key=lambda lab: (-counts[lab], lab))
-        elif strategy is CategoricalCutStrategy.ALPHABETIC:
-            ordered = sorted(admitted)
-        else:
-            ordered = list(admitted)
+        ordered = ordered_labels(
+            self._config.categorical_strategy, admitted, counts
+        )
         groups = balanced_label_groups(ordered, counts, self._config.n_splits)
         if len(groups) < 2:
             return []
@@ -289,7 +267,17 @@ class SqlAtlas:
     def _merge(self, cluster, query: ConjunctiveQuery) -> DataMap:
         if len(cluster) == 1:
             return cluster[0]
-        if self._config.merge_method is MergeMethod.COMPOSITION:
+        method = strategy_key(self._config.merge_method)
+        if method not in ("product", "composition"):
+            # Custom registered merges run arbitrary Python over the
+            # in-memory table; they cannot be pushed down as SQL.
+            # Falling back silently would produce different maps than
+            # the native engine under the same config.
+            raise ConfigError(
+                f"merge strategy {method!r} cannot be pushed down through "
+                "the SQL surface; use 'product' or 'composition'"
+            )
+        if method == "composition":
             base, *rest = cluster
             regions = list(base.regions)
             for other in rest:
@@ -347,3 +335,107 @@ class SqlAtlas:
             key=lambda r: (-r.score, len(r.map.attributes), r.map.label)
         )
         return ranked
+
+
+# --------------------------------------------------------------------- #
+# The SQL stage implementations
+# --------------------------------------------------------------------- #
+# Each stage mirrors a native engine stage but measures through SQL
+# statements; they share the generic Pipeline driver (and its per-stage
+# timing) with every other entry point.  The context's statistics cache
+# is unused here — there is no in-memory table to cache over.
+
+
+class _SqlScopeStage:
+    """COUNT(*) probe: reject empty queries, record the row total."""
+
+    name = "sampling"
+
+    def __init__(self, engine: SqlAtlas):
+        self._engine = engine
+
+    def run(self, state: PipelineState, context: ExecutionContext) -> None:
+        total = sql_count(
+            self._engine._connection, state.query, self._engine._table_name
+        )
+        if total == 0:
+            raise MapError("the query describes no tuples")
+        state.n_rows_used = total
+
+
+class _SqlCandidateStage:
+    """CUT per eligible attribute, medians via COUNT(*) binary search."""
+
+    name = "candidates"
+
+    def __init__(self, engine: SqlAtlas):
+        self._engine = engine
+
+    def run(self, state: PipelineState, context: ExecutionContext) -> None:
+        engine = self._engine
+        state.candidates = [
+            candidate
+            for attribute in engine._scope_attributes(state.query)
+            if not (candidate := engine.cut(state.query, attribute)).is_trivial
+        ]
+
+
+class _SqlClusteringStage:
+    """Pairwise VI from per-cell COUNT contingency tables."""
+
+    name = "clustering"
+
+    def __init__(self, engine: SqlAtlas):
+        self._engine = engine
+
+    def run(self, state: PipelineState, context: ExecutionContext) -> None:
+        if not state.candidates:
+            state.clustering = None
+            return
+        if state.n_rows_used <= 0:
+            raise MapError(
+                "stage 'clustering' needs the query's row total but none "
+                "was set; include a counting scope stage (e.g. the SQL "
+                "sampling stage) earlier in the pipeline"
+            )
+        matrix = self._engine._distance_matrix(
+            state.candidates, state.query, state.n_rows_used
+        )
+        state.clustering = cluster_maps_from_matrix(
+            state.candidates, matrix, context.config
+        )
+
+
+class _SqlMergeStage:
+    """Merge clusters; empty regions dropped via COUNT per region."""
+
+    name = "merging"
+
+    def __init__(self, engine: SqlAtlas):
+        self._engine = engine
+
+    def run(self, state: PipelineState, context: ExecutionContext) -> None:
+        if state.clustering is None:
+            state.merged = []
+            return
+        state.merged = [
+            m
+            for cluster in state.clustering.clusters
+            if not (m := self._engine._merge(cluster, state.query)).is_trivial
+        ]
+
+
+class _SqlRankingStage:
+    """Entropy ranking over COUNT-per-region covers."""
+
+    name = "ranking"
+
+    def __init__(self, engine: SqlAtlas):
+        self._engine = engine
+
+    def run(self, state: PipelineState, context: ExecutionContext) -> None:
+        if not state.merged:
+            state.ranked = ()
+            return
+        ranked = self._engine._rank(state.merged)
+        state.ranked = tuple(ranked[: context.config.max_maps])

@@ -1,0 +1,86 @@
+"""The composable exploration engine.
+
+One pipeline, many doors: every public entry point — the classic
+:class:`~repro.core.atlas.Atlas`, the anytime explorer, interactive
+sessions, the SQL-only gateway, and the fluent :func:`explorer` facade
+— drives the same :class:`Pipeline` of pluggable :class:`Stage` objects
+over a shared :class:`ExecutionContext`.
+
+Layers, bottom up:
+
+* :mod:`repro.engine.registry` — string-keyed strategy registries
+  (numeric/categorical cuts, merges, linkages); the legacy enums are
+  aliases whose values double as registry keys.
+* :mod:`repro.engine.context` — :class:`ExecutionContext` carries the
+  table, config, deterministic per-query RNG, and a memoized statistics
+  cache (masks, assignments, joints, cut points) shared across stages
+  and across queries on the same table.
+* :mod:`repro.engine.stages` — the :class:`Stage` protocol and the five
+  Section-3 stages (scope → candidates → clustering → merging →
+  ranking).
+* :mod:`repro.engine.pipeline` — the :class:`Pipeline` driver with
+  generic per-stage timing, plus the :class:`MapSet` answer type.
+* :mod:`repro.engine.facade` — the fluent, batch-capable front door.
+"""
+
+from repro.engine.context import (
+    CacheCounters,
+    ExecutionContext,
+    TableStats,
+    query_fingerprint,
+)
+from repro.engine.pipeline import CANONICAL_STAGES, MapSet, Pipeline, StageTimings
+from repro.engine.registry import (
+    CATEGORICAL_ORDERS,
+    LINKAGES,
+    MERGES,
+    NUMERIC_CUTS,
+    StrategyRegistry,
+    register_categorical_cut,
+    register_linkage,
+    register_merge,
+    register_numeric_cut,
+    strategy_key,
+)
+from repro.engine.stages import (
+    CandidateStage,
+    ClusteringStage,
+    MergeStage,
+    PipelineState,
+    RankingStage,
+    ScopeStage,
+    Stage,
+    default_stages,
+)
+from repro.engine.facade import Explorer, explorer
+
+__all__ = [
+    "CANONICAL_STAGES",
+    "CATEGORICAL_ORDERS",
+    "CacheCounters",
+    "CandidateStage",
+    "ClusteringStage",
+    "ExecutionContext",
+    "Explorer",
+    "LINKAGES",
+    "MERGES",
+    "MapSet",
+    "MergeStage",
+    "NUMERIC_CUTS",
+    "Pipeline",
+    "PipelineState",
+    "RankingStage",
+    "ScopeStage",
+    "Stage",
+    "StageTimings",
+    "StrategyRegistry",
+    "TableStats",
+    "default_stages",
+    "explorer",
+    "query_fingerprint",
+    "register_categorical_cut",
+    "register_linkage",
+    "register_merge",
+    "register_numeric_cut",
+    "strategy_key",
+]

@@ -1,0 +1,472 @@
+"""Execution context: shared state and memoized statistics for the engine.
+
+The Section-3 pipeline is statistics-hungry — predicate masks, region
+assignment vectors, joint contingency tables, cut points, column
+entropies — and the seed implementation recomputed all of them inside
+each stage on every query.  :class:`ExecutionContext` carries one
+table + configuration pair through every stage *and across queries on
+the same table*, backed by :class:`TableStats` memoization, so
+
+* the clustering stage no longer recomputes the mutual-information
+  inputs that ranking needs again two stages later, and
+* a batch (:meth:`repro.engine.facade.Explorer.explore_many`) or an
+  interactive session pays for each statistic once, which is the
+  quasi-real-time lever of Sections 1/2/5.1 under repeated traffic.
+
+Determinism: sampling draws from a *per-query child generator* derived
+from ``(config.seed, fingerprint(query))`` instead of a shared mutating
+generator, so two identical ``explore()`` calls see the same sample and
+return the same maps — in any process, in any call order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from repro.core.config import AtlasConfig
+from repro.core.contingency import joint_distribution_from_assignments
+from repro.core.datamap import DataMap, assign_regions, covers_from_assignment
+from repro.core.information import rajski_distance, variation_of_information
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+#: Bounds on cached scope tables / per-table stat blocks; interactive
+#: sessions revisit a handful of scopes, so a small FIFO is plenty.
+#: Sampled scopes are materialized copies, so they are additionally
+#: bounded by total cached rows (the base table is cached by reference
+#: and costs nothing).
+_MAX_SCOPES = 128
+_MAX_SCOPE_ROWS = 4_000_000
+_MAX_TABLE_STATS = 16
+#: Per-memo bounds inside one TableStats block.  Row-sized arrays
+#: (masks, assignments) dominate memory, so their FIFO caps come from a
+#: byte budget divided by the per-entry size (clamped to [8, 256]
+#: entries): on small tables the memos keep hundreds of entries, on a
+#: 10M-row table an 8-byte-per-row assignment memo holds ~8 vectors.
+#: Small per-region results (covers, joints, cuts) get a flat cap.
+_ROW_ARRAY_BYTE_BUDGET = 512 * 1024 * 1024
+_MIN_ROW_ARRAYS = 8
+_MAX_ROW_ARRAYS = 256
+_MAX_SMALL_ENTRIES = 4096
+
+
+def _row_array_cap(n_rows: int, bytes_per_row: int) -> int:
+    """FIFO entry cap for a memo of row-sized arrays."""
+    per_entry = max(1, n_rows * bytes_per_row)
+    return max(
+        _MIN_ROW_ARRAYS,
+        min(_MAX_ROW_ARRAYS, _ROW_ARRAY_BYTE_BUDGET // per_entry),
+    )
+
+
+def _bounded_put(memo: dict, key, value, cap: int) -> None:
+    """Insert with FIFO eviction once ``cap`` entries are reached."""
+    if len(memo) >= cap:
+        memo.pop(next(iter(memo)))
+    memo[key] = value
+
+
+@dataclasses.dataclass
+class CacheCounters:
+    """Hit/miss counters over every memo table of a context."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def order_sensitive_key(query: ConjunctiveQuery) -> tuple:
+    """Cache key for results that depend on user-given value order.
+
+    :class:`ConjunctiveQuery`/:class:`SetPredicate` equality is
+    order-insensitive (set semantics), but the ``user_order``
+    categorical strategy lays labels out in the order the user gave
+    them — so caches of cut results (and whole answers) must key on the
+    ordered values as well, or two set-equal queries with different
+    value orders would share one result.
+    """
+    parts = []
+    for predicate in sorted(query.predicates, key=lambda p: p.attribute):
+        ordered = getattr(predicate, "ordered_values", None)
+        parts.append(
+            (predicate, tuple(ordered) if ordered is not None else None)
+        )
+    return tuple(parts)
+
+
+def query_fingerprint(query: ConjunctiveQuery) -> int:
+    """Stable, process-independent fingerprint of a query.
+
+    Predicate order is irrelevant (queries compare as predicate sets),
+    and ``zlib.crc32`` avoids Python's per-process string-hash salt.
+    """
+    canonical = "|".join(sorted(p.describe() for p in query.predicates))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+class TableStats:
+    """Memoized statistics over one immutable table.
+
+    Every method mirrors an existing computation exactly
+    (:meth:`ConjunctiveQuery.mask`, :meth:`DataMap.assign`,
+    :meth:`DataMap.covers`, :func:`~repro.core.distance.distance_matrix`)
+    so cached and uncached paths are interchangeable; the engine tests
+    assert that equivalence.  Cached arrays are frozen
+    (``writeable=False``) — callers that need to mutate must copy.
+    """
+
+    def __init__(self, table: Table, counters: CacheCounters | None = None):
+        self._table = table
+        self.counters = counters if counters is not None else CacheCounters()
+        self._predicate_masks: dict[object, np.ndarray] = {}
+        self._query_masks: dict[ConjunctiveQuery, np.ndarray] = {}
+        self._assignments: dict[DataMap, np.ndarray] = {}
+        self._covers: dict[DataMap, np.ndarray] = {}
+        self._joints: dict[tuple, np.ndarray] = {}
+        self._cuts: dict[tuple, DataMap] = {}
+        self._mask_cap = _row_array_cap(table.n_rows, 1)
+        self._row_array_cap = _row_array_cap(table.n_rows, 8)
+
+    @property
+    def table(self) -> Table:
+        """The table the statistics describe."""
+        return self._table
+
+    # ------------------------------------------------------------------ #
+    # Masks
+    # ------------------------------------------------------------------ #
+
+    def predicate_mask(self, predicate) -> np.ndarray:
+        """Row mask of one predicate (frozen array, cached)."""
+        cached = self._predicate_masks.get(predicate)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        mask = np.asarray(predicate.mask(self._table), dtype=bool)
+        mask.flags.writeable = False
+        _bounded_put(self._predicate_masks, predicate, mask, self._mask_cap)
+        return mask
+
+    def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row mask of a conjunctive query, AND of cached predicate masks."""
+        cached = self._query_masks.get(query)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        result = np.ones(self._table.n_rows, dtype=bool)
+        for predicate in query.predicates:
+            np.logical_and(result, self.predicate_mask(predicate), out=result)
+        result.flags.writeable = False
+        _bounded_put(self._query_masks, query, result, self._mask_cap)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Map statistics
+    # ------------------------------------------------------------------ #
+
+    def assignment(self, data_map: DataMap) -> np.ndarray:
+        """Region index per row (Definition 2), cached per map.
+
+        Semantics match :meth:`DataMap.assign`: first matching region
+        wins, uncovered rows get :data:`~repro.core.datamap.ESCAPE`.
+        """
+        cached = self._assignments.get(data_map.regions)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        assignment = assign_regions(
+            data_map.regions, self._table.n_rows, self.query_mask
+        )
+        assignment.flags.writeable = False
+        _bounded_put(
+            self._assignments, data_map.regions, assignment,
+            self._row_array_cap,
+        )
+        return assignment
+
+    def covers(self, data_map: DataMap) -> np.ndarray:
+        """Cover of each region (matches :meth:`DataMap.covers`), cached."""
+        cached = self._covers.get(data_map.regions)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        result = covers_from_assignment(
+            self.assignment(data_map), data_map.n_regions
+        )
+        result.flags.writeable = False
+        _bounded_put(self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES)
+        return result
+
+    def joint(
+        self,
+        map_a: DataMap,
+        map_b: DataMap,
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ) -> np.ndarray:
+        """Joint distribution of two maps' underlying variables, cached.
+
+        ``row_indices`` restricts the estimate to a subset of rows (the
+        clustering stage scores dependency over the tuples the user
+        query describes); ``scope_key`` names that subset in the cache
+        key.  A restricted estimate without a ``scope_key`` is computed
+        but never cached — caching it under the full-table key would
+        poison later unrestricted lookups.  Assignment vectors are
+        computed once over the *full* table and sliced — region
+        membership is row-wise, so slicing commutes with selection.
+        """
+        assign_a = self.assignment(map_a)
+        assign_b = self.assignment(map_b)
+        if row_indices is not None:
+            assign_a = assign_a[row_indices]
+            assign_b = assign_b[row_indices]
+        return self._joint_from(
+            map_a, map_b, assign_a, assign_b,
+            scope_key, cacheable=row_indices is None or scope_key is not None,
+        )
+
+    def _joint_from(
+        self,
+        map_a: DataMap,
+        map_b: DataMap,
+        assign_a: np.ndarray,
+        assign_b: np.ndarray,
+        scope_key: object,
+        cacheable: bool,
+    ) -> np.ndarray:
+        """Cache-aware joint distribution from prepared assignments."""
+        if cacheable:
+            key = (map_a.regions, map_b.regions, scope_key)
+            cached = self._joints.get(key)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            transposed = self._joints.get(
+                (map_b.regions, map_a.regions, scope_key)
+            )
+            if transposed is not None:
+                self.counters.hits += 1
+                return transposed.T
+        self.counters.misses += 1
+        joint = joint_distribution_from_assignments(
+            assign_a, assign_b, map_a.n_regions, map_b.n_regions
+        )
+        if cacheable:
+            joint.flags.writeable = False
+            _bounded_put(self._joints, key, joint, _MAX_SMALL_ENTRIES)
+        return joint
+
+    def distance_matrix(
+        self,
+        maps: tuple[DataMap, ...],
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ):
+        """Pairwise VI / Rajski distances with memoized joints.
+
+        Equivalent to :func:`repro.core.distance.distance_matrix` over
+        ``table[row_indices]``, but every joint distribution is cached
+        so repeated queries on the same table skip the quadratic
+        recomputation.
+        """
+        from repro.core.distance import MapDistanceMatrix
+
+        if not maps:
+            raise MapError("need at least one map")
+        n = len(maps)
+        # Slice each assignment once up front — per-pair slicing would
+        # copy every assignment O(n) times.
+        if row_indices is None:
+            assignments = [self.assignment(m) for m in maps]
+        else:
+            assignments = [self.assignment(m)[row_indices] for m in maps]
+        cacheable = row_indices is None or scope_key is not None
+        raw = np.zeros((n, n), dtype=np.float64)
+        scaled = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                joint = self._joint_from(
+                    maps[i], maps[j], assignments[i], assignments[j],
+                    scope_key, cacheable,
+                )
+                raw[i, j] = raw[j, i] = variation_of_information(joint)
+                scaled[i, j] = scaled[j, i] = rajski_distance(joint)
+        return MapDistanceMatrix(maps=maps, distances=raw, normalized=scaled)
+
+    # ------------------------------------------------------------------ #
+    # Cuts and column statistics
+    # ------------------------------------------------------------------ #
+
+    def cut_map(
+        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
+    ) -> DataMap:
+        """``CUT_attribute(query)`` with cut points memoized per scope.
+
+        The cache key covers the config fields the built-in cuts
+        depend on plus the *resolved* strategy callables, so one
+        :class:`TableStats` can serve contexts with different
+        configurations and a strategy re-registered with
+        ``overwrite=True`` is never served stale results.  (A custom
+        strategy reading further config fields should be registered
+        under a name that encodes them.)
+        """
+        from repro.engine.registry import CATEGORICAL_ORDERS, NUMERIC_CUTS
+
+        key = (
+            order_sensitive_key(query),
+            attribute,
+            config.n_splits,
+            NUMERIC_CUTS.get(config.numeric_strategy),
+            CATEGORICAL_ORDERS.get(config.categorical_strategy),
+            config.sketch_epsilon,
+        )
+        cached = self._cuts.get(key)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        from repro.core.cut import cut
+
+        result = cut(
+            self._table,
+            query,
+            attribute,
+            config,
+            region_mask=self.query_mask(query),
+        )
+        _bounded_put(self._cuts, key, result, _MAX_SMALL_ENTRIES)
+        return result
+
+
+class ExecutionContext:
+    """Everything a pipeline run needs: table, config, rng, statistics.
+
+    One context serves many queries; the facade keeps a context alive
+    across :meth:`~repro.engine.facade.Explorer.explore_many` calls and
+    :class:`~repro.core.atlas.Atlas` keeps one for its lifetime, so an
+    interactive drill-down session reuses masks and assignment vectors
+    computed for earlier answers.
+
+    ``table`` may be ``None`` for pipelines whose stages measure through
+    an external system (the SQL-only engine); such stages never touch
+    the statistics cache.
+    """
+
+    def __init__(self, table: Table | None, config: AtlasConfig | None = None):
+        if table is not None and table.n_rows == 0:
+            raise MapError("cannot explore an empty table")
+        self._table = table
+        self._config = config or AtlasConfig()
+        self.counters = CacheCounters()
+        self._stats: dict[int, TableStats] = {}
+        self._transient_stats: TableStats | None = None
+        self._scopes: dict[ConjunctiveQuery, Table] = {}
+
+    @property
+    def table(self) -> Table:
+        """The base table being explored."""
+        if self._table is None:
+            raise MapError("this context is not bound to an in-memory table")
+        return self._table
+
+    @property
+    def config(self) -> AtlasConfig:
+        """Engine configuration shared by every stage."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Determinism
+    # ------------------------------------------------------------------ #
+
+    def child_rng(self, query: ConjunctiveQuery) -> np.random.Generator:
+        """Deterministic per-call generator from ``(seed, query)``.
+
+        Independent of call order and process, unlike the seed
+        implementation's shared mutating generator — identical calls
+        now return identical maps.
+        """
+        return np.random.default_rng(
+            [self._config.seed, query_fingerprint(query)]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scoping and statistics
+    # ------------------------------------------------------------------ #
+
+    def scoped(self, query: ConjunctiveQuery) -> Table:
+        """The table a query's pipeline run scans (§5.1 sampling lever).
+
+        With ``config.sample_size`` set, a uniform sample drawn with the
+        per-query child generator; cached per query so a batch reuses
+        one sample object (and therefore one statistics block).
+        """
+        table = self.table
+        if (
+            self._config.sample_size is None
+            or self._config.sample_size >= table.n_rows
+        ):
+            return table  # nothing materialized, nothing to cache
+        cached = self._scopes.get(query)
+        if cached is not None:
+            return cached
+        table = table.sample(self._config.sample_size, rng=self.child_rng(query))
+        if table.n_rows > _MAX_SCOPE_ROWS:
+            # A single over-budget sample would flush the whole cache
+            # and still violate the budget; serve it uncached instead.
+            return table
+        # Materialized samples are evicted FIFO under a row budget so a
+        # long-lived context cannot pin unbounded sample copies; the
+        # evicted table's statistics block goes with it, or the pinned
+        # table copy would outlive its eviction.
+        cached_rows = sum(t.n_rows for t in self._scopes.values())
+        while self._scopes and (
+            len(self._scopes) >= _MAX_SCOPES
+            or cached_rows + table.n_rows > _MAX_SCOPE_ROWS
+        ):
+            evicted = self._scopes.pop(next(iter(self._scopes)))
+            cached_rows -= evicted.n_rows
+            self._stats.pop(id(evicted), None)
+        self._scopes[query] = table
+        return table
+
+    def stats_for(self, table: Table) -> TableStats:
+        """The memoized statistics block for ``table``.
+
+        Keyed by object identity — tables are immutable and the context
+        holds a reference, so identity is stable for the cache lifetime.
+        """
+        stats = self._stats.get(id(table))
+        if stats is not None:
+            return stats
+        if (
+            self._table is not None
+            and table is not self._table
+            and table.n_rows > _MAX_SCOPE_ROWS
+        ):
+            # An over-budget sample that scoped() refused to cache must
+            # not get pinned through its statistics block either; keep
+            # a single transient block, enough to share statistics
+            # between the stages of one pipeline run.
+            if self._transient_stats is None or self._transient_stats.table is not table:
+                self._transient_stats = TableStats(table, counters=self.counters)
+            return self._transient_stats
+        stats = TableStats(table, counters=self.counters)
+        _bounded_put(self._stats, id(table), stats, _MAX_TABLE_STATS)
+        return stats
+
+    def stats(self) -> TableStats:
+        """Statistics block of the base table."""
+        return self.stats_for(self.table)

@@ -1,0 +1,215 @@
+"""The fluent facade: one-liner exploration with a shared context.
+
+:func:`explorer` is the recommended entry point for the whole system::
+
+    from repro import explorer
+    from repro.datagen import census_table
+
+    table = census_table(n_rows=50_000, seed=0)
+    maps = explorer(table).sample(20_000).cut("median").explore("Age: [17, 90]")
+
+Every knob is a chainable method, queries may be strings in the paper's
+syntax or :class:`~repro.query.query.ConjunctiveQuery` objects, and the
+explorer keeps one :class:`~repro.engine.context.ExecutionContext`
+alive across calls — so a batch (:meth:`Explorer.explore_many`) or a
+drill-down sequence reuses every mask, assignment vector, and cut point
+computed for earlier answers instead of recomputing them per query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.core.config import AtlasConfig
+from repro.engine.context import ExecutionContext
+from repro.engine.pipeline import MapSet, Pipeline
+from repro.query.query import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.anytime import AnytimeExplorer
+    from repro.core.session import ExplorationSession
+    from repro.dataset.table import Table
+
+
+class Explorer:
+    """Fluent, batch-capable front door to the exploration engine.
+
+    Configuration methods return ``self`` so calls chain; each one
+    replaces the config and drops the cached context (a config change
+    invalidates memoized statistics that depend on it).  Strategy
+    setters accept registry names (strings) or the legacy enums.
+    """
+
+    def __init__(
+        self,
+        table: "Table",
+        config: AtlasConfig | None = None,
+        pipeline: Pipeline | None = None,
+    ):
+        self._table = table
+        self._config = config or AtlasConfig()
+        self._pipeline = pipeline or Pipeline.default()
+        self._context: ExecutionContext | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration
+    # ------------------------------------------------------------------ #
+
+    def configure(self, **changes: object) -> "Explorer":
+        """Replace any :class:`AtlasConfig` fields by keyword."""
+        self._config = self._config.replace(**changes)
+        self._context = None
+        return self
+
+    def sample(self, n_rows: int | None) -> "Explorer":
+        """Scan a uniform sample of ``n_rows`` (§5.1); ``None`` = all."""
+        return self.configure(sample_size=n_rows)
+
+    def cut(self, strategy: object) -> "Explorer":
+        """Numeric cutting strategy, e.g. ``"median"`` or ``"twomeans"``."""
+        return self.configure(numeric_strategy=strategy)
+
+    def categorical(self, strategy: object) -> "Explorer":
+        """Categorical cutting strategy, e.g. ``"frequency"``."""
+        return self.configure(categorical_strategy=strategy)
+
+    def merge(self, method: object) -> "Explorer":
+        """Cluster merge operator, ``"product"`` or ``"composition"``."""
+        return self.configure(merge_method=method)
+
+    def linkage(self, linkage: object) -> "Explorer":
+        """Agglomeration linkage, e.g. ``"single"`` (§3.2 favours it)."""
+        return self.configure(linkage=linkage)
+
+    def splits(self, n: int) -> "Explorer":
+        """Partitions per attribute (the paper fixes 2, §3.1)."""
+        return self.configure(n_splits=n)
+
+    def max_maps(self, n: int) -> "Explorer":
+        """Cap on the ranked result list."""
+        return self.configure(max_maps=n)
+
+    def threshold(self, value: float) -> "Explorer":
+        """Dependence threshold for clustering (§3.2 leaves it open)."""
+        return self.configure(dependence_threshold=value)
+
+    def seed(self, seed: int) -> "Explorer":
+        """Random seed for sampling determinism."""
+        return self.configure(seed=seed)
+
+    def with_pipeline(self, pipeline: Pipeline) -> "Explorer":
+        """Swap in a custom stage composition."""
+        self._pipeline = pipeline
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def table(self) -> "Table":
+        """The dataset being explored."""
+        return self._table
+
+    @property
+    def config(self) -> AtlasConfig:
+        """The accumulated configuration."""
+        return self._config
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The stage composition queries run through."""
+        return self._pipeline
+
+    @property
+    def context(self) -> ExecutionContext:
+        """The shared execution context (created lazily, kept across calls)."""
+        if self._context is None:
+            self._context = ExecutionContext(self._table, self._config)
+        return self._context
+
+    # ------------------------------------------------------------------ #
+    # Exploration
+    # ------------------------------------------------------------------ #
+
+    def explore(self, query: "str | ConjunctiveQuery | None" = None) -> MapSet:
+        """Answer one query (string in the paper's syntax, or parsed)."""
+        return self._pipeline.run(self._parse(query), self.context)
+
+    def explore_many(
+        self,
+        queries: Iterable["str | ConjunctiveQuery | None"],
+        *,
+        reuse_answers: bool = True,
+    ) -> list[MapSet]:
+        """Answer a batch of queries over one shared context.
+
+        Results align with the input order.  Duplicate queries are
+        answered once when ``reuse_answers`` is set (interactive traffic
+        repeats itself — the §5.1 anticipation argument); even distinct
+        queries share every memoized statistic through the context.
+        """
+        from repro.engine.context import order_sensitive_key
+
+        answers: dict[tuple, MapSet] = {}
+        results: list[MapSet] = []
+        for raw in queries:
+            query = self._parse(raw)
+            key = order_sensitive_key(query)
+            if reuse_answers and key in answers:
+                results.append(answers[key])
+                continue
+            result = self._pipeline.run(query, self.context)
+            if reuse_answers:
+                answers[key] = result
+            results.append(result)
+        return results
+
+    def session(self) -> "ExplorationSession":
+        """A drill-down session sharing this explorer's context."""
+        from repro.core.atlas import Atlas
+        from repro.core.session import ExplorationSession
+
+        engine = Atlas(
+            self._table, context=self.context, pipeline=self._pipeline
+        )
+        return ExplorationSession(self._table, self._config, engine=engine)
+
+    def anytime(
+        self,
+        query: "str | ConjunctiveQuery | None" = None,
+        **kwargs: object,
+    ) -> "AnytimeExplorer":
+        """An anytime explorer over the same table and configuration.
+
+        Like :meth:`explore`, ``query`` may be text in the paper's
+        syntax.
+        """
+        from repro.core.anytime import AnytimeExplorer
+
+        return AnytimeExplorer(
+            self._table,
+            query=self._parse(query) if query is not None else None,
+            config=self._config,
+            pipeline=self._pipeline,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _parse(query: "str | ConjunctiveQuery | None") -> ConjunctiveQuery:
+        if query is None:
+            return ConjunctiveQuery()
+        if isinstance(query, str):
+            from repro.query.parser import parse_query
+
+            return parse_query(query)
+        return query
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Explorer table={self._table.name!r} rows={self._table.n_rows}>"
+
+
+def explorer(table: "Table", config: AtlasConfig | None = None) -> Explorer:
+    """Start a fluent exploration over ``table``."""
+    return Explorer(table, config)

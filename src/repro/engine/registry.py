@@ -1,0 +1,178 @@
+"""String-keyed strategy registries for the exploration engine.
+
+The paper leaves several knobs open — the cutting strategies
+(Section 3.1), the linkage (Section 3.2), and the merge operator
+(Section 3.3).  The seed implementation froze each choice into an enum
+and dispatched with ``if``-chains; this module replaces those chains
+with open registries so new behaviour can be plugged in without
+touching the pipeline:
+
+* :data:`NUMERIC_CUTS` — ``(values, splits, config) -> cut points``,
+* :data:`CATEGORICAL_ORDERS` — ``(labels, counts) -> ordered labels``,
+* :data:`MERGES` — ``(cluster, table, config) -> DataMap``,
+* :data:`LINKAGES` — ``(distance block) -> float``.
+
+The built-in strategies register themselves from the modules that
+define them (:mod:`repro.core.cut`, :mod:`repro.core.merge`,
+:mod:`repro.core.linkage`); the legacy enums keep working because every
+enum *value* doubles as a registry key.  Lookup accepts either form::
+
+    NUMERIC_CUTS.get("median")
+    NUMERIC_CUTS.get(NumericCutStrategy.MEDIAN)
+
+Custom strategies are one call away::
+
+    @register_numeric_cut("tertile")
+    def tertile(values, splits, config):
+        return [float(q) for q in np.quantile(values, [1/3, 2/3])]
+
+    explorer(table).cut("tertile").explore()
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterator
+from typing import Generic, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in strategies.
+
+    Lookup may legitimately happen before :mod:`repro.core` has been
+    imported (e.g. a script importing only :mod:`repro.engine`); the
+    defining modules self-register on import, so pulling them in here
+    makes the registries complete on first use.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    import repro.core.cut  # noqa: F401
+    import repro.core.linkage  # noqa: F401
+    import repro.core.merge  # noqa: F401
+
+    # Only after all three imports succeed: a transient import failure
+    # must not permanently disable builtin registration.  Reentrancy is
+    # safe — the registering modules never call get() at import time.
+    _builtins_loaded = True
+
+
+def strategy_key(key: str | enum.Enum) -> str:
+    """Normalize a registry key: enums map to their string value."""
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    if isinstance(key, str):
+        return key
+    raise ConfigError(
+        f"strategy keys are strings or enums, got {type(key).__name__}"
+    )
+
+
+class StrategyRegistry(Generic[T]):
+    """A named mapping from string keys to strategy callables."""
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._entries: dict[str, T] = {}
+
+    @property
+    def kind(self) -> str:
+        """What this registry holds (used in error messages)."""
+        return self._kind
+
+    def register(
+        self, name: str | enum.Enum, value: T | None = None, *,
+        overwrite: bool = False,
+    ):
+        """Register ``value`` under ``name``; usable as a decorator.
+
+        Raises :class:`ConfigError` on duplicate names unless
+        ``overwrite`` is set (so typos never silently shadow built-ins).
+        """
+        key = strategy_key(name)
+
+        def _store(entry: T) -> T:
+            if not overwrite and key in self._entries:
+                raise ConfigError(
+                    f"{self._kind} strategy {key!r} is already registered; "
+                    "pass overwrite=True to replace it"
+                )
+            self._entries[key] = entry
+            return entry
+
+        if value is None:
+            return _store
+        return _store(value)
+
+    def get(self, key: str | enum.Enum) -> T:
+        """Look up a strategy; unknown names raise :class:`ConfigError`."""
+        _ensure_builtins()
+        name = strategy_key(key)
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise ConfigError(
+                f"unknown {self._kind} strategy {name!r}; "
+                f"registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered strategy names, sorted."""
+        _ensure_builtins()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, key: object) -> bool:
+        _ensure_builtins()
+        try:
+            return strategy_key(key) in self._entries  # type: ignore[arg-type]
+        except ConfigError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StrategyRegistry {self._kind!r} n={len(self._entries)}>"
+
+
+#: ``(values: np.ndarray, splits: int, config: AtlasConfig) -> list[float]``
+NUMERIC_CUTS: StrategyRegistry[Callable] = StrategyRegistry("numeric cut")
+#: ``(labels: list[str], counts: dict[str, int]) -> list[str]``
+CATEGORICAL_ORDERS: StrategyRegistry[Callable] = StrategyRegistry(
+    "categorical cut"
+)
+#: ``(cluster: Sequence[DataMap], table: Table, config) -> DataMap``
+MERGES: StrategyRegistry[Callable] = StrategyRegistry("merge")
+#: ``(block: np.ndarray) -> float`` — cluster distance from a pairwise block.
+LINKAGES: StrategyRegistry[Callable] = StrategyRegistry("linkage")
+
+
+def register_numeric_cut(name: str, fn: Callable | None = None, **kw):
+    """Register a numeric cutting strategy (see :data:`NUMERIC_CUTS`)."""
+    return NUMERIC_CUTS.register(name, fn, **kw)
+
+
+def register_categorical_cut(name: str, fn: Callable | None = None, **kw):
+    """Register a categorical label ordering (see :data:`CATEGORICAL_ORDERS`)."""
+    return CATEGORICAL_ORDERS.register(name, fn, **kw)
+
+
+def register_merge(name: str, fn: Callable | None = None, **kw):
+    """Register a cluster merge operator (see :data:`MERGES`)."""
+    return MERGES.register(name, fn, **kw)
+
+
+def register_linkage(name: str, fn: Callable | None = None, **kw):
+    """Register an agglomeration linkage (see :data:`LINKAGES`)."""
+    return LINKAGES.register(name, fn, **kw)

@@ -22,8 +22,9 @@ import sys
 from repro.core.config import AtlasConfig
 from repro.core.exemplars import representative_examples
 from repro.core.explain import explain_region
-from repro.core.session import ExplorationSession
+from repro.core.session import ExplorationSession  # noqa: F401 - public type
 from repro.dataset.table import Table
+from repro.engine.facade import explorer
 from repro.errors import AtlasError
 from repro.frontend.render import (
     render_breadcrumb,
@@ -58,7 +59,10 @@ class ExplorerRepl:
         stdin: io.TextIOBase | None = None,
         stdout: io.TextIOBase | None = None,
     ):
-        self._session = ExplorationSession(table, config)
+        # Route through the fluent facade so the REPL shares one engine
+        # context: every drill-down reuses the statistics computed for
+        # earlier answers.
+        self._session = explorer(table, config).session()
         self._stdin = stdin if stdin is not None else sys.stdin
         self._stdout = stdout if stdout is not None else sys.stdout
 

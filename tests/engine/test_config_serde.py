@@ -1,0 +1,78 @@
+"""AtlasConfig serialization: to_dict / from_dict round trips."""
+
+import pytest
+
+from repro.core.config import (
+    AtlasConfig,
+    CategoricalCutStrategy,
+    Linkage,
+    MergeMethod,
+    NumericCutStrategy,
+)
+from repro.errors import ConfigError
+
+
+class TestToDict:
+    def test_enums_serialized_by_string_value(self):
+        data = AtlasConfig().to_dict()
+        assert data["numeric_strategy"] == "median"
+        assert data["categorical_strategy"] == "frequency"
+        assert data["merge_method"] == "product"
+        assert data["linkage"] == "single"
+
+    def test_plain_fields_pass_through(self):
+        data = AtlasConfig(sample_size=1234).to_dict()
+        assert data["sample_size"] == 1234
+        assert data["max_regions"] == 8
+        assert data["seed"] == 0
+
+    def test_json_compatible(self):
+        import json
+
+        text = json.dumps(AtlasConfig().to_dict())
+        assert "median" in text
+
+
+class TestFromDict:
+    def test_round_trip_identity(self):
+        config = AtlasConfig(
+            max_regions=6,
+            n_splits=3,
+            numeric_strategy=NumericCutStrategy.TWO_MEANS,
+            categorical_strategy=CategoricalCutStrategy.ALPHABETIC,
+            merge_method=MergeMethod.COMPOSITION,
+            linkage=Linkage.AVERAGE,
+            sample_size=500,
+            seed=9,
+        )
+        assert AtlasConfig.from_dict(config.to_dict()) == config
+
+    def test_strings_coerced_to_enums(self):
+        config = AtlasConfig.from_dict({"numeric_strategy": "twomeans"})
+        assert config.numeric_strategy is NumericCutStrategy.TWO_MEANS
+
+    def test_member_names_are_not_coerced(self):
+        # Only enum *values* coerce; a member-name-like string stays a
+        # registry key so custom strategies named e.g. "TWO_MEANS"
+        # cannot be shadowed by the builtin enum.
+        config = AtlasConfig.from_dict({"numeric_strategy": "TWO_MEANS"})
+        assert config.numeric_strategy == "TWO_MEANS"
+        assert config.numeric_strategy is not NumericCutStrategy.TWO_MEANS
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            AtlasConfig.from_dict({"max_regions": 8, "turbo": True})
+
+    def test_values_still_validated(self):
+        with pytest.raises(ConfigError):
+            AtlasConfig.from_dict({"max_regions": 1})
+
+    def test_non_string_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="strategy name"):
+            AtlasConfig.from_dict({"merge_method": 7})
+
+    def test_travels_over_a_service_boundary(self):
+        import json
+
+        wire = json.dumps(AtlasConfig(n_splits=3).to_dict())
+        assert AtlasConfig.from_dict(json.loads(wire)).n_splits == 3

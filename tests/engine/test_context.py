@@ -1,0 +1,206 @@
+"""ExecutionContext: shared statistics, cache hits, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.atlas import Atlas
+from repro.core.config import AtlasConfig
+from repro.core.cut import cut
+from repro.core.distance import distance_matrix
+from repro.engine.context import ExecutionContext, query_fingerprint
+from repro.errors import MapError
+from repro.query.parser import parse_query
+from repro.query.query import ConjunctiveQuery
+
+
+class TestStatsEquivalence:
+    """Cached statistics must match the uncached computations exactly."""
+
+    def test_query_mask_matches_direct_evaluation(self, census_small):
+        context = ExecutionContext(census_small)
+        query = parse_query("Age: [17, 90]")
+        np.testing.assert_array_equal(
+            context.stats().query_mask(query), query.mask(census_small)
+        )
+
+    def test_assignment_matches_datamap_assign(self, census_small):
+        context = ExecutionContext(census_small)
+        candidate = cut(census_small, ConjunctiveQuery(), "Age")
+        np.testing.assert_array_equal(
+            context.stats().assignment(candidate),
+            candidate.assign(census_small),
+        )
+
+    def test_covers_match_datamap_covers(self, census_small):
+        context = ExecutionContext(census_small)
+        candidate = cut(census_small, ConjunctiveQuery(), "Age")
+        np.testing.assert_allclose(
+            context.stats().covers(candidate), candidate.covers(census_small)
+        )
+
+    def test_distance_matrix_matches_uncached(self, census_small):
+        context = ExecutionContext(census_small)
+        maps = tuple(
+            cut(census_small, ConjunctiveQuery(), attr)
+            for attr in ("Age", "Salary", "Education")
+        )
+        cached = context.stats().distance_matrix(maps)
+        direct = distance_matrix(maps, census_small)
+        np.testing.assert_allclose(cached.distances, direct.distances)
+        np.testing.assert_allclose(cached.normalized, direct.normalized)
+
+    def test_subset_distance_matrix_matches_selected_table(self, census_small):
+        context = ExecutionContext(census_small)
+        query = parse_query("Age: [25, 60]")
+        maps = tuple(
+            cut(census_small, ConjunctiveQuery(), attr)
+            for attr in ("Age", "Salary")
+        )
+        described = query.mask(census_small)
+        cached = context.stats().distance_matrix(
+            maps, np.flatnonzero(described), scope_key=query
+        )
+        direct = distance_matrix(maps, census_small.select(described))
+        np.testing.assert_allclose(cached.distances, direct.distances)
+
+    def test_cut_map_matches_direct_cut(self, census_small):
+        context = ExecutionContext(census_small)
+        config = AtlasConfig()
+        query = parse_query("Age: [17, 90]")
+        assert context.stats().cut_map(query, "Age", config) == cut(
+            census_small, query, "Age", config
+        )
+
+
+class TestCaching:
+    def test_repeated_lookups_hit(self, census_small):
+        context = ExecutionContext(census_small)
+        candidate = cut(census_small, ConjunctiveQuery(), "Age")
+        stats = context.stats()
+        stats.assignment(candidate)
+        misses = context.counters.misses
+        stats.assignment(candidate)
+        stats.assignment(candidate)
+        assert context.counters.misses == misses
+        assert context.counters.hits >= 2
+
+    def test_cached_arrays_are_frozen(self, census_small):
+        context = ExecutionContext(census_small)
+        mask = context.stats().query_mask(parse_query("Age: [17, 90]"))
+        with pytest.raises(ValueError):
+            mask[0] = False
+
+    def test_region_order_keys_the_cache(self, census_small):
+        from repro.core.datamap import DataMap
+
+        context = ExecutionContext(census_small)
+        stats = context.stats()
+        base = cut(census_small, ConjunctiveQuery(), "Age")
+        reordered = DataMap(tuple(reversed(base.regions)), base.attributes)
+        # The two maps compare equal (region-set semantics) but their
+        # per-region arrays are order-sensitive; each must get its own
+        # cache entry.
+        assert base == reordered
+        stats.covers(base)
+        np.testing.assert_allclose(
+            stats.covers(reordered), reordered.covers(census_small)
+        )
+        np.testing.assert_array_equal(
+            stats.assignment(reordered), reordered.assign(census_small)
+        )
+
+    def test_restricted_joint_does_not_poison_full_cache(self, census_small):
+        from repro.core.contingency import joint_distribution
+
+        context = ExecutionContext(census_small)
+        stats = context.stats()
+        map_a = cut(census_small, ConjunctiveQuery(), "Age")
+        map_b = cut(census_small, ConjunctiveQuery(), "Salary")
+        # A row-restricted estimate without a scope_key must not be
+        # cached under the full-table key.
+        stats.joint(map_a, map_b, np.arange(100))
+        np.testing.assert_allclose(
+            stats.joint(map_a, map_b),
+            joint_distribution(map_a, map_b, census_small),
+        )
+
+    def test_user_order_queries_not_conflated(self, census_small):
+        # SetPredicate equality is order-insensitive, but the
+        # user_order strategy depends on the given order; a shared
+        # engine must answer each ordering on its own terms.
+        config = AtlasConfig(categorical_strategy="user_order", n_splits=2)
+        engine = Atlas(census_small, config)
+        first = engine.explore(
+            parse_query("Education: {'MSc', 'BSc', 'PhD'}")
+        )
+        second = engine.explore(
+            parse_query("Education: {'PhD', 'BSc', 'MSc'}")
+        )
+        fresh = Atlas(census_small, config).explore(
+            parse_query("Education: {'PhD', 'BSc', 'MSc'}")
+        )
+        assert second.best.regions == fresh.best.regions
+        assert first.best.regions != second.best.regions
+
+    def test_shared_cache_across_atlas_queries(self, census_small):
+        engine = Atlas(census_small)
+        engine.explore()
+        first_misses = engine.context.counters.misses
+        engine.explore()  # identical query: every statistic is cached
+        assert engine.context.counters.misses == first_misses
+
+
+class TestDeterminism:
+    def test_fingerprint_ignores_predicate_order(self):
+        a = parse_query("Age: [17, 90]\nEducation: {'BSc', 'MSc'}")
+        b = parse_query("Education: {'BSc', 'MSc'}\nAge: [17, 90]")
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_distinct_queries_distinct_fingerprints(self):
+        assert query_fingerprint(parse_query("Age: [17, 90]")) != (
+            query_fingerprint(parse_query("Age: [18, 90]"))
+        )
+
+    def test_identical_explores_identical_results(self, census_small):
+        config = AtlasConfig(sample_size=800, seed=7)
+        query = parse_query("Age: [17, 90]")
+        first = Atlas(census_small, config).explore(query)
+        second = Atlas(census_small, config).explore(query)
+        assert first.maps == second.maps
+        assert [r.score for r in first.ranked] == [
+            r.score for r in second.ranked
+        ]
+
+    def test_call_order_does_not_change_samples(self, census_small):
+        config = AtlasConfig(sample_size=800, seed=7)
+        target = parse_query("Education: {'BSc', 'MSc'}")
+        # First engine answers another query before the target; the
+        # seed implementation's shared RNG made this change the result.
+        engine_a = Atlas(census_small, config)
+        engine_a.explore(parse_query("Age: [17, 90]"))
+        via_detour = engine_a.explore(target)
+        direct = Atlas(census_small, config).explore(target)
+        assert via_detour.maps == direct.maps
+
+    def test_seed_still_matters(self, census_small):
+        query = parse_query("Age: [17, 90]")
+        a = ExecutionContext(census_small, AtlasConfig(sample_size=50, seed=0))
+        b = ExecutionContext(census_small, AtlasConfig(sample_size=50, seed=1))
+        table_a = a.scoped(query)
+        table_b = b.scoped(query)
+        assert not np.array_equal(
+            table_a.numeric("Age").data, table_b.numeric("Age").data
+        )
+
+
+class TestContextGuards:
+    def test_empty_table_rejected(self):
+        from repro.dataset.table import Table
+
+        with pytest.raises(MapError, match="empty"):
+            ExecutionContext(Table.from_dict({"x": []}))
+
+    def test_unbound_context_has_no_table(self):
+        context = ExecutionContext(None)
+        with pytest.raises(MapError, match="not bound"):
+            context.table

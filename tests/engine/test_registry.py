@@ -1,0 +1,128 @@
+"""Strategy registries: registration, lookup, and error behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    AtlasConfig,
+    CategoricalCutStrategy,
+    Linkage,
+    MergeMethod,
+    NumericCutStrategy,
+)
+from repro.engine.registry import (
+    CATEGORICAL_ORDERS,
+    LINKAGES,
+    MERGES,
+    NUMERIC_CUTS,
+    StrategyRegistry,
+    register_numeric_cut,
+    strategy_key,
+)
+from repro.errors import ConfigError
+
+
+class TestBuiltins:
+    def test_every_enum_member_is_registered(self):
+        for member in NumericCutStrategy:
+            assert member in NUMERIC_CUTS
+        for member in CategoricalCutStrategy:
+            assert member in CATEGORICAL_ORDERS
+        for member in MergeMethod:
+            assert member in MERGES
+        for member in Linkage:
+            assert member in LINKAGES
+
+    def test_string_and_enum_lookup_agree(self):
+        assert NUMERIC_CUTS.get("median") is NUMERIC_CUTS.get(
+            NumericCutStrategy.MEDIAN
+        )
+        assert MERGES.get("product") is MERGES.get(MergeMethod.PRODUCT)
+
+    def test_names_sorted(self):
+        names = NUMERIC_CUTS.names()
+        assert list(names) == sorted(names)
+        assert "median" in names
+
+    def test_linkage_callables(self):
+        block = np.array([[0.2, 0.8], [0.4, 0.6]])
+        assert LINKAGES.get("single")(block) == pytest.approx(0.2)
+        assert LINKAGES.get("complete")(block) == pytest.approx(0.8)
+        assert LINKAGES.get("average")(block) == pytest.approx(0.5)
+
+
+class TestRegistration:
+    def test_unknown_name_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown numeric cut"):
+            NUMERIC_CUTS.get("no-such-strategy")
+
+    def test_error_lists_known_names(self):
+        with pytest.raises(ConfigError, match="median"):
+            NUMERIC_CUTS.get("no-such-strategy")
+
+    def test_duplicate_registration_rejected(self):
+        registry = StrategyRegistry("test")
+        registry.register("x", lambda: 1)
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register("x", lambda: 2)
+
+    def test_overwrite_allows_replacement(self):
+        registry = StrategyRegistry("test")
+        registry.register("x", 1)
+        registry.register("x", 2, overwrite=True)
+        assert registry.get("x") == 2
+
+    def test_decorator_form(self):
+        registry = StrategyRegistry("test")
+
+        @registry.register("double")
+        def double(v):
+            return 2 * v
+
+        assert registry.get("double")(21) == 42
+
+    def test_bad_key_type_rejected(self):
+        with pytest.raises(ConfigError, match="strings or enums"):
+            strategy_key(42)
+
+
+class TestCustomStrategyEndToEnd:
+    def test_registered_numeric_cut_drives_exploration(self, census_small):
+        from repro.engine import explorer
+
+        name = "test_tertile"
+        if name not in NUMERIC_CUTS:
+            @register_numeric_cut(name)
+            def tertile(values, splits, config):
+                return [float(q) for q in np.quantile(values, [1 / 3, 2 / 3])]
+
+        result = explorer(census_small).cut(name).explore("Age: [17, 90]")
+        assert len(result) >= 1
+        # A tertile cut makes 3 regions from the single Age predicate.
+        assert result.best.n_regions == 3
+
+    def test_sql_engine_rejects_custom_merge(self, census_small):
+        from repro.db.connection import SqlConnection
+        from repro.db.sql_atlas import SqlAtlas
+        from repro.engine.registry import register_merge
+
+        if "test_sql_merge" not in MERGES:
+            register_merge(
+                "test_sql_merge", lambda cluster, table, config: cluster[0]
+            )
+        connection = SqlConnection({census_small.name: census_small})
+        engine = SqlAtlas(
+            connection,
+            census_small.name,
+            AtlasConfig(merge_method="test_sql_merge"),
+        )
+        with pytest.raises(ConfigError, match="cannot be pushed down"):
+            engine.explore()
+
+    def test_custom_name_survives_config_round_trip(self):
+        config = AtlasConfig(numeric_strategy="some_custom_cut")
+        assert config.numeric_strategy == "some_custom_cut"
+        assert (
+            AtlasConfig.from_dict(config.to_dict()).numeric_strategy
+            == "some_custom_cut"
+        )
