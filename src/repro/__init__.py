@@ -73,6 +73,7 @@ from repro.engine import (
     register_numeric_cut,
 )
 from repro.errors import AtlasError
+from repro.service import ExplorationService, ServiceClient, serve
 from repro.query import (
     AnyPredicate,
     ConjunctiveQuery,
@@ -94,6 +95,7 @@ __all__ = [
     "ConjunctiveQuery",
     "DataMap",
     "ExecutionContext",
+    "ExplorationService",
     "ExplorationSession",
     "Explorer",
     "Linkage",
@@ -102,6 +104,7 @@ __all__ = [
     "NumericCutStrategy",
     "Pipeline",
     "RangePredicate",
+    "ServiceClient",
     "SetPredicate",
     "SqlAtlas",
     "SqlConnection",
@@ -116,4 +119,5 @@ __all__ = [
     "register_linkage",
     "register_merge",
     "register_numeric_cut",
+    "serve",
 ]

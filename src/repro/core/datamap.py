@@ -16,7 +16,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.dataset.table import Table
-from repro.errors import MapError
+from repro.errors import MapError, QueryError
 from repro.query.query import ConjunctiveQuery
 
 #: Region index assigned to tuples covered by no region of the map.
@@ -188,6 +188,44 @@ class DataMap:
             # Keep the largest region rather than returning an empty map.
             kept = [self._regions[int(np.argmax(covers))]]
         return DataMap(kept, self._attributes, self._label)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form: regions, attributes, and label.
+
+        The inverse of :meth:`from_dict`, mirroring
+        :meth:`repro.core.config.AtlasConfig.to_dict` — this is how maps
+        cross the service boundary (:mod:`repro.service.protocol`).
+        Region order, the based-on attribute tuple, and the display
+        label all survive the round trip.
+        """
+        return {
+            "regions": [region.to_dict() for region in self._regions],
+            "attributes": list(self._attributes),
+            "label": self._label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DataMap":
+        """Rebuild a map from :meth:`to_dict` output."""
+        if not isinstance(data, dict) or "regions" not in data:
+            raise MapError(
+                f"expected a data-map dict with a 'regions' list, got {data!r}"
+            )
+        attributes = data.get("attributes")
+        try:
+            return cls(
+                [ConjunctiveQuery.from_dict(r) for r in data["regions"]],
+                attributes=tuple(attributes) if attributes is not None else None,
+                label=data.get("label"),
+            )
+        except (MapError, QueryError):
+            raise
+        except TypeError as exc:
+            raise MapError(f"malformed data-map dict: {exc}") from exc
 
     def describe(self) -> str:
         """Multi-line rendering: one region per paragraph."""

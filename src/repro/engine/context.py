@@ -22,6 +22,7 @@ return the same maps — in any process, in any call order.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import zlib
 
 import numpy as np
@@ -122,10 +123,24 @@ class TableStats:
     so cached and uncached paths are interchangeable; the engine tests
     assert that equivalence.  Cached arrays are frozen
     (``writeable=False``) — callers that need to mutate must copy.
+
+    Thread safety: every memo lookup/insert (and the counters) runs
+    under ``lock``; the statistic itself is computed *outside* the lock,
+    so concurrent workers (the service pool) never serialize on numpy
+    work — a race at worst computes one value twice and the idempotent
+    insert wins.  :class:`ExecutionContext` passes one lock shared by
+    all its stat blocks so nested memo calls and the shared counters
+    stay consistent; a standalone ``TableStats`` gets its own.
     """
 
-    def __init__(self, table: Table, counters: CacheCounters | None = None):
+    def __init__(
+        self,
+        table: Table,
+        counters: CacheCounters | None = None,
+        lock: threading.Lock | None = None,
+    ):
         self._table = table
+        self._lock = lock if lock is not None else threading.Lock()
         self.counters = counters if counters is not None else CacheCounters()
         self._predicate_masks: dict[object, np.ndarray] = {}
         self._query_masks: dict[ConjunctiveQuery, np.ndarray] = {}
@@ -147,28 +162,32 @@ class TableStats:
 
     def predicate_mask(self, predicate) -> np.ndarray:
         """Row mask of one predicate (frozen array, cached)."""
-        cached = self._predicate_masks.get(predicate)
-        if cached is not None:
-            self.counters.hits += 1
-            return cached
-        self.counters.misses += 1
+        with self._lock:
+            cached = self._predicate_masks.get(predicate)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
         mask = np.asarray(predicate.mask(self._table), dtype=bool)
         mask.flags.writeable = False
-        _bounded_put(self._predicate_masks, predicate, mask, self._mask_cap)
+        with self._lock:
+            _bounded_put(self._predicate_masks, predicate, mask, self._mask_cap)
         return mask
 
     def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
         """Row mask of a conjunctive query, AND of cached predicate masks."""
-        cached = self._query_masks.get(query)
-        if cached is not None:
-            self.counters.hits += 1
-            return cached
-        self.counters.misses += 1
+        with self._lock:
+            cached = self._query_masks.get(query)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
         result = np.ones(self._table.n_rows, dtype=bool)
         for predicate in query.predicates:
             np.logical_and(result, self.predicate_mask(predicate), out=result)
         result.flags.writeable = False
-        _bounded_put(self._query_masks, query, result, self._mask_cap)
+        with self._lock:
+            _bounded_put(self._query_masks, query, result, self._mask_cap)
         return result
 
     # ------------------------------------------------------------------ #
@@ -181,33 +200,39 @@ class TableStats:
         Semantics match :meth:`DataMap.assign`: first matching region
         wins, uncovered rows get :data:`~repro.core.datamap.ESCAPE`.
         """
-        cached = self._assignments.get(data_map.regions)
-        if cached is not None:
-            self.counters.hits += 1
-            return cached
-        self.counters.misses += 1
+        with self._lock:
+            cached = self._assignments.get(data_map.regions)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
         assignment = assign_regions(
             data_map.regions, self._table.n_rows, self.query_mask
         )
         assignment.flags.writeable = False
-        _bounded_put(
-            self._assignments, data_map.regions, assignment,
-            self._row_array_cap,
-        )
+        with self._lock:
+            _bounded_put(
+                self._assignments, data_map.regions, assignment,
+                self._row_array_cap,
+            )
         return assignment
 
     def covers(self, data_map: DataMap) -> np.ndarray:
         """Cover of each region (matches :meth:`DataMap.covers`), cached."""
-        cached = self._covers.get(data_map.regions)
-        if cached is not None:
-            self.counters.hits += 1
-            return cached
-        self.counters.misses += 1
+        with self._lock:
+            cached = self._covers.get(data_map.regions)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
         result = covers_from_assignment(
             self.assignment(data_map), data_map.n_regions
         )
         result.flags.writeable = False
-        _bounded_put(self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES)
+        with self._lock:
+            _bounded_put(
+                self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES
+            )
         return result
 
     def joint(
@@ -250,23 +275,28 @@ class TableStats:
         """Cache-aware joint distribution from prepared assignments."""
         if cacheable:
             key = (map_a.regions, map_b.regions, scope_key)
-            cached = self._joints.get(key)
-            if cached is not None:
-                self.counters.hits += 1
-                return cached
-            transposed = self._joints.get(
-                (map_b.regions, map_a.regions, scope_key)
-            )
-            if transposed is not None:
-                self.counters.hits += 1
-                return transposed.T
-        self.counters.misses += 1
+            with self._lock:
+                cached = self._joints.get(key)
+                if cached is not None:
+                    self.counters.hits += 1
+                    return cached
+                transposed = self._joints.get(
+                    (map_b.regions, map_a.regions, scope_key)
+                )
+                if transposed is not None:
+                    self.counters.hits += 1
+                    return transposed.T
+                self.counters.misses += 1
+        else:
+            with self._lock:
+                self.counters.misses += 1
         joint = joint_distribution_from_assignments(
             assign_a, assign_b, map_a.n_regions, map_b.n_regions
         )
         if cacheable:
             joint.flags.writeable = False
-            _bounded_put(self._joints, key, joint, _MAX_SMALL_ENTRIES)
+            with self._lock:
+                _bounded_put(self._joints, key, joint, _MAX_SMALL_ENTRIES)
         return joint
 
     def distance_matrix(
@@ -333,11 +363,12 @@ class TableStats:
             CATEGORICAL_ORDERS.get(config.categorical_strategy),
             config.sketch_epsilon,
         )
-        cached = self._cuts.get(key)
-        if cached is not None:
-            self.counters.hits += 1
-            return cached
-        self.counters.misses += 1
+        with self._lock:
+            cached = self._cuts.get(key)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
         from repro.core.cut import cut
 
         result = cut(
@@ -347,7 +378,8 @@ class TableStats:
             config,
             region_mask=self.query_mask(query),
         )
-        _bounded_put(self._cuts, key, result, _MAX_SMALL_ENTRIES)
+        with self._lock:
+            _bounded_put(self._cuts, key, result, _MAX_SMALL_ENTRIES)
         return result
 
 
@@ -363,6 +395,12 @@ class ExecutionContext:
     ``table`` may be ``None`` for pipelines whose stages measure through
     an external system (the SQL-only engine); such stages never touch
     the statistics cache.
+
+    One context may be shared by a pool of worker threads (the
+    service's concurrent explores do): the scope/stats registries and
+    every memo table run under one shared lock, and concurrent callers
+    racing on the same scope always receive the *same* table object, so
+    statistics blocks (keyed by identity) are never duplicated.
     """
 
     def __init__(self, table: Table | None, config: AtlasConfig | None = None):
@@ -370,6 +408,7 @@ class ExecutionContext:
             raise MapError("cannot explore an empty table")
         self._table = table
         self._config = config or AtlasConfig()
+        self._lock = threading.Lock()
         self.counters = CacheCounters()
         self._stats: dict[int, TableStats] = {}
         self._transient_stats: TableStats | None = None
@@ -419,7 +458,8 @@ class ExecutionContext:
             or self._config.sample_size >= table.n_rows
         ):
             return table  # nothing materialized, nothing to cache
-        cached = self._scopes.get(query)
+        with self._lock:
+            cached = self._scopes.get(query)
         if cached is not None:
             return cached
         table = table.sample(self._config.sample_size, rng=self.child_rng(query))
@@ -427,19 +467,26 @@ class ExecutionContext:
             # A single over-budget sample would flush the whole cache
             # and still violate the budget; serve it uncached instead.
             return table
-        # Materialized samples are evicted FIFO under a row budget so a
-        # long-lived context cannot pin unbounded sample copies; the
-        # evicted table's statistics block goes with it, or the pinned
-        # table copy would outlive its eviction.
-        cached_rows = sum(t.n_rows for t in self._scopes.values())
-        while self._scopes and (
-            len(self._scopes) >= _MAX_SCOPES
-            or cached_rows + table.n_rows > _MAX_SCOPE_ROWS
-        ):
-            evicted = self._scopes.pop(next(iter(self._scopes)))
-            cached_rows -= evicted.n_rows
-            self._stats.pop(id(evicted), None)
-        self._scopes[query] = table
+        with self._lock:
+            # A concurrent caller may have drawn the (identical,
+            # deterministic) sample first; keep its object so the
+            # identity-keyed statistics block stays unique per scope.
+            existing = self._scopes.get(query)
+            if existing is not None:
+                return existing
+            # Materialized samples are evicted FIFO under a row budget
+            # so a long-lived context cannot pin unbounded sample
+            # copies; the evicted table's statistics block goes with
+            # it, or the pinned table copy would outlive its eviction.
+            cached_rows = sum(t.n_rows for t in self._scopes.values())
+            while self._scopes and (
+                len(self._scopes) >= _MAX_SCOPES
+                or cached_rows + table.n_rows > _MAX_SCOPE_ROWS
+            ):
+                evicted = self._scopes.pop(next(iter(self._scopes)))
+                cached_rows -= evicted.n_rows
+                self._stats.pop(id(evicted), None)
+            self._scopes[query] = table
         return table
 
     def stats_for(self, table: Table) -> TableStats:
@@ -448,24 +495,31 @@ class ExecutionContext:
         Keyed by object identity — tables are immutable and the context
         holds a reference, so identity is stable for the cache lifetime.
         """
-        stats = self._stats.get(id(table))
-        if stats is not None:
+        with self._lock:
+            stats = self._stats.get(id(table))
+            if stats is not None:
+                return stats
+            if (
+                self._table is not None
+                and table is not self._table
+                and table.n_rows > _MAX_SCOPE_ROWS
+            ):
+                # An over-budget sample that scoped() refused to cache
+                # must not get pinned through its statistics block
+                # either; keep a single transient block, enough to
+                # share statistics between the stages of one pipeline
+                # run.
+                if (
+                    self._transient_stats is None
+                    or self._transient_stats.table is not table
+                ):
+                    self._transient_stats = TableStats(
+                        table, counters=self.counters, lock=self._lock
+                    )
+                return self._transient_stats
+            stats = TableStats(table, counters=self.counters, lock=self._lock)
+            _bounded_put(self._stats, id(table), stats, _MAX_TABLE_STATS)
             return stats
-        if (
-            self._table is not None
-            and table is not self._table
-            and table.n_rows > _MAX_SCOPE_ROWS
-        ):
-            # An over-budget sample that scoped() refused to cache must
-            # not get pinned through its statistics block either; keep
-            # a single transient block, enough to share statistics
-            # between the stages of one pipeline run.
-            if self._transient_stats is None or self._transient_stats.table is not table:
-                self._transient_stats = TableStats(table, counters=self.counters)
-            return self._transient_stats
-        stats = TableStats(table, counters=self.counters)
-        _bounded_put(self._stats, id(table), stats, _MAX_TABLE_STATS)
-        return stats
 
     def stats(self) -> TableStats:
         """Statistics block of the base table."""

@@ -11,6 +11,9 @@ Commands::
     drill <i>       submit region i of the current map for exploration
     back            pop one drill-down level
     where           show the breadcrumb trail
+    serve [port]    expose this table through an exploration service
+    connect <url>   attach to a running exploration service
+    remote          answer the current query through the service
     quit            leave the loop
 """
 
@@ -45,6 +48,9 @@ HELP_TEXT = """commands:
   examples <i> representative tuples of region i (§5.2)
   back         return to the previous query
   where        show the exploration breadcrumb
+  serve [port] start an HTTP exploration service for this table
+  connect <url> attach to a running exploration service
+  remote       answer the current query via the connected service
   help         this text
   quit         exit"""
 
@@ -65,6 +71,8 @@ class ExplorerRepl:
         self._session = explorer(table, config).session()
         self._stdin = stdin if stdin is not None else sys.stdin
         self._stdout = stdout if stdout is not None else sys.stdout
+        self._server = None   # started by the `serve` command
+        self._client = None   # attached by the `connect` command
 
     @property
     def session(self) -> ExplorationSession:
@@ -88,6 +96,9 @@ class ExplorerRepl:
                 self._dispatch(line)
             except AtlasError as error:
                 self._print(f"error: {error}")
+        if self._server is not None:
+            self._server.close(close_service=True)
+            self._server = None
         self._print("bye.")
 
     def _dispatch(self, line: str) -> None:
@@ -119,10 +130,70 @@ class ExplorerRepl:
             self._print(render_examples(examples, title="representatives"))
         elif command == "where":
             self._print(render_breadcrumb(self._session.breadcrumb()))
+        elif command == "serve":
+            self._serve(argument)
+        elif command == "connect":
+            self._connect(argument)
+        elif command == "remote":
+            self._remote()
         elif command == "help":
             self._print(HELP_TEXT)
         else:
             self._print(f"unknown command {command!r}; try 'help'")
+
+    # ------------------------------------------------------------------ #
+    # Service bridge (`serve` / `connect` / `remote`)
+    # ------------------------------------------------------------------ #
+
+    def _serve(self, argument: str) -> None:
+        """Expose this REPL's table through an exploration service."""
+        from repro.service import ExplorationService, serve
+
+        if self._server is not None:
+            self._print(f"already serving at {self._server.url}")
+            return
+        argument = argument.strip()
+        if argument and not argument.isdigit():
+            raise AtlasError(f"serve takes a port number, got {argument!r}")
+        port = int(argument) if argument else 0
+        table = self._session.atlas.table
+        # Share the session's configuration so `remote` answers match
+        # what the local loop shows for the same query.
+        service = ExplorationService(config=self._session.atlas.config)
+        service.register_table(table)
+        try:
+            self._server = serve(service, port=port)
+        except OSError as error:
+            service.close()
+            raise AtlasError(f"cannot serve on port {port}: {error}") from error
+        self._print(f"serving {table.name!r} at {self._server.url}")
+
+    def _connect(self, argument: str) -> None:
+        """Attach a client to a running exploration service."""
+        from repro.service import ServiceClient
+
+        url = argument.strip()
+        if not url:
+            raise AtlasError("connect needs a service URL")
+        client = ServiceClient(url)
+        client.health()
+        tables = client.tables()
+        self._client = client
+        listing = ", ".join(tables) if tables else "(none)"
+        self._print(f"connected to {url}; tables: {listing}")
+
+    def _remote(self) -> None:
+        """Answer the session's current query through the service."""
+        if self._client is None:
+            raise AtlasError("not connected; use 'connect <url>' first")
+        table = self._session.atlas.table
+        query = self._session.current.query
+        response = self._client.explore(table.name, query)
+        provenance = "result cache" if response.cached else (
+            f"computed in {response.elapsed:.3f}s"
+        )
+        self._print(f"remote answer ({provenance}):")
+        self._print(render_map_set(response.map_set, table))
 
     def _region(self, index: int):
         regions = self._session.current_map.regions

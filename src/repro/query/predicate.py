@@ -64,6 +64,44 @@ class Predicate(abc.ABC):
         """
 
     @abc.abstractmethod
+    def to_dict(self) -> dict:
+        """Plain-JSON form tagged with a ``kind`` discriminator.
+
+        The inverse of :meth:`Predicate.from_dict`; the wire shape of
+        the service protocol (:mod:`repro.service.protocol`), mirroring
+        :meth:`repro.core.config.AtlasConfig.to_dict`.
+        """
+
+    @staticmethod
+    def from_dict(data: dict) -> "Predicate":
+        """Rebuild any predicate from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise PredicateError(
+                f"expected a predicate dict, got {type(data).__name__}"
+            )
+        kind = data.get("kind")
+        builder = _PREDICATE_KINDS.get(kind)
+        if builder is None:
+            known = ", ".join(sorted(_PREDICATE_KINDS))
+            raise PredicateError(
+                f"unknown predicate kind {kind!r}; known kinds: {known}"
+            )
+        try:
+            return builder(data)
+        except KeyError as exc:
+            raise PredicateError(
+                f"predicate dict of kind {kind!r} is missing field {exc}"
+            ) from None
+        except PredicateError:
+            raise
+        except (TypeError, ValueError) as exc:
+            # A malformed field value is the sender's fault, so it must
+            # surface as a typed (bad-request) error, not an internal one.
+            raise PredicateError(
+                f"malformed predicate dict of kind {kind!r}: {exc}"
+            ) from exc
+
+    @abc.abstractmethod
     def _key(self) -> tuple:
         """Hashable identity used for __eq__/__hash__."""
 
@@ -103,6 +141,9 @@ class AnyPredicate(Predicate):
     def intersect(self, other: Predicate) -> Predicate:
         self._check_same_attribute(other)
         return other
+
+    def to_dict(self) -> dict:
+        return {"kind": "any", "attribute": self._attribute}
 
     def _key(self) -> tuple:
         return (self._attribute,)
@@ -206,6 +247,19 @@ class RangePredicate(Predicate):
             return None
         return RangePredicate(self._attribute, low, high, closed_low, closed_high)
 
+    def to_dict(self) -> dict:
+        # Infinite bounds travel as strings — IEEE infinities are not
+        # valid JSON numbers, and the service protocol must stay
+        # parseable by strict decoders.
+        return {
+            "kind": "range",
+            "attribute": self._attribute,
+            "low": _bound_to_json(self._low),
+            "high": _bound_to_json(self._high),
+            "closed_low": self._closed_low,
+            "closed_high": self._closed_high,
+        }
+
     def _key(self) -> tuple:
         return (self._attribute, self._low, self._high,
                 self._closed_low, self._closed_high)
@@ -275,8 +329,38 @@ class SetPredicate(Predicate):
             self._attribute, [v for v in self._ordered if v in common]
         )
 
+    def to_dict(self) -> dict:
+        # User-given order is semantic (the ``user_order`` categorical
+        # strategy follows it), so it is preserved on the wire.
+        return {
+            "kind": "set",
+            "attribute": self._attribute,
+            "values": list(self._ordered),
+        }
+
     def _key(self) -> tuple:
         return (self._attribute, self._values)
+
+
+def _bound_to_json(value: float) -> float | str:
+    """A range bound as a JSON-safe scalar (infinities as strings)."""
+    if math.isinf(value):
+        return "-inf" if value < 0 else "inf"
+    return value
+
+
+#: ``kind`` discriminator → constructor from a wire dict.
+_PREDICATE_KINDS = {
+    "any": lambda d: AnyPredicate(d["attribute"]),
+    "range": lambda d: RangePredicate(
+        d["attribute"],
+        float(d["low"]),
+        float(d["high"]),
+        bool(d.get("closed_low", True)),
+        bool(d.get("closed_high", True)),
+    ),
+    "set": lambda d: SetPredicate(d["attribute"], d["values"]),
+}
 
 
 def _fmt(value: float) -> str:

@@ -146,6 +146,35 @@ class ConjunctiveQuery:
         )
 
     # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; the inverse of :meth:`from_dict`.
+
+        Predicates keep their declaration order, so a round trip
+        preserves display order as well as set semantics.
+        """
+        return {"predicates": [p.to_dict() for p in self._predicates.values()]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConjunctiveQuery":
+        """Rebuild a query from :meth:`to_dict` output."""
+        if not isinstance(data, dict) or "predicates" not in data:
+            raise QueryError(
+                "expected a query dict with a 'predicates' list, "
+                f"got {data!r}"
+            )
+        from repro.query.predicate import Predicate as _Predicate
+
+        try:
+            return cls(_Predicate.from_dict(p) for p in data["predicates"])
+        except QueryError:
+            raise
+        except TypeError as exc:
+            raise QueryError(f"malformed query dict: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
     # Display
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,85 @@
+"""The exploration service: Section-3 map generation as a shared server.
+
+The paper frames Atlas as an *interactive* system — many analysts
+firing quasi-real-time queries at one database.  This package is that
+deployment shape: a long-lived :class:`ExplorationService` owning
+shared per-table :class:`~repro.engine.context.ExecutionContext`\\ s (so
+statistics memoized for one client answer the next client's query), a
+worker pool for concurrent explores, an LRU result cache keyed by the
+deterministic query fingerprint, and admission control that sheds load
+with fast 429-style rejections instead of unbounded queueing.
+
+Layers, bottom up:
+
+* :mod:`repro.service.protocol` — the JSON wire shapes (requests,
+  answers, errors) built on the ``to_dict/from_dict`` contracts of
+  :class:`~repro.core.config.AtlasConfig`,
+  :class:`~repro.core.datamap.DataMap`, and
+  :class:`~repro.query.query.ConjunctiveQuery`.
+* :mod:`repro.service.cache` — the thread-safe LRU result cache.
+* :mod:`repro.service.metrics` — request counters and per-stage
+  latency percentiles fed by the pipeline's ``StageTimings``.
+* :mod:`repro.service.sources` — table sources: in-memory tables,
+  :mod:`repro.datagen` generator specs, and :mod:`repro.db`
+  connections, all served through one endpoint.
+* :mod:`repro.service.service` — the :class:`ExplorationService` core.
+* :mod:`repro.service.server` — the ``http.server`` frontend.
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
+
+Quickstart::
+
+    from repro.datagen import census_table
+    from repro.service import ExplorationService, ServiceClient, serve
+
+    service = ExplorationService()
+    service.register_table(census_table(n_rows=20_000, seed=0))
+    with serve(service) as server:
+        client = ServiceClient(server.url)
+        answer = client.explore("census", "Age: [17, 90]")
+        print(answer.map_set.best.describe())
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AdmissionError,
+    ExploreRequest,
+    ExploreResponse,
+    ProtocolError,
+    RemoteServiceError,
+    ServiceError,
+    UnknownTableError,
+)
+from repro.service.server import ServiceServer, serve
+from repro.service.service import ExplorationService
+from repro.service.sources import (
+    TABLE_GENERATORS,
+    ConnectionSource,
+    InMemorySource,
+    TableSource,
+    build_table,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ConnectionSource",
+    "ExplorationService",
+    "ExploreRequest",
+    "ExploreResponse",
+    "InMemorySource",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteServiceError",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "TABLE_GENERATORS",
+    "TableSource",
+    "UnknownTableError",
+    "build_table",
+    "serve",
+]

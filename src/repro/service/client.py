@@ -1,0 +1,162 @@
+"""A small blocking client for the exploration service.
+
+Stdlib-only (``urllib``): one :class:`ServiceClient` per server, safe
+to share across threads (each call opens its own connection).  Answers
+come back as real :class:`~repro.engine.pipeline.MapSet` objects — the
+same type a local :func:`repro.explorer` call returns — so rendering,
+ranking access, and region drill-down code is oblivious to the wire.
+
+Typed failures: the server's error payload is resurrected into the
+matching :class:`~repro.service.protocol.ServiceError` subclass, and
+admission-control rejections can be retried transparently with
+``explore(..., retry_busy=N)`` (linear backoff — the server answers
+429 in microseconds, so a short sleep is enough).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.core.config import AtlasConfig
+from repro.query.query import ConjunctiveQuery
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AdmissionError,
+    ExploreRequest,
+    ExploreResponse,
+    ProtocolError,
+    RemoteServiceError,
+    error_from_payload,
+)
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP access to an :class:`ExplorationService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        """The server's base URL."""
+        return self._base_url
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        """Liveness probe; raises on protocol-version mismatch."""
+        payload = self._request("GET", "/health")
+        remote = payload.get("protocol")
+        if remote != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"server speaks protocol {remote!r}, "
+                f"client speaks {PROTOCOL_VERSION!r}"
+            )
+        return payload
+
+    def tables(self) -> dict[str, str]:
+        """Registered tables (name → provenance)."""
+        return self._request("GET", "/tables")["tables"]
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def register_table(self, generator: str, **params: object) -> str:
+        """Register a generated table; returns its served name.
+
+        ``params`` may include ``name`` (rename) and ``overwrite``
+        besides the generator's own keyword arguments, e.g.::
+
+            client.register_table("census", n_rows=20_000, seed=1,
+                                  name="census_b")
+        """
+        payload = {"generator": generator, **params}
+        return self._request("POST", "/tables", payload)["registered"]
+
+    def explore(
+        self,
+        table: str,
+        query: "str | dict | ConjunctiveQuery | None" = None,
+        config: "dict | AtlasConfig | None" = None,
+        use_cache: bool = True,
+        *,
+        retry_busy: int = 0,
+        busy_backoff: float = 0.05,
+    ) -> ExploreResponse:
+        """Run one exploration on the server.
+
+        ``query`` accepts the same shapes as the local facade: ``None``
+        (whole table), paper-syntax text, a wire dict, or a parsed
+        :class:`ConjunctiveQuery` (serialized transparently).  On a 429
+        rejection the call retries up to ``retry_busy`` times, sleeping
+        ``busy_backoff * attempt`` seconds between tries.
+        """
+        if isinstance(query, ConjunctiveQuery):
+            query = query.to_dict()
+        if isinstance(config, AtlasConfig):
+            config = config.to_dict()
+        request = ExploreRequest(
+            table=table, query=query, config=config, use_cache=use_cache
+        )
+        attempt = 0
+        while True:
+            try:
+                payload = self._request(
+                    "POST", "/explore", request.to_dict()
+                )
+                return ExploreResponse.from_dict(payload)
+            except AdmissionError:
+                if attempt >= retry_busy:
+                    raise
+                attempt += 1
+                time.sleep(busy_backoff * attempt)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self._base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = self._error_payload(exc)
+            raise error_from_payload(detail, exc.code) from None
+        except urllib.error.URLError as exc:
+            raise RemoteServiceError(
+                f"cannot reach service at {self._base_url}: {exc.reason}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(
+                f"server returned invalid JSON: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> dict:
+        try:
+            return json.loads(exc.read())
+        except Exception:
+            return {"error": {"status": exc.code, "code": "internal",
+                              "message": str(exc)}}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ServiceClient {self._base_url}>"

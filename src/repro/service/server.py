@@ -1,0 +1,226 @@
+"""The ``http.server`` frontend of the exploration service.
+
+A deliberately small, stdlib-only HTTP surface over
+:class:`~repro.service.service.ExplorationService`:
+
+====== =========== ====================================================
+Method Path        Meaning
+====== =========== ====================================================
+GET    /health     liveness + protocol version
+GET    /tables     registered tables with provenance
+POST   /tables     register a generated table (a ``build_table`` spec)
+POST   /explore    run one exploration (an ``ExploreRequest`` payload)
+GET    /metrics    counters, cache stats, per-stage latency percentiles
+====== =========== ====================================================
+
+Errors travel as the symmetric JSON payload of
+:func:`~repro.service.protocol.error_to_dict`; admission-control
+rejections answer ``429`` with a ``Retry-After`` hint.  The server is a
+``ThreadingHTTPServer``: each connection gets a thread, and the
+*service* bounds actual pipeline concurrency through its worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ExploreRequest,
+    ServiceError,
+    error_to_dict,
+)
+from repro.service.service import ExplorationService
+
+#: Largest accepted request body; exploration payloads are tiny, so
+#: anything bigger is a client bug or abuse.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service reference."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ExplorationService, quiet: bool):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service: ExplorationService = self.server.service
+        try:
+            if self.path == "/health":
+                self._send(200, {"status": "ok", "protocol": PROTOCOL_VERSION})
+            elif self.path == "/tables":
+                self._send(200, {"tables": service.describe_tables()})
+            elif self.path == "/metrics":
+                self._send(200, service.metrics())
+            else:
+                self._send(404, {"error": {
+                    "status": 404, "code": "not_found",
+                    "message": f"no route {self.path!r}",
+                    "type": "ProtocolError",
+                }})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_payload(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service: ExplorationService = self.server.service
+        try:
+            payload = self._read_json()
+            if self.path == "/explore":
+                request = ExploreRequest.from_dict(payload)
+                response = service.handle(request)
+                self._send(200, response.to_dict())
+            elif self.path == "/tables":
+                if not isinstance(payload, dict):
+                    raise ProtocolError(
+                        "expected a table-spec object, got "
+                        f"{type(payload).__name__}"
+                    )
+                name = service.register_spec(
+                    payload, overwrite=bool(payload.pop("overwrite", False))
+                )
+                self._send(201, {"registered": name})
+            else:
+                raise ProtocolError(f"no route {self.path!r}")
+        except Exception as error:
+            self._send_error_payload(error)
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ProtocolError("request body required")
+        if length > _MAX_BODY_BYTES:
+            # The body stays unread; keeping the connection alive would
+            # let it be misparsed as the next request line.
+            self.close_connection = True
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "0")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, error: Exception) -> None:
+        payload = error_to_dict(error)
+        status = payload["error"]["status"]
+        if not self.server.quiet and not isinstance(error, ServiceError):
+            # Unexpected failures still get a line in the log.
+            self.log_error("unhandled error: %r", error)
+        self._send(status, payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        if not self.server.quiet:  # pragma: no cover - manual servers only
+            super().log_message(format, *args)
+
+
+class ServiceServer:
+    """A running HTTP frontend bound to one service.
+
+    Usually created through :func:`serve`, which also starts the
+    listener thread::
+
+        with serve(service, port=0) as server:
+            client = ServiceClient(server.url)
+    """
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        quiet: bool = True,
+    ):
+        self._service = service
+        self._http = _ServiceHTTPServer((host, port), service, quiet)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def service(self) -> ExplorationService:
+        """The service being exposed."""
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Start serving on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, *, close_service: bool = False) -> None:
+        """Stop the listener (and optionally the service behind it)."""
+        if self._thread is not None:
+            self._http.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._http.server_close()
+        if close_service:
+            self._service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve(
+    service: ExplorationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Start an HTTP frontend for ``service`` (port 0 = ephemeral)."""
+    return ServiceServer(service, host, port, quiet=quiet).start()

@@ -1,0 +1,392 @@
+"""The exploration service core: shared contexts, a worker pool,
+result caching, and admission control.
+
+One long-lived :class:`ExplorationService` turns the Section-3 pipeline
+into a multi-client system:
+
+* **Shared statistics.**  Explores on the same (table, config) pair run
+  through one shared :class:`~repro.engine.context.ExecutionContext`
+  (bounded LRU registry), so masks, assignment vectors, and cut points
+  memoized for one client's answer are reused verbatim for the next
+  client — PR 1's cross-query cache, promoted to cross-*client*.
+* **Result cache.**  Whole answers are kept in a thread-safe LRU keyed
+  by the deterministic query fingerprint already used for per-query RNG
+  derivation (plus table and config), so repeated traffic costs a
+  dictionary lookup.
+* **Bounded concurrency.**  Pipeline runs execute on a fixed worker
+  pool; admission control bounds queued work and sheds the excess with
+  a fast :class:`~repro.service.protocol.AdmissionError` (HTTP 429)
+  instead of letting latency grow without bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+
+from repro.core.config import AtlasConfig
+from repro.dataset.table import Table
+from repro.db.connection import Connection
+from repro.engine.context import (
+    ExecutionContext,
+    order_sensitive_key,
+    query_fingerprint,
+)
+from repro.engine.pipeline import Pipeline
+from repro.query.query import ConjunctiveQuery
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AdmissionError,
+    ExploreRequest,
+    ExploreResponse,
+    ProtocolError,
+    ServiceError,
+    UnknownTableError,
+    apply_config_overrides,
+    resolve_query_payload,
+)
+from repro.service.sources import (
+    ConnectionSource,
+    InMemorySource,
+    TableSource,
+    build_table,
+)
+
+
+class ExplorationService:
+    """A concurrent, caching front over the exploration pipeline.
+
+    Parameters
+    ----------
+    max_workers:
+        Pipeline runs executing in parallel.
+    max_queue_depth:
+        Runs allowed to *wait* beyond the executing ones; a request
+        arriving past ``max_workers + max_queue_depth`` in-flight is
+        rejected with :class:`AdmissionError` (HTTP 429).
+    result_cache_size:
+        Answers retained in the LRU result cache.
+    max_contexts:
+        (table, config) execution contexts kept alive; least recently
+        used are dropped (their memoized statistics go with them).
+    config:
+        The default :class:`AtlasConfig`; per-request overrides are
+        applied on top of it.
+    pipeline:
+        Stage composition to run; defaults to the Section-3 pipeline.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        max_queue_depth: int = 16,
+        result_cache_size: int = 256,
+        max_contexts: int = 32,
+        config: AtlasConfig | None = None,
+        pipeline: Pipeline | None = None,
+    ):
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if max_queue_depth < 0:
+            raise ServiceError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        self._config = config or AtlasConfig()
+        self._pipeline = pipeline or Pipeline.default()
+        self._results: ResultCache[ExploreResponse] = ResultCache(
+            result_cache_size
+        )
+        self._metrics = ServiceMetrics()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._max_inflight = max_workers + max_queue_depth
+        self._pending = 0
+        self._admission = Lock()
+        self._registry = Lock()
+        self._sources: dict[str, TableSource] = {}
+        self._tables: dict[str, Table] = {}
+        self._contexts: OrderedDict[tuple, ExecutionContext] = OrderedDict()
+        self._max_contexts = max_contexts
+        self._closed = False
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Table registration
+    # ------------------------------------------------------------------ #
+
+    def register_table(
+        self, table: Table, name: str | None = None, *, overwrite: bool = False
+    ) -> str:
+        """Serve an in-memory table under ``name`` (default: its own)."""
+        return self._add_source(
+            name or table.name, InMemorySource(table), overwrite
+        )
+
+    def register_spec(self, spec: dict, *, overwrite: bool = False) -> str:
+        """Serve a generated table from a :func:`build_table` wire spec."""
+        table = build_table(spec)
+        return self.register_table(table, overwrite=overwrite)
+
+    def register_connection(
+        self, connection: Connection, *, overwrite: bool = False
+    ) -> tuple[str, ...]:
+        """Serve every relation visible through a :mod:`repro.db` connection.
+
+        Tables are fetched lazily on first explore, so registering a
+        large DBMS surface is free until it is used; ``SqlAtlas``-style
+        SQL-backed tables become explorable through the same endpoint
+        as native ones.
+        """
+        names = []
+        for table_name in connection.table_names():
+            names.append(
+                self._add_source(
+                    table_name,
+                    ConnectionSource(connection, table_name),
+                    overwrite,
+                )
+            )
+        return tuple(names)
+
+    def _add_source(
+        self, name: str, source: TableSource, overwrite: bool
+    ) -> str:
+        with self._registry:
+            if name in self._sources and not overwrite:
+                raise ProtocolError(
+                    f"table {name!r} is already registered "
+                    "(pass overwrite=True to replace it)"
+                )
+            self._sources[name] = source
+            # Drop any stale materialization and its contexts.
+            self._tables.pop(name, None)
+            for key in [k for k in self._contexts if k[0] == name]:
+                del self._contexts[key]
+        return name
+
+    def table_names(self) -> tuple[str, ...]:
+        """Registered table names, registration order."""
+        with self._registry:
+            return tuple(self._sources)
+
+    def describe_tables(self) -> dict[str, str]:
+        """Name → provenance line, for ``/tables`` and diagnostics."""
+        with self._registry:
+            return {
+                name: source.describe()
+                for name, source in self._sources.items()
+            }
+
+    def _resolve_table(self, name: str) -> Table:
+        while True:
+            with self._registry:
+                table = self._tables.get(name)
+                if table is not None:
+                    return table
+                source = self._sources.get(name)
+            if source is None:
+                known = ", ".join(self.table_names()) or "(none registered)"
+                raise UnknownTableError(
+                    f"unknown table {name!r}; known: {known}"
+                )
+            table = source.load()
+            with self._registry:
+                if self._sources.get(name) is not source:
+                    # Re-registered (overwrite) while we were loading;
+                    # the materialization belongs to the old source and
+                    # must not be installed — resolve again.
+                    continue
+                # First materialization wins so context identity is stable.
+                return self._tables.setdefault(name, table)
+
+    # ------------------------------------------------------------------ #
+    # Shared execution contexts
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _config_key(config: AtlasConfig) -> tuple:
+        return tuple(sorted(config.to_dict().items()))
+
+    def _context_for(
+        self, table_name: str, table: Table, config: AtlasConfig
+    ) -> ExecutionContext:
+        key = (table_name, self._config_key(config))
+        with self._registry:
+            context = self._contexts.get(key)
+            if context is not None:
+                self._contexts.move_to_end(key)
+                return context
+            context = ExecutionContext(table, config)
+            while len(self._contexts) >= self._max_contexts:
+                self._contexts.popitem(last=False)
+            self._contexts[key] = context
+            return context
+
+    # ------------------------------------------------------------------ #
+    # Exploration
+    # ------------------------------------------------------------------ #
+
+    def explore(
+        self,
+        table: str,
+        query: "str | dict | ConjunctiveQuery | None" = None,
+        config: dict | AtlasConfig | None = None,
+        use_cache: bool = True,
+    ) -> ExploreResponse:
+        """Answer one query; the in-process twin of ``POST /explore``.
+
+        ``use_cache=False`` bypasses the result cache entirely (neither
+        read nor written) — the cold path benchmarks use it.
+        """
+        self._metrics.count("received")
+        try:
+            resolved_query = self._coerce_query(query)
+            resolved_config = self._coerce_config(config)
+            table_obj = self._resolve_table(table)
+        except AdmissionError:  # pragma: no cover - defensive
+            raise
+        except Exception:
+            self._metrics.count("failed")
+            raise
+
+        cache_key = (
+            table,
+            self._config_key(resolved_config),
+            query_fingerprint(resolved_query),
+            order_sensitive_key(resolved_query),
+        )
+        if use_cache:
+            cached = self._results.get(cache_key)
+            if cached is not None:
+                self._metrics.count("cache_hits")
+                return dataclasses.replace(cached, cached=True)
+
+        self._admit()
+        try:
+            future = self._pool.submit(
+                self._run,
+                table,
+                table_obj,
+                resolved_query,
+                resolved_config,
+                cache_key if use_cache else None,
+            )
+            try:
+                return future.result()
+            except ServiceError:
+                raise
+            except Exception:
+                self._metrics.count("failed")
+                raise
+        finally:
+            with self._admission:
+                self._pending -= 1
+
+    def handle(self, request: ExploreRequest) -> ExploreResponse:
+        """Serve a wire-shaped request (what the HTTP frontend calls)."""
+        return self.explore(
+            table=request.table,
+            query=request.query,
+            config=request.config,
+            use_cache=request.use_cache,
+        )
+
+    def _admit(self) -> None:
+        with self._admission:
+            if self._closed:
+                raise ServiceError("service is shut down")
+            if self._pending >= self._max_inflight:
+                self._metrics.count("rejected")
+                raise AdmissionError(
+                    f"service at capacity ({self._pending} requests in "
+                    f"flight, limit {self._max_inflight}); retry shortly"
+                )
+            self._pending += 1
+
+    def _run(
+        self,
+        table_name: str,
+        table: Table,
+        query: ConjunctiveQuery,
+        config: AtlasConfig,
+        cache_key: tuple | None,
+    ) -> ExploreResponse:
+        context = self._context_for(table_name, table, config)
+        started = time.perf_counter()
+        map_set = self._pipeline.run(query, context)
+        elapsed = time.perf_counter() - started
+        self._metrics.observe(map_set.timings, elapsed)
+        response = ExploreResponse(
+            map_set=map_set, cached=False, elapsed=elapsed
+        )
+        if cache_key is not None:
+            self._results.put(cache_key, response)
+        return response
+
+    def _coerce_query(
+        self, query: "str | dict | ConjunctiveQuery | None"
+    ) -> ConjunctiveQuery:
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        return resolve_query_payload(query)
+
+    def _coerce_config(
+        self, config: "dict | AtlasConfig | None"
+    ) -> AtlasConfig:
+        if isinstance(config, AtlasConfig):
+            return config
+        if config is None or isinstance(config, dict):
+            return apply_config_overrides(self._config, config)
+        raise ProtocolError(
+            f"cannot interpret a {type(config).__name__} as a config"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observability and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` snapshot (JSON-ready)."""
+        snapshot = self._metrics.snapshot()
+        snapshot["result_cache"] = self._results.snapshot()
+        with self._registry:
+            contexts = list(self._contexts.values())
+            n_contexts = len(self._contexts)
+        hits = sum(c.counters.hits for c in contexts)
+        misses = sum(c.counters.misses for c in contexts)
+        total = hits + misses
+        snapshot["statistics_cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+        with self._admission:
+            pending = self._pending
+        snapshot["service"] = {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.monotonic() - self._started,
+            "pending": pending,
+            "max_inflight": self._max_inflight,
+            "contexts": n_contexts,
+            "tables": self.describe_tables(),
+        }
+        return snapshot
+
+    def close(self) -> None:
+        """Stop accepting work and release the worker pool."""
+        with self._admission:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExplorationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

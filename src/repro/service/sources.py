@@ -1,0 +1,114 @@
+"""Table sources: where served tables come from.
+
+Three shapes, one interface (:class:`TableSource.load`):
+
+* :class:`InMemorySource` — a table the host process already holds,
+* a :mod:`repro.datagen` generator spec built by :func:`build_table`
+  (what ``POST /tables`` accepts over the wire),
+* :class:`ConnectionSource` — a relation behind a :mod:`repro.db`
+  connection (:class:`~repro.db.connection.NativeConnection` or the
+  SQL-text-only :class:`~repro.db.connection.SqlConnection`), so the
+  same endpoint serves ``SqlAtlas``-style DBMS-backed tables.
+
+Sources are lazy: the service materializes a table on first use and
+keeps it (tables are immutable), so registering a whole connection is
+free until someone explores one of its relations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.dataset.table import Table
+from repro.db.connection import Connection
+from repro.service.protocol import ProtocolError
+
+#: Wire-registrable dataset generators, keyed by the name clients use.
+#: Each maps keyword parameters straight onto the generator call.
+TABLE_GENERATORS: dict[str, object] = {}
+
+
+def _register_generators() -> None:
+    from repro.datagen import census_table, shape_table, sky_survey_table
+
+    TABLE_GENERATORS.update(
+        {
+            "census": census_table,
+            "sky_survey": sky_survey_table,
+            "shapes": shape_table,
+        }
+    )
+
+
+_register_generators()
+
+
+def build_table(spec: dict) -> Table:
+    """Materialize a table from a wire spec.
+
+    Shape: ``{"generator": "census", "name": "t1", ...params}`` — the
+    optional ``name`` renames the result (several differently-seeded
+    census tables can coexist); every other key is passed to the
+    generator as a keyword argument.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError(
+            f"expected a table spec object, got {type(spec).__name__}"
+        )
+    params = dict(spec)
+    generator_name = params.pop("generator", None)
+    if generator_name not in TABLE_GENERATORS:
+        known = ", ".join(sorted(TABLE_GENERATORS))
+        raise ProtocolError(
+            f"unknown table generator {generator_name!r}; known: {known}"
+        )
+    name = params.pop("name", None)
+    generator = TABLE_GENERATORS[generator_name]
+    try:
+        table = generator(**params)
+    except TypeError as exc:
+        raise ProtocolError(
+            f"bad parameters for generator {generator_name!r}: {exc}"
+        ) from exc
+    if name is not None:
+        table = table.rename(str(name))
+    return table
+
+
+class TableSource(abc.ABC):
+    """One way of obtaining a served table."""
+
+    @abc.abstractmethod
+    def load(self) -> Table:
+        """Materialize the table (called once; the service caches it)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line provenance for ``/tables`` listings."""
+
+
+class InMemorySource(TableSource):
+    """A table the host process registered directly."""
+
+    def __init__(self, table: Table):
+        self._table = table
+
+    def load(self) -> Table:
+        return self._table
+
+    def describe(self) -> str:
+        return f"in-memory ({self._table.n_rows} rows)"
+
+
+class ConnectionSource(TableSource):
+    """A relation fetched through a :mod:`repro.db` connection."""
+
+    def __init__(self, connection: Connection, table_name: str):
+        self._connection = connection
+        self._table_name = table_name
+
+    def load(self) -> Table:
+        return self._connection.fetch(self._table_name)
+
+    def describe(self) -> str:
+        return f"connection ({type(self._connection).__name__})"

@@ -1,0 +1,189 @@
+"""DataMap / query / predicate serialization: to_dict round trips.
+
+Mirrors ``AtlasConfig``'s contract (tests/engine/test_config_serde.py):
+``from_dict(to_dict(x)) == x``, the dict form is JSON-compatible, and
+malformed payloads raise typed errors.  The service wire protocol
+(:mod:`repro.service.protocol`) is built on these shapes.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datamap import DataMap
+from repro.errors import MapError, PredicateError, QueryError
+from repro.query.predicate import (
+    AnyPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.query import ConjunctiveQuery
+
+# ------------------------------------------------------------------ #
+# Strategies
+# ------------------------------------------------------------------ #
+
+attribute_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+labels = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=6,
+)
+
+finite_bounds = st.floats(-1e9, 1e9, allow_nan=False)
+
+
+@st.composite
+def range_predicates(draw, attribute=attribute_names):
+    attr = draw(attribute)
+    low = draw(st.one_of(finite_bounds, st.just(float("-inf"))))
+    high = draw(st.one_of(finite_bounds, st.just(float("inf"))))
+    if low > high:
+        low, high = high, low
+    closed_low = draw(st.booleans())
+    closed_high = draw(st.booleans())
+    if low == high:
+        closed_low = closed_high = True
+        if math.isinf(low):
+            high = low = 0.0
+    return RangePredicate(attr, low, high, closed_low, closed_high)
+
+
+@st.composite
+def set_predicates(draw, attribute=attribute_names):
+    return SetPredicate(
+        draw(attribute),
+        draw(st.lists(labels, min_size=1, max_size=6)),
+    )
+
+
+def predicates(attribute=attribute_names):
+    return st.one_of(
+        attribute.map(AnyPredicate),
+        range_predicates(attribute),
+        set_predicates(attribute),
+    )
+
+
+@st.composite
+def queries(draw, min_predicates=0):
+    attrs = draw(
+        st.lists(
+            attribute_names, min_size=min_predicates, max_size=4, unique=True
+        )
+    )
+    return ConjunctiveQuery(
+        [draw(predicates(st.just(attr))) for attr in attrs]
+    )
+
+
+@st.composite
+def data_maps(draw):
+    regions = draw(st.lists(queries(min_predicates=1), min_size=1, max_size=6))
+    label = draw(st.one_of(st.none(), labels))
+    return DataMap(regions, label=label)
+
+
+# ------------------------------------------------------------------ #
+# Round trips
+# ------------------------------------------------------------------ #
+
+
+class TestPredicateRoundTrip:
+    @given(predicate=predicates())
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_identity(self, predicate):
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+    @given(predicate=predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_form_is_strict_json(self, predicate):
+        # allow_nan=False rejects Infinity/NaN literals, so this also
+        # proves infinite range bounds travel as strings.
+        text = json.dumps(predicate.to_dict(), allow_nan=False)
+        assert Predicate.from_dict(json.loads(text)) == predicate
+
+    def test_set_predicate_preserves_user_order(self):
+        predicate = SetPredicate("Eye color", ["Green", "Blue", "Brown"])
+        rebuilt = Predicate.from_dict(predicate.to_dict())
+        assert rebuilt.ordered_values == ("Green", "Blue", "Brown")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(PredicateError, match="unknown predicate kind"):
+            Predicate.from_dict({"kind": "regex", "attribute": "x"})
+
+    def test_missing_field_raises(self):
+        with pytest.raises(PredicateError, match="missing field"):
+            Predicate.from_dict({"kind": "range", "attribute": "x"})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"kind": "range", "attribute": "x", "low": "abc", "high": 1},
+            {"kind": "range", "attribute": "x", "low": None, "high": 1},
+            {"kind": "set", "attribute": "x", "values": 7},
+        ],
+    )
+    def test_malformed_field_values_raise_typed(self, payload):
+        # Client-supplied garbage must stay a typed (bad-request) error
+        # so the service answers 400, never 500.
+        with pytest.raises(PredicateError, match="malformed|empty"):
+            Predicate.from_dict(payload)
+
+
+class TestQueryRoundTrip:
+    @given(query=queries())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_identity(self, query):
+        rebuilt = ConjunctiveQuery.from_dict(query.to_dict())
+        assert rebuilt == query
+        # Declaration order is display order; it must survive too.
+        assert rebuilt.attributes == query.attributes
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(QueryError, match="predicates"):
+            ConjunctiveQuery.from_dict({"preds": []})
+
+    def test_non_iterable_predicates_raise_typed(self):
+        with pytest.raises(QueryError, match="malformed query dict"):
+            ConjunctiveQuery.from_dict({"predicates": 42})
+
+
+class TestDataMapRoundTrip:
+    @given(data_map=data_maps())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_identity(self, data_map):
+        rebuilt = DataMap.from_dict(data_map.to_dict())
+        assert rebuilt == data_map
+        assert rebuilt.regions == data_map.regions  # order preserved
+        assert rebuilt.attributes == data_map.attributes
+        assert rebuilt.label == data_map.label
+
+    @given(data_map=data_maps())
+    @settings(max_examples=40, deadline=None)
+    def test_dict_form_is_strict_json(self, data_map):
+        text = json.dumps(data_map.to_dict(), allow_nan=False)
+        assert DataMap.from_dict(json.loads(text)) == data_map
+
+    def test_explicit_attributes_survive(self):
+        region = ConjunctiveQuery([RangePredicate("Age", 17, 90)])
+        data_map = DataMap([region], attributes=["Age", "Salary"], label="m")
+        rebuilt = DataMap.from_dict(data_map.to_dict())
+        assert rebuilt.attributes == ("Age", "Salary")
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(MapError, match="regions"):
+            DataMap.from_dict({"maps": []})
+
+    def test_non_iterable_regions_raise_typed(self):
+        with pytest.raises(MapError, match="malformed data-map dict"):
+            DataMap.from_dict({"regions": 42})

@@ -1,0 +1,131 @@
+"""Thread-safety of the memoized statistics cache.
+
+The service runs many explores through one shared
+:class:`ExecutionContext` on a worker pool; nothing used to guard the
+memo tables against that.  These tests hammer one context from many
+threads and assert (a) no exceptions, (b) results identical to the
+single-threaded reference, (c) scope/stats identity stays unique.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtlasConfig
+from repro.core.datamap import DataMap
+from repro.engine.context import ExecutionContext
+from repro.engine.facade import explorer
+from repro.query.parser import parse_query
+
+N_THREADS = 8
+N_ROUNDS = 6
+
+QUERIES = [
+    "Age: [17, 45]",
+    "Age: [46, 90]",
+    "Sex: {'Female'}",
+    "Salary: {'>50k'}",
+    "Education: {'MSc'}",
+]
+
+
+@pytest.fixture
+def context(census_small):
+    return ExecutionContext(census_small, AtlasConfig())
+
+
+def _fanout(fn, jobs):
+    """Run ``fn`` over ``jobs`` on a thread pool, propagating errors."""
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        return [f.result() for f in [pool.submit(fn, j) for j in jobs]]
+
+
+class TestTableStatsConcurrency:
+    def test_concurrent_query_masks_match_reference(self, context):
+        queries = [parse_query(q) for q in QUERIES]
+        reference = {
+            q: np.asarray(q.mask(context.table)) for q in queries
+        }
+        stats = context.stats()
+
+        def job(query):
+            return query, stats.query_mask(query)
+
+        results = _fanout(job, queries * N_ROUNDS)
+        for query, mask in results:
+            np.testing.assert_array_equal(mask, reference[query])
+
+    def test_concurrent_assignments_and_joints(self, context):
+        queries = [parse_query(q) for q in QUERIES]
+        maps = [
+            DataMap([q.with_predicate(p) for p in q.predicates] or [q])
+            for q in queries
+        ]
+        stats = context.stats()
+        reference = [m.assign(context.table) for m in maps]
+
+        def job(index):
+            m = maps[index % len(maps)]
+            assignment = stats.assignment(m)
+            joint = stats.joint(m, maps[(index + 1) % len(maps)])
+            return index % len(maps), assignment, joint
+
+        results = _fanout(job, range(len(maps) * N_ROUNDS))
+        for index, assignment, joint in results:
+            np.testing.assert_array_equal(assignment, reference[index])
+            # Escape outcomes fold into one extra row/column.
+            assert joint.shape[0] == maps[index].n_regions + 1
+            # Joint distributions are probability tables.
+            assert joint.sum() == pytest.approx(1.0)
+
+    def test_concurrent_cut_maps_agree(self, context):
+        query = parse_query("Age: [17, 90]")
+        stats = context.stats()
+        single = stats.cut_map(query, "Age", context.config)
+
+        def job(_):
+            return stats.cut_map(query, "Age", context.config)
+
+        for result in _fanout(job, range(N_THREADS * N_ROUNDS)):
+            assert result == single
+
+
+class TestExecutionContextConcurrency:
+    def test_scoped_returns_one_object_per_query(self, census_small):
+        context = ExecutionContext(
+            census_small, AtlasConfig(sample_size=500)
+        )
+        query = parse_query("Age: [17, 45]")
+
+        tables = _fanout(
+            lambda _: context.scoped(query), range(N_THREADS * N_ROUNDS)
+        )
+        # Identity-keyed statistics depend on every thread seeing the
+        # same materialized sample object.
+        assert len({id(t) for t in tables}) == 1
+
+    def test_stats_for_returns_one_block_per_table(self, context):
+        blocks = _fanout(
+            lambda _: context.stats(), range(N_THREADS * N_ROUNDS)
+        )
+        assert len({id(b) for b in blocks}) == 1
+
+    def test_concurrent_explores_match_sequential(self, census_small):
+        # Full pipeline runs through one shared context: the worker-pool
+        # usage pattern of the service.  Every concurrent answer must
+        # equal the single-threaded one.
+        sequential = {
+            q: explorer(census_small).explore(q).maps for q in QUERIES
+        }
+        shared = explorer(census_small)
+        shared.explore()  # warm the context
+
+        def job(query):
+            return query, shared.explore(query).maps
+
+        results = _fanout(job, QUERIES * 3)
+        for query, maps in results:
+            assert maps == sequential[query]

@@ -1,0 +1,79 @@
+"""The LRU result cache: semantics, bounds, thread safety."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestLruSemantics:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.snapshot()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", 3)       # evicts b
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.snapshot()["evictions"] == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, not insert: no eviction
+        cache.put("c", 3)       # evicts b (the LRU), not a
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_capacity_bound_holds(self):
+        cache = ResultCache(capacity=8)
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 8
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.snapshot()["hits"] == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_workload(self):
+        cache = ResultCache(capacity=32)
+
+        def job(seed):
+            for i in range(200):
+                key = (seed * 7 + i) % 64
+                if i % 3 == 0:
+                    cache.put(key, key)
+                else:
+                    value = cache.get(key)
+                    assert value is None or value == key
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for f in [pool.submit(job, s) for s in range(8)]:
+                f.result()
+
+        assert len(cache) <= 32
+        stats = cache.snapshot()
+        assert stats["hits"] + stats["misses"] > 0

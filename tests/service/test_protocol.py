@@ -1,0 +1,170 @@
+"""Wire-protocol round trips: requests, answers, and errors."""
+
+import json
+
+import pytest
+
+from repro.core.config import AtlasConfig
+from repro.engine.facade import explorer
+from repro.engine.pipeline import StageTimings
+from repro.errors import ParseError
+from repro.query.parser import parse_query
+from repro.service.protocol import (
+    AdmissionError,
+    ExploreRequest,
+    ExploreResponse,
+    ProtocolError,
+    RemoteServiceError,
+    ServiceError,
+    UnknownTableError,
+    error_from_payload,
+    error_to_dict,
+    map_set_from_dict,
+    map_set_to_dict,
+    timings_from_dict,
+    timings_to_dict,
+)
+
+
+class TestExploreRequest:
+    def test_round_trip(self):
+        request = ExploreRequest(
+            table="census",
+            query="Age: [17, 90]",
+            config={"sample_size": 1000, "numeric_strategy": "twomeans"},
+            use_cache=False,
+        )
+        assert ExploreRequest.from_dict(request.to_dict()) == request
+
+    def test_defaults_round_trip(self):
+        request = ExploreRequest(table="census")
+        rebuilt = ExploreRequest.from_dict(request.to_dict())
+        assert rebuilt.query is None
+        assert rebuilt.use_cache is True
+
+    def test_query_dict_shape(self):
+        query = parse_query("Age: [17, 45]\nSex: {'Female'}")
+        request = ExploreRequest(table="t", query=query.to_dict())
+        assert ExploreRequest.from_dict(request.to_dict()).resolve_query() == query
+
+    def test_resolve_query_parses_text(self):
+        request = ExploreRequest(table="t", query="Age: [17, 45]")
+        assert request.resolve_query() == parse_query("Age: [17, 45]")
+
+    def test_resolve_query_rejects_garbage_text(self):
+        with pytest.raises(ParseError):
+            ExploreRequest(table="t", query="Age ???").resolve_query()
+
+    def test_resolve_config_applies_overrides(self):
+        base = AtlasConfig()
+        request = ExploreRequest(table="t", config={"max_maps": 3, "seed": 9})
+        resolved = request.resolve_config(base)
+        assert resolved.max_maps == 3
+        assert resolved.seed == 9
+        assert resolved.numeric_strategy == base.numeric_strategy
+
+    def test_resolve_config_rejects_unknown_keys(self):
+        request = ExploreRequest(table="t", config={"max_mapz": 3})
+        with pytest.raises(ProtocolError, match="unknown config overrides"):
+            request.resolve_config(AtlasConfig())
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},                          # no table
+            {"table": ""},               # empty table
+            {"table": 7},                # wrong type
+            {"table": "t", "query": 5},  # bad query type
+            {"table": "t", "config": 5}, # bad config type
+            "not-a-dict",
+        ],
+    )
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            ExploreRequest.from_dict(payload)
+
+
+class TestAnswerRoundTrip:
+    def test_map_set_survives_the_wire(self, census_small):
+        map_set = explorer(census_small).explore("Age: [17, 90]")
+        rebuilt = map_set_from_dict(
+            json.loads(json.dumps(map_set_to_dict(map_set)))
+        )
+        assert rebuilt.query == map_set.query
+        assert rebuilt.maps == map_set.maps
+        assert rebuilt.n_rows_used == map_set.n_rows_used
+        assert [r.score for r in rebuilt.ranked] == [
+            r.score for r in map_set.ranked
+        ]
+        assert [r.covers for r in rebuilt.ranked] == [
+            r.covers for r in map_set.ranked
+        ]
+        assert rebuilt.timings.total == pytest.approx(map_set.timings.total)
+        # The one documented loss: the clustering diagnostic.
+        assert rebuilt.clustering is None
+
+    def test_response_round_trip(self, census_small):
+        map_set = explorer(census_small).explore()
+        response = ExploreResponse(map_set=map_set, cached=True, elapsed=0.25)
+        rebuilt = ExploreResponse.from_dict(response.to_dict())
+        assert rebuilt.cached is True
+        assert rebuilt.elapsed == 0.25
+        assert rebuilt.map_set.maps == map_set.maps
+
+    def test_timings_round_trip_keeps_extra_stages(self):
+        timings = StageTimings(
+            sampling=0.1, candidates=0.2, clustering=0.3,
+            merging=0.4, ranking=0.5, extra=(("gate", 0.6),),
+        )
+        rebuilt = timings_from_dict(timings_to_dict(timings))
+        assert rebuilt == timings
+        assert rebuilt.total == pytest.approx(2.1)
+
+    def test_malformed_map_set_raises(self):
+        with pytest.raises(ProtocolError):
+            map_set_from_dict({"not": "a mapset"})
+
+
+class TestErrorRoundTrip:
+    @pytest.mark.parametrize(
+        "error, status",
+        [
+            (AdmissionError("busy"), 429),
+            (UnknownTableError("no such table"), 404),
+            (ProtocolError("bad payload"), 400),
+            (RemoteServiceError("boom"), 500),
+        ],
+    )
+    def test_typed_errors_survive(self, error, status):
+        payload = error_to_dict(error)
+        assert payload["error"]["status"] == status
+        resurrected = error_from_payload(payload, status)
+        assert type(resurrected) is type(error)
+        assert str(error) in str(resurrected)
+
+    def test_library_errors_map_to_bad_request(self):
+        payload = error_to_dict(ParseError("line 1: nope"))
+        assert payload["error"]["status"] == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_library_errors_resurrect_as_their_own_type(self):
+        payload = error_to_dict(ParseError("line 1: nope"))
+        resurrected = error_from_payload(payload, 400)
+        assert type(resurrected) is ParseError
+
+    def test_unknown_type_names_fall_back_to_code(self):
+        payload = {"error": {"status": 400, "code": "bad_request",
+                             "message": "x", "type": "SomethingNew"}}
+        assert isinstance(error_from_payload(payload, 400), ProtocolError)
+
+    def test_unexpected_errors_map_to_internal(self):
+        payload = error_to_dict(ValueError("surprise"))
+        assert payload["error"]["status"] == 500
+        assert isinstance(
+            error_from_payload(payload, 500), ServiceError
+        )
+
+    def test_opaque_payload_still_raises_typed(self):
+        error = error_from_payload({}, 503)
+        assert isinstance(error, RemoteServiceError)
+        assert "503" in str(error)
