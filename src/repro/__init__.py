@@ -53,6 +53,7 @@ from repro.core import (
     CategoricalCutStrategy,
     DataMap,
     ExplorationSession,
+    Fidelity,
     Linkage,
     MapSet,
     MergeMethod,
@@ -89,6 +90,7 @@ __all__ = [
     "AnytimeExplorer",
     "Atlas",
     "AtlasConfig",
+    "Fidelity",
     "AtlasError",
     "Catalog",
     "CategoricalCutStrategy",

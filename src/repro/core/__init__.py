@@ -14,6 +14,7 @@ from repro.core.config import (
     PAPER_DEFAULTS,
     AtlasConfig,
     CategoricalCutStrategy,
+    Fidelity,
     Linkage,
     MergeMethod,
     NumericCutStrategy,
@@ -72,6 +73,7 @@ __all__ = [
     "AnytimeResult",
     "Atlas",
     "AtlasConfig",
+    "Fidelity",
     "CacheStats",
     "CategoricalContrast",
     "CategoricalCutStrategy",

@@ -6,16 +6,28 @@ continually take small samples of the data and update a set of
 approximate results.  This way, the user would have instant results and
 the system could interrupt the exploration after a timeout."
 
-:class:`AnytimeExplorer` implements exactly that contract:
+:class:`AnytimeExplorer` implements exactly that contract with
+*progressive fidelity escalation*:
 
-* a :class:`~repro.sketch.reservoir.GrowingSample` yields nested uniform
-  samples of geometrically increasing size;
-* each *tick* re-runs the full pipeline on the current sample and
-  publishes an :class:`AnytimeResult` snapshot;
+* early ticks run the full pipeline at **sketch fidelity** — a
+  :class:`~repro.engine.backends.SketchBackend` answers every statistic
+  from a bounded reservoir whose budget grows geometrically, so the
+  first answer arrives in bounded time regardless of table size;
+* the final tick runs at the configured **target fidelity** (exact by
+  default), refining the approximate answer into the one a plain
+  ``explore()`` would return;
+* reservoir budgets are *nested* (each backend samples the first ``k``
+  entries of one deterministic per-``(seed, table)`` permutation), so
+  anytime results are comparable across ticks;
 * a *stability* score — 1 − normalized VI between the current and the
-  previous top map, measured on the current sample — quantifies result
-  convergence, so callers can stop on stability, on timeout, or on
-  sample exhaustion (whichever comes first).
+  previous top map, measured on the rows the current tick scanned —
+  quantifies result convergence, so callers can stop on stability, on
+  timeout, or on escalation completing (whichever comes first).
+
+``progressive=False`` restores the legacy schedule (exact pipeline runs
+over materialized :class:`~repro.sketch.reservoir.GrowingSample`
+tables), now seeded through the context's deterministic per-query
+child RNG.
 """
 
 from __future__ import annotations
@@ -24,7 +36,7 @@ import dataclasses
 import time
 from collections.abc import Iterator
 
-from repro.core.config import AtlasConfig
+from repro.core.config import AtlasConfig, Fidelity
 from repro.core.distance import map_nvi
 from repro.dataset.table import Table
 from repro.engine.context import ExecutionContext
@@ -45,6 +57,8 @@ class AnytimeResult:
     #: 1 − nVI(previous top map, current top map) on the current sample;
     #: 1.0 when the top map did not change, 0.0 on the first tick.
     stability: float
+    #: Fidelity spec this snapshot was computed at (provenance).
+    fidelity: str = "exact"
 
     @property
     def converged(self) -> bool:
@@ -58,14 +72,21 @@ class AnytimeExplorer:
     Parameters
     ----------
     table:
-        Full dataset (the engine never scans more of it than the sample).
+        Full dataset (the engine never scans more of it than the
+        current budget).
     query:
         The query being explored (None = whole table).
     config:
-        Engine configuration used on every tick (``sample_size`` inside it
-        is ignored — the growing sample replaces it).
+        Engine configuration used on every tick (``sample_size`` inside
+        it is ignored — the growing budget replaces it).  Its
+        ``fidelity`` is the escalation *target*: the final tick runs at
+        it (exact by default), earlier ticks at growing sketch budgets.
     initial_size, growth_factor:
-        Sampling schedule.
+        Budget schedule.
+    progressive:
+        True (default) escalates fidelity through sketch backends on
+        the full table; False restores the legacy exact-over-growing-
+        samples schedule.
     """
 
     def __init__(
@@ -76,63 +97,119 @@ class AnytimeExplorer:
         initial_size: int = 1000,
         growth_factor: float = 2.0,
         pipeline: Pipeline | None = None,
+        progressive: bool = True,
     ):
         if table.n_rows == 0:
             raise MapError("cannot explore an empty table")
+        if initial_size < 1:
+            raise MapError(f"initial_size must be >= 1, got {initial_size}")
+        if growth_factor <= 1.0:
+            raise MapError(f"growth_factor must be > 1, got {growth_factor}")
         self._table = table
         self._query = query or ConjunctiveQuery()
         base = config or AtlasConfig()
         self._config = base.replace(sample_size=None)
-        self._sample = GrowingSample(
-            table,
-            initial_size=initial_size,
-            growth_factor=growth_factor,
-            rng=self._config.seed,
-        )
+        self._initial_size = int(initial_size)
+        self._growth_factor = float(growth_factor)
+        self._progressive = bool(progressive)
         # One shared pipeline; each tick binds a fresh context because
-        # the sample table changes (contexts key their statistics cache
-        # by table).
+        # the measured rows change (contexts key their statistics cache
+        # by table and configuration).
         self._pipeline = pipeline or Pipeline.default()
 
+    def _schedule(self) -> Iterator[tuple[Table, AtlasConfig, bool]]:
+        """Yield ``(table, config, is_final)`` per tick.
+
+        Progressive mode grows a sketch budget geometrically on the
+        full table and finishes at the configured target fidelity;
+        nested reservoirs make consecutive answers comparable.  Legacy
+        mode materializes nested growing samples and runs the base
+        configuration on each.
+        """
+        target = self._config.fidelity
+        if self._progressive:
+            if target.is_sketch:
+                final_budget = min(target.budget_rows, self._table.n_rows)
+                epsilon = target.epsilon
+            else:
+                final_budget = self._table.n_rows
+                epsilon = Fidelity().epsilon
+            budget = min(self._initial_size, final_budget)
+            while budget < final_budget:
+                yield (
+                    self._table,
+                    self._config.replace(
+                        fidelity=Fidelity.sketch(
+                            budget_rows=budget, epsilon=epsilon
+                        )
+                    ),
+                    False,
+                )
+                budget = min(
+                    max(budget + 1, int(budget * self._growth_factor)),
+                    final_budget,
+                )
+            yield self._table, self._config, True
+            return
+        # Legacy schedule: exact pipeline over nested growing samples,
+        # seeded through the deterministic per-query child generator.
+        # Fidelity is pinned to exact — the sample *is* the
+        # approximation here; a sketch backend on top would sample the
+        # sample, compounding error for no speedup.
+        config = self._config.replace(fidelity=Fidelity.exact())
+        rng = ExecutionContext(self._table, config).child_rng(self._query)
+        sample = GrowingSample(
+            self._table,
+            initial_size=self._initial_size,
+            growth_factor=self._growth_factor,
+            rng=rng,
+        )
+        while True:
+            yield sample.current(), config, sample.exhausted
+            if sample.exhausted:
+                return
+            sample.grow()
+
     def ticks(self) -> Iterator[AnytimeResult]:
-        """Yield snapshots of increasing sample size until exhaustion.
+        """Yield snapshots of increasing fidelity until escalation ends.
 
         The caller is free to stop consuming at any point — that is the
-        anytime contract.  The final tick runs on the full table.
+        anytime contract.  The final tick runs at the configured target
+        fidelity (exact on the full table by default).
         """
         started = time.perf_counter()
         previous_top = None
-        tick = 0
-        while True:
-            sample = self._sample.current()
-            context = ExecutionContext(sample, self._config)
+        for tick, (table, config, final) in enumerate(self._schedule()):
+            context = ExecutionContext(table, config)
             map_set = self._pipeline.run(self._query, context)
+            # Stability is measured on the rows this tick actually
+            # scanned — the backend's effective table.
+            measured = context.stats().effective_table
 
             if previous_top is None or not map_set.ranked:
                 stability = 0.0
             else:
-                stability = 1.0 - map_nvi(previous_top, map_set.best, sample)
+                stability = 1.0 - map_nvi(previous_top, map_set.best, measured)
             if map_set.ranked:
                 previous_top = map_set.best
 
             yield AnytimeResult(
                 tick=tick,
-                sample_size=sample.n_rows,
+                sample_size=map_set.n_rows_used,
                 elapsed=time.perf_counter() - started,
                 map_set=map_set,
                 stability=stability,
+                fidelity=map_set.fidelity,
             )
-            if self._sample.exhausted:
+            if final:
                 return
-            self._sample.grow()
-            tick += 1
 
     def run(
         self,
         timeout: float | None = None,
         stability_target: float | None = None,
     ) -> AnytimeResult:
-        """Consume ticks until timeout / stability / exhaustion.
+        """Consume ticks until timeout / stability / escalation ends.
 
         Returns the last published snapshot.  ``timeout`` is checked
         *between* ticks (a tick is never aborted mid-flight), matching

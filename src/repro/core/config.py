@@ -59,6 +59,123 @@ class Linkage(enum.Enum):
     AVERAGE = "average"
 
 
+@dataclasses.dataclass(frozen=True)
+class Fidelity:
+    """Execution fidelity: exact statistics, or a bounded sketch budget.
+
+    The paper's interactivity requirement (Sections 1/2/5.1) argues for
+    answering from approximate statistics when exact full-table scans
+    are too slow.  A ``Fidelity`` names the trade-off in one value the
+    whole system threads end to end — engine, core scoring, service,
+    REPL:
+
+    * ``exact`` — every statistic is computed from full-table masks
+      (the historical behavior).
+    * ``sketch`` — statistics are answered by a
+      :class:`~repro.engine.backends.SketchBackend` from a bounded
+      reservoir sample of ``budget_rows`` rows plus one-pass
+      frequency/quantile sketches with rank error ``epsilon``.
+
+    The wire form is a compact spec string (``"exact"``,
+    ``"sketch"``, ``"sketch:20000"``, ``"sketch:20000:0.01"``) so it
+    stays hashable inside serialized configs and cache keys.
+    """
+
+    mode: str = "exact"
+    #: Reservoir sample budget (rows) for the sketch backend.
+    budget_rows: int = 20_000
+    #: Rank-error fraction for the one-pass quantile sketches.
+    epsilon: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "sketch"):
+            raise ConfigError(
+                f"fidelity mode must be 'exact' or 'sketch', got {self.mode!r}"
+            )
+        if self.budget_rows < 1:
+            raise ConfigError(
+                f"fidelity budget_rows must be >= 1, got {self.budget_rows}"
+            )
+        if not 0.0 < self.epsilon < 0.5:
+            raise ConfigError(
+                f"fidelity epsilon must be in (0, 0.5), got {self.epsilon}"
+            )
+
+    @property
+    def is_exact(self) -> bool:
+        """True when statistics come from full-table scans."""
+        return self.mode == "exact"
+
+    @property
+    def is_sketch(self) -> bool:
+        """True when statistics come from bounded samples and sketches."""
+        return self.mode == "sketch"
+
+    @classmethod
+    def exact(cls) -> "Fidelity":
+        """Full-fidelity execution (the default)."""
+        return cls(mode="exact")
+
+    @classmethod
+    def sketch(
+        cls, budget_rows: int = 20_000, epsilon: float = 0.005
+    ) -> "Fidelity":
+        """Approximate execution under a row/epsilon budget."""
+        return cls(mode="sketch", budget_rows=budget_rows, epsilon=epsilon)
+
+    def spec(self) -> str:
+        """Compact, parseable wire form (inverse of :meth:`parse`).
+
+        The epsilon uses ``repr`` — the shortest digits that parse back
+        to the same float — so ``parse(spec())`` is an exact round trip
+        and the serde contract of :class:`AtlasConfig` holds for any
+        epsilon.
+        """
+        if self.is_exact:
+            return "exact"
+        return f"sketch:{self.budget_rows}:{self.epsilon!r}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Fidelity":
+        """Build a fidelity from a spec string.
+
+        Accepted shapes: ``"exact"``, ``"sketch"``,
+        ``"sketch:<rows>"``, ``"sketch:<rows>:<epsilon>"``.
+        """
+        parts = text.strip().split(":")
+        mode = parts[0].strip().lower()
+        if mode == "exact":
+            if len(parts) > 1:
+                raise ConfigError(
+                    f"'exact' fidelity takes no arguments, got {text!r}"
+                )
+            return cls.exact()
+        if mode != "sketch":
+            raise ConfigError(
+                f"unknown fidelity {text!r}; expected 'exact' or "
+                "'sketch[:rows[:epsilon]]'"
+            )
+        if len(parts) > 3:
+            raise ConfigError(f"malformed fidelity spec {text!r}")
+        try:
+            budget = int(parts[1]) if len(parts) > 1 and parts[1] else 20_000
+            epsilon = float(parts[2]) if len(parts) > 2 and parts[2] else 0.005
+        except ValueError as exc:
+            raise ConfigError(f"malformed fidelity spec {text!r}: {exc}") from exc
+        return cls.sketch(budget_rows=budget, epsilon=epsilon)
+
+
+def _coerce_fidelity(value: object) -> Fidelity:
+    """Normalize the ``fidelity`` config field to a :class:`Fidelity`."""
+    if isinstance(value, Fidelity):
+        return value
+    if isinstance(value, str):
+        return Fidelity.parse(value)
+    raise ConfigError(
+        f"expected a Fidelity or spec string, got {type(value).__name__}"
+    )
+
+
 def _coerce_strategy(value: object, enum_cls: type[enum.Enum]) -> object:
     """Normalize a strategy field to its enum member when one matches.
 
@@ -124,6 +241,10 @@ class AtlasConfig:
     sample_size: int | None = None
     #: ε for the sketch cutting strategy.
     sketch_epsilon: float = 0.005
+    #: Execution fidelity: ``exact`` full-table statistics, or a
+    #: ``sketch`` row/epsilon budget answered by the sketch backend.
+    #: Accepts a :class:`Fidelity` or a spec string (``"sketch:20000"``).
+    fidelity: Fidelity | str = Fidelity()
     #: Random seed for sampling and tie-breaking randomness.
     seed: int = 0
 
@@ -131,6 +252,7 @@ class AtlasConfig:
         for field_name, enum_cls in _STRATEGY_FIELDS.items():
             normalized = _coerce_strategy(getattr(self, field_name), enum_cls)
             object.__setattr__(self, field_name, normalized)
+        object.__setattr__(self, "fidelity", _coerce_fidelity(self.fidelity))
         if self.max_regions < 2:
             raise ConfigError(f"max_regions must be >= 2, got {self.max_regions}")
         if self.max_predicates < 1:
@@ -182,7 +304,11 @@ class AtlasConfig:
         out: dict[str, object] = {}
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
-            out[field.name] = value.value if isinstance(value, enum.Enum) else value
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif isinstance(value, Fidelity):
+                value = value.spec()
+            out[field.name] = value
         return out
 
     @classmethod

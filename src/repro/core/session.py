@@ -122,6 +122,33 @@ class ExplorationSession:
         self._cursor = 0
         return self.current.map_set
 
+    def reconfigure(self, **changes: object) -> MapSet:
+        """Change engine configuration mid-session, keeping the trail.
+
+        Rebuilds the engine with the updated config and re-answers every
+        query on the breadcrumb at the new configuration, so the
+        drill-down history, the breadcrumb, and the learned interest
+        profile all survive a mid-session switch (the REPL's
+        ``fidelity`` command rides on this).  Returns the re-answered
+        current map set.
+        """
+        if not self._history:
+            raise MapError("session not started; call start() first")
+        new_config = self._atlas.config.replace(**changes)
+        queries = [step.query for step in self._history]
+        # Keep the engine's stage composition — only the config changes.
+        self._atlas = Atlas(
+            self._atlas.table, new_config, pipeline=self._atlas.pipeline
+        )
+        # Re-answer, not re-submit: the profile already observed these
+        # queries once; a config change is not new user intent.
+        self._history = [
+            SessionStep(query=query, map_set=self._atlas.explore(query))
+            for query in queries
+        ]
+        self._cursor = 0
+        return self.current.map_set
+
     @property
     def profile(self):
         """The interest profile learned from this session's queries."""

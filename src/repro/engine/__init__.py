@@ -23,12 +23,17 @@ Layers, bottom up:
 * :mod:`repro.engine.facade` — the fluent, batch-capable front door.
 """
 
-from repro.engine.context import (
+from repro.engine.backends import (
     CacheCounters,
-    ExecutionContext,
+    ExactBackend,
+    SketchBackend,
+    StatsBackend,
     TableStats,
+    make_backend,
     query_fingerprint,
+    table_fingerprint,
 )
+from repro.engine.context import ExecutionContext
 from repro.engine.pipeline import CANONICAL_STAGES, MapSet, Pipeline, StageTimings
 from repro.engine.registry import (
     CATEGORICAL_ORDERS,
@@ -60,6 +65,7 @@ __all__ = [
     "CacheCounters",
     "CandidateStage",
     "ClusteringStage",
+    "ExactBackend",
     "ExecutionContext",
     "Explorer",
     "LINKAGES",
@@ -71,13 +77,17 @@ __all__ = [
     "PipelineState",
     "RankingStage",
     "ScopeStage",
+    "SketchBackend",
     "Stage",
     "StageTimings",
+    "StatsBackend",
     "StrategyRegistry",
     "TableStats",
     "default_stages",
     "explorer",
+    "make_backend",
     "query_fingerprint",
+    "table_fingerprint",
     "register_categorical_cut",
     "register_linkage",
     "register_merge",

@@ -1,0 +1,836 @@
+"""Pluggable statistics backends: exact scans or bounded sketches.
+
+Every pipeline stage reads its statistics — predicate masks, region
+assignments, joint contingency tables, cut points — through one object
+implementing the :class:`StatsBackend` protocol.  Two implementations
+ship:
+
+* :class:`ExactBackend` — every statistic computed from full-table
+  masks with memoization (the historical ``TableStats`` behavior,
+  extracted verbatim; ``TableStats`` remains as an alias).
+* :class:`SketchBackend` — statistics answered from a bounded-size
+  uniform reservoir of the table plus one-pass sketches from
+  :mod:`repro.sketch`: per-attribute Greenwald–Khanna quantile
+  summaries drive root-scope numeric cuts and Misra–Gries heavy
+  hitters drive root-scope categorical orderings, while restricted
+  scopes are measured over the reservoir rows.  Cost per request is
+  bounded by the fidelity budget regardless of table size — the
+  Section-5.1 "sampling and refinement" lever as a first-class
+  execution mode.
+
+The backend a context hands out is chosen by
+:attr:`repro.core.config.AtlasConfig.fidelity`; one switch flips every
+entry point (facade, Atlas, anytime, service, REPL) between fidelities.
+
+Determinism: a sketch backend's reservoir is the first ``budget_rows``
+entries of a per-``(seed, table)`` permutation — deterministic for a
+given configuration, *nested* across budgets (a larger budget extends
+a smaller one's sample), which is what makes the anytime explorer's
+progressive escalation comparable across ticks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import zlib
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import AtlasConfig, Fidelity
+from repro.core.contingency import joint_distribution_from_assignments
+from repro.core.datamap import DataMap, assign_regions, covers_from_assignment
+from repro.core.information import rajski_distance, variation_of_information
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import MapError
+from repro.query.query import ConjunctiveQuery
+
+#: Bounds on cached scope tables / per-table stat blocks; interactive
+#: sessions revisit a handful of scopes, so a small FIFO is plenty.
+#: Sampled scopes are materialized copies, so they are additionally
+#: bounded by total cached rows (the base table is cached by reference
+#: and costs nothing).
+_MAX_SCOPES = 128
+_MAX_SCOPE_ROWS = 4_000_000
+_MAX_TABLE_STATS = 16
+#: Per-memo bounds inside one backend block.  Row-sized arrays
+#: (masks, assignments) dominate memory, so their FIFO caps come from a
+#: byte budget divided by the per-entry size (clamped to [8, 256]
+#: entries): on small tables the memos keep hundreds of entries, on a
+#: 10M-row table an 8-byte-per-row assignment memo holds ~8 vectors.
+#: Small per-region results (covers, joints, cuts) get a flat cap.
+_ROW_ARRAY_BYTE_BUDGET = 512 * 1024 * 1024
+_MIN_ROW_ARRAYS = 8
+_MAX_ROW_ARRAYS = 256
+_MAX_SMALL_ENTRIES = 4096
+#: Counter budget for the per-attribute Misra–Gries frequency sketches;
+#: columns with at most this many categories are summarized exactly.
+_MG_CAPACITY = 256
+
+
+def _row_array_cap(n_rows: int, bytes_per_row: int) -> int:
+    """FIFO entry cap for a memo of row-sized arrays."""
+    per_entry = max(1, n_rows * bytes_per_row)
+    return max(
+        _MIN_ROW_ARRAYS,
+        min(_MAX_ROW_ARRAYS, _ROW_ARRAY_BYTE_BUDGET // per_entry),
+    )
+
+
+def _bounded_put(memo: dict, key, value, cap: int) -> None:
+    """Insert with FIFO eviction once ``cap`` entries are reached."""
+    if len(memo) >= cap:
+        memo.pop(next(iter(memo)))
+    memo[key] = value
+
+
+@dataclasses.dataclass
+class CacheCounters:
+    """Hit/miss counters over every memo table of a backend."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def order_sensitive_key(query: ConjunctiveQuery) -> tuple:
+    """Cache key for results that depend on user-given value order.
+
+    :class:`ConjunctiveQuery`/:class:`SetPredicate` equality is
+    order-insensitive (set semantics), but the ``user_order``
+    categorical strategy lays labels out in the order the user gave
+    them — so caches of cut results (and whole answers) must key on the
+    ordered values as well, or two set-equal queries with different
+    value orders would share one result.
+    """
+    parts = []
+    for predicate in sorted(query.predicates, key=lambda p: p.attribute):
+        ordered = getattr(predicate, "ordered_values", None)
+        parts.append(
+            (predicate, tuple(ordered) if ordered is not None else None)
+        )
+    return tuple(parts)
+
+
+def query_fingerprint(query: ConjunctiveQuery) -> int:
+    """Stable, process-independent fingerprint of a query.
+
+    Predicate order is irrelevant (queries compare as predicate sets),
+    and ``zlib.crc32`` avoids Python's per-process string-hash salt.
+    """
+    canonical = "|".join(sorted(p.describe() for p in query.predicates))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+@runtime_checkable
+class StatsBackend(Protocol):
+    """What every statistics provider owes the pipeline stages.
+
+    Implementations answer the statistics requests of the Section-3
+    stages; whether the answer comes from full-table scans
+    (:class:`ExactBackend`) or bounded samples and one-pass sketches
+    (:class:`SketchBackend`) is invisible to the stages — the
+    :attr:`~repro.core.config.AtlasConfig.fidelity` setting picks.
+    """
+
+    #: Short backend family name (``"exact"`` / ``"sketch"``); the
+    #: per-backend metrics aggregate under it.
+    kind: str
+
+    @property
+    def table(self) -> Table:
+        """The table the statistics describe."""
+        ...  # pragma: no cover - protocol stub
+
+    @property
+    def effective_table(self) -> Table:
+        """The rows estimates are measured on (may be a sample)."""
+        ...  # pragma: no cover - protocol stub
+
+    @property
+    def n_rows(self) -> int:
+        """Rows backing every estimate (``effective_table.n_rows``)."""
+        ...  # pragma: no cover - protocol stub
+
+    def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row mask of a conjunctive query over the effective rows."""
+        ...  # pragma: no cover - protocol stub
+
+    def assignment(self, data_map: DataMap) -> np.ndarray:
+        """Region index per effective row (Definition 2)."""
+        ...  # pragma: no cover - protocol stub
+
+    def covers(self, data_map: DataMap) -> np.ndarray:
+        """Cover of each region over the effective rows."""
+        ...  # pragma: no cover - protocol stub
+
+    def joint(
+        self,
+        map_a: DataMap,
+        map_b: DataMap,
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ) -> np.ndarray:
+        """Joint distribution of two maps' underlying variables."""
+        ...  # pragma: no cover - protocol stub
+
+    def distance_matrix(
+        self,
+        maps: tuple[DataMap, ...],
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ):
+        """Pairwise VI / Rajski distances between maps."""
+        ...  # pragma: no cover - protocol stub
+
+    def cut_map(
+        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
+    ) -> DataMap:
+        """``CUT_attribute(query)`` at this backend's fidelity."""
+        ...  # pragma: no cover - protocol stub
+
+    def snapshot(self) -> dict:
+        """Usage/cache counters of this backend (JSON-ready)."""
+        ...  # pragma: no cover - protocol stub
+
+
+def table_fingerprint(table: Table) -> int:
+    """Stable fingerprint of a table's identity-relevant shape.
+
+    Used to derive per-``(seed, table)`` sampling RNG, so sketch
+    backends draw the same reservoir for the same table in any process.
+    """
+    canonical = f"{table.name}|{table.n_rows}|" + ",".join(table.column_names)
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+class ExactBackend:
+    """Memoized exact statistics over one immutable table.
+
+    Every method mirrors an existing computation exactly
+    (:meth:`ConjunctiveQuery.mask`, :meth:`DataMap.assign`,
+    :meth:`DataMap.covers`, :func:`~repro.core.distance.distance_matrix`)
+    so cached and uncached paths are interchangeable; the engine tests
+    assert that equivalence.  Cached arrays are frozen
+    (``writeable=False``) — callers that need to mutate must copy.
+
+    Thread safety: every memo lookup/insert (and the counters) runs
+    under ``lock``; the statistic itself is computed *outside* the lock,
+    so concurrent workers (the service pool) never serialize on numpy
+    work — a race at worst computes one value twice and the idempotent
+    insert wins.  :class:`~repro.engine.context.ExecutionContext` passes
+    one lock shared by all its stat blocks so nested memo calls and the
+    shared counters stay consistent; a standalone backend gets its own.
+    """
+
+    kind = "exact"
+
+    def __init__(
+        self,
+        table: Table,
+        counters: CacheCounters | None = None,
+        lock: threading.Lock | None = None,
+    ):
+        self._table = table
+        self._lock = lock if lock is not None else threading.Lock()
+        self.counters = counters if counters is not None else CacheCounters()
+        self.usage: dict[str, int] = {}
+        self._predicate_masks: dict[object, np.ndarray] = {}
+        self._query_masks: dict[ConjunctiveQuery, np.ndarray] = {}
+        self._assignments: dict[DataMap, np.ndarray] = {}
+        self._covers: dict[DataMap, np.ndarray] = {}
+        self._joints: dict[tuple, np.ndarray] = {}
+        self._cuts: dict[tuple, DataMap] = {}
+        self._mask_cap = _row_array_cap(table.n_rows, 1)
+        self._row_array_cap = _row_array_cap(table.n_rows, 8)
+
+    @property
+    def table(self) -> Table:
+        """The table the statistics describe."""
+        return self._table
+
+    @property
+    def effective_table(self) -> Table:
+        """The rows this backend actually measures (here: all of them)."""
+        return self._table
+
+    @property
+    def n_rows(self) -> int:
+        """Rows backing every estimate this backend hands out."""
+        return self._table.n_rows
+
+    def _use(self, name: str) -> None:
+        """Bump the per-request usage counter (caller holds the lock)."""
+        self.usage[name] = self.usage.get(name, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Masks
+    # ------------------------------------------------------------------ #
+
+    def predicate_mask(self, predicate) -> np.ndarray:
+        """Row mask of one predicate (frozen array, cached)."""
+        with self._lock:
+            self._use("predicate_mask")
+            cached = self._predicate_masks.get(predicate)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
+        mask = np.asarray(predicate.mask(self._table), dtype=bool)
+        mask.flags.writeable = False
+        with self._lock:
+            _bounded_put(self._predicate_masks, predicate, mask, self._mask_cap)
+        return mask
+
+    def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row mask of a conjunctive query, AND of cached predicate masks."""
+        with self._lock:
+            self._use("query_mask")
+            cached = self._query_masks.get(query)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
+        result = np.ones(self._table.n_rows, dtype=bool)
+        for predicate in query.predicates:
+            np.logical_and(result, self.predicate_mask(predicate), out=result)
+        result.flags.writeable = False
+        with self._lock:
+            _bounded_put(self._query_masks, query, result, self._mask_cap)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Map statistics
+    # ------------------------------------------------------------------ #
+
+    def assignment(self, data_map: DataMap) -> np.ndarray:
+        """Region index per row (Definition 2), cached per map.
+
+        Semantics match :meth:`DataMap.assign`: first matching region
+        wins, uncovered rows get :data:`~repro.core.datamap.ESCAPE`.
+        """
+        with self._lock:
+            self._use("assignment")
+            cached = self._assignments.get(data_map.regions)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
+        assignment = assign_regions(
+            data_map.regions, self._table.n_rows, self.query_mask
+        )
+        assignment.flags.writeable = False
+        with self._lock:
+            _bounded_put(
+                self._assignments, data_map.regions, assignment,
+                self._row_array_cap,
+            )
+        return assignment
+
+    def covers(self, data_map: DataMap) -> np.ndarray:
+        """Cover of each region (matches :meth:`DataMap.covers`), cached."""
+        with self._lock:
+            self._use("covers")
+            cached = self._covers.get(data_map.regions)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
+        result = covers_from_assignment(
+            self.assignment(data_map), data_map.n_regions
+        )
+        result.flags.writeable = False
+        with self._lock:
+            _bounded_put(
+                self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES
+            )
+        return result
+
+    def joint(
+        self,
+        map_a: DataMap,
+        map_b: DataMap,
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ) -> np.ndarray:
+        """Joint distribution of two maps' underlying variables, cached.
+
+        ``row_indices`` restricts the estimate to a subset of rows (the
+        clustering stage scores dependency over the tuples the user
+        query describes); ``scope_key`` names that subset in the cache
+        key.  A restricted estimate without a ``scope_key`` is computed
+        but never cached — caching it under the full-table key would
+        poison later unrestricted lookups.  Assignment vectors are
+        computed once over the *full* table and sliced — region
+        membership is row-wise, so slicing commutes with selection.
+        """
+        with self._lock:
+            self._use("joint")
+        assign_a = self.assignment(map_a)
+        assign_b = self.assignment(map_b)
+        if row_indices is not None:
+            assign_a = assign_a[row_indices]
+            assign_b = assign_b[row_indices]
+        return self._joint_from(
+            map_a, map_b, assign_a, assign_b,
+            scope_key, cacheable=row_indices is None or scope_key is not None,
+        )
+
+    def _joint_from(
+        self,
+        map_a: DataMap,
+        map_b: DataMap,
+        assign_a: np.ndarray,
+        assign_b: np.ndarray,
+        scope_key: object,
+        cacheable: bool,
+    ) -> np.ndarray:
+        """Cache-aware joint distribution from prepared assignments."""
+        if cacheable:
+            key = (map_a.regions, map_b.regions, scope_key)
+            with self._lock:
+                cached = self._joints.get(key)
+                if cached is not None:
+                    self.counters.hits += 1
+                    return cached
+                transposed = self._joints.get(
+                    (map_b.regions, map_a.regions, scope_key)
+                )
+                if transposed is not None:
+                    self.counters.hits += 1
+                    return transposed.T
+                self.counters.misses += 1
+        else:
+            with self._lock:
+                self.counters.misses += 1
+        joint = joint_distribution_from_assignments(
+            assign_a, assign_b, map_a.n_regions, map_b.n_regions
+        )
+        if cacheable:
+            joint.flags.writeable = False
+            with self._lock:
+                _bounded_put(self._joints, key, joint, _MAX_SMALL_ENTRIES)
+        return joint
+
+    def distance_matrix(
+        self,
+        maps: tuple[DataMap, ...],
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ):
+        """Pairwise VI / Rajski distances with memoized joints.
+
+        Equivalent to :func:`repro.core.distance.distance_matrix` over
+        ``table[row_indices]``, but every joint distribution is cached
+        so repeated queries on the same table skip the quadratic
+        recomputation.
+        """
+        from repro.core.distance import MapDistanceMatrix
+
+        if not maps:
+            raise MapError("need at least one map")
+        with self._lock:
+            self._use("distance_matrix")
+        n = len(maps)
+        # Slice each assignment once up front — per-pair slicing would
+        # copy every assignment O(n) times.
+        if row_indices is None:
+            assignments = [self.assignment(m) for m in maps]
+        else:
+            assignments = [self.assignment(m)[row_indices] for m in maps]
+        cacheable = row_indices is None or scope_key is not None
+        raw = np.zeros((n, n), dtype=np.float64)
+        scaled = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                joint = self._joint_from(
+                    maps[i], maps[j], assignments[i], assignments[j],
+                    scope_key, cacheable,
+                )
+                raw[i, j] = raw[j, i] = variation_of_information(joint)
+                scaled[i, j] = scaled[j, i] = rajski_distance(joint)
+        return MapDistanceMatrix(maps=maps, distances=raw, normalized=scaled)
+
+    # ------------------------------------------------------------------ #
+    # Cuts and column statistics
+    # ------------------------------------------------------------------ #
+
+    def cut_map(
+        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
+    ) -> DataMap:
+        """``CUT_attribute(query)`` with cut points memoized per scope.
+
+        The cache key covers the config fields the built-in cuts
+        depend on plus the *resolved* strategy callables, so one
+        backend can serve contexts with different configurations and a
+        strategy re-registered with ``overwrite=True`` is never served
+        stale results.  (A custom strategy reading further config
+        fields should be registered under a name that encodes them.)
+        """
+        from repro.engine.registry import CATEGORICAL_ORDERS, NUMERIC_CUTS
+
+        key = (
+            order_sensitive_key(query),
+            attribute,
+            config.n_splits,
+            NUMERIC_CUTS.get(config.numeric_strategy),
+            CATEGORICAL_ORDERS.get(config.categorical_strategy),
+            config.sketch_epsilon,
+        )
+        with self._lock:
+            self._use("cut_map")
+            cached = self._cuts.get(key)
+            if cached is not None:
+                self.counters.hits += 1
+                return cached
+            self.counters.misses += 1
+        from repro.core.cut import cut
+
+        result = cut(
+            self._table,
+            query,
+            attribute,
+            config,
+            region_mask=self.query_mask(query),
+        )
+        with self._lock:
+            _bounded_put(self._cuts, key, result, _MAX_SMALL_ENTRIES)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Usage/cache counters of this backend (JSON-ready)."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "rows": self.n_rows,
+                "usage": dict(self.usage),
+                "hits": self.counters.hits,
+                "misses": self.counters.misses,
+            }
+
+
+#: Backward-compatible alias: the memoized statistics block introduced
+#: by the engine refactor is exactly the exact backend.
+TableStats = ExactBackend
+
+
+class SketchBackend:
+    """Approximate statistics from a bounded reservoir plus sketches.
+
+    The backend materializes a uniform reservoir of at most
+    ``fidelity.budget_rows`` rows (the first entries of a deterministic
+    per-``(seed, table)`` permutation, so budgets nest) and answers
+
+    * ``query_mask`` / ``assignment`` / ``covers`` / ``joint`` /
+      ``distance_matrix`` — measured over the reservoir rows through an
+      inner :class:`ExactBackend`, so every estimate is bounded by the
+      budget regardless of table size;
+    * ``cut_map`` on the *root scope* (no predicates) — from memoized
+      one-pass summaries: per-attribute Greenwald–Khanna quantile
+      sketches (``fidelity.epsilon`` rank error, measured over the
+      reservoir — sampling error comes on top) for equi-depth numeric
+      cut points, Misra–Gries heavy hitters for categorical frequency
+      orderings — built once per attribute and reused by every query
+      and split count;
+    * ``cut_map`` on restricted scopes — over the reservoir rows with
+      the configured strategy (cost bounded by the budget).
+
+    The produced :class:`DataMap` shapes are identical to the exact
+    backend's, so ranked answers are comparable across fidelities (the
+    E18 agreement measurement relies on this).
+    """
+
+    kind = "sketch"
+
+    def __init__(
+        self,
+        table: Table,
+        fidelity: Fidelity,
+        rng: np.random.Generator | int | None = None,
+        counters: CacheCounters | None = None,
+        lock: threading.Lock | None = None,
+    ):
+        if not fidelity.is_sketch:
+            raise MapError(
+                f"SketchBackend needs a sketch fidelity, got {fidelity.spec()!r}"
+            )
+        self._table = table
+        self._fidelity = fidelity
+        if fidelity.budget_rows >= table.n_rows:
+            sample = table  # the budget covers everything; nothing to copy
+        else:
+            generator = (
+                rng if isinstance(rng, np.random.Generator)
+                else np.random.default_rng(rng)
+            )
+            rows = np.sort(
+                generator.permutation(table.n_rows)[: fidelity.budget_rows]
+            )
+            sample = table.take(
+                rows, name=f"{table.name}_sketch{fidelity.budget_rows}"
+            )
+        self._inner = ExactBackend(sample, counters=counters, lock=lock)
+        self._lock = self._inner._lock
+        self.counters = self._inner.counters
+        self.usage = self._inner.usage
+        self._quantile_sketches: dict[str, object] = {}
+        self._frequency_sketches: dict[str, object] = {}
+        self._root_cuts: dict[tuple, DataMap] = {}
+
+    @property
+    def table(self) -> Table:
+        """The (full) table the statistics approximate."""
+        return self._table
+
+    @property
+    def effective_table(self) -> Table:
+        """The reservoir rows every estimate is measured on."""
+        return self._inner.table
+
+    @property
+    def n_rows(self) -> int:
+        """Rows backing every estimate this backend hands out."""
+        return self._inner.table.n_rows
+
+    @property
+    def fidelity(self) -> Fidelity:
+        """The budget this backend answers under."""
+        return self._fidelity
+
+    # ------------------------------------------------------------------ #
+    # Delegated statistics (bounded by the reservoir)
+    # ------------------------------------------------------------------ #
+
+    def predicate_mask(self, predicate) -> np.ndarray:
+        """Predicate row mask over the reservoir rows."""
+        return self._inner.predicate_mask(predicate)
+
+    def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Query row mask over the reservoir rows."""
+        return self._inner.query_mask(query)
+
+    def assignment(self, data_map: DataMap) -> np.ndarray:
+        """Region index per reservoir row."""
+        return self._inner.assignment(data_map)
+
+    def covers(self, data_map: DataMap) -> np.ndarray:
+        """Estimated region covers (reservoir counts)."""
+        return self._inner.covers(data_map)
+
+    def joint(
+        self,
+        map_a: DataMap,
+        map_b: DataMap,
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ) -> np.ndarray:
+        """Estimated joint distribution over the reservoir rows."""
+        return self._inner.joint(map_a, map_b, row_indices, scope_key)
+
+    def distance_matrix(
+        self,
+        maps: tuple[DataMap, ...],
+        row_indices: np.ndarray | None = None,
+        scope_key: object = None,
+    ):
+        """Estimated pairwise VI / Rajski distances over the reservoir."""
+        return self._inner.distance_matrix(maps, row_indices, scope_key)
+
+    # ------------------------------------------------------------------ #
+    # Sketch-answered cuts
+    # ------------------------------------------------------------------ #
+
+    def cut_map(
+        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
+    ) -> DataMap:
+        """``CUT_attribute(query)`` answered at sketch fidelity.
+
+        Root-scope requests (no predicates — the first query of every
+        session, and the most repeated one) come from the memoized
+        per-attribute sketches; restricted scopes are cut over the
+        reservoir rows with the configured strategy.  ``fidelity.epsilon``
+        is *the* rank-error knob at sketch fidelity: it also overrides
+        ``config.sketch_epsilon`` for delegated sketch-strategy cuts, so
+        the same attribute is cut at one precision at every scope depth.
+        """
+        from repro.engine.registry import strategy_key
+
+        if not query.predicates:
+            column = self._inner.table.column(attribute)
+            if isinstance(column, NumericColumn) and strategy_key(
+                config.numeric_strategy
+            ) in ("median", "sketch"):
+                # Equi-depth requests answered by the GK summary; other
+                # strategies (equiwidth, twomeans, custom) keep their
+                # semantics over the reservoir rows.
+                return self._root_numeric_cut(query, attribute, config)
+            if isinstance(column, CategoricalColumn):
+                return self._root_categorical_cut(query, attribute, config)
+        if config.sketch_epsilon != self._fidelity.epsilon:
+            config = config.replace(sketch_epsilon=self._fidelity.epsilon)
+        return self._inner.cut_map(query, attribute, config)
+
+    def quantile_sketch(self, attribute: str):
+        """The memoized per-attribute GK summary (built on first use)."""
+        with self._lock:
+            cached = self._quantile_sketches.get(attribute)
+        if cached is not None:
+            return cached
+        from repro.sketch.quantile import GKQuantileSketch
+
+        column = self._inner.table.numeric(attribute)
+        values = column.data
+        values = values[~np.isnan(values)]
+        sketch = GKQuantileSketch(epsilon=self._fidelity.epsilon)
+        sketch.extend(values.tolist())
+        with self._lock:
+            return self._quantile_sketches.setdefault(attribute, sketch)
+
+    def frequency_sketch(self, attribute: str):
+        """The memoized per-attribute Misra–Gries summary."""
+        with self._lock:
+            cached = self._frequency_sketches.get(attribute)
+        if cached is not None:
+            return cached
+        from repro.sketch.frequency import MisraGriesSketch
+
+        column = self._inner.table.column(attribute)
+        if not isinstance(column, CategoricalColumn):
+            raise MapError(
+                f"column {attribute!r} is {column.kind}, expected categorical"
+            )
+        categories = list(column.categories)
+        sketch = MisraGriesSketch(
+            capacity=max(1, min(_MG_CAPACITY, len(categories)))
+        )
+        codes = column.codes
+        sketch.extend(categories[code] for code in codes[codes >= 0].tolist())
+        with self._lock:
+            return self._frequency_sketches.setdefault(attribute, sketch)
+
+    def _root_cut_cached(self, key: tuple) -> DataMap | None:
+        with self._lock:
+            self._use("cut_map")
+            cached = self._root_cuts.get(key)
+            if cached is not None:
+                self.counters.hits += 1
+            else:
+                self.counters.misses += 1
+            return cached
+
+    def _root_numeric_cut(
+        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
+    ) -> DataMap:
+        """Equi-depth root cut from the per-attribute quantile sketch."""
+        from repro.core.cut import _clean_cut_points, _numeric_subpredicates
+
+        key = ("num", attribute, config.n_splits, self._fidelity.epsilon)
+        cached = self._root_cut_cached(key)
+        if cached is not None:
+            return cached
+        trivial = DataMap([query], attributes=[attribute], label=f"cut:{attribute}")
+        sketch = self.quantile_sketch(attribute)
+        result = trivial
+        if sketch.count >= 2:
+            low, high = sketch.query(0.0), sketch.query(1.0)
+            if low < high:
+                points = [
+                    sketch.query(j / config.n_splits)
+                    for j in range(1, config.n_splits)
+                ]
+                points = _clean_cut_points(points, None, low, high)
+                if points:
+                    predicates = _numeric_subpredicates(None, attribute, points)
+                    result = DataMap(
+                        [query.with_predicate(p) for p in predicates],
+                        attributes=[attribute],
+                        label=f"cut:{attribute}",
+                    )
+        with self._lock:
+            _bounded_put(self._root_cuts, key, result, _MAX_SMALL_ENTRIES)
+        return result
+
+    def _root_categorical_cut(
+        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
+    ) -> DataMap:
+        """Root cut with label order/mass from the heavy-hitters sketch."""
+        from repro.core.cut import balanced_label_groups, ordered_labels
+        from repro.engine.registry import CATEGORICAL_ORDERS
+        from repro.query.predicate import SetPredicate
+
+        order = CATEGORICAL_ORDERS.get(config.categorical_strategy)
+        key = ("cat", attribute, config.n_splits, order)
+        cached = self._root_cut_cached(key)
+        if cached is not None:
+            return cached
+        trivial = DataMap([query], attributes=[attribute], label=f"cut:{attribute}")
+        column = self._inner.table.column(attribute)
+        admitted = list(column.categories)
+        result = trivial
+        if len(admitted) >= 2:
+            estimates = self.frequency_sketch(attribute).heavy_hitters()
+            counts = {label: estimates.get(label, 0) for label in admitted}
+            ordered = ordered_labels(config.categorical_strategy, admitted, counts)
+            groups = balanced_label_groups(ordered, counts, config.n_splits)
+            if len(groups) >= 2:
+                result = DataMap(
+                    [
+                        query.with_predicate(SetPredicate(attribute, group))
+                        for group in groups
+                    ],
+                    attributes=[attribute],
+                    label=f"cut:{attribute}",
+                )
+        with self._lock:
+            _bounded_put(self._root_cuts, key, result, _MAX_SMALL_ENTRIES)
+        return result
+
+    def _use(self, name: str) -> None:
+        """Bump the usage counter (caller holds the lock)."""
+        self._inner._use(name)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Usage/cache counters plus sketch provenance (JSON-ready)."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "rows": self.n_rows,
+                "table_rows": self._table.n_rows,
+                "budget_rows": self._fidelity.budget_rows,
+                "epsilon": self._fidelity.epsilon,
+                "quantile_sketches": len(self._quantile_sketches),
+                "frequency_sketches": len(self._frequency_sketches),
+                "usage": dict(self.usage),
+                "hits": self.counters.hits,
+                "misses": self.counters.misses,
+            }
+
+
+def make_backend(
+    table: Table,
+    fidelity: Fidelity,
+    rng: np.random.Generator | int | None = None,
+    counters: CacheCounters | None = None,
+    lock: threading.Lock | None = None,
+) -> "ExactBackend | SketchBackend":
+    """Construct the backend a fidelity setting asks for."""
+    if fidelity.is_sketch:
+        return SketchBackend(
+            table, fidelity, rng=rng, counters=counters, lock=lock
+        )
+    return ExactBackend(table, counters=counters, lock=lock)

@@ -5,7 +5,8 @@ assignment vectors, joint contingency tables, cut points, column
 entropies — and the seed implementation recomputed all of them inside
 each stage on every query.  :class:`ExecutionContext` carries one
 table + configuration pair through every stage *and across queries on
-the same table*, backed by :class:`TableStats` memoization, so
+the same table*, backed by memoized statistics backends
+(:mod:`repro.engine.backends`), so
 
 * the clustering stage no longer recomputes the mutual-information
   inputs that ranking needs again two stages later, and
@@ -13,374 +14,47 @@ the same table*, backed by :class:`TableStats` memoization, so
   interactive session pays for each statistic once, which is the
   quasi-real-time lever of Sections 1/2/5.1 under repeated traffic.
 
+Fidelity: the :attr:`~repro.core.config.AtlasConfig.fidelity` setting
+decides which :class:`~repro.engine.backends.StatsBackend` the context
+hands to the stages — :class:`~repro.engine.backends.ExactBackend`
+(full-table scans) or :class:`~repro.engine.backends.SketchBackend`
+(bounded reservoir + one-pass sketches) — so one config switch flips
+every entry point between exact and approximate execution.
+
 Determinism: sampling draws from a *per-query child generator* derived
 from ``(config.seed, fingerprint(query))`` instead of a shared mutating
 generator, so two identical ``explore()`` calls see the same sample and
-return the same maps — in any process, in any call order.
+return the same maps — in any process, in any call order.  Sketch
+backends draw their reservoirs from the same family of generators,
+tagged by table, so approximate answers are equally reproducible.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import threading
 import zlib
 
 import numpy as np
 
 from repro.core.config import AtlasConfig
-from repro.core.contingency import joint_distribution_from_assignments
-from repro.core.datamap import DataMap, assign_regions, covers_from_assignment
-from repro.core.information import rajski_distance, variation_of_information
 from repro.dataset.table import Table
+from repro.engine.backends import (  # noqa: F401 - re-exported for compat
+    _MAX_SCOPE_ROWS,
+    _MAX_SCOPES,
+    _MAX_TABLE_STATS,
+    _bounded_put,
+    CacheCounters,
+    ExactBackend,
+    SketchBackend,
+    StatsBackend,
+    TableStats,
+    make_backend,
+    order_sensitive_key,
+    query_fingerprint,
+    table_fingerprint,
+)
 from repro.errors import MapError
 from repro.query.query import ConjunctiveQuery
-
-#: Bounds on cached scope tables / per-table stat blocks; interactive
-#: sessions revisit a handful of scopes, so a small FIFO is plenty.
-#: Sampled scopes are materialized copies, so they are additionally
-#: bounded by total cached rows (the base table is cached by reference
-#: and costs nothing).
-_MAX_SCOPES = 128
-_MAX_SCOPE_ROWS = 4_000_000
-_MAX_TABLE_STATS = 16
-#: Per-memo bounds inside one TableStats block.  Row-sized arrays
-#: (masks, assignments) dominate memory, so their FIFO caps come from a
-#: byte budget divided by the per-entry size (clamped to [8, 256]
-#: entries): on small tables the memos keep hundreds of entries, on a
-#: 10M-row table an 8-byte-per-row assignment memo holds ~8 vectors.
-#: Small per-region results (covers, joints, cuts) get a flat cap.
-_ROW_ARRAY_BYTE_BUDGET = 512 * 1024 * 1024
-_MIN_ROW_ARRAYS = 8
-_MAX_ROW_ARRAYS = 256
-_MAX_SMALL_ENTRIES = 4096
-
-
-def _row_array_cap(n_rows: int, bytes_per_row: int) -> int:
-    """FIFO entry cap for a memo of row-sized arrays."""
-    per_entry = max(1, n_rows * bytes_per_row)
-    return max(
-        _MIN_ROW_ARRAYS,
-        min(_MAX_ROW_ARRAYS, _ROW_ARRAY_BYTE_BUDGET // per_entry),
-    )
-
-
-def _bounded_put(memo: dict, key, value, cap: int) -> None:
-    """Insert with FIFO eviction once ``cap`` entries are reached."""
-    if len(memo) >= cap:
-        memo.pop(next(iter(memo)))
-    memo[key] = value
-
-
-@dataclasses.dataclass
-class CacheCounters:
-    """Hit/miss counters over every memo table of a context."""
-
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
-def order_sensitive_key(query: ConjunctiveQuery) -> tuple:
-    """Cache key for results that depend on user-given value order.
-
-    :class:`ConjunctiveQuery`/:class:`SetPredicate` equality is
-    order-insensitive (set semantics), but the ``user_order``
-    categorical strategy lays labels out in the order the user gave
-    them — so caches of cut results (and whole answers) must key on the
-    ordered values as well, or two set-equal queries with different
-    value orders would share one result.
-    """
-    parts = []
-    for predicate in sorted(query.predicates, key=lambda p: p.attribute):
-        ordered = getattr(predicate, "ordered_values", None)
-        parts.append(
-            (predicate, tuple(ordered) if ordered is not None else None)
-        )
-    return tuple(parts)
-
-
-def query_fingerprint(query: ConjunctiveQuery) -> int:
-    """Stable, process-independent fingerprint of a query.
-
-    Predicate order is irrelevant (queries compare as predicate sets),
-    and ``zlib.crc32`` avoids Python's per-process string-hash salt.
-    """
-    canonical = "|".join(sorted(p.describe() for p in query.predicates))
-    return zlib.crc32(canonical.encode("utf-8"))
-
-
-class TableStats:
-    """Memoized statistics over one immutable table.
-
-    Every method mirrors an existing computation exactly
-    (:meth:`ConjunctiveQuery.mask`, :meth:`DataMap.assign`,
-    :meth:`DataMap.covers`, :func:`~repro.core.distance.distance_matrix`)
-    so cached and uncached paths are interchangeable; the engine tests
-    assert that equivalence.  Cached arrays are frozen
-    (``writeable=False``) — callers that need to mutate must copy.
-
-    Thread safety: every memo lookup/insert (and the counters) runs
-    under ``lock``; the statistic itself is computed *outside* the lock,
-    so concurrent workers (the service pool) never serialize on numpy
-    work — a race at worst computes one value twice and the idempotent
-    insert wins.  :class:`ExecutionContext` passes one lock shared by
-    all its stat blocks so nested memo calls and the shared counters
-    stay consistent; a standalone ``TableStats`` gets its own.
-    """
-
-    def __init__(
-        self,
-        table: Table,
-        counters: CacheCounters | None = None,
-        lock: threading.Lock | None = None,
-    ):
-        self._table = table
-        self._lock = lock if lock is not None else threading.Lock()
-        self.counters = counters if counters is not None else CacheCounters()
-        self._predicate_masks: dict[object, np.ndarray] = {}
-        self._query_masks: dict[ConjunctiveQuery, np.ndarray] = {}
-        self._assignments: dict[DataMap, np.ndarray] = {}
-        self._covers: dict[DataMap, np.ndarray] = {}
-        self._joints: dict[tuple, np.ndarray] = {}
-        self._cuts: dict[tuple, DataMap] = {}
-        self._mask_cap = _row_array_cap(table.n_rows, 1)
-        self._row_array_cap = _row_array_cap(table.n_rows, 8)
-
-    @property
-    def table(self) -> Table:
-        """The table the statistics describe."""
-        return self._table
-
-    # ------------------------------------------------------------------ #
-    # Masks
-    # ------------------------------------------------------------------ #
-
-    def predicate_mask(self, predicate) -> np.ndarray:
-        """Row mask of one predicate (frozen array, cached)."""
-        with self._lock:
-            cached = self._predicate_masks.get(predicate)
-            if cached is not None:
-                self.counters.hits += 1
-                return cached
-            self.counters.misses += 1
-        mask = np.asarray(predicate.mask(self._table), dtype=bool)
-        mask.flags.writeable = False
-        with self._lock:
-            _bounded_put(self._predicate_masks, predicate, mask, self._mask_cap)
-        return mask
-
-    def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
-        """Row mask of a conjunctive query, AND of cached predicate masks."""
-        with self._lock:
-            cached = self._query_masks.get(query)
-            if cached is not None:
-                self.counters.hits += 1
-                return cached
-            self.counters.misses += 1
-        result = np.ones(self._table.n_rows, dtype=bool)
-        for predicate in query.predicates:
-            np.logical_and(result, self.predicate_mask(predicate), out=result)
-        result.flags.writeable = False
-        with self._lock:
-            _bounded_put(self._query_masks, query, result, self._mask_cap)
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Map statistics
-    # ------------------------------------------------------------------ #
-
-    def assignment(self, data_map: DataMap) -> np.ndarray:
-        """Region index per row (Definition 2), cached per map.
-
-        Semantics match :meth:`DataMap.assign`: first matching region
-        wins, uncovered rows get :data:`~repro.core.datamap.ESCAPE`.
-        """
-        with self._lock:
-            cached = self._assignments.get(data_map.regions)
-            if cached is not None:
-                self.counters.hits += 1
-                return cached
-            self.counters.misses += 1
-        assignment = assign_regions(
-            data_map.regions, self._table.n_rows, self.query_mask
-        )
-        assignment.flags.writeable = False
-        with self._lock:
-            _bounded_put(
-                self._assignments, data_map.regions, assignment,
-                self._row_array_cap,
-            )
-        return assignment
-
-    def covers(self, data_map: DataMap) -> np.ndarray:
-        """Cover of each region (matches :meth:`DataMap.covers`), cached."""
-        with self._lock:
-            cached = self._covers.get(data_map.regions)
-            if cached is not None:
-                self.counters.hits += 1
-                return cached
-            self.counters.misses += 1
-        result = covers_from_assignment(
-            self.assignment(data_map), data_map.n_regions
-        )
-        result.flags.writeable = False
-        with self._lock:
-            _bounded_put(
-                self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES
-            )
-        return result
-
-    def joint(
-        self,
-        map_a: DataMap,
-        map_b: DataMap,
-        row_indices: np.ndarray | None = None,
-        scope_key: object = None,
-    ) -> np.ndarray:
-        """Joint distribution of two maps' underlying variables, cached.
-
-        ``row_indices`` restricts the estimate to a subset of rows (the
-        clustering stage scores dependency over the tuples the user
-        query describes); ``scope_key`` names that subset in the cache
-        key.  A restricted estimate without a ``scope_key`` is computed
-        but never cached — caching it under the full-table key would
-        poison later unrestricted lookups.  Assignment vectors are
-        computed once over the *full* table and sliced — region
-        membership is row-wise, so slicing commutes with selection.
-        """
-        assign_a = self.assignment(map_a)
-        assign_b = self.assignment(map_b)
-        if row_indices is not None:
-            assign_a = assign_a[row_indices]
-            assign_b = assign_b[row_indices]
-        return self._joint_from(
-            map_a, map_b, assign_a, assign_b,
-            scope_key, cacheable=row_indices is None or scope_key is not None,
-        )
-
-    def _joint_from(
-        self,
-        map_a: DataMap,
-        map_b: DataMap,
-        assign_a: np.ndarray,
-        assign_b: np.ndarray,
-        scope_key: object,
-        cacheable: bool,
-    ) -> np.ndarray:
-        """Cache-aware joint distribution from prepared assignments."""
-        if cacheable:
-            key = (map_a.regions, map_b.regions, scope_key)
-            with self._lock:
-                cached = self._joints.get(key)
-                if cached is not None:
-                    self.counters.hits += 1
-                    return cached
-                transposed = self._joints.get(
-                    (map_b.regions, map_a.regions, scope_key)
-                )
-                if transposed is not None:
-                    self.counters.hits += 1
-                    return transposed.T
-                self.counters.misses += 1
-        else:
-            with self._lock:
-                self.counters.misses += 1
-        joint = joint_distribution_from_assignments(
-            assign_a, assign_b, map_a.n_regions, map_b.n_regions
-        )
-        if cacheable:
-            joint.flags.writeable = False
-            with self._lock:
-                _bounded_put(self._joints, key, joint, _MAX_SMALL_ENTRIES)
-        return joint
-
-    def distance_matrix(
-        self,
-        maps: tuple[DataMap, ...],
-        row_indices: np.ndarray | None = None,
-        scope_key: object = None,
-    ):
-        """Pairwise VI / Rajski distances with memoized joints.
-
-        Equivalent to :func:`repro.core.distance.distance_matrix` over
-        ``table[row_indices]``, but every joint distribution is cached
-        so repeated queries on the same table skip the quadratic
-        recomputation.
-        """
-        from repro.core.distance import MapDistanceMatrix
-
-        if not maps:
-            raise MapError("need at least one map")
-        n = len(maps)
-        # Slice each assignment once up front — per-pair slicing would
-        # copy every assignment O(n) times.
-        if row_indices is None:
-            assignments = [self.assignment(m) for m in maps]
-        else:
-            assignments = [self.assignment(m)[row_indices] for m in maps]
-        cacheable = row_indices is None or scope_key is not None
-        raw = np.zeros((n, n), dtype=np.float64)
-        scaled = np.zeros((n, n), dtype=np.float64)
-        for i in range(n):
-            for j in range(i + 1, n):
-                joint = self._joint_from(
-                    maps[i], maps[j], assignments[i], assignments[j],
-                    scope_key, cacheable,
-                )
-                raw[i, j] = raw[j, i] = variation_of_information(joint)
-                scaled[i, j] = scaled[j, i] = rajski_distance(joint)
-        return MapDistanceMatrix(maps=maps, distances=raw, normalized=scaled)
-
-    # ------------------------------------------------------------------ #
-    # Cuts and column statistics
-    # ------------------------------------------------------------------ #
-
-    def cut_map(
-        self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
-    ) -> DataMap:
-        """``CUT_attribute(query)`` with cut points memoized per scope.
-
-        The cache key covers the config fields the built-in cuts
-        depend on plus the *resolved* strategy callables, so one
-        :class:`TableStats` can serve contexts with different
-        configurations and a strategy re-registered with
-        ``overwrite=True`` is never served stale results.  (A custom
-        strategy reading further config fields should be registered
-        under a name that encodes them.)
-        """
-        from repro.engine.registry import CATEGORICAL_ORDERS, NUMERIC_CUTS
-
-        key = (
-            order_sensitive_key(query),
-            attribute,
-            config.n_splits,
-            NUMERIC_CUTS.get(config.numeric_strategy),
-            CATEGORICAL_ORDERS.get(config.categorical_strategy),
-            config.sketch_epsilon,
-        )
-        with self._lock:
-            cached = self._cuts.get(key)
-            if cached is not None:
-                self.counters.hits += 1
-                return cached
-            self.counters.misses += 1
-        from repro.core.cut import cut
-
-        result = cut(
-            self._table,
-            query,
-            attribute,
-            config,
-            region_mask=self.query_mask(query),
-        )
-        with self._lock:
-            _bounded_put(self._cuts, key, result, _MAX_SMALL_ENTRIES)
-        return result
 
 
 class ExecutionContext:
@@ -409,9 +83,14 @@ class ExecutionContext:
         self._table = table
         self._config = config or AtlasConfig()
         self._lock = threading.Lock()
-        self.counters = CacheCounters()
-        self._stats: dict[int, TableStats] = {}
-        self._transient_stats: TableStats | None = None
+        #: One hit/miss counter block per backend family, so `/metrics`
+        #: can report exact and sketch cache behavior separately.
+        self._kind_counters: dict[str, CacheCounters] = {
+            "exact": CacheCounters(),
+            "sketch": CacheCounters(),
+        }
+        self._stats: dict[int, StatsBackend] = {}
+        self._transient_stats: StatsBackend | None = None
         self._scopes: dict[ConjunctiveQuery, Table] = {}
 
     @property
@@ -426,20 +105,35 @@ class ExecutionContext:
         """Engine configuration shared by every stage."""
         return self._config
 
+    @property
+    def counters(self) -> CacheCounters:
+        """Aggregate hit/miss counters across every backend family."""
+        return CacheCounters(
+            hits=sum(c.hits for c in self._kind_counters.values()),
+            misses=sum(c.misses for c in self._kind_counters.values()),
+        )
+
     # ------------------------------------------------------------------ #
     # Determinism
     # ------------------------------------------------------------------ #
 
-    def child_rng(self, query: ConjunctiveQuery) -> np.random.Generator:
-        """Deterministic per-call generator from ``(seed, query)``.
+    def child_rng(
+        self, source: ConjunctiveQuery | str
+    ) -> np.random.Generator:
+        """Deterministic child generator from ``(seed, source)``.
 
-        Independent of call order and process, unlike the seed
-        implementation's shared mutating generator — identical calls
-        now return identical maps.
+        ``source`` is a query (per-query sampling: the §5.1 scope
+        sample) or a string tag (per-table sampling: a sketch backend's
+        reservoir).  Independent of call order and process, unlike the
+        seed implementation's shared mutating generator — identical
+        calls return identical samples, so approximate results are
+        reproducible per ``(table, config, query)``.
         """
-        return np.random.default_rng(
-            [self._config.seed, query_fingerprint(query)]
-        )
+        if isinstance(source, ConjunctiveQuery):
+            fingerprint = query_fingerprint(source)
+        else:
+            fingerprint = zlib.crc32(str(source).encode("utf-8"))
+        return np.random.default_rng([self._config.seed, fingerprint])
 
     # ------------------------------------------------------------------ #
     # Scoping and statistics
@@ -489,8 +183,22 @@ class ExecutionContext:
             self._scopes[query] = table
         return table
 
-    def stats_for(self, table: Table) -> TableStats:
-        """The memoized statistics block for ``table``.
+    def _new_backend(self, table: Table) -> StatsBackend:
+        """Build the backend ``config.fidelity`` asks for, seeded
+        deterministically per ``(seed, table)`` via :meth:`child_rng`."""
+        fidelity = self._config.fidelity
+        return make_backend(
+            table,
+            fidelity,
+            rng=self.child_rng(f"sketch-backend:{table_fingerprint(table)}"),
+            counters=self._kind_counters[
+                "sketch" if fidelity.is_sketch else "exact"
+            ],
+            lock=self._lock,
+        )
+
+    def stats_for(self, table: Table) -> StatsBackend:
+        """The statistics backend for ``table`` at the configured fidelity.
 
         Keyed by object identity — tables are immutable and the context
         holds a reference, so identity is stable for the cache lifetime.
@@ -499,28 +207,76 @@ class ExecutionContext:
             stats = self._stats.get(id(table))
             if stats is not None:
                 return stats
-            if (
+            over_budget = (
                 self._table is not None
                 and table is not self._table
                 and table.n_rows > _MAX_SCOPE_ROWS
-            ):
-                # An over-budget sample that scoped() refused to cache
-                # must not get pinned through its statistics block
-                # either; keep a single transient block, enough to
-                # share statistics between the stages of one pipeline
-                # run.
+            )
+        # Backend construction (a sketch backend draws its reservoir
+        # here) happens outside the lock; a concurrent race at worst
+        # builds one identical backend twice and the first insert wins.
+        if over_budget:
+            # An over-budget sample that scoped() refused to cache must
+            # not get pinned through its statistics block either; keep
+            # a single transient block, enough to share statistics
+            # between the stages of one pipeline run.
+            with self._lock:
+                if (
+                    self._transient_stats is not None
+                    and self._transient_stats.table is table
+                ):
+                    return self._transient_stats
+            backend = self._new_backend(table)
+            with self._lock:
                 if (
                     self._transient_stats is None
                     or self._transient_stats.table is not table
                 ):
-                    self._transient_stats = TableStats(
-                        table, counters=self.counters, lock=self._lock
-                    )
+                    self._transient_stats = backend
                 return self._transient_stats
-            stats = TableStats(table, counters=self.counters, lock=self._lock)
-            _bounded_put(self._stats, id(table), stats, _MAX_TABLE_STATS)
-            return stats
+        backend = self._new_backend(table)
+        with self._lock:
+            existing = self._stats.get(id(table))
+            if existing is not None:
+                return existing
+            _bounded_put(self._stats, id(table), backend, _MAX_TABLE_STATS)
+            return backend
 
-    def stats(self) -> TableStats:
-        """Statistics block of the base table."""
+    def stats(self) -> StatsBackend:
+        """Statistics backend of the base table."""
         return self.stats_for(self.table)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def backend_snapshot(self) -> dict:
+        """Per-backend-family cache/usage counters (JSON-ready).
+
+        Aggregates every live backend of this context by ``kind`` —
+        the service surfaces this through ``/metrics`` so operators can
+        see how much traffic each fidelity serves and how well its
+        caches behave.
+        """
+        with self._lock:
+            backends = list(self._stats.values())
+            if self._transient_stats is not None:
+                backends.append(self._transient_stats)
+        out: dict[str, dict] = {}
+        for kind, counters in self._kind_counters.items():
+            usage: dict[str, int] = {}
+            instances = 0
+            for backend in backends:
+                if backend.kind != kind:
+                    continue
+                instances += 1
+                for name, count in backend.snapshot()["usage"].items():
+                    usage[name] = usage.get(name, 0) + count
+            out[kind] = {
+                "instances": instances,
+                "hits": counters.hits,
+                "misses": counters.misses,
+                "hit_rate": counters.hit_rate,
+                "usage": usage,
+            }
+        return out

@@ -98,6 +98,27 @@ class Explorer:
         """Random seed for sampling determinism."""
         return self.configure(seed=seed)
 
+    def fidelity(self, fidelity: object) -> "Explorer":
+        """Execution fidelity: ``"exact"``, ``"sketch[:rows[:eps]]"``,
+        or a :class:`~repro.core.config.Fidelity` value."""
+        return self.configure(fidelity=fidelity)
+
+    def approximate(
+        self, budget_rows: int = 20_000, epsilon: float = 0.005
+    ) -> "Explorer":
+        """Answer from bounded sketches instead of full-table scans."""
+        from repro.core.config import Fidelity
+
+        return self.configure(
+            fidelity=Fidelity.sketch(budget_rows=budget_rows, epsilon=epsilon)
+        )
+
+    def exact(self) -> "Explorer":
+        """Full-fidelity execution (undoes :meth:`approximate`)."""
+        from repro.core.config import Fidelity
+
+        return self.configure(fidelity=Fidelity.exact())
+
     def with_pipeline(self, pipeline: Pipeline) -> "Explorer":
         """Swap in a custom stage composition."""
         self._pipeline = pipeline

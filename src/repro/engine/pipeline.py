@@ -64,6 +64,10 @@ class MapSet:
     clustering: MapClustering | None
     timings: StageTimings
     n_rows_used: int
+    #: Fidelity spec the answer was computed at (``"exact"`` or a
+    #: ``"sketch:<rows>:<eps>"`` budget) — provenance for clients and
+    #: the REPL, and part of the service result-cache key.
+    fidelity: str = "exact"
 
     @property
     def maps(self) -> tuple[DataMap, ...]:
@@ -155,4 +159,5 @@ class Pipeline:
             clustering=state.clustering,
             timings=timings,
             n_rows_used=state.n_rows_used,
+            fidelity=context.config.fidelity.spec(),
         )

@@ -76,7 +76,9 @@ class ScopeStage:
 
     def run(self, state: PipelineState, context: "ExecutionContext") -> None:
         state.scope = context.scoped(state.query)
-        state.n_rows_used = state.scope.n_rows
+        # The backend decides how many rows actually back the answer
+        # (a sketch backend measures over its bounded reservoir).
+        state.n_rows_used = context.stats_for(state.scope).n_rows
 
 
 def _require_scope(state: PipelineState, stage_name: str) -> "Table":
@@ -98,9 +100,14 @@ class CandidateStage:
     def run(self, state: PipelineState, context: "ExecutionContext") -> None:
         scope = _require_scope(state, self.name)
         stats = context.stats_for(scope)
+        # Attribute eligibility (role inference, distinct counts) is
+        # measured on the backend's effective rows, so a sketch-fidelity
+        # run never pays a full-table scan to enumerate candidates.
         state.candidates = [
             candidate
-            for attribute in candidate_attributes(scope, state.query)
+            for attribute in candidate_attributes(
+                stats.effective_table, state.query
+            )
             if not (
                 candidate := stats.cut_map(
                     state.query, attribute, context.config
@@ -132,7 +139,7 @@ class ClusteringStage:
         stats = context.stats_for(scope)
         described = stats.query_mask(state.query)
         n_described = int(described.sum())
-        if n_described in (0, scope.n_rows):
+        if n_described in (0, stats.n_rows):
             row_indices, scope_key = None, None
         else:
             row_indices, scope_key = np.flatnonzero(described), state.query
@@ -155,8 +162,13 @@ class MergeStage:
             return
         merge = MERGES.get(context.config.merge_method)
         scope = _require_scope(state, self.name)
+        # Merge operators measure covers (product) and re-CUT regions
+        # (composition) over a table; handing them the backend's
+        # effective rows keeps their cost bounded by the fidelity
+        # budget and their estimates consistent with every other stage.
+        measured = context.stats_for(scope).effective_table
         merged = [
-            merge(cluster, scope, context.config)
+            merge(cluster, measured, context.config)
             for cluster in state.clustering.clusters
         ]
         state.merged = [m for m in merged if not m.is_trivial]

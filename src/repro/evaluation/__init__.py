@@ -9,6 +9,7 @@ from repro.evaluation.metrics import (
     map_purity,
     map_recovery,
     purity,
+    ranked_map_agreement,
     region_balance,
     split_sse,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "map_recovery",
     "purity",
     "random_query",
+    "ranked_map_agreement",
     "region_balance",
     "split_sse",
 ]

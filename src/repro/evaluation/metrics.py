@@ -147,6 +147,42 @@ def best_map_purity(
     return max(map_purity(m, table, planted_labels) for m in maps)
 
 
+def ranked_map_agreement(
+    result_a: MapSet | Sequence[DataMap],
+    result_b: MapSet | Sequence[DataMap],
+    table: Table,
+    top_k: int = 3,
+) -> float:
+    """Agreement between the top-k maps of two ranked answers, in [0, 1].
+
+    For each top-k map of one answer, the best similarity
+    (1 − normalized VI, measured on ``table``) against the other
+    answer's top-k is found; the score is the symmetrized mean.  1.0
+    means the two answers reveal the same partitions (up to order);
+    0.0 means they are statistically independent.  This is the measure
+    the E18 speed-vs-accuracy experiment reports for approximate
+    (sketch-fidelity) versus exact execution.
+    """
+    from repro.core.distance import map_nvi
+
+    maps_a = list(result_a.maps if isinstance(result_a, MapSet) else result_a)
+    maps_b = list(result_b.maps if isinstance(result_b, MapSet) else result_b)
+    maps_a, maps_b = maps_a[:top_k], maps_b[:top_k]
+    if not maps_a and not maps_b:
+        return 1.0
+    if not maps_a or not maps_b:
+        return 0.0
+    similarity = [
+        [1.0 - map_nvi(a, b, table) for b in maps_b] for a in maps_a
+    ]
+    best_a = sum(max(row) for row in similarity) / len(maps_a)
+    best_b = sum(
+        max(similarity[i][j] for i in range(len(maps_a)))
+        for j in range(len(maps_b))
+    ) / len(maps_b)
+    return (best_a + best_b) / 2.0
+
+
 def split_sse(values: np.ndarray, cut_points: Sequence[float]) -> float:
     """Within-partition sum of squared deviations of a 1-D split.
 

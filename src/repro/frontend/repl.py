@@ -11,6 +11,7 @@ Commands::
     drill <i>       submit region i of the current map for exploration
     back            pop one drill-down level
     where           show the breadcrumb trail
+    fidelity [spec] show or switch execution fidelity (exact / sketch)
     serve [port]    expose this table through an exploration service
     connect <url>   attach to a running exploration service
     remote          answer the current query through the service
@@ -48,6 +49,7 @@ HELP_TEXT = """commands:
   examples <i> representative tuples of region i (§5.2)
   back         return to the previous query
   where        show the exploration breadcrumb
+  fidelity [spec] show or set fidelity: exact, sketch[:rows[:eps]]
   serve [port] start an HTTP exploration service for this table
   connect <url> attach to a running exploration service
   remote       answer the current query via the connected service
@@ -130,6 +132,8 @@ class ExplorerRepl:
             self._print(render_examples(examples, title="representatives"))
         elif command == "where":
             self._print(render_breadcrumb(self._session.breadcrumb()))
+        elif command == "fidelity":
+            self._fidelity(argument)
         elif command == "serve":
             self._serve(argument)
         elif command == "connect":
@@ -140,6 +144,28 @@ class ExplorerRepl:
             self._print(HELP_TEXT)
         else:
             self._print(f"unknown command {command!r}; try 'help'")
+
+    # ------------------------------------------------------------------ #
+    # Fidelity
+    # ------------------------------------------------------------------ #
+
+    def _fidelity(self, argument: str) -> None:
+        """Show or switch the session's execution fidelity.
+
+        ``fidelity`` alone reports the current setting;
+        ``fidelity sketch:20000`` (or ``exact``) re-answers the whole
+        breadcrumb at the new fidelity, so the drill-down position and
+        history survive the switch.
+        """
+        argument = argument.strip()
+        if not argument:
+            fidelity = self._session.atlas.config.fidelity
+            self._print(f"fidelity: {fidelity.spec()}")
+            return
+        map_set = self._session.reconfigure(fidelity=argument)
+        fidelity = self._session.atlas.config.fidelity
+        self._print(f"fidelity set to {fidelity.spec()}")
+        self._print(render_map_set(map_set, self._session.atlas.table))
 
     # ------------------------------------------------------------------ #
     # Service bridge (`serve` / `connect` / `remote`)
@@ -188,7 +214,10 @@ class ExplorerRepl:
             raise AtlasError("not connected; use 'connect <url>' first")
         table = self._session.atlas.table
         query = self._session.current.query
-        response = self._client.explore(table.name, query)
+        # Ship the session's fidelity so the remote answer matches what
+        # the local loop would show for the same query.
+        fidelity = self._session.atlas.config.fidelity.spec()
+        response = self._client.explore(table.name, query, fidelity=fidelity)
         provenance = "result cache" if response.cached else (
             f"computed in {response.elapsed:.3f}s"
         )
@@ -253,12 +282,19 @@ def main(argv: list[str] | None = None) -> int:
         "--max-maps", type=int, default=None,
         help="cap on the number of maps per answer",
     )
+    parser.add_argument(
+        "--fidelity", default=None,
+        help="execution fidelity: 'exact' (default) or "
+             "'sketch[:rows[:epsilon]]' for bounded approximate answers",
+    )
     arguments = parser.parse_args(argv)
 
     table = read_csv(arguments.csv)
     config = AtlasConfig()
     if arguments.max_maps is not None:
         config = config.replace(max_maps=arguments.max_maps)
+    if arguments.fidelity is not None:
+        config = config.replace(fidelity=arguments.fidelity)
 
     initial_query: ConjunctiveQuery | None = None
     if arguments.query:

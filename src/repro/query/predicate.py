@@ -364,9 +364,14 @@ _PREDICATE_KINDS = {
 
 
 def _fmt(value: float) -> str:
-    """Format a bound compactly: integers without decimals, inf as symbol."""
+    """Format a bound compactly: integers without decimals, inf as symbol.
+
+    Non-integer bounds use ``repr`` (the shortest digits that parse
+    back to the same float) — ``%g``'s 6-significant-digit rounding
+    broke the describe → parse round trip on bounds like ``-999999.5``.
+    """
     if math.isinf(value):
         return "-inf" if value < 0 else "inf"
     if float(value).is_integer():
         return str(int(value))
-    return f"{value:g}"
+    return repr(float(value))

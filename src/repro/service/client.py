@@ -20,7 +20,7 @@ import time
 import urllib.error
 import urllib.request
 
-from repro.core.config import AtlasConfig
+from repro.core.config import AtlasConfig, Fidelity
 from repro.query.query import ConjunctiveQuery
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -87,6 +87,7 @@ class ServiceClient:
         config: "dict | AtlasConfig | None" = None,
         use_cache: bool = True,
         *,
+        fidelity: "str | Fidelity | None" = None,
         retry_busy: int = 0,
         busy_backoff: float = 0.05,
     ) -> ExploreResponse:
@@ -94,16 +95,22 @@ class ServiceClient:
 
         ``query`` accepts the same shapes as the local facade: ``None``
         (whole table), paper-syntax text, a wire dict, or a parsed
-        :class:`ConjunctiveQuery` (serialized transparently).  On a 429
-        rejection the call retries up to ``retry_busy`` times, sleeping
-        ``busy_backoff * attempt`` seconds between tries.
+        :class:`ConjunctiveQuery` (serialized transparently).
+        ``fidelity`` asks the server for a specific execution fidelity
+        (``"exact"``, ``"sketch[:rows[:eps]]"``, or a
+        :class:`Fidelity`).  On a 429 rejection the call retries up to
+        ``retry_busy`` times, sleeping ``busy_backoff * attempt``
+        seconds between tries.
         """
         if isinstance(query, ConjunctiveQuery):
             query = query.to_dict()
         if isinstance(config, AtlasConfig):
             config = config.to_dict()
+        if isinstance(fidelity, Fidelity):
+            fidelity = fidelity.spec()
         request = ExploreRequest(
-            table=table, query=query, config=config, use_cache=use_cache
+            table=table, query=query, config=config, use_cache=use_cache,
+            fidelity=fidelity,
         )
         attempt = 0
         while True:

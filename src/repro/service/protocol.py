@@ -211,6 +211,7 @@ def map_set_to_dict(map_set: MapSet) -> dict:
         "ranked": [ranked_map_to_dict(r) for r in map_set.ranked],
         "timings": timings_to_dict(map_set.timings),
         "n_rows_used": map_set.n_rows_used,
+        "fidelity": map_set.fidelity,
     }
 
 
@@ -225,6 +226,7 @@ def map_set_from_dict(data: dict) -> MapSet:
             clustering=None,
             timings=timings_from_dict(data["timings"]),
             n_rows_used=int(data["n_rows_used"]),
+            fidelity=str(data.get("fidelity", "exact")),
         )
     except KeyError as exc:
         raise ProtocolError(f"map-set payload missing field {exc}") from None
@@ -283,13 +285,17 @@ class ExploreRequest:
     the paper's textual syntax, or a structured
     :meth:`~repro.query.query.ConjunctiveQuery.to_dict` payload.
     ``config`` holds :class:`AtlasConfig` *overrides* (a sparse dict),
-    applied over the service's default configuration.
+    applied over the service's default configuration.  ``fidelity`` is
+    a :meth:`~repro.core.config.Fidelity.spec` string (``"exact"``,
+    ``"sketch[:rows[:eps]]"``) applied on top of ``config`` — the
+    one-flag way for a client to trade accuracy for latency.
     """
 
     table: str
     query: str | dict | None = None
     config: dict | None = None
     use_cache: bool = True
+    fidelity: str | None = None
 
     def to_dict(self) -> dict:
         out: dict = {"table": self.table, "use_cache": self.use_cache}
@@ -297,6 +303,8 @@ class ExploreRequest:
             out["query"] = self.query
         if self.config:
             out["config"] = dict(self.config)
+        if self.fidelity is not None:
+            out["fidelity"] = self.fidelity
         return out
 
     @classmethod
@@ -317,11 +325,18 @@ class ExploreRequest:
         config = data.get("config")
         if config is not None and not isinstance(config, dict):
             raise ProtocolError("'config' must be an object of overrides")
+        fidelity = data.get("fidelity")
+        if fidelity is not None and not isinstance(fidelity, str):
+            raise ProtocolError(
+                "'fidelity' must be a spec string like 'exact' or "
+                f"'sketch:20000', got {type(fidelity).__name__}"
+            )
         return cls(
             table=table,
             query=query,
             config=config,
             use_cache=bool(data.get("use_cache", True)),
+            fidelity=fidelity,
         )
 
     def resolve_query(self) -> ConjunctiveQuery:
@@ -329,8 +344,11 @@ class ExploreRequest:
         return resolve_query_payload(self.query)
 
     def resolve_config(self, base: AtlasConfig) -> AtlasConfig:
-        """``base`` with this request's overrides applied."""
-        return apply_config_overrides(base, self.config)
+        """``base`` with this request's overrides (and fidelity) applied."""
+        resolved = apply_config_overrides(base, self.config)
+        if self.fidelity is not None:
+            resolved = resolved.replace(fidelity=self.fidelity)
+        return resolved
 
 
 @dataclasses.dataclass(frozen=True)

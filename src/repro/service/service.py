@@ -27,7 +27,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from threading import Lock
 
-from repro.core.config import AtlasConfig
+from repro.core.config import AtlasConfig, Fidelity
 from repro.dataset.table import Table
 from repro.db.connection import Connection
 from repro.engine.context import (
@@ -239,16 +239,21 @@ class ExplorationService:
         query: "str | dict | ConjunctiveQuery | None" = None,
         config: dict | AtlasConfig | None = None,
         use_cache: bool = True,
+        fidelity: "str | Fidelity | None" = None,
     ) -> ExploreResponse:
         """Answer one query; the in-process twin of ``POST /explore``.
 
         ``use_cache=False`` bypasses the result cache entirely (neither
         read nor written) — the cold path benchmarks use it.
+        ``fidelity`` overrides the execution fidelity on top of
+        ``config`` (a spec string or :class:`Fidelity`).
         """
         self._metrics.count("received")
         try:
             resolved_query = self._coerce_query(query)
             resolved_config = self._coerce_config(config)
+            if fidelity is not None:
+                resolved_config = resolved_config.replace(fidelity=fidelity)
             table_obj = self._resolve_table(table)
         except AdmissionError:  # pragma: no cover - defensive
             raise
@@ -256,8 +261,13 @@ class ExplorationService:
             self._metrics.count("failed")
             raise
 
+        # The fidelity spec is a *dedicated* key component (it also
+        # travels inside the config key): an approximate and an exact
+        # answer for the same query fingerprint must never collide,
+        # even if a future config-key change drops or reorders fields.
         cache_key = (
             table,
+            resolved_config.fidelity.spec(),
             self._config_key(resolved_config),
             query_fingerprint(resolved_query),
             order_sensitive_key(resolved_query),
@@ -296,6 +306,7 @@ class ExplorationService:
             query=request.query,
             config=request.config,
             use_cache=request.use_cache,
+            fidelity=request.fidelity,
         )
 
     def _admit(self) -> None:
@@ -362,10 +373,32 @@ class ExplorationService:
         hits = sum(c.counters.hits for c in contexts)
         misses = sum(c.counters.misses for c in contexts)
         total = hits + misses
+        # Per-backend-family breakdown: how much traffic each fidelity
+        # serves and how its caches behave, aggregated over contexts.
+        backends: dict[str, dict] = {}
+        for context in contexts:
+            for kind, stats in context.backend_snapshot().items():
+                merged = backends.setdefault(
+                    kind,
+                    {"instances": 0, "hits": 0, "misses": 0, "usage": {}},
+                )
+                merged["instances"] += stats["instances"]
+                merged["hits"] += stats["hits"]
+                merged["misses"] += stats["misses"]
+                for name, count in stats["usage"].items():
+                    merged["usage"][name] = (
+                        merged["usage"].get(name, 0) + count
+                    )
+        for merged in backends.values():
+            looked_up = merged["hits"] + merged["misses"]
+            merged["hit_rate"] = (
+                merged["hits"] / looked_up if looked_up else 0.0
+            )
         snapshot["statistics_cache"] = {
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / total if total else 0.0,
+            "backends": backends,
         }
         with self._admission:
             pending = self._pending

@@ -64,6 +64,71 @@ class MisraGriesSketch:
         for item in items:
             self.insert(item)
 
+    def merge(self, other: "MisraGriesSketch") -> "MisraGriesSketch":
+        """Combine two summaries (Agarwal et al., mergeable summaries).
+
+        Counters are added, then reduced back to the capacity by
+        subtracting the ``(capacity + 1)``-th largest combined count
+        from every counter and dropping the non-positive remainder.
+        The result keeps the Misra–Gries guarantee over the combined
+        stream: every reported count under-estimates the true count by
+        at most ``(n_a + n_b) / (capacity + 1)``.  The operation is
+        deterministic and exactly commutative; both bracketings of a
+        three-way merge satisfy the same error bound.
+        """
+        if other.capacity != self._capacity:
+            raise SketchError(
+                "cannot merge sketches of different capacities "
+                f"({self._capacity} vs {other.capacity})"
+            )
+        combined: dict[str, int] = dict(self._counters)
+        for item, count in other._counters.items():
+            combined[item] = combined.get(item, 0) + count
+        if len(combined) > self._capacity:
+            offset = sorted(combined.values(), reverse=True)[self._capacity]
+            combined = {
+                item: count - offset
+                for item, count in combined.items()
+                if count - offset > 0
+            }
+        merged = MisraGriesSketch(capacity=self._capacity)
+        merged._counters = combined
+        merged._count = self._count + other._count
+        return merged
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": "misra_gries",
+            "capacity": self._capacity,
+            "count": self._count,
+            "counters": dict(sorted(self._counters.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MisraGriesSketch":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        try:
+            sketch = cls(capacity=int(data["capacity"]))
+            counters = {
+                str(item): int(count)
+                for item, count in dict(data["counters"]).items()
+            }
+            count = int(data["count"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SketchError(f"malformed frequency payload: {exc}") from exc
+        if len(counters) > sketch.capacity or any(
+            c <= 0 for c in counters.values()
+        ):
+            raise SketchError("inconsistent frequency payload")
+        if count < sum(counters.values()):
+            raise SketchError(
+                "inconsistent frequency payload: counters exceed count"
+            )
+        sketch._counters = counters
+        sketch._count = count
+        return sketch
+
     def heavy_hitters(self, min_fraction: float = 0.0) -> dict[str, int]:
         """Estimated counts of retained items.
 

@@ -128,6 +128,86 @@ class GKQuantileSketch:
             i -= 1
 
     # ------------------------------------------------------------------ #
+    # Merging and serde
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "GKQuantileSketch") -> "GKQuantileSketch":
+        """Combine two summaries over the concatenated streams.
+
+        Standard GK merge: the tuple lists are interleaved by value and
+        each tuple's ``delta`` absorbs the rank uncertainty of the next
+        tuple from the *other* summary (``g`` values are untouched, so
+        the ``sum(g) == count`` invariant is preserved).  The result is
+        then compressed under its own threshold.  Rank error of the
+        merged summary is bounded by ``max(ε_a, ε_b)`` on each input's
+        share and by ``ε_a + ε_b`` overall — the classic bound for
+        merging GK summaries.
+        """
+        merged = GKQuantileSketch(
+            epsilon=max(self._epsilon, other._epsilon)
+        )
+        merged._count = self._count + other._count
+        a, b = self._tuples, other._tuples
+        combined: list[_Tuple] = []
+        i = j = 0
+        while i < len(a) or j < len(b):
+            take_a = j >= len(b) or (
+                i < len(a) and a[i].value <= b[j].value
+            )
+            current, others, position = (
+                (a[i], b, j) if take_a else (b[j], a, i)
+            )
+            if position < len(others):
+                nxt = others[position]
+                delta = current.delta + nxt.g + nxt.delta - 1
+            else:
+                delta = current.delta
+            combined.append(_Tuple(current.value, current.g, max(0, delta)))
+            if take_a:
+                i += 1
+            else:
+                j += 1
+        merged._tuples = combined
+        merged._compress()
+        return merged
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": "gk_quantile",
+            "epsilon": self._epsilon,
+            "count": self._count,
+            "tuples": [[t.value, t.g, t.delta] for t in self._tuples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GKQuantileSketch":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        try:
+            sketch = cls(epsilon=float(data["epsilon"]))
+            tuples = [
+                _Tuple(float(value), int(g), int(delta))
+                for value, g, delta in data["tuples"]
+            ]
+            count = int(data["count"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SketchError(f"malformed quantile payload: {exc}") from exc
+        if sum(t.g for t in tuples) != count:
+            raise SketchError(
+                "inconsistent quantile payload: g values do not sum to count"
+            )
+        if any(
+            earlier.value > later.value
+            for earlier, later in zip(tuples, tuples[1:])
+        ):
+            raise SketchError(
+                "inconsistent quantile payload: tuples out of order"
+            )
+        sketch._tuples = tuples
+        sketch._count = count
+        return sketch
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 

@@ -61,6 +61,87 @@ class ReservoirSampler:
         for item in items:
             self.insert(item)
 
+    # ------------------------------------------------------------------ #
+    # Merging and serde
+    # ------------------------------------------------------------------ #
+
+    def merge(
+        self, other: "ReservoirSampler",
+        rng: np.random.Generator | int | None = None,
+    ) -> "ReservoirSampler":
+        """Combine two reservoirs into one over the union of streams.
+
+        Standard uniform-sample merge: when the combined items fit the
+        capacity they are concatenated (deterministic — merging is then
+        exactly associative and commutative up to item order); otherwise
+        the number of survivors drawn from ``self`` follows a
+        hypergeometric law weighted by the stream sizes, which keeps the
+        result a uniform sample of the union.  ``rng`` makes the
+        subsampling reproducible.
+        """
+        if other.capacity != self._capacity:
+            raise SketchError(
+                "cannot merge reservoirs of different capacities "
+                f"({self._capacity} vs {other.capacity})"
+            )
+        generator = (
+            rng if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        merged = ReservoirSampler(self._capacity, rng=generator)
+        merged._seen = self._seen + other._seen
+        mine, theirs = list(self._items), list(other._items)
+        if len(mine) + len(theirs) <= self._capacity:
+            merged._items = mine + theirs
+            return merged
+        from_self = int(
+            generator.hypergeometric(self._seen, other._seen, self._capacity)
+        )
+        # Clamp to what each side can actually supply.
+        from_self = min(from_self, len(mine))
+        from_self = max(from_self, self._capacity - len(theirs))
+        keep_mine = generator.choice(len(mine), size=from_self, replace=False)
+        keep_theirs = generator.choice(
+            len(theirs), size=self._capacity - from_self, replace=False
+        )
+        merged._items = [mine[i] for i in sorted(keep_mine)] + [
+            theirs[i] for i in sorted(keep_theirs)
+        ]
+        return merged
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": "reservoir",
+            "capacity": self._capacity,
+            "seen": self._seen,
+            "items": list(self._items),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, rng: np.random.Generator | int | None = None
+    ) -> "ReservoirSampler":
+        """Rebuild a reservoir from :meth:`to_dict` output.
+
+        The RNG is not part of the serialized state; pass one to make
+        future inserts reproducible.
+        """
+        try:
+            sampler = cls(int(data["capacity"]), rng=rng)
+            items = list(data["items"])
+            seen = int(data["seen"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SketchError(f"malformed reservoir payload: {exc}") from exc
+        if seen < len(items) or len(items) > sampler.capacity:
+            raise SketchError(
+                f"inconsistent reservoir payload: {len(items)} items, "
+                f"{seen} seen, capacity {sampler.capacity}"
+            )
+        sampler._items = items
+        sampler._seen = seen
+        return sampler
+
 
 class GrowingSample:
     """Nested uniform samples of a fixed table, for anytime refinement.

@@ -104,3 +104,56 @@ class TestPersonalization:
         baseline = [r.map.label for r in session.current.map_set.ranked]
         ranked = [r.map.label for r in session.personalized_maps(blend=0.0)]
         assert ranked == baseline
+
+
+class TestReconfigure:
+    def test_keeps_history_and_reanswers(self, session):
+        session.start(figure2_query())
+        session.drill(0)
+        trail_before = session.breadcrumb()
+        map_set = session.reconfigure(fidelity="sketch:1000")
+        assert session.breadcrumb() == trail_before
+        assert session.depth == 2
+        assert map_set.fidelity == "sketch:1000:0.005"
+        # All history answers were re-answered at the new fidelity.
+        assert all(
+            step.map_set.fidelity == "sketch:1000:0.005"
+            for step in session._history
+        )
+        # back() still pops to the (re-answered) root.
+        assert session.back().fidelity == "sketch:1000:0.005"
+
+    def test_profile_not_double_observed(self, session):
+        session.start(figure2_query())
+        session.drill(0)
+        weights_before = dict(session.profile.weights)
+        session.reconfigure(fidelity="sketch:1000")
+        assert dict(session.profile.weights) == weights_before
+
+    def test_requires_started_session(self, census_small):
+        from repro.core.session import ExplorationSession
+        from repro.errors import MapError
+
+        fresh = ExplorationSession(census_small)
+        with pytest.raises(MapError):
+            fresh.reconfigure(fidelity="sketch:1000")
+
+    def test_custom_pipeline_survives(self, census_small):
+        from repro.engine import explorer
+        from repro.engine.pipeline import Pipeline
+        from repro.engine.stages import default_stages
+
+        class TagStage:
+            name = "tag"
+
+            def run(self, state, context):
+                state.meta["tagged"] = True
+
+        pipeline = Pipeline([TagStage(), *default_stages()])
+        session = explorer(census_small).with_pipeline(pipeline).session()
+        session.start(figure2_query())
+        session.reconfigure(fidelity="sketch:1000")
+        # The custom stage still runs after the switch: its timing key
+        # shows up in the re-answered result.
+        extra = dict(session.current.map_set.timings.extra)
+        assert "tag" in extra

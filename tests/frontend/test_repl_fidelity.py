@@ -1,0 +1,87 @@
+"""The REPL ``fidelity`` command and the CLI ``--fidelity`` flag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AtlasConfig
+from repro.evaluation.workloads import FIGURE2_QUERY_TEXT
+from repro.frontend.repl import run_script
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.datagen import census_table
+
+    return census_table(n_rows=2000, seed=11)
+
+
+class TestFidelityCommand:
+    def test_shows_current_fidelity(self, table):
+        out = run_script(table, ["fidelity", "quit"])
+        assert "fidelity: exact" in out
+
+    def test_shows_configured_fidelity(self, table):
+        out = run_script(
+            table, ["fidelity", "quit"],
+            config=AtlasConfig(fidelity="sketch:500"),
+        )
+        assert "fidelity: sketch:500:0.005" in out
+
+    def test_switch_re_answers_current_query(self, table):
+        out = run_script(
+            table,
+            ["fidelity sketch:500", "fidelity", "quit"],
+            initial_query=FIGURE2_QUERY_TEXT,
+        )
+        assert "fidelity set to sketch:500:0.005" in out
+        assert "fidelity: sketch:500:0.005" in out
+        # The current query was re-answered at the new fidelity.
+        assert out.count("map(s) for query") >= 2
+
+    def test_switch_back_to_exact(self, table):
+        out = run_script(
+            table,
+            ["fidelity sketch:500", "fidelity exact", "fidelity", "quit"],
+        )
+        assert "fidelity set to exact" in out
+        assert out.rstrip().splitlines()[-2].endswith("fidelity: exact") or (
+            "fidelity: exact" in out
+        )
+
+    def test_bad_spec_reports_error(self, table):
+        out = run_script(table, ["fidelity warp", "quit"])
+        assert "error:" in out
+
+    def test_switch_preserves_drilldown_history(self, table):
+        # Drill one level, switch fidelity, then `back` must still pop
+        # to the root and `where` must show the full trail.
+        out = run_script(
+            table,
+            ["drill 0", "fidelity sketch:500", "where", "back", "quit"],
+            initial_query=FIGURE2_QUERY_TEXT,
+        )
+        assert "fidelity set to sketch:500:0.005" in out
+        assert "error:" not in out
+        assert "> " in out  # two-level breadcrumb survived the switch
+
+
+class TestCliFlag:
+    def test_fidelity_flag_parsed(self, table, tmp_path, monkeypatch):
+        import io
+
+        from repro.dataset.io_csv import write_csv
+        from repro.frontend import repl as repl_module
+
+        path = tmp_path / "census.csv"
+        write_csv(table, path)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("fidelity\nquit\n")
+        )
+        captured = io.StringIO()
+        monkeypatch.setattr("sys.stdout", captured)
+        exit_code = repl_module.main(
+            [str(path), "--fidelity", "sketch:750"]
+        )
+        assert exit_code == 0
+        assert "fidelity: sketch:750:0.005" in captured.getvalue()

@@ -1,0 +1,240 @@
+"""Property-based tests for sketch merging and serialization.
+
+The merge operators follow the mergeable-summaries contract:
+
+* **Misra–Gries** merging is deterministic and *exactly commutative*;
+  associativity holds at the guarantee level — every bracketing of a
+  three-way merge under-estimates true counts by at most
+  ``n / (capacity + 1)`` over the combined stream.
+* **Greenwald–Khanna** merging preserves the ``sum(g) == count``
+  invariant and answers quantiles within the combined rank-error
+  budget for any merge order.
+* **Reservoir** merging is exactly associative and commutative (up to
+  item order) while the union fits the capacity, and structurally
+  sound (uniform subsample of the union) beyond it.
+
+Serialization mirrors the repository-wide serde contract
+(:meth:`AtlasConfig.to_dict`): symmetric ``to_dict``/``from_dict``
+with typed errors on malformed payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.sketch.frequency import MisraGriesSketch
+from repro.sketch.quantile import GKQuantileSketch
+from repro.sketch.reservoir import ReservoirSampler
+
+value_streams = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=400
+)
+label_streams = st.lists(
+    st.sampled_from("abcdefghij"), min_size=0, max_size=400
+)
+
+
+def mg_from(items: list[str], capacity: int) -> MisraGriesSketch:
+    sketch = MisraGriesSketch(capacity=capacity)
+    sketch.extend(items)
+    return sketch
+
+
+def gk_from(values: list[float], epsilon: float = 0.05) -> GKQuantileSketch:
+    sketch = GKQuantileSketch(epsilon=epsilon)
+    sketch.extend(values)
+    return sketch
+
+
+class TestMisraGriesMerge:
+    @given(a=label_streams, b=label_streams, capacity=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_commutative_exactly(self, a, b, capacity):
+        left = mg_from(a, capacity).merge(mg_from(b, capacity))
+        right = mg_from(b, capacity).merge(mg_from(a, capacity))
+        assert left.to_dict() == right.to_dict()
+
+    @given(
+        a=label_streams, b=label_streams, c=label_streams,
+        capacity=st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_associative_bracketings_keep_the_guarantee(self, a, b, c, capacity):
+        items = a + b + c
+        true_counts: dict[str, int] = {}
+        for item in items:
+            true_counts[item] = true_counts.get(item, 0) + 1
+        bound = len(items) / (capacity + 1)
+        sa, sb, sc = (mg_from(x, capacity) for x in (a, b, c))
+        for merged in (sa.merge(sb).merge(sc), sa.merge(sb.merge(sc))):
+            assert merged.count == len(items)
+            for item, estimate in merged.heavy_hitters().items():
+                true = true_counts.get(item, 0)
+                assert true - bound <= estimate <= true
+
+    @given(items=label_streams, capacity=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_with_empty_is_identity(self, items, capacity):
+        sketch = mg_from(items, capacity)
+        empty = MisraGriesSketch(capacity=capacity)
+        assert sketch.merge(empty).to_dict() == sketch.to_dict()
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(SketchError):
+            MisraGriesSketch(4).merge(MisraGriesSketch(5))
+
+    @given(items=label_streams, capacity=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_serde_round_trip(self, items, capacity):
+        sketch = mg_from(items, capacity)
+        restored = MisraGriesSketch.from_dict(sketch.to_dict())
+        assert restored.to_dict() == sketch.to_dict()
+        # The restored sketch keeps absorbing the stream identically.
+        sketch.extend("abc")
+        restored.extend("abc")
+        assert restored.to_dict() == sketch.to_dict()
+
+    def test_malformed_payloads_rejected(self):
+        good = mg_from(list("aab"), 4).to_dict()
+        for corrupt in (
+            {},
+            {**good, "counters": {"a": -1}},
+            {**good, "count": 1},
+            {**good, "capacity": 0},
+        ):
+            with pytest.raises(SketchError):
+                MisraGriesSketch.from_dict(corrupt)
+
+
+class TestGKMerge:
+    @given(a=value_streams, b=value_streams)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_counts_and_g_invariant(self, a, b):
+        merged = gk_from(a).merge(gk_from(b))
+        assert merged.count == len(a) + len(b)
+        assert sum(g for _, g, _ in merged.merge_summary()) == merged.count
+
+    @given(
+        a=value_streams.filter(bool), b=value_streams, c=value_streams,
+        quantile=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bracketings_answer_within_combined_error(self, a, b, c, quantile):
+        epsilon = 0.05
+        ordered = np.sort(np.asarray(a + b + c))
+        n = ordered.size
+        sa, sb, sc = (gk_from(x, epsilon) for x in (a, b, c))
+        for merged in (sa.merge(sb).merge(sc), sa.merge(sb.merge(sc))):
+            answer = merged.query(quantile)
+            lo = np.searchsorted(ordered, answer, side="left")
+            hi = np.searchsorted(ordered, answer, side="right")
+            target = quantile * n
+            # Merging k summaries relaxes the rank error to ~k·ε.
+            slack = max(3 * epsilon * n, 1.0)
+            assert lo - slack <= target <= hi + slack
+
+    @given(a=value_streams.filter(bool), b=value_streams.filter(bool))
+    @settings(max_examples=60, deadline=None)
+    def test_extremes_survive_merge(self, a, b):
+        merged = gk_from(a).merge(gk_from(b))
+        assert merged.query(0.0) == min(a + b)
+        assert merged.query(1.0) == max(a + b)
+
+    @given(values=value_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_with_empty_preserves_answers(self, values):
+        sketch = gk_from(values)
+        merged = sketch.merge(GKQuantileSketch(epsilon=0.05))
+        assert merged.count == sketch.count
+        if values:
+            assert merged.median() == sketch.median()
+
+    @given(values=value_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_serde_round_trip(self, values):
+        sketch = gk_from(values)
+        restored = GKQuantileSketch.from_dict(sketch.to_dict())
+        assert restored.to_dict() == sketch.to_dict()
+        if values:
+            assert restored.median() == sketch.median()
+
+    def test_malformed_payloads_rejected(self):
+        good = gk_from([1.0, 2.0, 3.0]).to_dict()
+        for corrupt in (
+            {},
+            {**good, "count": good["count"] + 1},
+            {**good, "tuples": [[2.0, 1, 0], [1.0, 2, 0]]},
+            {**good, "epsilon": 2.0},
+        ):
+            with pytest.raises(SketchError):
+                GKQuantileSketch.from_dict(corrupt)
+
+
+class TestReservoirMerge:
+    @given(
+        a=st.lists(st.integers(0, 10_000), max_size=200),
+        b=st.lists(st.integers(0, 10_000), max_size=200),
+        capacity=st.integers(1, 64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_structural_invariants(self, a, b, capacity):
+        ra = ReservoirSampler(capacity, rng=1)
+        ra.extend(a)
+        rb = ReservoirSampler(capacity, rng=2)
+        rb.extend(b)
+        merged = ra.merge(rb, rng=3)
+        assert merged.seen == len(a) + len(b)
+        assert len(merged.items) == min(capacity, len(ra.items) + len(rb.items))
+        pool = ra.items + rb.items
+        for item in merged.items:
+            pool.remove(item)  # multiset-subset of the union
+
+    @given(
+        a=st.lists(st.integers(), max_size=10),
+        b=st.lists(st.integers(), max_size=10),
+        c=st.lists(st.integers(), max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_assoc_comm_under_capacity(self, a, b, c):
+        # With everything fitting the reservoir, merge is concatenation:
+        # associative and commutative up to item order.
+        capacity = 64
+        make = lambda items, seed: (  # noqa: E731
+            lambda r: (r.extend(items), r)[1]
+        )(ReservoirSampler(capacity, rng=seed))
+        left = make(a, 1).merge(make(b, 2), rng=5).merge(make(c, 3), rng=6)
+        right = make(a, 1).merge(make(b, 2).merge(make(c, 3), rng=7), rng=8)
+        flipped = make(b, 2).merge(make(a, 1), rng=9)
+        assert sorted(left.items) == sorted(right.items) == sorted(a + b + c)
+        assert sorted(flipped.items) == sorted(a + b)
+        assert left.seen == right.seen == len(a) + len(b) + len(c)
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(SketchError):
+            ReservoirSampler(4).merge(ReservoirSampler(5))
+
+    @given(items=st.lists(st.integers(-50, 50), max_size=300),
+           capacity=st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_serde_round_trip(self, items, capacity):
+        sampler = ReservoirSampler(capacity, rng=0)
+        sampler.extend(items)
+        restored = ReservoirSampler.from_dict(sampler.to_dict())
+        assert restored.to_dict() == sampler.to_dict()
+
+    def test_malformed_payloads_rejected(self):
+        sampler = ReservoirSampler(2, rng=0)
+        sampler.extend([1, 2, 3])
+        good = sampler.to_dict()
+        for corrupt in (
+            {},
+            {**good, "seen": 1},
+            {**good, "items": [1, 2, 3, 4]},
+            {**good, "capacity": "x"},
+        ):
+            with pytest.raises(SketchError):
+                ReservoirSampler.from_dict(corrupt)

@@ -1,0 +1,111 @@
+"""Fidelity through the service: wire field, cache keys, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AtlasConfig, Fidelity
+from repro.service.protocol import ExploreRequest, ProtocolError
+
+
+class TestRequestWire:
+    def test_fidelity_round_trips(self):
+        request = ExploreRequest(
+            table="census", query="Age: [17, 90]", fidelity="sketch:2000"
+        )
+        data = request.to_dict()
+        assert data["fidelity"] == "sketch:2000"
+        assert ExploreRequest.from_dict(data) == request
+
+    def test_fidelity_omitted_when_unset(self):
+        assert "fidelity" not in ExploreRequest(table="census").to_dict()
+
+    def test_non_string_fidelity_rejected(self):
+        with pytest.raises(ProtocolError):
+            ExploreRequest.from_dict({"table": "census", "fidelity": 7})
+
+    def test_resolve_config_applies_fidelity(self):
+        request = ExploreRequest(table="census", fidelity="sketch:512:0.01")
+        resolved = request.resolve_config(AtlasConfig())
+        assert resolved.fidelity == Fidelity.sketch(
+            budget_rows=512, epsilon=0.01
+        )
+
+
+class TestResultCacheKeying:
+    """Regression: approximate and exact answers for the same query
+    fingerprint must never collide in the result cache."""
+
+    def test_exact_and_sketch_answers_do_not_collide(self, census_service):
+        exact = census_service.explore("census", "Age: [17, 90]")
+        approx = census_service.explore(
+            "census", "Age: [17, 90]", fidelity="sketch:1000"
+        )
+        assert not exact.cached
+        assert not approx.cached  # distinct key → no false cache hit
+        assert exact.map_set.fidelity == "exact"
+        assert approx.map_set.fidelity == "sketch:1000:0.005"
+        assert approx.map_set.n_rows_used == 1000
+
+        # Each fidelity now hits its own cached entry...
+        exact_again = census_service.explore("census", "Age: [17, 90]")
+        approx_again = census_service.explore(
+            "census", "Age: [17, 90]", fidelity="sketch:1000"
+        )
+        assert exact_again.cached and approx_again.cached
+        # ...and the cached answers kept their fidelity provenance.
+        assert exact_again.map_set.fidelity == "exact"
+        assert approx_again.map_set.fidelity == "sketch:1000:0.005"
+
+    def test_different_budgets_keyed_separately(self, census_service):
+        first = census_service.explore(
+            "census", "Age: [17, 90]", fidelity="sketch:500"
+        )
+        second = census_service.explore(
+            "census", "Age: [17, 90]", fidelity="sketch:1500"
+        )
+        assert not first.cached and not second.cached
+        assert first.map_set.n_rows_used == 500
+        assert second.map_set.n_rows_used == 1500
+
+    def test_fidelity_inside_config_override_equivalent(self, census_service):
+        via_flag = census_service.explore(
+            "census", "Age: [17, 45]", fidelity="sketch:800"
+        )
+        via_config = census_service.explore(
+            "census", "Age: [17, 45]", config={"fidelity": "sketch:800"}
+        )
+        # Same resolved config → the second call is a cache hit.
+        assert not via_flag.cached
+        assert via_config.cached
+        assert via_config.map_set.fidelity == "sketch:800:0.005"
+
+    def test_fidelity_object_accepted(self, census_service):
+        response = census_service.explore(
+            "census", None, fidelity=Fidelity.sketch(budget_rows=600)
+        )
+        assert response.map_set.n_rows_used == 600
+
+
+class TestMetrics:
+    def test_per_backend_counters_exposed(self, census_service):
+        census_service.explore("census", "Age: [17, 90]")
+        census_service.explore(
+            "census", "Age: [17, 90]", fidelity="sketch:1000"
+        )
+        backends = census_service.metrics()["statistics_cache"]["backends"]
+        assert backends["exact"]["instances"] >= 1
+        assert backends["sketch"]["instances"] >= 1
+        assert backends["exact"]["usage"]["cut_map"] >= 1
+        assert backends["sketch"]["usage"]["cut_map"] >= 1
+        for kind in ("exact", "sketch"):
+            stats = backends[kind]
+            assert stats["hits"] + stats["misses"] > 0
+            assert 0.0 <= stats["hit_rate"] <= 1.0
+
+    def test_bad_fidelity_counts_as_failed(self, census_service):
+        before = census_service.metrics()["requests"]["failed"]
+        with pytest.raises(Exception):
+            census_service.explore("census", None, fidelity="warp-speed")
+        after = census_service.metrics()["requests"]["failed"]
+        assert after == before + 1
