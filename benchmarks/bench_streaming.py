@@ -1,0 +1,258 @@
+"""E19 — streaming tables: incremental sketch maintenance vs rebuild.
+
+Production tables grow while users explore.  The streaming refactor's
+claim: when rows arrive, a sketch-fidelity backend is *maintained* —
+delta sketches are merged into the per-attribute GK / Misra–Gries
+summaries and the reservoir is topped up with a hypergeometric draw —
+instead of rebuilt, so the cost of staying query-ready is proportional
+to the delta, not the table.
+
+Measurements on a ≥1M-row census base receiving 10 append batches:
+
+1. **Maintenance cost** — per batch, time until the backend is
+   query-ready at the new version: ``ExecutionContext.advance``
+   (incremental) vs a fresh backend build + the same per-attribute
+   sketch builds (rebuild).  E19 requires ≥5× cumulative.
+2. **Answer agreement** — after the final batch, a drill-down workload
+   explored through the incrementally-maintained context vs a freshly
+   rebuilt one (same fidelity), scored with
+   :func:`~repro.evaluation.metrics.ranked_map_agreement`; E19 requires
+   ≥0.95 mean.  Exact execution at the final version is reported as a
+   reference point.
+3. **Version provenance** — every answer must carry the version of the
+   data it was computed against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py           # full E19
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke   # CI check
+
+The full run writes ``benchmarks/results/streaming_maintenance.txt``;
+the smoke run (small table, relaxed thresholds) only prints and
+asserts, so committed full-scale numbers are never overwritten by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import AtlasConfig, Fidelity       # noqa: E402
+from repro.datagen import census_table, split_for_streaming  # noqa: E402
+from repro.engine.context import ExecutionContext         # noqa: E402
+from repro.engine.pipeline import Pipeline                # noqa: E402
+from repro.evaluation.harness import ResultTable          # noqa: E402
+from repro.evaluation.metrics import ranked_map_agreement  # noqa: E402
+from repro.evaluation.workloads import figure2_query      # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def warm(context: ExecutionContext) -> tuple[list[str], list[str]]:
+    """Build the root-scope sketches and return their attribute lists."""
+    backend = context.stats()
+    Pipeline.default().run(None, context)
+    return (
+        sorted(backend._quantile_sketches),
+        sorted(backend._frequency_sketches),
+    )
+
+
+def rebuild_maintenance(
+    table, config: AtlasConfig, numeric: list[str], categorical: list[str]
+) -> tuple[float, ExecutionContext]:
+    """Seconds for a from-scratch, query-ready backend at ``table``."""
+
+    def build():
+        context = ExecutionContext(table, config)
+        backend = context.stats()  # draws the reservoir (full permutation)
+        for attribute in numeric:
+            backend.quantile_sketch(attribute)
+        for attribute in categorical:
+            backend.frequency_sketch(attribute)
+        return context
+
+    seconds, context = timed(build)
+    return seconds, context
+
+
+def session_workload(context: ExecutionContext) -> list:
+    """Root + survey + drill-downs, like the E18 interactive session."""
+    survey = figure2_query()
+    answer = Pipeline.default().run(survey, context)
+    queries = [None, survey]
+    for entry in answer.ranked[:3]:
+        queries.extend(entry.map.regions[:2])
+    return queries
+
+
+def run(
+    base_rows: int,
+    batch_rows: int,
+    n_batches: int,
+    budget: int,
+    seed: int,
+    *,
+    smoke: bool,
+) -> str:
+    total_rows = base_rows + n_batches * batch_rows
+    table = census_table(n_rows=total_rows, seed=seed)
+    initial, batches = split_for_streaming(
+        table, n_batches, initial_fraction=base_rows / total_rows
+    )
+    config = AtlasConfig(
+        fidelity=Fidelity.sketch(budget_rows=budget), seed=seed
+    )
+
+    # Incremental path: one long-lived context, maintained per batch.
+    incremental = ExecutionContext(initial, config)
+    numeric, categorical = warm(incremental)
+    current = initial
+    t_incremental = 0.0
+    t_rebuild = 0.0
+    rebuilt = None
+    versions = []
+    for batch in batches:
+        current = current.append(batch)
+        seconds, _ = timed(lambda: incremental.advance(current))
+        t_incremental += seconds
+        seconds, rebuilt = rebuild_maintenance(
+            current, config, numeric, categorical
+        )
+        t_rebuild += seconds
+        versions.append(
+            Pipeline.default().run(None, incremental).version
+        )
+    ratio = t_rebuild / t_incremental if t_incremental > 0 else float("inf")
+    assert versions == list(range(1, n_batches + 1)), versions
+    assert current.version == n_batches and current.n_rows == total_rows
+
+    # Agreement at the final version: maintained vs rebuilt (and exact).
+    queries = session_workload(incremental)
+    answers_incremental = [
+        Pipeline.default().run(q, incremental) for q in queries
+    ]
+    answers_rebuilt = [Pipeline.default().run(q, rebuilt) for q in queries]
+    exact_context = ExecutionContext(
+        current, config.replace(fidelity=Fidelity.exact())
+    )
+    answers_exact = [
+        Pipeline.default().run(q, exact_context) for q in queries
+    ]
+    vs_rebuild = [
+        ranked_map_agreement(a, b, current, top_k=3)
+        for a, b in zip(answers_incremental, answers_rebuilt)
+    ]
+    vs_exact = [
+        ranked_map_agreement(a, b, current, top_k=3)
+        for a, b in zip(answers_incremental, answers_exact)
+    ]
+    mean_rebuild = sum(vs_rebuild) / len(vs_rebuild)
+    mean_exact = sum(vs_exact) / len(vs_exact)
+
+    report = ResultTable(
+        ["measurement", "incremental", "rebuild", "ratio"],
+        title=(
+            f"E19: streaming maintenance — census, {base_rows:,} base rows "
+            f"+ {n_batches} x {batch_rows:,}-row appends, "
+            f"sketch:{budget}, seed {seed}"
+        ),
+    )
+    report.add_row(
+        [
+            f"maintenance, {n_batches} batches (s)",
+            f"{t_incremental:.3f}",
+            f"{t_rebuild:.3f}",
+            f"{ratio:.1f}x",
+        ]
+    )
+    report.add_row(
+        [
+            "per-batch maintenance (ms)",
+            f"{1000 * t_incremental / n_batches:.1f}",
+            f"{1000 * t_rebuild / n_batches:.1f}",
+            "",
+        ]
+    )
+    report.add_row(
+        ["top-3 agreement vs rebuild (mean)", f"{mean_rebuild:.4f}", "1.0000",
+         ""]
+    )
+    report.add_row(
+        ["top-3 agreement vs exact (mean)", f"{mean_exact:.4f}", "", ""]
+    )
+    report.add_row(
+        ["final version / rows", f"v{current.version}",
+         f"{current.n_rows:,}", ""]
+    )
+    text = report.render()
+    print()
+    print(text)
+
+    if smoke:
+        # CI health check: maintenance produces correct versions and
+        # answers that resemble a rebuild.  No speed claims on tiny
+        # tables / noisy runners.
+        assert mean_rebuild >= 0.7, (
+            f"smoke agreement {mean_rebuild:.3f} < 0.7"
+        )
+        assert all(
+            m.fidelity.startswith("sketch:") for m in answers_incremental
+        )
+        assert all(
+            m.version == n_batches for m in answers_incremental
+        )
+    else:
+        # The E19 acceptance thresholds.
+        assert ratio >= 5.0, (
+            f"E19 needs >=5x maintenance advantage, measured {ratio:.2f}x"
+        )
+        assert mean_rebuild >= 0.95, (
+            f"E19 needs agreement >=0.95 vs rebuild, measured "
+            f"{mean_rebuild:.4f}"
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "streaming_maintenance.txt").write_text(text + "\n")
+        print(f"\nwrote {RESULTS_DIR / 'streaming_maintenance.txt'}")
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base-rows", type=int, default=1_000_000,
+                        help="initial table size for the full experiment")
+    parser.add_argument("--batch-rows", type=int, default=2_000,
+                        help="rows per append batch")
+    parser.add_argument("--batches", type=int, default=10,
+                        help="number of append batches")
+    parser.add_argument("--budget", type=int, default=20_000,
+                        help="sketch fidelity row budget")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small, assertion-only CI run (20k rows; no results file)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        run(20_000, 400, 5, 5_000, args.seed, smoke=True)
+        print("\nsmoke ok")
+    else:
+        run(
+            args.base_rows, args.batch_rows, args.batches, args.budget,
+            args.seed, smoke=False,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,18 +126,22 @@ class AnytimeExplorer:
         mode materializes nested growing samples and runs the base
         configuration on each.
         """
+        # Snapshot the table up front: an advance() landing mid-run
+        # must not switch versions between ticks — anytime snapshots
+        # are only comparable against the same rows.
+        table = self._table
         target = self._config.fidelity
         if self._progressive:
             if target.is_sketch:
-                final_budget = min(target.budget_rows, self._table.n_rows)
+                final_budget = min(target.budget_rows, table.n_rows)
                 epsilon = target.epsilon
             else:
-                final_budget = self._table.n_rows
+                final_budget = table.n_rows
                 epsilon = Fidelity().epsilon
             budget = min(self._initial_size, final_budget)
             while budget < final_budget:
                 yield (
-                    self._table,
+                    table,
                     self._config.replace(
                         fidelity=Fidelity.sketch(
                             budget_rows=budget, epsilon=epsilon
@@ -149,7 +153,7 @@ class AnytimeExplorer:
                     max(budget + 1, int(budget * self._growth_factor)),
                     final_budget,
                 )
-            yield self._table, self._config, True
+            yield table, self._config, True
             return
         # Legacy schedule: exact pipeline over nested growing samples,
         # seeded through the deterministic per-query child generator.
@@ -157,9 +161,9 @@ class AnytimeExplorer:
         # approximation here; a sketch backend on top would sample the
         # sample, compounding error for no speedup.
         config = self._config.replace(fidelity=Fidelity.exact())
-        rng = ExecutionContext(self._table, config).child_rng(self._query)
+        rng = ExecutionContext(table, config).child_rng(self._query)
         sample = GrowingSample(
-            self._table,
+            table,
             initial_size=self._initial_size,
             growth_factor=self._growth_factor,
             rng=rng,
@@ -169,6 +173,24 @@ class AnytimeExplorer:
             if sample.exhausted:
                 return
             sample.grow()
+
+    def advance(self, new_table: Table) -> None:
+        """Re-target the explorer at an appended version of its table.
+
+        Takes effect at the next :meth:`ticks` / :meth:`run` call (a
+        schedule already being consumed keeps its version — anytime
+        snapshots must stay comparable across ticks).  Streaming
+        drivers call this between batches so a re-run answers against
+        fresh rows.
+        """
+        if new_table.version <= self._table.version:
+            raise MapError(
+                f"cannot advance from version {self._table.version} to "
+                f"{new_table.version}; versions must increase"
+            )
+        if new_table.column_names != self._table.column_names:
+            raise MapError("cannot advance onto a different schema")
+        self._table = new_table
 
     def ticks(self) -> Iterator[AnytimeResult]:
         """Yield snapshots of increasing fidelity until escalation ends.

@@ -107,3 +107,30 @@ class Atlas:
         return identical maps.
         """
         return self._pipeline.run(query or ConjunctiveQuery(), self._context)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def append(self, rows) -> Table:
+        """Append rows to the table and advance the engine onto them.
+
+        ``rows`` takes the shapes :meth:`Table.append` accepts (a
+        columnar mapping or a same-schema table).  The shared execution
+        context maintains its statistics incrementally — sketch
+        backends merge delta sketches and top up their reservoirs,
+        exact backends drop version-stale memos — so subsequent
+        explores answer at the new version without a cold start.
+        Returns the new (version-bumped) table.
+
+        The append builds on the *context's* table — the live version —
+        so engines sharing one context (a fluent explorer and its
+        session) can interleave appends without forking history.
+        """
+        return self.advance(self._context.table.append(rows))
+
+    def advance(self, new_table: Table) -> Table:
+        """Rebind the engine to an externally appended table version."""
+        self._context.advance(new_table)
+        self._table = new_table
+        return new_table

@@ -149,6 +149,38 @@ class ExplorationSession:
         self._cursor = 0
         return self.current.map_set
 
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def append(self, rows) -> Table:
+        """Append rows to the session's table (incremental maintenance).
+
+        The drill-down history keeps showing the answers it was built
+        from — maps are snapshots until :meth:`refresh` re-explores
+        them against the new version.  Returns the new table.
+        """
+        return self._atlas.append(rows)
+
+    def refresh(self) -> MapSet:
+        """Re-explore the whole breadcrumb against the current version.
+
+        Every query on the stack is re-answered through the (already
+        advanced) shared context, so the trail, the cursor map set, and
+        the learned interest profile all survive an append.  Re-answer,
+        not re-submit: the profile observed these queries once; new
+        data is not new user intent.  Returns the refreshed current
+        map set.
+        """
+        if not self._history:
+            raise MapError("session not started; call start() first")
+        self._history = [
+            SessionStep(query=step.query, map_set=self._atlas.explore(step.query))
+            for step in self._history
+        ]
+        self._cursor = 0
+        return self.current.map_set
+
     @property
     def profile(self):
         """The interest profile learned from this session's queries."""

@@ -20,6 +20,7 @@ from repro.datagen.shapes import (
     uniform_values,
 )
 from repro.datagen.skysurvey import sky_survey_table
+from repro.datagen.stream import StreamDriver, StreamEvent, split_for_streaming
 from repro.datagen.subspace import (
     SubspaceDataset,
     SubspaceSpec,
@@ -43,6 +44,9 @@ __all__ = [
     "shape_table",
     "skewed_values",
     "sky_survey_table",
+    "split_for_streaming",
+    "StreamDriver",
+    "StreamEvent",
     "subspace_dataset",
     "tpc_catalog",
     "uniform_values",

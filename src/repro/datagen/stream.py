@@ -1,0 +1,152 @@
+"""Streaming workload driver: timed append batches for benchmarks.
+
+Production tables grow while users explore; the streaming benchmarks
+(E19) and the differential test suites need a reproducible way to turn
+any generated table into "a table that grows".  Two pieces:
+
+* :func:`split_for_streaming` — deterministically split a table into an
+  initial prefix plus ``n_batches`` append deltas.  Splitting one
+  generated table (instead of generating per-batch) keeps the joint
+  distribution of the final data identical to the non-streaming
+  experiment, so exact-vs-sketch agreement floors carry over.
+* :class:`StreamDriver` — replay those deltas into any append callable
+  (``Table.append``, ``ExplorationService.append``,
+  ``ServiceClient.append``) on a wall-clock schedule.  The clock and
+  sleeper are injectable so tests replay instantly while benchmarks can
+  emit batches at a realistic cadence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import DatasetError
+
+
+def split_for_streaming(
+    table: Table,
+    n_batches: int,
+    initial_fraction: float = 0.5,
+    shuffle_seed: int | None = None,
+) -> tuple[Table, tuple[Table, ...]]:
+    """Split ``table`` into an initial prefix and ``n_batches`` deltas.
+
+    The split is by row position — the first ``initial_fraction`` of the
+    rows form the starting table, the rest arrive as equal append
+    batches (the last batch absorbs the remainder).  Pass
+    ``shuffle_seed`` to permute rows first when the generator's row
+    order is not exchangeable.  Appending every delta in order rebuilds
+    the input rows exactly (at version ``n_batches``), which is what
+    makes differential streaming tests meaningful.
+    """
+    if n_batches < 1:
+        raise DatasetError(f"n_batches must be >= 1, got {n_batches}")
+    if not 0.0 < initial_fraction < 1.0:
+        raise DatasetError(
+            f"initial_fraction must be in (0, 1), got {initial_fraction}"
+        )
+    if table.n_rows < n_batches + 1:
+        raise DatasetError(
+            f"cannot split {table.n_rows} rows into an initial table "
+            f"plus {n_batches} non-empty batches"
+        )
+    if shuffle_seed is not None:
+        rng = np.random.default_rng(shuffle_seed)
+        table = table.take(rng.permutation(table.n_rows), name=table.name)
+    initial_rows = int(table.n_rows * initial_fraction)
+    initial_rows = max(1, min(initial_rows, table.n_rows - n_batches))
+    initial = table.take(np.arange(initial_rows), name=table.name)
+    remaining = table.n_rows - initial_rows
+    batch_rows = remaining // n_batches
+    batches = []
+    start = initial_rows
+    for index in range(n_batches):
+        stop = table.n_rows if index == n_batches - 1 else start + batch_rows
+        batches.append(
+            table.take(
+                np.arange(start, stop), name=f"{table.name}_batch{index}"
+            )
+        )
+        start = stop
+    return initial, tuple(batches)
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamEvent:
+    """One replayed batch: what was appended and when."""
+
+    index: int
+    #: Rows in this batch.
+    rows: int
+    #: Seconds since the replay started when the batch was emitted.
+    at_seconds: float
+    #: Whatever the append callable returned (a new ``Table``, an
+    #: ``AppendResponse``, ...).
+    result: object
+
+
+class StreamDriver:
+    """Replay append batches into a sink on a wall-clock schedule.
+
+    Parameters
+    ----------
+    batches:
+        Delta tables, usually from :func:`split_for_streaming`.
+    interval_seconds:
+        Pause between batch emissions (0 = as fast as possible).
+    clock, sleep:
+        Injectable time sources; tests pass fakes to replay instantly
+        while asserting the schedule.
+    """
+
+    def __init__(
+        self,
+        batches: "tuple[Table, ...] | list[Table]",
+        interval_seconds: float = 0.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if interval_seconds < 0:
+            raise DatasetError(
+                f"interval_seconds must be >= 0, got {interval_seconds}"
+            )
+        self._batches = tuple(batches)
+        self._interval = float(interval_seconds)
+        self._clock = clock
+        self._sleep = sleep
+
+    @property
+    def batches(self) -> tuple[Table, ...]:
+        """The delta tables, emission order."""
+        return self._batches
+
+    def replay(
+        self, append: Callable[[Table], object]
+    ) -> Iterator[StreamEvent]:
+        """Emit every batch into ``append``, pacing by the interval.
+
+        Yields one :class:`StreamEvent` per batch as it lands, so a
+        caller can interleave exploration with ingestion — the
+        streaming benchmark explores after every event::
+
+            driver = StreamDriver(batches, interval_seconds=0.5)
+            for event in driver.replay(lambda b: service.append(name, b)):
+                service.explore(name, query)
+        """
+        started = self._clock()
+        for index, batch in enumerate(self._batches):
+            if index and self._interval:
+                self._sleep(self._interval)
+            result = append(batch)
+            yield StreamEvent(
+                index=index,
+                rows=batch.n_rows,
+                at_seconds=self._clock() - started,
+                result=result,
+            )

@@ -79,6 +79,15 @@ class Column(abc.ABC):
     def rename(self, name: str) -> "Column":
         """Return the same column under a different name (storage shared)."""
 
+    @abc.abstractmethod
+    def concat(self, other: "Column") -> "Column":
+        """Return a new column holding ``self`` followed by ``other``.
+
+        The streaming append path: both columns must share the physical
+        kind; categorical concatenation unions the dictionaries
+        (order-preserving, so parent codes survive unchanged).
+        """
+
     def missing_count(self) -> int:
         """Number of missing rows."""
         return int(self.missing_mask().sum())
@@ -163,6 +172,16 @@ class NumericColumn(Column):
         Column.__init__(clone, name)
         clone._data = self._data
         return clone
+
+    def concat(self, other: "Column") -> "NumericColumn":
+        if not isinstance(other, NumericColumn):
+            raise DatasetError(
+                f"cannot concatenate numeric column {self.name!r} with a "
+                f"{other.kind} column"
+            )
+        return NumericColumn(
+            self.name, np.concatenate([self._data, other._data])
+        )
 
     def missing_mask(self) -> np.ndarray:
         return np.isnan(self._data)
@@ -296,6 +315,33 @@ class CategoricalColumn(Column):
         clone._codes = self._codes
         clone._categories = self._categories
         return clone
+
+    def concat(self, other: "Column") -> "CategoricalColumn":
+        if not isinstance(other, CategoricalColumn):
+            raise DatasetError(
+                f"cannot concatenate categorical column {self.name!r} with "
+                f"a {other.kind} column"
+            )
+        # Union dictionaries order-preservingly: existing categories keep
+        # their codes, fresh labels from `other` are appended, so the
+        # parent's code array transfers verbatim and only the delta rows
+        # are remapped.
+        categories = list(self._categories)
+        index = {label: code for code, label in enumerate(categories)}
+        remap = np.empty(len(other._categories) + 1, dtype=np.int32)
+        remap[-1] = MISSING_CODE  # other code -1 indexes the last slot
+        for code, label in enumerate(other._categories):
+            mapped = index.get(label)
+            if mapped is None:
+                mapped = len(categories)
+                index[label] = mapped
+                categories.append(label)
+            remap[code] = mapped
+        return CategoricalColumn(
+            self.name,
+            np.concatenate([self._codes, remap[other._codes]]),
+            categories,
+        )
 
     def missing_mask(self) -> np.ndarray:
         return self._codes == MISSING_CODE

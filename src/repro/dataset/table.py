@@ -35,7 +35,7 @@ class Table:
         Optional relation name (used by the catalog and SQL emitter).
     """
 
-    __slots__ = ("_columns", "_order", "_name", "_n_rows")
+    __slots__ = ("_columns", "_order", "_name", "_n_rows", "_version")
 
     def __init__(self, columns: Iterable[Column], name: str = "table"):
         order: list[str] = []
@@ -56,6 +56,7 @@ class Table:
         self._order = tuple(order)
         self._name = name
         self._n_rows = 0 if n_rows is None else n_rows
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -84,6 +85,17 @@ class Table:
     def n_rows(self) -> int:
         """Number of rows."""
         return self._n_rows
+
+    @property
+    def version(self) -> int:
+        """Streaming version: 0 at construction, +1 per :meth:`append`.
+
+        Derived tables (projections, selections, samples) carry the
+        version of the table they were derived from, so caches keyed on
+        ``(identity, version)`` can tell a pre-append snapshot from a
+        post-append one.
+        """
+        return self._version
 
     @property
     def column_names(self) -> tuple[str, ...]:
@@ -139,12 +151,15 @@ class Table:
     # Relational operations
     # ------------------------------------------------------------------ #
 
+    def _derived(self, columns: list[Column], name: str | None) -> "Table":
+        """A new table inheriting this table's streaming version."""
+        out = Table(columns, name=self._name if name is None else name)
+        out._version = self._version
+        return out
+
     def project(self, names: Sequence[str], name: str | None = None) -> "Table":
         """Keep only the named columns, in the given order."""
-        return Table(
-            [self.column(n) for n in names],
-            name=self._name if name is None else name,
-        )
+        return self._derived([self.column(n) for n in names], name)
 
     def select(self, mask: np.ndarray, name: str | None = None) -> "Table":
         """Keep only the rows where ``mask`` is True."""
@@ -153,17 +168,15 @@ class Table:
             raise SchemaError(
                 f"selection mask has shape {mask.shape}, expected ({self._n_rows},)"
             )
-        return Table(
-            [self._columns[n].filter(mask) for n in self._order],
-            name=self._name if name is None else name,
+        return self._derived(
+            [self._columns[n].filter(mask) for n in self._order], name
         )
 
     def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
         """Keep the rows at the given indices (with repetition allowed)."""
         indices = np.asarray(indices)
-        return Table(
-            [self._columns[n].take(indices) for n in self._order],
-            name=self._name if name is None else name,
+        return self._derived(
+            [self._columns[n].take(indices) for n in self._order], name
         )
 
     def sample(
@@ -178,11 +191,94 @@ class Table:
 
     def with_column(self, column: Column) -> "Table":
         """Return a table with ``column`` appended (name must be fresh)."""
-        return Table(list(self.columns) + [column], name=self._name)
+        return self._derived(list(self.columns) + [column], None)
 
     def rename(self, name: str) -> "Table":
         """Return the same table under a new relation name."""
-        return Table(self.columns, name=name)
+        return self._derived(list(self.columns), name)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def append(
+        self,
+        rows: "Mapping[str, Iterable[object]] | Table",
+        name: str | None = None,
+    ) -> "Table":
+        """Return a new table with ``rows`` appended and ``version`` + 1.
+
+        ``rows`` is either a columnar mapping (``{column name: values}``,
+        coerced to this table's column kinds) or a table with the same
+        schema.  The receiver is untouched — streaming workloads hold a
+        "current" table and replace it on every batch; everything keyed
+        on the old object (memoized statistics, cached answers) stays
+        valid *for the old version* and the new version gets fresh or
+        incrementally-maintained state.
+        """
+        delta = self._coerce_delta(rows)
+        out = Table(
+            [
+                self._columns[n].concat(delta.column(n))
+                for n in self._order
+            ],
+            name=self._name if name is None else name,
+        )
+        out._version = self._version + 1
+        return out
+
+    def _coerce_delta(
+        self, rows: "Mapping[str, Iterable[object]] | Table"
+    ) -> "Table":
+        """``rows`` as a table matching this table's schema exactly."""
+        if isinstance(rows, Table):
+            delta = rows
+        elif isinstance(rows, Mapping):
+            delta = Table(
+                [
+                    self._delta_column(col_name, values)
+                    for col_name, values in rows.items()
+                ],
+                name=f"{self._name}_delta",
+            )
+        else:
+            raise SchemaError(
+                "append takes a {column: values} mapping or a Table, "
+                f"got {type(rows).__name__}"
+            )
+        if set(delta.column_names) != set(self._order):
+            missing = sorted(set(self._order) - set(delta.column_names))
+            extra = sorted(set(delta.column_names) - set(self._order))
+            raise SchemaError(
+                f"appended rows do not match the schema of {self._name!r}"
+                + (f"; missing columns: {', '.join(missing)}" if missing else "")
+                + (f"; unknown columns: {', '.join(extra)}" if extra else "")
+            )
+        for col_name in self._order:
+            if delta.column(col_name).kind is not self._columns[col_name].kind:
+                raise SchemaError(
+                    f"appended column {col_name!r} is "
+                    f"{delta.column(col_name).kind}, expected "
+                    f"{self._columns[col_name].kind}"
+                )
+        return delta
+
+    def _delta_column(self, col_name: str, values: Iterable[object]) -> Column:
+        """Build one delta column with the kind of the existing column."""
+        existing = self._columns.get(col_name)
+        if isinstance(existing, NumericColumn):
+            try:
+                data = [np.nan if v is None else float(v) for v in values]
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(
+                    f"appended column {col_name!r} must be numeric: {exc}"
+                ) from exc
+            return NumericColumn(col_name, data)
+        if isinstance(existing, CategoricalColumn):
+            return CategoricalColumn.from_values(col_name, values)
+        # Unknown column: infer; _coerce_delta rejects it with a clear
+        # schema error naming the column.
+        return column_from_values(col_name, values)
 
     # ------------------------------------------------------------------ #
     # Display

@@ -159,6 +159,19 @@ class StatsBackend(Protocol):
         """Rows backing every estimate (``effective_table.n_rows``)."""
         ...  # pragma: no cover - protocol stub
 
+    @property
+    def version(self) -> int:
+        """Streaming version of the table being described."""
+        ...  # pragma: no cover - protocol stub
+
+    def advance(
+        self,
+        new_table: Table,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        """Maintain this backend onto an appended version of its table."""
+        ...  # pragma: no cover - protocol stub
+
     def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
         """Row mask of a conjunctive query over the effective rows."""
         ...  # pragma: no cover - protocol stub
@@ -206,8 +219,13 @@ def table_fingerprint(table: Table) -> int:
 
     Used to derive per-``(seed, table)`` sampling RNG, so sketch
     backends draw the same reservoir for the same table in any process.
+    Streaming versions are part of the identity (a post-append table
+    must never collide with its pre-append self); version 0 keeps the
+    historical canonical form so existing fingerprints are unchanged.
     """
     canonical = f"{table.name}|{table.n_rows}|" + ",".join(table.column_names)
+    if table.version:
+        canonical += f"|v{table.version}"
     return zlib.crc32(canonical.encode("utf-8"))
 
 
@@ -228,6 +246,13 @@ class ExactBackend:
     insert wins.  :class:`~repro.engine.context.ExecutionContext` passes
     one lock shared by all its stat blocks so nested memo calls and the
     shared counters stay consistent; a standalone backend gets its own.
+
+    Streaming: :meth:`advance` moves the backend to an appended version
+    of its table.  Every memo family here is row-backed, so an append
+    makes all of them version-stale; they are dropped in one shot and
+    every insert is stamped with the version it was computed at, so a
+    statistic computed against the pre-append rows that lands *after*
+    the advance is discarded instead of poisoning the new version.
     """
 
     kind = "exact"
@@ -239,6 +264,7 @@ class ExactBackend:
         lock: threading.Lock | None = None,
     ):
         self._table = table
+        self._version = table.version
         self._lock = lock if lock is not None else threading.Lock()
         self.counters = counters if counters is not None else CacheCounters()
         self.usage: dict[str, int] = {}
@@ -266,13 +292,98 @@ class ExactBackend:
         """Rows backing every estimate this backend hands out."""
         return self._table.n_rows
 
+    @property
+    def version(self) -> int:
+        """Streaming version of the table currently being described."""
+        return self._version
+
     def _use(self, name: str) -> None:
         """Bump the per-request usage counter (caller holds the lock)."""
         self.usage[name] = self.usage.get(name, 0) + 1
 
+    def _put_if_current(
+        self, memo: dict, key, value, cap: int, version: int
+    ) -> None:
+        """Version-stamped insert (caller holds the lock).
+
+        A statistic computed against version ``v`` rows must not enter
+        the memo after an :meth:`advance` past ``v`` — it would be
+        served as a current answer while describing pre-append rows
+        (and row-sized arrays would not even have the current length).
+        """
+        if version == self._version:
+            _bounded_put(memo, key, value, cap)
+
+    # ------------------------------------------------------------------ #
+    # Streaming maintenance
+    # ------------------------------------------------------------------ #
+
+    def advance(
+        self,
+        new_table: Table,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        """Move to an appended version of the table.
+
+        Exact statistics are all row-backed, so the whole memo surface
+        is version-stale the moment rows arrive: every family is
+        dropped and rebuilt lazily on demand against the new rows.
+        (``rng`` is accepted for signature parity with
+        :meth:`SketchBackend.advance`; exact maintenance draws nothing.)
+        """
+        del rng
+        if new_table.version <= self._version:
+            raise MapError(
+                f"cannot advance from version {self._version} to "
+                f"{new_table.version}; versions must increase"
+            )
+        if new_table.n_rows < self._table.n_rows:
+            raise MapError(
+                "streaming tables are append-only: cannot advance from "
+                f"{self._table.n_rows} to {new_table.n_rows} rows"
+            )
+        with self._lock:
+            self._advance_state(new_table)
+
+    def _advance_state(self, new_table: Table) -> None:
+        """The state transition of :meth:`advance` (caller holds the
+        lock — :class:`SketchBackend` swaps its own state in the same
+        critical section so the version bump and the memo invalidation
+        are atomic for readers)."""
+        self._use("advance")
+        self._table = new_table
+        self._version = new_table.version
+        self._predicate_masks.clear()
+        self._query_masks.clear()
+        self._assignments.clear()
+        self._covers.clear()
+        self._joints.clear()
+        self._cuts.clear()
+        self._mask_cap = _row_array_cap(new_table.n_rows, 1)
+        self._row_array_cap = _row_array_cap(new_table.n_rows, 8)
+
     # ------------------------------------------------------------------ #
     # Masks
     # ------------------------------------------------------------------ #
+
+    def _query_mask_on(
+        self, table: Table, query: ConjunctiveQuery
+    ) -> np.ndarray:
+        """Uncached query mask over a captured table snapshot.
+
+        The fallback path when an :meth:`advance` races a computation:
+        cached masks may describe the new rows while the caller is
+        mid-way through an answer over the old ones; recomputing from
+        the snapshot keeps each answer internally consistent.
+        """
+        result = np.ones(table.n_rows, dtype=bool)
+        for predicate in query.predicates:
+            np.logical_and(
+                result,
+                np.asarray(predicate.mask(table), dtype=bool),
+                out=result,
+            )
+        return result
 
     def predicate_mask(self, predicate) -> np.ndarray:
         """Row mask of one predicate (frozen array, cached)."""
@@ -283,10 +394,13 @@ class ExactBackend:
                 self.counters.hits += 1
                 return cached
             self.counters.misses += 1
-        mask = np.asarray(predicate.mask(self._table), dtype=bool)
+            table, version = self._table, self._version
+        mask = np.asarray(predicate.mask(table), dtype=bool)
         mask.flags.writeable = False
         with self._lock:
-            _bounded_put(self._predicate_masks, predicate, mask, self._mask_cap)
+            self._put_if_current(
+                self._predicate_masks, predicate, mask, self._mask_cap, version
+            )
         return mask
 
     def query_mask(self, query: ConjunctiveQuery) -> np.ndarray:
@@ -298,12 +412,18 @@ class ExactBackend:
                 self.counters.hits += 1
                 return cached
             self.counters.misses += 1
-        result = np.ones(self._table.n_rows, dtype=bool)
+            table, version = self._table, self._version
+        result = np.ones(table.n_rows, dtype=bool)
         for predicate in query.predicates:
-            np.logical_and(result, self.predicate_mask(predicate), out=result)
+            mask = self.predicate_mask(predicate)
+            if mask.shape != result.shape:  # advance raced us
+                mask = np.asarray(predicate.mask(table), dtype=bool)
+            np.logical_and(result, mask, out=result)
         result.flags.writeable = False
         with self._lock:
-            _bounded_put(self._query_masks, query, result, self._mask_cap)
+            self._put_if_current(
+                self._query_masks, query, result, self._mask_cap, version
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -323,14 +443,20 @@ class ExactBackend:
                 self.counters.hits += 1
                 return cached
             self.counters.misses += 1
-        assignment = assign_regions(
-            data_map.regions, self._table.n_rows, self.query_mask
-        )
+            table, version = self._table, self._version
+
+        def mask_fn(query: ConjunctiveQuery) -> np.ndarray:
+            mask = self.query_mask(query)
+            if mask.shape != (table.n_rows,):  # advance raced us
+                mask = self._query_mask_on(table, query)
+            return mask
+
+        assignment = assign_regions(data_map.regions, table.n_rows, mask_fn)
         assignment.flags.writeable = False
         with self._lock:
-            _bounded_put(
+            self._put_if_current(
                 self._assignments, data_map.regions, assignment,
-                self._row_array_cap,
+                self._row_array_cap, version,
             )
         return assignment
 
@@ -343,13 +469,15 @@ class ExactBackend:
                 self.counters.hits += 1
                 return cached
             self.counters.misses += 1
+            version = self._version
         result = covers_from_assignment(
             self.assignment(data_map), data_map.n_regions
         )
         result.flags.writeable = False
         with self._lock:
-            _bounded_put(
-                self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES
+            self._put_if_current(
+                self._covers, data_map.regions, result, _MAX_SMALL_ENTRIES,
+                version,
             )
         return result
 
@@ -373,6 +501,7 @@ class ExactBackend:
         """
         with self._lock:
             self._use("joint")
+            version = self._version
         assign_a = self.assignment(map_a)
         assign_b = self.assignment(map_b)
         if row_indices is not None:
@@ -381,6 +510,7 @@ class ExactBackend:
         return self._joint_from(
             map_a, map_b, assign_a, assign_b,
             scope_key, cacheable=row_indices is None or scope_key is not None,
+            version=version,
         )
 
     def _joint_from(
@@ -391,6 +521,7 @@ class ExactBackend:
         assign_b: np.ndarray,
         scope_key: object,
         cacheable: bool,
+        version: int,
     ) -> np.ndarray:
         """Cache-aware joint distribution from prepared assignments."""
         if cacheable:
@@ -416,7 +547,9 @@ class ExactBackend:
         if cacheable:
             joint.flags.writeable = False
             with self._lock:
-                _bounded_put(self._joints, key, joint, _MAX_SMALL_ENTRIES)
+                self._put_if_current(
+                    self._joints, key, joint, _MAX_SMALL_ENTRIES, version
+                )
         return joint
 
     def distance_matrix(
@@ -438,6 +571,7 @@ class ExactBackend:
             raise MapError("need at least one map")
         with self._lock:
             self._use("distance_matrix")
+            version = self._version
         n = len(maps)
         # Slice each assignment once up front — per-pair slicing would
         # copy every assignment O(n) times.
@@ -452,7 +586,7 @@ class ExactBackend:
             for j in range(i + 1, n):
                 joint = self._joint_from(
                     maps[i], maps[j], assignments[i], assignments[j],
-                    scope_key, cacheable,
+                    scope_key, cacheable, version,
                 )
                 raw[i, j] = raw[j, i] = variation_of_information(joint)
                 scaled[i, j] = scaled[j, i] = rajski_distance(joint)
@@ -491,17 +625,17 @@ class ExactBackend:
                 self.counters.hits += 1
                 return cached
             self.counters.misses += 1
+            table, version = self._table, self._version
         from repro.core.cut import cut
 
-        result = cut(
-            self._table,
-            query,
-            attribute,
-            config,
-            region_mask=self.query_mask(query),
-        )
+        region_mask = self.query_mask(query)
+        if region_mask.shape != (table.n_rows,):  # advance raced us
+            region_mask = self._query_mask_on(table, query)
+        result = cut(table, query, attribute, config, region_mask=region_mask)
         with self._lock:
-            _bounded_put(self._cuts, key, result, _MAX_SMALL_ENTRIES)
+            self._put_if_current(
+                self._cuts, key, result, _MAX_SMALL_ENTRIES, version
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -514,6 +648,7 @@ class ExactBackend:
             return {
                 "kind": self.kind,
                 "rows": self.n_rows,
+                "version": self._version,
                 "usage": dict(self.usage),
                 "hits": self.counters.hits,
                 "misses": self.counters.misses,
@@ -608,6 +743,161 @@ class SketchBackend:
         """The budget this backend answers under."""
         return self._fidelity
 
+    @property
+    def version(self) -> int:
+        """Streaming version of the table being approximated."""
+        return self._inner.version
+
+    # ------------------------------------------------------------------ #
+    # Streaming maintenance
+    # ------------------------------------------------------------------ #
+
+    def advance(
+        self,
+        new_table: Table,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        """Incrementally maintain the backend onto an appended version.
+
+        Instead of rebuilding from scratch (a full-table permutation
+        plus one-pass sketch builds), maintenance is proportional to the
+        *delta*:
+
+        * the reservoir is **topped up** with the classic uniform-merge
+          rule — the number of survivors from the old reservoir follows
+          a hypergeometric law weighted by old-rows vs delta-rows, the
+          rest is drawn uniformly from the delta, so the result stays a
+          uniform sample of the union (the
+          :meth:`~repro.sketch.reservoir.ReservoirSampler.merge`
+          argument, applied to table rows);
+        * every already-built per-attribute GK / Misra–Gries summary is
+          **merged** with a sketch built from a *rate-matched* uniform
+          subsample of the delta (each delta row kept with the
+          probability the existing summary's rows were kept, i.e.
+          ``reservoir rows / table rows``), so old and new rows stay
+          equally weighted — the merged summary approximates the same
+          distribution a rebuild would, even when the appended rows
+          drift.  The maintained rate never falls below a fresh
+          build's (the base table only grows), so the summaries always
+          reflect at least as many rows per capita as a rebuild.
+
+        Sketches not built yet are unaffected; they build lazily from
+        the new reservoir.  Root-cut memos are version-stale and drop
+        in the same critical section that bumps the version, so a
+        reader can never pair a new version with pre-append cut points.
+        """
+        old_table = self._table
+        if new_table.version <= self.version:
+            raise MapError(
+                f"cannot advance from version {self.version} to "
+                f"{new_table.version}; versions must increase"
+            )
+        if new_table.n_rows < old_table.n_rows:
+            raise MapError(
+                "streaming tables are append-only: cannot advance from "
+                f"{old_table.n_rows} to {new_table.n_rows} rows"
+            )
+        generator = (
+            rng if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        delta_n = new_table.n_rows - old_table.n_rows
+        delta = new_table.take(
+            np.arange(old_table.n_rows, new_table.n_rows),
+            name=f"{new_table.name}_delta{new_table.version}",
+        )
+        sample = self._topped_up_reservoir(new_table, delta, generator)
+        quantiles, frequencies = self._merged_sketches(
+            delta, delta_n, generator
+        )
+        # One critical section for the whole transition — version bump,
+        # memo invalidation, sketch swap — so a concurrent reader can
+        # never observe the new version with pre-append state (and a
+        # failure above leaves the backend intact).
+        with self._lock:
+            self._inner._advance_state(sample)
+            self._table = new_table
+            self._quantile_sketches = quantiles
+            self._frequency_sketches = frequencies
+            self._root_cuts.clear()
+
+    def _topped_up_reservoir(
+        self, new_table: Table, delta: Table, rng: np.random.Generator
+    ) -> Table:
+        """A uniform ``budget_rows`` sample of the appended table,
+        reusing the current reservoir rows instead of re-permuting."""
+        budget = self._fidelity.budget_rows
+        if budget >= new_table.n_rows:
+            return new_table  # the budget covers everything
+        old_sample = self._inner.table
+        delta_n = delta.n_rows
+        from_old = int(
+            rng.hypergeometric(self._table.n_rows, delta_n, budget)
+        ) if delta_n else budget
+        # Clamp to what each side can actually supply.
+        from_old = min(from_old, old_sample.n_rows)
+        from_old = max(from_old, budget - delta_n)
+        kept = old_sample.take(
+            np.sort(rng.choice(old_sample.n_rows, size=from_old, replace=False))
+        )
+        fresh = delta.take(
+            np.sort(rng.choice(delta_n, size=budget - from_old, replace=False))
+        )
+        sample = Table(
+            [
+                kept.column(column_name).concat(fresh.column(column_name))
+                for column_name in kept.column_names
+            ],
+            name=f"{new_table.name}_sketch{budget}",
+        )
+        # The reservoir snapshots the appended table; the inner exact
+        # block's advance validation keys on that version.
+        sample._version = new_table.version
+        return sample
+
+    def _merged_sketches(
+        self, delta: Table, delta_n: int, rng: np.random.Generator
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        """Already-built summaries, each merged with a delta-built one.
+
+        The delta is subsampled at the rate the existing summaries'
+        rows were kept (``reservoir rows / table rows``) before
+        sketching, so every observed row — old or new — carries the
+        same weight in the merged summary.  Without this, a summary of
+        20k reservoir rows standing in for 1M would be merged with raw
+        delta counts, over-weighting appends by ``table/budget`` and
+        skewing cut points under distribution drift.
+        """
+        from repro.sketch.frequency import MisraGriesSketch
+        from repro.sketch.quantile import GKQuantileSketch
+
+        with self._lock:
+            quantiles = dict(self._quantile_sketches)
+            frequencies = dict(self._frequency_sketches)
+            rate = self._inner.table.n_rows / max(1, self._table.n_rows)
+        if not delta_n:
+            return quantiles, frequencies
+        if rate >= 1.0:
+            kept = np.arange(delta_n)
+        else:
+            kept = np.flatnonzero(rng.random(delta_n) < rate)
+        for attribute, sketch in quantiles.items():
+            values = delta.numeric(attribute).data[kept]
+            values = values[~np.isnan(values)]
+            delta_sketch = GKQuantileSketch(epsilon=sketch.epsilon)
+            delta_sketch.extend(values.tolist())
+            quantiles[attribute] = sketch.merge(delta_sketch)
+        for attribute, sketch in frequencies.items():
+            column = delta.categorical(attribute)
+            delta_sketch = MisraGriesSketch(capacity=sketch.capacity)
+            categories = list(column.categories)
+            codes = column.codes[kept]
+            delta_sketch.extend(
+                categories[code] for code in codes[codes >= 0].tolist()
+            )
+            frequencies[attribute] = sketch.merge(delta_sketch)
+        return quantiles, frequencies
+
     # ------------------------------------------------------------------ #
     # Delegated statistics (bounded by the reservoir)
     # ------------------------------------------------------------------ #
@@ -685,27 +975,33 @@ class SketchBackend:
         """The memoized per-attribute GK summary (built on first use)."""
         with self._lock:
             cached = self._quantile_sketches.get(attribute)
+            column = self._inner.table.numeric(attribute)
+            version = self._inner.version
         if cached is not None:
             return cached
         from repro.sketch.quantile import GKQuantileSketch
 
-        column = self._inner.table.numeric(attribute)
         values = column.data
         values = values[~np.isnan(values)]
         sketch = GKQuantileSketch(epsilon=self._fidelity.epsilon)
         sketch.extend(values.tolist())
         with self._lock:
+            if version != self._inner.version:
+                # An advance raced the build: the summary describes the
+                # pre-append reservoir.  Serve it once, never cache it.
+                return sketch
             return self._quantile_sketches.setdefault(attribute, sketch)
 
     def frequency_sketch(self, attribute: str):
         """The memoized per-attribute Misra–Gries summary."""
         with self._lock:
             cached = self._frequency_sketches.get(attribute)
+            column = self._inner.table.column(attribute)
+            version = self._inner.version
         if cached is not None:
             return cached
         from repro.sketch.frequency import MisraGriesSketch
 
-        column = self._inner.table.column(attribute)
         if not isinstance(column, CategoricalColumn):
             raise MapError(
                 f"column {attribute!r} is {column.kind}, expected categorical"
@@ -717,9 +1013,12 @@ class SketchBackend:
         codes = column.codes
         sketch.extend(categories[code] for code in codes[codes >= 0].tolist())
         with self._lock:
+            if version != self._inner.version:
+                return sketch  # stale build (see quantile_sketch)
             return self._frequency_sketches.setdefault(attribute, sketch)
 
-    def _root_cut_cached(self, key: tuple) -> DataMap | None:
+    def _root_cut_cached(self, key: tuple) -> tuple[DataMap | None, int]:
+        """(cached map or None, current version) in one lock trip."""
         with self._lock:
             self._use("cut_map")
             cached = self._root_cuts.get(key)
@@ -727,7 +1026,13 @@ class SketchBackend:
                 self.counters.hits += 1
             else:
                 self.counters.misses += 1
-            return cached
+            return cached, self._inner.version
+
+    def _put_root_cut(self, key: tuple, result: DataMap, version: int) -> None:
+        """Version-stamped root-cut insert (drops stale racing writes)."""
+        with self._lock:
+            if version == self._inner.version:
+                _bounded_put(self._root_cuts, key, result, _MAX_SMALL_ENTRIES)
 
     def _root_numeric_cut(
         self, query: ConjunctiveQuery, attribute: str, config: AtlasConfig
@@ -736,7 +1041,7 @@ class SketchBackend:
         from repro.core.cut import _clean_cut_points, _numeric_subpredicates
 
         key = ("num", attribute, config.n_splits, self._fidelity.epsilon)
-        cached = self._root_cut_cached(key)
+        cached, version = self._root_cut_cached(key)
         if cached is not None:
             return cached
         trivial = DataMap([query], attributes=[attribute], label=f"cut:{attribute}")
@@ -757,8 +1062,7 @@ class SketchBackend:
                         attributes=[attribute],
                         label=f"cut:{attribute}",
                     )
-        with self._lock:
-            _bounded_put(self._root_cuts, key, result, _MAX_SMALL_ENTRIES)
+        self._put_root_cut(key, result, version)
         return result
 
     def _root_categorical_cut(
@@ -771,7 +1075,7 @@ class SketchBackend:
 
         order = CATEGORICAL_ORDERS.get(config.categorical_strategy)
         key = ("cat", attribute, config.n_splits, order)
-        cached = self._root_cut_cached(key)
+        cached, version = self._root_cut_cached(key)
         if cached is not None:
             return cached
         trivial = DataMap([query], attributes=[attribute], label=f"cut:{attribute}")
@@ -792,8 +1096,7 @@ class SketchBackend:
                     attributes=[attribute],
                     label=f"cut:{attribute}",
                 )
-        with self._lock:
-            _bounded_put(self._root_cuts, key, result, _MAX_SMALL_ENTRIES)
+        self._put_root_cut(key, result, version)
         return result
 
     def _use(self, name: str) -> None:
@@ -810,6 +1113,7 @@ class SketchBackend:
             return {
                 "kind": self.kind,
                 "rows": self.n_rows,
+                "version": self.version,
                 "table_rows": self._table.n_rows,
                 "budget_rows": self._fidelity.budget_rows,
                 "epsilon": self._fidelity.epsilon,

@@ -106,6 +106,11 @@ class ExecutionContext:
         return self._config
 
     @property
+    def version(self) -> int:
+        """Streaming version of the base table (0 for table-less contexts)."""
+        return self._table.version if self._table is not None else 0
+
+    @property
     def counters(self) -> CacheCounters:
         """Aggregate hit/miss counters across every backend family."""
         return CacheCounters(
@@ -245,6 +250,67 @@ class ExecutionContext:
     def stats(self) -> StatsBackend:
         """Statistics backend of the base table."""
         return self.stats_for(self.table)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def advance(self, new_table: Table) -> StatsBackend | None:
+        """Rebind the context to an appended version of its base table.
+
+        The base table's statistics backend is *maintained*, not
+        rebuilt: :meth:`ExactBackend.advance` drops its version-stale
+        memo families in one shot, :meth:`SketchBackend.advance` merges
+        delta sketches and tops up its reservoir, paying for the delta
+        instead of the table.  Scope samples (and their statistics
+        blocks) describe pre-append rows, so they are dropped; they
+        rebuild lazily per query.  Returns the maintained backend, or
+        ``None`` when no statistics had been built yet.
+
+        Concurrency: an explore racing an advance keeps a consistent
+        snapshot per statistic (backends stamp memo inserts with the
+        version they were computed at and recompute over a captured
+        table on length mismatch), so a stale statistic can never enter
+        a post-append memo; the racing answer itself may reflect either
+        side of the append.
+        """
+        table = self.table  # raises on table-less contexts
+        if new_table.version <= table.version:
+            raise MapError(
+                f"cannot advance from version {table.version} to "
+                f"{new_table.version}; versions must increase"
+            )
+        if new_table.column_names != table.column_names:
+            raise MapError(
+                "cannot advance onto a table with a different schema "
+                f"({table.column_names} vs {new_table.column_names})"
+            )
+        if new_table.n_rows < table.n_rows:
+            raise MapError(
+                "streaming tables are append-only: cannot advance from "
+                f"{table.n_rows} to {new_table.n_rows} rows"
+            )
+        with self._lock:
+            backend = self._stats.pop(id(table), None)
+            # Scope samples (and any statistics built over them) are
+            # snapshots of the pre-append rows.
+            self._scopes.clear()
+            self._stats.clear()
+            self._transient_stats = None
+            self._table = new_table
+        if backend is None:
+            return None
+        backend.advance(
+            new_table,
+            rng=self.child_rng(
+                f"sketch-advance:{table_fingerprint(new_table)}"
+            ),
+        )
+        with self._lock:
+            _bounded_put(
+                self._stats, id(new_table), backend, _MAX_TABLE_STATS
+            )
+        return backend
 
     # ------------------------------------------------------------------ #
     # Observability

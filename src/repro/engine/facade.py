@@ -124,6 +124,26 @@ class Explorer:
         self._pipeline = pipeline
         return self
 
+    def append(self, rows: object) -> "Explorer":
+        """Append rows to the table (streaming) and keep exploring.
+
+        Unlike :meth:`configure`, the shared context is *kept*: it is
+        advanced incrementally (sketch backends merge delta sketches
+        and top up reservoirs; exact backends drop version-stale
+        memos), so the statistics computed for earlier answers that an
+        append cannot invalidate keep paying off.
+        """
+        if self._context is not None:
+            # The context is the source of truth for the live version —
+            # a session sharing it may have appended already, in which
+            # case this explorer's own reference is behind.
+            new_table = self._context.table.append(rows)
+            self._context.advance(new_table)
+        else:
+            new_table = self._table.append(rows)
+        self._table = new_table
+        return self
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

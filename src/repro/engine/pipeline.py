@@ -68,6 +68,10 @@ class MapSet:
     #: ``"sketch:<rows>:<eps>"`` budget) — provenance for clients and
     #: the REPL, and part of the service result-cache key.
     fidelity: str = "exact"
+    #: Streaming version of the table the answer was computed against —
+    #: provenance for streaming clients, and how the differential tests
+    #: prove a pre-append answer is never served post-append.
+    version: int = 0
 
     @property
     def maps(self) -> tuple[DataMap, ...]:
@@ -139,6 +143,10 @@ class Pipeline:
     ) -> MapSet:
         """Drive ``query`` through every stage and assemble the answer."""
         state = PipelineState(query=query if query is not None else ConjunctiveQuery())
+        # Captured before the stages run: an append racing this run may
+        # surface newer rows, never older ones, so the stamped version
+        # is a lower bound on the data the answer reflects.
+        version = context.version
         seconds: dict[str, float] = {}
         for stage in self._stages:
             started = time.perf_counter()
@@ -160,4 +168,5 @@ class Pipeline:
             timings=timings,
             n_rows_used=state.n_rows_used,
             fidelity=context.config.fidelity.spec(),
+            version=version,
         )

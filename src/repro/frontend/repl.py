@@ -12,6 +12,9 @@ Commands::
     back            pop one drill-down level
     where           show the breadcrumb trail
     fidelity [spec] show or switch execution fidelity (exact / sketch)
+    append <rows>   append rows (streaming): ``Age=30, Sex=F; Age=41, Sex=M``
+    refresh         re-explore the breadcrumb against the latest version
+    watch           toggle auto-refresh after every append
     serve [port]    expose this table through an exploration service
     connect <url>   attach to a running exploration service
     remote          answer the current query through the service
@@ -50,6 +53,9 @@ HELP_TEXT = """commands:
   back         return to the previous query
   where        show the exploration breadcrumb
   fidelity [spec] show or set fidelity: exact, sketch[:rows[:eps]]
+  append <rows> append rows, e.g. `append Age=30, Sex=F; Age=41, Sex=M`
+  refresh      re-explore the breadcrumb at the latest table version
+  watch        toggle auto-refresh after appends
   serve [port] start an HTTP exploration service for this table
   connect <url> attach to a running exploration service
   remote       answer the current query via the connected service
@@ -75,6 +81,7 @@ class ExplorerRepl:
         self._stdout = stdout if stdout is not None else sys.stdout
         self._server = None   # started by the `serve` command
         self._client = None   # attached by the `connect` command
+        self._watch = False   # toggled by the `watch` command
 
     @property
     def session(self) -> ExplorationSession:
@@ -134,6 +141,20 @@ class ExplorerRepl:
             self._print(render_breadcrumb(self._session.breadcrumb()))
         elif command == "fidelity":
             self._fidelity(argument)
+        elif command == "append":
+            self._append(argument)
+        elif command == "refresh":
+            self._print(
+                render_map_set(
+                    self._session.refresh(), self._session.atlas.table
+                )
+            )
+        elif command == "watch":
+            self._watch = not self._watch
+            self._print(
+                "watch on: appends re-explore the breadcrumb automatically"
+                if self._watch else "watch off"
+            )
         elif command == "serve":
             self._serve(argument)
         elif command == "connect":
@@ -166,6 +187,77 @@ class ExplorerRepl:
         fidelity = self._session.atlas.config.fidelity
         self._print(f"fidelity set to {fidelity.spec()}")
         self._print(render_map_set(map_set, self._session.atlas.table))
+
+    # ------------------------------------------------------------------ #
+    # Streaming (`append` / `refresh` / `watch`)
+    # ------------------------------------------------------------------ #
+
+    def _append(self, argument: str) -> None:
+        """Append literal rows: ``col=value, ...`` with ``;`` between rows.
+
+        Columns omitted from a row get a missing value.  With ``watch``
+        on, the breadcrumb is re-explored and the refreshed maps are
+        printed; otherwise the current maps stay as-is (snapshots of
+        the pre-append version) until ``refresh``.
+        """
+        rows = self._parse_rows(argument)
+        table = self._session.append(rows)
+        self._print(
+            f"appended {len(next(iter(rows.values())))} row(s); "
+            f"{table.name!r} is now version {table.version} "
+            f"({table.n_rows} rows)"
+        )
+        if self._watch:
+            self._print(
+                render_map_set(self._session.refresh(), table)
+            )
+
+    def _parse_rows(self, argument: str) -> dict[str, list[object]]:
+        """``Age=30, Sex=F; Age=41, Sex=M`` → columnar ``{name: values}``."""
+        argument = argument.strip()
+        if not argument:
+            raise AtlasError(
+                "append needs rows, e.g. `append Age=30, Sex=F`"
+            )
+        table = self._session.atlas.table
+        parsed: list[dict[str, object]] = []
+        for row_text in argument.split(";"):
+            row: dict[str, object] = {}
+            for pair in row_text.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                column, eq, value = pair.partition("=")
+                if not eq:
+                    raise AtlasError(
+                        f"append expects col=value pairs, got {pair!r}"
+                    )
+                row[column.strip()] = self._parse_value(value.strip())
+            if row:
+                parsed.append(row)
+        if not parsed:
+            raise AtlasError("append found no col=value pairs")
+        unknown = {name for row in parsed for name in row} - set(
+            table.column_names
+        )
+        if unknown:
+            raise AtlasError(
+                f"unknown column(s): {', '.join(sorted(unknown))}; "
+                f"table has: {', '.join(table.column_names)}"
+            )
+        return {
+            name: [row.get(name) for row in parsed]
+            for name in table.column_names
+        }
+
+    @staticmethod
+    def _parse_value(text: str) -> object:
+        if not text:
+            return None
+        try:
+            return float(text)
+        except ValueError:
+            return text
 
     # ------------------------------------------------------------------ #
     # Service bridge (`serve` / `connect` / `remote`)

@@ -45,6 +45,8 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
+    AppendRequest,
+    AppendResponse,
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
@@ -64,6 +66,8 @@ from repro.service.sources import (
 
 __all__ = [
     "AdmissionError",
+    "AppendRequest",
+    "AppendResponse",
     "ConnectionSource",
     "ExplorationService",
     "ExploreRequest",

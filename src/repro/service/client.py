@@ -25,6 +25,8 @@ from repro.query.query import ConjunctiveQuery
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
+    AppendRequest,
+    AppendResponse,
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
@@ -79,6 +81,19 @@ class ServiceClient:
         """
         payload = {"generator": generator, **params}
         return self._request("POST", "/tables", payload)["registered"]
+
+    def append(self, table: str, rows: dict) -> AppendResponse:
+        """Append rows to a served table (streaming).
+
+        ``rows`` is columnar — ``{"Age": [30, 41], "Sex": ["F", "M"]}``
+        — matching the local :meth:`Table.append` mapping shape.  The
+        server maintains its statistics incrementally and answers all
+        subsequent explores at the returned ``version``; its result
+        cache can never serve a pre-append answer for it.
+        """
+        request = AppendRequest(table=table, rows=rows)
+        payload = self._request("POST", "/append", request.to_dict())
+        return AppendResponse.from_dict(payload)
 
     def explore(
         self,

@@ -63,6 +63,7 @@ class ServiceMetrics:
             "cache_hits": 0,     # answered from the result cache
             "rejected": 0,       # shed by admission control (429)
             "failed": 0,         # raised any other error
+            "appends": 0,        # streaming append batches applied
         }
         self._stage_latency = {name: LatencyWindow() for name in CANONICAL_STAGES}
         self._total_latency = LatencyWindow()

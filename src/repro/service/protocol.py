@@ -212,6 +212,7 @@ def map_set_to_dict(map_set: MapSet) -> dict:
         "timings": timings_to_dict(map_set.timings),
         "n_rows_used": map_set.n_rows_used,
         "fidelity": map_set.fidelity,
+        "version": map_set.version,
     }
 
 
@@ -227,6 +228,7 @@ def map_set_from_dict(data: dict) -> MapSet:
             timings=timings_from_dict(data["timings"]),
             n_rows_used=int(data["n_rows_used"]),
             fidelity=str(data.get("fidelity", "exact")),
+            version=int(data.get("version", 0)),
         )
     except KeyError as exc:
         raise ProtocolError(f"map-set payload missing field {exc}") from None
@@ -349,6 +351,94 @@ class ExploreRequest:
         if self.fidelity is not None:
             resolved = resolved.replace(fidelity=self.fidelity)
         return resolved
+
+
+@dataclasses.dataclass(frozen=True)
+class AppendRequest:
+    """A streaming append as it crosses the wire.
+
+    ``rows`` is columnar — ``{column name: [values...]}`` with every
+    list the same length — matching :meth:`Table.append`'s mapping
+    shape, so the server coerces values to the table's column kinds
+    and rejects schema mismatches with a 400.
+    """
+
+    table: str
+    rows: dict
+
+    def to_dict(self) -> dict:
+        return {"table": self.table, "rows": {
+            name: list(values) for name, values in self.rows.items()
+        }}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppendRequest":
+        if not isinstance(data, dict):
+            raise ProtocolError(
+                f"expected an append object, got {type(data).__name__}"
+            )
+        table = data.get("table")
+        if not isinstance(table, str) or not table:
+            raise ProtocolError("append needs a non-empty 'table' name")
+        rows = data.get("rows")
+        if not isinstance(rows, dict) or not rows:
+            raise ProtocolError(
+                "append needs 'rows': a non-empty {column: [values...]} "
+                "object"
+            )
+        lengths = set()
+        for name, values in rows.items():
+            if not isinstance(values, list):
+                raise ProtocolError(
+                    f"append column {name!r} must be a list of values, "
+                    f"got {type(values).__name__}"
+                )
+            lengths.add(len(values))
+        if len(lengths) > 1:
+            raise ProtocolError(
+                "append columns differ in length: "
+                + ", ".join(f"{len(v)}" for v in rows.values())
+            )
+        return cls(table=table, rows={str(k): v for k, v in rows.items()})
+
+
+@dataclasses.dataclass(frozen=True)
+class AppendResponse:
+    """The server's acknowledgement of a streaming append."""
+
+    table: str
+    #: The table's streaming version after the append.
+    version: int
+    #: Total rows after the append.
+    n_rows: int
+    #: Rows this request added.
+    appended: int
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "version": self.version,
+            "n_rows": self.n_rows,
+            "appended": self.appended,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppendResponse":
+        if not isinstance(data, dict) or "version" not in data:
+            raise ProtocolError(
+                f"expected an append response object, got {data!r}"
+            )
+        try:
+            return cls(
+                table=str(data["table"]),
+                version=int(data["version"]),
+                n_rows=int(data["n_rows"]),
+                appended=int(data["appended"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed append response: {exc}"
+            ) from exc
 
 
 @dataclasses.dataclass(frozen=True)

@@ -10,6 +10,7 @@ GET    /health     liveness + protocol version
 GET    /tables     registered tables with provenance
 POST   /tables     register a generated table (a ``build_table`` spec)
 POST   /explore    run one exploration (an ``ExploreRequest`` payload)
+POST   /append     append rows to a table (an ``AppendRequest`` payload)
 GET    /metrics    counters, cache stats, per-stage latency percentiles
 ====== =========== ====================================================
 
@@ -28,6 +29,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    AppendRequest,
     ProtocolError,
     ExploreRequest,
     ServiceError,
@@ -86,6 +88,9 @@ class _Handler(BaseHTTPRequestHandler):
                 request = ExploreRequest.from_dict(payload)
                 response = service.handle(request)
                 self._send(200, response.to_dict())
+            elif self.path == "/append":
+                append = AppendRequest.from_dict(payload)
+                self._send(200, service.handle_append(append).to_dict())
             elif self.path == "/tables":
                 if not isinstance(payload, dict):
                     raise ProtocolError(

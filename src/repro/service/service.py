@@ -42,6 +42,8 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
+    AppendRequest,
+    AppendResponse,
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
@@ -112,6 +114,13 @@ class ExplorationService:
         self._registry = Lock()
         self._sources: dict[str, TableSource] = {}
         self._tables: dict[str, Table] = {}
+        #: Per-name registration generation, bumped on every (re-)
+        #: registration.  Result-cache keys carry ``(generation,
+        #: version)`` so neither an overwrite nor an append can leave a
+        #: stale answer reachable (an overwritten table restarts at
+        #: version 0 — the generation is what separates its cache
+        #: entries from the previous tenant's).
+        self._generations: dict[str, int] = {}
         self._contexts: OrderedDict[tuple, ExecutionContext] = OrderedDict()
         self._max_contexts = max_contexts
         self._closed = False
@@ -165,6 +174,7 @@ class ExplorationService:
                     "(pass overwrite=True to replace it)"
                 )
             self._sources[name] = source
+            self._generations[name] = self._generations.get(name, 0) + 1
             # Drop any stale materialization and its contexts.
             self._tables.pop(name, None)
             for key in [k for k in self._contexts if k[0] == name]:
@@ -206,6 +216,17 @@ class ExplorationService:
                 # First materialization wins so context identity is stable.
                 return self._tables.setdefault(name, table)
 
+    def _resolve_with_generation(self, name: str) -> tuple[Table, int]:
+        """The served table *and* the generation it belongs to, read
+        atomically — a re-registration racing an explore must not pair
+        the old tenant's table with the new tenant's generation (the
+        old answer would become reachable under new-generation keys)."""
+        while True:
+            table = self._resolve_table(name)
+            with self._registry:
+                if self._tables.get(name) is table:
+                    return table, self._generations.get(name, 0)
+
     # ------------------------------------------------------------------ #
     # Shared execution contexts
     # ------------------------------------------------------------------ #
@@ -222,6 +243,12 @@ class ExplorationService:
             context = self._contexts.get(key)
             if context is not None:
                 self._contexts.move_to_end(key)
+                if context.version < table.version:
+                    # The context was registered while an append was in
+                    # flight and missed the maintenance pass; catch it
+                    # up so an answer at an old version can never be
+                    # computed for (and cached under) a newer one.
+                    context.advance(table)
                 return context
             context = ExecutionContext(table, config)
             while len(self._contexts) >= self._max_contexts:
@@ -254,7 +281,7 @@ class ExplorationService:
             resolved_config = self._coerce_config(config)
             if fidelity is not None:
                 resolved_config = resolved_config.replace(fidelity=fidelity)
-            table_obj = self._resolve_table(table)
+            table_obj, generation = self._resolve_with_generation(table)
         except AdmissionError:  # pragma: no cover - defensive
             raise
         except Exception:
@@ -265,8 +292,15 @@ class ExplorationService:
         # travels inside the config key): an approximate and an exact
         # answer for the same query fingerprint must never collide,
         # even if a future config-key change drops or reorders fields.
+        # (generation, version) pins the answer to the exact data it
+        # was computed from: an append bumps the version, a re-register
+        # bumps the generation, and either makes every older entry
+        # unreachable — the result cache can never serve a pre-append
+        # answer at a post-append version.
         cache_key = (
             table,
+            generation,
+            table_obj.version,
             resolved_config.fidelity.spec(),
             self._config_key(resolved_config),
             query_fingerprint(resolved_query),
@@ -308,6 +342,51 @@ class ExplorationService:
             use_cache=request.use_cache,
             fidelity=request.fidelity,
         )
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def append(self, table: str, rows: "dict | Table") -> AppendResponse:
+        """Append rows to a served table; the twin of ``POST /append``.
+
+        ``rows`` is a columnar mapping (or a same-schema table).  The
+        whole transition is atomic with respect to the registry: the
+        materialized table and its source are replaced by the
+        version-bumped successor, and every live execution context on
+        the table is *maintained incrementally* — sketch backends merge
+        delta sketches and top up reservoirs, exact backends drop their
+        version-stale memo families — before new explores see the new
+        version.  Old cache entries stay keyed to the old version and
+        simply become unreachable.
+        """
+        self._resolve_table(table)  # materialize lazy sources / 404
+        with self._registry:
+            current = self._tables.get(table)
+            if current is None:  # pragma: no cover - re-register race
+                raise UnknownTableError(
+                    f"table {table!r} was re-registered during the append; "
+                    "retry"
+                )
+            new_table = current.append(rows)
+            self._tables[table] = new_table
+            self._sources[table] = InMemorySource(new_table)
+            # Appends are serialized by the registry lock, so contexts
+            # advance through versions in order.
+            for key, context in self._contexts.items():
+                if key[0] == table:
+                    context.advance(new_table)
+        self._metrics.count("appends")
+        return AppendResponse(
+            table=table,
+            version=new_table.version,
+            n_rows=new_table.n_rows,
+            appended=new_table.n_rows - current.n_rows,
+        )
+
+    def handle_append(self, request: AppendRequest) -> AppendResponse:
+        """Serve a wire-shaped append (what the HTTP frontend calls)."""
+        return self.append(request.table, request.rows)
 
     def _admit(self) -> None:
         with self._admission:

@@ -97,7 +97,12 @@ class InMemorySource(TableSource):
         return self._table
 
     def describe(self) -> str:
-        return f"in-memory ({self._table.n_rows} rows)"
+        version = self._table.version
+        return (
+            f"in-memory ({self._table.n_rows} rows"
+            + (f", version {version}" if version else "")
+            + ")"
+        )
 
 
 class ConnectionSource(TableSource):

@@ -1,0 +1,118 @@
+"""Streaming appends at the columnar substrate: Table.append + versions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import DatasetError, SchemaError
+
+
+def small_table() -> Table:
+    return Table.from_dict(
+        {"age": [20, 30, 40], "sex": ["M", "F", "M"]}, name="people"
+    )
+
+
+class TestColumnConcat:
+    def test_numeric_concat(self):
+        a = NumericColumn("x", [1.0, 2.0])
+        b = NumericColumn("x", [3.0, np.nan])
+        merged = a.concat(b)
+        assert merged.data[:3].tolist() == [1.0, 2.0, 3.0]
+        assert np.isnan(merged.data[3])
+
+    def test_categorical_concat_unions_dictionaries(self):
+        a = CategoricalColumn.from_values("c", ["red", "blue", None])
+        b = CategoricalColumn.from_values("c", ["green", "blue", None])
+        merged = a.concat(b)
+        # Parent codes survive verbatim; fresh labels append.
+        assert merged.categories == ("red", "blue", "green")
+        assert merged.codes.tolist() == [0, 1, -1, 2, 1, -1]
+
+    def test_kind_mismatch_rejected(self):
+        numeric = NumericColumn("x", [1.0])
+        categorical = CategoricalColumn.from_values("x", ["a"])
+        with pytest.raises(DatasetError):
+            numeric.concat(categorical)
+        with pytest.raises(DatasetError):
+            categorical.concat(numeric)
+
+
+class TestTableAppend:
+    def test_append_mapping_bumps_version(self):
+        table = small_table()
+        appended = table.append({"age": [50], "sex": ["F"]})
+        assert table.version == 0 and table.n_rows == 3  # untouched
+        assert appended.version == 1 and appended.n_rows == 4
+        assert appended.append({"age": [1], "sex": ["M"]}).version == 2
+
+    def test_append_matches_from_scratch_build(self):
+        table = small_table()
+        appended = table.append(
+            {"age": [50, None], "sex": ["X", None]}
+        ).append({"age": [60], "sex": ["F"]})
+        fresh = Table.from_dict(
+            {
+                "age": [20, 30, 40, 50, None, 60],
+                "sex": ["M", "F", "M", "X", None, "F"],
+            },
+            name="people",
+        )
+        for name in fresh.column_names:
+            incremental, scratch = appended.column(name), fresh.column(name)
+            if isinstance(scratch, NumericColumn):
+                assert np.array_equal(
+                    incremental.data, scratch.data, equal_nan=True
+                )
+            else:
+                assert incremental.categories == scratch.categories
+                assert np.array_equal(incremental.codes, scratch.codes)
+
+    def test_append_table_with_same_schema(self):
+        table = small_table()
+        delta = Table.from_dict({"age": [70], "sex": ["F"]}, name="delta")
+        appended = table.append(delta)
+        assert appended.n_rows == 4 and appended.version == 1
+        assert appended.name == "people"
+
+    def test_append_numeric_strings_coerced(self):
+        appended = small_table().append({"age": ["55"], "sex": ["M"]})
+        assert appended.numeric("age").data[-1] == 55.0
+
+    def test_schema_errors(self):
+        table = small_table()
+        with pytest.raises(SchemaError, match="missing columns: sex"):
+            table.append({"age": [1]})
+        with pytest.raises(SchemaError, match="unknown columns: zzz"):
+            table.append({"age": [1], "sex": ["M"], "zzz": [0]})
+        with pytest.raises(SchemaError, match="must be numeric"):
+            table.append({"age": ["old"], "sex": ["M"]})
+        with pytest.raises(SchemaError):
+            table.append(
+                Table.from_dict({"age": ["a"], "sex": ["M"]}, name="bad")
+            )
+        with pytest.raises(SchemaError, match="mapping or a Table"):
+            table.append([{"age": 1, "sex": "M"}])
+
+    def test_ragged_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            small_table().append({"age": [1, 2], "sex": ["M"]})
+
+
+class TestVersionPropagation:
+    def test_derived_tables_inherit_version(self):
+        table = small_table().append({"age": [50], "sex": ["F"]})
+        assert table.version == 1
+        assert table.project(["age"]).version == 1
+        assert table.select(np.ones(4, dtype=bool)).version == 1
+        assert table.take(np.array([0, 1])).version == 1
+        assert table.rename("other").version == 1
+        assert table.sample(2, rng=0).version == 1
+        assert table.with_column(NumericColumn("z", [0.0] * 4)).version == 1
+
+    def test_fresh_tables_start_at_zero(self):
+        assert small_table().version == 0
+        assert Table([]).version == 0

@@ -1,0 +1,77 @@
+"""REPL streaming verbs: append / refresh / watch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.frontend.repl import run_script
+
+
+def tiny_table(n: int = 40) -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_dict(
+        {
+            "Age": rng.uniform(18, 80, n).tolist(),
+            "Sex": rng.choice(["M", "F"], n).tolist(),
+        },
+        name="tiny",
+    )
+
+
+class TestAppendCommand:
+    def test_append_reports_version_and_rows(self):
+        out = run_script(tiny_table(), ["append Age=33, Sex=F", "quit"])
+        assert "appended 1 row(s); 'tiny' is now version 1 (41 rows)" in out
+
+    def test_multi_row_append(self):
+        out = run_script(
+            tiny_table(), ["append Age=33, Sex=F; Age=44, Sex=M", "quit"]
+        )
+        assert "appended 2 row(s)" in out
+        assert "version 1 (42 rows)" in out
+
+    def test_missing_columns_become_missing_values(self):
+        out = run_script(tiny_table(), ["append Age=50", "quit"])
+        assert "version 1 (41 rows)" in out
+
+    def test_unknown_column_is_an_error(self):
+        out = run_script(tiny_table(), ["append Wat=1", "quit"])
+        assert "error: unknown column(s): Wat" in out
+
+    def test_bad_syntax_is_an_error(self):
+        out = run_script(tiny_table(), ["append lol", "quit"])
+        assert "error: append expects col=value pairs" in out
+        out = run_script(tiny_table(), ["append", "quit"])
+        assert "error: append needs rows" in out
+
+
+class TestRefreshAndWatch:
+    def test_refresh_reexplores_at_the_new_version(self):
+        out = run_script(
+            tiny_table(),
+            ["append Age=30, Sex=F", "refresh", "quit"],
+        )
+        # The refresh prints a map set measured over the appended rows.
+        assert "over 41 rows" in out
+
+    def test_watch_auto_refreshes_on_append(self):
+        out = run_script(
+            tiny_table(), ["watch", "append Age=30, Sex=F", "quit"]
+        )
+        assert "watch on" in out
+        assert "over 41 rows" in out  # maps re-rendered without `refresh`
+
+    def test_watch_toggles_off(self):
+        out = run_script(
+            tiny_table(),
+            ["watch", "watch", "append Age=30, Sex=F", "quit"],
+        )
+        assert "watch off" in out
+        # With watch off the append only acknowledges; no re-render.
+        assert "over 41 rows" not in out
+
+    def test_help_lists_the_streaming_commands(self):
+        out = run_script(tiny_table(), ["help", "quit"])
+        assert "append <rows>" in out
+        assert "refresh" in out and "watch" in out

@@ -230,3 +230,55 @@ class TestHttpErrors:
             finally:
                 gate.release.set()
                 pool.shutdown(wait=True)
+
+
+class TestHttpAppend:
+    """Streaming appends over real sockets (`POST /append`)."""
+
+    DELTA = {
+        "Age": [44.0, 61.0],
+        "Sex": ["Female", "Male"],
+        "Salary": [1500.0, 900.0],
+        "Education": ["PhD", "Primary"],
+        "Eye color": ["Blue", "Green"],
+    }
+
+    def test_append_then_explore_at_the_new_version(
+        self, served, census_small
+    ):
+        client, _ = served
+        stale = client.explore("census", "Age: [17, 90]")
+        response = client.append("census", self.DELTA)
+        assert response.version == 1
+        assert response.n_rows == census_small.n_rows + 2
+        assert response.appended == 2
+        fresh = client.explore("census", "Age: [17, 90]")
+        assert fresh.cached is False  # the pre-append entry is unreachable
+        assert fresh.map_set.version == 1
+        assert stale.map_set.version == 0
+
+    def test_remote_append_matches_local_append(self, served, census_small):
+        client, _ = served
+        client.append("census", self.DELTA)
+        local = explorer(census_small.append(self.DELTA)).explore()
+        remote = client.explore("census")
+        assert remote.map_set.maps == local.maps
+        assert remote.map_set.version == local.version == 1
+
+    def test_append_schema_mismatch_is_400(self, served):
+        client, _ = served
+        with pytest.raises(Exception) as caught:
+            client.append("census", {"Age": [1.0]})
+        from repro.errors import SchemaError
+
+        assert isinstance(caught.value, SchemaError)
+
+    def test_append_unknown_table_is_404(self, served):
+        client, _ = served
+        with pytest.raises(UnknownTableError):
+            client.append("missing", {"Age": [1.0]})
+
+    def test_append_malformed_rows_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ProtocolError):
+            client.append("census", {"Age": [1.0], "Sex": ["F", "M"]})
