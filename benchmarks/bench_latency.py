@@ -7,7 +7,6 @@ pairwise distance matrix), and flat once ``sample_size`` caps the scan.
 Sub-second latency at 100k rows is the quasi-real-time bar.
 """
 
-import pytest
 
 from repro.core.atlas import Atlas
 from repro.core.config import AtlasConfig

@@ -15,7 +15,6 @@ import pytest
 
 from repro.core.config import (
     AtlasConfig,
-    MergeMethod,
     NumericCutStrategy,
 )
 from repro.core.cut import cut

@@ -1,0 +1,228 @@
+"""E20 — sharded parallel exploration: multi-core speedup, identical answers.
+
+The scan/merge split (:mod:`repro.engine.parallel`) shards the table
+into row ranges, builds per-shard statistics — a uniform row sample
+plus *full-scan* GK quantile / Misra–Gries frequency summaries — in
+worker processes, and merges them with the PR-3 merge rules.  Two
+claims to measure on the 1M-row census session:
+
+1. **Speedup** — wall-clock of the interactive session (cold context:
+   sharded statistics build + root answer + the drill-down workload)
+   at ``workers=4`` vs the serial executor over the *same* shard
+   layout.  E20 requires ≥2x at 4 workers — asserted when the host
+   actually has ≥4 cores; on smaller hosts the run still measures and
+   records (a fork pool cannot beat serial on one core), and the
+   committed per-shard scan seconds show the work partitions evenly,
+   which is what the speedup follows from.
+2. **Bit-identical answers** — every answer of the session compared by
+   :func:`map_set_fingerprint` and scored with
+   :func:`ranked_map_agreement`; E20 requires agreement 1.000 (the
+   worker count is a pure wall-clock knob).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py           # full E20
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke   # CI check
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke --json out.json
+
+The full run writes ``benchmarks/results/parallel_speedup.json`` (the
+file ``benchmarks/check_results.py`` guards); the smoke run only
+prints/asserts unless ``--json`` names an output file, so committed
+full-scale numbers are never overwritten by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import AtlasConfig, Fidelity, Parallelism  # noqa: E402
+from repro.datagen import census_table                    # noqa: E402
+from repro.engine.context import ExecutionContext         # noqa: E402
+from repro.engine.pipeline import Pipeline                # noqa: E402
+from repro.evaluation.harness import ResultTable          # noqa: E402
+from repro.evaluation.metrics import (                    # noqa: E402
+    map_set_fingerprint,
+    ranked_map_agreement,
+)
+from repro.evaluation.workloads import figure2_query      # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_FILE = RESULTS_DIR / "parallel_speedup.json"
+
+
+def session_queries() -> list:
+    """Root + the Figure-2 survey query (drill-downs added at run time)."""
+    return [None, figure2_query()]
+
+
+def run_session(table, config: AtlasConfig) -> tuple[float, list, list]:
+    """One cold interactive session: build statistics, answer root +
+    survey + top-map drill-downs.  Returns (seconds, answers, shard
+    scan seconds)."""
+    pipeline = Pipeline.default()
+    started = time.perf_counter()
+    context = ExecutionContext(table, config)
+    answers = [pipeline.run(q, context) for q in session_queries()]
+    for entry in answers[1].ranked[:3]:
+        answers.extend(
+            pipeline.run(region, context)
+            for region in entry.map.regions[:2]
+        )
+    elapsed = time.perf_counter() - started
+    snapshot = context.stats().snapshot()
+    shard_seconds = snapshot.get("parallel", {}).get("shard_seconds", [])
+    return elapsed, answers, shard_seconds
+
+
+def run(
+    n_rows: int,
+    budget: int,
+    workers: int,
+    shards: int,
+    seed: int,
+    *,
+    smoke: bool,
+    json_path: str | None,
+) -> dict:
+    cpus = os.cpu_count() or 1
+    table = census_table(n_rows=n_rows, seed=seed)
+    fidelity = Fidelity.sketch(budget_rows=budget)
+
+    def config_for(worker_count: int) -> AtlasConfig:
+        return AtlasConfig(
+            fidelity=fidelity,
+            parallelism=Parallelism(workers=worker_count, shards=shards),
+            seed=seed,
+        )
+
+    # Serial executor first (same shard layout), then the fork pool.
+    t_serial, serial_answers, serial_shards = run_session(
+        table, config_for(1)
+    )
+    t_parallel, parallel_answers, _ = run_session(
+        table, config_for(workers)
+    )
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+
+    identical = [
+        map_set_fingerprint(a) == map_set_fingerprint(b)
+        for a, b in zip(serial_answers, parallel_answers)
+    ]
+    agreement = [
+        ranked_map_agreement(a, b, table, top_k=3)
+        for a, b in zip(serial_answers, parallel_answers)
+    ]
+    mean_agreement = sum(agreement) / len(agreement)
+    # Even partitioning is what multi-core speedup follows from: the
+    # critical path of the scan phase is the largest shard.
+    max_shard_fraction = (
+        max(serial_shards) / sum(serial_shards) if serial_shards else 1.0
+    )
+
+    report = ResultTable(
+        ["measurement", "serial (1 worker)", f"{workers} workers", "ratio"],
+        title=(
+            f"E20: sharded parallel exploration — census, {n_rows:,} rows, "
+            f"sketch:{budget}, {shards} shards, seed {seed}, "
+            f"{cpus} cpu(s)"
+        ),
+    )
+    report.add_row(
+        ["cold session wall-clock (s)", f"{t_serial:.3f}",
+         f"{t_parallel:.3f}", f"{speedup:.2f}x"]
+    )
+    report.add_row(
+        ["answers bit-identical", f"{sum(identical)}/{len(identical)}",
+         "", ""]
+    )
+    report.add_row(
+        ["top-3 agreement (mean)", f"{mean_agreement:.4f}", "", ""]
+    )
+    report.add_row(
+        ["largest shard scan share", f"{max_shard_fraction:.3f}",
+         f"(ideal {1 / shards:.3f})", ""]
+    )
+    text = report.render()
+    print()
+    print(text)
+
+    assert all(identical), (
+        "worker count changed an answer: "
+        f"{identical.index(False)}th query differs"
+    )
+    assert mean_agreement == 1.0, mean_agreement
+    # The speedup floor only binds where the hardware can deliver it;
+    # a 1-core container still proves determinism and partitioning.
+    if not smoke and cpus >= workers:
+        assert speedup >= 2.0, (
+            f"E20 needs >=2x at {workers} workers on a {cpus}-cpu host, "
+            f"measured {speedup:.2f}x"
+        )
+
+    payload = {
+        "experiment": "E20",
+        "mode": "smoke" if smoke else "full",
+        "n_rows": n_rows,
+        "budget_rows": budget,
+        "workers": workers,
+        "shards": shards,
+        "seed": seed,
+        "cpu_count": cpus,
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_parallel, 4),
+        "speedup": round(speedup, 4),
+        "speedup_floor_binds": cpus >= workers,
+        "answers_identical": all(identical),
+        "top3_agreement": mean_agreement,
+        "max_shard_fraction": round(max_shard_fraction, 4),
+        "shard_seconds": [round(s, 4) for s in serial_shards],
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    elif not smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {RESULTS_FILE}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_000_000,
+                        help="table size for the full experiment")
+    parser.add_argument("--budget", type=int, default=20_000,
+                        help="sketch fidelity row budget")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the parallel run")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="row-range shards (fixed across worker counts)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small, assertion-only CI run (no results file unless --json)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the measurement payload to PATH (any mode)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        run(200_000, 10_000, 2, args.shards, args.seed,
+            smoke=True, json_path=args.json)
+        print("\nsmoke ok")
+    else:
+        run(args.rows, args.budget, args.workers, args.shards, args.seed,
+            smoke=False, json_path=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

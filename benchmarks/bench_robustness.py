@@ -11,7 +11,6 @@ are robust estimators, so the structure should survive well past 10 %
 corruption and only degrade at extreme rates.
 """
 
-import pytest
 
 from repro.core.atlas import Atlas
 from repro.datagen import census_table

@@ -13,7 +13,6 @@ idle time.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.anticipate import AnticipativeExplorer

@@ -7,7 +7,6 @@ summary size (must stay ~O((1/ε) log εn), i.e. tiny next to n).
 """
 
 import numpy as np
-import pytest
 
 from repro.evaluation.harness import ResultTable, Timer
 from repro.sketch.quantile import GKQuantileSketch

@@ -18,7 +18,6 @@ import numpy as np
 import pytest
 
 from repro.core.atlas import Atlas
-from repro.core.candidates import generate_candidates
 from repro.core.config import AtlasConfig
 from repro.core.distance import map_nvi
 from repro.core.cut import cut

@@ -1,0 +1,154 @@
+"""Benchmark-regression guard: committed speedup floors vs a smoke run.
+
+CI runs the E20 smoke benchmark with ``--json`` and hands the fresh
+measurement to this script, which diffs it against the committed
+``benchmarks/results/*.json`` figures (matched by ``experiment``):
+
+* **Correctness gates (always):** the smoke run's answers must be
+  bit-identical across worker counts (``answers_identical``) with
+  top-3 agreement 1.000 — a determinism regression fails CI on any
+  hardware.
+* **Speedup floor:** the fresh ``speedup`` must reach ``RATIO`` (80%)
+  of the committed figure.  The floor only binds when the fresh host
+  has at least as many cores as the fresh run used workers
+  (``cpu_count >= workers``); a 1-core runner cannot exhibit
+  multi-core speedup and skips the wall-clock comparison, never the
+  correctness gates.
+
+Usage::
+
+    python benchmarks/bench_parallel.py --smoke --json fresh.json
+    python benchmarks/check_results.py fresh.json
+
+Exit status 0 when every gate passes, 1 otherwise (fails the build).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+#: A smoke run may fall this far below the committed figure before the
+#: build fails (runner-noise headroom on top of a real floor).
+RATIO = 0.8
+#: When the committed baseline itself was recorded on a host that
+#: could not exhibit multi-core speedup (``speedup_floor_binds``
+#: false, e.g. a 1-core container), 80% of that figure would be a
+#: vacuous gate — a silently-serial regression (~1.0x) would pass.  A
+#: capable runner must instead clear this absolute floor, which a
+#: serial execution cannot reach.
+ABSOLUTE_FLOOR = 1.15
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read benchmark payload {path}: {exc}")
+
+
+def committed_baselines(results_dir: Path) -> dict[str, dict]:
+    """Committed figures by experiment id, from ``results/*.json``."""
+    baselines: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        payload = load(path)
+        experiment = payload.get("experiment")
+        if experiment and "speedup" in payload:
+            baselines[experiment] = payload
+    return baselines
+
+
+def check(fresh: dict, committed: dict, ratio: float) -> list[str]:
+    """Gate one fresh measurement against its committed figure.
+
+    Returns failure messages (empty = pass).
+    """
+    failures: list[str] = []
+    experiment = fresh.get("experiment", "?")
+
+    if not fresh.get("answers_identical", False):
+        failures.append(
+            f"{experiment}: smoke answers are no longer bit-identical "
+            "across worker counts"
+        )
+    agreement = fresh.get("top3_agreement", 0.0)
+    if agreement != 1.0:
+        failures.append(
+            f"{experiment}: top-3 agreement {agreement} != 1.0"
+        )
+
+    cpus = int(fresh.get("cpu_count", 1))
+    workers = int(fresh.get("workers", 1))
+    if cpus < workers:
+        print(
+            f"{experiment}: host has {cpus} cpu(s) < {workers} workers; "
+            "speedup floor skipped (correctness gates still applied)"
+        )
+        return failures
+    floor = ratio * float(committed["speedup"])
+    if not committed.get("speedup_floor_binds", True):
+        floor = max(floor, ABSOLUTE_FLOOR)
+    speedup = float(fresh.get("speedup", 0.0))
+    if speedup < floor:
+        failures.append(
+            f"{experiment}: smoke speedup {speedup:.2f}x fell below the "
+            f"floor {floor:.2f}x (committed {committed['speedup']:.2f}x "
+            f"at {ratio:.0%}, absolute minimum "
+            f"{ABSOLUTE_FLOOR:.2f}x where the baseline host was "
+            "core-starved)"
+        )
+    else:
+        print(
+            f"{experiment}: speedup {speedup:.2f}x >= floor {floor:.2f}x "
+            f"({ratio:.0%} of committed {committed['speedup']:.2f}x)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", nargs="+",
+        help="JSON payload(s) written by a benchmark --smoke --json run",
+    )
+    parser.add_argument(
+        "--results-dir", default=str(RESULTS_DIR),
+        help="directory of committed benchmark figures",
+    )
+    parser.add_argument(
+        "--ratio", type=float, default=RATIO,
+        help="fraction of the committed speedup a smoke run must reach",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = committed_baselines(Path(args.results_dir))
+    if not baselines:
+        print(f"no committed speedup figures under {args.results_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+    for fresh_path in args.fresh:
+        fresh = load(Path(fresh_path))
+        experiment = fresh.get("experiment")
+        committed = baselines.get(experiment)
+        if committed is None:
+            failures.append(
+                f"{fresh_path}: no committed figure for experiment "
+                f"{experiment!r} under {args.results_dir}"
+            )
+            continue
+        failures.extend(check(fresh, committed, args.ratio))
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark regression guard: all gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,7 @@ from repro.core import (
     DataMap,
     ExplorationSession,
     Fidelity,
+    Parallelism,
     Linkage,
     MapSet,
     MergeMethod,
@@ -91,6 +92,7 @@ __all__ = [
     "Atlas",
     "AtlasConfig",
     "Fidelity",
+    "Parallelism",
     "AtlasError",
     "Catalog",
     "CategoricalCutStrategy",

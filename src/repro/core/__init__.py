@@ -15,6 +15,7 @@ from repro.core.config import (
     AtlasConfig,
     CategoricalCutStrategy,
     Fidelity,
+    Parallelism,
     Linkage,
     MergeMethod,
     NumericCutStrategy,
@@ -74,6 +75,7 @@ __all__ = [
     "Atlas",
     "AtlasConfig",
     "Fidelity",
+    "Parallelism",
     "CacheStats",
     "CategoricalContrast",
     "CategoricalCutStrategy",

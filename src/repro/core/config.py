@@ -165,6 +165,141 @@ class Fidelity:
         return cls.sketch(budget_rows=budget, epsilon=epsilon)
 
 
+#: Row-range shards a parallel execution partitions a table into.  A
+#: *fixed* default — independent of the worker count — because shard
+#: boundaries are part of the statistical recipe (per-shard RNG streams
+#: and merge order), while workers are pure execution: the same config
+#: must produce bit-identical answers on a laptop and a 64-core server.
+DEFAULT_SHARDS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class Parallelism:
+    """Multi-core execution: worker processes over row-range shards.
+
+    The scan/merge split of :mod:`repro.engine.parallel` in one value
+    threaded end to end (engine, facade, service, REPL), like
+    :class:`Fidelity`:
+
+    * ``workers`` — processes building per-shard statistics
+      concurrently; ``"auto"`` resolves to ``os.cpu_count()`` at run
+      time.  Workers never affect results, only wall-clock.
+    * ``shards`` — row-range partitions of the table.  Shards *do*
+      affect the statistics (each shard draws its own deterministic
+      RNG stream and the per-shard summaries are merged in shard
+      order), so they default to a fixed machine-independent count.
+
+    The wire form is a compact spec string (``"serial"``,
+    ``"parallel"``, ``"parallel:4"``, ``"parallel:auto:16"``) so it
+    stays hashable inside serialized configs and cache keys.
+    """
+
+    #: Worker processes (``>= 1``) or ``"auto"`` (= ``os.cpu_count()``).
+    workers: int | str = 1
+    #: Row-range shards; ``1`` is the unsharded legacy path.
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ConfigError(
+                    f"parallelism workers must be an int >= 1 or 'auto', "
+                    f"got {self.workers!r}"
+                )
+        elif not isinstance(self.workers, int) or self.workers < 1:
+            raise ConfigError(
+                f"parallelism workers must be >= 1, got {self.workers!r}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ConfigError(
+                f"parallelism shards must be >= 1, got {self.shards!r}"
+            )
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when execution is sharded (the scan/merge split runs)."""
+        return self.shards > 1
+
+    @property
+    def resolved_workers(self) -> int:
+        """The concrete worker count (``"auto"`` resolved on this host)."""
+        import os
+
+        if self.workers == "auto":
+            return max(1, os.cpu_count() or 1)
+        return int(self.workers)
+
+    @classmethod
+    def serial(cls) -> "Parallelism":
+        """Single-core, unsharded execution (the default)."""
+        return cls(workers=1, shards=1)
+
+    @classmethod
+    def of(
+        cls, workers: int | str = "auto", shards: int | None = None
+    ) -> "Parallelism":
+        """Sharded execution with ``workers`` processes.
+
+        ``shards`` defaults to :data:`DEFAULT_SHARDS` — *not* to the
+        worker count — so answers are bit-identical for any ``workers``.
+        """
+        return cls(
+            workers=workers,
+            shards=DEFAULT_SHARDS if shards is None else shards,
+        )
+
+    def spec(self) -> str:
+        """Compact, parseable wire form (inverse of :meth:`parse`)."""
+        if not self.is_parallel and self.workers == 1:
+            return "serial"
+        return f"parallel:{self.workers}:{self.shards}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Parallelism":
+        """Build a parallelism from a spec string.
+
+        Accepted shapes: ``"serial"``, ``"parallel"``,
+        ``"parallel:<workers|auto>"``,
+        ``"parallel:<workers|auto>:<shards>"``.
+        """
+        parts = text.strip().split(":")
+        mode = parts[0].strip().lower()
+        if mode == "serial":
+            if len(parts) > 1:
+                raise ConfigError(
+                    f"'serial' parallelism takes no arguments, got {text!r}"
+                )
+            return cls.serial()
+        if mode != "parallel":
+            raise ConfigError(
+                f"unknown parallelism {text!r}; expected 'serial' or "
+                "'parallel[:workers[:shards]]'"
+            )
+        if len(parts) > 3:
+            raise ConfigError(f"malformed parallelism spec {text!r}")
+        workers: int | str = "auto"
+        if len(parts) > 1 and parts[1]:
+            raw = parts[1].strip().lower()
+            if raw == "auto":
+                workers = "auto"
+            else:
+                try:
+                    workers = int(raw)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"malformed parallelism spec {text!r}: {exc}"
+                    ) from exc
+        shards = DEFAULT_SHARDS
+        if len(parts) > 2 and parts[2]:
+            try:
+                shards = int(parts[2])
+            except ValueError as exc:
+                raise ConfigError(
+                    f"malformed parallelism spec {text!r}: {exc}"
+                ) from exc
+        return cls(workers=workers, shards=shards)
+
+
 def _coerce_fidelity(value: object) -> Fidelity:
     """Normalize the ``fidelity`` config field to a :class:`Fidelity`."""
     if isinstance(value, Fidelity):
@@ -173,6 +308,30 @@ def _coerce_fidelity(value: object) -> Fidelity:
         return Fidelity.parse(value)
     raise ConfigError(
         f"expected a Fidelity or spec string, got {type(value).__name__}"
+    )
+
+
+def _coerce_parallelism(value: object) -> Parallelism:
+    """Normalize the ``parallelism`` config field to a :class:`Parallelism`.
+
+    Accepts a :class:`Parallelism`, a spec string, or a bare worker
+    count (``4`` ⇒ 4 workers over the default shard layout; ``1``
+    keeps the default shard layout too, so a worker-count sweep
+    compares bit-identical statistics).
+    """
+    if isinstance(value, Parallelism):
+        return value
+    if isinstance(value, bool):
+        raise ConfigError(
+            "expected a Parallelism, spec string, or worker count, got a bool"
+        )
+    if isinstance(value, int):
+        return Parallelism.of(workers=value)
+    if isinstance(value, str):
+        return Parallelism.parse(value)
+    raise ConfigError(
+        f"expected a Parallelism, spec string, or worker count, "
+        f"got {type(value).__name__}"
     )
 
 
@@ -245,6 +404,12 @@ class AtlasConfig:
     #: ``sketch`` row/epsilon budget answered by the sketch backend.
     #: Accepts a :class:`Fidelity` or a spec string (``"sketch:20000"``).
     fidelity: Fidelity | str = Fidelity()
+    #: Multi-core execution: worker processes over row-range shards
+    #: (:mod:`repro.engine.parallel`).  Accepts a :class:`Parallelism`,
+    #: a spec string (``"parallel:4"``), or a bare worker count.
+    #: Applies to sketch-fidelity statistics; exact execution ignores
+    #: it (exact masks are row-backed and cannot be shard-merged).
+    parallelism: Parallelism | str | int = Parallelism()
     #: Random seed for sampling and tie-breaking randomness.
     seed: int = 0
 
@@ -253,6 +418,9 @@ class AtlasConfig:
             normalized = _coerce_strategy(getattr(self, field_name), enum_cls)
             object.__setattr__(self, field_name, normalized)
         object.__setattr__(self, "fidelity", _coerce_fidelity(self.fidelity))
+        object.__setattr__(
+            self, "parallelism", _coerce_parallelism(self.parallelism)
+        )
         if self.max_regions < 2:
             raise ConfigError(f"max_regions must be >= 2, got {self.max_regions}")
         if self.max_predicates < 1:
@@ -306,7 +474,7 @@ class AtlasConfig:
             value = getattr(self, field.name)
             if isinstance(value, enum.Enum):
                 value = value.value
-            elif isinstance(value, Fidelity):
+            elif isinstance(value, (Fidelity, Parallelism)):
                 value = value.spec()
             out[field.name] = value
         return out

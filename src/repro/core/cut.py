@@ -41,7 +41,6 @@ from repro.engine.registry import (
 )
 from repro.errors import MapError
 from repro.query.predicate import (
-    AnyPredicate,
     RangePredicate,
     SetPredicate,
 )

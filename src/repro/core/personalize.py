@@ -14,7 +14,6 @@ rises, everything else keeps its entropy order.
 
 from __future__ import annotations
 
-import dataclasses
 from collections.abc import Iterable, Sequence
 
 from repro.core.datamap import DataMap

@@ -22,7 +22,6 @@ from repro.db.ast import (
     IsNull,
     SelectStatement,
 )
-from repro.db.tokens import SqlSyntaxError
 from repro.errors import QueryError
 
 

@@ -41,7 +41,6 @@ from repro.db.pushdown import (
     sql_category_histogram,
     sql_count,
     sql_joint_distribution,
-    sql_median,
     sql_numeric_range,
     sql_region_counts,
 )

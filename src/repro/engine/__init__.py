@@ -34,6 +34,14 @@ from repro.engine.backends import (
     table_fingerprint,
 )
 from repro.engine.context import ExecutionContext
+from repro.engine.parallel import (
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedSketchBackend,
+    ShardedTable,
+    build_sharded_backend,
+    fork_available,
+)
 from repro.engine.pipeline import CANONICAL_STAGES, MapSet, Pipeline, StageTimings
 from repro.engine.registry import (
     CATEGORICAL_ORDERS,
@@ -73,18 +81,24 @@ __all__ = [
     "MapSet",
     "MergeStage",
     "NUMERIC_CUTS",
+    "ParallelExecutor",
     "Pipeline",
     "PipelineState",
     "RankingStage",
     "ScopeStage",
+    "SerialExecutor",
+    "ShardedSketchBackend",
+    "ShardedTable",
     "SketchBackend",
     "Stage",
     "StageTimings",
     "StatsBackend",
     "StrategyRegistry",
     "TableStats",
+    "build_sharded_backend",
     "default_stages",
     "explorer",
+    "fork_available",
     "make_backend",
     "query_fingerprint",
     "table_fingerprint",

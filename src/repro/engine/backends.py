@@ -695,6 +695,7 @@ class SketchBackend:
         rng: np.random.Generator | int | None = None,
         counters: CacheCounters | None = None,
         lock: threading.Lock | None = None,
+        sample: Table | None = None,
     ):
         if not fidelity.is_sketch:
             raise MapError(
@@ -702,7 +703,13 @@ class SketchBackend:
             )
         self._table = table
         self._fidelity = fidelity
-        if fidelity.budget_rows >= table.n_rows:
+        if sample is not None:
+            # A prebuilt reservoir (the sharded merge of
+            # :mod:`repro.engine.parallel` hands one over); the caller
+            # vouches it is a uniform ``budget_rows`` sample of
+            # ``table`` at ``table.version``.
+            pass
+        elif fidelity.budget_rows >= table.n_rows:
             sample = table  # the budget covers everything; nothing to copy
         else:
             generator = (
@@ -855,18 +862,30 @@ class SketchBackend:
         sample._version = new_table.version
         return sample
 
+    def _delta_sketch_rate(self) -> float:
+        """Fraction of delta rows a sketch merge observes (caller holds
+        the lock).
+
+        Reservoir-built summaries observed ``reservoir / table`` of the
+        existing rows, so the delta is thinned to the same rate.  The
+        sharded backend (:mod:`repro.engine.parallel`) overrides this
+        with ``1.0``: its summaries are full scans, so every appended
+        row must be observed too.
+        """
+        return self._inner.table.n_rows / max(1, self._table.n_rows)
+
     def _merged_sketches(
         self, delta: Table, delta_n: int, rng: np.random.Generator
     ) -> tuple[dict[str, object], dict[str, object]]:
         """Already-built summaries, each merged with a delta-built one.
 
         The delta is subsampled at the rate the existing summaries'
-        rows were kept (``reservoir rows / table rows``) before
-        sketching, so every observed row — old or new — carries the
-        same weight in the merged summary.  Without this, a summary of
-        20k reservoir rows standing in for 1M would be merged with raw
-        delta counts, over-weighting appends by ``table/budget`` and
-        skewing cut points under distribution drift.
+        rows were kept (:meth:`_delta_sketch_rate`) before sketching,
+        so every observed row — old or new — carries the same weight in
+        the merged summary.  Without this, a summary of 20k reservoir
+        rows standing in for 1M would be merged with raw delta counts,
+        over-weighting appends by ``table/budget`` and skewing cut
+        points under distribution drift.
         """
         from repro.sketch.frequency import MisraGriesSketch
         from repro.sketch.quantile import GKQuantileSketch
@@ -874,7 +893,7 @@ class SketchBackend:
         with self._lock:
             quantiles = dict(self._quantile_sketches)
             frequencies = dict(self._frequency_sketches)
-            rate = self._inner.table.n_rows / max(1, self._table.n_rows)
+            rate = self._delta_sketch_rate()
         if not delta_n:
             return quantiles, frequencies
         if rate >= 1.0:

@@ -112,11 +112,19 @@ class ExecutionContext:
 
     @property
     def counters(self) -> CacheCounters:
-        """Aggregate hit/miss counters across every backend family."""
-        return CacheCounters(
-            hits=sum(c.hits for c in self._kind_counters.values()),
-            misses=sum(c.misses for c in self._kind_counters.values()),
-        )
+        """Aggregate hit/miss counters across every backend family.
+
+        Read under the shared lock: the per-kind counter blocks are
+        incremented by backends while holding the same lock, so the
+        aggregate is a consistent snapshot even while a worker pool is
+        hammering the context (the threaded counter regression test
+        pins both sides of this contract).
+        """
+        with self._lock:
+            return CacheCounters(
+                hits=sum(c.hits for c in self._kind_counters.values()),
+                misses=sum(c.misses for c in self._kind_counters.values()),
+            )
 
     # ------------------------------------------------------------------ #
     # Determinism
@@ -190,8 +198,32 @@ class ExecutionContext:
 
     def _new_backend(self, table: Table) -> StatsBackend:
         """Build the backend ``config.fidelity`` asks for, seeded
-        deterministically per ``(seed, table)`` via :meth:`child_rng`."""
+        deterministically per ``(seed, table)`` via :meth:`child_rng`.
+
+        With :attr:`AtlasConfig.parallelism` sharded and a sketch
+        fidelity, the *base* table's backend is built by the
+        scan/merge split of :mod:`repro.engine.parallel` — per-shard
+        statistics scanned concurrently and merged in shard order.
+        Scope samples (already bounded) and exact fidelity keep the
+        serial path.
+        """
         fidelity = self._config.fidelity
+        parallelism = self._config.parallelism
+        if (
+            fidelity.is_sketch
+            and parallelism.is_parallel
+            and table is self._table
+        ):
+            from repro.engine.parallel import build_sharded_backend
+
+            return build_sharded_backend(
+                table,
+                fidelity,
+                parallelism,
+                seed=self._config.seed,
+                counters=self._kind_counters["sketch"],
+                lock=self._lock,
+            )
         return make_backend(
             table,
             fidelity,
@@ -330,19 +362,37 @@ class ExecutionContext:
                 backends.append(self._transient_stats)
         out: dict[str, dict] = {}
         for kind, counters in self._kind_counters.items():
+            from repro.engine.parallel import (
+                merge_shard_info,
+                new_shard_aggregate,
+            )
+
             usage: dict[str, int] = {}
             instances = 0
+            parallel = new_shard_aggregate()
             for backend in backends:
                 if backend.kind != kind:
                     continue
                 instances += 1
-                for name, count in backend.snapshot()["usage"].items():
+                snapshot = backend.snapshot()
+                for name, count in snapshot["usage"].items():
                     usage[name] = usage.get(name, 0) + count
+                # Sharded backends report their scan/merge provenance;
+                # aggregate it so `/metrics` can show per-shard build
+                # timing next to the cache counters.
+                shard_info = snapshot.get("parallel")
+                if shard_info:
+                    merge_shard_info(parallel, shard_info)
+            with self._lock:
+                hits, misses = counters.hits, counters.misses
+                hit_rate = counters.hit_rate
             out[kind] = {
                 "instances": instances,
-                "hits": counters.hits,
-                "misses": counters.misses,
-                "hit_rate": counters.hit_rate,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hit_rate,
                 "usage": usage,
             }
+            if parallel["builds"]:
+                out[kind]["parallel"] = parallel
         return out

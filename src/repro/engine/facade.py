@@ -119,6 +119,27 @@ class Explorer:
 
         return self.configure(fidelity=Fidelity.exact())
 
+    def parallel(
+        self, workers: int | str = "auto", shards: int | None = None
+    ) -> "Explorer":
+        """Build sketch statistics with the multi-core scan/merge split.
+
+        ``workers`` is a pure wall-clock knob (``"auto"`` =
+        ``os.cpu_count()``); ``shards`` defaults to a fixed
+        machine-independent layout, so the same exploration is
+        bit-identical at any worker count.  Applies at sketch fidelity
+        (combine with :meth:`approximate`); exact execution ignores it.
+        """
+        from repro.core.config import Parallelism
+
+        return self.configure(parallelism=Parallelism.of(workers, shards))
+
+    def serial(self) -> "Explorer":
+        """Single-core, unsharded execution (undoes :meth:`parallel`)."""
+        from repro.core.config import Parallelism
+
+        return self.configure(parallelism=Parallelism.serial())
+
     def with_pipeline(self, pipeline: Pipeline) -> "Explorer":
         """Swap in a custom stage composition."""
         self._pipeline = pipeline

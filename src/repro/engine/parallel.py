@@ -1,0 +1,648 @@
+"""Sharded parallel exploration: multi-core statistics with mergeable
+per-shard summaries.
+
+The north star asks the system to run "as fast as the hardware allows",
+yet until this module every statistics build — exact or sketch — ran on
+a single core.  PR 3 made the sketch substrate *mergeable*
+(:meth:`ReservoirSampler.merge`, :meth:`GKQuantileSketch.merge`,
+:meth:`MisraGriesSketch.merge`) and PR 4 proved the merge rules under
+streaming; this module cashes that in with the classic scan/merge split
+of parallel analytical engines:
+
+1. :class:`ShardedTable` partitions the table into contiguous
+   **row-range shards** (machine-independent boundaries).
+2. An executor — :class:`ParallelExecutor` (a ``multiprocessing`` fork
+   pool) or the in-process :class:`SerialExecutor` fallback — builds
+   per-shard statistics concurrently: a uniform row sample of the shard
+   plus **full-scan** GK quantile / Misra–Gries frequency summaries
+   over every shard row (higher fidelity than the reservoir-built
+   summaries of the unsharded path, whose sampling error comes on top
+   of the sketch error).
+3. The per-shard results are folded **in shard order** with the PR-3
+   merge rules — hypergeometric reservoir merging for the row samples,
+   ``GKQuantileSketch.merge`` / ``MisraGriesSketch.merge`` for the
+   summaries — into one :class:`ShardedSketchBackend` the existing
+   pipeline consumes unchanged.
+
+Determinism: every random draw comes from a generator derived exactly
+like :meth:`ExecutionContext.child_rng` from ``(config.seed, tag)``,
+with tags keyed by **shard index** (``"shard:3:<table>"``,
+``"shard-merge:3:<table>"``).  Shard boundaries and merge order depend
+only on ``(table, shards)``, never on the worker count — so serial,
+2-worker, and 4-worker runs produce bit-identical answers, and the
+worker count is a pure wall-clock knob (the E20 benchmark and the
+determinism property tests assert this).
+
+Streaming: appended rows land past the last shard boundary, so
+:meth:`ShardedTable.advanced` routes them to the owning (last) shard
+and :meth:`ShardedSketchBackend.advance` maintains the merged state
+incrementally — the reservoir tops up hypergeometrically and delta
+sketches merge at rate 1.0 (full-scan summaries must observe every
+appended row).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import zlib
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import Fidelity, Parallelism
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.engine.backends import (
+    _MG_CAPACITY,
+    CacheCounters,
+    SketchBackend,
+    table_fingerprint,
+)
+from repro.errors import MapError
+
+
+def tag_rng(seed: int, tag: str) -> np.random.Generator:
+    """The deterministic generator for ``(seed, tag)``.
+
+    Exactly :meth:`ExecutionContext.child_rng`'s derivation for string
+    sources (``default_rng([seed, crc32(tag)])``), factored out so
+    worker *processes* — which cannot call a bound method of the
+    parent's context — draw the same streams the parent would.  A
+    regression test pins the two implementations together.
+    """
+    return np.random.default_rng([seed, zlib.crc32(tag.encode("utf-8"))])
+
+
+def fork_available() -> bool:
+    """True when ``multiprocessing`` can *safely* fork on this platform.
+
+    Fork is what makes sharding cheap: workers inherit the parent's
+    table pages copy-on-write instead of pickling row data.  Windows
+    has no fork at all, and macOS advertises one that is unsafe with
+    system frameworks (Accelerate-backed numpy can abort in the child
+    with ``objc_initializeAfterForkError``), so both fall back to
+    :class:`SerialExecutor` — same answers, single core.
+
+    Forking a *threaded* parent (the service's worker pool does) is
+    the usual fork caveat: the children only touch the staged
+    :class:`_ShardWork` snapshot, numpy slicing, and pure-Python
+    sketch code — never the context lock — which is the same
+    discipline joblib-style fork pools rely on.
+    """
+    import multiprocessing
+    import sys
+
+    if sys.platform == "darwin":
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def new_shard_aggregate() -> dict:
+    """An empty aggregate for folding backends' shard provenance."""
+    return {
+        "builds": 0,
+        "shards": 0,
+        "build_seconds": 0.0,
+        "shard_seconds": [],
+    }
+
+
+def merge_shard_info(target: dict, info: dict) -> dict:
+    """Fold one ``parallel`` provenance block into an aggregate.
+
+    ``info`` is either a backend's ``snapshot()["parallel"]`` (one
+    build) or another aggregate; both
+    :meth:`ExecutionContext.backend_snapshot` and the service
+    ``/metrics`` merge go through here, so a field added to
+    :meth:`ShardedSketchBackend.snapshot` propagates through every
+    layer by editing one function.
+    """
+    target["builds"] += info.get("builds", 1)
+    target["shards"] += info["shards"]
+    target["build_seconds"] += info["build_seconds"]
+    target["shard_seconds"].extend(info["shard_seconds"])
+    return target
+
+
+# ---------------------------------------------------------------------- #
+# Sharding
+# ---------------------------------------------------------------------- #
+
+
+class ShardedTable:
+    """A table partitioned into contiguous row-range shards.
+
+    Boundaries split the row count as evenly as possible (the first
+    ``n_rows % n_shards`` shards get one extra row), depend only on
+    ``(n_rows, n_shards)``, and never on the machine — they are part of
+    the statistical recipe, since each shard seeds its own RNG stream.
+    ``n_shards`` is clamped to ``n_rows`` so every shard is non-empty.
+    """
+
+    def __init__(self, table: Table, n_shards: int):
+        if table.n_rows == 0:
+            raise MapError("cannot shard an empty table")
+        if n_shards < 1:
+            raise MapError(f"n_shards must be >= 1, got {n_shards}")
+        self._table = table
+        k = min(int(n_shards), table.n_rows)
+        base, extra = divmod(table.n_rows, k)
+        bounds: list[tuple[int, int]] = []
+        low = 0
+        for index in range(k):
+            high = low + base + (1 if index < extra else 0)
+            bounds.append((low, high))
+            low = high
+        self._bounds = tuple(bounds)
+
+    @property
+    def table(self) -> Table:
+        """The table being sharded."""
+        return self._table
+
+    @property
+    def n_shards(self) -> int:
+        """Number of row-range shards."""
+        return len(self._bounds)
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """Half-open ``(low, high)`` row ranges, in shard order."""
+        return self._bounds
+
+    def shard(self, index: int) -> Table:
+        """Materialize one shard as a table (diagnostics and tests;
+        the workers read column slices instead of copying rows)."""
+        low, high = self._bounds[index]
+        return self._table.take(
+            np.arange(low, high), name=f"{self._table.name}_shard{index}"
+        )
+
+    def owning_shard(self, row_index: int) -> int:
+        """The shard whose row range contains ``row_index``.
+
+        Rows at or past the current end belong to the last shard —
+        that is where :meth:`advanced` routes appended rows.
+        """
+        if row_index < 0:
+            raise MapError(f"row index must be >= 0, got {row_index}")
+        for index, (low, high) in enumerate(self._bounds):
+            if low <= row_index < high:
+                return index
+        return len(self._bounds) - 1
+
+    def advanced(self, new_table: Table) -> "ShardedTable":
+        """This sharding routed onto an appended version of the table.
+
+        Appended rows live in ``[old_n_rows, new_n_rows)`` — past every
+        boundary — so they extend the owning (last) shard's range;
+        earlier shard boundaries are untouched, which is what keeps
+        per-shard RNG streams and merge order stable across appends.
+        """
+        if new_table.n_rows < self._table.n_rows:
+            raise MapError(
+                "streaming tables are append-only: cannot advance a "
+                f"sharding from {self._table.n_rows} to "
+                f"{new_table.n_rows} rows"
+            )
+        out = ShardedTable.__new__(ShardedTable)
+        out._table = new_table
+        last_low = self._bounds[-1][0]
+        out._bounds = self._bounds[:-1] + ((last_low, new_table.n_rows),)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ShardedTable {self._table.name!r} rows={self._table.n_rows} "
+            f"shards={self.n_shards}>"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Per-shard statistics (runs inside worker processes)
+# ---------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardStatistics:
+    """What one shard scan produces (cheap to pickle back to the parent).
+
+    Sketches travel in their ``to_dict`` wire form — a few hundred
+    tuples/counters — and the row sample as *global* row indices, so a
+    worker never ships row data.
+    """
+
+    index: int
+    n_rows: int
+    #: Uniform sample of the shard's rows, as global row indices.
+    sample: np.ndarray
+    #: Attribute → :meth:`GKQuantileSketch.to_dict` payload.
+    quantiles: dict[str, dict]
+    #: Attribute → :meth:`MisraGriesSketch.to_dict` payload.
+    frequencies: dict[str, dict]
+    #: Wall-clock seconds the shard scan took (inside the worker).
+    seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class _ShardWork:
+    """The build recipe workers execute (inherited through fork)."""
+
+    table: Table
+    bounds: tuple[tuple[int, int], ...]
+    seed: int
+    budget_rows: int
+    #: False when the budget covers the whole table — the merged
+    #: backend will use the table itself, so shards skip the sample
+    #: permutation draw entirely.
+    sample_rows: bool
+    epsilon: float
+    numeric: tuple[str, ...]
+    #: Categorical attribute → Misra–Gries counter budget (computed
+    #: once in the parent from the full dictionary, so every shard
+    #: sketch has the same capacity and merging is well-defined).
+    categorical: tuple[tuple[str, int], ...]
+
+
+#: The active build recipe; set in the parent immediately before the
+#: executor forks, so workers read it from inherited memory instead of
+#: unpickling the table.  ``_WORK_LOCK`` serializes concurrent sharded
+#: builds in one process (two pools racing a module global would be
+#: worse than queueing; a build is short-lived).
+_WORK: _ShardWork | None = None
+_WORK_LOCK = threading.Lock()
+
+
+def _build_shard(index: int) -> ShardStatistics:
+    """Scan one shard: uniform row sample + full-scan sketches.
+
+    Runs inside a worker process (or inline under
+    :class:`SerialExecutor`).  Every draw comes from the shard's own
+    ``(seed, "shard:<index>:<table>")`` stream, so the result depends
+    only on the shard — not on which worker ran it, nor on how many
+    workers there are.
+    """
+    from repro.sketch.frequency import MisraGriesSketch
+    from repro.sketch.quantile import GKQuantileSketch
+
+    work = _WORK
+    if work is None:  # pragma: no cover - defensive
+        raise MapError("no shard work is staged")
+    started = time.perf_counter()
+    low, high = work.bounds[index]
+    n_rows = high - low
+    rng = tag_rng(
+        work.seed, f"shard:{index}:{table_fingerprint(work.table)}"
+    )
+    if work.sample_rows:
+        keep = min(work.budget_rows, n_rows)
+        sample = np.sort(rng.permutation(n_rows)[:keep]) + low
+    else:
+        # The budget covers the whole table: the merged backend uses
+        # the table itself, so shipping an index array per shard back
+        # across the process boundary would buy nothing.
+        sample = np.empty(0, dtype=np.int64)
+
+    quantiles: dict[str, dict] = {}
+    for attribute in work.numeric:
+        values = work.table.numeric(attribute).data[low:high]
+        values = values[~np.isnan(values)]
+        sketch = GKQuantileSketch(epsilon=work.epsilon)
+        sketch.extend(values.tolist())
+        quantiles[attribute] = sketch.to_dict()
+
+    frequencies: dict[str, dict] = {}
+    for attribute, capacity in work.categorical:
+        column = work.table.categorical(attribute)
+        categories = list(column.categories)
+        codes = column.codes[low:high]
+        sketch = MisraGriesSketch(capacity=capacity)
+        sketch.extend(
+            categories[code] for code in codes[codes >= 0].tolist()
+        )
+        frequencies[attribute] = sketch.to_dict()
+
+    return ShardStatistics(
+        index=index,
+        n_rows=n_rows,
+        sample=sample,
+        quantiles=quantiles,
+        frequencies=frequencies,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Executors
+# ---------------------------------------------------------------------- #
+
+
+class SerialExecutor:
+    """In-process executor: the ``workers=1`` / no-fork fallback.
+
+    Runs the same per-shard functions in shard order, so a serial run
+    is bit-identical to any parallel one — which is what makes it a
+    *fallback* rather than a different mode.
+    """
+
+    workers = 1
+
+    def map(self, fn: Callable, items: list) -> list:
+        """Apply ``fn`` to every item, in order."""
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor:
+    """A ``multiprocessing`` fork pool over the shard work list."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise MapError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers)
+
+    @property
+    def workers(self) -> int:
+        """Worker processes the pool runs."""
+        return self._workers
+
+    def map(self, fn: Callable, items: list) -> list:
+        """Apply ``fn`` across the pool; results keep item order."""
+        import multiprocessing
+
+        if not items:
+            return []
+        context = multiprocessing.get_context("fork")
+        processes = min(self._workers, len(items))
+        with context.Pool(processes=processes) as pool:
+            return pool.map(fn, items)
+
+
+def make_executor(
+    parallelism: Parallelism,
+) -> "SerialExecutor | ParallelExecutor":
+    """The executor a parallelism setting asks for on this platform.
+
+    ``workers=1`` — and any platform that cannot fork — gets the
+    in-process :class:`SerialExecutor`; results are identical either
+    way, only wall-clock differs.
+    """
+    workers = parallelism.resolved_workers
+    if workers <= 1 or not fork_available():
+        return SerialExecutor()
+    return ParallelExecutor(workers)
+
+
+# ---------------------------------------------------------------------- #
+# Merging (parent side, deterministic fold in shard order)
+# ---------------------------------------------------------------------- #
+
+
+def merge_row_samples(
+    sample_a: np.ndarray,
+    seen_a: int,
+    sample_b: np.ndarray,
+    seen_b: int,
+    capacity: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Merge two uniform row samples into one over the union of rows.
+
+    :meth:`ReservoirSampler.merge`'s rule applied to index arrays:
+    when the union fits the capacity, concatenate (deterministic);
+    otherwise draw the survivor count from ``self`` hypergeometrically,
+    weighted by how many rows each side has seen, which keeps the
+    result a uniform sample of the union.
+    """
+    if len(sample_a) + len(sample_b) <= capacity:
+        return np.concatenate([sample_a, sample_b]), seen_a + seen_b
+    from_a = int(rng.hypergeometric(seen_a, seen_b, capacity))
+    # Clamp to what each side can actually supply.
+    from_a = min(from_a, len(sample_a))
+    from_a = max(from_a, capacity - len(sample_b))
+    keep_a = np.sort(rng.choice(len(sample_a), size=from_a, replace=False))
+    keep_b = np.sort(
+        rng.choice(len(sample_b), size=capacity - from_a, replace=False)
+    )
+    merged = np.concatenate([sample_a[keep_a], sample_b[keep_b]])
+    return merged, seen_a + seen_b
+
+
+def _sketch_attributes(
+    table: Table,
+) -> tuple[tuple[str, ...], tuple[tuple[str, int], ...]]:
+    """Dimension attributes to sketch, split by kind.
+
+    Misra–Gries capacities come from the full dictionary (shared by
+    every derived table), so per-shard sketches are merge-compatible.
+    """
+    numeric: list[str] = []
+    categorical: list[tuple[str, int]] = []
+    for column in table.dimension_columns():
+        if isinstance(column, NumericColumn):
+            numeric.append(column.name)
+        elif isinstance(column, CategoricalColumn):
+            capacity = max(1, min(_MG_CAPACITY, len(column.categories)))
+            categorical.append((column.name, capacity))
+    return tuple(numeric), tuple(categorical)
+
+
+def build_sharded_backend(
+    table: Table,
+    fidelity: Fidelity,
+    parallelism: Parallelism,
+    *,
+    seed: int = 0,
+    counters: CacheCounters | None = None,
+    lock: threading.Lock | None = None,
+) -> "ShardedSketchBackend":
+    """Build sketch statistics for ``table`` with the scan/merge split.
+
+    Shards are scanned by :func:`make_executor`'s pool (or inline),
+    then folded in shard order: row samples merge hypergeometrically
+    down to ``fidelity.budget_rows``, GK/Misra–Gries summaries merge
+    with their PR-3 rules.  The result is a drop-in
+    :class:`SketchBackend` — the pipeline stages cannot tell it from a
+    serially built one, except that its cut summaries reflect *every*
+    row instead of a reservoir.
+    """
+    if not fidelity.is_sketch:
+        raise MapError(
+            "parallel statistics need a sketch fidelity, got "
+            f"{fidelity.spec()!r} (exact masks are row-backed and "
+            "cannot be shard-merged)"
+        )
+    from repro.sketch.frequency import MisraGriesSketch
+    from repro.sketch.quantile import GKQuantileSketch
+
+    started = time.perf_counter()
+    sharded = ShardedTable(table, parallelism.shards)
+    executor = make_executor(parallelism)
+    numeric, categorical = _sketch_attributes(table)
+    sample_rows = fidelity.budget_rows < table.n_rows
+    work = _ShardWork(
+        table=table,
+        bounds=sharded.bounds,
+        seed=seed,
+        budget_rows=fidelity.budget_rows,
+        sample_rows=sample_rows,
+        epsilon=fidelity.epsilon,
+        numeric=numeric,
+        categorical=categorical,
+    )
+    global _WORK
+    with _WORK_LOCK:
+        _WORK = work
+        try:
+            results = executor.map(_build_shard, list(range(sharded.n_shards)))
+        finally:
+            _WORK = None
+
+    fingerprint = table_fingerprint(table)
+    first, rest = results[0], results[1:]
+    sample, seen = first.sample, first.n_rows
+    quantiles = {
+        attribute: GKQuantileSketch.from_dict(payload)
+        for attribute, payload in first.quantiles.items()
+    }
+    frequencies = {
+        attribute: MisraGriesSketch.from_dict(payload)
+        for attribute, payload in first.frequencies.items()
+    }
+    for shard in rest:
+        if sample_rows:
+            sample, seen = merge_row_samples(
+                sample, seen, shard.sample, shard.n_rows,
+                fidelity.budget_rows,
+                tag_rng(seed, f"shard-merge:{shard.index}:{fingerprint}"),
+            )
+        for attribute, payload in shard.quantiles.items():
+            quantiles[attribute] = quantiles[attribute].merge(
+                GKQuantileSketch.from_dict(payload)
+            )
+        for attribute, payload in shard.frequencies.items():
+            frequencies[attribute] = frequencies[attribute].merge(
+                MisraGriesSketch.from_dict(payload)
+            )
+
+    if not sample_rows:
+        sample_table = table  # the budget covers everything
+    else:
+        sample_table = table.take(
+            np.sort(sample),
+            name=f"{table.name}_shardsketch{fidelity.budget_rows}",
+        )
+    return ShardedSketchBackend(
+        sharded,
+        fidelity,
+        parallelism,
+        sample=sample_table,
+        quantiles=quantiles,
+        frequencies=frequencies,
+        shard_seconds=tuple(shard.seconds for shard in results),
+        build_seconds=time.perf_counter() - started,
+        counters=counters,
+        lock=lock,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The merged backend
+# ---------------------------------------------------------------------- #
+
+
+class ShardedSketchBackend(SketchBackend):
+    """A :class:`SketchBackend` assembled from merged shard statistics.
+
+    Behaves exactly like its parent — the stages read masks,
+    assignments, joints, and cuts through the same interface — with two
+    differences the provenance records:
+
+    * the per-attribute GK / Misra–Gries summaries are **full scans**
+      of the table (merged across shards), not reservoir builds, so
+      root-scope cut points carry no sampling error on top of the
+      sketch error;
+    * :meth:`snapshot` reports the shard layout and per-shard build
+      seconds, which the service surfaces through ``/metrics``.
+
+    Streaming: appends route to the owning shard
+    (:meth:`ShardedTable.advanced`) and delta sketches merge at rate
+    1.0 — a full-scan summary must observe every appended row to stay
+    one.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedTable,
+        fidelity: Fidelity,
+        parallelism: Parallelism,
+        *,
+        sample: Table,
+        quantiles: dict[str, object],
+        frequencies: dict[str, object],
+        shard_seconds: tuple[float, ...] = (),
+        build_seconds: float = 0.0,
+        counters: CacheCounters | None = None,
+        lock: threading.Lock | None = None,
+    ):
+        super().__init__(
+            sharded.table, fidelity,
+            counters=counters, lock=lock, sample=sample,
+        )
+        self._sharded = sharded
+        self._parallelism = parallelism
+        self._quantile_sketches = dict(quantiles)
+        self._frequency_sketches = dict(frequencies)
+        self._shard_seconds = tuple(float(s) for s in shard_seconds)
+        self._build_seconds = float(build_seconds)
+
+    @property
+    def sharded_table(self) -> ShardedTable:
+        """The shard layout the statistics were built over."""
+        return self._sharded
+
+    @property
+    def parallelism(self) -> Parallelism:
+        """The parallelism setting that built this backend."""
+        return self._parallelism
+
+    @property
+    def shard_seconds(self) -> tuple[float, ...]:
+        """Per-shard scan seconds, in shard order."""
+        return self._shard_seconds
+
+    def _delta_sketch_rate(self) -> float:
+        """Full-scan summaries observe every delta row (rate 1.0)."""
+        return 1.0
+
+    def advance(
+        self,
+        new_table: Table,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        """Route the append to the owning shard, then maintain.
+
+        The shard layout extends its last range over the appended rows
+        (earlier boundaries — and therefore every shard's RNG stream —
+        are untouched), the reservoir tops up hypergeometrically, and
+        the full-scan summaries merge delta sketches built over *all*
+        appended rows (:meth:`_delta_sketch_rate`).
+        """
+        advanced = self._sharded.advanced(new_table)  # validates growth
+        super().advance(new_table, rng=rng)
+        with self._lock:
+            self._sharded = advanced
+
+    def snapshot(self) -> dict:
+        """Parent counters plus shard layout and per-shard timing."""
+        out = super().snapshot()
+        with self._lock:
+            out["parallel"] = {
+                "spec": self._parallelism.spec(),
+                "workers": self._parallelism.resolved_workers,
+                "shards": self._sharded.n_shards,
+                "build_seconds": self._build_seconds,
+                "shard_seconds": list(self._shard_seconds),
+            }
+        return out

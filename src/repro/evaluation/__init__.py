@@ -8,6 +8,7 @@ from repro.evaluation.metrics import (
     best_map_recovery,
     map_purity,
     map_recovery,
+    map_set_fingerprint,
     purity,
     ranked_map_agreement,
     region_balance,
@@ -32,6 +33,7 @@ __all__ = [
     "figure3_query",
     "map_purity",
     "map_recovery",
+    "map_set_fingerprint",
     "purity",
     "random_query",
     "ranked_map_agreement",

@@ -147,6 +147,37 @@ def best_map_purity(
     return max(map_purity(m, table, planted_labels) for m in maps)
 
 
+def map_set_fingerprint(map_set: MapSet) -> str:
+    """Stable content hash of an answer, excluding wall-clock timings.
+
+    Covers everything deterministic about a :class:`MapSet` — the
+    query, every ranked map with its score and covers (floats rendered
+    with ``repr``, so the hash is bit-exact), the rows used, and the
+    fidelity/version provenance.  Two answers with equal fingerprints
+    are bit-identical results; the parallel-execution determinism
+    tests and the E20 benchmark compare worker counts with this.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "query": map_set.query.to_dict(),
+        "ranked": [
+            {
+                "map": entry.map.to_dict(),
+                "score": repr(entry.score),
+                "covers": [repr(c) for c in entry.covers],
+            }
+            for entry in map_set.ranked
+        ],
+        "n_rows_used": map_set.n_rows_used,
+        "fidelity": map_set.fidelity,
+        "version": map_set.version,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def ranked_map_agreement(
     result_a: MapSet | Sequence[DataMap],
     result_b: MapSet | Sequence[DataMap],

@@ -12,6 +12,7 @@ Commands::
     back            pop one drill-down level
     where           show the breadcrumb trail
     fidelity [spec] show or switch execution fidelity (exact / sketch)
+    parallel [spec] show or switch multi-core execution (serial / parallel)
     append <rows>   append rows (streaming): ``Age=30, Sex=F; Age=41, Sex=M``
     refresh         re-explore the breadcrumb against the latest version
     watch           toggle auto-refresh after every append
@@ -53,6 +54,7 @@ HELP_TEXT = """commands:
   back         return to the previous query
   where        show the exploration breadcrumb
   fidelity [spec] show or set fidelity: exact, sketch[:rows[:eps]]
+  parallel [spec] show or set workers: serial, parallel[:workers[:shards]]
   append <rows> append rows, e.g. `append Age=30, Sex=F; Age=41, Sex=M`
   refresh      re-explore the breadcrumb at the latest table version
   watch        toggle auto-refresh after appends
@@ -141,6 +143,8 @@ class ExplorerRepl:
             self._print(render_breadcrumb(self._session.breadcrumb()))
         elif command == "fidelity":
             self._fidelity(argument)
+        elif command == "parallel":
+            self._parallel(argument)
         elif command == "append":
             self._append(argument)
         elif command == "refresh":
@@ -186,6 +190,29 @@ class ExplorerRepl:
         map_set = self._session.reconfigure(fidelity=argument)
         fidelity = self._session.atlas.config.fidelity
         self._print(f"fidelity set to {fidelity.spec()}")
+        self._print(render_map_set(map_set, self._session.atlas.table))
+
+    def _parallel(self, argument: str) -> None:
+        """Show or switch the session's multi-core execution.
+
+        ``parallel`` alone reports the current setting; ``parallel 4``
+        (or a full spec like ``parallel:4:8``, or ``serial``)
+        re-answers the whole breadcrumb under the new setting, so the
+        drill-down position and history survive the switch.  Workers
+        only change wall-clock; answers stay bit-identical for a given
+        shard layout.
+        """
+        argument = argument.strip()
+        if not argument:
+            parallelism = self._session.atlas.config.parallelism
+            self._print(f"parallel: {parallelism.spec()}")
+            return
+        setting: object = (
+            int(argument) if argument.isdigit() else argument
+        )
+        map_set = self._session.reconfigure(parallelism=setting)
+        parallelism = self._session.atlas.config.parallelism
+        self._print(f"parallel set to {parallelism.spec()}")
         self._print(render_map_set(map_set, self._session.atlas.table))
 
     # ------------------------------------------------------------------ #
@@ -379,6 +406,12 @@ def main(argv: list[str] | None = None) -> int:
         help="execution fidelity: 'exact' (default) or "
              "'sketch[:rows[:epsilon]]' for bounded approximate answers",
     )
+    parser.add_argument(
+        "--parallel", default=None,
+        help="multi-core execution: 'serial' (default) or "
+             "'parallel[:workers[:shards]]' (workers may be 'auto'); "
+             "applies at sketch fidelity",
+    )
     arguments = parser.parse_args(argv)
 
     table = read_csv(arguments.csv)
@@ -387,6 +420,8 @@ def main(argv: list[str] | None = None) -> int:
         config = config.replace(max_maps=arguments.max_maps)
     if arguments.fidelity is not None:
         config = config.replace(fidelity=arguments.fidelity)
+    if arguments.parallel is not None:
+        config = config.replace(parallelism=arguments.parallel)
 
     initial_query: ConjunctiveQuery | None = None
     if arguments.query:

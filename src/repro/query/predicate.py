@@ -113,7 +113,9 @@ class Predicate(abc.ABC):
             )
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+        if type(self) is not type(other):
+            return False
+        return self._key() == other._key()  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self._key()))

@@ -20,7 +20,7 @@ import time
 import urllib.error
 import urllib.request
 
-from repro.core.config import AtlasConfig, Fidelity
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.query.query import ConjunctiveQuery
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -103,6 +103,7 @@ class ServiceClient:
         use_cache: bool = True,
         *,
         fidelity: "str | Fidelity | None" = None,
+        parallelism: "str | Parallelism | int | None" = None,
         retry_busy: int = 0,
         busy_backoff: float = 0.05,
     ) -> ExploreResponse:
@@ -113,7 +114,10 @@ class ServiceClient:
         :class:`ConjunctiveQuery` (serialized transparently).
         ``fidelity`` asks the server for a specific execution fidelity
         (``"exact"``, ``"sketch[:rows[:eps]]"``, or a
-        :class:`Fidelity`).  On a 429 rejection the call retries up to
+        :class:`Fidelity`); ``parallelism`` asks for multi-core
+        statistics builds (``"parallel:4"``, a :class:`Parallelism`,
+        or a worker count — the server charges the request that many
+        admission slots).  On a 429 rejection the call retries up to
         ``retry_busy`` times, sleeping ``busy_backoff * attempt``
         seconds between tries.
         """
@@ -123,9 +127,13 @@ class ServiceClient:
             config = config.to_dict()
         if isinstance(fidelity, Fidelity):
             fidelity = fidelity.spec()
+        if isinstance(parallelism, int) and not isinstance(parallelism, bool):
+            parallelism = Parallelism.of(workers=parallelism)
+        if isinstance(parallelism, Parallelism):
+            parallelism = parallelism.spec()
         request = ExploreRequest(
             table=table, query=query, config=config, use_cache=use_cache,
-            fidelity=fidelity,
+            fidelity=fidelity, parallelism=parallelism,
         )
         attempt = 0
         while True:

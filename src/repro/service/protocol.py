@@ -291,6 +291,11 @@ class ExploreRequest:
     a :meth:`~repro.core.config.Fidelity.spec` string (``"exact"``,
     ``"sketch[:rows[:eps]]"``) applied on top of ``config`` — the
     one-flag way for a client to trade accuracy for latency.
+    ``parallelism`` is a :meth:`~repro.core.config.Parallelism.spec`
+    string (``"serial"``, ``"parallel[:workers[:shards]]"``) applied
+    the same way; admission control weighs a parallel request by the
+    workers it asks for, so one client cannot monopolize the host's
+    cores for free.
     """
 
     table: str
@@ -298,6 +303,7 @@ class ExploreRequest:
     config: dict | None = None
     use_cache: bool = True
     fidelity: str | None = None
+    parallelism: str | None = None
 
     def to_dict(self) -> dict:
         out: dict = {"table": self.table, "use_cache": self.use_cache}
@@ -307,6 +313,8 @@ class ExploreRequest:
             out["config"] = dict(self.config)
         if self.fidelity is not None:
             out["fidelity"] = self.fidelity
+        if self.parallelism is not None:
+            out["parallelism"] = self.parallelism
         return out
 
     @classmethod
@@ -333,12 +341,19 @@ class ExploreRequest:
                 "'fidelity' must be a spec string like 'exact' or "
                 f"'sketch:20000', got {type(fidelity).__name__}"
             )
+        parallelism = data.get("parallelism")
+        if parallelism is not None and not isinstance(parallelism, str):
+            raise ProtocolError(
+                "'parallelism' must be a spec string like 'serial' or "
+                f"'parallel:4', got {type(parallelism).__name__}"
+            )
         return cls(
             table=table,
             query=query,
             config=config,
             use_cache=bool(data.get("use_cache", True)),
             fidelity=fidelity,
+            parallelism=parallelism,
         )
 
     def resolve_query(self) -> ConjunctiveQuery:
@@ -346,10 +361,13 @@ class ExploreRequest:
         return resolve_query_payload(self.query)
 
     def resolve_config(self, base: AtlasConfig) -> AtlasConfig:
-        """``base`` with this request's overrides (and fidelity) applied."""
+        """``base`` with this request's overrides (fidelity and
+        parallelism included) applied."""
         resolved = apply_config_overrides(base, self.config)
         if self.fidelity is not None:
             resolved = resolved.replace(fidelity=self.fidelity)
+        if self.parallelism is not None:
+            resolved = resolved.replace(parallelism=self.parallelism)
         return resolved
 
 

@@ -27,7 +27,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from threading import Lock
 
-from repro.core.config import AtlasConfig, Fidelity
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.dataset.table import Table
 from repro.db.connection import Connection
 from repro.engine.context import (
@@ -35,6 +35,7 @@ from repro.engine.context import (
     order_sensitive_key,
     query_fingerprint,
 )
+from repro.engine.parallel import merge_shard_info, new_shard_aggregate
 from repro.engine.pipeline import Pipeline
 from repro.query.query import ConjunctiveQuery
 from repro.service.cache import ResultCache
@@ -233,7 +234,20 @@ class ExplorationService:
 
     @staticmethod
     def _config_key(config: AtlasConfig) -> tuple:
-        return tuple(sorted(config.to_dict().items()))
+        """Identity of a configuration *for caching purposes*.
+
+        The worker count is canonicalized out of the parallelism spec:
+        answers are bit-identical at any worker count (only the shard
+        layout is statistical), so requests differing in workers alone
+        must share one execution context — one O(table) statistics
+        build — and one result-cache entry.
+        """
+        key = config.to_dict()
+        parallelism = config.parallelism
+        key["parallelism"] = Parallelism(
+            workers=1, shards=parallelism.shards
+        ).spec()
+        return tuple(sorted(key.items()))
 
     def _context_for(
         self, table_name: str, table: Table, config: AtlasConfig
@@ -267,13 +281,20 @@ class ExplorationService:
         config: dict | AtlasConfig | None = None,
         use_cache: bool = True,
         fidelity: "str | Fidelity | None" = None,
+        parallelism: "str | Parallelism | int | None" = None,
     ) -> ExploreResponse:
         """Answer one query; the in-process twin of ``POST /explore``.
 
         ``use_cache=False`` bypasses the result cache entirely (neither
         read nor written) — the cold path benchmarks use it.
         ``fidelity`` overrides the execution fidelity on top of
-        ``config`` (a spec string or :class:`Fidelity`).
+        ``config`` (a spec string or :class:`Fidelity`);
+        ``parallelism`` overrides the multi-core execution the same way
+        (a spec string, :class:`Parallelism`, or worker count).  A
+        parallel request is *weighed* by the worker processes it asks
+        for: admission control charges it ``min(workers, capacity)``
+        in-flight slots, so concurrent clients cannot stack more
+        sharded builds than the host has cores to give.
         """
         self._metrics.count("received")
         try:
@@ -281,6 +302,10 @@ class ExplorationService:
             resolved_config = self._coerce_config(config)
             if fidelity is not None:
                 resolved_config = resolved_config.replace(fidelity=fidelity)
+            if parallelism is not None:
+                resolved_config = resolved_config.replace(
+                    parallelism=parallelism
+                )
             table_obj, generation = self._resolve_with_generation(table)
         except AdmissionError:  # pragma: no cover - defensive
             raise
@@ -312,7 +337,8 @@ class ExplorationService:
                 self._metrics.count("cache_hits")
                 return dataclasses.replace(cached, cached=True)
 
-        self._admit()
+        weight = self._admission_weight(table, resolved_config)
+        self._admit(weight)
         try:
             future = self._pool.submit(
                 self._run,
@@ -331,7 +357,36 @@ class ExplorationService:
                 raise
         finally:
             with self._admission:
-                self._pending -= 1
+                self._pending -= weight
+
+    def _admission_weight(self, table_name: str, config: AtlasConfig) -> int:
+        """In-flight slots a request occupies.
+
+        A serial request costs one slot; a sharded-parallel request
+        costs one per worker process its statistics build may fork
+        (clamped to the in-flight capacity so a single over-sized
+        request stays admittable on an idle service, and to the shard
+        count since a pool never forks more workers than shards).
+
+        Contexts are shared across worker counts (workers never change
+        answers, so :meth:`_config_key` canonicalizes them out), which
+        means the build runs with the worker count of whichever request
+        *created* the context — so the charge is read from the live
+        context when one exists, not from the request: a ``parallel:4``
+        request served by a ``workers=1`` context costs 1 slot, and a
+        ``parallel:1`` request whose shared context would fork 8
+        workers on a rebuild costs 8.
+        """
+        parallelism = config.parallelism
+        if not (parallelism.is_parallel and config.fidelity.is_sketch):
+            return 1
+        key = (table_name, self._config_key(config))
+        with self._registry:
+            context = self._contexts.get(key)
+        if context is not None:
+            parallelism = context.config.parallelism
+        workers = min(parallelism.resolved_workers, parallelism.shards)
+        return max(1, min(workers, self._max_inflight))
 
     def handle(self, request: ExploreRequest) -> ExploreResponse:
         """Serve a wire-shaped request (what the HTTP frontend calls)."""
@@ -341,6 +396,7 @@ class ExplorationService:
             config=request.config,
             use_cache=request.use_cache,
             fidelity=request.fidelity,
+            parallelism=request.parallelism,
         )
 
     # ------------------------------------------------------------------ #
@@ -388,17 +444,18 @@ class ExplorationService:
         """Serve a wire-shaped append (what the HTTP frontend calls)."""
         return self.append(request.table, request.rows)
 
-    def _admit(self) -> None:
+    def _admit(self, weight: int = 1) -> None:
         with self._admission:
             if self._closed:
                 raise ServiceError("service is shut down")
-            if self._pending >= self._max_inflight:
+            if self._pending + weight > self._max_inflight:
                 self._metrics.count("rejected")
                 raise AdmissionError(
-                    f"service at capacity ({self._pending} requests in "
-                    f"flight, limit {self._max_inflight}); retry shortly"
+                    f"service at capacity ({self._pending} in-flight "
+                    f"slots used, request weighs {weight}, limit "
+                    f"{self._max_inflight}); retry shortly"
                 )
-            self._pending += 1
+            self._pending += weight
 
     def _run(
         self,
@@ -467,6 +524,16 @@ class ExplorationService:
                 for name, count in stats["usage"].items():
                     merged["usage"][name] = (
                         merged["usage"].get(name, 0) + count
+                    )
+                # Sharded builds report per-shard scan seconds; surface
+                # them so operators can see the scan/merge split work.
+                shard_info = stats.get("parallel")
+                if shard_info:
+                    merge_shard_info(
+                        merged.setdefault(
+                            "parallel", new_shard_aggregate()
+                        ),
+                        shard_info,
                     )
         for merged in backends.values():
             looked_up = merged["hits"] + merged["misses"]

@@ -7,7 +7,6 @@ from repro.core.config import AtlasConfig, MergeMethod
 from repro.dataset.table import Table
 from repro.errors import MapError
 from repro.evaluation.workloads import figure2_query
-from repro.query.query import ConjunctiveQuery
 
 
 class TestExplore:

@@ -1,6 +1,5 @@
 """Unit tests for the DataMap structure and its underlying variable."""
 
-import numpy as np
 import pytest
 
 from repro.core.datamap import ESCAPE, DataMap

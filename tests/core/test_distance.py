@@ -7,7 +7,7 @@ from repro.core.datamap import DataMap
 from repro.core.distance import distance_matrix, map_nvi, map_vi
 from repro.dataset.table import Table
 from repro.errors import MapError
-from repro.query.predicate import RangePredicate, SetPredicate
+from repro.query.predicate import RangePredicate
 from repro.query.query import ConjunctiveQuery
 
 

@@ -11,7 +11,6 @@ from repro.core.explain import (
 )
 from repro.dataset.table import Table
 from repro.errors import MapError
-from repro.query.parser import parse_query
 from repro.query.predicate import RangePredicate
 from repro.query.query import ConjunctiveQuery
 

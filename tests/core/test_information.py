@@ -8,7 +8,6 @@ import pytest
 from repro.core.information import (
     entropy,
     entropy_of_counts,
-    joint_entropy,
     marginals,
     max_vi,
     mutual_information,

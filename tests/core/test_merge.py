@@ -9,7 +9,7 @@ from repro.core.datamap import DataMap
 from repro.core.merge import composition, merge_cluster, product
 from repro.dataset.table import Table
 from repro.errors import MapError
-from repro.query.predicate import RangePredicate, SetPredicate
+from repro.query.predicate import RangePredicate
 from repro.query.query import ConjunctiveQuery
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.datagen.subspace import (
     SubspaceSpec,
-    default_specs,
     figure5_dataset,
     subspace_dataset,
 )

@@ -1,6 +1,5 @@
 """Unit tests for ISO-date ingestion (dates are ordinals, §3.1)."""
 
-import numpy as np
 import pytest
 
 from repro.dataset.infer import (

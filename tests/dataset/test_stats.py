@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.dataset.stats import profile_table, summarize
 from repro.dataset.table import Table
-from repro.dataset.types import ColumnKind, ColumnRole
+from repro.dataset.types import ColumnKind
 
 
 class TestSummarize:

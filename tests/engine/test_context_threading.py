@@ -93,6 +93,62 @@ class TestTableStatsConcurrency:
             assert result == single
 
 
+class TestCounterAtomicity:
+    """The per-kind backend counters are shared mutable state; every
+    increment must happen under the context's lock or concurrent
+    explores silently lose counts (`+=` is a read-modify-write)."""
+
+    def test_no_lost_counter_increments_under_threads(self, census_small):
+        context = ExecutionContext(census_small, AtlasConfig())
+        stats = context.stats()
+        query = parse_query("Age: [17, 45]")
+        stats.query_mask(query)  # warm: every later lookup is a pure hit
+        before = context.counters
+        per_thread = 300
+
+        def job(_):
+            for _ in range(per_thread):
+                stats.query_mask(query)
+
+        _fanout(job, range(N_THREADS))
+        after = context.counters
+        # Exactly one hit per lookup — a single lost update fails this.
+        assert after.hits - before.hits == N_THREADS * per_thread
+        assert after.misses == before.misses
+
+    def test_aggregate_reads_are_consistent_snapshots(self, census_small):
+        """`ExecutionContext.counters` reads under the same lock the
+        backends increment under, so a racing reader sees totals that
+        only ever grow and never overshoot the lookups issued."""
+        import threading
+
+        context = ExecutionContext(census_small, AtlasConfig())
+        stats = context.stats()
+        query = parse_query("Salary: {'>50k'}")
+        stats.query_mask(query)  # warm
+        stop = threading.Event()
+        seen: list[int] = []
+
+        def reader():
+            while not stop.is_set():
+                counters = context.counters
+                seen.append(counters.hits + counters.misses)
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        try:
+            _fanout(
+                lambda _: [stats.query_mask(query) for _ in range(100)],
+                range(N_THREADS),
+            )
+        finally:
+            stop.set()
+            watcher.join()
+        final = context.counters
+        assert all(a <= b for a, b in zip(seen, seen[1:]))
+        assert all(total <= final.hits + final.misses for total in seen)
+
+
 class TestExecutionContextConcurrency:
     def test_scoped_returns_one_object_per_query(self, census_small):
         context = ExecutionContext(

@@ -42,6 +42,18 @@ class TestFluentConfiguration:
         built = explorer(census_small)
         assert built.cut("median") is built
 
+    def test_parallel_sets_workers_over_fixed_shards(self, census_small):
+        from repro.core.config import DEFAULT_SHARDS, Parallelism
+
+        built = explorer(census_small).parallel(2)
+        assert built.config.parallelism == Parallelism(
+            workers=2, shards=DEFAULT_SHARDS
+        )
+        assert built.parallel("auto", shards=4).config.parallelism == (
+            Parallelism(workers="auto", shards=4)
+        )
+        assert built.serial().config.parallelism == Parallelism.serial()
+
     def test_configure_rejects_unknown_fields(self, census_small):
         with pytest.raises(ConfigError, match="unknown config fields"):
             explorer(census_small).configure(no_such_knob=1)

@@ -1,0 +1,409 @@
+"""Unit tests for the sharded parallel execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    DEFAULT_SHARDS,
+    AtlasConfig,
+    Fidelity,
+    Parallelism,
+)
+from repro.datagen import census_table
+from repro.engine.context import ExecutionContext
+from repro.engine.parallel import (
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedSketchBackend,
+    ShardedTable,
+    build_sharded_backend,
+    fork_available,
+    make_executor,
+    merge_row_samples,
+    tag_rng,
+)
+from repro.engine.pipeline import Pipeline
+from repro.errors import ConfigError, MapError
+
+SKETCH = Fidelity.sketch(budget_rows=2_000)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return census_table(n_rows=6_000, seed=0)
+
+
+# ---------------------------------------------------------------------- #
+# Parallelism config value
+# ---------------------------------------------------------------------- #
+
+
+class TestParallelismConfig:
+    def test_default_is_serial(self):
+        parallelism = AtlasConfig().parallelism
+        assert parallelism == Parallelism.serial()
+        assert not parallelism.is_parallel
+        assert parallelism.spec() == "serial"
+
+    def test_spec_round_trip(self):
+        for spec in ("serial", "parallel:4:8", "parallel:auto:16",
+                     "parallel:1:8"):
+            assert Parallelism.parse(spec).spec() == spec
+
+    def test_parse_defaults(self):
+        parallelism = Parallelism.parse("parallel")
+        assert parallelism.workers == "auto"
+        assert parallelism.shards == DEFAULT_SHARDS
+        assert Parallelism.parse("parallel:4").shards == DEFAULT_SHARDS
+
+    def test_of_fixes_shards_independently_of_workers(self):
+        assert Parallelism.of(2).shards == Parallelism.of(16).shards
+
+    def test_worker_count_coercion(self):
+        config = AtlasConfig(parallelism=4)
+        assert config.parallelism == Parallelism(workers=4,
+                                                 shards=DEFAULT_SHARDS)
+
+    def test_config_serde_round_trip(self):
+        config = AtlasConfig(parallelism="parallel:4:2")
+        assert AtlasConfig.from_dict(config.to_dict()) == config
+        assert config.to_dict()["parallelism"] == "parallel:4:2"
+
+    def test_rejects_bad_specs(self):
+        for bad in ("serial:1", "parallel:0", "parallel:x", "turbo",
+                    "parallel:2:0", "parallel:2:3:4"):
+            with pytest.raises(ConfigError):
+                Parallelism.parse(bad)
+        with pytest.raises(ConfigError):
+            Parallelism(workers=0)
+        with pytest.raises(ConfigError):
+            Parallelism(workers="fast")
+        with pytest.raises(ConfigError):
+            AtlasConfig(parallelism=True)
+
+    def test_resolved_workers(self):
+        import os
+
+        assert Parallelism(workers=3).resolved_workers == 3
+        auto = Parallelism(workers="auto").resolved_workers
+        assert auto == max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------- #
+# ShardedTable
+# ---------------------------------------------------------------------- #
+
+
+class TestShardedTable:
+    def test_bounds_partition_every_row(self, table):
+        sharded = ShardedTable(table, 7)
+        assert sharded.bounds[0][0] == 0
+        assert sharded.bounds[-1][1] == table.n_rows
+        for (_, high), (low, _) in zip(sharded.bounds, sharded.bounds[1:]):
+            assert high == low
+        assert sum(hi - lo for lo, hi in sharded.bounds) == table.n_rows
+        # Sizes are as even as possible.
+        sizes = {hi - lo for lo, hi in sharded.bounds}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_clamp_to_rows(self):
+        tiny = census_table(n_rows=3, seed=0)
+        sharded = ShardedTable(tiny, 8)
+        assert sharded.n_shards == 3
+
+    def test_shard_materialization_matches_bounds(self, table):
+        sharded = ShardedTable(table, 4)
+        low, high = sharded.bounds[1]
+        shard = sharded.shard(1)
+        assert shard.n_rows == high - low
+        np.testing.assert_array_equal(
+            shard.numeric("Age").data, table.numeric("Age").data[low:high]
+        )
+
+    def test_owning_shard(self, table):
+        sharded = ShardedTable(table, 4)
+        assert sharded.owning_shard(0) == 0
+        assert sharded.owning_shard(table.n_rows - 1) == 3
+        # Appended rows (past the end) belong to the last shard.
+        assert sharded.owning_shard(table.n_rows + 100) == 3
+        with pytest.raises(MapError):
+            sharded.owning_shard(-1)
+
+    def test_advanced_extends_last_shard_only(self, table):
+        sharded = ShardedTable(table, 4)
+        appended = table.append({
+            "Age": [30.0], "Sex": ["Female"], "Salary": ["<50k"],
+            "Education": ["BSc"], "Eye color": ["Blue"],
+        })
+        advanced = sharded.advanced(appended)
+        assert advanced.bounds[:-1] == sharded.bounds[:-1]
+        assert advanced.bounds[-1] == (sharded.bounds[-1][0],
+                                       appended.n_rows)
+
+    def test_advanced_rejects_shrinking(self, table):
+        sharded = ShardedTable(table, 4)
+        with pytest.raises(MapError):
+            sharded.advanced(census_table(n_rows=10, seed=0))
+
+    def test_rejects_empty_table_and_bad_counts(self, table):
+        from repro.dataset.table import Table
+
+        with pytest.raises(MapError):
+            ShardedTable(Table([]), 2)
+        with pytest.raises(MapError):
+            ShardedTable(table, 0)
+
+
+# ---------------------------------------------------------------------- #
+# Executors and RNG derivation
+# ---------------------------------------------------------------------- #
+
+
+class TestExecutors:
+    def test_tag_rng_matches_child_rng(self, table):
+        """Workers must draw the streams the context would hand out."""
+        context = ExecutionContext(table, AtlasConfig(seed=7))
+        tag = "shard:3:12345"
+        np.testing.assert_array_equal(
+            tag_rng(7, tag).integers(0, 1 << 30, 16),
+            context.child_rng(tag).integers(0, 1 << 30, 16),
+        )
+
+    def test_serial_executor_preserves_order(self):
+        assert SerialExecutor().map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    @pytest.mark.skipif(not fork_available(), reason="platform cannot fork")
+    def test_parallel_executor_matches_serial(self):
+        items = list(range(10))
+        assert ParallelExecutor(2).map(_square, items) == [
+            x * x for x in items
+        ]
+
+    def test_make_executor_fallbacks(self):
+        assert isinstance(
+            make_executor(Parallelism(workers=1, shards=4)), SerialExecutor
+        )
+        if fork_available():
+            executor = make_executor(Parallelism(workers=3, shards=4))
+            assert isinstance(executor, ParallelExecutor)
+            assert executor.workers == 3
+
+    def test_parallel_executor_rejects_bad_workers(self):
+        with pytest.raises(MapError):
+            ParallelExecutor(0)
+
+
+def _square(x):
+    return x * x
+
+
+# ---------------------------------------------------------------------- #
+# Sample merging
+# ---------------------------------------------------------------------- #
+
+
+class TestMergeRowSamples:
+    def test_concatenates_when_union_fits(self):
+        merged, seen = merge_row_samples(
+            np.array([1, 2]), 10, np.array([5, 6]), 20, 8,
+            np.random.default_rng(0),
+        )
+        np.testing.assert_array_equal(merged, [1, 2, 5, 6])
+        assert seen == 30
+
+    def test_respects_capacity_and_membership(self):
+        rng = np.random.default_rng(0)
+        sample_a = np.arange(100)
+        sample_b = np.arange(100, 300)
+        merged, seen = merge_row_samples(sample_a, 1_000, sample_b, 2_000,
+                                         50, rng)
+        assert len(merged) == 50
+        assert seen == 3_000
+        assert set(merged) <= set(range(300))
+        assert len(set(merged)) == 50
+
+    def test_deterministic_given_rng(self):
+        draws = [
+            merge_row_samples(
+                np.arange(100), 500, np.arange(100, 200), 500, 60,
+                np.random.default_rng(42),
+            )[0]
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(draws[0], draws[1])
+
+    def test_weights_by_rows_seen(self):
+        """The heavier stream contributes proportionally more rows."""
+        rng = np.random.default_rng(1)
+        totals = []
+        for _ in range(50):
+            merged, _ = merge_row_samples(
+                np.arange(1_000), 9_000, np.arange(1_000, 2_000), 1_000,
+                500, rng,
+            )
+            totals.append(int((merged < 1_000).sum()))
+        mean_from_a = sum(totals) / len(totals)
+        assert 400 <= mean_from_a <= 500  # expectation is 450
+
+
+# ---------------------------------------------------------------------- #
+# The sharded backend
+# ---------------------------------------------------------------------- #
+
+
+class TestShardedBackend:
+    def test_build_produces_drop_in_sketch_backend(self, table):
+        backend = build_sharded_backend(
+            table, SKETCH, Parallelism(workers=1, shards=4), seed=0
+        )
+        assert isinstance(backend, ShardedSketchBackend)
+        assert backend.kind == "sketch"
+        assert backend.table is table
+        assert backend.n_rows == SKETCH.budget_rows
+        assert backend.sharded_table.n_shards == 4
+        assert len(backend.shard_seconds) == 4
+
+    def test_full_scan_sketches_cover_every_row(self, table):
+        backend = build_sharded_backend(
+            table, SKETCH, Parallelism(workers=1, shards=4), seed=0
+        )
+        # The merged GK summary observed all table rows, not a reservoir.
+        assert backend.quantile_sketch("Age").count == table.n_rows
+        assert backend.frequency_sketch("Sex").count == table.n_rows
+
+    def test_reservoir_is_uniform_subset_of_table(self, table):
+        backend = build_sharded_backend(
+            table, SKETCH, Parallelism(workers=1, shards=4), seed=0
+        )
+        sample = backend.effective_table
+        assert sample.n_rows == SKETCH.budget_rows
+        # Every sampled Age value exists in the table (indices valid).
+        assert set(np.unique(sample.numeric("Age").data)) <= set(
+            np.unique(table.numeric("Age").data)
+        )
+
+    def test_budget_covering_table_uses_it_whole(self, table):
+        wide = Fidelity.sketch(budget_rows=table.n_rows + 1)
+        backend = build_sharded_backend(
+            table, wide, Parallelism(workers=1, shards=4), seed=0
+        )
+        assert backend.effective_table is table
+
+    def test_rejects_exact_fidelity(self, table):
+        with pytest.raises(MapError):
+            build_sharded_backend(
+                table, Fidelity.exact(), Parallelism(workers=1, shards=2)
+            )
+
+    def test_context_dispatch_builds_sharded_backend(self, table):
+        config = AtlasConfig(
+            fidelity=SKETCH, parallelism=Parallelism(workers=1, shards=4)
+        )
+        context = ExecutionContext(table, config)
+        assert isinstance(context.stats(), ShardedSketchBackend)
+
+    def test_context_dispatch_keeps_serial_paths(self, table):
+        # Exact fidelity ignores parallelism.
+        exact = ExecutionContext(
+            table,
+            AtlasConfig(parallelism=Parallelism(workers=1, shards=4)),
+        )
+        assert not isinstance(exact.stats(), ShardedSketchBackend)
+        # Scope samples stay on the serial path.
+        config = AtlasConfig(
+            fidelity=SKETCH,
+            parallelism=Parallelism(workers=1, shards=4),
+            sample_size=1_000,
+        )
+        context = ExecutionContext(table, config)
+        from repro.query.parser import parse_query
+
+        scope = context.scoped(parse_query("Age: [17, 40]"))
+        assert not isinstance(
+            context.stats_for(scope), ShardedSketchBackend
+        )
+
+    def test_snapshot_reports_shard_layout(self, table):
+        config = AtlasConfig(
+            fidelity=SKETCH, parallelism=Parallelism(workers=1, shards=4)
+        )
+        context = ExecutionContext(table, config)
+        snapshot = context.stats().snapshot()
+        assert snapshot["parallel"]["shards"] == 4
+        assert snapshot["parallel"]["spec"] == "parallel:1:4"
+        assert len(snapshot["parallel"]["shard_seconds"]) == 4
+        merged = context.backend_snapshot()
+        assert merged["sketch"]["parallel"]["builds"] == 1
+        assert merged["sketch"]["parallel"]["shards"] == 4
+
+    def test_pipeline_consumes_backend_unchanged(self, table):
+        config = AtlasConfig(
+            fidelity=SKETCH, parallelism=Parallelism(workers=1, shards=4)
+        )
+        context = ExecutionContext(table, config)
+        map_set = Pipeline.default().run(None, context)
+        assert len(map_set) >= 1
+        assert map_set.fidelity == SKETCH.spec()
+        assert map_set.n_rows_used == SKETCH.budget_rows
+
+
+# ---------------------------------------------------------------------- #
+# Streaming maintenance (advance routing)
+# ---------------------------------------------------------------------- #
+
+
+def _append_rows(n, seed=123):
+    rng = np.random.default_rng(seed)
+    return {
+        "Age": rng.integers(17, 90, n).astype(float).tolist(),
+        "Sex": rng.choice(["Female", "Male"], n).tolist(),
+        "Salary": rng.choice(["<50k", ">50k"], n).tolist(),
+        "Education": rng.choice(["BSc", "MSc"], n).tolist(),
+        "Eye color": rng.choice(["Blue", "Green", "Brown"], n).tolist(),
+    }
+
+
+class TestShardedStreaming:
+    def test_advance_routes_append_to_owning_shard(self, table):
+        config = AtlasConfig(
+            fidelity=SKETCH, parallelism=Parallelism(workers=1, shards=4)
+        )
+        context = ExecutionContext(table, config)
+        backend = context.stats()
+        backend.quantile_sketch("Age")
+        old_bounds = backend.sharded_table.bounds
+        appended = table.append(_append_rows(500))
+        context.advance(appended)
+        maintained = context.stats()
+        assert maintained is backend
+        assert maintained.version == 1
+        assert maintained.sharded_table.bounds[:-1] == old_bounds[:-1]
+        assert maintained.sharded_table.bounds[-1][1] == appended.n_rows
+
+    def test_advance_merges_delta_at_full_rate(self, table):
+        """Full-scan summaries must observe every appended row."""
+        config = AtlasConfig(
+            fidelity=SKETCH, parallelism=Parallelism(workers=1, shards=4)
+        )
+        context = ExecutionContext(table, config)
+        backend = context.stats()
+        backend.quantile_sketch("Age")
+        backend.frequency_sketch("Sex")
+        appended = table.append(_append_rows(500))
+        context.advance(appended)
+        assert backend.quantile_sketch("Age").count == appended.n_rows
+        assert backend.frequency_sketch("Sex").count == appended.n_rows
+
+    def test_streaming_answers_carry_new_version(self, table):
+        from repro.engine.facade import explorer
+
+        config = AtlasConfig(
+            fidelity=SKETCH, parallelism=Parallelism(workers=1, shards=4)
+        )
+        ex = explorer(table, config)
+        before = ex.explore()
+        assert before.version == 0
+        ex.append(_append_rows(300))
+        after = ex.explore()
+        assert after.version == 1
+        assert after.n_rows_used == SKETCH.budget_rows

@@ -17,7 +17,6 @@ from repro.core.config import AtlasConfig, Fidelity
 from repro.dataset.table import Table
 from repro.engine.backends import (
     ExactBackend,
-    SketchBackend,
     make_backend,
     table_fingerprint,
 )

@@ -1,6 +1,5 @@
 """Tests for the experiment report aggregator."""
 
-from pathlib import Path
 
 from repro.evaluation.report import collect_reports, main, render_all
 

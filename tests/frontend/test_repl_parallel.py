@@ -1,0 +1,87 @@
+"""The REPL ``parallel`` command and the CLI ``--parallel`` flag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AtlasConfig
+from repro.evaluation.workloads import FIGURE2_QUERY_TEXT
+from repro.frontend.repl import run_script
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.datagen import census_table
+
+    return census_table(n_rows=2000, seed=11)
+
+
+class TestParallelCommand:
+    def test_shows_current_setting(self, table):
+        out = run_script(table, ["parallel", "quit"])
+        assert "parallel: serial" in out
+
+    def test_shows_configured_setting(self, table):
+        out = run_script(
+            table, ["parallel", "quit"],
+            config=AtlasConfig(
+                fidelity="sketch:500", parallelism="parallel:2:4"
+            ),
+        )
+        assert "parallel: parallel:2:4" in out
+
+    def test_switch_re_answers_current_query(self, table):
+        out = run_script(
+            table,
+            ["fidelity sketch:500", "parallel 2", "parallel", "quit"],
+            initial_query=FIGURE2_QUERY_TEXT,
+        )
+        assert "parallel set to parallel:2:8" in out
+        assert "parallel: parallel:2:8" in out
+        # Fidelity switch + parallel switch each re-answered the query.
+        assert out.count("map(s) for query") >= 3
+
+    def test_full_spec_and_back_to_serial(self, table):
+        out = run_script(
+            table,
+            ["parallel parallel:2:4", "parallel serial", "parallel", "quit"],
+        )
+        assert "parallel set to parallel:2:4" in out
+        assert "parallel set to serial" in out
+
+    def test_bad_spec_reports_error(self, table):
+        out = run_script(table, ["parallel warp", "quit"])
+        assert "error:" in out
+
+    def test_switch_preserves_drilldown_history(self, table):
+        out = run_script(
+            table,
+            ["drill 0", "parallel 2", "where", "back", "quit"],
+            initial_query=FIGURE2_QUERY_TEXT,
+            config=AtlasConfig(fidelity="sketch:500"),
+        )
+        assert "parallel set to parallel:2:8" in out
+        assert "error:" not in out
+        assert "> " in out  # two-level breadcrumb survived the switch
+
+
+class TestCliFlag:
+    def test_parallel_flag_parsed(self, table, tmp_path, monkeypatch):
+        import io
+
+        from repro.dataset.io_csv import write_csv
+        from repro.frontend import repl as repl_module
+
+        path = tmp_path / "census.csv"
+        write_csv(table, path)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("parallel\nquit\n")
+        )
+        captured = io.StringIO()
+        monkeypatch.setattr("sys.stdout", captured)
+        exit_code = repl_module.main(
+            [str(path), "--fidelity", "sketch:750",
+             "--parallel", "parallel:2:4"]
+        )
+        assert exit_code == 0
+        assert "parallel: parallel:2:4" in captured.getvalue()

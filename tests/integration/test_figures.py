@@ -6,7 +6,7 @@ import pytest
 from repro.core.atlas import Atlas
 from repro.core.candidates import generate_candidates
 from repro.core.clustering import cluster_maps
-from repro.core.config import AtlasConfig, MergeMethod, NumericCutStrategy
+from repro.core.config import AtlasConfig, NumericCutStrategy
 from repro.core.cut import cut
 from repro.core.merge import composition, product
 from repro.datagen import census_table, figure5_dataset

@@ -1,6 +1,5 @@
 """Cross-module integration tests of the full pipeline on varied data."""
 
-import numpy as np
 import pytest
 
 from repro.core.atlas import Atlas

@@ -5,7 +5,6 @@ a set of regions that (a) are pairwise disjoint, (b) reunite to the
 parent predicate's range, and (c) carry the cut attribute.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,11 +1,10 @@
 """Round-trip properties across the serialization surfaces."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dataset.io_csv import read_csv_text, write_csv
+from repro.dataset.io_csv import write_csv
 from repro.dataset.table import Table
 from repro.db.connection import SqlConnection
 from repro.query.predicate import RangePredicate, SetPredicate

@@ -1,6 +1,5 @@
 """Property-based tests: random interaction walks never corrupt a session."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,9 +1,7 @@
 """Unit tests for the predicate types."""
 
-import numpy as np
 import pytest
 
-from repro.dataset.table import Table
 from repro.errors import PredicateError
 from repro.query.predicate import (
     AnyPredicate,

@@ -1,8 +1,6 @@
 """Unit tests for the SQL emitter."""
 
-import pytest
 
-from repro.errors import QueryError
 from repro.query.predicate import (
     AnyPredicate,
     RangePredicate,
