@@ -1,0 +1,68 @@
+"""atlas-lint: AST-based static enforcement of the repo's invariants.
+
+PRs 1–5 built the system's correctness story on three hand-maintained
+contracts: all randomness derives from ``child_rng``/``tag_rng``
+(bit-identical answers everywhere), every wire type keeps a symmetric
+``to_dict``/``from_dict`` pair, and shared mutable state only moves
+under its declared lock.  Tests catch regressions after the fact; this
+package catches them at parse time, before a regression ships.
+
+Run it as a module::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis src/repro --format json
+
+Four built-in rules (see :mod:`repro.analysis.rules`):
+
+* **R1 determinism** — no ambient randomness or wall-clock inside
+  ``repro.engine`` / ``repro.sketch`` / ``repro.core``.
+* **R2 serde symmetry** — ``to_dict`` ⇔ ``from_dict`` pairing, plus
+  dataclass-field drift detection in literal ``to_dict`` bodies.
+* **R3 lock discipline** — ``# guarded-by: <lock>`` fields may only
+  be touched inside ``with self.<lock>:`` (the PR-5 lost-update class).
+* **R4 cache-key completeness** — every field of a dataclass named by
+  ``# cache-key-of:`` must reach its key builder (the PR-4 staleness
+  class).
+
+The framework mirrors the engine's extension idioms: a string-keyed
+rule registry (:data:`~repro.analysis.registry.RULES`), structured
+:class:`~repro.analysis.findings.Finding` objects with their own serde
+pair, text/JSON reporters, inline suppressions, and a committed
+baseline so adoption starts green and ratchets like coverage.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.module import ModuleInfo
+from repro.analysis.registry import (
+    RULES,
+    Rule,
+    default_rules,
+    register_rule,
+)
+from repro.analysis.reporters import (
+    findings_from_report_dict,
+    render_json,
+    render_text,
+    report_to_dict,
+)
+from repro.analysis.runner import Analyzer, Report, collect_files
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ModuleInfo",
+    "Report",
+    "RULES",
+    "Rule",
+    "Severity",
+    "collect_files",
+    "default_rules",
+    "findings_from_report_dict",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+]

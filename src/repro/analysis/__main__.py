@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m repro.analysis`` (atlas-lint).
+
+Usage::
+
+    python -m repro.analysis src/repro                 # text report
+    python -m repro.analysis src/repro --format json   # machine report
+    python -m repro.analysis src/repro --rules R1,R3   # a rule subset
+    python -m repro.analysis src/repro --write-baseline --reason "..."
+
+Exit status: 0 when no non-baselined error-severity finding remains,
+1 when findings stand, 2 on usage or configuration errors — the
+contract the CI ``analyze`` job and the self-check test both rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.registry import default_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import Analyzer
+from repro.errors import AtlasError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "atlas-lint: AST-based checker for the repo's determinism, "
+            "serde, lock-discipline, and cache-key invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of accepted findings "
+            f"(default: ./{DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "accept every current finding into the baseline file and "
+            "exit 0 (an explicit, reviewed act — pair with --reason)"
+        ),
+    )
+    parser.add_argument(
+        "--reason",
+        default="accepted at baseline creation",
+        help="reason string recorded for --write-baseline entries",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings (text format)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the analyzer; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            for rule in default_rules():
+                print(f"{rule.id}  {rule.name}: {rule.description}")
+            return 0
+        only = (
+            [r.strip() for r in args.rules.split(",") if r.strip()]
+            if args.rules
+            else None
+        )
+        rules = default_rules(only)
+        baseline_path = Path(
+            args.baseline if args.baseline else DEFAULT_BASELINE
+        )
+        baseline = Baseline.load(baseline_path)
+        report = Analyzer(rules=rules, baseline=baseline).run(args.paths)
+        if args.write_baseline:
+            merged = list(report.findings) + list(report.baselined)
+            Baseline.from_findings(merged, args.reason).save(baseline_path)
+            print(
+                f"atlas-lint: wrote {len(merged)} accepted finding(s) "
+                f"to {baseline_path}"
+            )
+            return 0
+        if args.format == "json":
+            print(render_json(report))
+        else:
+            print(render_text(report, verbose=args.verbose))
+        return 0 if report.ok else 1
+    except AtlasError as exc:
+        print(f"atlas-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

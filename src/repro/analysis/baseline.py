@@ -1,0 +1,168 @@
+"""Committed baselines: adopt the analyzer green, ratchet from there.
+
+A baseline file records findings the repo has *decided to live with* —
+each with a mandatory human reason — so turning a new rule on does not
+require fixing the whole backlog in the same commit.  The contract
+mirrors the coverage ratchet: the committed file only ever shrinks;
+new findings are never baselined silently (``--write-baseline`` is an
+explicit, reviewed act).
+
+Entries match findings on their line-free fingerprint
+``(rule, path, symbol, message)`` (see
+:meth:`repro.analysis.findings.Finding.fingerprint`) so edits above a
+baselined finding do not invalidate the suppression.  ``message`` may
+be omitted from an entry to suppress every finding of one rule on one
+symbol — useful when a message embeds a field list that legitimately
+evolves.
+
+Stale entries (matching nothing in the current run) are reported as
+warnings: a fixed finding should take its baseline entry with it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigError
+
+#: Default committed baseline filename, looked up in the working
+#: directory by the CLI when ``--baseline`` is not given.
+DEFAULT_BASELINE = "atlas-lint.baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding, with the reason it is accepted."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+    #: Optional exact-message match; ``None`` matches any message of
+    #: ``rule`` on ``(path, symbol)``.
+    message: str | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        """True when this entry suppresses ``finding``."""
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.symbol == finding.symbol
+            and (self.message is None or self.message == finding.message)
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; the inverse of :meth:`from_dict`."""
+        out: dict = {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "reason": self.reason,
+        }
+        if self.message is not None:
+            out["message"] = self.message
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BaselineEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        try:
+            return cls(
+                rule=str(data["rule"]),
+                path=str(data["path"]),
+                symbol=str(data["symbol"]),
+                reason=str(data["reason"]),
+                message=(
+                    str(data["message"]) if "message" in data else None
+                ),
+            )
+        except KeyError as exc:
+            raise ConfigError(
+                f"baseline entry missing field {exc}: {data!r}"
+            ) from None
+
+
+class Baseline:
+    """The committed set of accepted findings."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()):
+        self._entries = entries
+        self._matched: set[BaselineEntry] = set()
+
+    @property
+    def entries(self) -> tuple[BaselineEntry, ...]:
+        """Every accepted finding, file order."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ConfigError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        return cls(
+            tuple(BaselineEntry.from_dict(e) for e in data["entries"])
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], reason: str
+    ) -> "Baseline":
+        """A baseline accepting every given finding (``--write-baseline``)."""
+        seen: dict[tuple, BaselineEntry] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            seen.setdefault(
+                key,
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    message=finding.message,
+                    reason=reason,
+                ),
+            )
+        return cls(tuple(seen.values()))
+
+    def save(self, path: Path) -> None:
+        """Write the committed JSON form (stable key order, trailing NL)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in self._entries],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def accepts(self, finding: Finding) -> bool:
+        """True when a baseline entry suppresses ``finding``.
+
+        Matches are remembered so :meth:`stale_entries` can report the
+        leftovers after a run.
+        """
+        for entry in self._entries:
+            if entry.matches(finding):
+                self._matched.add(entry)
+                return True
+        return False
+
+    def stale_entries(self) -> tuple[BaselineEntry, ...]:
+        """Entries that matched nothing in the findings seen so far."""
+        return tuple(
+            entry for entry in self._entries if entry not in self._matched
+        )

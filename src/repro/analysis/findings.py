@@ -1,0 +1,88 @@
+"""Structured findings: what a rule reports and how it travels.
+
+A :class:`Finding` is the analyzer's unit of output — one violated
+invariant at one ``file:line`` span, attributed to the rule that
+detected it and the enclosing symbol it was found in.  Findings are
+frozen dataclasses with a symmetric ``to_dict``/``from_dict`` pair
+(the analyzer eats its own dog food: rule R2 enforces exactly this
+shape on every serde type in the repo), so the JSON reporter, the
+baseline file, and any CI tooling all share one schema.
+
+The *identity* of a finding for suppression purposes is deliberately
+line-free (:meth:`Finding.fingerprint`): baselines must survive
+unrelated edits above the finding, so they match on
+``(rule, path, symbol, message)`` rather than on line numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Severity(enum.Enum):
+    """How a finding affects the analyzer's exit status.
+
+    ``ERROR`` findings fail the run (exit 1) unless baselined or
+    suppressed; ``WARNING`` findings are reported but never fail the
+    build — the adoption ramp for a new rule mirrors the coverage
+    ratchet: land as warning, burn the backlog down, promote to error.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One violated invariant at one source span."""
+
+    #: Registry id of the rule that produced this finding (``"R1"``…).
+    rule: str
+    #: Severity the rule assigned (usually the rule's own default).
+    severity: Severity
+    #: Path of the offending file, as given to the analyzer
+    #: (normalized to ``/`` separators for portable baselines).
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 1-based column of the offending node (0 when unknown).
+    column: int
+    #: Human-readable statement of the violated invariant.
+    message: str
+    #: Dotted enclosing symbol (``Class.method``, ``function``, or
+    #: ``"<module>"``) — the stable anchor baselines match on.
+    symbol: str = "<module>"
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Line-free identity used by baseline matching."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def location(self) -> str:
+        """``path:line:column`` as editors expect it."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; the inverse of :meth:`from_dict`."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            rule=str(data["rule"]),
+            severity=Severity(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "<module>")),
+        )

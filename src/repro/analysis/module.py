@@ -1,0 +1,110 @@
+"""Parsed-module substrate shared by every rule.
+
+Rules consume a :class:`ModuleInfo`: the raw source, the parsed
+``ast`` tree, and a line → comment map extracted with :mod:`tokenize`.
+The comment map is what powers the analyzer's annotation conventions —
+``# guarded-by: _lock`` field declarations, ``# holds-lock: _lock``
+caller-contract markers, ``# cache-key-of: Class`` key-builder
+markers, and ``# atlas-lint: ignore[R?]`` inline suppressions — none
+of which survive into the AST on their own.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from pathlib import Path
+
+#: ``# atlas-lint: ignore[R1]`` / ``# atlas-lint: ignore[R1, R3] why``
+_IGNORE_RE = re.compile(r"atlas-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _comment_map(source: str) -> dict[int, str]:
+    """1-based line → comment text (without the leading ``#``).
+
+    Tokenized rather than regexed so a ``#`` inside a string literal
+    is never mistaken for a comment.  A file whose tail is not
+    tokenizable returns the comments seen so far — the parse error is
+    reported separately by the runner.
+    """
+    comments: dict[int, str] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One analyzed file: source, AST, and comment annotations."""
+
+    #: Path as reported in findings (posix separators, analyzer-relative).
+    rel_path: str
+    #: Absolute filesystem path the source was read from.
+    path: Path
+    source: str
+    tree: ast.Module
+    comments: dict[int, str]
+
+    @classmethod
+    def load(cls, path: Path, rel_path: str) -> "ModuleInfo":
+        """Read and parse one file (raises ``SyntaxError`` on bad source)."""
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, rel_path=rel_path, path=path)
+
+    @classmethod
+    def from_source(
+        cls, source: str, rel_path: str = "<string>",
+        path: Path | None = None,
+    ) -> "ModuleInfo":
+        """Parse in-memory source (what the fixture tests use)."""
+        tree = ast.parse(source, filename=rel_path)
+        return cls(
+            rel_path=rel_path,
+            path=path if path is not None else Path(rel_path),
+            source=source,
+            tree=tree,
+            comments=_comment_map(source),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Annotation helpers
+    # ------------------------------------------------------------------ #
+
+    def comment_on(self, line: int) -> str:
+        """The comment on a 1-based line ('' when there is none)."""
+        return self.comments.get(line, "")
+
+    def def_comment(self, node: ast.AST) -> str:
+        """The marker comment attached to a ``def``/``class`` statement.
+
+        Looked up on the statement's own first line — decorators don't
+        shift it because ``lineno`` of a decorated function points at
+        the ``def`` keyword on Python 3.8+.
+        """
+        return self.comment_on(getattr(node, "lineno", 0))
+
+    def suppressed_rules(self, line: int) -> frozenset[str]:
+        """Rule ids an ``atlas-lint: ignore[...]`` comment names.
+
+        Checked on the finding's own line; an empty set means the
+        finding stands.
+        """
+        match = _IGNORE_RE.search(self.comment_on(line))
+        if not match:
+            return frozenset()
+        return frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+
+
+def enclosing_symbol(stack: list[str]) -> str:
+    """Dotted symbol name for a class/function nesting stack."""
+    return ".".join(stack) if stack else "<module>"

@@ -1,0 +1,176 @@
+"""The rule registry: string-keyed, open, duplicate-safe.
+
+Mirrors :class:`repro.engine.registry.StrategyRegistry` — the same
+register-by-decorator idiom, the same "typos never silently shadow a
+built-in" duplicate policy, the same lazy built-in loading — so adding
+a rule is one decorated class away::
+
+    @register_rule
+    class NoSleepRule(Rule):
+        id = "X1"
+        name = "no-sleep"
+        description = "time.sleep() in library code"
+
+        def check_module(self, module):
+            ...
+
+Rules are *classes*; the registry stores them and
+:func:`default_rules` instantiates one of each, so tests can also
+construct a rule directly with non-default parameters (e.g. a
+determinism scope covering fixture paths).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.module import ModuleInfo
+from repro.errors import ConfigError
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in rules.
+
+    Lookup may happen before :mod:`repro.analysis.rules` has been
+    imported (e.g. ``python -m repro.analysis``); the defining modules
+    self-register on import, exactly like the engine's strategy
+    registries.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    import repro.analysis.rules  # noqa: F401
+
+    _builtins_loaded = True
+
+
+class Rule:
+    """Base class every analyzer rule extends.
+
+    Sub-classes set the class attributes and override one (or both)
+    hooks:
+
+    * :meth:`check_module` — per-file findings; called once per
+      analyzed module.
+    * :meth:`check_project` — cross-module findings; called once after
+      every module has been parsed (rule R4 compares dataclass field
+      sets in one module against key builders in another).
+    """
+
+    #: Short stable id used in findings, suppressions, and baselines.
+    id: str = "R0"
+    #: Human-oriented slug (``"determinism"``).
+    name: str = "unnamed"
+    #: One-line statement of the enforced invariant.
+    description: str = ""
+    #: Default severity of this rule's findings.
+    severity: Severity = Severity.ERROR
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Findings local to one module (default: none)."""
+        return ()
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterable[Finding]:
+        """Findings needing the whole module set (default: none)."""
+        return ()
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        column: int,
+        message: str,
+        symbol: str = "<module>",
+    ) -> Finding:
+        """Build a finding attributed to this rule."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.rel_path,
+            line=line,
+            column=column,
+            message=message,
+            symbol=symbol,
+        )
+
+
+class RuleRegistry:
+    """A named mapping from rule ids to :class:`Rule` classes."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, type[Rule]] = {}
+
+    def register(
+        self, rule_cls: type[Rule] | None = None, *, overwrite: bool = False
+    ):
+        """Register a rule class under its ``id``; usable as a decorator.
+
+        Raises :class:`ConfigError` on duplicate ids unless
+        ``overwrite`` is set.
+        """
+
+        def _store(entry: type[Rule]) -> type[Rule]:
+            key = entry.id
+            if not overwrite and key in self._entries:
+                raise ConfigError(
+                    f"analysis rule {key!r} is already registered; "
+                    "pass overwrite=True to replace it"
+                )
+            self._entries[key] = entry
+            return entry
+
+        if rule_cls is None:
+            return _store
+        return _store(rule_cls)
+
+    def get(self, rule_id: str) -> type[Rule]:
+        """Look up a rule class; unknown ids raise :class:`ConfigError`."""
+        _ensure_builtins()
+        try:
+            return self._entries[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise ConfigError(
+                f"unknown analysis rule {rule_id!r}; registered: {known}"
+            ) from None
+
+    def ids(self) -> tuple[str, ...]:
+        """All registered rule ids, sorted."""
+        _ensure_builtins()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, rule_id: object) -> bool:
+        _ensure_builtins()
+        return rule_id in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.ids())
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(self._entries)
+
+
+#: The process-wide registry the built-in rules register into.
+RULES = RuleRegistry()
+
+
+def register_rule(rule_cls: type[Rule] | None = None, **kw):
+    """Register an analyzer rule (see :data:`RULES`)."""
+    return RULES.register(rule_cls, **kw)
+
+
+def default_rules(only: Iterable[str] | None = None) -> tuple[Rule, ...]:
+    """One instance of each registered rule, id order.
+
+    ``only`` restricts the selection to the named ids (unknown names
+    raise, so a typoed ``--rules`` flag fails loudly).
+    """
+    _ensure_builtins()
+    selected = tuple(only) if only is not None else RULES.ids()
+    return tuple(RULES.get(rule_id)() for rule_id in selected)

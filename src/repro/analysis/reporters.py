@@ -1,0 +1,97 @@
+"""Report renderers: human text and machine JSON.
+
+The JSON shape is a versioned schema built from
+:meth:`Finding.to_dict` — the same dict the baseline and the tests
+round-trip — so CI annotations, editor integrations, and the
+self-check test all parse one format.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.runner import Report
+
+#: Bumped when the JSON report shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: Report, verbose: bool = False) -> str:
+    """The human-facing run summary (one ``path:line:col`` per finding)."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.severity.value} "
+            f"[{finding.rule}] {finding.message} (in {finding.symbol})"
+        )
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()}: suppressed [{finding.rule}] "
+                f"{finding.message}"
+            )
+        for finding in report.baselined:
+            lines.append(
+                f"{finding.location()}: baselined [{finding.rule}] "
+                f"{finding.message}"
+            )
+    for entry in report.stale_baseline:
+        lines.append(
+            f"{entry.path}: warning [baseline] stale entry for "
+            f"{entry.rule} on {entry.symbol!r} matches nothing; remove it"
+        )
+    errors = sum(
+        1 for f in report.findings if f.severity is Severity.ERROR
+    )
+    warnings = len(report.findings) - errors
+    lines.append(
+        f"atlas-lint: {report.n_files} files, "
+        f"rules {', '.join(report.rule_ids)}: "
+        f"{errors} error(s), {warnings} warning(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(report: Report) -> dict:
+    """The versioned JSON-ready form of a run."""
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "ok": report.ok,
+        "files": report.n_files,
+        "rules": list(report.rule_ids),
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "stale_baseline": [e.to_dict() for e in report.stale_baseline],
+        "summary": {
+            "errors": sum(
+                1
+                for f in report.findings
+                if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1
+                for f in report.findings
+                if f.severity is Severity.WARNING
+            ),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+        },
+    }
+
+
+def render_json(report: Report) -> str:
+    """Serialized :func:`report_to_dict` (stable two-space indent)."""
+    return json.dumps(report_to_dict(report), indent=2)
+
+
+def findings_from_report_dict(data: dict) -> list[Finding]:
+    """Parse the ``findings`` of a JSON report back into objects.
+
+    The round-trip half the reporter schema test pins: a consumer can
+    always rebuild the typed findings a report serialized.
+    """
+    return [Finding.from_dict(item) for item in data.get("findings", [])]

@@ -1,0 +1,19 @@
+"""Built-in atlas-lint rules; importing this package registers them.
+
+Each rule module self-registers into :data:`repro.analysis.registry.RULES`
+via the :func:`~repro.analysis.registry.register_rule` decorator —
+the same import-time self-registration the engine's strategy modules
+use (:mod:`repro.core.cut` → :data:`repro.engine.registry.NUMERIC_CUTS`).
+"""
+
+from repro.analysis.rules.cachekey import CacheKeyRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.serde import SerdeSymmetryRule
+
+__all__ = [
+    "CacheKeyRule",
+    "DeterminismRule",
+    "LockDisciplineRule",
+    "SerdeSymmetryRule",
+]

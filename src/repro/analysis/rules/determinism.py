@@ -1,0 +1,251 @@
+"""Rule R1 — determinism: all randomness derives from sanctioned sites.
+
+The repo's reproducibility story (bit-identical answers across worker
+counts, processes, and call orders) rests on one discipline: every
+random draw flows from ``ExecutionContext.child_rng`` or
+``repro.engine.parallel.tag_rng``, both of which derive a generator
+from ``(config.seed, fingerprint)``.  A single stray ``time.time()``
+tie-breaker or OS-entropy ``default_rng()`` anywhere in the engine,
+sketch, or core-scoring layers silently breaks that contract — and no
+test notices until two hosts disagree.
+
+This rule bans, inside the determinism-scoped packages:
+
+* wall-clock reads — ``time.time``/``time.time_ns``,
+  ``datetime.now``/``utcnow``, ``date.today`` (monotonic and
+  ``perf_counter`` clocks stay legal: they feed timings, which are
+  provenance, not results);
+* the stdlib ``random`` module in any form (its global state is
+  process- and order-dependent);
+* the legacy ``numpy.random.*`` API (global state again), and
+  ``numpy.random.default_rng()`` *with no arguments* (OS entropy).
+  ``default_rng(seed_or_rng)`` with an argument is the sanctioned
+  coercion idiom and stays legal.
+
+Functions named as *derivation sites* (``child_rng``, ``tag_rng``)
+are exempt in full: they are where the sanctioned seeds are turned
+into generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo, enclosing_symbol
+from repro.analysis.registry import Rule, register_rule
+
+#: Package path fragments rule R1 polices by default.  Matching is on
+#: the finding path, so any file under these trees is in scope.
+DEFAULT_SCOPES = (
+    "repro/engine/",
+    "repro/sketch/",
+    "repro/core/",
+)
+
+#: Function names allowed to construct generators from scratch.
+DERIVATION_SITES = frozenset({"child_rng", "tag_rng"})
+
+#: Fully-resolved dotted names that are banned outright.
+_BANNED_EXACT = {
+    "time.time": "wall-clock time.time() is call-time-dependent",
+    "time.time_ns": "wall-clock time.time_ns() is call-time-dependent",
+    "datetime.datetime.now": "datetime.now() is call-time-dependent",
+    "datetime.datetime.utcnow": "datetime.utcnow() is call-time-dependent",
+    "datetime.date.today": "date.today() is call-time-dependent",
+}
+
+#: Names legal under the ``numpy.random`` prefix.
+_NUMPY_RANDOM_ALLOWED = frozenset({
+    "numpy.random.Generator",
+    "numpy.random.BitGenerator",
+    "numpy.random.SeedSequence",
+})
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name → dotted origin, for every import in the module.
+
+    Handles ``import numpy as np`` (``np`` → ``numpy``), ``import
+    time`` (``time`` → ``time``), ``from time import time`` (``time``
+    → ``time.time``), and ``from numpy import random as npr`` (``npr``
+    → ``numpy.random``).  Function-local imports are collected too —
+    the repo imports lazily in hot paths.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else local
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:
+                continue  # relative imports never name stdlib/numpy
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to its imported dotted origin."""
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    origin = aliases.get(cursor.id)
+    if origin is None:
+        return None
+    return ".".join([origin, *reversed(parts)])
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """R1: no ambient randomness or wall-clock inside the engine core."""
+
+    id = "R1"
+    name = "determinism"
+    description = (
+        "randomness/wall-clock in engine, sketch, and core layers must "
+        "derive from child_rng/tag_rng"
+    )
+
+    def __init__(self, scopes: tuple[str, ...] | None = DEFAULT_SCOPES):
+        #: ``None`` disables scoping (fixture tests analyze bare
+        #: files); an empty tuple would scope *nothing*, so tests can
+        #: also narrow to a single package.
+        self._scopes = scopes
+
+    def _in_scope(self, module: ModuleInfo) -> bool:
+        if self._scopes is None:
+            return True
+        return any(scope in module.rel_path for scope in self._scopes)
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._in_scope(module):
+            return
+        aliases = _import_aliases(module.tree)
+        yield from self._walk(module, module.tree.body, aliases, [])
+
+    def _walk(
+        self,
+        module: ModuleInfo,
+        body: list[ast.stmt],
+        aliases: dict[str, str],
+        stack: list[str],
+    ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if statement.name in DERIVATION_SITES:
+                    continue  # the sanctioned derivation site itself
+                stack.append(statement.name)
+                yield from self._walk(
+                    module, statement.body, aliases, stack
+                )
+                stack.pop()
+            elif isinstance(statement, ast.ClassDef):
+                stack.append(statement.name)
+                yield from self._walk(
+                    module, statement.body, aliases, stack
+                )
+                stack.pop()
+            else:
+                yield from self._check_statement(
+                    module, statement, aliases, stack
+                )
+
+    def _check_statement(
+        self,
+        module: ModuleInfo,
+        statement: ast.stmt,
+        aliases: dict[str, str],
+        stack: list[str],
+    ) -> Iterator[Finding]:
+        symbol = enclosing_symbol(stack)
+        #: An attribute chain and its base name share a start position;
+        #: reporting once per position keeps ``random.random()`` from
+        #: firing twice (once for the chain, once for the base).
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(statement):
+            message: str | None = None
+            report_node: ast.expr | None = None
+            if isinstance(node, ast.Call):
+                message = self._default_rng_violation(node, aliases)
+                if message is not None:
+                    report_node = node.func
+            if message is None and isinstance(
+                node, (ast.Attribute, ast.Name)
+            ):
+                message = self._violation(node, aliases)
+                if message is not None:
+                    report_node = node
+            if message is None or report_node is None:
+                continue
+            position = (report_node.lineno, report_node.col_offset)
+            if position in seen:
+                continue
+            seen.add(position)
+            yield self.finding(
+                module,
+                report_node.lineno,
+                report_node.col_offset + 1,
+                message,
+                symbol,
+            )
+
+    @staticmethod
+    def _resolve(node: ast.AST, aliases: dict[str, str]) -> str | None:
+        if isinstance(node, ast.Attribute):
+            return _dotted(node, aliases)
+        if isinstance(node, ast.Name):
+            return aliases.get(node.id)
+        return None
+
+    def _violation(
+        self, node: ast.AST, aliases: dict[str, str]
+    ) -> str | None:
+        """The invariant this reference breaks, or ``None``."""
+        dotted = self._resolve(node, aliases)
+        if dotted is None:
+            return None
+        if dotted in _BANNED_EXACT:
+            return _BANNED_EXACT[dotted]
+        if dotted == "random" or dotted.startswith("random."):
+            return (
+                f"stdlib '{dotted}' uses process-global state; derive "
+                "randomness via ExecutionContext.child_rng/tag_rng"
+            )
+        if (
+            dotted.startswith("numpy.random.")
+            and dotted not in _NUMPY_RANDOM_ALLOWED
+            and dotted != "numpy.random.default_rng"
+        ):
+            return (
+                f"legacy '{dotted}' uses numpy's process-global state; "
+                "derive a Generator via child_rng/tag_rng"
+            )
+        return None
+
+    def _default_rng_violation(
+        self, node: ast.Call, aliases: dict[str, str]
+    ) -> str | None:
+        """Zero-argument ``default_rng()`` draws OS entropy — flag it.
+
+        Seeded/coercing calls (``default_rng(rng)``,
+        ``default_rng([seed, fingerprint])``) are the sanctioned idiom
+        and pass."""
+        if self._resolve(node.func, aliases) != "numpy.random.default_rng":
+            return None
+        if not node.args and not node.keywords:
+            return (
+                "default_rng() with no seed draws OS entropy; pass a "
+                "seed derived from child_rng/tag_rng"
+            )
+        return None

@@ -1,0 +1,238 @@
+"""Rule R3 — lock discipline: guarded state only moves under its lock.
+
+PR 5 fixed a lost-update bug in exactly this class: aggregate counter
+reads in ``ExecutionContext`` ran outside the shared lock and could
+interleave with locked writers.  The fix was mechanical — wrap the
+read — but nothing *kept* it fixed.  This rule does, at parse time.
+
+Convention (annotations live next to the code they protect):
+
+* Declaring a guarded field — a trailing comment on its ``__init__``
+  assignment::
+
+      self._pending = 0  # guarded-by: _admission
+
+* Every later ``self._pending`` read or write must sit lexically
+  inside a ``with self._admission:`` block (any ``with`` whose
+  context expression is that attribute of ``self``).
+* A helper that *requires* its caller to hold the lock declares the
+  contract on its ``def`` line and is checked at its call sites'
+  discipline instead::
+
+      def _use(self, name):  # holds-lock: _lock
+
+``__init__`` itself is exempt (the object is not yet shared during
+construction).  The check is lexical, not aliasing-aware: it sees
+``self.<field>`` on the declaring class only — cross-object accesses
+(``other._field``) and re-bound locals are out of scope, which keeps
+the rule free of false positives at the cost of known blind spots
+(documented in DESIGN).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.registry import Rule, register_rule
+
+_GUARDED_RE = re.compile(r"guarded-by:\s*(_?\w+)")
+_HOLDS_RE = re.compile(r"holds-lock:\s*(_?\w+)")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``name`` when ``node`` is ``self.<name>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guarded_fields(
+    module: ModuleInfo, cls: ast.ClassDef
+) -> dict[str, str]:
+    """Field name → lock name, from ``guarded-by`` declarations.
+
+    Declarations are ``self.<field> = ...`` statements anywhere in the
+    class body (conventionally ``__init__``) whose line carries the
+    marker comment.
+    """
+    guarded: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        # A formatter may wrap the declaration; the marker counts on
+        # any line the assignment statement spans.
+        match = None
+        for line in range(
+            node.lineno, (node.end_lineno or node.lineno) + 1
+        ):
+            match = _GUARDED_RE.search(module.comment_on(line))
+            if match:
+                break
+        if not match:
+            continue
+        for target in targets:
+            field = _self_attr(target)
+            if field is not None:
+                guarded[field] = match.group(1)
+    return guarded
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    """R3: guarded-by fields are only touched under their lock."""
+
+    id = "R3"
+    name = "lock-discipline"
+    description = (
+        "fields declared '# guarded-by: <lock>' may only be accessed "
+        "inside 'with self.<lock>:' (or a '# holds-lock' helper)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = _guarded_fields(module, cls)
+        if not guarded:
+            return
+        for statement in cls.body:
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if statement.name == "__init__":
+                continue  # construction precedes sharing
+            held: set[str] = set()
+            marker = _HOLDS_RE.search(module.def_comment(statement))
+            if marker:
+                held.add(marker.group(1))
+            yield from self._check_body(
+                module, cls.name, statement.name, statement.body,
+                guarded, held,
+            )
+
+    def _check_body(
+        self,
+        module: ModuleInfo,
+        class_name: str,
+        method_name: str,
+        body: list[ast.stmt],
+        guarded: dict[str, str],
+        held: set[str],
+    ) -> Iterator[Finding]:
+        for statement in body:
+            yield from self._check_statement(
+                module, class_name, method_name, statement, guarded, held
+            )
+
+    def _check_statement(
+        self,
+        module: ModuleInfo,
+        class_name: str,
+        method_name: str,
+        statement: ast.stmt,
+        guarded: dict[str, str],
+        held: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            acquired: set[str] = set()
+            for item in statement.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+            # The context expressions themselves evaluate unlocked.
+            for item in statement.items:
+                yield from self._check_expression(
+                    module, class_name, method_name, item.context_expr,
+                    guarded, held,
+                )
+            inner = held | acquired
+            yield from self._check_body(
+                module, class_name, method_name, statement.body,
+                guarded, inner,
+            )
+            return
+        for child_body_field in ("body", "orelse", "finalbody"):
+            child_body = getattr(statement, child_body_field, None)
+            if isinstance(child_body, list) and child_body and isinstance(
+                child_body[0], ast.stmt
+            ):
+                yield from self._check_body(
+                    module, class_name, method_name, child_body,
+                    guarded, held,
+                )
+        for handler in getattr(statement, "handlers", []) or []:
+            yield from self._check_body(
+                module, class_name, method_name, handler.body,
+                guarded, held,
+            )
+        yield from self._check_expression(
+            module, class_name, method_name, statement, guarded, held,
+            skip_blocks=True,
+        )
+
+    def _check_expression(
+        self,
+        module: ModuleInfo,
+        class_name: str,
+        method_name: str,
+        root: ast.AST,
+        guarded: dict[str, str],
+        held: set[str],
+        skip_blocks: bool = False,
+    ) -> Iterator[Finding]:
+        for node in self._iter(root, skip_blocks):
+            field = _self_attr(node)
+            if field is None:
+                continue
+            lock = guarded.get(field)
+            if lock is None or lock in held:
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset + 1,
+                f"{class_name}.{field} is guarded by self.{lock} but "
+                f"accessed outside 'with self.{lock}:'",
+                symbol=f"{class_name}.{method_name}",
+            )
+
+    @staticmethod
+    def _iter(root: ast.AST, skip_blocks: bool):
+        """Attribute nodes of ``root``, not descending into statement
+        blocks (those are walked by :meth:`_check_statement` with the
+        correct lock set)."""
+        stack = [root]
+        block_fields = (
+            {"body", "orelse", "finalbody", "handlers"}
+            if skip_blocks
+            else set()
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Attribute):
+                yield node
+            for field_name, value in ast.iter_fields(node):
+                if field_name in block_fields:
+                    continue
+                if isinstance(value, ast.AST):
+                    stack.append(value)
+                elif isinstance(value, list):
+                    stack.extend(
+                        v for v in value if isinstance(v, ast.AST)
+                    )

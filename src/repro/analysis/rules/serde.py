@@ -1,0 +1,220 @@
+"""Rule R2 — serde symmetry: ``to_dict`` and ``from_dict`` travel in pairs.
+
+Every wire/serde type in the repo keeps a symmetric
+``to_dict``/``from_dict`` pair — the contract PR 1 established for
+``AtlasConfig`` and PR 2 extended across the whole service protocol.
+An asymmetric type is a latent wire bug: a value that serializes but
+cannot be rebuilt (or the reverse) fails only when the *other* side of
+the service boundary is exercised.
+
+Two checks:
+
+* **Pairing** — a class defining one of ``to_dict``/``from_dict``
+  must define (or inherit, within the same module) the other.
+* **Field drift** — a ``@dataclass`` whose ``to_dict`` emits a
+  literal dict must cover every dataclass field in its emitted keys.
+  A field added to the dataclass but forgotten in ``to_dict`` silently
+  drops state on the wire — exactly the drift class the version field
+  of PR 4 would have hit had serde not been updated in lockstep.
+  ``to_dict`` bodies that iterate ``dataclasses.fields(...)`` are
+  dynamically complete and skip the check; *extra* emitted keys are
+  legal (derived values are fine, missing state is not).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.registry import Rule, register_rule
+
+_PAIR = ("to_dict", "from_dict")
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    """True when the class is decorated with ``dataclass(...)``."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(
+            decorator, ast.Call
+        ) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "dataclass"
+        ):
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[str]:
+    """Field names of a dataclass body (annotated assignments)."""
+    fields: list[str] = []
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            if isinstance(statement.annotation, ast.Name) and (
+                statement.annotation.id == "ClassVar"
+            ):
+                continue
+            if isinstance(statement.annotation, ast.Subscript):
+                base = statement.annotation.value
+                if isinstance(base, ast.Name) and base.id == "ClassVar":
+                    continue
+                if (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "ClassVar"
+                ):
+                    continue
+            fields.append(statement.target.id)
+    return fields
+
+
+def _methods(
+    node: ast.ClassDef,
+) -> "dict[str, ast.FunctionDef | ast.AsyncFunctionDef]":
+    return {
+        statement.name: statement
+        for statement in node.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _emitted_keys(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> tuple[set[str], bool]:
+    """(string keys ``to_dict`` emits, body-is-dynamic flag).
+
+    Keys are collected from dict literals and ``out["key"] = ...``
+    subscript stores anywhere in the body.  A reference to
+    ``dataclasses.fields`` (or bare ``fields``) marks the body dynamic
+    — it serializes whatever the dataclass declares, so drift cannot
+    happen and the check is skipped.
+    """
+    keys: set[str] = set()
+    dynamic = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Store
+        ):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(
+                index.value, str
+            ):
+                keys.add(index.value)
+        elif isinstance(node, ast.Attribute) and node.attr == "fields":
+            dynamic = True
+        elif isinstance(node, ast.Name) and node.id == "fields":
+            dynamic = True
+    return keys, dynamic
+
+
+@register_rule
+class SerdeSymmetryRule(Rule):
+    """R2: to_dict/from_dict pairing and dataclass field coverage."""
+
+    id = "R2"
+    name = "serde-symmetry"
+    description = (
+        "classes defining to_dict must define from_dict (and vice "
+        "versa); dataclass to_dict must cover every field"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for name, node in classes.items():
+            yield from self._check_class(module, name, node, classes)
+
+    def _inherited(
+        self,
+        cls: ast.ClassDef,
+        method: str,
+        classes: dict[str, ast.ClassDef],
+        seen: set[str],
+    ) -> bool:
+        """True when a same-module ancestor defines ``method``.
+
+        Cross-module bases are treated as *providing* the method —
+        without imports resolved, the honest default is to trust them
+        (``Predicate`` subclasses inherit the base dispatcher; a
+        false negative here is recoverable by the pairing check on the
+        base's own module).
+        """
+        for base in cls.bases:
+            if isinstance(base, ast.Attribute):
+                return True  # imported base: assume it provides it
+            if not isinstance(base, ast.Name) or base.id in seen:
+                continue
+            seen.add(base.id)
+            ancestor = classes.get(base.id)
+            if ancestor is None:
+                return True  # imported base: assume it provides it
+            if method in _methods(ancestor):
+                return True
+            if self._inherited(ancestor, method, classes, seen):
+                return True
+        return False
+
+    def _check_class(
+        self,
+        module: ModuleInfo,
+        name: str,
+        node: ast.ClassDef,
+        classes: dict[str, ast.ClassDef],
+    ) -> Iterator[Finding]:
+        methods = _methods(node)
+        for present, missing in (_PAIR, tuple(reversed(_PAIR))):
+            if present in methods and missing not in methods:
+                if self._inherited(node, missing, classes, set()):
+                    continue
+                fn = methods[present]
+                yield self.finding(
+                    module,
+                    fn.lineno,
+                    fn.col_offset + 1,
+                    f"class {name} defines {present} but no matching "
+                    f"{missing}; serde types must round-trip",
+                    symbol=name,
+                )
+        if _is_dataclass(node) and "to_dict" in methods:
+            yield from self._check_drift(module, name, node, methods)
+
+    def _check_drift(
+        self,
+        module: ModuleInfo,
+        name: str,
+        node: ast.ClassDef,
+        methods: "dict[str, ast.FunctionDef | ast.AsyncFunctionDef]",
+    ) -> Iterator[Finding]:
+        fn = methods["to_dict"]
+        keys, dynamic = _emitted_keys(fn)
+        if dynamic:
+            return
+        fields = [
+            field
+            for field in _dataclass_fields(node)
+            if not field.startswith("_")
+        ]
+        for field in fields:
+            if field not in keys:
+                yield self.finding(
+                    module,
+                    fn.lineno,
+                    fn.col_offset + 1,
+                    f"dataclass field {name}.{field} is not emitted by "
+                    "to_dict; serialized state would silently drop it",
+                    symbol=f"{name}.to_dict",
+                )

@@ -1,0 +1,186 @@
+"""The analyzer driver: collect files, run rules, apply suppressions.
+
+One :class:`Analyzer` run is two passes over the analyzed file set —
+per-module rule hooks while parsing, then the cross-module hooks once
+every module is in hand (rule R4 needs dataclass definitions and key
+builders that live in different files).  Findings then pass through
+two suppression layers:
+
+* inline ``# atlas-lint: ignore[R?] reason`` comments on the
+  offending line, and
+* the committed baseline file (:mod:`repro.analysis.baseline`).
+
+What survives is the run's verdict: any remaining error-severity
+finding makes :meth:`Report.ok` false (CLI exit 1).
+
+File set: the analyzer owns the same universe the repo's style gate
+(ruff) checks — ``__pycache__`` and ``benchmarks/results`` are always
+excluded, and ``examples/`` is opt-in (pass the directory explicitly),
+so the two tools never disagree about which files are in scope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.module import ModuleInfo
+from repro.analysis.registry import Rule, default_rules
+from repro.errors import ConfigError
+
+#: Directory names never analyzed, wherever they appear.
+EXCLUDED_DIRS = frozenset({"__pycache__", ".git", "results"})
+#: Directories skipped during recursive collection unless named
+#: explicitly on the command line (opt-in, matching the lint job which
+#: lists ``examples`` by hand).
+OPT_IN_DIRS = frozenset({"examples"})
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """The ``.py`` files a run analyzes, sorted and de-duplicated.
+
+    Files are taken verbatim; directories are walked recursively with
+    the exclusion policy above.  Unknown paths raise — a typoed path
+    silently analyzing nothing would report a false green.
+    """
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigError(f"no such file or directory: {path}")
+        if path.is_file():
+            seen.setdefault(path, None)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.relative_to(path).parts[:-1])
+            if parts & EXCLUDED_DIRS:
+                continue
+            if parts & OPT_IN_DIRS and path.name not in OPT_IN_DIRS:
+                continue
+            seen.setdefault(candidate, None)
+    return list(seen)
+
+
+def _rel_path(path: Path) -> str:
+    """Finding path: cwd-relative when possible, posix separators."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+@dataclasses.dataclass
+class Report:
+    """Everything one analyzer run produced."""
+
+    #: Findings that survived both suppression layers, location order.
+    findings: list[Finding]
+    #: Findings an inline ``atlas-lint: ignore`` comment suppressed.
+    suppressed: list[Finding]
+    #: Findings the committed baseline accepted.
+    baselined: list[Finding]
+    #: Baseline entries that matched nothing (candidates for removal).
+    stale_baseline: tuple[BaselineEntry, ...]
+    #: Files analyzed.
+    n_files: int
+    #: Rule ids that ran.
+    rule_ids: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived."""
+        return not any(
+            f.severity is Severity.ERROR for f in self.findings
+        )
+
+
+class Analyzer:
+    """Run a rule set over a file set and reconcile the baseline."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        baseline: Baseline | None = None,
+    ):
+        self._rules = tuple(rules) if rules is not None else default_rules()
+        self._baseline = baseline if baseline is not None else Baseline()
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        """The rule instances this analyzer runs."""
+        return self._rules
+
+    def run(self, paths: Sequence[str | Path]) -> Report:
+        """Analyze ``paths`` (files or directories) end to end."""
+        files = collect_files(paths)
+        modules: list[ModuleInfo] = []
+        raw: list[Finding] = []
+        for path in files:
+            rel = _rel_path(path)
+            try:
+                module = ModuleInfo.load(path, rel)
+            except SyntaxError as exc:
+                raw.append(
+                    Finding(
+                        rule="parse",
+                        severity=Severity.ERROR,
+                        path=rel,
+                        line=exc.lineno or 1,
+                        column=(exc.offset or 1),
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            modules.append(module)
+            for rule in self._rules:
+                raw.extend(rule.check_module(module))
+        for rule in self._rules:
+            raw.extend(rule.check_project(modules))
+        return self._reconcile(raw, modules, len(files))
+
+    def run_modules(self, modules: Iterable[ModuleInfo]) -> Report:
+        """Analyze pre-parsed modules (what the fixture tests use)."""
+        module_list = list(modules)
+        raw: list[Finding] = []
+        for module in module_list:
+            for rule in self._rules:
+                raw.extend(rule.check_module(module))
+        for rule in self._rules:
+            raw.extend(rule.check_project(module_list))
+        return self._reconcile(raw, module_list, len(module_list))
+
+    def _reconcile(
+        self,
+        raw: list[Finding],
+        modules: Sequence[ModuleInfo],
+        n_files: int,
+    ) -> Report:
+        by_path = {module.rel_path: module for module in modules}
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in sorted(
+            raw, key=lambda f: (f.path, f.line, f.column, f.rule)
+        ):
+            module = by_path.get(finding.path)
+            if (
+                module is not None
+                and finding.rule in module.suppressed_rules(finding.line)
+            ):
+                suppressed.append(finding)
+            elif self._baseline.accepts(finding):
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        return Report(
+            findings=active,
+            suppressed=suppressed,
+            baselined=baselined,
+            stale_baseline=self._baseline.stale_entries(),
+            n_files=n_files,
+            rule_ids=tuple(rule.id for rule in self._rules),
+        )
