@@ -267,13 +267,13 @@ class ExactBackend:
         self._version = table.version
         self._lock = lock if lock is not None else threading.Lock()
         self.counters = counters if counters is not None else CacheCounters()
-        self.usage: dict[str, int] = {}
-        self._predicate_masks: dict[object, np.ndarray] = {}
-        self._query_masks: dict[ConjunctiveQuery, np.ndarray] = {}
-        self._assignments: dict[DataMap, np.ndarray] = {}
-        self._covers: dict[DataMap, np.ndarray] = {}
-        self._joints: dict[tuple, np.ndarray] = {}
-        self._cuts: dict[tuple, DataMap] = {}
+        self.usage: dict[str, int] = {}  # guarded-by: _lock
+        self._predicate_masks: dict[object, np.ndarray] = {}  # guarded-by: _lock
+        self._query_masks: dict[ConjunctiveQuery, np.ndarray] = {}  # guarded-by: _lock
+        self._assignments: dict[DataMap, np.ndarray] = {}  # guarded-by: _lock
+        self._covers: dict[DataMap, np.ndarray] = {}  # guarded-by: _lock
+        self._joints: dict[tuple, np.ndarray] = {}  # guarded-by: _lock
+        self._cuts: dict[tuple, DataMap] = {}  # guarded-by: _lock
         self._mask_cap = _row_array_cap(table.n_rows, 1)
         self._row_array_cap = _row_array_cap(table.n_rows, 8)
 
@@ -297,11 +297,11 @@ class ExactBackend:
         """Streaming version of the table currently being described."""
         return self._version
 
-    def _use(self, name: str) -> None:
+    def _use(self, name: str) -> None:  # holds-lock: _lock
         """Bump the per-request usage counter (caller holds the lock)."""
         self.usage[name] = self.usage.get(name, 0) + 1
 
-    def _put_if_current(
+    def _put_if_current(  # holds-lock: _lock
         self, memo: dict, key, value, cap: int, version: int
     ) -> None:
         """Version-stamped insert (caller holds the lock).
@@ -345,7 +345,7 @@ class ExactBackend:
         with self._lock:
             self._advance_state(new_table)
 
-    def _advance_state(self, new_table: Table) -> None:
+    def _advance_state(self, new_table: Table) -> None:  # holds-lock: _lock
         """The state transition of :meth:`advance` (caller holds the
         lock — :class:`SketchBackend` swaps its own state in the same
         critical section so the version bump and the memo invalidation
@@ -726,9 +726,9 @@ class SketchBackend:
         self._lock = self._inner._lock
         self.counters = self._inner.counters
         self.usage = self._inner.usage
-        self._quantile_sketches: dict[str, object] = {}
-        self._frequency_sketches: dict[str, object] = {}
-        self._root_cuts: dict[tuple, DataMap] = {}
+        self._quantile_sketches: dict[str, object] = {}  # guarded-by: _lock
+        self._frequency_sketches: dict[str, object] = {}  # guarded-by: _lock
+        self._root_cuts: dict[tuple, DataMap] = {}  # guarded-by: _lock
 
     @property
     def table(self) -> Table:

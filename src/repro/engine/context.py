@@ -89,9 +89,9 @@ class ExecutionContext:
             "exact": CacheCounters(),
             "sketch": CacheCounters(),
         }
-        self._stats: dict[int, StatsBackend] = {}
-        self._transient_stats: StatsBackend | None = None
-        self._scopes: dict[ConjunctiveQuery, Table] = {}
+        self._stats: dict[int, StatsBackend] = {}  # guarded-by: _lock
+        self._transient_stats: StatsBackend | None = None  # guarded-by: _lock
+        self._scopes: dict[ConjunctiveQuery, Table] = {}  # guarded-by: _lock
 
     @property
     def table(self) -> Table:

@@ -29,10 +29,10 @@ class ResultCache(Generic[V]):
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, V] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:

@@ -57,7 +57,7 @@ class ServiceMetrics:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counters = {
+        self._counters = {  # guarded-by: _lock
             "received": 0,       # every explore request that reached us
             "completed": 0,      # answered by running the pipeline
             "cache_hits": 0,     # answered from the result cache
@@ -65,8 +65,10 @@ class ServiceMetrics:
             "failed": 0,         # raised any other error
             "appends": 0,        # streaming append batches applied
         }
-        self._stage_latency = {name: LatencyWindow() for name in CANONICAL_STAGES}
-        self._total_latency = LatencyWindow()
+        self._stage_latency = {  # guarded-by: _lock
+            name: LatencyWindow() for name in CANONICAL_STAGES
+        }
+        self._total_latency = LatencyWindow()  # guarded-by: _lock
 
     def count(self, counter: str, n: int = 1) -> None:
         """Bump one of the request counters."""
