@@ -61,6 +61,51 @@ from repro.service.sources import (
 )
 
 
+def result_cache_key(  # cache-key-of: ExploreRequest (exempt: use_cache)
+    table: str,
+    generation: int,
+    version: int,
+    config: AtlasConfig,
+    query: ConjunctiveQuery,
+) -> tuple:
+    """The result-cache identity of one resolved explore request.
+
+    Everything that can change an answer is a component, nothing else:
+
+    * ``(table, generation, version)`` pins the exact data the answer
+      was computed from — an append bumps the version, a re-register
+      bumps the generation, and either makes every older entry
+      unreachable (the PR-4 staleness fix).  This is why the key is
+      built from *resolved* parts rather than the raw wire request:
+      the request names a table, but the answer depends on which rows
+      that name served at the time.
+    * The fidelity spec is a *dedicated* component (it also travels
+      inside the config key): an approximate and an exact answer for
+      the same query fingerprint must never collide, even if a future
+      config-key change drops or reorders fields.
+    * The config key canonicalizes worker counts out
+      (:meth:`ExplorationService._config_key`) — workers change
+      wall-clock, never answers.
+    * The query appears both as its order-insensitive fingerprint and
+      its order-*sensitive* key: ``user_order`` cutting makes two
+      set-equal queries with different value orders distinct answers.
+
+    Rule R4 (atlas-lint) holds this builder to ``ExploreRequest``'s
+    field set: a result-affecting request field that never reaches
+    this function is reported at parse time.  ``use_cache`` is exempt
+    — it controls whether the cache is consulted, not what is stored.
+    """
+    return (
+        table,
+        generation,
+        version,
+        config.fidelity.spec(),
+        ExplorationService._config_key(config),
+        query_fingerprint(query),
+        order_sensitive_key(query),
+    )
+
+
 class ExplorationService:
     """A concurrent, caching front over the exploration pipeline.
 
@@ -110,21 +155,23 @@ class ExplorationService:
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
         self._max_inflight = max_workers + max_queue_depth
-        self._pending = 0
+        self._pending = 0  # guarded-by: _admission
         self._admission = Lock()
         self._registry = Lock()
-        self._sources: dict[str, TableSource] = {}
-        self._tables: dict[str, Table] = {}
+        self._sources: dict[str, TableSource] = {}  # guarded-by: _registry
+        self._tables: dict[str, Table] = {}  # guarded-by: _registry
         #: Per-name registration generation, bumped on every (re-)
         #: registration.  Result-cache keys carry ``(generation,
         #: version)`` so neither an overwrite nor an append can leave a
         #: stale answer reachable (an overwritten table restarts at
         #: version 0 — the generation is what separates its cache
         #: entries from the previous tenant's).
-        self._generations: dict[str, int] = {}
-        self._contexts: OrderedDict[tuple, ExecutionContext] = OrderedDict()
+        self._generations: dict[str, int] = {}  # guarded-by: _registry
+        self._contexts: OrderedDict[tuple, ExecutionContext] = (
+            OrderedDict()
+        )  # guarded-by: _registry
         self._max_contexts = max_contexts
-        self._closed = False
+        self._closed = False  # guarded-by: _admission
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -233,7 +280,7 @@ class ExplorationService:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _config_key(config: AtlasConfig) -> tuple:
+    def _config_key(config: AtlasConfig) -> tuple:  # cache-key-of: AtlasConfig
         """Identity of a configuration *for caching purposes*.
 
         The worker count is canonicalized out of the parallelism spec:
@@ -313,23 +360,12 @@ class ExplorationService:
             self._metrics.count("failed")
             raise
 
-        # The fidelity spec is a *dedicated* key component (it also
-        # travels inside the config key): an approximate and an exact
-        # answer for the same query fingerprint must never collide,
-        # even if a future config-key change drops or reorders fields.
-        # (generation, version) pins the answer to the exact data it
-        # was computed from: an append bumps the version, a re-register
-        # bumps the generation, and either makes every older entry
-        # unreachable — the result cache can never serve a pre-append
-        # answer at a post-append version.
-        cache_key = (
+        cache_key = result_cache_key(
             table,
             generation,
             table_obj.version,
-            resolved_config.fidelity.spec(),
-            self._config_key(resolved_config),
-            query_fingerprint(resolved_query),
-            order_sensitive_key(resolved_query),
+            resolved_config,
+            resolved_query,
         )
         if use_cache:
             cached = self._results.get(cache_key)
