@@ -1,0 +1,38 @@
+"""Shared fixtures for the analyzer (atlas-lint) test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, ModuleInfo
+
+#: The committed corpus of known-bad / known-good source files.
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def analyze():
+    """Run a rule list over in-memory source; returns the Report."""
+
+    def _analyze(source: str, rules, rel_path: str = "fixture.py"):
+        module = ModuleInfo.from_source(source, rel_path=rel_path)
+        return Analyzer(rules=rules).run_modules([module])
+
+    return _analyze
+
+
+@pytest.fixture
+def findings_of(analyze):
+    """Like ``analyze`` but returns just the surviving findings."""
+
+    def _findings(source: str, rules, rel_path: str = "fixture.py"):
+        return analyze(source, rules, rel_path).findings
+
+    return _findings

@@ -1,0 +1,16 @@
+"""R4 corpus: the PR-4 staleness shape — a field missing from the key."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class StaleRequest:
+    table: str
+    query: str
+    version: int
+
+
+def stale_key(req):  # cache-key-of: StaleRequest
+    # 'version' never reaches the key: a pre-append answer stays
+    # reachable at a post-append version — exactly the PR-4 bug.
+    return (req.table, req.query)

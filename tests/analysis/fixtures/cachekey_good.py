@@ -1,0 +1,39 @@
+"""R4 corpus: complete keys — literal, exempt, dynamic, delegated."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class Request:
+    table: str
+    query: str
+    version: int
+    use_cache: bool = True
+
+    def to_dict(self):
+        return {
+            "table": self.table,
+            "query": self.query,
+            "version": self.version,
+            "use_cache": self.use_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+def full_key(req):  # cache-key-of: Request (exempt: use_cache)
+    return (req.table, req.query, req.version)
+
+
+def dynamic_key(req):  # cache-key-of: Request (exempt: use_cache)
+    return tuple(sorted(req.to_dict().items()))
+
+
+def delegated_key(req):  # cache-key-of: Request (exempt: use_cache)
+    return (req.table, _tail(req))
+
+
+def _tail(req):
+    return (req.query, req.version)

@@ -1,0 +1,33 @@
+"""R1 corpus: every banned ambient-randomness idiom, one per function.
+
+This is the historical bug class itself: a wall-clock tie-breaker or
+OS-entropy generator anywhere in the scoring path silently breaks
+bit-identical reproducibility across hosts and worker counts.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def shuffle_rows(rows):
+    random.shuffle(rows)  # stdlib global RNG
+    return rows
+
+
+def tie_break(scores):
+    return max(scores) + time.time() % 1e-6  # wall-clock tie-breaker
+
+
+def stamp():
+    return datetime.now()  # call-time-dependent
+
+
+def fresh_generator():
+    return np.random.default_rng()  # OS entropy, no seed
+
+
+def legacy_seed():
+    np.random.seed(7)  # legacy process-global API

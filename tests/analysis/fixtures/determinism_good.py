@@ -1,0 +1,26 @@
+"""R1 corpus: the sanctioned idioms the rule must keep legal."""
+
+import time
+import zlib
+
+import numpy as np
+
+
+def child_rng(seed, fingerprint):
+    # The derivation site itself is exempt wholesale: this is where
+    # sanctioned (seed, fingerprint) pairs become generators.
+    return np.random.default_rng([seed, zlib.crc32(fingerprint)])
+
+
+def timed(fn):
+    start = time.perf_counter()  # timings are provenance, not results
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def coerce(rng):
+    return np.random.default_rng(rng)  # seeded coercion is sanctioned
+
+
+def annotate(gen: np.random.Generator) -> np.random.Generator:
+    return gen  # naming the Generator type is not drawing from it

@@ -1,0 +1,16 @@
+"""R3 corpus: the PR-5 lost-update shape — an unguarded counter read."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._total += 1
+
+    def read_unguarded(self):
+        return self._total  # racy: interleaves with locked writers

@@ -1,0 +1,23 @@
+"""R3 corpus: every sanctioned access pattern for guarded state."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+        self._peak = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._total += 1
+            if self._total > self._peak:
+                self._peak = self._total
+
+    def _read_locked(self):  # holds-lock: _lock
+        return self._total
+
+    def snapshot(self):
+        with self._lock:
+            return {"total": self._read_locked(), "peak": self._peak}

@@ -1,0 +1,25 @@
+"""R2 corpus: pairing asymmetry and field drift."""
+
+import dataclasses
+
+
+class OneWay:
+    """Serializes but can never be rebuilt — a latent wire bug."""
+
+    def to_dict(self):
+        return {"kind": "one-way"}
+
+
+@dataclasses.dataclass
+class Drifty:
+    """``version`` silently dropped on the wire (the PR-4 drift shape)."""
+
+    table: str
+    version: int
+
+    def to_dict(self):
+        return {"table": self.table}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["table"], data.get("version", 0))

@@ -1,0 +1,40 @@
+"""R2 corpus: symmetric pairs, dynamic emitters, inherited halves."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class RoundTrip:
+    name: str
+    size: int = 0
+
+    def to_dict(self):
+        # Extra derived keys are legal; missing state is not.
+        return {"name": self.name, "size": self.size, "kind": "extra"}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["name"], data.get("size", 0))
+
+
+@dataclasses.dataclass
+class Dynamic:
+    a: int
+    b: int
+
+    def to_dict(self):
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+class Child(RoundTrip):
+    """Overrides one half; the other is inherited in-module."""
+
+    def to_dict(self):
+        return {"name": self.name, "size": self.size}

@@ -1,0 +1,94 @@
+"""Baseline semantics: line-free matching, round-trip, staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding, Severity
+from repro.errors import ConfigError
+
+
+def _finding(line=10, message="class T defines to_dict but no from_dict"):
+    return Finding(
+        rule="R2",
+        severity=Severity.ERROR,
+        path="src/pkg/mod.py",
+        line=line,
+        column=1,
+        message=message,
+        symbol="T",
+    )
+
+
+def test_entry_matches_on_line_free_fingerprint():
+    entry = BaselineEntry(
+        rule="R2",
+        path="src/pkg/mod.py",
+        symbol="T",
+        reason="legacy",
+        message="class T defines to_dict but no from_dict",
+    )
+    assert entry.matches(_finding(line=10))
+    assert entry.matches(_finding(line=999))  # edits above don't break it
+    assert not entry.matches(_finding(message="something else"))
+
+
+def test_omitted_message_matches_any_message_of_the_rule():
+    entry = BaselineEntry(
+        rule="R2", path="src/pkg/mod.py", symbol="T", reason="legacy"
+    )
+    assert entry.matches(_finding(message="a"))
+    assert entry.matches(_finding(message="b"))
+
+
+def test_round_trip_through_file(tmp_path):
+    baseline = Baseline.from_findings([_finding()], reason="adopted")
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    assert loaded.entries[0].reason == "adopted"
+    # The committed form is stable JSON with a trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text)["version"] == 1
+
+
+def test_missing_file_is_an_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert len(baseline) == 0
+    assert not baseline.accepts(_finding())
+
+
+def test_accepts_tracks_stale_entries():
+    used = BaselineEntry(
+        rule="R2", path="src/pkg/mod.py", symbol="T", reason="legacy"
+    )
+    stale = BaselineEntry(
+        rule="R1", path="src/pkg/other.py", symbol="f", reason="old"
+    )
+    baseline = Baseline((used, stale))
+    assert baseline.accepts(_finding())
+    assert baseline.stale_entries() == (stale,)
+
+
+def test_from_findings_dedupes_identical_fingerprints():
+    baseline = Baseline.from_findings(
+        [_finding(line=1), _finding(line=2)], reason="adopted"
+    )
+    assert len(baseline) == 1
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigError, match="malformed baseline"):
+        Baseline.load(path)
+    path.write_text('{"no_entries": []}')
+    with pytest.raises(ConfigError, match="'entries'"):
+        Baseline.load(path)
+    path.write_text('{"entries": [{"rule": "R1"}]}')
+    with pytest.raises(ConfigError, match="missing field"):
+        Baseline.load(path)

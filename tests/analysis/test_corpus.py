@@ -1,0 +1,69 @@
+"""The committed fixture corpus: each rule catches its historical bug
+class in the ``*_bad`` files and stays silent on the ``*_good`` ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.rules.cachekey import CacheKeyRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.serde import SerdeSymmetryRule
+
+
+@pytest.fixture(scope="module")
+def corpus_report(request):
+    fixtures = request.path.parent / "fixtures"
+    # R1 is scope-unrestricted here: the corpus does not live under the
+    # engine trees the default scopes name.
+    rules = [
+        DeterminismRule(scopes=None),
+        SerdeSymmetryRule(),
+        LockDisciplineRule(),
+        CacheKeyRule(),
+    ]
+    return Analyzer(rules=rules).run([fixtures])
+
+
+def _by_file(report, name):
+    return [f for f in report.findings if f.path.endswith(name)]
+
+
+def test_good_files_are_clean(corpus_report):
+    for finding in corpus_report.findings:
+        assert "_bad" in finding.path, finding
+
+
+def test_determinism_corpus(corpus_report):
+    found = _by_file(corpus_report, "determinism_bad.py")
+    assert {f.symbol for f in found} == {
+        "shuffle_rows",
+        "tie_break",
+        "stamp",
+        "fresh_generator",
+        "legacy_seed",
+    }
+    assert all(f.rule == "R1" for f in found)
+
+
+def test_serde_corpus(corpus_report):
+    found = _by_file(corpus_report, "serde_bad.py")
+    assert {(f.rule, f.symbol) for f in found} == {
+        ("R2", "OneWay"),
+        ("R2", "Drifty.to_dict"),
+    }
+
+
+def test_locks_corpus(corpus_report):
+    found = _by_file(corpus_report, "locks_bad.py")
+    assert [(f.rule, f.symbol) for f in found] == [
+        ("R3", "Counter.read_unguarded")
+    ]
+
+
+def test_cachekey_corpus(corpus_report):
+    found = _by_file(corpus_report, "cachekey_bad.py")
+    assert len(found) == 1
+    assert found[0].rule == "R4"
+    assert "StaleRequest.version" in found[0].message

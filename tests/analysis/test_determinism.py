@@ -1,0 +1,208 @@
+"""Rule R1: ambient randomness/wall-clock is caught; sanctioned idioms pass.
+
+The historical bug class: one stray ``time.time()`` tie-breaker or
+OS-entropy ``default_rng()`` in the scoring path breaks bit-identical
+answers across hosts — and no behavioural test notices until two runs
+disagree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.rules.determinism import DeterminismRule
+
+
+def _run(findings_of, source, rel_path="fixture.py", scopes=None):
+    return findings_of(
+        textwrap.dedent(source), [DeterminismRule(scopes=scopes)], rel_path
+    )
+
+
+def test_stdlib_random_module_flagged(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import random
+
+        def pick(rows):
+            return random.choice(rows)
+        """,
+    )
+    assert len(found) == 1
+    assert found[0].rule == "R1"
+    assert "random.choice" in found[0].message
+    assert found[0].symbol == "pick"
+
+
+def test_from_import_alias_resolved(findings_of):
+    found = _run(
+        findings_of,
+        """
+        from random import shuffle
+
+        def scramble(rows):
+            shuffle(rows)
+        """,
+    )
+    assert len(found) == 1
+    assert "random.shuffle" in found[0].message
+
+
+def test_wall_clock_tie_breaker_flagged(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import time
+
+        def tie_break(score):
+            return score + time.time() % 1e-6
+        """,
+    )
+    assert len(found) == 1
+    assert "call-time-dependent" in found[0].message
+
+
+def test_datetime_now_flagged_via_from_import(findings_of):
+    found = _run(
+        findings_of,
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """,
+    )
+    assert len(found) == 1
+    assert "datetime.now" in found[0].message
+
+
+def test_monotonic_clocks_are_legal(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import time
+
+        def timed(fn):
+            start = time.perf_counter()
+            fn()
+            return time.perf_counter() - start, time.monotonic()
+        """,
+    )
+    assert found == []
+
+
+def test_zero_arg_default_rng_flagged_seeded_passes(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import numpy as np
+
+        def fresh():
+            return np.random.default_rng()
+
+        def derived(seed):
+            return np.random.default_rng(seed)
+        """,
+    )
+    assert len(found) == 1
+    assert "OS entropy" in found[0].message
+    assert found[0].symbol == "fresh"
+
+
+def test_legacy_numpy_random_flagged(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import numpy as np
+
+        def reseed():
+            np.random.seed(7)
+            return np.random.rand()
+        """,
+    )
+    assert {f.line for f in found} == {5, 6}
+    assert all("process-global" in f.message for f in found)
+
+
+def test_numpy_generator_types_are_legal(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import numpy as np
+
+        def annotate(gen: np.random.Generator) -> np.random.Generator:
+            return gen
+        """,
+    )
+    assert found == []
+
+
+def test_derivation_sites_exempt_wholesale(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import zlib
+        import numpy as np
+
+        def child_rng(seed, fingerprint):
+            return np.random.default_rng([seed, zlib.crc32(fingerprint)])
+
+        def tag_rng(seed, tag):
+            return np.random.default_rng()
+        """,
+    )
+    assert found == []
+
+
+def test_one_finding_per_position(findings_of):
+    # random.random() is an Attribute chain over a banned base Name;
+    # both resolve at the same start position — report once.
+    found = _run(
+        findings_of,
+        """
+        import random
+
+        def draw():
+            return random.random()
+        """,
+    )
+    assert len(found) == 1
+
+
+def test_default_scopes_limit_to_engine_layers(findings_of):
+    source = """
+    import time
+
+    def now():
+        return time.time()
+    """
+    from repro.analysis.rules.determinism import DEFAULT_SCOPES
+
+    out_of_scope = _run(
+        findings_of, source, rel_path="src/repro/frontend/repl.py",
+        scopes=DEFAULT_SCOPES,
+    )
+    in_scope = _run(
+        findings_of, source, rel_path="src/repro/engine/score.py",
+        scopes=DEFAULT_SCOPES,
+    )
+    assert out_of_scope == []
+    assert len(in_scope) == 1
+
+
+def test_inline_suppression_moves_finding_aside(analyze):
+    report = analyze(
+        textwrap.dedent(
+            """
+            import time
+
+            def now():
+                return time.time()  # atlas-lint: ignore[R1] provenance only
+            """
+        ),
+        [DeterminismRule(scopes=None)],
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.ok

@@ -1,0 +1,200 @@
+"""Rule R3: guarded-by fields are only touched under their lock.
+
+The historical bug class (PR 5): aggregate counter reads running
+outside the shared lock, interleaving with locked writers.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.rules.locks import LockDisciplineRule
+
+
+def _run(findings_of, source):
+    return findings_of(textwrap.dedent(source), [LockDisciplineRule()])
+
+
+_COUNTER = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._total += 1
+
+    def read_unguarded(self):
+        return self._total
+"""
+
+
+def test_unguarded_read_flagged(findings_of):
+    found = _run(findings_of, _COUNTER)
+    assert len(found) == 1
+    assert found[0].rule == "R3"
+    assert found[0].symbol == "Counter.read_unguarded"
+    assert (
+        "guarded by self._lock but accessed outside" in found[0].message
+    )
+
+
+def test_locked_access_and_init_are_clean(findings_of):
+    # The single finding above is the unguarded read: bump() and
+    # __init__ contribute nothing.
+    found = _run(findings_of, _COUNTER)
+    assert {f.symbol for f in found} == {"Counter.read_unguarded"}
+
+
+def test_holds_lock_marker_exempts_helper(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+
+            def _read_locked(self):  # holds-lock: _lock
+                return self._total
+
+            def snapshot(self):
+                with self._lock:
+                    return self._read_locked()
+        """,
+    )
+    assert found == []
+
+
+def test_unguarded_write_flagged(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+
+            def racy_bump(self):
+                self._total += 1
+        """,
+    )
+    assert len(found) == 1
+    assert found[0].symbol == "Counter.racy_bump"
+
+
+def test_nested_statements_inside_with_stay_guarded(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+                self._peak = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self._total += 1
+                    if self._total > self._peak:
+                        self._peak = self._total
+        """,
+    )
+    assert found == []
+
+
+def test_access_in_except_handler_is_checked(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+
+            def sloppy(self):
+                try:
+                    pass
+                except ValueError:
+                    self._total = 0
+        """,
+    )
+    assert len(found) == 1
+    assert found[0].symbol == "Counter.sloppy"
+
+
+def test_wrong_lock_does_not_satisfy_the_guard(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+                self._total = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._other:
+                    self._total += 1
+        """,
+    )
+    assert len(found) == 1
+    assert "outside 'with self._lock:'" in found[0].message
+
+
+def test_wrapped_declaration_marker_counts(findings_of):
+    # A formatter may wrap the declaration; the marker counts on any
+    # line the assignment statement spans.
+    found = _run(
+        findings_of,
+        """
+        import threading
+        from collections import OrderedDict
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries: OrderedDict[str, int] = (
+                    OrderedDict()
+                )  # guarded-by: _lock
+
+            def peek(self):
+                return len(self._entries)
+        """,
+    )
+    assert len(found) == 1
+    assert "Registry._entries" in found[0].message
+
+
+def test_multi_item_with_acquires_every_lock(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+                self._left = 0  # guarded-by: _a
+                self._right = 0  # guarded-by: _b
+
+            def swap(self):
+                with self._a, self._b:
+                    self._left, self._right = self._right, self._left
+        """,
+    )
+    assert found == []

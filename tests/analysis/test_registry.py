@@ -1,0 +1,57 @@
+"""Rule registry semantics: duplicates fail loudly, lookups are typed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import RULES, Rule, default_rules
+from repro.analysis.registry import RuleRegistry
+from repro.errors import ConfigError
+
+
+class _Stub(Rule):
+    id = "X1"
+    name = "stub"
+    description = "a test-only rule"
+
+
+def test_builtin_rules_are_registered():
+    assert set(RULES.ids()) >= {"R1", "R2", "R3", "R4"}
+    assert "R1" in RULES
+    assert len(RULES) >= 4
+
+
+def test_duplicate_registration_raises():
+    registry = RuleRegistry()
+    registry.register(_Stub)
+    with pytest.raises(ConfigError, match="already registered"):
+        registry.register(_Stub)
+
+
+def test_overwrite_replaces_explicitly():
+    registry = RuleRegistry()
+    registry.register(_Stub)
+
+    class Replacement(_Stub):
+        description = "v2"
+
+    registry.register(Replacement, overwrite=True)
+    assert registry.get("X1") is Replacement
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(ConfigError, match="unknown analysis rule"):
+        RULES.get("R999")
+
+
+def test_default_rules_instantiates_in_id_order():
+    rules = default_rules()
+    assert [r.id for r in rules] == sorted(r.id for r in rules)
+    assert all(isinstance(r, Rule) for r in rules)
+
+
+def test_default_rules_only_filter():
+    rules = default_rules(["R1", "R3"])
+    assert [r.id for r in rules] == ["R1", "R3"]
+    with pytest.raises(ConfigError, match="unknown analysis rule"):
+        default_rules(["R1", "bogus"])

@@ -1,0 +1,110 @@
+"""Reporter contract: the JSON schema round-trips and text is stable."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    Baseline,
+    BaselineEntry,
+    ModuleInfo,
+    findings_from_report_dict,
+    render_json,
+    render_text,
+    report_to_dict,
+)
+from repro.analysis.reporters import JSON_SCHEMA_VERSION
+from repro.analysis.rules.serde import SerdeSymmetryRule
+
+_BAD = textwrap.dedent(
+    """
+    class OneWay:
+        def to_dict(self):
+            return {}
+    """
+)
+
+
+@pytest.fixture
+def report():
+    module = ModuleInfo.from_source(_BAD, rel_path="pkg/oneway.py")
+    return Analyzer(rules=[SerdeSymmetryRule()]).run_modules([module])
+
+
+def test_json_report_shape(report):
+    data = json.loads(render_json(report))
+    assert data["schema_version"] == JSON_SCHEMA_VERSION
+    assert data["ok"] is False
+    assert data["files"] == 1
+    assert data["rules"] == ["R2"]
+    assert data["summary"] == {
+        "errors": 1,
+        "warnings": 0,
+        "baselined": 0,
+        "suppressed": 0,
+    }
+    (finding,) = data["findings"]
+    assert finding["rule"] == "R2"
+    assert finding["path"] == "pkg/oneway.py"
+    assert finding["severity"] == "error"
+
+
+def test_findings_round_trip_through_json(report):
+    data = json.loads(render_json(report))
+    rebuilt = findings_from_report_dict(data)
+    assert rebuilt == report.findings
+
+
+def test_report_to_dict_is_json_serializable(report):
+    # No enums or Paths may leak into the payload.
+    json.dumps(report_to_dict(report))
+
+
+def test_text_report_lists_location_rule_and_summary(report):
+    text = render_text(report)
+    assert "pkg/oneway.py:3:5: error [R2]" in text
+    assert "(in OneWay)" in text
+    assert "1 error(s), 0 warning(s)" in text
+
+
+def test_verbose_text_lists_baselined_findings():
+    module = ModuleInfo.from_source(_BAD, rel_path="pkg/oneway.py")
+    baseline = Baseline(
+        (
+            BaselineEntry(
+                rule="R2",
+                path="pkg/oneway.py",
+                symbol="OneWay",
+                reason="legacy",
+            ),
+        )
+    )
+    report = Analyzer(
+        rules=[SerdeSymmetryRule()], baseline=baseline
+    ).run_modules([module])
+    assert report.ok
+    assert "baselined [R2]" in render_text(report, verbose=True)
+    assert "baselined [R2]" not in render_text(report, verbose=False)
+
+
+def test_stale_baseline_entries_warn_in_text():
+    module = ModuleInfo.from_source(
+        "x = 1\n", rel_path="pkg/clean.py"
+    )
+    baseline = Baseline(
+        (
+            BaselineEntry(
+                rule="R2", path="pkg/gone.py", symbol="Gone", reason="old"
+            ),
+        )
+    )
+    report = Analyzer(
+        rules=[SerdeSymmetryRule()], baseline=baseline
+    ).run_modules([module])
+    text = render_text(report)
+    assert "stale entry" in text
+    assert "pkg/gone.py" in text

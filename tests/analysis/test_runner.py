@@ -1,0 +1,109 @@
+"""Analyzer driver: file collection policy, parse errors, suppression."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, BaselineEntry, collect_files
+from repro.analysis.rules.serde import SerdeSymmetryRule
+from repro.errors import ConfigError
+
+
+def _tree(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "results").mkdir()
+    (tmp_path / "results" / "record.py").write_text("x = 1\n")
+    (tmp_path / "examples").mkdir()
+    (tmp_path / "examples" / "demo.py").write_text("x = 1\n")
+    return tmp_path
+
+
+def test_collect_excludes_pycache_and_results(tmp_path):
+    files = collect_files([_tree(tmp_path)])
+    names = {f.relative_to(tmp_path).as_posix() for f in files}
+    assert names == {"pkg/mod.py"}
+
+
+def test_examples_are_opt_in(tmp_path):
+    root = _tree(tmp_path)
+    implicit = collect_files([root])
+    assert not any("examples" in f.parts for f in implicit)
+    explicit = collect_files([root / "examples"])
+    assert [f.name for f in explicit] == ["demo.py"]
+
+
+def test_explicit_file_and_dedup(tmp_path):
+    root = _tree(tmp_path)
+    target = root / "pkg" / "mod.py"
+    files = collect_files([target, target, root])
+    assert files.count(target) == 1
+
+
+def test_missing_path_raises(tmp_path):
+    with pytest.raises(ConfigError, match="no such file"):
+        collect_files([tmp_path / "nope"])
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    report = Analyzer(rules=[SerdeSymmetryRule()]).run([bad])
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.rule == "parse"
+    assert "does not parse" in finding.message
+
+
+def test_baseline_accepts_known_finding(tmp_path):
+    source = textwrap.dedent(
+        """
+        class OneWay:
+            def to_dict(self):
+                return {}
+        """
+    )
+    target = tmp_path / "oneway.py"
+    target.write_text(source)
+    report = Analyzer(rules=[SerdeSymmetryRule()]).run([target])
+    assert not report.ok
+
+    (finding,) = report.findings
+    baseline = Baseline(
+        (
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                symbol=finding.symbol,
+                reason="adopted",
+                message=finding.message,
+            ),
+        )
+    )
+    accepted = Analyzer(
+        rules=[SerdeSymmetryRule()], baseline=baseline
+    ).run([target])
+    assert accepted.ok
+    assert len(accepted.baselined) == 1
+    assert accepted.stale_baseline == ()
+
+
+def test_inline_suppression_beats_the_baseline(tmp_path):
+    target = tmp_path / "oneway.py"
+    target.write_text(
+        textwrap.dedent(
+            """
+            class OneWay:
+                def to_dict(self):  # atlas-lint: ignore[R2] builder only
+                    return {}
+            """
+        )
+    )
+    report = Analyzer(rules=[SerdeSymmetryRule()]).run([target])
+    assert report.ok
+    assert len(report.suppressed) == 1
+    assert report.findings == []

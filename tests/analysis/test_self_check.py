@@ -1,0 +1,91 @@
+"""Self-application: the repo passes its own analyzer and type gate.
+
+These are the dogfood tests the CI ``analyze`` job mirrors: if a change
+introduces a determinism leak, a serde asymmetry, an unguarded access,
+or an incomplete cache key anywhere under ``src/repro``, the suite —
+not just CI — goes red.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_src_repro_is_clean_against_committed_baseline():
+    result = _run_cli("src/repro", "--format", "json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    data = json.loads(result.stdout)
+    assert data["ok"] is True
+    assert data["findings"] == []
+    assert data["files"] > 50
+    assert data["rules"] == ["R1", "R2", "R3", "R4"]
+    # The baseline is exercised, not dormant: every committed entry
+    # matches a live finding (none stale), and at least one exists.
+    assert data["summary"]["baselined"] >= 1
+    assert data["stale_baseline"] == []
+
+
+def test_list_rules_names_the_builtins():
+    result = _run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("R1", "R2", "R3", "R4"):
+        assert rule_id in result.stdout
+
+
+def test_unknown_rule_is_a_usage_error():
+    result = _run_cli("src/repro", "--rules", "bogus")
+    assert result.returncode == 2
+    assert "unknown analysis rule" in result.stderr
+
+
+def test_violations_exit_nonzero():
+    fixtures = Path(__file__).parent / "fixtures"
+    result = _run_cli(
+        str(fixtures / "locks_bad.py"), "--rules", "R3", "--baseline",
+        str(fixtures / "no-such-baseline.json"),
+    )
+    assert result.returncode == 1
+    assert "[R3]" in result.stdout
+
+
+def test_mypy_self_check():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            "mypy.ini",
+            "src/repro",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,210 @@
+"""Rule R2: to_dict/from_dict pairing and dataclass field coverage."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.rules.serde import SerdeSymmetryRule
+
+
+def _run(findings_of, source):
+    return findings_of(textwrap.dedent(source), [SerdeSymmetryRule()])
+
+
+def test_to_dict_without_from_dict_flagged(findings_of):
+    found = _run(
+        findings_of,
+        """
+        class OneWay:
+            def to_dict(self):
+                return {}
+        """,
+    )
+    assert len(found) == 1
+    assert found[0].rule == "R2"
+    assert "defines to_dict but no matching from_dict" in found[0].message
+    assert found[0].symbol == "OneWay"
+
+
+def test_from_dict_without_to_dict_flagged(findings_of):
+    found = _run(
+        findings_of,
+        """
+        class OtherWay:
+            @classmethod
+            def from_dict(cls, data):
+                return cls()
+        """,
+    )
+    assert len(found) == 1
+    assert "defines from_dict but no matching to_dict" in found[0].message
+
+
+def test_symmetric_pair_passes(findings_of):
+    found = _run(
+        findings_of,
+        """
+        class Pair:
+            def to_dict(self):
+                return {}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls()
+        """,
+    )
+    assert found == []
+
+
+def test_same_module_inheritance_satisfies_pairing(findings_of):
+    found = _run(
+        findings_of,
+        """
+        class Base:
+            def to_dict(self):
+                return {}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls()
+
+        class Child(Base):
+            def to_dict(self):
+                return {"kind": "child"}
+        """,
+    )
+    assert found == []
+
+
+def test_imported_base_assumed_to_provide_the_pair(findings_of):
+    found = _run(
+        findings_of,
+        """
+        from elsewhere import Base
+
+        class Child(Base):
+            def to_dict(self):
+                return {}
+        """,
+    )
+    assert found == []
+
+
+def test_dataclass_field_drift_flagged(findings_of):
+    # The PR-4 shape: a field added to the dataclass but forgotten in
+    # to_dict silently drops state on the wire.
+    found = _run(
+        findings_of,
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Drifty:
+            table: str
+            version: int
+
+            def to_dict(self):
+                return {"table": self.table}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(data["table"], data.get("version", 0))
+        """,
+    )
+    assert len(found) == 1
+    assert "Drifty.version" in found[0].message
+    assert found[0].symbol == "Drifty.to_dict"
+
+
+def test_extra_emitted_keys_are_legal(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class WithDerived:
+            name: str
+
+            def to_dict(self):
+                return {"name": self.name, "derived": len(self.name)}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(data["name"])
+        """,
+    )
+    assert found == []
+
+
+def test_subscript_stores_count_as_emitted_keys(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Sparse:
+            name: str
+            extra: int
+
+            def to_dict(self):
+                out = {"name": self.name}
+                out["extra"] = self.extra
+                return out
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(data["name"], data.get("extra", 0))
+        """,
+    )
+    assert found == []
+
+
+def test_dynamic_fields_body_skips_drift_check(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Dynamic:
+            a: int
+            b: int
+
+            def to_dict(self):
+                return {
+                    f.name: getattr(self, f.name)
+                    for f in dataclasses.fields(self)
+                }
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(**data)
+        """,
+    )
+    assert found == []
+
+
+def test_private_and_classvar_fields_exempt_from_drift(findings_of):
+    found = _run(
+        findings_of,
+        """
+        import dataclasses
+        from typing import ClassVar
+
+        @dataclasses.dataclass
+        class Partial:
+            name: str
+            _scratch: int = 0
+            KIND: ClassVar[str] = "partial"
+
+            def to_dict(self):
+                return {"name": self.name}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(data["name"])
+        """,
+    )
+    assert found == []
