@@ -1,0 +1,468 @@
+"""The cluster coordinator: scatter/gather over shard servers.
+
+:class:`ClusterCoordinator` turns N running
+:class:`~repro.cluster.shard.ShardServer` processes into a drop-in
+statistics backend.  A build fans the shard scans out over HTTP —
+shards assigned to servers in contiguous blocks — then folds the
+per-shard results **in shard order** with exactly the local fold
+(:func:`repro.engine.parallel.fold_shard_statistics`), so a cluster
+answer is bit-identical to a serial or local-parallel answer over the
+same shard layout: "workers are wall-clock, shards are statistics"
+survives the network hop unchanged.
+
+Data placement is lazy and versioned: the first scan of a shard a
+server does not own answers 409, the coordinator pushes the shard's
+column values (``POST /own``) and retries.  A coordinator restart
+therefore *re-attaches* to running servers without a handshake — its
+first scan simply succeeds against previously pushed state.
+
+Failure handling: each shard call runs under the transport's
+per-request timeout; a failed scan is retried once, and a second
+failure raises :class:`~repro.service.protocol.ShardUnavailableError`
+(HTTP 503 through the service) naming the shard's index, row range,
+and server URL.  There is no cross-server failover — re-pushing a
+shard elsewhere mid-query would answer correctly (the statistics only
+depend on the shard layout) but hide the operational fact an operator
+needs to see.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    OwnShardRequest,
+    ScanRequest,
+    ShardAppendRequest,
+    numeric_to_wire,
+)
+from repro.core.config import Fidelity, Parallelism
+from repro.dataset.table import Table
+from repro.engine.backends import CacheCounters, table_fingerprint
+from repro.engine.parallel import (
+    ShardedSketchBackend,
+    ShardedTable,
+    ShardStatistics,
+    _sketch_attributes,
+    fold_shard_statistics,
+    shard_column_values,
+)
+from repro.errors import MapError
+from repro.service.protocol import (
+    RemoteServiceError,
+    ShardUnavailableError,
+    StaleShardError,
+)
+from repro.service.transport import HttpTransport
+
+
+def server_for_shard(shard: int, n_shards: int, n_servers: int) -> int:
+    """Which server owns a shard: contiguous blocks, layout-only math.
+
+    Depends on nothing but ``(shard, n_shards, n_servers)`` — the same
+    deterministic spirit as shard boundaries — and assigns each server
+    a contiguous run of shards, so each server owns one contiguous row
+    range of the table.
+    """
+    if not 0 <= shard < n_shards:
+        raise MapError(f"shard {shard} outside [0, {n_shards})")
+    return shard * n_servers // n_shards
+
+
+class ClusterCoordinator:
+    """Scatter/gather access to a set of shard servers."""
+
+    def __init__(self, urls: "list[str] | tuple[str, ...]", *,
+                 timeout: float = 30.0):
+        if not urls:
+            raise MapError("a cluster needs at least one shard server URL")
+        self._transports = tuple(
+            HttpTransport(url, timeout=timeout) for url in urls
+        )
+        self._urls = tuple(t.base_url for t in self._transports)
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._builds = 0  # guarded-by: _lock
+        self._shard_retries = 0  # guarded-by: _lock
+        self._append_route_failures = 0  # guarded-by: _lock
+
+    @property
+    def urls(self) -> tuple[str, ...]:
+        """Shard-server base URLs, in server order."""
+        return self._urls
+
+    @property
+    def n_servers(self) -> int:
+        """Attached shard servers."""
+        return len(self._urls)
+
+    def resolved_servers(self, parallelism: Parallelism) -> int:
+        """Servers a ``cluster[:n]`` spec uses: ``auto`` = all attached."""
+        if parallelism.workers == "auto":
+            return self.n_servers
+        return max(1, min(int(parallelism.workers), self.n_servers))
+
+    # ------------------------------------------------------------------ #
+    # Health / metrics
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> list[dict]:
+        """Per-server ``/health`` payloads, in server order."""
+        return [t.request("GET", "/health") for t in self._transports]
+
+    def metrics(self) -> dict:
+        """Coordinator counters plus per-server ``/metrics`` payloads."""
+        with self._lock:
+            out: dict = {
+                "servers": self.n_servers,
+                "builds": self._builds,
+                "shard_retries": self._shard_retries,
+                "append_route_failures": self._append_route_failures,
+            }
+        per_server = []
+        for url, transport in zip(self._urls, self._transports):
+            try:
+                payload = transport.request("GET", "/metrics")
+            except RemoteServiceError as exc:
+                payload = {"error": str(exc)}
+            per_server.append({"url": url, **payload})
+        out["shard_servers"] = per_server
+        return out
+
+    def close(self) -> None:
+        """Close the calling thread's server connections."""
+        for transport in self._transports:
+            transport.close()
+
+    # ------------------------------------------------------------------ #
+    # The scatter/gather build
+    # ------------------------------------------------------------------ #
+
+    def build_backend(
+        self,
+        table: Table,
+        fidelity: Fidelity,
+        parallelism: Parallelism,
+        *,
+        seed: int = 0,
+        counters: CacheCounters | None = None,
+        lock: threading.Lock | None = None,
+    ) -> "ClusterSketchBackend":
+        """Build sketch statistics for ``table`` over the cluster.
+
+        The distributed twin of
+        :func:`repro.engine.parallel.build_sharded_backend`: same shard
+        layout, same scan core (on the servers), same in-order fold —
+        different wall-clock.
+        """
+        if not fidelity.is_sketch:
+            raise MapError(
+                "cluster statistics need a sketch fidelity, got "
+                f"{fidelity.spec()!r} (exact masks are row-backed and "
+                "cannot be shard-merged)"
+            )
+        started = time.perf_counter()
+        with self._lock:
+            retries_before = self._shard_retries
+        sharded = ShardedTable(table, parallelism.shards)
+        n_servers = self.resolved_servers(parallelism)
+        numeric, categorical = _sketch_attributes(table)
+        sample_rows = fidelity.budget_rows < table.n_rows
+        fingerprint = table_fingerprint(table)
+        assignment = tuple(
+            server_for_shard(index, sharded.n_shards, n_servers)
+            for index in range(sharded.n_shards)
+        )
+
+        def scan_block(server: int) -> list[ShardStatistics]:
+            out = []
+            for index in range(sharded.n_shards):
+                if assignment[index] != server:
+                    continue
+                low, high = sharded.bounds[index]
+                request = ScanRequest(
+                    table=table.name,
+                    shard=index,
+                    low=low,
+                    high=high,
+                    version=table.version,
+                    fingerprint=fingerprint,
+                    seed=seed,
+                    budget_rows=fidelity.budget_rows,
+                    sample_rows=sample_rows,
+                    epsilon=fidelity.epsilon,
+                )
+                out.append(self._scan_shard(
+                    server, table, sharded, numeric, categorical, request
+                ))
+            return out
+
+        servers_used = sorted(set(assignment))
+        if len(servers_used) == 1:
+            blocks = [scan_block(servers_used[0])]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=len(servers_used),
+                thread_name_prefix="repro-cluster-scan",
+            ) as pool:
+                blocks = list(pool.map(scan_block, servers_used))
+        results = sorted(
+            (stat for block in blocks for stat in block),
+            key=lambda stat: stat.index,
+        )
+
+        sample, quantiles, frequencies = fold_shard_statistics(
+            results,
+            seed=seed,
+            fingerprint=fingerprint,
+            budget_rows=fidelity.budget_rows,
+            sample_rows=sample_rows,
+        )
+        if not sample_rows:
+            sample_table = table  # the budget covers everything
+        else:
+            sample_table = table.take(
+                np.sort(sample),
+                name=f"{table.name}_shardsketch{fidelity.budget_rows}",
+            )
+        with self._lock:
+            self._builds += 1
+            build_retries = self._shard_retries - retries_before
+        return ClusterSketchBackend(
+            sharded,
+            fidelity,
+            parallelism,
+            sample=sample_table,
+            quantiles=quantiles,
+            frequencies=frequencies,
+            shard_seconds=tuple(stat.seconds for stat in results),
+            build_seconds=time.perf_counter() - started,
+            counters=counters,
+            lock=lock,
+            coordinator=self,
+            shard_servers=assignment,
+            n_servers=n_servers,
+            build_retries=build_retries,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-shard calls (push-on-409, retry-once, typed 503)
+    # ------------------------------------------------------------------ #
+
+    def _scan_shard(
+        self,
+        server: int,
+        table: Table,
+        sharded: ShardedTable,
+        numeric: tuple,
+        categorical: tuple,
+        request: ScanRequest,
+    ) -> ShardStatistics:
+        transport = self._transports[server]
+        attempts = 0
+        while True:
+            try:
+                try:
+                    payload = transport.request(
+                        "POST", "/scan", request.to_dict()
+                    )
+                except StaleShardError:
+                    # The server does not own this shard state (fresh
+                    # server, or a version behind after a missed
+                    # append): push the columns and rescan.
+                    self._push_shard(
+                        server, table, sharded, request.shard,
+                        numeric, categorical,
+                    )
+                    payload = transport.request(
+                        "POST", "/scan", request.to_dict()
+                    )
+                return ShardStatistics.from_dict(payload["statistics"])
+            except RemoteServiceError as exc:
+                attempts += 1
+                if attempts > 1:
+                    low, high = sharded.bounds[request.shard]
+                    raise ShardUnavailableError(
+                        f"shard {request.shard} of table "
+                        f"{table.name!r} (rows [{low}, {high})) is "
+                        f"unavailable: server {self._urls[server]} "
+                        f"failed twice ({exc})"
+                    ) from exc
+                with self._lock:
+                    self._shard_retries += 1
+
+    def _push_shard(
+        self,
+        server: int,
+        table: Table,
+        sharded: ShardedTable,
+        shard: int,
+        numeric: tuple,
+        categorical: tuple,
+    ) -> None:
+        low, high = sharded.bounds[shard]
+        numeric_values, categorical_values = shard_column_values(
+            table, low, high, numeric, categorical
+        )
+        request = OwnShardRequest(
+            table=table.name,
+            shard=shard,
+            low=low,
+            high=high,
+            version=table.version,
+            numeric=numeric_to_wire(numeric_values),
+            categorical=[
+                (name, capacity, labels)
+                for name, capacity, labels in categorical_values
+            ],
+        )
+        self._transports[server].request("POST", "/own", request.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Streaming (append routing)
+    # ------------------------------------------------------------------ #
+
+    def route_append(
+        self,
+        new_table: Table,
+        old_sharded: ShardedTable,
+        shard_servers: tuple[int, ...],
+    ) -> bool:
+        """Route appended rows to the server owning the table's tail.
+
+        Appended rows live past every shard boundary, so they extend
+        the owning (last) shard — the same routing
+        :meth:`ShardedTable.advanced` applies locally.  Connection
+        failures are tolerated (counted, not raised): server-side
+        shard state is lazily versioned, so the next scan of a stale
+        shard answers 409 and gets a fresh push — the cluster heals
+        without coupling local streaming to server liveness.  Returns
+        True when the delta was applied (or already present) remotely.
+        """
+        old_table = old_sharded.table
+        owning = old_sharded.owning_shard(old_table.n_rows)
+        server = shard_servers[owning]
+        low = old_sharded.bounds[owning][0]
+        numeric, categorical = _sketch_attributes(new_table)
+        numeric_values, categorical_values = shard_column_values(
+            new_table, old_table.n_rows, new_table.n_rows,
+            numeric, categorical,
+        )
+        request = ShardAppendRequest(
+            table=new_table.name,
+            shard=owning,
+            from_version=old_table.version,
+            to_version=new_table.version,
+            high=new_table.n_rows,
+            numeric=numeric_to_wire(numeric_values),
+            categorical={
+                name: labels for name, _, labels in categorical_values
+            },
+            capacities={name: capacity for name, capacity in categorical},
+        )
+        transport = self._transports[server]
+        try:
+            try:
+                transport.request("POST", "/append", request.to_dict())
+                return True
+            except StaleShardError:
+                # The server missed an earlier delta (or restarted):
+                # re-push the whole shard at the new version.
+                advanced = old_sharded.advanced(new_table)
+                new_high = advanced.bounds[owning][1]
+                numeric_full, categorical_full = shard_column_values(
+                    new_table, low, new_high, numeric, categorical
+                )
+                push = OwnShardRequest(
+                    table=new_table.name,
+                    shard=owning,
+                    low=low,
+                    high=new_high,
+                    version=new_table.version,
+                    numeric=numeric_to_wire(numeric_full),
+                    categorical=[
+                        (name, capacity, labels)
+                        for name, capacity, labels in categorical_full
+                    ],
+                )
+                transport.request("POST", "/own", push.to_dict())
+                return True
+        except RemoteServiceError:
+            with self._lock:
+                self._append_route_failures += 1
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ClusterCoordinator servers={len(self._urls)}>"
+
+
+class ClusterSketchBackend(ShardedSketchBackend):
+    """A :class:`ShardedSketchBackend` whose scans ran on a cluster.
+
+    Statistically indistinguishable from its parent — same shard
+    layout, same fold — with two additions:
+
+    * streaming appends are **routed**: after the local incremental
+      maintenance, the delta rows are pushed to the shard server
+      owning the table's tail, so a fresh cluster build at the new
+      version scans current state;
+    * :meth:`snapshot`'s ``parallel`` block carries cluster provenance
+      (server count, per-shard server assignment, retries), which
+      :func:`repro.engine.parallel.merge_shard_info` folds through to
+      the service ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedTable,
+        fidelity: Fidelity,
+        parallelism: Parallelism,
+        *,
+        coordinator: ClusterCoordinator,
+        shard_servers: tuple[int, ...],
+        n_servers: int,
+        build_retries: int = 0,
+        **kwargs: object,
+    ):
+        super().__init__(sharded, fidelity, parallelism, **kwargs)
+        self._coordinator = coordinator
+        self._shard_servers = tuple(shard_servers)
+        self._n_servers = int(n_servers)
+        self._build_retries = int(build_retries)
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        """The coordinator that built (and maintains) this backend."""
+        return self._coordinator
+
+    @property
+    def shard_servers(self) -> tuple[int, ...]:
+        """Server index per shard, in shard order."""
+        return self._shard_servers
+
+    def advance(
+        self,
+        new_table: Table,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> None:
+        """Maintain locally, then route the delta to the owning server."""
+        old_sharded = self.sharded_table
+        super().advance(new_table, rng=rng)
+        self._coordinator.route_append(
+            new_table, old_sharded, self._shard_servers
+        )
+
+    def snapshot(self) -> dict:
+        """Parent provenance plus the cluster's."""
+        out = super().snapshot()
+        out["parallel"].update({
+            "servers": self._n_servers,
+            "shard_servers": list(self._shard_servers),
+            "cluster_builds": 1,
+            "shard_retries": self._build_retries,
+        })
+        return out

@@ -1,0 +1,131 @@
+"""Spawning local shard-server processes (benchmarks, CI, quickstarts).
+
+Real deployments start shard servers with ``python -m repro.cluster``
+on each machine and hand the URLs to a
+:class:`~repro.cluster.coordinator.ClusterCoordinator`.  For the E21
+benchmark, the CI smoke step, and the tutorial quickstart, the servers
+all live on localhost — :func:`spawn_local_cluster` starts N of them as
+subprocesses (real processes, so multi-core hosts genuinely scan in
+parallel) and tears them down afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.errors import MapError
+
+#: Line prefix ``python -m repro.cluster`` prints once bound; the
+#: launcher reads it to learn the ephemeral port.
+URL_PREFIX = "SHARD_SERVER_URL="
+
+
+class ShardProcess:
+    """One shard-server subprocess and the URL it serves on."""
+
+    def __init__(self, process: subprocess.Popen, url: str):
+        self._process = process
+        self._url = url
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return self._url
+
+    @property
+    def pid(self) -> int:
+        """The subprocess PID (tests kill it to simulate failures)."""
+        return self._process.pid
+
+    def alive(self) -> bool:
+        """True while the subprocess is running."""
+        return self._process.poll() is None
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Stop the subprocess (SIGTERM, then SIGKILL on timeout)."""
+        if self._process.poll() is not None:
+            return
+        self._process.terminate()
+        try:
+            self._process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+            self._process.kill()
+            self._process.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        """Kill the subprocess immediately (failure-mode tests)."""
+        if self._process.poll() is None:
+            self._process.kill()
+            self._process.wait(timeout=5)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ShardProcess pid={self.pid} url={self._url}>"
+
+
+def _repro_pythonpath() -> str:
+    """A PYTHONPATH under which ``import repro`` resolves to this tree."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+def spawn_shard_server(
+    *, host: str = "127.0.0.1", startup_timeout: float = 20.0
+) -> ShardProcess:
+    """Start one ``python -m repro.cluster`` subprocess on an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _repro_pythonpath()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cluster", "--host", host, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + startup_timeout
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if line.startswith(URL_PREFIX):
+            return ShardProcess(process, line[len(URL_PREFIX):].strip())
+        if not line and process.poll() is not None:
+            raise MapError(
+                "shard server exited before binding "
+                f"(exit code {process.returncode})"
+            )
+        if time.monotonic() > deadline:  # pragma: no cover - hung server
+            process.kill()
+            raise MapError("shard server did not bind in time")
+
+
+def spawn_local_cluster(
+    n_servers: int, *, host: str = "127.0.0.1"
+) -> list[ShardProcess]:
+    """Start ``n_servers`` local shard-server subprocesses.
+
+    Callers own the teardown::
+
+        servers = spawn_local_cluster(2)
+        try:
+            coordinator = ClusterCoordinator([s.url for s in servers])
+            ...
+        finally:
+            for server in servers:
+                server.terminate()
+    """
+    if n_servers < 1:
+        raise MapError(f"n_servers must be >= 1, got {n_servers}")
+    servers: list[ShardProcess] = []
+    try:
+        for _ in range(n_servers):
+            servers.append(spawn_shard_server(host=host))
+    except Exception:
+        for server in servers:
+            server.terminate()
+        raise
+    return servers

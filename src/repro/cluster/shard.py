@@ -1,0 +1,382 @@
+"""The shard server: owns row-range shards and scans them on demand.
+
+One :class:`ShardStore` holds the column values of every shard pushed
+to this process (``POST /own``), scans them into
+:class:`~repro.engine.parallel.ShardStatistics` (``POST /scan``) with
+the *same* :func:`~repro.engine.parallel.scan_shard_values` core the
+local workers run, and extends them with routed appends
+(``POST /append``).  The :class:`ShardServer` HTTP frontend mirrors the
+PR-2 service server: ``ThreadingHTTPServer``, JSON bodies, typed error
+payloads.
+
+A shard server is deliberately dumb: it never sees queries, configs, or
+other shards — only raw column values and a scan recipe.  All layout
+decisions (boundaries, server assignment, merge order) live in the
+coordinator, which is what keeps the statistical recipe in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    CLUSTER_PROTOCOL_VERSION,
+    OwnShardRequest,
+    ScanRequest,
+    ShardAppendRequest,
+    numeric_from_wire,
+)
+from repro.engine.parallel import ShardStatistics, scan_shard_values
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceError,
+    StaleShardError,
+    error_to_dict,
+)
+
+#: Shard payloads carry whole column slices; allow far more than the
+#: service's 1 MiB exploration bodies.
+_MAX_BODY_BYTES = 1 << 28
+
+
+class _OwnedShard:
+    """One shard's mutable state (columns grow under routed appends)."""
+
+    def __init__(self, request: OwnShardRequest):
+        self.low = request.low
+        self.high = request.high
+        self.version = request.version
+        self.numeric = numeric_from_wire(request.numeric)
+        #: ``(attribute, capacity, labels)`` — labels grow on append.
+        self.categorical = [
+            (name, capacity, list(labels))
+            for name, capacity, labels in request.categorical
+        ]
+
+    def matches(self, low: int, high: int, version: int) -> bool:
+        """True when a request names exactly this owned state."""
+        return (
+            self.low == low and self.high == high and self.version == version
+        )
+
+    def describe(self) -> dict:
+        return {
+            "low": self.low,
+            "high": self.high,
+            "version": self.version,
+            "rows": self.high - self.low,
+        }
+
+
+class ShardStore:
+    """Owned shards of one server process, keyed ``(table, shard)``.
+
+    Thread-safe: the HTTP frontend is a ``ThreadingHTTPServer``, so
+    own/scan/append can race.  Scans copy the references they need out
+    under the lock and run the (read-only) scan core outside it.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._shards: dict[tuple[str, int], _OwnedShard] = {}  # guarded-by: _lock
+        self._scans = 0  # guarded-by: _lock
+        self._appends = 0  # guarded-by: _lock
+        self._scan_seconds: list[float] = []  # guarded-by: _lock
+
+    def own(self, request: OwnShardRequest) -> dict:
+        """Take (or replace) ownership of one shard's values."""
+        if request.high < request.low:
+            raise ProtocolError(
+                f"shard range [{request.low}, {request.high}) is negative"
+            )
+        owned = _OwnedShard(request)
+        with self._lock:
+            self._shards[(request.table, request.shard)] = owned
+        return {"owned": owned.describe()}
+
+    def _owned(self, table: str, shard: int) -> _OwnedShard:  # holds-lock: _lock
+        owned = self._shards.get((table, shard))
+        if owned is None:
+            raise StaleShardError(
+                f"shard {shard} of table {table!r} is not owned by this "
+                "server; push /own first"
+            )
+        return owned
+
+    def scan(self, request: ScanRequest) -> ShardStatistics:
+        """Scan one owned shard with the shared deterministic core."""
+        started = time.perf_counter()
+        with self._lock:
+            owned = self._owned(request.table, request.shard)
+            if not owned.matches(request.low, request.high, request.version):
+                raise StaleShardError(
+                    f"shard {request.shard} of table {request.table!r} is "
+                    f"owned at rows [{owned.low}, {owned.high}) version "
+                    f"{owned.version}, but the scan names "
+                    f"[{request.low}, {request.high}) version "
+                    f"{request.version}; re-push /own"
+                )
+            numeric = dict(owned.numeric)
+            categorical = tuple(
+                (name, capacity, list(labels))
+                for name, capacity, labels in owned.categorical
+            )
+        statistics = scan_shard_values(
+            index=request.shard,
+            low=request.low,
+            n_rows=request.high - request.low,
+            seed=request.seed,
+            fingerprint=request.fingerprint,
+            budget_rows=request.budget_rows,
+            sample_rows=request.sample_rows,
+            epsilon=request.epsilon,
+            numeric=numeric,
+            categorical=categorical,
+        )
+        with self._lock:
+            self._scans += 1
+            self._scan_seconds.append(time.perf_counter() - started)
+        return statistics
+
+    def append(self, request: ShardAppendRequest) -> dict:
+        """Extend an owned shard with appended rows (idempotently)."""
+        with self._lock:
+            owned = self._owned(request.table, request.shard)
+            if owned.version == request.to_version:
+                # Another context already routed this delta.
+                return {"owned": owned.describe(), "applied": False}
+            if owned.version != request.from_version:
+                raise StaleShardError(
+                    f"shard {request.shard} of table {request.table!r} is "
+                    f"at version {owned.version}, but the append moves "
+                    f"{request.from_version} -> {request.to_version}; "
+                    "re-push /own"
+                )
+            for name, values in request.numeric.items():
+                if name not in owned.numeric:
+                    raise ProtocolError(
+                        f"append names unknown numeric attribute {name!r}"
+                    )
+                owned.numeric[name] = np.concatenate(
+                    [owned.numeric[name], np.asarray(values, dtype=np.float64)]
+                )
+            labelled = {
+                name: index
+                for index, (name, _, _) in enumerate(owned.categorical)
+            }
+            for name, labels in request.categorical.items():
+                if name not in labelled:
+                    raise ProtocolError(
+                        f"append names unknown categorical attribute {name!r}"
+                    )
+                index = labelled[name]
+                stored_name, capacity, stored = owned.categorical[index]
+                stored.extend(labels)
+                # A grown dictionary can raise the MG capacity; future
+                # scans must sketch at the post-append capacity to stay
+                # bit-identical with a local build at this version.
+                capacity = request.capacities.get(name, capacity)
+                owned.categorical[index] = (stored_name, capacity, stored)
+            owned.high = request.high
+            owned.version = request.to_version
+            self._appends += 1
+            return {"owned": owned.describe(), "applied": True}
+
+    def describe(self) -> dict:
+        """Owned shards, for ``GET /shards`` and re-attach checks."""
+        with self._lock:
+            return {
+                "shards": [
+                    {"table": table, "shard": shard, **owned.describe()}
+                    for (table, shard), owned in sorted(self._shards.items())
+                ]
+            }
+
+    def metrics(self) -> dict:
+        """Counters for ``GET /metrics``."""
+        with self._lock:
+            return {
+                "shards_owned": len(self._shards),
+                "rows_owned": sum(
+                    owned.high - owned.low
+                    for owned in self._shards.values()
+                ),
+                "scans": self._scans,
+                "appends": self._appends,
+                "scan_seconds": list(self._scan_seconds),
+            }
+
+
+class _ShardHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the store reference."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, store: ShardStore, quiet: bool):
+        super().__init__(address, _Handler)
+        self.store = store
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-shard/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        store: ShardStore = self.server.store
+        try:
+            if self.path == "/health":
+                self._send(200, {
+                    "status": "ok",
+                    "protocol": CLUSTER_PROTOCOL_VERSION,
+                })
+            elif self.path == "/shards":
+                self._send(200, store.describe())
+            elif self.path == "/metrics":
+                self._send(200, store.metrics())
+            else:
+                raise ProtocolError(f"no route {self.path!r}")
+        except Exception as error:
+            self._send_error_payload(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        store: ShardStore = self.server.store
+        try:
+            payload = self._read_json()
+            if self.path == "/own":
+                self._send(200, store.own(OwnShardRequest.from_dict(payload)))
+            elif self.path == "/scan":
+                statistics = store.scan(ScanRequest.from_dict(payload))
+                self._send(200, {"statistics": statistics.to_dict()})
+            elif self.path == "/append":
+                self._send(
+                    200,
+                    store.append(ShardAppendRequest.from_dict(payload)),
+                )
+            else:
+                raise ProtocolError(f"no route {self.path!r}")
+        except Exception as error:
+            self._send_error_payload(error)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ProtocolError("request body required")
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, error: Exception) -> None:
+        payload = error_to_dict(error)
+        status = payload["error"]["status"]
+        if not self.server.quiet and not isinstance(error, ServiceError):
+            self.log_error("unhandled error: %r", error)
+        self._send(status, payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        if not self.server.quiet:  # pragma: no cover - manual servers only
+            super().log_message(format, *args)
+
+
+class ShardServer:
+    """A running shard-server HTTP frontend.
+
+    Usually created through :func:`serve_shard` (in-process, for tests
+    and the coordinator's local fallback) or ``python -m repro.cluster``
+    (a standalone process, for real deployments and the E21 bench)::
+
+        with serve_shard() as server:
+            coordinator = ClusterCoordinator([server.url])
+    """
+
+    def __init__(
+        self,
+        store: ShardStore | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        quiet: bool = True,
+    ):
+        self._store = store if store is not None else ShardStore()
+        self._http = _ShardHTTPServer((host, port), self._store, quiet)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def store(self) -> ShardStore:
+        """The shard store being exposed."""
+        return self._store
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL the coordinator should use."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ShardServer":
+        """Start serving on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-shard-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``__main__`` entry point)."""
+        self._http.serve_forever()
+
+    def close(self) -> None:
+        """Stop the listener."""
+        if self._thread is not None:
+            self._http.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._http.server_close()
+
+    def __enter__(self) -> "ShardServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve_shard(
+    host: str = "127.0.0.1", port: int = 0, *, quiet: bool = True
+) -> ShardServer:
+    """Start an in-process shard server (port 0 = ephemeral)."""
+    return ShardServer(host=host, port=port, quiet=quiet).start()

@@ -190,14 +190,27 @@ class Parallelism:
       order), so they default to a fixed machine-independent count.
 
     The wire form is a compact spec string (``"serial"``,
-    ``"parallel"``, ``"parallel:4"``, ``"parallel:auto:16"``) so it
-    stays hashable inside serialized configs and cache keys.
+    ``"parallel"``, ``"parallel:4"``, ``"parallel:auto:16"``,
+    ``"cluster:2"``) so it stays hashable inside serialized configs and
+    cache keys.
+
+    ``mode`` distinguishes *where* the scan runs — ``"local"`` worker
+    processes or ``"cluster"`` shard servers (:mod:`repro.cluster`) —
+    without touching the statistical recipe: shard boundaries, per-shard
+    RNG streams, and merge order are identical in both modes, so a
+    cluster run is bit-identical to a local run with the same shard
+    count.  In cluster mode ``workers`` counts shard *servers* the
+    coordinator fans out to (``"auto"`` = every attached server).
     """
 
     #: Worker processes (``>= 1``) or ``"auto"`` (= ``os.cpu_count()``).
+    #: In cluster mode: shard servers (``"auto"`` = all attached).
     workers: int | str = 1
     #: Row-range shards; ``1`` is the unsharded legacy path.
     shards: int = 1
+    #: Execution venue: ``"local"`` worker processes, or ``"cluster"``
+    #: shard servers behind a :class:`repro.cluster.ClusterCoordinator`.
+    mode: str = "local"
 
     def __post_init__(self) -> None:
         if isinstance(self.workers, str):
@@ -214,11 +227,26 @@ class Parallelism:
             raise ConfigError(
                 f"parallelism shards must be >= 1, got {self.shards!r}"
             )
+        if self.mode not in ("local", "cluster"):
+            raise ConfigError(
+                f"parallelism mode must be 'local' or 'cluster', "
+                f"got {self.mode!r}"
+            )
+        if self.mode == "cluster" and self.shards < 2:
+            raise ConfigError(
+                "cluster parallelism needs shards >= 2 (the scan/merge "
+                f"split is what gets distributed), got {self.shards}"
+            )
 
     @property
     def is_parallel(self) -> bool:
         """True when execution is sharded (the scan/merge split runs)."""
         return self.shards > 1
+
+    @property
+    def is_cluster(self) -> bool:
+        """True when the scan fans out to shard servers over HTTP."""
+        return self.mode == "cluster"
 
     @property
     def resolved_workers(self) -> int:
@@ -248,8 +276,27 @@ class Parallelism:
             shards=DEFAULT_SHARDS if shards is None else shards,
         )
 
+    @classmethod
+    def cluster(
+        cls, servers: int | str = "auto", shards: int | None = None
+    ) -> "Parallelism":
+        """Scatter/gather over ``servers`` shard servers.
+
+        ``shards`` defaults to :data:`DEFAULT_SHARDS`, exactly as in
+        :meth:`of` — the shard layout (and therefore every answer) is
+        the same whether the scan runs on local workers or on a
+        cluster.
+        """
+        return cls(
+            workers=servers,
+            shards=DEFAULT_SHARDS if shards is None else shards,
+            mode="cluster",
+        )
+
     def spec(self) -> str:
         """Compact, parseable wire form (inverse of :meth:`parse`)."""
+        if self.is_cluster:
+            return f"cluster:{self.workers}:{self.shards}"
         if not self.is_parallel and self.workers == 1:
             return "serial"
         return f"parallel:{self.workers}:{self.shards}"
@@ -260,7 +307,9 @@ class Parallelism:
 
         Accepted shapes: ``"serial"``, ``"parallel"``,
         ``"parallel:<workers|auto>"``,
-        ``"parallel:<workers|auto>:<shards>"``.
+        ``"parallel:<workers|auto>:<shards>"``, and the same tail
+        shapes under ``"cluster"`` (where the middle component counts
+        shard servers instead of worker processes).
         """
         parts = text.strip().split(":")
         mode = parts[0].strip().lower()
@@ -270,10 +319,11 @@ class Parallelism:
                     f"'serial' parallelism takes no arguments, got {text!r}"
                 )
             return cls.serial()
-        if mode != "parallel":
+        if mode not in ("parallel", "cluster"):
             raise ConfigError(
-                f"unknown parallelism {text!r}; expected 'serial' or "
-                "'parallel[:workers[:shards]]'"
+                f"unknown parallelism {text!r}; expected 'serial', "
+                "'parallel[:workers[:shards]]', or "
+                "'cluster[:servers[:shards]]'"
             )
         if len(parts) > 3:
             raise ConfigError(f"malformed parallelism spec {text!r}")
@@ -297,6 +347,8 @@ class Parallelism:
                 raise ConfigError(
                     f"malformed parallelism spec {text!r}: {exc}"
                 ) from exc
+        if mode == "cluster":
+            return cls(workers=workers, shards=shards, mode="cluster")
         return cls(workers=workers, shards=shards)
 
 
@@ -405,8 +457,10 @@ class AtlasConfig:
     #: Accepts a :class:`Fidelity` or a spec string (``"sketch:20000"``).
     fidelity: Fidelity | str = Fidelity()
     #: Multi-core execution: worker processes over row-range shards
-    #: (:mod:`repro.engine.parallel`).  Accepts a :class:`Parallelism`,
-    #: a spec string (``"parallel:4"``), or a bare worker count.
+    #: (:mod:`repro.engine.parallel`), or shard servers over the same
+    #: shard layout (:mod:`repro.cluster`).  Accepts a
+    #: :class:`Parallelism`, a spec string (``"parallel:4"``,
+    #: ``"cluster:2"``), or a bare worker count.
     #: Applies to sketch-fidelity statistics; exact execution ignores
     #: it (exact masks are row-backed and cannot be shard-merged).
     parallelism: Parallelism | str | int = Parallelism()

@@ -203,9 +203,15 @@ class ExecutionContext:
         With :attr:`AtlasConfig.parallelism` sharded and a sketch
         fidelity, the *base* table's backend is built by the
         scan/merge split of :mod:`repro.engine.parallel` — per-shard
-        statistics scanned concurrently and merged in shard order.
-        Scope samples (already bounded) and exact fidelity keep the
-        serial path.
+        statistics scanned concurrently and merged in shard order.  A
+        ``cluster`` parallelism fans the same scans out to the
+        process's attached shard servers
+        (:func:`repro.cluster.active_cluster`) instead of local
+        workers; with no cluster attached it degrades to the local
+        split — identical answers either way, since shard layout and
+        merge order (not the execution venue) determine the
+        statistics.  Scope samples (already bounded) and exact
+        fidelity keep the serial path.
         """
         fidelity = self._config.fidelity
         parallelism = self._config.parallelism
@@ -214,6 +220,19 @@ class ExecutionContext:
             and parallelism.is_parallel
             and table is self._table
         ):
+            if parallelism.is_cluster:
+                from repro.cluster.runtime import active_cluster
+
+                coordinator = active_cluster()
+                if coordinator is not None:
+                    return coordinator.build_backend(
+                        table,
+                        fidelity,
+                        parallelism,
+                        seed=self._config.seed,
+                        counters=self._kind_counters["sketch"],
+                        lock=self._lock,
+                    )
             from repro.engine.parallel import build_sharded_backend
 
             return build_sharded_backend(

@@ -134,8 +134,25 @@ class Explorer:
 
         return self.configure(parallelism=Parallelism.of(workers, shards))
 
+    def cluster(
+        self, servers: int | str = "auto", shards: int | None = None
+    ) -> "Explorer":
+        """Fan the sketch scans out to attached shard servers.
+
+        ``servers`` counts shard servers (``"auto"`` = every server of
+        the attached :func:`repro.cluster.active_cluster`); ``shards``
+        defaults to the same fixed layout as :meth:`parallel`, so a
+        cluster exploration is bit-identical to a local one.  With no
+        cluster attached the scan runs on local workers instead — same
+        answers, one machine.
+        """
+        from repro.core.config import Parallelism
+
+        return self.configure(parallelism=Parallelism.cluster(servers, shards))
+
     def serial(self) -> "Explorer":
-        """Single-core, unsharded execution (undoes :meth:`parallel`)."""
+        """Single-core, unsharded execution (undoes :meth:`parallel`
+        and :meth:`cluster`)."""
         from repro.core.config import Parallelism
 
         return self.configure(parallelism=Parallelism.serial())

@@ -106,6 +106,10 @@ def new_shard_aggregate() -> dict:
         "shards": 0,
         "build_seconds": 0.0,
         "shard_seconds": [],
+        # Cluster provenance (zero unless a ClusterSketchBackend built):
+        "cluster_builds": 0,
+        "servers": 0,
+        "shard_retries": 0,
     }
 
 
@@ -117,12 +121,20 @@ def merge_shard_info(target: dict, info: dict) -> dict:
     :meth:`ExecutionContext.backend_snapshot` and the service
     ``/metrics`` merge go through here, so a field added to
     :meth:`ShardedSketchBackend.snapshot` propagates through every
-    layer by editing one function.
+    layer by editing one function.  Cluster keys default to zero so
+    local-build blocks (which do not emit them) fold unchanged.
     """
     target["builds"] += info.get("builds", 1)
     target["shards"] += info["shards"]
     target["build_seconds"] += info["build_seconds"]
     target["shard_seconds"].extend(info["shard_seconds"])
+    target["cluster_builds"] += info.get(
+        "cluster_builds", 1 if info.get("servers") else 0
+    )
+    target["servers"] = max(
+        target["servers"], int(info.get("servers", 0))
+    )
+    target["shard_retries"] += int(info.get("shard_retries", 0))
     return target
 
 
@@ -138,7 +150,12 @@ class ShardedTable:
     ``n_rows % n_shards`` shards get one extra row), depend only on
     ``(n_rows, n_shards)``, and never on the machine — they are part of
     the statistical recipe, since each shard seeds its own RNG stream.
-    ``n_shards`` is clamped to ``n_rows`` so every shard is non-empty.
+    When ``n_shards`` exceeds the row count the trailing shards are
+    simply **empty** (``low == high``): they scan to empty samples and
+    empty sketches, both of which merge as identities, so the layout a
+    config names is honored verbatim instead of being silently clamped
+    — a ``shards=8`` config means the same RNG streams on a 5-row
+    fixture as on a 1M-row table.
     """
 
     def __init__(self, table: Table, n_shards: int):
@@ -147,7 +164,7 @@ class ShardedTable:
         if n_shards < 1:
             raise MapError(f"n_shards must be >= 1, got {n_shards}")
         self._table = table
-        k = min(int(n_shards), table.n_rows)
+        k = int(n_shards)
         base, extra = divmod(table.n_rows, k)
         bounds: list[tuple[int, int]] = []
         low = 0
@@ -245,6 +262,40 @@ class ShardStatistics:
     #: Wall-clock seconds the shard scan took (inside the worker).
     seconds: float
 
+    def to_dict(self) -> dict:
+        """Plain-JSON wire form (the cluster scan response payload).
+
+        The sketches are already in their ``to_dict`` payloads; only
+        the index array needs coercion.  Global row indices are exact
+        integers, so the JSON round trip is lossless and a shard
+        statistic built on a server folds bit-identically to one built
+        by a local worker.
+        """
+        return {
+            "index": self.index,
+            "n_rows": self.n_rows,
+            "sample": [int(i) for i in self.sample.tolist()],
+            "quantiles": self.quantiles,
+            "frequencies": self.frequencies,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardStatistics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            n_rows=int(data["n_rows"]),
+            sample=np.asarray(data["sample"], dtype=np.int64),
+            quantiles={
+                str(k): dict(v) for k, v in data["quantiles"].items()
+            },
+            frequencies={
+                str(k): dict(v) for k, v in data["frequencies"].items()
+            },
+            seconds=float(data["seconds"]),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class _ShardWork:
@@ -275,30 +326,43 @@ _WORK: _ShardWork | None = None
 _WORK_LOCK = threading.Lock()
 
 
-def _build_shard(index: int) -> ShardStatistics:
-    """Scan one shard: uniform row sample + full-scan sketches.
+def scan_shard_values(
+    *,
+    index: int,
+    low: int,
+    n_rows: int,
+    seed: int,
+    fingerprint: int,
+    budget_rows: int,
+    sample_rows: bool,
+    epsilon: float,
+    numeric: "dict[str, np.ndarray]",
+    categorical: "tuple[tuple[str, int, list[str]], ...]",
+) -> ShardStatistics:
+    """Scan one shard's raw values: uniform row sample + full sketches.
 
-    Runs inside a worker process (or inline under
-    :class:`SerialExecutor`).  Every draw comes from the shard's own
-    ``(seed, "shard:<index>:<table>")`` stream, so the result depends
-    only on the shard — not on which worker ran it, nor on how many
-    workers there are.
+    The array-level core of the shard scan, shared verbatim by the
+    local worker path (:func:`_build_shard`) and the cluster shard
+    server (:mod:`repro.cluster.shard`) — one implementation is what
+    makes "cluster answers are bit-identical to local" true by
+    construction rather than by parallel maintenance.
+
+    ``numeric`` maps attribute → the shard's raw values (``NaN`` for
+    missing); ``categorical`` carries ``(attribute, capacity, labels)``
+    with missing values already dropped, in row order.  Every draw
+    comes from the shard's own ``(seed, "shard:<index>:<fingerprint>")``
+    stream, so the result depends only on the shard — not on which
+    worker or server ran it.
     """
     from repro.sketch.frequency import MisraGriesSketch
     from repro.sketch.quantile import GKQuantileSketch
 
-    work = _WORK
-    if work is None:  # pragma: no cover - defensive
-        raise MapError("no shard work is staged")
     started = time.perf_counter()
-    low, high = work.bounds[index]
-    n_rows = high - low
-    rng = tag_rng(
-        work.seed, f"shard:{index}:{table_fingerprint(work.table)}"
-    )
-    if work.sample_rows:
-        keep = min(work.budget_rows, n_rows)
+    rng = tag_rng(seed, f"shard:{index}:{fingerprint}")
+    if sample_rows:
+        keep = min(budget_rows, n_rows)
         sample = np.sort(rng.permutation(n_rows)[:keep]) + low
+        sample = sample.astype(np.int64, copy=False)
     else:
         # The budget covers the whole table: the merged backend uses
         # the table itself, so shipping an index array per shard back
@@ -306,23 +370,17 @@ def _build_shard(index: int) -> ShardStatistics:
         sample = np.empty(0, dtype=np.int64)
 
     quantiles: dict[str, dict] = {}
-    for attribute in work.numeric:
-        values = work.table.numeric(attribute).data[low:high]
+    for attribute, values in numeric.items():
         values = values[~np.isnan(values)]
-        sketch = GKQuantileSketch(epsilon=work.epsilon)
-        sketch.extend(values.tolist())
-        quantiles[attribute] = sketch.to_dict()
+        gk = GKQuantileSketch(epsilon=epsilon)
+        gk.extend(values.tolist())
+        quantiles[attribute] = gk.to_dict()
 
     frequencies: dict[str, dict] = {}
-    for attribute, capacity in work.categorical:
-        column = work.table.categorical(attribute)
-        categories = list(column.categories)
-        codes = column.codes[low:high]
-        sketch = MisraGriesSketch(capacity=capacity)
-        sketch.extend(
-            categories[code] for code in codes[codes >= 0].tolist()
-        )
-        frequencies[attribute] = sketch.to_dict()
+    for attribute, capacity, labels in categorical:
+        mg = MisraGriesSketch(capacity=capacity)
+        mg.extend(labels)
+        frequencies[attribute] = mg.to_dict()
 
     return ShardStatistics(
         index=index,
@@ -331,6 +389,63 @@ def _build_shard(index: int) -> ShardStatistics:
         quantiles=quantiles,
         frequencies=frequencies,
         seconds=time.perf_counter() - started,
+    )
+
+
+def shard_column_values(
+    table: Table,
+    low: int,
+    high: int,
+    numeric: tuple[str, ...],
+    categorical: "tuple[tuple[str, int], ...]",
+) -> "tuple[dict[str, np.ndarray], tuple[tuple[str, int, list[str]], ...]]":
+    """Slice a table's dimension columns into scan-core inputs.
+
+    Exactly the value streams :func:`scan_shard_values` consumes —
+    raw numeric values with ``NaN`` kept, categorical labels decoded
+    with missing dropped — used by the local workers and by the
+    coordinator when it ships a shard's columns to a server.
+    """
+    numeric_values = {
+        attribute: table.numeric(attribute).data[low:high]
+        for attribute in numeric
+    }
+    categorical_values = []
+    for attribute, capacity in categorical:
+        column = table.categorical(attribute)
+        categories = list(column.categories)
+        codes = column.codes[low:high]
+        labels = [categories[code] for code in codes[codes >= 0].tolist()]
+        categorical_values.append((attribute, capacity, labels))
+    return numeric_values, tuple(categorical_values)
+
+
+def _build_shard(index: int) -> ShardStatistics:
+    """Scan one shard of the staged :data:`_WORK` recipe.
+
+    Runs inside a worker process (or inline under
+    :class:`SerialExecutor`); delegates to :func:`scan_shard_values`
+    on column slices, so a worker-built shard statistic is the same
+    object a shard server would produce.
+    """
+    work = _WORK
+    if work is None:  # pragma: no cover - defensive
+        raise MapError("no shard work is staged")
+    low, high = work.bounds[index]
+    numeric, categorical = shard_column_values(
+        work.table, low, high, work.numeric, work.categorical
+    )
+    return scan_shard_values(
+        index=index,
+        low=low,
+        n_rows=high - low,
+        seed=work.seed,
+        fingerprint=table_fingerprint(work.table),
+        budget_rows=work.budget_rows,
+        sample_rows=work.sample_rows,
+        epsilon=work.epsilon,
+        numeric=numeric,
+        categorical=categorical,
     )
 
 
@@ -448,6 +563,54 @@ def _sketch_attributes(
     return tuple(numeric), tuple(categorical)
 
 
+def fold_shard_statistics(
+    results: "list[ShardStatistics]",
+    *,
+    seed: int,
+    fingerprint: int,
+    budget_rows: int,
+    sample_rows: bool,
+) -> "tuple[np.ndarray, dict[str, object], dict[str, object]]":
+    """Fold per-shard statistics **in shard order** into merged state.
+
+    Returns ``(sample_indices, quantile_sketches, frequency_sketches)``.
+    Shared by the local build (:func:`build_sharded_backend`) and the
+    cluster coordinator — the fold, like the scan, has exactly one
+    implementation, and its ``"shard-merge:<index>:<fingerprint>"``
+    RNG streams depend only on the shard layout, never on where the
+    scans ran.
+    """
+    from repro.sketch.frequency import MisraGriesSketch
+    from repro.sketch.quantile import GKQuantileSketch
+
+    first, rest = results[0], results[1:]
+    sample, seen = first.sample, first.n_rows
+    quantiles: dict[str, object] = {
+        attribute: GKQuantileSketch.from_dict(payload)
+        for attribute, payload in first.quantiles.items()
+    }
+    frequencies: dict[str, object] = {
+        attribute: MisraGriesSketch.from_dict(payload)
+        for attribute, payload in first.frequencies.items()
+    }
+    for shard in rest:
+        if sample_rows:
+            sample, seen = merge_row_samples(
+                sample, seen, shard.sample, shard.n_rows,
+                budget_rows,
+                tag_rng(seed, f"shard-merge:{shard.index}:{fingerprint}"),
+            )
+        for attribute, payload in shard.quantiles.items():
+            quantiles[attribute] = quantiles[attribute].merge(
+                GKQuantileSketch.from_dict(payload)
+            )
+        for attribute, payload in shard.frequencies.items():
+            frequencies[attribute] = frequencies[attribute].merge(
+                MisraGriesSketch.from_dict(payload)
+            )
+    return sample, quantiles, frequencies
+
+
 def build_sharded_backend(
     table: Table,
     fidelity: Fidelity,
@@ -473,9 +636,6 @@ def build_sharded_backend(
             f"{fidelity.spec()!r} (exact masks are row-backed and "
             "cannot be shard-merged)"
         )
-    from repro.sketch.frequency import MisraGriesSketch
-    from repro.sketch.quantile import GKQuantileSketch
-
     started = time.perf_counter()
     sharded = ShardedTable(table, parallelism.shards)
     executor = make_executor(parallelism)
@@ -499,33 +659,13 @@ def build_sharded_backend(
         finally:
             _WORK = None
 
-    fingerprint = table_fingerprint(table)
-    first, rest = results[0], results[1:]
-    sample, seen = first.sample, first.n_rows
-    quantiles = {
-        attribute: GKQuantileSketch.from_dict(payload)
-        for attribute, payload in first.quantiles.items()
-    }
-    frequencies = {
-        attribute: MisraGriesSketch.from_dict(payload)
-        for attribute, payload in first.frequencies.items()
-    }
-    for shard in rest:
-        if sample_rows:
-            sample, seen = merge_row_samples(
-                sample, seen, shard.sample, shard.n_rows,
-                fidelity.budget_rows,
-                tag_rng(seed, f"shard-merge:{shard.index}:{fingerprint}"),
-            )
-        for attribute, payload in shard.quantiles.items():
-            quantiles[attribute] = quantiles[attribute].merge(
-                GKQuantileSketch.from_dict(payload)
-            )
-        for attribute, payload in shard.frequencies.items():
-            frequencies[attribute] = frequencies[attribute].merge(
-                MisraGriesSketch.from_dict(payload)
-            )
-
+    sample, quantiles, frequencies = fold_shard_statistics(
+        results,
+        seed=seed,
+        fingerprint=table_fingerprint(table),
+        budget_rows=fidelity.budget_rows,
+        sample_rows=sample_rows,
+    )
     if not sample_rows:
         sample_table = table  # the budget covers everything
     else:

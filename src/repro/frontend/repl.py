@@ -13,6 +13,7 @@ Commands::
     where           show the breadcrumb trail
     fidelity [spec] show or switch execution fidelity (exact / sketch)
     parallel [spec] show or switch multi-core execution (serial / parallel)
+    cluster [urls|off] attach shard servers (scatter/gather) or detach
     append <rows>   append rows (streaming): ``Age=30, Sex=F; Age=41, Sex=M``
     refresh         re-explore the breadcrumb against the latest version
     watch           toggle auto-refresh after every append
@@ -54,7 +55,10 @@ HELP_TEXT = """commands:
   back         return to the previous query
   where        show the exploration breadcrumb
   fidelity [spec] show or set fidelity: exact, sketch[:rows[:eps]]
-  parallel [spec] show or set workers: serial, parallel[:workers[:shards]]
+  parallel [spec] show or set workers: serial, parallel[:workers[:shards]],
+               cluster[:servers[:shards]]
+  cluster [urls|off] attach shard-server URLs and explore over them;
+               `cluster` alone shows the attached servers, `off` detaches
   append <rows> append rows, e.g. `append Age=30, Sex=F; Age=41, Sex=M`
   refresh      re-explore the breadcrumb at the latest table version
   watch        toggle auto-refresh after appends
@@ -145,6 +149,8 @@ class ExplorerRepl:
             self._fidelity(argument)
         elif command == "parallel":
             self._parallel(argument)
+        elif command == "cluster":
+            self._cluster(argument)
         elif command == "append":
             self._append(argument)
         elif command == "refresh":
@@ -211,6 +217,51 @@ class ExplorerRepl:
             int(argument) if argument.isdigit() else argument
         )
         map_set = self._session.reconfigure(parallelism=setting)
+        parallelism = self._session.atlas.config.parallelism
+        self._print(f"parallel set to {parallelism.spec()}")
+        self._print(render_map_set(map_set, self._session.atlas.table))
+
+    def _cluster(self, argument: str) -> None:
+        """Attach shard servers, show the attached cluster, or detach.
+
+        ``cluster http://host:8801 http://host:8802`` attaches a
+        coordinator over the URLs and re-answers the breadcrumb with a
+        ``cluster`` parallelism; ``cluster`` alone reports the attached
+        servers; ``cluster off`` detaches (cluster configs then degrade
+        to the local scan/merge split — same answers, one machine).
+        """
+        from repro.cluster import (
+            active_cluster,
+            attach_cluster,
+            detach_cluster,
+        )
+
+        argument = argument.strip()
+        if not argument:
+            coordinator = active_cluster()
+            if coordinator is None:
+                self._print("no cluster attached")
+            else:
+                self._print(
+                    "cluster: " + " ".join(coordinator.urls)
+                )
+            return
+        if argument.lower() == "off":
+            detached = detach_cluster()
+            self._print(
+                "cluster detached"
+                if detached is not None else "no cluster attached"
+            )
+            return
+        from repro.core.config import Parallelism
+
+        coordinator = attach_cluster(argument.split())
+        self._print(
+            f"cluster attached: {coordinator.n_servers} shard server(s)"
+        )
+        map_set = self._session.reconfigure(
+            parallelism=Parallelism.cluster()
+        )
         parallelism = self._session.atlas.config.parallelism
         self._print(f"parallel set to {parallelism.spec()}")
         self._print(render_map_set(map_set, self._session.atlas.table))
@@ -408,9 +459,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--parallel", default=None,
-        help="multi-core execution: 'serial' (default) or "
-             "'parallel[:workers[:shards]]' (workers may be 'auto'); "
+        help="multi-core execution: 'serial' (default), "
+             "'parallel[:workers[:shards]]' (workers may be 'auto'), or "
+             "'cluster[:servers[:shards]]' over --cluster shard servers; "
              "applies at sketch fidelity",
+    )
+    parser.add_argument(
+        "--cluster", default=None, metavar="URLS",
+        help="comma-separated shard-server URLs to attach "
+             "(see `python -m repro.cluster`); combine with "
+             "--parallel cluster",
     )
     arguments = parser.parse_args(argv)
 
@@ -422,6 +480,14 @@ def main(argv: list[str] | None = None) -> int:
         config = config.replace(fidelity=arguments.fidelity)
     if arguments.parallel is not None:
         config = config.replace(parallelism=arguments.parallel)
+    if arguments.cluster is not None:
+        from repro.cluster import attach_cluster
+
+        attach_cluster(
+            [url for url in arguments.cluster.split(",") if url]
+        )
+        if arguments.parallel is None:
+            config = config.replace(parallelism="cluster")
 
     initial_query: ConjunctiveQuery | None = None
     if arguments.query:

@@ -1,10 +1,13 @@
 """A small blocking client for the exploration service.
 
-Stdlib-only (``urllib``): one :class:`ServiceClient` per server, safe
-to share across threads (each call opens its own connection).  Answers
-come back as real :class:`~repro.engine.pipeline.MapSet` objects — the
-same type a local :func:`repro.explorer` call returns — so rendering,
-ranking access, and region drill-down code is oblivious to the wire.
+Stdlib-only: one :class:`ServiceClient` per server, safe to share
+across threads.  Requests ride a persistent keep-alive connection per
+thread (:class:`~repro.service.transport.HttpTransport`) — connection
+setup left the hot path when the cluster coordinator started making N
+shard calls per query.  Answers come back as real
+:class:`~repro.engine.pipeline.MapSet` objects — the same type a local
+:func:`repro.explorer` call returns — so rendering, ranking access,
+and region drill-down code is oblivious to the wire.
 
 Typed failures: the server's error payload is resurrected into the
 matching :class:`~repro.service.protocol.ServiceError` subclass, and
@@ -15,10 +18,7 @@ admission-control rejections can be retried transparently with
 
 from __future__ import annotations
 
-import json
 import time
-import urllib.error
-import urllib.request
 
 from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.query.query import ConjunctiveQuery
@@ -30,22 +30,24 @@ from repro.service.protocol import (
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
-    RemoteServiceError,
-    error_from_payload,
 )
+from repro.service.transport import HttpTransport
 
 
 class ServiceClient:
     """Blocking JSON-over-HTTP access to an :class:`ExplorationService`."""
 
     def __init__(self, base_url: str, timeout: float = 30.0):
-        self._base_url = base_url.rstrip("/")
-        self._timeout = timeout
+        self._transport = HttpTransport(base_url, timeout=timeout)
 
     @property
     def base_url(self) -> str:
         """The server's base URL."""
-        return self._base_url
+        return self._transport.base_url
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection."""
+        self._transport.close()
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -155,38 +157,7 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload: dict | None = None
     ) -> dict:
-        body = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self._base_url + path, data=body, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self._timeout
-            ) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
-            detail = self._error_payload(exc)
-            raise error_from_payload(detail, exc.code) from None
-        except urllib.error.URLError as exc:
-            raise RemoteServiceError(
-                f"cannot reach service at {self._base_url}: {exc.reason}"
-            ) from exc
-        except json.JSONDecodeError as exc:
-            raise ProtocolError(
-                f"server returned invalid JSON: {exc}"
-            ) from exc
-
-    @staticmethod
-    def _error_payload(exc: urllib.error.HTTPError) -> dict:
-        try:
-            return json.loads(exc.read())
-        except Exception:
-            return {"error": {"status": exc.code, "code": "internal",
-                              "message": str(exc)}}
+        return self._transport.request(method, path, payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<ServiceClient {self._base_url}>"
+        return f"<ServiceClient {self.base_url}>"

@@ -80,11 +80,41 @@ class RemoteServiceError(ServiceError):
     code = "internal"
 
 
+class ShardUnavailableError(ServiceError):
+    """A cluster shard server failed mid-query (HTTP 503).
+
+    Raised by the :class:`repro.cluster.ClusterCoordinator` when a
+    shard server times out or drops the connection after the one
+    permitted retry; the message names the failed shard's index, row
+    range, and URL so an operator knows *which* process to look at.
+    Defined here — not in :mod:`repro.cluster` — so the error-code
+    resurrection maps cover it without the client importing the
+    cluster package.
+    """
+
+    status = 503
+    code = "shard_unavailable"
+
+
+class StaleShardError(ServiceError):
+    """A shard server does not own the requested shard state (HTTP 409).
+
+    The shard-server side of lazy ownership: a scan or append naming a
+    ``(table, shard, version)`` the server has not been pushed — or an
+    older version than it holds — answers 409, and the coordinator
+    re-pushes the shard's columns and retries.  A coordinator restart
+    therefore re-attaches to running servers without any handshake.
+    """
+
+    status = 409
+    code = "stale_shard"
+
+
 #: Wire ``code`` → exception type, for client-side resurrection.
 _ERROR_CODES: dict[str, type[ServiceError]] = {
     cls.code: cls
     for cls in (ProtocolError, UnknownTableError, AdmissionError,
-                RemoteServiceError)
+                RemoteServiceError, ShardUnavailableError, StaleShardError)
 }
 
 
@@ -104,7 +134,8 @@ def _known_error_types() -> dict[str, type[Exception]]:
         if isinstance(obj, type) and issubclass(obj, AtlasError):
             types[name] = obj
     for cls in (ProtocolError, UnknownTableError, AdmissionError,
-                RemoteServiceError, ServiceError):
+                RemoteServiceError, ShardUnavailableError,
+                StaleShardError, ServiceError):
         types[cls.__name__] = cls
     return types
 

@@ -1,0 +1,200 @@
+"""Persistent JSON-over-HTTP transport for service and cluster clients.
+
+The PR-2 :class:`~repro.service.client.ServiceClient` opened a fresh
+TCP connection per request (``urllib.request.urlopen``).  That was fine
+when one human drove one query at a time; the cluster coordinator makes
+N shard calls *per query*, which puts connection setup on the hot path.
+This module gives every client the same keep-alive transport:
+
+* one :class:`http.client.HTTPConnection` **per thread** (a
+  ``threading.local``), so the transport object stays safe to share
+  across threads — the thread-safety contract ``ServiceClient`` has
+  carried since PR 2 — while each thread reuses its socket across
+  requests;
+* reconnect-on-drop: a keep-alive socket the server closed while idle
+  surfaces as ``RemoteDisconnected`` / ``BadStatusLine`` / a reset on
+  the *next* request.  When that happens on a **reused** connection the
+  transport reconnects and retries once; a failure on a freshly opened
+  connection is never retried (the server is actually down, and blind
+  replays of non-idempotent requests like ``/append`` would be unsafe
+  — on a stale socket the request provably never reached a handler);
+* the same typed-error mapping the per-request transport had: HTTP
+  error statuses resurrect the server's typed
+  :class:`~repro.service.protocol.ServiceError`, unreachable hosts
+  raise :class:`~repro.service.protocol.RemoteServiceError`, bodies
+  that are not JSON raise :class:`~repro.service.protocol.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import urllib.parse
+
+from repro.service.protocol import (
+    ProtocolError,
+    RemoteServiceError,
+    error_from_payload,
+)
+
+#: Connection-level failures that mean "this socket is dead", as opposed
+#: to an HTTP response carrying an error status.
+_DROP_ERRORS = (
+    http.client.HTTPException,
+    ConnectionError,
+    socket.timeout,
+    OSError,
+)
+
+#: The subset of :data:`_DROP_ERRORS` that specifically signals a stale
+#: keep-alive socket the server reaped while idle — the only failures
+#: where the request provably never reached a handler, and therefore the
+#: only ones a reused connection may retry.  Timeouts are excluded on
+#: purpose: a timed-out request *may* have reached the server, so a
+#: blind replay of a non-idempotent call would be unsafe (and would
+#: double the wait on a genuinely slow shard).
+_STALE_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
+class HttpTransport:
+    """Keep-alive JSON transport to one ``http://host:port`` base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        parsed = urllib.parse.urlsplit(base_url.rstrip("/"))
+        if parsed.scheme not in ("http", ""):
+            raise ProtocolError(
+                f"unsupported URL scheme {parsed.scheme!r} in {base_url!r}"
+            )
+        host = parsed.hostname or parsed.path or "localhost"
+        self._host = host
+        self._port = parsed.port or 80
+        self._base_url = f"http://{host}:{self._port}"
+        self._timeout = timeout
+        self._local = threading.local()
+
+    @property
+    def base_url(self) -> str:
+        """The normalized ``http://host:port`` this transport talks to."""
+        return self._base_url
+
+    @property
+    def timeout(self) -> float:
+        """Per-request socket timeout in seconds."""
+        return self._timeout
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle (per thread)
+    # ------------------------------------------------------------------ #
+
+    def _connection(self) -> "tuple[http.client.HTTPConnection, bool]":
+        """This thread's connection and whether it is being reused."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        self._local.connection = connection
+        return connection, False
+
+    def _drop(self) -> None:
+        """Discard this thread's connection (it will reconnect lazily)."""
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            try:
+                connection.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+
+    def close(self) -> None:
+        """Close the calling thread's connection.
+
+        Other threads' connections close when their thread (or the
+        transport) is garbage-collected — ``threading.local`` storage
+        is per-thread by construction.
+        """
+        self._drop()
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        """One JSON request/response round trip; raises typed errors."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection, reused = self._connection()
+        try:
+            status, raw = self._round_trip(
+                connection, method, path, body, headers
+            )
+        except _DROP_ERRORS as exc:
+            self._drop()
+            if not reused or not isinstance(exc, _STALE_ERRORS):
+                raise RemoteServiceError(
+                    f"cannot reach service at {self._base_url}: {exc}"
+                ) from exc
+            # A reused keep-alive socket died — almost always the
+            # server reaping an idle connection.  The request never
+            # reached a handler, so one retry on a fresh socket is safe
+            # for any method.
+            connection, _ = self._connection()
+            try:
+                status, raw = self._round_trip(
+                    connection, method, path, body, headers
+                )
+            except _DROP_ERRORS as retry_exc:
+                self._drop()
+                raise RemoteServiceError(
+                    f"cannot reach service at {self._base_url}: {retry_exc}"
+                ) from retry_exc
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            if status >= 400:
+                # An error status with an unparsable body still maps to
+                # a typed failure (matching the PR-2 client's behavior).
+                parsed = {}
+            else:
+                raise ProtocolError(
+                    f"server returned invalid JSON: {exc}"
+                ) from exc
+        if status >= 400:
+            if not isinstance(parsed, dict) or "error" not in parsed:
+                parsed = {"error": {"status": status, "code": "internal",
+                                    "message": f"HTTP {status}"}}
+            raise error_from_payload(parsed, status) from None
+        if not isinstance(parsed, dict):
+            raise ProtocolError(
+                f"expected a JSON object body, got {type(parsed).__name__}"
+            )
+        return parsed
+
+    @staticmethod
+    def _round_trip(
+        connection: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict,
+    ) -> tuple[int, bytes]:
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()  # drain fully so the socket can be reused
+        return response.status, raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HttpTransport {self._base_url}>"

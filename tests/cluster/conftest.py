@@ -1,0 +1,42 @@
+"""Shared fixtures for the cluster suite: in-process shard servers.
+
+The in-process :func:`repro.cluster.serve_shard` servers run real HTTP
+on ephemeral localhost ports but share the test process, so suites stay
+fast and a test can reach into a server's :class:`ShardStore` to
+simulate restarts or inspect owned state.  The one subprocess-based
+end-to-end test lives in ``test_cluster_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, detach_cluster, serve_shard
+from repro.datagen import census_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return census_table(n_rows=3000, seed=7)
+
+
+@pytest.fixture
+def servers():
+    started = [serve_shard(), serve_shard()]
+    yield started
+    for server in started:
+        server.close()
+
+
+@pytest.fixture
+def coordinator(servers):
+    built = ClusterCoordinator([s.url for s in servers], timeout=10.0)
+    yield built
+    built.close()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_cluster():
+    """Tests that attach a process-wide cluster never leak it."""
+    yield
+    detach_cluster()

@@ -1,0 +1,132 @@
+"""The coordinator: scatter/gather builds bit-identical to local ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.core.config import Fidelity, Parallelism
+from repro.engine.backends import table_fingerprint
+from repro.engine.parallel import build_sharded_backend
+from repro.errors import MapError
+
+SKETCH = Fidelity.sketch(budget_rows=800)
+CLUSTER = Parallelism.cluster(servers="auto", shards=8)
+
+
+def sketch_state(backend) -> dict:
+    """Everything statistical about a sketch backend, venue-blind."""
+    return {
+        "sample": table_fingerprint(backend.effective_table),
+        "quantiles": {
+            name: sketch.to_dict()
+            for name, sketch in backend._quantile_sketches.items()
+        },
+        "frequencies": {
+            name: sketch.to_dict()
+            for name, sketch in backend._frequency_sketches.items()
+        },
+    }
+
+
+class TestBuildBackend:
+    def test_cluster_build_matches_local_build(self, table, coordinator):
+        local = build_sharded_backend(
+            table, SKETCH,
+            Parallelism(workers=1, shards=8),
+            seed=7,
+        )
+        clustered = coordinator.build_backend(
+            table, SKETCH, CLUSTER, seed=7
+        )
+        assert sketch_state(clustered) == sketch_state(local)
+
+    def test_build_is_deterministic_across_builds(self, table, coordinator):
+        first = coordinator.build_backend(table, SKETCH, CLUSTER, seed=7)
+        second = coordinator.build_backend(table, SKETCH, CLUSTER, seed=7)
+        assert sketch_state(first) == sketch_state(second)
+
+    def test_one_server_cluster_matches_two(self, table, servers,
+                                            coordinator):
+        single = ClusterCoordinator([servers[0].url], timeout=10.0)
+        try:
+            one = single.build_backend(table, SKETCH, CLUSTER, seed=7)
+            two = coordinator.build_backend(table, SKETCH, CLUSTER, seed=7)
+            assert sketch_state(one) == sketch_state(two)
+        finally:
+            single.close()
+
+    def test_budget_covering_table_skips_sampling(self, table, coordinator):
+        generous = Fidelity.sketch(budget_rows=table.n_rows)
+        backend = coordinator.build_backend(table, generous, CLUSTER, seed=7)
+        assert backend.effective_table is table
+
+    def test_exact_fidelity_rejected(self, table, coordinator):
+        with pytest.raises(MapError, match="sketch fidelity"):
+            coordinator.build_backend(
+                table, Fidelity.exact(), CLUSTER, seed=7
+            )
+
+    def test_snapshot_carries_cluster_provenance(self, table, coordinator):
+        backend = coordinator.build_backend(table, SKETCH, CLUSTER, seed=7)
+        parallel = backend.snapshot()["parallel"]
+        assert parallel["servers"] == 2
+        assert parallel["cluster_builds"] == 1
+        assert len(parallel["shard_servers"]) == 8
+        assert sorted(set(parallel["shard_servers"])) == [0, 1]
+
+
+class TestReattach:
+    def test_new_coordinator_reuses_pushed_state(self, table, servers,
+                                                 coordinator):
+        first = coordinator.build_backend(table, SKETCH, CLUSTER, seed=7)
+        # The shard state a restarted coordinator's scans hit.
+        owned_before = [
+            {key: value for key, value in server.store._shards.items()}
+            for server in servers
+        ]
+        restarted = ClusterCoordinator(
+            [s.url for s in servers], timeout=10.0
+        )
+        try:
+            second = restarted.build_backend(table, SKETCH, CLUSTER, seed=7)
+            assert sketch_state(second) == sketch_state(first)
+            # No re-push happened: the owned state objects are the same.
+            for server, before in zip(servers, owned_before):
+                assert server.store._shards == before
+                assert all(
+                    server.store._shards[key] is owned
+                    for key, owned in before.items()
+                )
+            assert restarted.metrics()["shard_retries"] == 0
+        finally:
+            restarted.close()
+
+
+class TestResolvedServers:
+    def test_auto_uses_every_attached_server(self, coordinator):
+        assert coordinator.resolved_servers(Parallelism.cluster()) == 2
+
+    def test_numeric_clamps_to_attached(self, coordinator):
+        assert coordinator.resolved_servers(Parallelism.cluster(1)) == 1
+        assert coordinator.resolved_servers(Parallelism.cluster(9)) == 2
+
+    def test_needs_at_least_one_url(self):
+        with pytest.raises(MapError):
+            ClusterCoordinator([])
+
+
+class TestMetrics:
+    def test_builds_and_per_server_payloads(self, table, coordinator):
+        coordinator.build_backend(table, SKETCH, CLUSTER, seed=7)
+        metrics = coordinator.metrics()
+        assert metrics["servers"] == 2
+        assert metrics["builds"] == 1
+        assert metrics["append_route_failures"] == 0
+        per_server = metrics["shard_servers"]
+        assert len(per_server) == 2
+        assert sum(entry["scans"] for entry in per_server) == 8
+
+    def test_health_in_server_order(self, coordinator):
+        payloads = coordinator.health()
+        assert [p["status"] for p in payloads] == ["ok", "ok"]

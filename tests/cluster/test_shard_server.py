@@ -1,0 +1,259 @@
+"""The shard server: store semantics and the HTTP frontend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    OwnShardRequest,
+    ScanRequest,
+    ShardAppendRequest,
+    ShardStore,
+    serve_shard,
+)
+from repro.cluster.protocol import numeric_to_wire
+from repro.datagen import census_table
+from repro.engine.backends import table_fingerprint
+from repro.engine.parallel import (
+    ShardedTable,
+    ShardStatistics,
+    _sketch_attributes,
+    scan_shard_values,
+    shard_column_values,
+)
+from repro.service.protocol import ProtocolError, StaleShardError
+from repro.service.transport import HttpTransport
+
+
+@pytest.fixture(scope="module")
+def table():
+    return census_table(n_rows=1200, seed=3)
+
+
+def own_request(table, sharded, shard: int) -> OwnShardRequest:
+    """The push the coordinator would send for one shard."""
+    numeric, categorical = _sketch_attributes(table)
+    low, high = sharded.bounds[shard]
+    numeric_values, categorical_values = shard_column_values(
+        table, low, high, numeric, categorical
+    )
+    return OwnShardRequest(
+        table=table.name, shard=shard, low=low, high=high,
+        version=table.version,
+        numeric=numeric_to_wire(numeric_values),
+        categorical=[
+            (name, capacity, labels)
+            for name, capacity, labels in categorical_values
+        ],
+    )
+
+
+def scan_request(table, sharded, shard: int, **overrides) -> ScanRequest:
+    low, high = sharded.bounds[shard]
+    fields = dict(
+        table=table.name, shard=shard, low=low, high=high,
+        version=table.version, fingerprint=table_fingerprint(table),
+        seed=7, budget_rows=400, sample_rows=True, epsilon=0.005,
+    )
+    fields.update(overrides)
+    return ScanRequest(**fields)
+
+
+def comparable(statistics: ShardStatistics) -> dict:
+    """Everything deterministic about a scan (timing dropped)."""
+    out = statistics.to_dict()
+    out.pop("seconds")
+    return out
+
+
+class TestShardStore:
+    def test_scan_before_own_is_stale(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        with pytest.raises(StaleShardError, match="not owned"):
+            store.scan(scan_request(table, sharded, 0))
+
+    def test_owned_scan_matches_local_scan_core(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        store.own(own_request(table, sharded, 1))
+        request = scan_request(table, sharded, 1)
+        remote = store.scan(request)
+
+        numeric, categorical = _sketch_attributes(table)
+        low, high = sharded.bounds[1]
+        numeric_values, categorical_values = shard_column_values(
+            table, low, high, numeric, categorical
+        )
+        local = scan_shard_values(
+            index=1, low=low, n_rows=high - low,
+            seed=request.seed, fingerprint=request.fingerprint,
+            budget_rows=request.budget_rows, sample_rows=True,
+            epsilon=request.epsilon,
+            numeric=numeric_values, categorical=categorical_values,
+        )
+        assert comparable(remote) == comparable(local)
+
+    def test_scan_naming_other_version_is_stale(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        store.own(own_request(table, sharded, 0))
+        with pytest.raises(StaleShardError, match="re-push"):
+            store.scan(
+                scan_request(table, sharded, 0, version=table.version + 1)
+            )
+
+    def test_scan_naming_other_bounds_is_stale(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        store.own(own_request(table, sharded, 0))
+        low, high = sharded.bounds[0]
+        with pytest.raises(StaleShardError, match="re-push"):
+            store.scan(scan_request(table, sharded, 0, high=high + 1))
+
+    def test_negative_range_rejected(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        request = own_request(table, sharded, 0)
+        import dataclasses
+
+        bad = dataclasses.replace(request, high=request.low - 1)
+        with pytest.raises(ProtocolError, match="negative"):
+            store.own(bad)
+
+
+class TestShardStoreAppend:
+    def append_request(self, table, sharded, **overrides):
+        owning = sharded.owning_shard(table.n_rows)
+        numeric_names, categorical = _sketch_attributes(table)
+        fields = dict(
+            table=table.name, shard=owning,
+            from_version=table.version, to_version=table.version + 1,
+            high=table.n_rows + 2,
+            numeric={name: [30.0, 41.0] for name in numeric_names},
+            categorical={
+                name: [table.categorical(name).categories[0]] * 2
+                for name, _ in categorical
+            },
+            capacities={name: capacity for name, capacity in categorical},
+        )
+        fields.update(overrides)
+        return ShardAppendRequest(**fields)
+
+    def test_append_extends_owned_shard(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        owning = sharded.owning_shard(table.n_rows)
+        store.own(own_request(table, sharded, owning))
+        response = store.append(self.append_request(table, sharded))
+        assert response["applied"] is True
+        assert response["owned"]["high"] == table.n_rows + 2
+        assert response["owned"]["version"] == table.version + 1
+
+    def test_append_is_idempotent(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        owning = sharded.owning_shard(table.n_rows)
+        store.own(own_request(table, sharded, owning))
+        request = self.append_request(table, sharded)
+        assert store.append(request)["applied"] is True
+        # The same delta again: already at to_version, not re-applied.
+        replay = store.append(request)
+        assert replay["applied"] is False
+        assert replay["owned"]["high"] == table.n_rows + 2
+
+    def test_append_from_other_version_is_stale(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        owning = sharded.owning_shard(table.n_rows)
+        store.own(own_request(table, sharded, owning))
+        skipped = self.append_request(
+            table, sharded,
+            from_version=table.version + 5,
+            to_version=table.version + 6,
+        )
+        with pytest.raises(StaleShardError, match="re-push"):
+            store.append(skipped)
+
+    def test_append_naming_unknown_attribute_rejected(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        owning = sharded.owning_shard(table.n_rows)
+        store.own(own_request(table, sharded, owning))
+        bad = self.append_request(
+            table, sharded, numeric={"no_such_column": [1.0]}
+        )
+        with pytest.raises(ProtocolError, match="no_such_column"):
+            store.append(bad)
+
+    def test_append_updates_mg_capacity(self, table):
+        store = ShardStore()
+        sharded = ShardedTable(table, 4)
+        owning = sharded.owning_shard(table.n_rows)
+        store.own(own_request(table, sharded, owning))
+        categorical_names = [
+            name for name, _ in _sketch_attributes(table)[1]
+        ]
+        grown = {name: 99 for name in categorical_names}
+        store.append(self.append_request(table, sharded, capacities=grown))
+        with store._lock:
+            owned = store._shards[(table.name, owning)]
+            assert all(
+                capacity == 99 for _, capacity, _ in owned.categorical
+            )
+
+
+class TestShardHTTP:
+    def test_health_reports_protocol_version(self):
+        with serve_shard() as server:
+            transport = HttpTransport(server.url, timeout=10.0)
+            payload = transport.request("GET", "/health")
+            assert payload == {"status": "ok", "protocol": 1}
+            transport.close()
+
+    def test_own_scan_and_metrics_over_http(self, table):
+        sharded = ShardedTable(table, 4)
+        with serve_shard() as server:
+            transport = HttpTransport(server.url, timeout=10.0)
+            transport.request(
+                "POST", "/own", own_request(table, sharded, 2).to_dict()
+            )
+            payload = transport.request(
+                "POST", "/scan", scan_request(table, sharded, 2).to_dict()
+            )
+            over_wire = ShardStatistics.from_dict(payload["statistics"])
+            direct = server.store.scan(scan_request(table, sharded, 2))
+            assert comparable(over_wire) == comparable(direct)
+
+            shards = transport.request("GET", "/shards")["shards"]
+            assert [s["shard"] for s in shards] == [2]
+            metrics = transport.request("GET", "/metrics")
+            assert metrics["shards_owned"] == 1
+            assert metrics["scans"] == 2
+            transport.close()
+
+    def test_unknown_route_is_a_typed_error(self):
+        with serve_shard() as server:
+            transport = HttpTransport(server.url, timeout=10.0)
+            with pytest.raises(ProtocolError, match="no route"):
+                transport.request("GET", "/nope")
+            transport.close()
+
+    def test_missing_body_is_a_typed_error(self):
+        with serve_shard() as server:
+            transport = HttpTransport(server.url, timeout=10.0)
+            with pytest.raises(ProtocolError, match="body"):
+                transport.request("POST", "/scan")
+            transport.close()
+
+    def test_stale_scan_surfaces_as_409_over_http(self, table):
+        sharded = ShardedTable(table, 4)
+        with serve_shard() as server:
+            transport = HttpTransport(server.url, timeout=10.0)
+            with pytest.raises(StaleShardError) as err:
+                transport.request(
+                    "POST", "/scan",
+                    scan_request(table, sharded, 0).to_dict(),
+                )
+            assert err.value.status == 409
+            transport.close()

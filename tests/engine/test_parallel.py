@@ -88,6 +88,34 @@ class TestParallelismConfig:
         auto = Parallelism(workers="auto").resolved_workers
         assert auto == max(1, os.cpu_count() or 1)
 
+    def test_cluster_spec_round_trip(self):
+        for spec in ("cluster:2:8", "cluster:auto:16", "cluster:1:4"):
+            parallelism = Parallelism.parse(spec)
+            assert parallelism.is_cluster and parallelism.is_parallel
+            assert parallelism.spec() == spec
+
+    def test_cluster_parse_defaults(self):
+        parallelism = Parallelism.parse("cluster")
+        assert parallelism == Parallelism.cluster()
+        assert parallelism.workers == "auto"
+        assert parallelism.shards == DEFAULT_SHARDS
+        assert Parallelism.parse("cluster:3").shards == DEFAULT_SHARDS
+
+    def test_cluster_config_serde_round_trip(self):
+        config = AtlasConfig(parallelism="cluster:2:8")
+        assert AtlasConfig.from_dict(config.to_dict()) == config
+        assert config.to_dict()["parallelism"] == "cluster:2:8"
+
+    def test_cluster_rejects_bad_shapes(self):
+        for bad in ("cluster:0", "cluster:x", "cluster:2:0",
+                    "cluster:2:3:4"):
+            with pytest.raises(ConfigError):
+                Parallelism.parse(bad)
+        with pytest.raises(ConfigError):
+            Parallelism(workers=2, shards=1, mode="cluster")
+        with pytest.raises(ConfigError):
+            Parallelism(workers=2, shards=8, mode="remote")
+
 
 # ---------------------------------------------------------------------- #
 # ShardedTable
@@ -106,10 +134,26 @@ class TestShardedTable:
         sizes = {hi - lo for lo, hi in sharded.bounds}
         assert max(sizes) - min(sizes) <= 1
 
-    def test_shards_clamp_to_rows(self):
+    def test_more_shards_than_rows_keeps_layout(self):
+        # The config's shard count is honored verbatim: trailing
+        # shards are empty rather than silently dropped, so the RNG
+        # streams a `shards=8` config names exist on any table size.
         tiny = census_table(n_rows=3, seed=0)
         sharded = ShardedTable(tiny, 8)
-        assert sharded.n_shards == 3
+        assert sharded.n_shards == 8
+        assert [hi - lo for lo, hi in sharded.bounds] == [1] * 3 + [0] * 5
+        assert sharded.bounds[-1] == (3, 3)
+        # Empty shards materialize as empty tables.
+        assert sharded.shard(7).n_rows == 0
+
+    def test_appends_route_to_empty_trailing_shard(self):
+        tiny = census_table(n_rows=3, seed=0)
+        sharded = ShardedTable(tiny, 5)
+        grown = census_table(n_rows=6, seed=0)
+        advanced = sharded.advanced(grown)
+        assert advanced.bounds[:-1] == sharded.bounds[:-1]
+        assert advanced.bounds[-1] == (3, 6)
+        assert advanced.owning_shard(5) == 4
 
     def test_shard_materialization_matches_bounds(self, table):
         sharded = ShardedTable(table, 4)
@@ -294,6 +338,36 @@ class TestShardedBackend:
             build_sharded_backend(
                 table, Fidelity.exact(), Parallelism(workers=1, shards=2)
             )
+
+    def test_more_shards_than_rows_builds_cleanly(self):
+        # Empty trailing shards scan to empty samples and identity
+        # sketches; the fold must absorb them without special cases.
+        tiny = census_table(n_rows=5, seed=1)
+        backend = build_sharded_backend(
+            tiny, Fidelity.sketch(budget_rows=3),
+            Parallelism(workers=1, shards=8), seed=0,
+        )
+        assert backend.sharded_table.n_shards == 8
+        assert backend.n_rows == 3
+        assert backend.quantile_sketch("Age").count == tiny.n_rows
+        assert backend.frequency_sketch("Sex").count == tiny.n_rows
+
+    def test_empty_shard_merge_matches_fewer_shards_never(self):
+        # Shards are statistics: 8 shards over 5 rows is a *different*
+        # recipe from 5 shards over 5 rows, but the same 8-shard recipe
+        # is stable whether or not trailing shards are empty.
+        tiny = census_table(n_rows=5, seed=1)
+        sketch = Fidelity.sketch(budget_rows=3)
+        first = build_sharded_backend(
+            tiny, sketch, Parallelism(workers=1, shards=8), seed=0
+        )
+        second = build_sharded_backend(
+            tiny, sketch, Parallelism(workers=2, shards=8), seed=0
+        )
+        np.testing.assert_array_equal(
+            first.effective_table.numeric("Age").data,
+            second.effective_table.numeric("Age").data,
+        )
 
     def test_context_dispatch_builds_sharded_backend(self, table):
         config = AtlasConfig(

@@ -1,0 +1,85 @@
+"""The REPL ``cluster`` command and the CLI ``--cluster`` flag."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cluster import active_cluster, detach_cluster, serve_shard
+from repro.core.config import AtlasConfig
+from repro.datagen import census_table
+from repro.dataset.io_csv import write_csv
+from repro.frontend import repl as repl_module
+from repro.frontend.repl import run_script
+
+
+@pytest.fixture(scope="module")
+def table():
+    return census_table(n_rows=1500, seed=11)
+
+
+@pytest.fixture
+def servers():
+    started = [serve_shard(), serve_shard()]
+    yield started
+    for server in started:
+        server.close()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_cluster():
+    yield
+    detach_cluster()
+
+
+class TestClusterCommand:
+    def test_no_cluster_attached(self, table):
+        out = run_script(table, ["cluster", "quit"])
+        assert "no cluster attached" in out
+
+    def test_attach_show_and_detach(self, table, servers):
+        urls = " ".join(server.url for server in servers)
+        out = run_script(
+            table,
+            [f"cluster {urls}", "cluster", "cluster off", "cluster", "quit"],
+            config=AtlasConfig(fidelity="sketch:500"),
+        )
+        assert "cluster attached: 2 shard server(s)" in out
+        assert servers[0].url in out
+        assert "cluster detached" in out
+        assert out.count("no cluster attached") == 1
+
+    def test_attach_switches_to_cluster_parallelism(self, table, servers):
+        urls = " ".join(server.url for server in servers)
+        out = run_script(
+            table,
+            [f"cluster {urls}", "parallel", "quit"],
+            config=AtlasConfig(fidelity="sketch:500"),
+        )
+        assert "parallel: cluster:auto:8" in out
+        # The attach re-answered the current query over the cluster.
+        assert out.count("map(s) for query") >= 2
+
+    def test_help_mentions_cluster(self, table):
+        out = run_script(table, ["help", "quit"])
+        assert "cluster" in out
+
+
+class TestClusterFlag:
+    def test_cli_attaches_and_explores(self, servers, tmp_path,
+                                       monkeypatch, capsys):
+        path = tmp_path / "survey.csv"
+        write_csv(census_table(n_rows=800, seed=4), path)
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        urls = ",".join(server.url for server in servers)
+        exit_code = repl_module.main([
+            str(path), "--fidelity", "sketch:400", "--cluster", urls,
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "map(s) for query" in out
+        coordinator = active_cluster()
+        assert coordinator is not None
+        assert coordinator.n_servers == 2
+        assert coordinator.metrics()["builds"] >= 1

@@ -1,0 +1,123 @@
+"""The keep-alive HTTP transport: reuse, reconnect, typed errors."""
+
+from __future__ import annotations
+
+import http.client
+import socket
+
+import pytest
+
+from repro.cluster import serve_shard
+from repro.service.protocol import ProtocolError, RemoteServiceError
+from repro.service.transport import HttpTransport
+
+
+@pytest.fixture
+def server():
+    with serve_shard() as running:
+        yield running
+
+
+@pytest.fixture
+def transport(server):
+    built = HttpTransport(server.url, timeout=10.0)
+    yield built
+    built.close()
+
+
+class TestUrlHandling:
+    def test_normalizes_and_strips_trailing_slash(self):
+        transport = HttpTransport("http://localhost:8801/")
+        assert transport.base_url == "http://localhost:8801"
+
+    def test_default_port_is_80(self):
+        assert HttpTransport("http://example").base_url == "http://example:80"
+
+    def test_rejects_non_http_schemes(self):
+        with pytest.raises(ProtocolError, match="scheme"):
+            HttpTransport("https://localhost:8801")
+
+
+class TestKeepAlive:
+    def test_connection_is_reused_across_requests(self, transport):
+        transport.request("GET", "/health")
+        first = transport._local.connection
+        transport.request("GET", "/health")
+        assert transport._local.connection is first
+
+    def test_close_drops_the_connection(self, transport):
+        transport.request("GET", "/health")
+        transport.close()
+        assert transport._local.connection is None
+        # And the next request transparently reconnects.
+        assert transport.request("GET", "/health")["status"] == "ok"
+
+
+class TestReconnectOnDrop:
+    def install_flaky_round_trip(self, monkeypatch, error: Exception):
+        """Make the next round trip fail once, counting attempts."""
+        real = HttpTransport._round_trip
+        calls = []
+
+        def flaky(connection, method, path, body, headers):
+            calls.append(path)
+            if len(calls) == 1:
+                raise error
+            return real(connection, method, path, body, headers)
+
+        monkeypatch.setattr(HttpTransport, "_round_trip", staticmethod(flaky))
+        return calls
+
+    def test_stale_keepalive_socket_retries_once(self, transport,
+                                                 monkeypatch):
+        transport.request("GET", "/health")  # establish a reused socket
+        calls = self.install_flaky_round_trip(
+            monkeypatch,
+            http.client.RemoteDisconnected("server dropped idle socket"),
+        )
+        assert transport.request("GET", "/health")["status"] == "ok"
+        assert len(calls) == 2
+
+    def test_timeout_is_never_retried(self, transport, monkeypatch):
+        transport.request("GET", "/health")  # the socket IS reused
+        calls = self.install_flaky_round_trip(
+            monkeypatch, socket.timeout("read timed out")
+        )
+        # A timed-out request may have reached the server; replaying it
+        # blindly would be unsafe (and would double the wait), so the
+        # transport surfaces the failure after ONE attempt.
+        with pytest.raises(RemoteServiceError, match="timed out"):
+            transport.request("GET", "/health")
+        assert len(calls) == 1
+
+    def test_fresh_connection_failure_is_not_retried(self, server,
+                                                     monkeypatch):
+        transport = HttpTransport(server.url, timeout=10.0)
+        calls = self.install_flaky_round_trip(
+            monkeypatch,
+            http.client.RemoteDisconnected("failed before any success"),
+        )
+        with pytest.raises(RemoteServiceError):
+            transport.request("GET", "/health")
+        assert len(calls) == 1
+
+    def test_unreachable_host_raises_remote_error(self):
+        # Bind-then-close guarantees a dead port.
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        transport = HttpTransport(f"http://127.0.0.1:{port}", timeout=2.0)
+        with pytest.raises(RemoteServiceError, match="cannot reach"):
+            transport.request("GET", "/health")
+
+
+class TestTypedErrors:
+    def test_http_error_status_resurrects_typed_error(self, transport):
+        with pytest.raises(ProtocolError, match="no route"):
+            transport.request("GET", "/definitely-not-a-route")
+
+    def test_error_does_not_poison_the_connection(self, transport):
+        with pytest.raises(ProtocolError):
+            transport.request("GET", "/nope")
+        assert transport.request("GET", "/health")["status"] == "ok"
