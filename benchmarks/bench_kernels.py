@@ -1,0 +1,235 @@
+"""E22 — columnar scan kernels: one core at hardware speed.
+
+The kernel layer (:mod:`repro.engine.kernels`) replaces per-value
+sketch inserts in the shard scan with three batch kernels — one fused
+sort + NaN-split, a canonical sorted-batch GK build, and a bincount
+Misra–Gries fold.  The ``kernels`` config knob switches between the
+numpy kernels and the pure-Python reference; both produce *bit
+identical* sketches, so the knob is a pure wall-clock lever exactly
+like the worker count.  Two claims to measure on the 1M-row census
+session:
+
+1. **Speedup** — the full-scan phase (the per-shard ``shard_seconds``
+   that E20/E21 also record, summed over the same 8-shard layout,
+   serial on one core) with numpy kernels vs the pure-Python kernels,
+   and vs the committed E20 figure (≈4.11 s for the same scan before
+   this layer existed).  E22 requires the numpy scan to beat the
+   committed per-shard scan total by ≥5x on the full run.
+2. **Identical answers** — every answer of the session compared by
+   :func:`map_set_fingerprint` across kernel modes, and scored with
+   :func:`ranked_map_agreement`; the bit-identity contract means both
+   must be perfect (1.000), comfortably above the ≥0.99 floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py           # full E22
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke   # CI check
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke --json out.json
+
+The full run writes ``benchmarks/results/kernel_speedup.json`` (the
+file ``benchmarks/check_results.py`` guards); the smoke run only
+prints/asserts unless ``--json`` names an output file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import AtlasConfig, Fidelity, Parallelism  # noqa: E402
+from repro.datagen import census_table                    # noqa: E402
+from repro.engine.context import ExecutionContext         # noqa: E402
+from repro.engine.pipeline import Pipeline                # noqa: E402
+from repro.evaluation.harness import ResultTable          # noqa: E402
+from repro.evaluation.metrics import (                    # noqa: E402
+    map_set_fingerprint,
+    ranked_map_agreement,
+)
+from repro.evaluation.workloads import figure2_query      # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_FILE = RESULTS_DIR / "kernel_speedup.json"
+#: E20's committed per-shard scan seconds (benchmarks/results/
+#: parallel_speedup.json) sum to this: the same 1M-row, 8-shard scan
+#: before the kernel layer existed.  The full E22 run must beat it 5x.
+E20_COMMITTED_SCAN_SECONDS = 4.1096
+
+
+def run_session(table, kernels: str, shards: int, budget: int, seed: int):
+    """One cold session with the given kernel mode, serial on one core.
+
+    Returns (scan seconds = per-shard shard_seconds summed, answers,
+    per-kernel nanosecond meters).
+    """
+    config = AtlasConfig(
+        fidelity=Fidelity.sketch(budget_rows=budget),
+        parallelism=Parallelism(workers=1, shards=shards),
+        kernels=kernels,
+        seed=seed,
+    )
+    pipeline = Pipeline.default()
+    context = ExecutionContext(table, config)
+    answers = [pipeline.run(q, context) for q in [None, figure2_query()]]
+    for entry in answers[1].ranked[:3]:
+        answers.extend(
+            pipeline.run(region, context)
+            for region in entry.map.regions[:2]
+        )
+    snapshot = context.stats().snapshot()
+    parallel = snapshot.get("parallel", {})
+    scan_seconds = sum(parallel.get("shard_seconds", []) or [0.0])
+    kernel_nanos = parallel.get("kernel_nanos", {})
+    return scan_seconds, answers, kernel_nanos
+
+
+def run(
+    n_rows: int,
+    budget: int,
+    shards: int,
+    seed: int,
+    *,
+    smoke: bool,
+    json_path: str | None,
+) -> dict:
+    cpus = os.cpu_count() or 1
+    table = census_table(n_rows=n_rows, seed=seed)
+
+    scan_python, python_answers, _ = run_session(
+        table, "python", shards, budget, seed
+    )
+    scan_numpy, numpy_answers, kernel_nanos = run_session(
+        table, "numpy", shards, budget, seed
+    )
+    speedup = scan_python / scan_numpy if scan_numpy > 0 else float("inf")
+    vs_committed = (
+        E20_COMMITTED_SCAN_SECONDS / scan_numpy
+        if scan_numpy > 0
+        else float("inf")
+    )
+
+    identical = [
+        map_set_fingerprint(a) == map_set_fingerprint(b)
+        for a, b in zip(python_answers, numpy_answers)
+    ]
+    agreement = [
+        ranked_map_agreement(a, b, table, top_k=3)
+        for a, b in zip(python_answers, numpy_answers)
+    ]
+    mean_agreement = sum(agreement) / len(agreement)
+
+    report = ResultTable(
+        ["measurement", "python kernels", "numpy kernels", "ratio"],
+        title=(
+            f"E22: columnar scan kernels — census, {n_rows:,} rows, "
+            f"sketch:{budget}, {shards} shards, 1 worker, seed {seed}"
+        ),
+    )
+    report.add_row(
+        ["shard scan total (s)", f"{scan_python:.3f}",
+         f"{scan_numpy:.3f}", f"{speedup:.2f}x"]
+    )
+    if not smoke:
+        report.add_row(
+            ["vs committed E20 scan (4.11 s)", "",
+             f"{scan_numpy:.3f}", f"{vs_committed:.2f}x"]
+        )
+    report.add_row(
+        ["answers bit-identical", f"{sum(identical)}/{len(identical)}",
+         "", ""]
+    )
+    report.add_row(
+        ["top-3 agreement (mean)", f"{mean_agreement:.4f}", "", ""]
+    )
+    for kernel, nanos in sorted(kernel_nanos.items()):
+        report.add_row(
+            [f"kernel {kernel} (ms)", "", f"{nanos / 1e6:.1f}", ""]
+        )
+    text = report.render()
+    print()
+    print(text)
+
+    assert all(identical), (
+        "kernel mode changed an answer: "
+        f"{identical.index(False)}th query differs"
+    )
+    assert mean_agreement == 1.0, mean_agreement
+    assert speedup > 1.0, (
+        f"numpy kernels must beat the pure-Python reference, "
+        f"measured {speedup:.2f}x"
+    )
+    # The 5x floor is against a committed figure for the exact same
+    # scan at full scale; smoke scales are too small to compare.
+    if not smoke:
+        assert vs_committed >= 5.0, (
+            f"E22 needs >=5x vs the committed E20 scan "
+            f"({E20_COMMITTED_SCAN_SECONDS:.2f}s), measured "
+            f"{vs_committed:.2f}x ({scan_numpy:.3f}s)"
+        )
+
+    payload = {
+        "experiment": "E22",
+        "mode": "smoke" if smoke else "full",
+        "n_rows": n_rows,
+        "budget_rows": budget,
+        "workers": 1,
+        "shards": shards,
+        "seed": seed,
+        "cpu_count": cpus,
+        "python_scan_seconds": round(scan_python, 4),
+        "numpy_scan_seconds": round(scan_numpy, 4),
+        "speedup": round(speedup, 4),
+        "speedup_vs_committed_e20": round(vs_committed, 4),
+        "speedup_floor_binds": True,
+        # Kernel speedup grows with batch size, so a smoke run at a
+        # smaller n_rows is gated by this absolute floor instead of a
+        # fraction of the full-scale figure (see check_results.py).
+        "smoke_speedup_floor": 5.0,
+        "answers_identical": all(identical),
+        "top3_agreement": mean_agreement,
+        "kernel_nanos": {k: int(v) for k, v in sorted(kernel_nanos.items())},
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    elif not smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {RESULTS_FILE}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_000_000,
+                        help="table size for the full experiment")
+    parser.add_argument("--budget", type=int, default=20_000,
+                        help="sketch fidelity row budget")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="row-range shards (the E20 layout)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small, assertion-only CI run (no results file unless --json)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the measurement payload to PATH (any mode)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        run(100_000, 10_000, args.shards, args.seed,
+            smoke=True, json_path=args.json)
+        print("\nsmoke ok")
+    else:
+        run(args.rows, args.budget, args.shards, args.seed,
+            smoke=False, json_path=args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,15 @@ This rule bans, inside the determinism-scoped packages:
 Functions named as *derivation sites* (``child_rng``, ``tag_rng``)
 are exempt in full: they are where the sanctioned seeds are turned
 into generators.
+
+Some modules are held to a stricter, **RNG-free** contract
+(``RNG_FREE_SCOPES``): the columnar kernels of
+``repro/engine/kernels.py`` are deterministic functions of their input
+buffers — every random draw of a scan belongs to the *caller* on its
+sanctioned stream — so inside them even the seeded
+``default_rng(seed)`` idiom and the derivation-site exemption are
+banned.  A kernel that wants randomness must take a ``Generator``
+argument, which keeps the draw attributable to a sanctioned site.
 """
 
 from __future__ import annotations
@@ -46,6 +55,12 @@ DEFAULT_SCOPES = (
 
 #: Function names allowed to construct generators from scratch.
 DERIVATION_SITES = frozenset({"child_rng", "tag_rng"})
+
+#: Path fragments held to the stricter RNG-free contract: no generator
+#: may be *constructed* here, seeded or not, and the derivation-site
+#: exemption does not apply.  The columnar kernels are deterministic
+#: functions of their input buffers (DESIGN decision 9).
+RNG_FREE_SCOPES = ("repro/engine/kernels.py",)
 
 #: Fully-resolved dotted names that are banned outright.
 _BANNED_EXACT = {
@@ -115,22 +130,31 @@ class DeterminismRule(Rule):
         "derive from child_rng/tag_rng"
     )
 
-    def __init__(self, scopes: tuple[str, ...] | None = DEFAULT_SCOPES):
+    def __init__(
+        self,
+        scopes: tuple[str, ...] | None = DEFAULT_SCOPES,
+        rng_free: tuple[str, ...] = RNG_FREE_SCOPES,
+    ):
         #: ``None`` disables scoping (fixture tests analyze bare
         #: files); an empty tuple would scope *nothing*, so tests can
         #: also narrow to a single package.
         self._scopes = scopes
+        self._rng_free = rng_free
 
     def _in_scope(self, module: ModuleInfo) -> bool:
         if self._scopes is None:
             return True
         return any(scope in module.rel_path for scope in self._scopes)
 
+    def _is_rng_free(self, module: ModuleInfo) -> bool:
+        return any(scope in module.rel_path for scope in self._rng_free)
+
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         if not self._in_scope(module):
             return
         aliases = _import_aliases(module.tree)
-        yield from self._walk(module, module.tree.body, aliases, [])
+        strict = self._is_rng_free(module)
+        yield from self._walk(module, module.tree.body, aliases, [], strict)
 
     def _walk(
         self,
@@ -138,27 +162,28 @@ class DeterminismRule(Rule):
         body: list[ast.stmt],
         aliases: dict[str, str],
         stack: list[str],
+        strict: bool,
     ) -> Iterator[Finding]:
         for statement in body:
             if isinstance(
                 statement, (ast.FunctionDef, ast.AsyncFunctionDef)
             ):
-                if statement.name in DERIVATION_SITES:
+                if statement.name in DERIVATION_SITES and not strict:
                     continue  # the sanctioned derivation site itself
                 stack.append(statement.name)
                 yield from self._walk(
-                    module, statement.body, aliases, stack
+                    module, statement.body, aliases, stack, strict
                 )
                 stack.pop()
             elif isinstance(statement, ast.ClassDef):
                 stack.append(statement.name)
                 yield from self._walk(
-                    module, statement.body, aliases, stack
+                    module, statement.body, aliases, stack, strict
                 )
                 stack.pop()
             else:
                 yield from self._check_statement(
-                    module, statement, aliases, stack
+                    module, statement, aliases, stack, strict
                 )
 
     def _check_statement(
@@ -167,6 +192,7 @@ class DeterminismRule(Rule):
         statement: ast.stmt,
         aliases: dict[str, str],
         stack: list[str],
+        strict: bool,
     ) -> Iterator[Finding]:
         symbol = enclosing_symbol(stack)
         #: An attribute chain and its base name share a start position;
@@ -177,13 +203,13 @@ class DeterminismRule(Rule):
             message: str | None = None
             report_node: ast.expr | None = None
             if isinstance(node, ast.Call):
-                message = self._default_rng_violation(node, aliases)
+                message = self._default_rng_violation(node, aliases, strict)
                 if message is not None:
                     report_node = node.func
             if message is None and isinstance(
                 node, (ast.Attribute, ast.Name)
             ):
-                message = self._violation(node, aliases)
+                message = self._violation(node, aliases, strict)
                 if message is not None:
                     report_node = node
             if message is None or report_node is None:
@@ -209,7 +235,7 @@ class DeterminismRule(Rule):
         return None
 
     def _violation(
-        self, node: ast.AST, aliases: dict[str, str]
+        self, node: ast.AST, aliases: dict[str, str], strict: bool
     ) -> str | None:
         """The invariant this reference breaks, or ``None``."""
         dotted = self._resolve(node, aliases)
@@ -221,6 +247,20 @@ class DeterminismRule(Rule):
             return (
                 f"stdlib '{dotted}' uses process-global state; derive "
                 "randomness via ExecutionContext.child_rng/tag_rng"
+            )
+        if strict and (
+            dotted == "numpy.random"
+            or (
+                dotted.startswith("numpy.random.")
+                and dotted not in _NUMPY_RANDOM_ALLOWED
+            )
+        ):
+            # The type names stay legal: accepting a Generator argument
+            # is exactly how an RNG-free kernel defers draws to callers.
+            return (
+                f"'{dotted}' in an RNG-free module: kernels are "
+                "deterministic functions of their input buffers; take a "
+                "Generator argument and keep the draw in the caller"
             )
         if (
             dotted.startswith("numpy.random.")
@@ -234,15 +274,22 @@ class DeterminismRule(Rule):
         return None
 
     def _default_rng_violation(
-        self, node: ast.Call, aliases: dict[str, str]
+        self, node: ast.Call, aliases: dict[str, str], strict: bool
     ) -> str | None:
         """Zero-argument ``default_rng()`` draws OS entropy — flag it.
 
         Seeded/coercing calls (``default_rng(rng)``,
         ``default_rng([seed, fingerprint])``) are the sanctioned idiom
-        and pass."""
+        and pass — except in RNG-free modules, where constructing any
+        generator at all is a contract violation."""
         if self._resolve(node.func, aliases) != "numpy.random.default_rng":
             return None
+        if strict:
+            return (
+                "default_rng(...) in an RNG-free module: kernels may not "
+                "construct generators, seeded or not; take a Generator "
+                "argument instead"
+            )
         if not node.args and not node.keywords:
             return (
                 "default_rng() with no seed draws OS entropy; pass a "

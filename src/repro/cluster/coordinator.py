@@ -149,6 +149,7 @@ class ClusterCoordinator:
         parallelism: Parallelism,
         *,
         seed: int = 0,
+        kernels: str = "auto",
         counters: CacheCounters | None = None,
         lock: threading.Lock | None = None,
     ) -> "ClusterSketchBackend":
@@ -157,7 +158,10 @@ class ClusterCoordinator:
         The distributed twin of
         :func:`repro.engine.parallel.build_sharded_backend`: same shard
         layout, same scan core (on the servers), same in-order fold —
-        different wall-clock.
+        different wall-clock.  ``kernels`` names the *local* kernel
+        path (delta maintenance, fallback scans); servers resolve
+        their own — kernel choice is bit-identical by contract, so it
+        never travels on the wire.
         """
         if not fidelity.is_sketch:
             raise MapError(
@@ -232,6 +236,12 @@ class ClusterCoordinator:
         with self._lock:
             self._builds += 1
             build_retries = self._shard_retries - retries_before
+        scan_kernel_nanos: dict[str, int] = {}
+        for stat in results:
+            for kernel, nanos in stat.kernel_nanos.items():
+                scan_kernel_nanos[kernel] = (
+                    scan_kernel_nanos.get(kernel, 0) + int(nanos)
+                )
         return ClusterSketchBackend(
             sharded,
             fidelity,
@@ -241,6 +251,8 @@ class ClusterCoordinator:
             frequencies=frequencies,
             shard_seconds=tuple(stat.seconds for stat in results),
             build_seconds=time.perf_counter() - started,
+            kernels=kernels,
+            kernel_nanos=scan_kernel_nanos,
             counters=counters,
             lock=lock,
             coordinator=self,

@@ -136,9 +136,13 @@ def numeric_cut_points_equiwidth(values: np.ndarray, splits: int) -> list[float]
 def numeric_cut_points_sketch(
     values: np.ndarray, splits: int, epsilon: float
 ) -> list[float]:
-    """One-pass approximate equi-depth cut points via a GK sketch (§5.1)."""
-    sketch = GKQuantileSketch(epsilon=epsilon)
-    sketch.extend(values.tolist())
+    """One-pass approximate equi-depth cut points via a GK sketch (§5.1).
+
+    Built with the canonical sorted-batch construction (one ``np.sort``
+    + :meth:`GKQuantileSketch.from_sorted`) — the values are already an
+    in-memory column, so sorting here is the whole "one pass".
+    """
+    sketch = GKQuantileSketch.from_sorted(np.sort(values), epsilon=epsilon)
     return [sketch.query(j / splits) for j in range(1, splits)]
 
 

@@ -14,6 +14,7 @@ from repro.db.ast import (
     InList,
     IsNull,
     SelectStatement,
+    WindowFunction,
 )
 from repro.db.connection import Connection, NativeConnection, SqlConnection
 from repro.db.executor import SqlExecutionError, execute
@@ -22,9 +23,11 @@ from repro.db.pushdown import (
     sql_category_histogram,
     sql_count,
     sql_cover,
+    sql_frequency_summary,
     sql_joint_distribution,
     sql_median,
     sql_numeric_range,
+    sql_quantile_summary,
     sql_region_counts,
 )
 from repro.db.sql_atlas import SqlAtlas
@@ -46,14 +49,17 @@ __all__ = [
     "SqlSyntaxError",
     "Token",
     "TokenType",
+    "WindowFunction",
     "execute",
     "parse_sql",
     "sql_category_histogram",
     "sql_count",
     "sql_cover",
+    "sql_frequency_summary",
     "sql_joint_distribution",
     "sql_median",
     "sql_numeric_range",
+    "sql_quantile_summary",
     "sql_region_counts",
     "tokenize",
 ]

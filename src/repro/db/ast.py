@@ -32,10 +32,15 @@ class Between:
 
 @dataclasses.dataclass(frozen=True)
 class InList:
-    """``column IN ('a', 'b', ...)``."""
+    """``column IN ('a', 'b', ...)`` or ``column IN (1, 2, ...)``.
+
+    String lists match categorical labels; numeric lists match numeric
+    columns (and window outputs in QUALIFY — the rank-selection form
+    of the sketch pushdowns).
+    """
 
     column: str
-    values: tuple[str, ...]
+    values: tuple[str | float, ...]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,12 +80,36 @@ class Aggregate:
 
 
 @dataclasses.dataclass(frozen=True)
+class WindowFunction:
+    """``ROW_NUMBER() OVER (ORDER BY column [DESC])`` in the select list.
+
+    The one window the sketch pushdowns need: rank rows by a numeric
+    column (or, after GROUP BY, by an aggregate alias) without pulling
+    them up.  Ties rank in input order (a stable sort), which QUALIFY
+    consumers must not depend on — the pushdowns only read *values* at
+    ranks, which tie order cannot change.
+    """
+
+    function: str  # ROW_NUMBER (the only one, for now)
+    order_by: str
+    descending: bool = False
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """Result column name."""
+        return self.alias or f"{self.function.lower()}()"
+
+
+@dataclasses.dataclass(frozen=True)
 class SelectStatement:
     """One parsed SELECT statement.
 
     ``columns`` is None for ``SELECT *``; ``aggregates`` is non-empty
     for aggregate queries (mutually exclusive with plain columns unless
-    grouping).
+    grouping).  ``windows`` adds ranking columns over the (possibly
+    grouped) result; ``qualify`` filters on them after they are
+    computed — the window analogue of WHERE.
     """
 
     table: str
@@ -89,6 +118,8 @@ class SelectStatement:
     where: tuple[Condition, ...]
     group_by: tuple[str, ...]
     limit: int | None
+    windows: tuple[WindowFunction, ...] = ()
+    qualify: tuple[Condition, ...] = ()
 
     @property
     def is_aggregate(self) -> bool:

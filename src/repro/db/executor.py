@@ -4,6 +4,12 @@ Semantics follow SQL three-valued logic collapsed to "unknown is false":
 comparisons, BETWEEN, and IN never match missing values; ``IS NULL``
 selects them explicitly.  Aggregates skip missing values except
 ``COUNT(*)``, which counts rows.
+
+Window functions run after WHERE / GROUP BY: ``ROW_NUMBER() OVER
+(ORDER BY col)`` ranks the (possibly grouped) result rows 1..n with a
+stable sort (ties keep input order; missing values rank last), and
+``QUALIFY`` filters on those ranks before projection — which is what
+lets the sketch pushdowns ship only summary rows over the wire.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.db.ast import (
     InList,
     IsNull,
     SelectStatement,
+    WindowFunction,
 )
 from repro.errors import QueryError
 
@@ -44,15 +51,96 @@ def execute(statement: SelectStatement, tables: dict[str, Table]) -> Table:
     if statement.is_aggregate:
         result = _aggregate(statement, selected)
     else:
-        if statement.columns is not None:
-            selected = selected.project(statement.columns)
         result = selected
+
+    if statement.windows:
+        result = _apply_windows(statement, result)
+
+    if not statement.is_aggregate and statement.columns is not None:
+        names = statement.columns + tuple(
+            window.output_name for window in statement.windows
+        )
+        result = result.project(names)
 
     if statement.limit is not None:
         result = result.take(
             np.arange(min(statement.limit, result.n_rows))
         )
     return result
+
+
+def _apply_windows(statement: SelectStatement, result: Table) -> Table:
+    """Rank rows, filter on QUALIFY, attach the rank columns.
+
+    The filter runs on the rank *arrays* before any column is attached,
+    so a QUALIFY that keeps O(1/ε) of a million rows never materializes
+    a million-row table with extra columns.
+    """
+    ranks = {
+        window.output_name: _row_number(window, result)
+        for window in statement.windows
+    }
+    if statement.qualify:
+        mask = np.ones(result.n_rows, dtype=bool)
+        for condition in statement.qualify:
+            mask &= _qualify_condition_mask(condition, result, ranks)
+        kept = np.nonzero(mask)[0]
+        result = result.take(kept)
+        ranks = {name: data[kept] for name, data in ranks.items()}
+    for window in statement.windows:
+        result = result.with_column(
+            NumericColumn(window.output_name, ranks[window.output_name])
+        )
+    return result
+
+
+def _row_number(window: WindowFunction, table: Table) -> np.ndarray:
+    """1-based stable ranks by the order column (missing values last)."""
+    column = table.column(window.order_by)
+    if not isinstance(column, NumericColumn):
+        raise SqlExecutionError(
+            f"ORDER BY column {window.order_by!r} must be numeric"
+        )
+    key = -column.data if window.descending else column.data
+    order = np.argsort(key, kind="stable")  # NaN sorts last either way
+    ranks = np.empty(key.size, dtype=np.float64)
+    ranks[order] = np.arange(1, key.size + 1, dtype=np.float64)
+    return ranks
+
+
+def _qualify_condition_mask(
+    condition: Condition, table: Table, ranks: dict[str, np.ndarray]
+) -> np.ndarray:
+    """QUALIFY sees window outputs first, then the result's own columns."""
+    name = getattr(condition, "column", None)
+    if name is not None and name in ranks:
+        return _array_condition_mask(condition, ranks[name])
+    return _condition_mask(condition, table)
+
+
+def _array_condition_mask(condition: Condition, data: np.ndarray) -> np.ndarray:
+    """A condition against a bare numeric array (a window output)."""
+    if isinstance(condition, IsNull):
+        missing = np.isnan(data)
+        return ~missing if condition.negated else missing
+    if isinstance(condition, Between):
+        result = (data >= condition.low) & (data <= condition.high)
+        result[np.isnan(data)] = False
+        return result
+    if isinstance(condition, InList):
+        wanted = [v for v in condition.values if isinstance(v, float)]
+        if not wanted:
+            return np.zeros(data.size, dtype=bool)
+        return np.isin(data, np.asarray(wanted, dtype=np.float64))
+    if isinstance(condition, Comparison):
+        if not isinstance(condition.value, float):
+            raise SqlExecutionError(
+                f"window output {condition.column!r} compared to a string"
+            )
+        result = _apply_operator(data, condition.value, condition.operator)
+        result[np.isnan(data)] = False
+        return result
+    raise SqlExecutionError(f"unsupported QUALIFY condition {condition!r}")
 
 
 def _where_mask(conditions: tuple[Condition, ...], table: Table) -> np.ndarray:
@@ -74,7 +162,17 @@ def _condition_mask(condition: Condition, table: Table) -> np.ndarray:
         result[np.isnan(data)] = False
         return result
     if isinstance(condition, InList):
-        column = table.categorical(condition.column)
+        column = table.column(condition.column)
+        if isinstance(column, NumericColumn):
+            members = [v for v in condition.values if isinstance(v, float)]
+            if not members:
+                return np.zeros(table.n_rows, dtype=bool)
+            # NaN never equals a member, so missing rows stay out.
+            return np.isin(column.data, np.asarray(members, dtype=np.float64))
+        if not isinstance(column, CategoricalColumn):
+            raise SqlExecutionError(
+                f"unsupported column kind for {condition.column!r}"
+            )
         wanted = {
             code
             for code, cat in enumerate(column.categories)

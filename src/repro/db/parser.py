@@ -7,15 +7,25 @@ with a clear message)::
     select    := SELECT select_list FROM identifier
                  [WHERE condition (AND condition)*]
                  [GROUP BY identifier (, identifier)*]
+                 [QUALIFY condition (AND condition)*]
                  [LIMIT number]
     select_list := '*' | item (, item)*
     item      := identifier | aggregate [AS identifier]
+               | window [AS identifier]
     aggregate := COUNT ( '*' | identifier ) | (MIN|MAX|AVG|SUM) ( identifier )
+    window    := ROW_NUMBER ( ) OVER ( ORDER BY identifier [ASC|DESC] )
     condition := TRUE | FALSE
                | identifier IS [NOT] NULL
                | identifier op literal
                | identifier BETWEEN number AND number
                | identifier IN ( literal (, literal)* )
+
+QUALIFY (the DuckDB/Snowflake idiom) filters on window outputs *after*
+they are computed — the sketch pushdowns of :mod:`repro.db.pushdown`
+use it to select summary ranks server-side, so only ``O(1/ε)`` /
+``O(capacity)`` rows ever cross the wire.  IN lists accept either
+string or number literals (numbers match numeric columns and window
+outputs).
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.db.ast import (
     InList,
     IsNull,
     SelectStatement,
+    WindowFunction,
     conjunction_of,
 )
 from repro.db.tokens import SqlSyntaxError, Token, TokenType, tokenize
@@ -75,7 +86,7 @@ class _Parser:
 
     def parse_select(self) -> SelectStatement:
         self._expect(TokenType.KEYWORD, "SELECT")
-        columns, aggregates = self._select_list()
+        columns, aggregates, windows = self._select_list()
         self._expect(TokenType.KEYWORD, "FROM")
         table = self._expect(TokenType.IDENTIFIER).value
 
@@ -88,6 +99,10 @@ class _Parser:
             self._expect(TokenType.KEYWORD, "BY")
             group_by = self._identifier_list()
 
+        qualify: tuple[Condition, ...] = ()
+        if self._accept(TokenType.KEYWORD, "QUALIFY"):
+            qualify = self._conjunction()
+
         limit: int | None = None
         if self._accept(TokenType.KEYWORD, "LIMIT"):
             token = self._expect(TokenType.NUMBER)
@@ -97,6 +112,10 @@ class _Parser:
 
         if group_by and not aggregates:
             raise SqlSyntaxError("GROUP BY requires aggregate select items")
+        if qualify and not windows:
+            raise SqlSyntaxError(
+                "QUALIFY requires a window function in the select list"
+            )
         return SelectStatement(
             table=table,
             columns=columns,
@@ -104,16 +123,25 @@ class _Parser:
             where=conjunction_of(where),
             group_by=group_by,
             limit=limit,
+            windows=tuple(windows),
+            qualify=conjunction_of(qualify),
         )
 
-    def _select_list(self) -> tuple[tuple[str, ...] | None, list[Aggregate]]:
+    def _select_list(
+        self,
+    ) -> tuple[
+        tuple[str, ...] | None, list[Aggregate], list[WindowFunction]
+    ]:
         if self._accept(TokenType.STAR):
-            return None, []
+            return None, [], []
         columns: list[str] = []
         aggregates: list[Aggregate] = []
+        windows: list[WindowFunction] = []
         while True:
             token = self._peek()
-            if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
+            if token.matches(TokenType.KEYWORD, "ROW_NUMBER"):
+                windows.append(self._window())
+            elif token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
                 aggregates.append(self._aggregate())
             elif token.type is TokenType.IDENTIFIER:
                 columns.append(self._advance().value)
@@ -123,7 +151,32 @@ class _Parser:
                 )
             if not self._accept(TokenType.PUNCTUATION, ","):
                 break
-        return (tuple(columns) if columns else None), aggregates
+        return (tuple(columns) if columns else None), aggregates, windows
+
+    def _window(self) -> WindowFunction:
+        function = self._advance().value
+        self._expect(TokenType.PUNCTUATION, "(")
+        self._expect(TokenType.PUNCTUATION, ")")
+        self._expect(TokenType.KEYWORD, "OVER")
+        self._expect(TokenType.PUNCTUATION, "(")
+        self._expect(TokenType.KEYWORD, "ORDER")
+        self._expect(TokenType.KEYWORD, "BY")
+        order_by = self._expect(TokenType.IDENTIFIER).value
+        descending = False
+        if self._accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._accept(TokenType.KEYWORD, "ASC")
+        self._expect(TokenType.PUNCTUATION, ")")
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        return WindowFunction(
+            function=function,
+            order_by=order_by,
+            descending=descending,
+            alias=alias,
+        )
 
     def _aggregate(self) -> Aggregate:
         function = self._advance().value
@@ -187,9 +240,9 @@ class _Parser:
 
         if self._accept(TokenType.KEYWORD, "IN"):
             self._expect(TokenType.PUNCTUATION, "(")
-            values = [self._string()]
+            values = [self._in_literal()]
             while self._accept(TokenType.PUNCTUATION, ","):
-                values.append(self._string())
+                values.append(self._in_literal())
             self._expect(TokenType.PUNCTUATION, ")")
             return InList(column=column, values=tuple(values))
 
@@ -209,6 +262,13 @@ class _Parser:
 
     def _string(self) -> str:
         return self._expect(TokenType.STRING).value
+
+    def _in_literal(self) -> str | float:
+        """One IN-list member: a string label or a number (rank lists)."""
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            return self._number()
+        return self._string()
 
 
 def parse_sql(text: str) -> SelectStatement:

@@ -11,7 +11,13 @@ functions compute the pipeline's measurements through that surface:
   §5.1 sketch);
 * :func:`sql_category_histogram` — label counts via GROUP BY;
 * :func:`sql_joint_distribution` — the Definition-2 joint table, one
-  COUNT per region pair plus marginals for the escape row/column.
+  COUNT per region pair plus marginals for the escape row/column;
+* :func:`sql_quantile_summary` / :func:`sql_frequency_summary` — the
+  §5.1 sketches themselves, built server-side with window functions:
+  ``ROW_NUMBER() OVER (ORDER BY ...)`` plus QUALIFY selects exactly the
+  ``O(1/ε)`` order statistics (or ``capacity + 1`` top groups) the
+  summary needs, so the sketch a remote DBMS ships is *bit-identical*
+  to the one the columnar kernels build from a local scan.
 
 Every function takes the :class:`~repro.db.connection.SqlConnection`
 whose statement log records exactly what crossed the wire.
@@ -29,6 +35,8 @@ from repro.errors import QueryError
 from repro.query.predicate import RangePredicate
 from repro.query.query import ConjunctiveQuery
 from repro.query.sql import predicate_to_sql, quote_identifier
+from repro.sketch.frequency import MisraGriesSketch
+from repro.sketch.quantile import GKQuantileSketch
 
 
 def sql_count(
@@ -198,6 +206,132 @@ def sql_joint_distribution(
         joint[k, j] = max(0.0, col_counts[j] - joint[:k, j].sum())
     joint[k, l] = max(0.0, total - joint.sum())
     return joint / total
+
+
+def sql_quantile_summary(
+    connection: SqlConnection,
+    attribute: str,
+    table_name: str,
+    region: ConjunctiveQuery | None = None,
+    epsilon: float = 0.005,
+) -> GKQuantileSketch:
+    """Build the canonical GK summary of an attribute through SQL.
+
+    Two statements: a COUNT to learn ``n``, then one window query that
+    ranks the non-null values and QUALIFYs down to the ``step =
+    max(1, floor(2εn))``-spaced ranks (plus the maximum) that
+    :meth:`~repro.sketch.quantile.GKQuantileSketch.from_sorted` would
+    keep.  Rank ``r`` is sorted position ``r - 1``, so the rebuilt
+    tuples — value, ``g`` = rank gap, ``delta = 0`` — are bit-identical
+    to a local kernel build over the same rows; ties cannot perturb
+    this because only *values at ranks* (order statistics) are read.
+    Only ``~1/(2ε)`` rows ever leave the server.
+    """
+    ident = quote_identifier(attribute)
+    table = quote_identifier(table_name)
+    counted = connection.query(
+        f"SELECT COUNT({ident}) AS n FROM {table}{_where_clause(region)}"
+    )
+    n = int(counted.numeric("n").data[0])
+    if n == 0:
+        return GKQuantileSketch(epsilon=epsilon)
+
+    step = max(1, int(math.floor(2.0 * epsilon * n)))
+    ranks = list(range(1, n + 1, step))
+    if ranks[-1] != n:
+        ranks.append(n)
+    rank_list = ", ".join(str(rank) for rank in ranks)
+    result = connection.query(
+        f"SELECT {ident}, ROW_NUMBER() OVER (ORDER BY {ident}) AS rn "
+        f"FROM {table}{_not_null_where(attribute, region)} "
+        f"QUALIFY rn IN ({rank_list})"
+    )
+    by_rank = sorted(
+        (int(row["rn"]), float(row[attribute]))
+        for row in result.head(result.n_rows)
+    )
+    tuples = []
+    previous = 0
+    for rank, value in by_rank:
+        tuples.append([value, rank - previous, 0])
+        previous = rank
+    return GKQuantileSketch.from_dict(
+        {
+            "kind": "gk_quantile",
+            "epsilon": epsilon,
+            "count": n,
+            "tuples": tuples,
+        }
+    )
+
+
+def sql_frequency_summary(
+    connection: SqlConnection,
+    attribute: str,
+    table_name: str,
+    region: ConjunctiveQuery | None = None,
+    capacity: int = 256,
+) -> MisraGriesSketch:
+    """Build the Misra–Gries summary of an attribute through SQL.
+
+    Two statements: a COUNT for the stream length, then GROUP BY with
+    ``ROW_NUMBER() OVER (ORDER BY n DESC)`` QUALIFYed to the top
+    ``capacity + 1`` groups.  Client side, the ``(capacity + 1)``-th
+    count is the reduction offset of
+    :meth:`~repro.sketch.frequency.MisraGriesSketch.extend_counts`
+    (0 when fewer groups exist); subtracting it and dropping
+    non-positive remainders rebuilds that fold bit-identically.  Tie
+    order between equal counts is irrelevant: the offset is a multiset
+    order statistic, and any group ranked past ``capacity + 1`` has a
+    count at most the offset, so it could only have contributed a
+    dropped counter.
+    """
+    ident = quote_identifier(attribute)
+    table = quote_identifier(table_name)
+    counted = connection.query(
+        f"SELECT COUNT({ident}) AS n FROM {table}{_where_clause(region)}"
+    )
+    total = int(counted.numeric("n").data[0])
+    if total == 0:
+        return MisraGriesSketch(capacity=capacity)
+
+    result = connection.query(
+        f"SELECT {ident}, COUNT(*) AS n, "
+        f"ROW_NUMBER() OVER (ORDER BY n DESC) AS rank "
+        f"FROM {table}{_not_null_where(attribute, region)} "
+        f"GROUP BY {ident} QUALIFY rank <= {capacity + 1}"
+    )
+    groups = [
+        (int(row["rank"]), str(row[attribute]), int(row["n"]))
+        for row in result.head(result.n_rows)
+    ]
+    offset = 0
+    for rank, __, count in groups:
+        if rank == capacity + 1:
+            offset = count
+    counters = {
+        label: count - offset
+        for __, label, count in groups
+        if count - offset > 0
+    }
+    return MisraGriesSketch.from_dict(
+        {
+            "kind": "misra_gries",
+            "capacity": capacity,
+            "count": total,
+            "counters": dict(sorted(counters.items())),
+        }
+    )
+
+
+def _not_null_where(attribute: str, region: ConjunctiveQuery | None) -> str:
+    """WHERE clause keeping non-null ``attribute`` rows inside a region."""
+    parts = [f"{quote_identifier(attribute)} IS NOT NULL"]
+    if region is not None:
+        parts.extend(
+            predicate_to_sql(p) for p in region.predicates if p.is_restrictive
+        )
+    return " WHERE " + " AND ".join(parts)
 
 
 def _where_clause(region: ConjunctiveQuery | None) -> str:

@@ -44,6 +44,12 @@ from repro.core.datamap import DataMap, assign_regions, covers_from_assignment
 from repro.core.information import rajski_distance, variation_of_information
 from repro.dataset.column import CategoricalColumn, NumericColumn
 from repro.dataset.table import Table
+from repro.engine.kernels import (
+    KernelTimings,
+    frequency_summary_from_codes,
+    quantile_summary,
+    resolve_kernels,
+)
 from repro.errors import MapError
 from repro.query.query import ConjunctiveQuery
 
@@ -696,6 +702,7 @@ class SketchBackend:
         counters: CacheCounters | None = None,
         lock: threading.Lock | None = None,
         sample: Table | None = None,
+        kernels: str = "auto",
     ):
         if not fidelity.is_sketch:
             raise MapError(
@@ -703,6 +710,10 @@ class SketchBackend:
             )
         self._table = table
         self._fidelity = fidelity
+        # Resolved once so the snapshot can state which path ran; a bad
+        # spec fails here, at construction, not mid-scan.
+        self._kernels = resolve_kernels(kernels)
+        self._kernel_timings = KernelTimings()  # guarded-by: _lock
         if sample is not None:
             # A prebuilt reservoir (the sharded merge of
             # :mod:`repro.engine.parallel` hands one over); the caller
@@ -887,9 +898,6 @@ class SketchBackend:
         over-weighting appends by ``table/budget`` and skewing cut
         points under distribution drift.
         """
-        from repro.sketch.frequency import MisraGriesSketch
-        from repro.sketch.quantile import GKQuantileSketch
-
         with self._lock:
             quantiles = dict(self._quantile_sketches)
             frequencies = dict(self._frequency_sketches)
@@ -900,21 +908,27 @@ class SketchBackend:
             kept = np.arange(delta_n)
         else:
             kept = np.flatnonzero(rng.random(delta_n) < rate)
+        timings = KernelTimings()
         for attribute, sketch in quantiles.items():
-            values = delta.numeric(attribute).data[kept]
-            values = values[~np.isnan(values)]
-            delta_sketch = GKQuantileSketch(epsilon=sketch.epsilon)
-            delta_sketch.extend(values.tolist())
+            delta_sketch = quantile_summary(
+                delta.numeric(attribute).data[kept],
+                sketch.epsilon,
+                kernels=self._kernels,
+                timings=timings,
+            )
             quantiles[attribute] = sketch.merge(delta_sketch)
         for attribute, sketch in frequencies.items():
             column = delta.categorical(attribute)
-            delta_sketch = MisraGriesSketch(capacity=sketch.capacity)
-            categories = list(column.categories)
-            codes = column.codes[kept]
-            delta_sketch.extend(
-                categories[code] for code in codes[codes >= 0].tolist()
+            delta_sketch = frequency_summary_from_codes(
+                column.codes[kept],
+                list(column.categories),
+                sketch.capacity,
+                kernels=self._kernels,
+                timings=timings,
             )
             frequencies[attribute] = sketch.merge(delta_sketch)
+        with self._lock:
+            self._kernel_timings.merge(timings)
         return quantiles, frequencies
 
     # ------------------------------------------------------------------ #
@@ -998,13 +1012,15 @@ class SketchBackend:
             version = self._inner.version
         if cached is not None:
             return cached
-        from repro.sketch.quantile import GKQuantileSketch
-
-        values = column.data
-        values = values[~np.isnan(values)]
-        sketch = GKQuantileSketch(epsilon=self._fidelity.epsilon)
-        sketch.extend(values.tolist())
+        timings = KernelTimings()
+        sketch = quantile_summary(
+            column.data,
+            self._fidelity.epsilon,
+            kernels=self._kernels,
+            timings=timings,
+        )
         with self._lock:
+            self._kernel_timings.merge(timings)
             if version != self._inner.version:
                 # An advance raced the build: the summary describes the
                 # pre-append reservoir.  Serve it once, never cache it.
@@ -1019,19 +1035,21 @@ class SketchBackend:
             version = self._inner.version
         if cached is not None:
             return cached
-        from repro.sketch.frequency import MisraGriesSketch
-
         if not isinstance(column, CategoricalColumn):
             raise MapError(
                 f"column {attribute!r} is {column.kind}, expected categorical"
             )
         categories = list(column.categories)
-        sketch = MisraGriesSketch(
-            capacity=max(1, min(_MG_CAPACITY, len(categories)))
+        timings = KernelTimings()
+        sketch = frequency_summary_from_codes(
+            column.codes,
+            categories,
+            max(1, min(_MG_CAPACITY, len(categories))),
+            kernels=self._kernels,
+            timings=timings,
         )
-        codes = column.codes
-        sketch.extend(categories[code] for code in codes[codes >= 0].tolist())
         with self._lock:
+            self._kernel_timings.merge(timings)
             if version != self._inner.version:
                 return sketch  # stale build (see quantile_sketch)
             return self._frequency_sketches.setdefault(attribute, sketch)
@@ -1138,6 +1156,8 @@ class SketchBackend:
                 "epsilon": self._fidelity.epsilon,
                 "quantile_sketches": len(self._quantile_sketches),
                 "frequency_sketches": len(self._frequency_sketches),
+                "kernels": self._kernels,
+                "kernel_nanos": self._kernel_timings.as_dict(),
                 "usage": dict(self.usage),
                 "hits": self.counters.hits,
                 "misses": self.counters.misses,
@@ -1150,10 +1170,12 @@ def make_backend(
     rng: np.random.Generator | int | None = None,
     counters: CacheCounters | None = None,
     lock: threading.Lock | None = None,
+    kernels: str = "auto",
 ) -> "ExactBackend | SketchBackend":
     """Construct the backend a fidelity setting asks for."""
     if fidelity.is_sketch:
         return SketchBackend(
-            table, fidelity, rng=rng, counters=counters, lock=lock
+            table, fidelity, rng=rng, counters=counters, lock=lock,
+            kernels=kernels,
         )
     return ExactBackend(table, counters=counters, lock=lock)

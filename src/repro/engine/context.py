@@ -230,6 +230,7 @@ class ExecutionContext:
                         fidelity,
                         parallelism,
                         seed=self._config.seed,
+                        kernels=self._config.kernels,
                         counters=self._kind_counters["sketch"],
                         lock=self._lock,
                     )
@@ -240,6 +241,7 @@ class ExecutionContext:
                 fidelity,
                 parallelism,
                 seed=self._config.seed,
+                kernels=self._config.kernels,
                 counters=self._kind_counters["sketch"],
                 lock=self._lock,
             )
@@ -251,6 +253,7 @@ class ExecutionContext:
                 "sketch" if fidelity.is_sketch else "exact"
             ],
             lock=self._lock,
+            kernels=self._config.kernels,
         )
 
     def stats_for(self, table: Table) -> StatsBackend:
@@ -389,6 +392,8 @@ class ExecutionContext:
             usage: dict[str, int] = {}
             instances = 0
             parallel = new_shard_aggregate()
+            kernel_nanos: dict[str, int] = {}
+            kernel_mode = ""
             for backend in backends:
                 if backend.kind != kind:
                     continue
@@ -402,6 +407,20 @@ class ExecutionContext:
                 shard_info = snapshot.get("parallel")
                 if shard_info:
                     merge_shard_info(parallel, shard_info)
+                # Sketch backends meter their columnar kernels
+                # (:mod:`repro.engine.kernels`); fold the backend-local
+                # nanoseconds so `/metrics` shows where scan time goes.
+                # Sharded backends keep their build-scan nanoseconds in
+                # the shard provenance (disjoint from the post-build
+                # delta meters at top level), so fold both.
+                for name, nanos in snapshot.get("kernel_nanos", {}).items():
+                    kernel_nanos[name] = kernel_nanos.get(name, 0) + nanos
+                if shard_info:
+                    for name, nanos in shard_info.get(
+                        "kernel_nanos", {}
+                    ).items():
+                        kernel_nanos[name] = kernel_nanos.get(name, 0) + nanos
+                kernel_mode = snapshot.get("kernels", kernel_mode)
             with self._lock:
                 hits, misses = counters.hits, counters.misses
                 hit_rate = counters.hit_rate
@@ -412,6 +431,9 @@ class ExecutionContext:
                 "hit_rate": hit_rate,
                 "usage": usage,
             }
+            if kernel_mode:
+                out[kind]["kernels"] = kernel_mode
+                out[kind]["kernel_nanos"] = kernel_nanos
             if parallel["builds"]:
                 out[kind]["parallel"] = parallel
         return out

@@ -60,6 +60,13 @@ from repro.engine.backends import (
     SketchBackend,
     table_fingerprint,
 )
+from repro.engine.kernels import (
+    KernelTimings,
+    frequency_summary_from_codes,
+    frequency_summary_from_labels,
+    quantile_summary,
+    resolve_kernels,
+)
 from repro.errors import MapError
 
 
@@ -106,6 +113,9 @@ def new_shard_aggregate() -> dict:
         "shards": 0,
         "build_seconds": 0.0,
         "shard_seconds": [],
+        #: Columnar-kernel nanoseconds summed across shard scans
+        #: (:class:`repro.engine.kernels.KernelTimings`).
+        "kernel_nanos": {},
         # Cluster provenance (zero unless a ClusterSketchBackend built):
         "cluster_builds": 0,
         "servers": 0,
@@ -128,6 +138,10 @@ def merge_shard_info(target: dict, info: dict) -> dict:
     target["shards"] += info["shards"]
     target["build_seconds"] += info["build_seconds"]
     target["shard_seconds"].extend(info["shard_seconds"])
+    for kernel, nanos in info.get("kernel_nanos", {}).items():
+        target["kernel_nanos"][kernel] = (
+            target["kernel_nanos"].get(kernel, 0) + int(nanos)
+        )
     target["cluster_builds"] += info.get(
         "cluster_builds", 1 if info.get("servers") else 0
     )
@@ -261,6 +275,9 @@ class ShardStatistics:
     frequencies: dict[str, dict]
     #: Wall-clock seconds the shard scan took (inside the worker).
     seconds: float
+    #: Columnar-kernel nanoseconds inside this scan
+    #: (:class:`repro.engine.kernels.KernelTimings` ``as_dict``).
+    kernel_nanos: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain-JSON wire form (the cluster scan response payload).
@@ -278,11 +295,17 @@ class ShardStatistics:
             "quantiles": self.quantiles,
             "frequencies": self.frequencies,
             "seconds": self.seconds,
+            "kernel_nanos": dict(self.kernel_nanos),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ShardStatistics":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        ``kernel_nanos`` defaults to empty — a pre-kernels peer's scan
+        payload (no timing block) still folds; timing is provenance,
+        not statistics.
+        """
         return cls(
             index=int(data["index"]),
             n_rows=int(data["n_rows"]),
@@ -294,6 +317,10 @@ class ShardStatistics:
                 str(k): dict(v) for k, v in data["frequencies"].items()
             },
             seconds=float(data["seconds"]),
+            kernel_nanos={
+                str(k): int(v)
+                for k, v in dict(data.get("kernel_nanos", {})).items()
+            },
         )
 
 
@@ -315,6 +342,8 @@ class _ShardWork:
     #: once in the parent from the full dictionary, so every shard
     #: sketch has the same capacity and merging is well-defined).
     categorical: tuple[tuple[str, int], ...]
+    #: Columnar-kernel spec (:data:`repro.engine.kernels.KERNEL_MODES`).
+    kernels: str = "auto"
 
 
 #: The active build recipe; set in the parent immediately before the
@@ -337,7 +366,8 @@ def scan_shard_values(
     sample_rows: bool,
     epsilon: float,
     numeric: "dict[str, np.ndarray]",
-    categorical: "tuple[tuple[str, int, list[str]], ...]",
+    categorical: "tuple[tuple[str, int, object], ...]",
+    kernels: str = "auto",
 ) -> ShardStatistics:
     """Scan one shard's raw values: uniform row sample + full sketches.
 
@@ -348,16 +378,24 @@ def scan_shard_values(
     construction rather than by parallel maintenance.
 
     ``numeric`` maps attribute → the shard's raw values (``NaN`` for
-    missing); ``categorical`` carries ``(attribute, capacity, labels)``
-    with missing values already dropped, in row order.  Every draw
-    comes from the shard's own ``(seed, "shard:<index>:<fingerprint>")``
+    missing); ``categorical`` carries ``(attribute, capacity, payload)``
+    where the payload is either a decoded label list (missing dropped,
+    row order — the cluster wire form) or a ``(codes, categories)``
+    pair of raw buffers (the local fast path; no label is decoded).
+    Both payloads build content-identical summaries.  Every draw comes
+    from the shard's own ``(seed, "shard:<index>:<fingerprint>")``
     stream, so the result depends only on the shard — not on which
     worker or server ran it.
-    """
-    from repro.sketch.frequency import MisraGriesSketch
-    from repro.sketch.quantile import GKQuantileSketch
 
+    The sketch builds run as columnar kernels
+    (:mod:`repro.engine.kernels`) under the ``kernels`` spec — a pure
+    wall-clock knob (``"numpy"`` and ``"python"`` are bit-identical by
+    contract), resolved locally and never shipped over the wire; the
+    per-kernel nanoseconds ride back in ``kernel_nanos``.
+    """
     started = time.perf_counter()
+    timings = KernelTimings()
+    mode = resolve_kernels(kernels)
     rng = tag_rng(seed, f"shard:{index}:{fingerprint}")
     if sample_rows:
         keep = min(budget_rows, n_rows)
@@ -371,15 +409,20 @@ def scan_shard_values(
 
     quantiles: dict[str, dict] = {}
     for attribute, values in numeric.items():
-        values = values[~np.isnan(values)]
-        gk = GKQuantileSketch(epsilon=epsilon)
-        gk.extend(values.tolist())
+        gk = quantile_summary(values, epsilon, kernels=mode, timings=timings)
         quantiles[attribute] = gk.to_dict()
 
     frequencies: dict[str, dict] = {}
-    for attribute, capacity, labels in categorical:
-        mg = MisraGriesSketch(capacity=capacity)
-        mg.extend(labels)
+    for attribute, capacity, payload in categorical:
+        if isinstance(payload, tuple):
+            codes, categories = payload
+            mg = frequency_summary_from_codes(
+                codes, categories, capacity, kernels=mode, timings=timings
+            )
+        else:
+            mg = frequency_summary_from_labels(
+                payload, capacity, kernels=mode, timings=timings
+            )
         frequencies[attribute] = mg.to_dict()
 
     return ShardStatistics(
@@ -389,6 +432,7 @@ def scan_shard_values(
         quantiles=quantiles,
         frequencies=frequencies,
         seconds=time.perf_counter() - started,
+        kernel_nanos=timings.as_dict(),
     )
 
 
@@ -398,25 +442,37 @@ def shard_column_values(
     high: int,
     numeric: tuple[str, ...],
     categorical: "tuple[tuple[str, int], ...]",
-) -> "tuple[dict[str, np.ndarray], tuple[tuple[str, int, list[str]], ...]]":
+    *,
+    decode_labels: bool = True,
+) -> "tuple[dict[str, np.ndarray], tuple[tuple[str, int, object], ...]]":
     """Slice a table's dimension columns into scan-core inputs.
 
-    Exactly the value streams :func:`scan_shard_values` consumes —
-    raw numeric values with ``NaN`` kept, categorical labels decoded
-    with missing dropped — used by the local workers and by the
-    coordinator when it ships a shard's columns to a server.
+    Exactly the value streams :func:`scan_shard_values` consumes — raw
+    numeric values with ``NaN`` kept, plus categorical payloads.  With
+    ``decode_labels`` (the default, and the only JSON-serializable
+    form — the coordinator ships this to shard servers) the payload is
+    the decoded label list with missing dropped, in row order; without
+    it the payload is the raw ``(codes, categories)`` buffer pair, so
+    the local worker path never decodes a label the
+    :func:`repro.engine.kernels.frequency_summary_from_codes` kernel
+    will only count.
     """
     numeric_values = {
         attribute: table.numeric(attribute).data[low:high]
         for attribute in numeric
     }
-    categorical_values = []
+    categorical_values: list[tuple[str, int, object]] = []
     for attribute, capacity in categorical:
         column = table.categorical(attribute)
         categories = list(column.categories)
         codes = column.codes[low:high]
-        labels = [categories[code] for code in codes[codes >= 0].tolist()]
-        categorical_values.append((attribute, capacity, labels))
+        if decode_labels:
+            labels = [categories[code] for code in codes[codes >= 0].tolist()]
+            categorical_values.append((attribute, capacity, labels))
+        else:
+            categorical_values.append(
+                (attribute, capacity, (codes, categories))
+            )
     return numeric_values, tuple(categorical_values)
 
 
@@ -433,7 +489,8 @@ def _build_shard(index: int) -> ShardStatistics:
         raise MapError("no shard work is staged")
     low, high = work.bounds[index]
     numeric, categorical = shard_column_values(
-        work.table, low, high, work.numeric, work.categorical
+        work.table, low, high, work.numeric, work.categorical,
+        decode_labels=False,
     )
     return scan_shard_values(
         index=index,
@@ -446,6 +503,7 @@ def _build_shard(index: int) -> ShardStatistics:
         epsilon=work.epsilon,
         numeric=numeric,
         categorical=categorical,
+        kernels=work.kernels,
     )
 
 
@@ -617,6 +675,7 @@ def build_sharded_backend(
     parallelism: Parallelism,
     *,
     seed: int = 0,
+    kernels: str = "auto",
     counters: CacheCounters | None = None,
     lock: threading.Lock | None = None,
 ) -> "ShardedSketchBackend":
@@ -650,6 +709,7 @@ def build_sharded_backend(
         epsilon=fidelity.epsilon,
         numeric=numeric,
         categorical=categorical,
+        kernels=kernels,
     )
     global _WORK
     with _WORK_LOCK:
@@ -673,6 +733,9 @@ def build_sharded_backend(
             np.sort(sample),
             name=f"{table.name}_shardsketch{fidelity.budget_rows}",
         )
+    scan_timings = KernelTimings()
+    for shard in results:
+        scan_timings.merge(shard.kernel_nanos)
     return ShardedSketchBackend(
         sharded,
         fidelity,
@@ -682,6 +745,8 @@ def build_sharded_backend(
         frequencies=frequencies,
         shard_seconds=tuple(shard.seconds for shard in results),
         build_seconds=time.perf_counter() - started,
+        kernels=kernels,
+        kernel_nanos=scan_timings.as_dict(),
         counters=counters,
         lock=lock,
     )
@@ -723,12 +788,14 @@ class ShardedSketchBackend(SketchBackend):
         frequencies: dict[str, object],
         shard_seconds: tuple[float, ...] = (),
         build_seconds: float = 0.0,
+        kernels: str = "auto",
+        kernel_nanos: "dict[str, int] | None" = None,
         counters: CacheCounters | None = None,
         lock: threading.Lock | None = None,
     ):
         super().__init__(
             sharded.table, fidelity,
-            counters=counters, lock=lock, sample=sample,
+            counters=counters, lock=lock, sample=sample, kernels=kernels,
         )
         self._sharded = sharded
         self._parallelism = parallelism
@@ -736,6 +803,9 @@ class ShardedSketchBackend(SketchBackend):
         self._frequency_sketches = dict(frequencies)
         self._shard_seconds = tuple(float(s) for s in shard_seconds)
         self._build_seconds = float(build_seconds)
+        #: Kernel nanoseconds summed across the build's shard scans
+        #: (distinct from the parent's post-build delta timings).
+        self._scan_kernel_nanos = dict(kernel_nanos or {})
 
     @property
     def sharded_table(self) -> ShardedTable:
@@ -784,5 +854,6 @@ class ShardedSketchBackend(SketchBackend):
                 "shards": self._sharded.n_shards,
                 "build_seconds": self._build_seconds,
                 "shard_seconds": list(self._shard_seconds),
+                "kernel_nanos": dict(self._scan_kernel_nanos),
             }
         return out

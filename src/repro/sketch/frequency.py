@@ -6,11 +6,22 @@ side of a split, without materializing a full histogram.  Guarantees:
 with capacity ``k``, any label occurring more than ``n / (k + 1)`` times
 is retained, and every reported count under-estimates the true count by
 at most ``n / (k + 1)``.
+
+Batch construction: :meth:`extend` counts the whole batch first
+(``collections.Counter`` — one C-speed pass) and folds the counts in
+with the Agarwal et al. merge reduction (:meth:`extend_counts`),
+instead of running the per-item decrement loop ``n`` times.  An exact
+batch histogram is an error-free summary of the batch, so each fold
+keeps the combined under-count within ``n_total / (capacity + 1)`` —
+the same contract as item-at-a-time insertion, with (documented)
+different retained counters.  :meth:`insert` remains the classic
+per-item update for true streaming.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections import Counter
+from collections.abc import Iterable, Mapping
 
 from repro.errors import SketchError
 
@@ -60,9 +71,46 @@ class MisraGriesSketch:
             del counters[key]
 
     def extend(self, items: Iterable[str]) -> None:
-        """Insert many items."""
-        for item in items:
-            self.insert(item)
+        """Insert many items via one batch count + fold.
+
+        Equivalent to merging in an exact histogram of the batch
+        (:meth:`extend_counts`): one ``Counter`` pass replaces ``n``
+        per-item decrement rounds, keeping the Misra–Gries under-count
+        bound over the combined stream.
+        """
+        self.extend_counts(Counter(items))
+
+    def extend_counts(self, counts: Mapping[str, int]) -> None:
+        """Fold exact batch counts into the summary (merge reduction).
+
+        ``counts`` is an exact item → occurrences histogram of a scan
+        block (a ``Counter``, or per-category ``np.bincount`` totals
+        from a columnar kernel).  Counters are added, then — when more
+        than ``capacity`` remain — every counter is reduced by the
+        ``(capacity + 1)``-th largest combined count and non-positive
+        remainders are dropped, exactly the :meth:`merge` rule with an
+        error-free right-hand side.
+        """
+        total = 0
+        counters = self._counters
+        for item, count in counts.items():
+            count = int(count)
+            if count < 0:
+                raise SketchError(
+                    f"batch counts must be >= 0, got {count} for {item!r}"
+                )
+            if count == 0:
+                continue
+            total += count
+            counters[item] = counters.get(item, 0) + count
+        self._count += total
+        if len(counters) > self._capacity:
+            offset = sorted(counters.values(), reverse=True)[self._capacity]
+            self._counters = {
+                item: count - offset
+                for item, count in counters.items()
+                if count - offset > 0
+            }
 
     def merge(self, other: "MisraGriesSketch") -> "MisraGriesSketch":
         """Combine two summaries (Agarwal et al., mergeable summaries).
@@ -81,6 +129,14 @@ class MisraGriesSketch:
                 "cannot merge sketches of different capacities "
                 f"({self._capacity} vs {other.capacity})"
             )
+        if not other._counters and not other._count:
+            # Empty other (every empty trailing shard of a degenerate
+            # layout merges one): the combined dict is this sketch's
+            # counters verbatim, so skip the rebuild and reduction.
+            merged = MisraGriesSketch(capacity=self._capacity)
+            merged._counters = dict(self._counters)
+            merged._count = self._count
+            return merged
         combined: dict[str, int] = dict(self._counters)
         for item, count in other._counters.items():
             combined[item] = combined.get(item, 0) + count

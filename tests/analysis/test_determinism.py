@@ -206,3 +206,102 @@ def test_inline_suppression_moves_finding_aside(analyze):
     assert report.findings == []
     assert len(report.suppressed) == 1
     assert report.ok
+
+
+class TestRngFreeScope:
+    """The stricter kernels contract: no generator construction at all."""
+
+    KERNEL_PATH = "src/repro/engine/kernels.py"
+
+    def test_seeded_default_rng_flagged_in_kernels(self, findings_of):
+        found = _run(
+            findings_of,
+            """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed)
+            """,
+            rel_path=self.KERNEL_PATH,
+        )
+        assert len(found) == 1
+        assert "RNG-free" in found[0].message
+
+    def test_same_code_passes_elsewhere_in_engine(self, findings_of):
+        found = _run(
+            findings_of,
+            """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed)
+            """,
+            rel_path="src/repro/engine/score.py",
+        )
+        assert found == []
+
+    def test_derivation_site_exemption_withdrawn(self, findings_of):
+        found = _run(
+            findings_of,
+            """
+            import numpy as np
+
+            def tag_rng(seed, tag):
+                return np.random.default_rng([seed, tag])
+            """,
+            rel_path=self.KERNEL_PATH,
+        )
+        assert len(found) == 1
+        assert "RNG-free" in found[0].message
+
+    def test_generator_annotations_stay_legal(self, findings_of):
+        found = _run(
+            findings_of,
+            """
+            import numpy as np
+
+            def shuffle_block(block, rng: np.random.Generator):
+                return rng.permutation(block)
+            """,
+            rel_path=self.KERNEL_PATH,
+        )
+        assert found == []
+
+    def test_monotonic_timing_stays_legal(self, findings_of):
+        found = _run(
+            findings_of,
+            """
+            import time
+
+            def metered(fn):
+                start = time.perf_counter_ns()
+                fn()
+                return time.perf_counter_ns() - start
+            """,
+            rel_path=self.KERNEL_PATH,
+        )
+        assert found == []
+
+    def test_legacy_api_message_upgraded(self, findings_of):
+        found = _run(
+            findings_of,
+            """
+            import numpy as np
+
+            def noisy():
+                return np.random.rand()
+            """,
+            rel_path=self.KERNEL_PATH,
+        )
+        assert len(found) == 1
+        assert "RNG-free" in found[0].message
+
+    def test_real_kernels_module_is_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.runner import Analyzer
+
+        root = Path(__file__).resolve().parents[2]
+        kernels = root / "src" / "repro" / "engine" / "kernels.py"
+        report = Analyzer(rules=[DeterminismRule()]).run([kernels])
+        assert report.findings == []

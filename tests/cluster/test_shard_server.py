@@ -63,6 +63,7 @@ def comparable(statistics: ShardStatistics) -> dict:
     """Everything deterministic about a scan (timing dropped)."""
     out = statistics.to_dict()
     out.pop("seconds")
+    out.pop("kernel_nanos")
     return out
 
 

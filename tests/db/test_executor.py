@@ -180,3 +180,76 @@ class TestGroupBy:
             tables,
         )
         assert result.n_rows == 1
+
+
+class TestWindows:
+    def test_row_number_ranks_stably(self, tables):
+        result = _run(
+            "SELECT score, ROW_NUMBER() OVER (ORDER BY score) AS rn "
+            "FROM people",
+            tables,
+        )
+        assert list(result.numeric("rn").data) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_descending_ranks(self, tables):
+        result = _run(
+            "SELECT score, ROW_NUMBER() OVER (ORDER BY score DESC) AS rn "
+            "FROM people",
+            tables,
+        )
+        assert list(result.numeric("rn").data) == [5.0, 4.0, 3.0, 2.0, 1.0]
+
+    def test_missing_values_rank_last(self, tables):
+        result = _run(
+            "SELECT age, ROW_NUMBER() OVER (ORDER BY age) AS rn FROM people",
+            tables,
+        )
+        ranks = dict(zip(result.numeric("age").data, result.numeric("rn").data))
+        assert ranks[20.0] == 1.0 and ranks[60.0] == 4.0
+        assert result.numeric("rn").data[2] == 5.0  # the None row
+
+    def test_qualify_filters_on_rank(self, tables):
+        result = _run(
+            "SELECT score, ROW_NUMBER() OVER (ORDER BY score) AS rn "
+            "FROM people QUALIFY rn IN (1, 3, 5)",
+            tables,
+        )
+        assert list(result.numeric("score").data) == [1.0, 3.0, 5.0]
+
+    def test_qualify_sees_result_columns_too(self, tables):
+        result = _run(
+            "SELECT score, ROW_NUMBER() OVER (ORDER BY score) AS rn "
+            "FROM people QUALIFY rn <= 4 AND score > 2",
+            tables,
+        )
+        assert list(result.numeric("score").data) == [3.0, 4.0]
+
+    def test_qualify_after_group_by(self, tables):
+        result = _run(
+            "SELECT sex, COUNT(*) AS n, "
+            "ROW_NUMBER() OVER (ORDER BY n DESC) AS rank "
+            "FROM people GROUP BY sex QUALIFY rank <= 1",
+            tables,
+        )
+        assert result.n_rows == 1
+
+    def test_window_on_non_numeric_rejected(self, tables):
+        with pytest.raises(SqlExecutionError, match="numeric"):
+            _run(
+                "SELECT ROW_NUMBER() OVER (ORDER BY sex) FROM people",
+                tables,
+            )
+
+    def test_numeric_in_list_on_column(self, tables):
+        result = _run(
+            "SELECT score FROM people WHERE score IN (1, 4)", tables
+        )
+        assert list(result.numeric("score").data) == [1.0, 4.0]
+
+    def test_window_with_limit_applies_last(self, tables):
+        result = _run(
+            "SELECT score, ROW_NUMBER() OVER (ORDER BY score DESC) AS rn "
+            "FROM people QUALIFY rn <= 3 LIMIT 2",
+            tables,
+        )
+        assert result.n_rows == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.db.ast import Between, Comparison, InList, IsNull
+from repro.db.ast import Between, Comparison, InList, IsNull, WindowFunction
 from repro.db.parser import parse_sql
 from repro.db.tokens import SqlSyntaxError
 
@@ -99,3 +99,60 @@ class TestWhere:
     def test_missing_literal_rejected(self):
         with pytest.raises(SqlSyntaxError, match="literal"):
             parse_sql("SELECT * FROM t WHERE x >")
+
+
+class TestWindows:
+    def test_row_number_over_order_by(self):
+        statement = parse_sql(
+            'SELECT "Age", ROW_NUMBER() OVER (ORDER BY "Age") AS rn FROM t'
+        )
+        window = statement.windows[0]
+        assert window == WindowFunction(
+            "ROW_NUMBER", "Age", descending=False, alias="rn"
+        )
+        assert window.output_name == "rn"
+
+    def test_descending_order(self):
+        statement = parse_sql(
+            "SELECT ROW_NUMBER() OVER (ORDER BY n DESC) FROM t"
+        )
+        window = statement.windows[0]
+        assert window.descending is True
+        assert window.output_name == "row_number()"
+
+    def test_explicit_ascending(self):
+        statement = parse_sql(
+            "SELECT ROW_NUMBER() OVER (ORDER BY n ASC) FROM t"
+        )
+        assert statement.windows[0].descending is False
+
+    def test_qualify_conjunction(self):
+        statement = parse_sql(
+            "SELECT x, ROW_NUMBER() OVER (ORDER BY x) AS rn FROM t "
+            "QUALIFY rn <= 10 AND rn > 2"
+        )
+        assert len(statement.qualify) == 2
+
+    def test_qualify_without_window_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="QUALIFY"):
+            parse_sql("SELECT x FROM t QUALIFY x <= 10")
+
+    def test_qualify_after_group_by(self):
+        statement = parse_sql(
+            "SELECT c, COUNT(*) AS n, "
+            "ROW_NUMBER() OVER (ORDER BY n DESC) AS rank "
+            "FROM t GROUP BY c QUALIFY rank <= 3"
+        )
+        assert statement.group_by == ("c",)
+        assert statement.qualify[0] == Comparison("rank", "<=", 3.0)
+
+    def test_numeric_in_list(self):
+        statement = parse_sql(
+            "SELECT x, ROW_NUMBER() OVER (ORDER BY x) AS rn FROM t "
+            "QUALIFY rn IN (1, 3, 5)"
+        )
+        assert statement.qualify[0] == InList("rn", (1.0, 3.0, 5.0))
+
+    def test_window_missing_order_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="ORDER"):
+            parse_sql("SELECT ROW_NUMBER() OVER (x) FROM t")

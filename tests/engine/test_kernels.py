@@ -1,0 +1,225 @@
+"""The columnar kernel layer: resolution, timing, degenerate shapes,
+and kernel-mode invisibility across execution venues."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
+from repro.datagen import census_table
+from repro.engine.context import ExecutionContext
+from repro.engine.kernels import (
+    KernelTimings,
+    frequency_summary_from_codes,
+    frequency_summary_from_labels,
+    quantile_summary,
+    resolve_kernels,
+    sorted_clean_values,
+)
+from repro.engine.parallel import (
+    ShardedTable,
+    _sketch_attributes,
+    scan_shard_values,
+    shard_column_values,
+)
+from repro.engine.pipeline import Pipeline
+from repro.errors import ConfigError
+from repro.evaluation import map_set_fingerprint
+
+
+class TestResolve:
+    def test_auto_prefers_numpy(self):
+        assert resolve_kernels("auto") == "numpy"
+
+    def test_explicit_modes_honored(self):
+        assert resolve_kernels("numpy") == "numpy"
+        assert resolve_kernels("python") == "python"
+
+    def test_bad_spec_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="kernels"):
+            resolve_kernels("cython")
+
+    def test_config_validates_the_knob(self):
+        with pytest.raises(ConfigError, match="kernels"):
+            AtlasConfig(kernels="bogus")
+
+    def test_config_serde_round_trips_the_knob(self):
+        config = AtlasConfig(kernels="python")
+        assert AtlasConfig.from_dict(config.to_dict()).kernels == "python"
+
+
+class TestTimings:
+    def test_add_and_as_dict(self):
+        timings = KernelTimings()
+        timings.add("gk_build", 100)
+        timings.add("gk_build", 50)
+        assert timings.as_dict() == {"gk_build": 150}
+        assert timings.calls["gk_build"] == 2
+
+    def test_merge_block_and_dict(self):
+        left = KernelTimings()
+        left.add("sort_clean", 10)
+        right = KernelTimings()
+        right.add("sort_clean", 5)
+        right.add("mg_build", 7)
+        left.merge(right)
+        left.merge({"mg_build": 3})
+        assert left.as_dict() == {"sort_clean": 15, "mg_build": 10}
+
+    def test_kernels_meter_into_the_block(self):
+        timings = KernelTimings()
+        quantile_summary([3.0, 1.0, 2.0], 0.1, timings=timings)
+        assert set(timings.nanos) == {"sort_clean", "gk_build"}
+        assert all(nanos >= 0 for nanos in timings.nanos.values())
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("mode", ["numpy", "python"])
+    def test_all_nan_column(self, mode):
+        values = [float("nan")] * 10
+        assert len(sorted_clean_values(values, kernels=mode)) == 0
+        assert quantile_summary(values, 0.01, kernels=mode).count == 0
+
+    @pytest.mark.parametrize("mode", ["numpy", "python"])
+    def test_empty_column(self, mode):
+        assert len(sorted_clean_values([], kernels=mode)) == 0
+        assert quantile_summary([], 0.01, kernels=mode).count == 0
+        sketch = frequency_summary_from_codes([], ["a"], 4, kernels=mode)
+        assert sketch.count == 0
+
+    @pytest.mark.parametrize("mode", ["numpy", "python"])
+    def test_single_row(self, mode):
+        sketch = quantile_summary([42.0], 0.01, kernels=mode)
+        assert sketch.count == 1
+        assert sketch.median() == 42.0
+
+    @pytest.mark.parametrize("mode", ["numpy", "python"])
+    def test_all_missing_codes(self, mode):
+        sketch = frequency_summary_from_codes(
+            [-1, -1, -1], ["a", "b"], 4, kernels=mode
+        )
+        assert sketch.count == 0 and sketch.heavy_hitters() == {}
+
+    def test_empty_labels(self):
+        assert frequency_summary_from_labels([], 4).count == 0
+
+
+class TestShardScanDifferential:
+    """scan_shard_values with numpy vs python kernels, via the real
+    shard slicing (raw code buffers on the local path)."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return census_table(n_rows=900, seed=11)
+
+    def scan(self, table, shard, kernels, n_shards=3):
+        sharded = ShardedTable(table, n_shards)
+        numeric, categorical = _sketch_attributes(table)
+        low, high = sharded.bounds[shard]
+        numeric_values, categorical_values = shard_column_values(
+            table, low, high, numeric, categorical, decode_labels=False
+        )
+        return scan_shard_values(
+            index=shard, low=low, n_rows=high - low,
+            seed=5, fingerprint=b"test", budget_rows=300, sample_rows=True,
+            epsilon=0.01, numeric=numeric_values,
+            categorical=categorical_values, kernels=kernels,
+        )
+
+    def comparable(self, statistics) -> dict:
+        out = statistics.to_dict()
+        out.pop("seconds")
+        out.pop("kernel_nanos")
+        return out
+
+    def test_scan_statistics_identical_across_kernels(self, table):
+        for shard in range(3):
+            by_numpy = self.scan(table, shard, "numpy")
+            by_python = self.scan(table, shard, "python")
+            assert self.comparable(by_numpy) == self.comparable(by_python)
+
+    def test_scan_meters_kernels(self, table):
+        statistics = self.scan(table, 0, "numpy")
+        assert set(statistics.kernel_nanos) >= {"sort_clean", "gk_build"}
+
+    def test_empty_shard(self, table):
+        numeric, categorical = _sketch_attributes(table)
+        numeric_values, categorical_values = shard_column_values(
+            table, 0, 0, numeric, categorical, decode_labels=False
+        )
+        for mode in ("numpy", "python"):
+            statistics = scan_shard_values(
+                index=0, low=0, n_rows=0, seed=5, fingerprint=b"t",
+                budget_rows=100, sample_rows=True, epsilon=0.01,
+                numeric=numeric_values, categorical=categorical_values,
+                kernels=mode,
+            )
+            assert statistics.sample.size == 0
+
+    def test_single_row_table(self):
+        table = census_table(n_rows=1, seed=2)
+        numeric, categorical = _sketch_attributes(table)
+        numeric_values, categorical_values = shard_column_values(
+            table, 0, 1, numeric, categorical, decode_labels=False
+        )
+        scans = [
+            scan_shard_values(
+                index=0, low=0, n_rows=1, seed=5, fingerprint=b"t",
+                budget_rows=100, sample_rows=True, epsilon=0.01,
+                numeric=numeric_values, categorical=categorical_values,
+                kernels=mode,
+            )
+            for mode in ("numpy", "python")
+        ]
+        assert self.comparable(scans[0]) == self.comparable(scans[1])
+
+
+class TestVenueInvisibility:
+    """Kernel mode never shows in answers — serial or parallel."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return census_table(n_rows=1500, seed=7)
+
+    def answer(self, table, kernels, workers):
+        config = AtlasConfig(
+            fidelity=Fidelity.sketch(budget_rows=600),
+            parallelism=Parallelism(workers=workers, shards=4),
+            kernels=kernels,
+            seed=3,
+        )
+        context = ExecutionContext(table, config)
+        answer = Pipeline.default().run(None, context)
+        return map_set_fingerprint(answer), context
+
+    def test_fingerprints_identical_across_modes_and_workers(self, table):
+        prints = set()
+        for kernels in ("numpy", "python"):
+            for workers in (1, 2):
+                fingerprint, _ = self.answer(table, kernels, workers)
+                prints.add(fingerprint)
+        assert len(prints) == 1
+
+    def test_snapshot_names_mode_and_meters(self, table):
+        _, context = self.answer(table, "numpy", 1)
+        snapshot = context.backend_snapshot()["sketch"]
+        assert snapshot["kernels"] == "numpy"
+        assert snapshot["kernel_nanos"]
+        assert all(
+            isinstance(nanos, int) and nanos >= 0
+            for nanos in snapshot["kernel_nanos"].values()
+        )
+
+    def test_exact_backend_stays_kernel_free(self, table):
+        # The exact backend computes full-table statistics directly —
+        # no sketches, so no kernel layer.  Its snapshot must not claim
+        # a kernel mode; that provenance belongs to sketch scans only.
+        config = AtlasConfig(kernels="numpy", seed=3)
+        context = ExecutionContext(table, config)
+        Pipeline.default().run(None, context)
+        snapshot = context.backend_snapshot()["exact"]
+        assert "kernels" not in snapshot
+        assert "kernel_nanos" not in snapshot

@@ -1,0 +1,117 @@
+"""Differential properties: numpy kernels vs the pure-Python reference.
+
+The kernel layer's load-bearing promise (DESIGN decision 9) is that
+``kernels="numpy"`` and ``kernels="python"`` produce *bit-identical*
+sketch contents — which is what lets the knob stay out of cache keys
+and the cluster wire protocol.  Hypothesis drives both implementations
+with the same inputs (NaN mixed in, degenerate shapes included) and
+compares full serialized forms, not summaries of them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels import (
+    frequency_summary_from_codes,
+    frequency_summary_from_labels,
+    quantile_summary,
+    sorted_clean_values,
+)
+
+values_with_nan = st.lists(
+    st.one_of(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        st.just(float("nan")),
+    ),
+    min_size=0,
+    max_size=500,
+)
+epsilons = st.sampled_from([0.005, 0.01, 0.05, 0.2])
+CATEGORIES = ["alpha", "beta", "gamma", "delta", "epsilon"]
+code_blocks = st.lists(
+    st.integers(-1, len(CATEGORIES) - 1), min_size=0, max_size=500
+)
+
+
+class TestSortCleanDifferential:
+    @given(values=values_with_nan)
+    @settings(max_examples=80, deadline=None)
+    def test_same_clean_values_same_order(self, values):
+        by_numpy = sorted_clean_values(values, kernels="numpy")
+        by_python = sorted_clean_values(values, kernels="python")
+        assert [float(v) for v in by_numpy] == by_python
+
+    @given(values=values_with_nan)
+    @settings(max_examples=40, deadline=None)
+    def test_missing_mask_agrees(self, values):
+        # The NaN count the fused kernel folds the mask into.
+        by_numpy = sorted_clean_values(values, kernels="numpy")
+        expected = sum(1 for v in values if not np.isnan(v))
+        assert len(by_numpy) == expected
+
+
+class TestQuantileDifferential:
+    @given(values=values_with_nan, epsilon=epsilons)
+    @settings(max_examples=80, deadline=None)
+    def test_bit_identical_summaries(self, values, epsilon):
+        by_numpy = quantile_summary(values, epsilon, kernels="numpy")
+        by_python = quantile_summary(values, epsilon, kernels="python")
+        assert by_numpy.to_dict() == by_python.to_dict()
+
+    @given(values=st.lists(st.floats(-1e6, 1e6, allow_nan=False),
+                           min_size=2, max_size=300),
+           epsilon=epsilons)
+    @settings(max_examples=40, deadline=None)
+    def test_merged_shard_summaries_identical(self, values, epsilon):
+        # Shard the stream, build per-shard, merge — both modes must
+        # agree tuple-for-tuple after the merge too (the parallel and
+        # cluster fold path).
+        half = len(values) // 2
+        merged = {}
+        for mode in ("numpy", "python"):
+            left = quantile_summary(values[:half], epsilon, kernels=mode)
+            right = quantile_summary(values[half:], epsilon, kernels=mode)
+            merged[mode] = left.merge(right).to_dict()
+        assert merged["numpy"] == merged["python"]
+
+
+class TestFrequencyDifferential:
+    @given(codes=code_blocks, capacity=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_bit_identical_counters(self, codes, capacity):
+        by_numpy = frequency_summary_from_codes(
+            codes, CATEGORIES, capacity, kernels="numpy"
+        )
+        by_python = frequency_summary_from_codes(
+            codes, CATEGORIES, capacity, kernels="python"
+        )
+        assert by_numpy.to_dict() == by_python.to_dict()
+
+    @given(codes=code_blocks, capacity=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_codes_and_labels_paths_content_identical(self, codes, capacity):
+        # The wire path (a shard server owns decoded labels) must build
+        # the same summary as the local raw-buffer path — this is what
+        # keeps cluster scans bit-identical to local scans.
+        from_codes = frequency_summary_from_codes(
+            codes, CATEGORIES, capacity, kernels="numpy"
+        )
+        labels = [CATEGORIES[code] for code in codes if code >= 0]
+        from_labels = frequency_summary_from_labels(labels, capacity)
+        assert from_codes.to_dict() == from_labels.to_dict()
+
+    @given(codes=code_blocks, capacity=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_merged_shard_counters_identical(self, codes, capacity):
+        half = len(codes) // 2
+        merged = {}
+        for mode in ("numpy", "python"):
+            left = frequency_summary_from_codes(
+                codes[:half], CATEGORIES, capacity, kernels=mode
+            )
+            right = frequency_summary_from_codes(
+                codes[half:], CATEGORIES, capacity, kernels=mode
+            )
+            merged[mode] = left.merge(right).to_dict()
+        assert merged["numpy"] == merged["python"]
