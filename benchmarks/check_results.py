@@ -14,6 +14,14 @@ measurement to this script, which diffs it against the committed
   (``cpu_count >= workers``); a 1-core runner cannot exhibit
   multi-core speedup and skips the wall-clock comparison, never the
   correctness gates.
+* **Service gates (E23):** payloads without a ``speedup`` figure are
+  the async-frontend saturation runs.  Their gates are behavioural,
+  not wall-clock, so they bind on any host: zero protocol errors
+  across every offered load, rate-limited tenants shed with 429 +
+  ``Retry-After``, the light tenant's contended p90 within
+  ``FAIRNESS_P90_RATIO`` of its solo run, and deadline-exceeded
+  requests stopping *between* pipeline stages (boundary proof
+  present).
 
 Usage::
 
@@ -41,6 +49,9 @@ RATIO = 0.8
 #: capable runner must instead clear this absolute floor, which a
 #: serial execution cannot reach.
 ABSOLUTE_FLOOR = 1.15
+#: E23 fairness bar: a light tenant's contended p90 may be at most
+#: this multiple of its solo p90 while a rate-limited tenant is shed.
+FAIRNESS_P90_RATIO = 2.0
 
 
 def load(path: Path) -> dict:
@@ -56,9 +67,75 @@ def committed_baselines(results_dir: Path) -> dict[str, dict]:
     for path in sorted(results_dir.glob("*.json")):
         payload = load(path)
         experiment = payload.get("experiment")
-        if experiment and "speedup" in payload:
+        if experiment:
             baselines[experiment] = payload
     return baselines
+
+
+def check_service(fresh: dict, committed: dict) -> list[str]:
+    """Gate a service-saturation (E23-style) smoke payload.
+
+    All gates are behavioural, so they bind on any host: the smoke
+    fleets are smaller than the committed 64–256-client runs, but a
+    protocol error, a missing Retry-After, a starved light tenant, or
+    a deadline that failed to stop between stages is a regression at
+    any scale.
+    """
+    failures: list[str] = []
+    experiment = fresh.get("experiment", "?")
+
+    protocol_errors = fresh.get("protocol_errors")
+    if protocol_errors != 0:
+        failures.append(
+            f"{experiment}: {protocol_errors!r} protocol errors "
+            "(every request must complete or be shed with a typed "
+            "rejection)"
+        )
+
+    fairness = fresh.get("fairness", {})
+    if not fairness.get("heavy_429s", 0):
+        failures.append(
+            f"{experiment}: the rate limiter never fired — the heavy "
+            "tenant was not shed"
+        )
+    if not fairness.get("retry_after_present", False):
+        failures.append(
+            f"{experiment}: a 429 arrived without a Retry-After header"
+        )
+    p90_ratio = fairness.get("p90_ratio")
+    if p90_ratio is None or p90_ratio > FAIRNESS_P90_RATIO:
+        failures.append(
+            f"{experiment}: light-tenant contended p90 is "
+            f"{p90_ratio!r}x its solo p90 (bar: "
+            f"{FAIRNESS_P90_RATIO}x, committed "
+            f"{committed.get('fairness', {}).get('p90_ratio')}x)"
+        )
+
+    deadline = fresh.get("deadline", {})
+    if not deadline.get("stopped_between_stages", False):
+        failures.append(
+            f"{experiment}: deadline-exceeded request lost its "
+            "between-stages boundary proof "
+            f"(detail: {deadline!r})"
+        )
+    if not deadline.get("generous_deadline_completed", False):
+        failures.append(
+            f"{experiment}: a generous deadline failed the request"
+        )
+
+    if not failures:
+        loads = ", ".join(
+            f"{row.get('clients')}c/p99={row.get('p99_ms')}ms"
+            for row in fresh.get("loads", [])
+        )
+        print(
+            f"{experiment}: 0 protocol errors; fairness p90 ratio "
+            f"{p90_ratio:.2f}x <= {FAIRNESS_P90_RATIO}x; "
+            f"{fairness.get('heavy_429s')} 429s all with Retry-After; "
+            f"deadline stopped before {deadline.get('next_stage')!r} "
+            f"[{loads}]"
+        )
+    return failures
 
 
 def check(fresh: dict, committed: dict, ratio: float) -> list[str]:
@@ -66,6 +143,8 @@ def check(fresh: dict, committed: dict, ratio: float) -> list[str]:
 
     Returns failure messages (empty = pass).
     """
+    if "speedup" not in committed:
+        return check_service(fresh, committed)
     failures: list[str] = []
     experiment = fresh.get("experiment", "?")
 

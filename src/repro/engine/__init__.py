@@ -33,6 +33,7 @@ from repro.engine.backends import (
     query_fingerprint,
     table_fingerprint,
 )
+from repro.engine.cancel import CancelToken, PipelineCancelled
 from repro.engine.context import ExecutionContext
 from repro.engine.parallel import (
     ParallelExecutor,
@@ -71,6 +72,7 @@ __all__ = [
     "CANONICAL_STAGES",
     "CATEGORICAL_ORDERS",
     "CacheCounters",
+    "CancelToken",
     "CandidateStage",
     "ClusteringStage",
     "ExactBackend",
@@ -83,6 +85,7 @@ __all__ = [
     "NUMERIC_CUTS",
     "ParallelExecutor",
     "Pipeline",
+    "PipelineCancelled",
     "PipelineState",
     "RankingStage",
     "ScopeStage",

@@ -1,0 +1,134 @@
+"""Cooperative cancellation for pipeline runs.
+
+The paper's quasi-real-time contract cuts both ways: a service must
+answer fast, and it must *stop spending* on a request whose client has
+already given up.  Preemption is off the table — stages hold shared
+locks and feed shared memo caches, so killing a thread mid-stage could
+poison every later request on the same context.  Instead cancellation
+is cooperative and happens at stage boundaries, the one place where the
+pipeline's shared state is guaranteed consistent:
+
+* a :class:`CancelToken` carries an explicit cancel flag and/or a
+  monotonic deadline;
+* :meth:`~repro.engine.pipeline.Pipeline.run` checks the token *between
+  stages* (never mid-stage), so a cancelled run leaves its
+  :class:`~repro.engine.context.ExecutionContext` exactly as consistent
+  as a completed one — everything memoized so far stays valid and
+  serves the next request;
+* the raised :class:`PipelineCancelled` records how many stages
+  completed and which stage was about to run, so callers (and the E23
+  benchmark) can *prove* the run stopped at a boundary.
+
+Tokens are thread-safe: the requesting thread (or an HTTP frontend
+noticing a dropped connection) may call :meth:`CancelToken.cancel`
+while a worker thread is inside a stage; the worker observes it at the
+next boundary.  Deadlines use :func:`time.monotonic`, never wall-clock
+(rule R1 keeps the engine free of wall-clock reads; monotonic is the
+sanctioned latency clock).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import AtlasError
+
+
+class PipelineCancelled(AtlasError):
+    """A pipeline run stopped cooperatively at a stage boundary.
+
+    ``stages_completed`` counts fully finished stages; ``next_stage``
+    names the stage that was about to run when the token fired.
+    Together they prove the run never stopped *inside* a stage.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "cancelled",
+        stages_completed: int = 0,
+        next_stage: str | None = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.stages_completed = stages_completed
+        self.next_stage = next_stage
+
+
+class CancelToken:
+    """A cancel flag plus an optional monotonic deadline.
+
+    One token belongs to one pipeline run (tokens are never shared
+    across runs — an :class:`~repro.engine.context.ExecutionContext`
+    *is* shared, which is exactly why the token travels separately).
+    """
+
+    def __init__(self, deadline: float | None = None):
+        self._event = threading.Event()
+        #: Absolute :func:`time.monotonic` deadline, or ``None``.
+        self._deadline = deadline
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancelToken":
+        """A token that expires ``seconds`` from now (monotonic)."""
+        return cls(deadline=time.monotonic() + float(seconds))
+
+    def cancel(self) -> None:
+        """Request cancellation; observed at the next stage boundary."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline (if any) has passed."""
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    @property
+    def deadline(self) -> float | None:
+        """The absolute monotonic deadline, or ``None``."""
+        return self._deadline
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (clamped at 0), or ``None``."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def fire_reason(self) -> str | None:
+        """Why the token has fired (``"cancelled"``/``"deadline"``), or
+        ``None`` while the run may keep going."""
+        if self._event.is_set():
+            return "cancelled"
+        if self.expired:
+            return "deadline"
+        return None
+
+    def check(
+        self, *, stages_completed: int = 0, next_stage: str | None = None
+    ) -> None:
+        """Raise :class:`PipelineCancelled` if the token has fired.
+
+        Called by :meth:`Pipeline.run` between stages with the current
+        stage counter, so the raised error carries boundary proof.
+        """
+        reason = self.fire_reason()
+        if reason is None:
+            return
+        what = (
+            "deadline expired" if reason == "deadline" else "run cancelled"
+        )
+        where = (
+            f"before stage {next_stage!r}" if next_stage else "before any stage"
+        )
+        raise PipelineCancelled(
+            f"{what} {where} ({stages_completed} stage(s) completed)",
+            reason=reason,
+            stages_completed=stages_completed,
+            next_stage=next_stage,
+        )

@@ -92,6 +92,11 @@ class ExecutionContext:
         self._stats: dict[int, StatsBackend] = {}  # guarded-by: _lock
         self._transient_stats: StatsBackend | None = None  # guarded-by: _lock
         self._scopes: dict[ConjunctiveQuery, Table] = {}  # guarded-by: _lock
+        # Per-thread cancellation slot: a context is shared by many
+        # concurrent runs, so the active CancelToken is thread-local
+        # (installed by Pipeline.run around its stage loop) rather than
+        # a context-wide field.
+        self._cancel_slots = threading.local()
 
     @property
     def table(self) -> Table:
@@ -124,6 +129,36 @@ class ExecutionContext:
             return CacheCounters(
                 hits=sum(c.hits for c in self._kind_counters.values()),
                 misses=sum(c.misses for c in self._kind_counters.values()),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Cooperative cancellation
+    # ------------------------------------------------------------------ #
+
+    def install_cancel(self, token: "object | None") -> None:
+        """Install this thread's active :class:`~repro.engine.cancel.
+        CancelToken` (or ``None`` to clear it).
+
+        Called by :meth:`~repro.engine.pipeline.Pipeline.run` around its
+        stage loop; long-running cooperative code reached from a stage
+        may consult :meth:`check_cancelled` through the same context.
+        """
+        self._cancel_slots.token = token
+
+    @property
+    def active_cancel(self) -> "object | None":
+        """The calling thread's installed cancel token, if any."""
+        return getattr(self._cancel_slots, "token", None)
+
+    def check_cancelled(
+        self, *, stages_completed: int = 0, next_stage: str | None = None
+    ) -> None:
+        """Raise :class:`~repro.engine.cancel.PipelineCancelled` if this
+        thread's run has been cancelled or passed its deadline."""
+        token = self.active_cancel
+        if token is not None:
+            token.check(
+                stages_completed=stages_completed, next_stage=next_stage
             )
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,7 @@ from collections.abc import Iterator, Sequence
 from repro.core.clustering import MapClustering
 from repro.core.datamap import DataMap
 from repro.core.ranking import RankedMap
+from repro.engine.cancel import CancelToken
 from repro.engine.context import ExecutionContext
 from repro.engine.stages import PipelineState, Stage, default_stages
 from repro.errors import MapError
@@ -140,19 +141,42 @@ class Pipeline:
         self,
         query: ConjunctiveQuery | None,
         context: ExecutionContext,
+        cancel: "CancelToken | None" = None,
     ) -> MapSet:
-        """Drive ``query`` through every stage and assemble the answer."""
+        """Drive ``query`` through every stage and assemble the answer.
+
+        ``cancel`` is an optional :class:`~repro.engine.cancel.
+        CancelToken`; it is checked cooperatively *between* stages (the
+        one place shared context state is guaranteed consistent), so a
+        fired token raises :class:`~repro.engine.cancel.
+        PipelineCancelled` carrying the count of completed stages and
+        the name of the stage that never ran — and the context remains
+        as reusable as after a completed run.  The token is also
+        installed thread-locally on the context for the duration of the
+        run, so cooperative code deeper in a stage may poll
+        :meth:`~repro.engine.context.ExecutionContext.check_cancelled`.
+        """
         state = PipelineState(query=query if query is not None else ConjunctiveQuery())
         # Captured before the stages run: an append racing this run may
         # surface newer rows, never older ones, so the stamped version
         # is a lower bound on the data the answer reflects.
         version = context.version
         seconds: dict[str, float] = {}
-        for stage in self._stages:
-            started = time.perf_counter()
-            stage.run(state, context)
-            elapsed = time.perf_counter() - started
-            seconds[stage.name] = seconds.get(stage.name, 0.0) + elapsed
+        if cancel is not None:
+            context.install_cancel(cancel)
+        try:
+            for index, stage in enumerate(self._stages):
+                if cancel is not None:
+                    cancel.check(
+                        stages_completed=index, next_stage=stage.name
+                    )
+                started = time.perf_counter()
+                stage.run(state, context)
+                elapsed = time.perf_counter() - started
+                seconds[stage.name] = seconds.get(stage.name, 0.0) + elapsed
+        finally:
+            if cancel is not None:
+                context.install_cancel(None)
         timings = StageTimings(
             sampling=seconds.pop("sampling", 0.0),
             candidates=seconds.pop("candidates", 0.0),

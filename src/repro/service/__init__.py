@@ -22,8 +22,15 @@ Layers, bottom up:
 * :mod:`repro.service.sources` — table sources: in-memory tables,
   :mod:`repro.datagen` generator specs, and :mod:`repro.db`
   connections, all served through one endpoint.
+* :mod:`repro.service.tenancy` — per-tenant API keys, token-bucket
+  rate limits, and the fairness-aware admission ledger.
+* :mod:`repro.service.history` — the persistent per-request journal
+  behind ``/history``.
 * :mod:`repro.service.service` — the :class:`ExplorationService` core.
-* :mod:`repro.service.server` — the ``http.server`` frontend.
+* :mod:`repro.service.server` — the threaded ``http.server`` frontend
+  (the compatibility surface).
+* :mod:`repro.service.async_server` — the event-loop frontend
+  (:class:`AsyncServiceServer`) and :class:`AsyncServiceClient`.
 * :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
 
 Quickstart::
@@ -39,23 +46,33 @@ Quickstart::
         print(answer.map_set.best.describe())
 """
 
+from repro.service.async_server import (
+    AsyncServiceClient,
+    AsyncServiceServer,
+    serve_async,
+)
 from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient
+from repro.service.history import QueryHistory
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
     AppendRequest,
     AppendResponse,
+    AuthError,
+    DeadlineExceededError,
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
+    RateLimitError,
     RemoteServiceError,
     ServiceError,
     UnknownTableError,
 )
 from repro.service.server import ServiceServer, serve
 from repro.service.service import ExplorationService
+from repro.service.tenancy import Tenant, TenantRegistry, TokenBucket
 from repro.service.sources import (
     TABLE_GENERATORS,
     ConnectionSource,
@@ -68,13 +85,19 @@ __all__ = [
     "AdmissionError",
     "AppendRequest",
     "AppendResponse",
+    "AsyncServiceClient",
+    "AsyncServiceServer",
+    "AuthError",
     "ConnectionSource",
+    "DeadlineExceededError",
     "ExplorationService",
     "ExploreRequest",
     "ExploreResponse",
     "InMemorySource",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "QueryHistory",
+    "RateLimitError",
     "RemoteServiceError",
     "ResultCache",
     "ServiceClient",
@@ -83,7 +106,11 @@ __all__ = [
     "ServiceServer",
     "TABLE_GENERATORS",
     "TableSource",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
     "UnknownTableError",
     "build_table",
     "serve",
+    "serve_async",
 ]

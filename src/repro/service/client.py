@@ -12,13 +12,16 @@ and region drill-down code is oblivious to the wire.
 Typed failures: the server's error payload is resurrected into the
 matching :class:`~repro.service.protocol.ServiceError` subclass, and
 admission-control rejections can be retried transparently with
-``explore(..., retry_busy=N)`` (linear backoff — the server answers
-429 in microseconds, so a short sleep is enough).
+``explore(..., retry_busy=N)`` — linear backoff starting at one full
+``busy_backoff`` step, with a small deterministic jitter so clients
+rejected together do not retry in lockstep, raised to the server's
+``retry_after`` hint when the rejection carries one.
 """
 
 from __future__ import annotations
 
 import time
+import urllib.parse
 
 from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.query.query import ConjunctiveQuery
@@ -33,12 +36,49 @@ from repro.service.protocol import (
 )
 from repro.service.transport import HttpTransport
 
+#: Golden-ratio conjugate: attempt numbers map to well-spread phases in
+#: [0, 1), giving repeatable jitter without any RNG.
+_JITTER_STRIDE = 0.6180339887498949
+
+
+def retry_delay(
+    attempt: int, busy_backoff: float, error: AdmissionError
+) -> float:
+    """Seconds to sleep before busy-retry number ``attempt`` (>= 1).
+
+    The base is ``busy_backoff * attempt`` — the multiplier starts at 1,
+    so the *first* retry already waits a full step (an earlier build
+    multiplied by the pre-increment attempt count and slept 0s, turning
+    the first "retry" into an immediate hammer on a saturated server).
+    A deterministic jitter of up to 25% spreads retries without RNG,
+    and the server's ``retry_after`` hint, when present, is a floor —
+    retrying earlier than the server asked can never succeed.
+    """
+    delay = busy_backoff * max(1, attempt)
+    delay *= 1.0 + 0.25 * ((attempt * _JITTER_STRIDE) % 1.0)
+    hint = getattr(error, "detail", {}).get("retry_after")
+    if isinstance(hint, (int, float)) and not isinstance(hint, bool):
+        delay = max(delay, float(hint))
+    return delay
+
 
 class ServiceClient:
-    """Blocking JSON-over-HTTP access to an :class:`ExplorationService`."""
+    """Blocking JSON-over-HTTP access to an :class:`ExplorationService`.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``api_key`` authenticates every request as one tenant (sent as the
+    ``X-Api-Key`` header); leave it ``None`` against servers that still
+    accept anonymous callers.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        api_key: str | None = None,
+    ):
         self._transport = HttpTransport(base_url, timeout=timeout)
+        self._headers = {"X-Api-Key": api_key} if api_key else None
 
     @property
     def base_url(self) -> str:
@@ -46,7 +86,7 @@ class ServiceClient:
         return self._transport.base_url
 
     def close(self) -> None:
-        """Close the calling thread's persistent connection."""
+        """Close every persistent connection this client holds."""
         self._transport.close()
 
     # ------------------------------------------------------------------ #
@@ -71,6 +111,22 @@ class ServiceClient:
     def metrics(self) -> dict:
         """The server's metrics snapshot."""
         return self._request("GET", "/metrics")
+
+    def history(
+        self,
+        limit: int = 50,
+        *,
+        tenant: str | None = None,
+        status: str | None = None,
+    ) -> list[dict]:
+        """Recent request-journal entries, newest first."""
+        query = {"limit": str(limit)}
+        if tenant is not None:
+            query["tenant"] = tenant
+        if status is not None:
+            query["status"] = status
+        path = "/history?" + urllib.parse.urlencode(query)
+        return self._request("GET", path)["history"]
 
     def register_table(self, generator: str, **params: object) -> str:
         """Register a generated table; returns its served name.
@@ -106,6 +162,7 @@ class ServiceClient:
         *,
         fidelity: "str | Fidelity | None" = None,
         parallelism: "str | Parallelism | int | None" = None,
+        deadline_seconds: float | None = None,
         retry_busy: int = 0,
         busy_backoff: float = 0.05,
     ) -> ExploreResponse:
@@ -119,9 +176,12 @@ class ServiceClient:
         :class:`Fidelity`); ``parallelism`` asks for multi-core
         statistics builds (``"parallel:4"``, a :class:`Parallelism`,
         or a worker count — the server charges the request that many
-        admission slots).  On a 429 rejection the call retries up to
-        ``retry_busy`` times, sleeping ``busy_backoff * attempt``
-        seconds between tries.
+        admission slots).  ``deadline_seconds`` bounds server-side
+        work: a run still going when it expires is cancelled at the
+        next stage boundary and answered with a 504
+        :class:`~repro.service.protocol.DeadlineExceededError`.  On a
+        429 rejection the call retries up to ``retry_busy`` times,
+        sleeping :func:`retry_delay` seconds between tries.
         """
         if isinstance(query, ConjunctiveQuery):
             query = query.to_dict()
@@ -136,6 +196,7 @@ class ServiceClient:
         request = ExploreRequest(
             table=table, query=query, config=config, use_cache=use_cache,
             fidelity=fidelity, parallelism=parallelism,
+            deadline_seconds=deadline_seconds,
         )
         attempt = 0
         while True:
@@ -144,11 +205,11 @@ class ServiceClient:
                     "POST", "/explore", request.to_dict()
                 )
                 return ExploreResponse.from_dict(payload)
-            except AdmissionError:
+            except AdmissionError as error:
                 if attempt >= retry_busy:
                     raise
                 attempt += 1
-                time.sleep(busy_backoff * attempt)
+                time.sleep(retry_delay(attempt, busy_backoff, error))
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -157,7 +218,9 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload: dict | None = None
     ) -> dict:
-        return self._transport.request(method, path, payload)
+        return self._transport.request(
+            method, path, payload, headers=self._headers
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ServiceClient {self.base_url}>"

@@ -62,6 +62,8 @@ class ServiceMetrics:
             "completed": 0,      # answered by running the pipeline
             "cache_hits": 0,     # answered from the result cache
             "rejected": 0,       # shed by admission control (429)
+            "rate_limited": 0,   # shed by a tenant's own limit (429)
+            "deadline_exceeded": 0,  # cancelled between stages (504)
             "failed": 0,         # raised any other error
             "appends": 0,        # streaming append batches applied
         }

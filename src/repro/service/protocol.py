@@ -40,10 +40,20 @@ PROTOCOL_VERSION = 1
 
 
 class ServiceError(AtlasError):
-    """Base of every service-layer failure; knows its HTTP face."""
+    """Base of every service-layer failure; knows its HTTP face.
+
+    ``detail`` is an optional JSON-ready dict of structured context
+    that survives the wire round trip — e.g. a 429's ``retry_after``
+    seconds, or a 504's ``stages_completed`` boundary proof — so
+    clients can react programmatically instead of parsing messages.
+    """
 
     status = 500
     code = "internal"
+
+    def __init__(self, message: str = "", *, detail: dict | None = None):
+        super().__init__(message)
+        self.detail: dict = dict(detail) if detail else {}
 
 
 class ProtocolError(ServiceError):
@@ -71,6 +81,40 @@ class AdmissionError(ServiceError):
 
     status = 429
     code = "busy"
+
+
+class RateLimitError(AdmissionError):
+    """A tenant exceeded *its own* limit (rate or in-flight cap).
+
+    Still HTTP 429 — and still caught by ``except AdmissionError:`` and
+    the client's busy-retry — but the distinct code tells a client "you
+    are over your limit" rather than "the service is full".  ``detail``
+    carries ``retry_after`` seconds; the HTTP frontends surface it as a
+    ``Retry-After`` header.
+    """
+
+    status = 429
+    code = "rate_limited"
+
+
+class AuthError(ServiceError):
+    """The request's API key is missing or unknown (HTTP 401)."""
+
+    status = 401
+    code = "unauthorized"
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline fired before its pipeline finished (504).
+
+    The pipeline stops *cooperatively between stages* (see
+    :mod:`repro.engine.cancel`), so ``detail`` proves where:
+    ``stages_completed`` fully ran, ``next_stage`` never started, and
+    every statistic memoized so far remains valid for later requests.
+    """
+
+    status = 504
+    code = "deadline_exceeded"
 
 
 class RemoteServiceError(ServiceError):
@@ -114,6 +158,7 @@ class StaleShardError(ServiceError):
 _ERROR_CODES: dict[str, type[ServiceError]] = {
     cls.code: cls
     for cls in (ProtocolError, UnknownTableError, AdmissionError,
+                RateLimitError, AuthError, DeadlineExceededError,
                 RemoteServiceError, ShardUnavailableError, StaleShardError)
 }
 
@@ -134,6 +179,7 @@ def _known_error_types() -> dict[str, type[Exception]]:
         if isinstance(obj, type) and issubclass(obj, AtlasError):
             types[name] = obj
     for cls in (ProtocolError, UnknownTableError, AdmissionError,
+                RateLimitError, AuthError, DeadlineExceededError,
                 RemoteServiceError, ShardUnavailableError,
                 StaleShardError, ServiceError):
         types[cls.__name__] = cls
@@ -153,7 +199,7 @@ def error_to_dict(error: Exception) -> dict:
         status, code = 400, "bad_request"
     else:
         status, code = 500, "internal"
-    return {
+    payload: dict = {
         "error": {
             "status": status,
             "code": code,
@@ -161,6 +207,10 @@ def error_to_dict(error: Exception) -> dict:
             "type": type(error).__name__,
         }
     }
+    detail = getattr(error, "detail", None)
+    if detail:
+        payload["error"]["detail"] = dict(detail)
+    return payload
 
 
 def error_from_payload(payload: dict, status: int) -> Exception:
@@ -170,13 +220,17 @@ def error_from_payload(payload: dict, status: int) -> Exception:
     exception (so remote parse/config/query failures raise exactly what
     a local call would); otherwise the generic ``code`` mapping applies.
     """
-    detail = payload.get("error", {}) if isinstance(payload, dict) else {}
-    code = detail.get("code", "internal")
-    message = detail.get("message", f"server returned HTTP {status}")
-    cls = _ERROR_TYPES.get(detail.get("type"))
+    wire = payload.get("error", {}) if isinstance(payload, dict) else {}
+    code = wire.get("code", "internal")
+    message = wire.get("message", f"server returned HTTP {status}")
+    cls = _ERROR_TYPES.get(wire.get("type"))
     if cls is None:
         cls = _ERROR_CODES.get(code, RemoteServiceError)
-    return cls(message)
+    error = cls(message)
+    detail = wire.get("detail")
+    if isinstance(error, ServiceError) and isinstance(detail, dict):
+        error.detail = detail
+    return error
 
 
 # ---------------------------------------------------------------------- #
@@ -335,6 +389,11 @@ class ExploreRequest:
     use_cache: bool = True
     fidelity: str | None = None
     parallelism: str | None = None
+    #: Seconds the server may spend before the run is cancelled
+    #: cooperatively between pipeline stages (``None`` = no deadline).
+    #: Never part of the result-cache key: a deadline changes whether
+    #: an answer arrives, not what the answer is.
+    deadline_seconds: float | None = None
 
     def to_dict(self) -> dict:
         out: dict = {"table": self.table, "use_cache": self.use_cache}
@@ -346,6 +405,8 @@ class ExploreRequest:
             out["fidelity"] = self.fidelity
         if self.parallelism is not None:
             out["parallelism"] = self.parallelism
+        if self.deadline_seconds is not None:
+            out["deadline_seconds"] = self.deadline_seconds
         return out
 
     @classmethod
@@ -378,6 +439,20 @@ class ExploreRequest:
                 "'parallelism' must be a spec string like 'serial' or "
                 f"'parallel:4', got {type(parallelism).__name__}"
             )
+        deadline = data.get("deadline_seconds")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ):
+                raise ProtocolError(
+                    "'deadline_seconds' must be a positive number, got "
+                    f"{type(deadline).__name__}"
+                )
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ProtocolError(
+                    f"'deadline_seconds' must be > 0, got {deadline}"
+                )
         return cls(
             table=table,
             query=query,
@@ -385,6 +460,7 @@ class ExploreRequest:
             use_cache=bool(data.get("use_cache", True)),
             fidelity=fidelity,
             parallelism=parallelism,
+            deadline_seconds=deadline,
         )
 
     def resolve_query(self) -> ConjunctiveQuery:

@@ -12,19 +12,25 @@ POST   /tables     register a generated table (a ``build_table`` spec)
 POST   /explore    run one exploration (an ``ExploreRequest`` payload)
 POST   /append     append rows to a table (an ``AppendRequest`` payload)
 GET    /metrics    counters, cache stats, per-stage latency percentiles
+GET    /history    recent request journal (``?limit=&tenant=&status=``)
 ====== =========== ====================================================
 
 Errors travel as the symmetric JSON payload of
-:func:`~repro.service.protocol.error_to_dict`; admission-control
-rejections answer ``429`` with a ``Retry-After`` hint.  The server is a
-``ThreadingHTTPServer``: each connection gets a thread, and the
-*service* bounds actual pipeline concurrency through its worker pool.
+:func:`~repro.service.protocol.error_to_dict`; admission-control and
+rate-limit rejections answer ``429`` with a ``Retry-After`` hint taken
+from the rejection's ``detail``.  API keys arrive in the ``X-Api-Key``
+header.  The server is a ``ThreadingHTTPServer``: each connection gets
+a thread, and the *service* bounds actual pipeline concurrency through
+its worker pool — this frontend remains the compatibility surface next
+to the event-loop :class:`~repro.service.async_server.
+AsyncServiceServer`.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.protocol import (
@@ -36,6 +42,7 @@ from repro.service.protocol import (
     error_to_dict,
 )
 from repro.service.service import ExplorationService
+from repro.service.tenancy import retry_after_header
 
 #: Largest accepted request body; exploration payloads are tiny, so
 #: anything bigger is a client bug or abuse.
@@ -64,33 +71,48 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service: ExplorationService = self.server.service
+        path, _, raw_query = self.path.partition("?")
         try:
-            if self.path == "/health":
+            if path == "/health":
                 self._send(200, {"status": "ok", "protocol": PROTOCOL_VERSION})
-            elif self.path == "/tables":
+            elif path == "/tables":
                 self._send(200, {"tables": service.describe_tables()})
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 self._send(200, service.metrics())
+            elif path == "/history":
+                params = urllib.parse.parse_qs(raw_query)
+                try:
+                    limit = int(params.get("limit", ["50"])[0])
+                except ValueError as exc:
+                    raise ProtocolError("'limit' must be an integer") from exc
+                entries = service.history_entries(
+                    limit,
+                    tenant=params.get("tenant", [None])[0],
+                    status=params.get("status", [None])[0],
+                )
+                self._send(200, {"history": entries})
             else:
                 self._send(404, {"error": {
                     "status": 404, "code": "not_found",
-                    "message": f"no route {self.path!r}",
+                    "message": f"no route {path!r}",
                     "type": "ProtocolError",
                 }})
-        except Exception as error:  # pragma: no cover - defensive
+        except Exception as error:
             self._send_error_payload(error)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         service: ExplorationService = self.server.service
         try:
             payload = self._read_json()
+            api_key = self.headers.get("X-Api-Key")
             if self.path == "/explore":
                 request = ExploreRequest.from_dict(payload)
-                response = service.handle(request)
+                response = service.handle(request, api_key=api_key)
                 self._send(200, response.to_dict())
             elif self.path == "/append":
                 append = AppendRequest.from_dict(payload)
-                self._send(200, service.handle_append(append).to_dict())
+                acknowledged = service.handle_append(append, api_key=api_key)
+                self._send(200, acknowledged.to_dict())
             elif self.path == "/tables":
                 if not isinstance(payload, dict):
                     raise ProtocolError(
@@ -133,8 +155,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        if status == 429:
-            self.send_header("Retry-After", "0")
+        if status in (429, 503):
+            detail = payload.get("error", {}).get("detail", {})
+            try:
+                hint = float(detail.get("retry_after", 0.0))
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                hint = 0.0
+            self.send_header("Retry-After", retry_after_header(hint))
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()

@@ -13,10 +13,23 @@ into a multi-client system:
   by the deterministic query fingerprint already used for per-query RNG
   derivation (plus table and config), so repeated traffic costs a
   dictionary lookup.
-* **Bounded concurrency.**  Pipeline runs execute on a fixed worker
-  pool; admission control bounds queued work and sheds the excess with
-  a fast :class:`~repro.service.protocol.AdmissionError` (HTTP 429)
-  instead of letting latency grow without bound.
+* **Bounded concurrency, fairly shared.**  Pipeline runs execute on a
+  fixed worker pool; admission control bounds in-flight work *per
+  tenant* (:class:`~repro.service.tenancy.AdmissionLedger`) and sheds
+  the excess with a fast :class:`~repro.service.protocol.AdmissionError`
+  (HTTP 429) instead of letting latency grow without bound.
+* **Tenancy.**  Requests resolve to a :class:`~repro.service.tenancy.
+  Tenant` (by API key over HTTP, by name in process); each tenant can
+  carry a token-bucket rate limit and an in-flight cap, so one noisy
+  key cannot starve the rest — unauthenticated traffic maps to the
+  unlimited anonymous tenant and behaves exactly as before.
+* **Deadlines.**  A request may carry ``deadline_seconds``; the run is
+  cancelled cooperatively *between* pipeline stages
+  (:mod:`repro.engine.cancel`) and answers 504 with proof of where it
+  stopped — shared contexts stay consistent by construction.
+* **History.**  Every request leaves a status-tracked row in the
+  :class:`~repro.service.history.QueryHistory` journal (optionally
+  file-backed, surviving restarts), served at ``/history``.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from threading import Lock
 from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.dataset.table import Table
 from repro.db.connection import Connection
+from repro.engine.cancel import CancelToken, PipelineCancelled
 from repro.engine.context import (
     ExecutionContext,
     order_sensitive_key,
@@ -39,20 +53,24 @@ from repro.engine.parallel import merge_shard_info, new_shard_aggregate
 from repro.engine.pipeline import Pipeline
 from repro.query.query import ConjunctiveQuery
 from repro.service.cache import ResultCache
+from repro.service.history import QueryHistory
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
     AppendRequest,
     AppendResponse,
+    DeadlineExceededError,
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
+    RateLimitError,
     ServiceError,
     UnknownTableError,
     apply_config_overrides,
     resolve_query_payload,
 )
+from repro.service.tenancy import AdmissionLedger, Tenant, TenantRegistry
 from repro.service.sources import (
     ConnectionSource,
     InMemorySource,
@@ -61,7 +79,7 @@ from repro.service.sources import (
 )
 
 
-def result_cache_key(  # cache-key-of: ExploreRequest (exempt: use_cache)
+def result_cache_key(  # cache-key-of: ExploreRequest (exempt: use_cache, deadline_seconds)
     table: str,
     generation: int,
     version: int,
@@ -93,7 +111,9 @@ def result_cache_key(  # cache-key-of: ExploreRequest (exempt: use_cache)
     Rule R4 (atlas-lint) holds this builder to ``ExploreRequest``'s
     field set: a result-affecting request field that never reaches
     this function is reported at parse time.  ``use_cache`` is exempt
-    — it controls whether the cache is consulted, not what is stored.
+    — it controls whether the cache is consulted, not what is stored —
+    and so is ``deadline_seconds``: a deadline decides whether an
+    answer arrives, never which answer it is.
     """
     return (
         table,
@@ -104,6 +124,17 @@ def result_cache_key(  # cache-key-of: ExploreRequest (exempt: use_cache)
         query_fingerprint(query),
         order_sensitive_key(query),
     )
+
+
+def _history_query_text(query: "str | dict | ConjunctiveQuery | None") -> str | None:
+    """A compact, human-readable history rendering of a query payload."""
+    if query is None:
+        return None
+    if isinstance(query, str):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return query.describe_inline()
+    return str(query)
 
 
 class ExplorationService:
@@ -127,6 +158,16 @@ class ExplorationService:
         applied on top of it.
     pipeline:
         Stage composition to run; defaults to the Section-3 pipeline.
+    tenants:
+        :class:`~repro.service.tenancy.Tenant` definitions to register
+        up front (more can be added via :meth:`register_tenant`).
+    require_api_key:
+        Reject unauthenticated requests with 401 instead of mapping
+        them to the anonymous tenant.
+    history:
+        A :class:`~repro.service.history.QueryHistory`, a database
+        path (making the journal survive restarts), or ``None`` for a
+        fresh in-memory journal.
     """
 
     def __init__(
@@ -138,6 +179,9 @@ class ExplorationService:
         max_contexts: int = 32,
         config: AtlasConfig | None = None,
         pipeline: Pipeline | None = None,
+        tenants: "tuple[Tenant, ...] | list[Tenant] | None" = None,
+        require_api_key: bool = False,
+        history: "QueryHistory | str | None" = None,
     ):
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -155,8 +199,14 @@ class ExplorationService:
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
         self._max_inflight = max_workers + max_queue_depth
-        self._pending = 0  # guarded-by: _admission
-        self._admission = Lock()
+        self._tenants = TenantRegistry(require_api_key=require_api_key)
+        for tenant in tenants or ():
+            self._tenants.register(tenant)
+        self._admission = AdmissionLedger(self._max_inflight)
+        if isinstance(history, QueryHistory):
+            self._history = history
+        else:
+            self._history = QueryHistory(history or ":memory:")
         self._registry = Lock()
         self._sources: dict[str, TableSource] = {}  # guarded-by: _registry
         self._tables: dict[str, Table] = {}  # guarded-by: _registry
@@ -171,7 +221,6 @@ class ExplorationService:
             OrderedDict()
         )  # guarded-by: _registry
         self._max_contexts = max_contexts
-        self._closed = False  # guarded-by: _admission
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -276,6 +325,40 @@ class ExplorationService:
                     return table, self._generations.get(name, 0)
 
     # ------------------------------------------------------------------ #
+    # Tenancy and history
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_inflight(self) -> int:
+        """Total admission slots (``max_workers + max_queue_depth``)."""
+        return self._max_inflight
+
+    def register_tenant(self, tenant: Tenant) -> Tenant:
+        """Add (or replace) a tenant definition; returns it."""
+        return self._tenants.register(tenant)
+
+    def resolve_tenant(
+        self, tenant: str | None = None, api_key: str | None = None
+    ) -> Tenant:
+        """The principal a request runs as (401 on unknown keys)."""
+        return self._tenants.resolve(tenant=tenant, api_key=api_key)
+
+    @property
+    def history(self) -> QueryHistory:
+        """The per-request status journal behind ``/history``."""
+        return self._history
+
+    def history_entries(
+        self,
+        limit: int = 50,
+        *,
+        tenant: str | None = None,
+        status: str | None = None,
+    ) -> list[dict]:
+        """Recent history rows (what ``GET /history`` returns)."""
+        return self._history.recent(limit, tenant=tenant, status=status)
+
+    # ------------------------------------------------------------------ #
     # Shared execution contexts
     # ------------------------------------------------------------------ #
 
@@ -329,6 +412,10 @@ class ExplorationService:
         use_cache: bool = True,
         fidelity: "str | Fidelity | None" = None,
         parallelism: "str | Parallelism | int | None" = None,
+        *,
+        tenant: str | None = None,
+        api_key: str | None = None,
+        deadline_seconds: float | None = None,
     ) -> ExploreResponse:
         """Answer one query; the in-process twin of ``POST /explore``.
 
@@ -342,23 +429,108 @@ class ExplorationService:
         for: admission control charges it ``min(workers, capacity)``
         in-flight slots, so concurrent clients cannot stack more
         sharded builds than the host has cores to give.
+
+        ``tenant``/``api_key`` name the principal (in-process callers
+        pass the tenant name; HTTP frontends forward the ``X-Api-Key``
+        header); the tenant's token bucket, in-flight cap, and the
+        fairness reservation are all enforced here.
+        ``deadline_seconds`` bounds the run: past it, the pipeline is
+        cancelled cooperatively *between stages* and the call raises
+        :class:`DeadlineExceededError` whose ``detail`` proves where it
+        stopped.
         """
         self._metrics.count("received")
+        if self._admission.closed:
+            raise ServiceError("service is shut down")
+        principal = self._resolve_checked(tenant, api_key)
+        entry = self._history.record(
+            tenant=principal.name,
+            table=table,
+            query=_history_query_text(query),
+            fidelity=None if fidelity is None else str(fidelity),
+        )
         try:
-            resolved_query = self._coerce_query(query)
-            resolved_config = self._coerce_config(config)
-            if fidelity is not None:
-                resolved_config = resolved_config.replace(fidelity=fidelity)
-            if parallelism is not None:
-                resolved_config = resolved_config.replace(
-                    parallelism=parallelism
-                )
-            table_obj, generation = self._resolve_with_generation(table)
-        except AdmissionError:  # pragma: no cover - defensive
+            response = self._explore_admitted(
+                principal,
+                entry,
+                table,
+                query,
+                config,
+                use_cache,
+                fidelity,
+                parallelism,
+                deadline_seconds,
+            )
+        except PipelineCancelled as cancelled:
+            # The run stopped at a stage boundary; the shared context
+            # and caches are exactly as consistent as after a finished
+            # run (nothing partial is ever cached).
+            self._metrics.count("deadline_exceeded")
+            detail = {
+                "stages_completed": cancelled.stages_completed,
+                "next_stage": cancelled.next_stage,
+                "deadline_seconds": deadline_seconds,
+            }
+            self._history.finish(entry, "deadline_exceeded", detail=detail)
+            raise DeadlineExceededError(str(cancelled), detail=detail) from None
+        except RateLimitError as error:
+            self._metrics.count("rate_limited")
+            self._history.finish(
+                entry, "rate_limited", detail=dict(error.detail)
+            )
             raise
-        except Exception:
+        except AdmissionError as error:
+            self._metrics.count("rejected")
+            self._history.finish(entry, "rejected", detail=dict(error.detail))
+            raise
+        except Exception as error:
             self._metrics.count("failed")
+            self._history.finish(entry, "failed", detail={"error": str(error)})
             raise
+        self._history.finish(
+            entry,
+            "cached" if response.cached else "completed",
+            elapsed=response.elapsed,
+        )
+        return response
+
+    def _resolve_checked(
+        self, tenant: str | None, api_key: str | None
+    ) -> Tenant:
+        """Resolve the principal, journaling auth rejections."""
+        try:
+            return self._tenants.resolve(tenant=tenant, api_key=api_key)
+        except ServiceError as error:
+            self._metrics.count("failed")
+            self._history.record(
+                tenant="?",
+                table="?",
+                status="unauthorized",
+            )
+            raise error
+
+    def _explore_admitted(
+        self,
+        principal: Tenant,
+        entry: int,
+        table: str,
+        query: "str | dict | ConjunctiveQuery | None",
+        config: dict | AtlasConfig | None,
+        use_cache: bool,
+        fidelity: "str | Fidelity | None",
+        parallelism: "str | Parallelism | int | None",
+        deadline_seconds: float | None,
+    ) -> ExploreResponse:
+        # Rate limiting happens before any per-request work: a shed
+        # request costs a lock and a few float operations.
+        self._tenants.check_rate(principal)
+        resolved_query = self._coerce_query(query)
+        resolved_config = self._coerce_config(config)
+        if fidelity is not None:
+            resolved_config = resolved_config.replace(fidelity=fidelity)
+        if parallelism is not None:
+            resolved_config = resolved_config.replace(parallelism=parallelism)
+        table_obj, generation = self._resolve_with_generation(table)
 
         cache_key = result_cache_key(
             table,
@@ -373,8 +545,16 @@ class ExplorationService:
                 self._metrics.count("cache_hits")
                 return dataclasses.replace(cached, cached=True)
 
+        cancel = (
+            CancelToken.with_timeout(deadline_seconds)
+            if deadline_seconds is not None
+            else None
+        )
         weight = self._admission_weight(table, resolved_config)
-        self._admit(weight)
+        # Slot-leak audit: nothing may run between a successful admit
+        # and the try below — every later failure, including a worker
+        # pool that refuses the submission, must reach the finally.
+        self._admission.admit(principal, weight)
         try:
             future = self._pool.submit(
                 self._run,
@@ -383,17 +563,11 @@ class ExplorationService:
                 resolved_query,
                 resolved_config,
                 cache_key if use_cache else None,
+                cancel,
             )
-            try:
-                return future.result()
-            except ServiceError:
-                raise
-            except Exception:
-                self._metrics.count("failed")
-                raise
+            return future.result()
         finally:
-            with self._admission:
-                self._pending -= weight
+            self._admission.release(principal, weight)
 
     def _admission_weight(self, table_name: str, config: AtlasConfig) -> int:
         """In-flight slots a request occupies.
@@ -424,8 +598,10 @@ class ExplorationService:
         workers = min(parallelism.resolved_workers, parallelism.shards)
         return max(1, min(workers, self._max_inflight))
 
-    def handle(self, request: ExploreRequest) -> ExploreResponse:
-        """Serve a wire-shaped request (what the HTTP frontend calls)."""
+    def handle(
+        self, request: ExploreRequest, *, api_key: str | None = None
+    ) -> ExploreResponse:
+        """Serve a wire-shaped request (what the HTTP frontends call)."""
         return self.explore(
             table=request.table,
             query=request.query,
@@ -433,6 +609,8 @@ class ExplorationService:
             use_cache=request.use_cache,
             fidelity=request.fidelity,
             parallelism=request.parallelism,
+            api_key=api_key,
+            deadline_seconds=request.deadline_seconds,
         )
 
     # ------------------------------------------------------------------ #
@@ -455,7 +633,7 @@ class ExplorationService:
         self._resolve_table(table)  # materialize lazy sources / 404
         with self._registry:
             current = self._tables.get(table)
-            if current is None:  # pragma: no cover - re-register race
+            if current is None:  # re-register racing the append
                 raise UnknownTableError(
                     f"table {table!r} was re-registered during the append; "
                     "retry"
@@ -476,22 +654,18 @@ class ExplorationService:
             appended=new_table.n_rows - current.n_rows,
         )
 
-    def handle_append(self, request: AppendRequest) -> AppendResponse:
-        """Serve a wire-shaped append (what the HTTP frontend calls)."""
-        return self.append(request.table, request.rows)
+    def handle_append(
+        self, request: AppendRequest, *, api_key: str | None = None
+    ) -> AppendResponse:
+        """Serve a wire-shaped append (what the HTTP frontends call).
 
-    def _admit(self, weight: int = 1) -> None:
-        with self._admission:
-            if self._closed:
-                raise ServiceError("service is shut down")
-            if self._pending + weight > self._max_inflight:
-                self._metrics.count("rejected")
-                raise AdmissionError(
-                    f"service at capacity ({self._pending} in-flight "
-                    f"slots used, request weighs {weight}, limit "
-                    f"{self._max_inflight}); retry shortly"
-                )
-            self._pending += weight
+        Appends run under the same tenancy rules as explores: the key
+        must resolve (401 otherwise when keys are required) and the
+        tenant's token bucket is charged one request.
+        """
+        principal = self._tenants.resolve(api_key=api_key)
+        self._tenants.check_rate(principal)
+        return self.append(request.table, request.rows)
 
     def _run(
         self,
@@ -500,10 +674,11 @@ class ExplorationService:
         query: ConjunctiveQuery,
         config: AtlasConfig,
         cache_key: tuple | None,
+        cancel: CancelToken | None = None,
     ) -> ExploreResponse:
         context = self._context_for(table_name, table, config)
         started = time.perf_counter()
-        map_set = self._pipeline.run(query, context)
+        map_set = self._pipeline.run(query, context, cancel)
         elapsed = time.perf_counter() - started
         self._metrics.observe(map_set.timings, elapsed)
         response = ExploreResponse(
@@ -582,23 +757,24 @@ class ExplorationService:
             "hit_rate": hits / total if total else 0.0,
             "backends": backends,
         }
-        with self._admission:
-            pending = self._pending
         snapshot["service"] = {
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": time.monotonic() - self._started,
-            "pending": pending,
+            "pending": self._admission.pending_total(),
+            "pending_by_tenant": self._admission.pending_by_tenant(),
             "max_inflight": self._max_inflight,
             "contexts": n_contexts,
             "tables": self.describe_tables(),
+            "tenants": self._tenants.snapshot(),
         }
+        snapshot["history"] = self._history.counts()
         return snapshot
 
     def close(self) -> None:
         """Stop accepting work and release the worker pool."""
-        with self._admission:
-            self._closed = True
+        self._admission.close()
         self._pool.shutdown(wait=True)
+        self._history.close()
 
     def __enter__(self) -> "ExplorationService":
         return self

@@ -1,0 +1,360 @@
+"""Multi-tenant identity, rate limiting, and fair admission.
+
+PR 2's admission control was one global in-flight gate: any client
+could fill every slot and starve the rest.  This module gives the
+service per-tenant identity and fairness:
+
+* a :class:`Tenant` names a principal (optionally keyed by an API key)
+  with its own token-bucket rate limit and in-flight cap;
+* a :class:`TokenBucket` enforces sustained request rates with bounded
+  bursts, answering *how long to wait* when it rejects — the number the
+  HTTP frontends ship as ``Retry-After``;
+* an :class:`AdmissionLedger` replaces the single global ``_pending``
+  counter with per-tenant accounting: the global capacity still bounds
+  total pipeline work, each tenant is additionally bounded by its own
+  cap, and when several tenants are active at once a single tenant may
+  not occupy the slots that would leave the other *active* tenants
+  without at least one each.
+
+Every rejection is cheap (a lock and a few integer comparisons, no
+pipeline work queued), so a saturated service sheds in microseconds —
+the property the E23 saturation benchmark measures at 64–256 clients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from threading import Lock
+from typing import Callable
+
+from repro.service.protocol import (
+    AdmissionError,
+    AuthError,
+    RateLimitError,
+    ServiceError,
+)
+
+#: The implicit tenant of unauthenticated requests.  It keeps PR-2
+#: semantics exactly: no rate limit, the full global in-flight
+#: allowance — single-user deployments never notice tenancy exists.
+ANONYMOUS = "anonymous"
+
+
+class TokenBucket:
+    """A classic token bucket over a monotonic clock.
+
+    ``rate`` tokens/second refill up to ``burst`` capacity;
+    :meth:`try_acquire` either takes the tokens (returns 0.0) or
+    returns the seconds after which the acquisition would succeed —
+    never blocking, so it is safe under the admission lock.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ServiceError(f"token rate must be > 0, got {rate}")
+        self._rate = float(rate)
+        self._burst = float(burst) if burst is not None else max(1.0, rate)
+        if self._burst < 1.0:
+            raise ServiceError(
+                f"burst must allow at least one request, got {self._burst}"
+            )
+        self._clock = clock
+        self._lock = Lock()
+        self._tokens = self._burst  # guarded-by: _lock
+        self._updated = clock()  # guarded-by: _lock
+
+    @property
+    def rate(self) -> float:
+        """Sustained tokens per second."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket capacity (maximum burst)."""
+        return self._burst
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` now if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until the
+        bucket will hold enough tokens (a ``Retry-After`` hint).
+        """
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._updated)
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            self._updated = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self._rate
+
+
+@dataclasses.dataclass(frozen=True)
+class Tenant:
+    """One principal the service knows about.
+
+    ``rate``/``burst`` feed a :class:`TokenBucket` (``None`` = no rate
+    limit); ``max_inflight`` caps this tenant's concurrent admission
+    slots (``None`` = the service-wide limit).  ``api_key`` is the
+    shared secret the HTTP frontends read from ``X-Api-Key``; tenants
+    without one can only be named by in-process callers.
+    """
+
+    name: str
+    api_key: str | None = None
+    rate: float | None = None
+    burst: float | None = None
+    max_inflight: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("a tenant needs a non-empty name")
+        if self.rate is not None and self.rate <= 0:
+            raise ServiceError(
+                f"tenant {self.name!r}: rate must be > 0, got {self.rate}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ServiceError(
+                f"tenant {self.name!r}: max_inflight must be >= 1, "
+                f"got {self.max_inflight}"
+            )
+
+    def build_bucket(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> TokenBucket | None:
+        """This tenant's rate limiter, or ``None`` when unlimited."""
+        if self.rate is None:
+            return None
+        return TokenBucket(self.rate, self.burst, clock=clock)
+
+
+class TenantRegistry:
+    """API-key resolution plus per-tenant token buckets.
+
+    Unauthenticated requests resolve to :data:`ANONYMOUS` unless
+    ``require_api_key`` is set, in which case they are rejected with a
+    401 :class:`AuthError` — the multi-tenant deployments E23 models
+    hand every client a key.
+    """
+
+    def __init__(self, *, require_api_key: bool = False):
+        self._lock = Lock()
+        self._require_key = require_api_key
+        self._tenants: dict[str, Tenant] = {}  # guarded-by: _lock
+        self._keys: dict[str, str] = {}  # guarded-by: _lock
+        self._buckets: dict[str, TokenBucket] = {}  # guarded-by: _lock
+        self.register(Tenant(ANONYMOUS))
+
+    def register(self, tenant: Tenant) -> Tenant:
+        """Add (or replace) a tenant; returns it for chaining."""
+        with self._lock:
+            previous = self._tenants.get(tenant.name)
+            if previous is not None and previous.api_key is not None:
+                self._keys.pop(previous.api_key, None)
+            if tenant.api_key is not None:
+                owner = self._keys.get(tenant.api_key)
+                if owner is not None and owner != tenant.name:
+                    raise ServiceError(
+                        f"API key of tenant {tenant.name!r} is already "
+                        f"bound to tenant {owner!r}"
+                    )
+                self._keys[tenant.api_key] = tenant.name
+            self._tenants[tenant.name] = tenant
+            bucket = tenant.build_bucket()
+            if bucket is not None:
+                self._buckets[tenant.name] = bucket
+            else:
+                self._buckets.pop(tenant.name, None)
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        """The tenant named ``name``; 401 when unknown."""
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise AuthError(f"unknown tenant {name!r}")
+        return tenant
+
+    def names(self) -> tuple[str, ...]:
+        """Registered tenant names, registration order."""
+        with self._lock:
+            return tuple(self._tenants)
+
+    def resolve(
+        self, tenant: str | None = None, api_key: str | None = None
+    ) -> Tenant:
+        """The principal behind a request.
+
+        An explicit ``tenant`` name wins (in-process callers); else the
+        ``api_key`` is looked up; else :data:`ANONYMOUS` — unless keys
+        are required, which turns anonymous *and* unknown-key requests
+        into 401s.
+        """
+        if tenant is not None:
+            return self.get(tenant)
+        if api_key is not None:
+            with self._lock:
+                name = self._keys.get(api_key)
+            if name is None:
+                raise AuthError("unknown API key")
+            return self.get(name)
+        if self._require_key:
+            raise AuthError(
+                "this service requires an API key (X-Api-Key header)"
+            )
+        return self.get(ANONYMOUS)
+
+    def check_rate(self, tenant: Tenant, tokens: float = 1.0) -> None:
+        """Charge the tenant's bucket; 429 with Retry-After when empty."""
+        with self._lock:
+            bucket = self._buckets.get(tenant.name)
+        if bucket is None:
+            return
+        retry_after = bucket.try_acquire(tokens)
+        if retry_after > 0.0:
+            raise RateLimitError(
+                f"tenant {tenant.name!r} exceeded its rate limit of "
+                f"{bucket.rate:g} req/s (burst {bucket.burst:g}); retry "
+                f"in {retry_after:.3f}s",
+                detail={"retry_after": retry_after, "tenant": tenant.name},
+            )
+
+    def snapshot(self) -> dict:
+        """Per-tenant limits for ``/metrics`` (no secrets)."""
+        with self._lock:
+            return {
+                name: {
+                    "rate": tenant.rate,
+                    "burst": tenant.burst,
+                    "max_inflight": tenant.max_inflight,
+                    "keyed": tenant.api_key is not None,
+                }
+                for name, tenant in self._tenants.items()
+            }
+
+
+class AdmissionLedger:
+    """Fairness-aware in-flight accounting, replacing the global gate.
+
+    Three rules, checked in order under one lock:
+
+    1. **Global capacity.**  Total charged weight never exceeds
+       ``max_inflight`` (exactly the PR-2 bound on pipeline work).
+    2. **Tenant cap.**  A tenant never holds more than its own
+       ``max_inflight`` (default: the global limit, so single-tenant
+       deployments behave as before).
+    3. **Active-tenant reservation.**  While *other* tenants hold
+       slots, a tenant may not occupy the slots that would leave fewer
+       than one per other active tenant — a burst from one key cannot
+       wedge the service against every other key that is mid-request.
+
+    Every admission **must** be released exactly once; callers wrap the
+    admit/release pair in ``try``/``finally`` (the PR-9 slot-leak audit:
+    no code path between :meth:`admit` and the release may raise
+    without the ``finally`` seeing it).
+    """
+
+    def __init__(self, max_inflight: int):
+        self._max_inflight = max_inflight
+        self._lock = Lock()
+        self._pending: dict[str, int] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+
+    @property
+    def max_inflight(self) -> int:
+        """Total weight the ledger will admit at once."""
+        return self._max_inflight
+
+    def close(self) -> None:
+        """Reject every future admission (service shutdown)."""
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    def pending_total(self) -> int:
+        """Currently admitted weight across all tenants."""
+        with self._lock:
+            return sum(self._pending.values())
+
+    def pending_by_tenant(self) -> dict[str, int]:
+        """Currently admitted weight per tenant (non-zero entries)."""
+        with self._lock:
+            return dict(self._pending)
+
+    def admit(self, tenant: Tenant, weight: int = 1) -> None:
+        """Charge ``weight`` slots to ``tenant`` or raise a 429.
+
+        Raises :class:`AdmissionError` (global gate / reservation) —
+        per-tenant caps raise :class:`RateLimitError` so clients can
+        tell "the service is full" from "you are over *your* limit".
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is shut down")
+            total = sum(self._pending.values())
+            mine = self._pending.get(tenant.name, 0)
+            # An *explicit* per-tenant cap answers as "you are over your
+            # limit"; tenants without one are only bounded by fairness
+            # and the global gate below ("the service is full").
+            cap = tenant.max_inflight
+            if cap is not None and mine + weight > cap:
+                raise RateLimitError(
+                    f"tenant {tenant.name!r} is at its in-flight cap "
+                    f"({mine} slots used, request weighs {weight}, cap "
+                    f"{cap}); retry shortly",
+                    detail={"retry_after": 0.05, "tenant": tenant.name},
+                )
+            # Fairness before raw capacity: while others are mid-request
+            # the requester's allowance shrinks below the global limit,
+            # so the *last* slots stay takeable only by those other
+            # tenants — a burst cannot wedge the service against every
+            # key that is currently active.
+            others_active = sum(
+                1
+                for name, used in self._pending.items()
+                if used > 0 and name != tenant.name
+            )
+            reserved_cap = max(1, self._max_inflight - others_active)
+            if others_active and mine + weight > reserved_cap:
+                raise AdmissionError(
+                    f"tenant {tenant.name!r} would starve {others_active} "
+                    f"other active tenant(s) (fair cap {reserved_cap}, "
+                    f"request weighs {weight}); retry shortly",
+                    detail={"retry_after": 0.05, "tenant": tenant.name},
+                )
+            if total + weight > self._max_inflight:
+                raise AdmissionError(
+                    f"service at capacity ({total} in-flight slots used, "
+                    f"request weighs {weight}, limit {self._max_inflight}); "
+                    "retry shortly",
+                    detail={"retry_after": 0.05, "tenant": tenant.name},
+                )
+            self._pending[tenant.name] = mine + weight
+
+    def release(self, tenant: Tenant, weight: int = 1) -> None:
+        """Return ``weight`` slots; the ``finally`` side of every admit."""
+        with self._lock:
+            remaining = self._pending.get(tenant.name, 0) - weight
+            if remaining > 0:
+                self._pending[tenant.name] = remaining
+            else:
+                self._pending.pop(tenant.name, None)
+
+
+def retry_after_header(retry_after: float) -> str:
+    """``Retry-After`` header value for a rejection hint (whole seconds,
+    rounded up so clients never retry early; minimum 1)."""
+    return str(max(1, math.ceil(retry_after)))

@@ -10,7 +10,10 @@ This module gives every client the same keep-alive transport:
   ``threading.local``), so the transport object stays safe to share
   across threads — the thread-safety contract ``ServiceClient`` has
   carried since PR 2 — while each thread reuses its socket across
-  requests;
+  requests.  Every live connection is *also* tracked in a small
+  lock-guarded registry with an epoch counter, so :meth:`HttpTransport.
+  close` can drop **every** thread's socket (not just the caller's) and
+  surviving threads reconnect lazily on their next request;
 * reconnect-on-drop: a keep-alive socket the server closed while idle
   surfaces as ``RemoteDisconnected`` / ``BadStatusLine`` / a reset on
   the *next* request.  When that happens on a **reused** connection the
@@ -78,6 +81,11 @@ class HttpTransport:
         self._base_url = f"http://{host}:{self._port}"
         self._timeout = timeout
         self._local = threading.local()
+        self._lock = threading.Lock()
+        #: Bumped by :meth:`close`; a thread-local connection from an
+        #: older epoch is stale and must not be reused.
+        self._epoch = 0  # guarded-by: _lock
+        self._live: list[http.client.HTTPConnection] = []  # guarded-by: _lock
 
     @property
     def base_url(self) -> str:
@@ -96,11 +104,20 @@ class HttpTransport:
     def _connection(self) -> "tuple[http.client.HTTPConnection, bool]":
         """This thread's connection and whether it is being reused."""
         connection = getattr(self._local, "connection", None)
+        with self._lock:
+            epoch = self._epoch
         if connection is not None:
-            return connection, True
+            if getattr(self._local, "epoch", -1) == epoch:
+                return connection, True
+            # close() ran since this thread last connected; its socket
+            # was already closed by close(), so just forget it.
+            self._local.connection = None
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
+        with self._lock:
+            self._live.append(connection)
+            self._local.epoch = self._epoch
         self._local.connection = connection
         return connection, False
 
@@ -108,38 +125,68 @@ class HttpTransport:
         """Discard this thread's connection (it will reconnect lazily)."""
         connection = getattr(self._local, "connection", None)
         self._local.connection = None
-        if connection is not None:
+        if connection is None:
+            return
+        with self._lock:
+            try:
+                self._live.remove(connection)
+            except ValueError:
+                pass  # close() already swept it out of the registry
+        try:
+            connection.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+
+    def close(self) -> None:
+        """Close **every** thread's connection.
+
+        Earlier builds closed only the calling thread's socket and let
+        other threads' keep-alive connections leak until garbage
+        collection — a real file-descriptor leak for long-lived shard
+        transports.  Now the registry is swept wholesale: the epoch
+        bump makes surviving threads treat their thread-local
+        connection as stale and reconnect lazily on their next request,
+        so ``close()`` is safe to call while other threads are between
+        requests.
+        """
+        with self._lock:
+            self._epoch += 1
+            doomed, self._live = self._live, []
+        for connection in doomed:
             try:
                 connection.close()
             except Exception:  # pragma: no cover - close is best-effort
                 pass
-
-    def close(self) -> None:
-        """Close the calling thread's connection.
-
-        Other threads' connections close when their thread (or the
-        transport) is garbage-collected — ``threading.local`` storage
-        is per-thread by construction.
-        """
-        self._drop()
 
     # ------------------------------------------------------------------ #
     # Requests
     # ------------------------------------------------------------------ #
 
     def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        headers: dict | None = None,
     ) -> dict:
-        """One JSON request/response round trip; raises typed errors."""
+        """One JSON request/response round trip; raises typed errors.
+
+        ``headers`` adds/overrides request headers (the clients use it
+        for ``X-Api-Key``).  Error responses carrying a ``Retry-After``
+        header surface it as ``error.detail["retry_after_header"]``.
+        """
         body = None
-        headers = {"Accept": "application/json"}
+        send_headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            send_headers["Content-Type"] = "application/json"
+        if headers:
+            send_headers.update(headers)
         connection, reused = self._connection()
         try:
-            status, raw = self._round_trip(
-                connection, method, path, body, headers
+            status, raw, retry_after = self._round_trip(
+                connection, method, path, body, send_headers
             )
         except _DROP_ERRORS as exc:
             self._drop()
@@ -153,8 +200,8 @@ class HttpTransport:
             # for any method.
             connection, _ = self._connection()
             try:
-                status, raw = self._round_trip(
-                    connection, method, path, body, headers
+                status, raw, retry_after = self._round_trip(
+                    connection, method, path, body, send_headers
                 )
             except _DROP_ERRORS as retry_exc:
                 self._drop()
@@ -176,7 +223,15 @@ class HttpTransport:
             if not isinstance(parsed, dict) or "error" not in parsed:
                 parsed = {"error": {"status": status, "code": "internal",
                                     "message": f"HTTP {status}"}}
-            raise error_from_payload(parsed, status) from None
+            error = error_from_payload(parsed, status)
+            detail = getattr(error, "detail", None)
+            if (
+                retry_after is not None
+                and isinstance(detail, dict)
+                and "retry_after_header" not in detail
+            ):
+                detail["retry_after_header"] = retry_after
+            raise error from None
         if not isinstance(parsed, dict):
             raise ProtocolError(
                 f"expected a JSON object body, got {type(parsed).__name__}"
@@ -190,11 +245,11 @@ class HttpTransport:
         path: str,
         body: bytes | None,
         headers: dict,
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, bytes, str | None]:
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()
         raw = response.read()  # drain fully so the socket can be reused
-        return response.status, raw
+        return response.status, raw, response.getheader("Retry-After")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<HttpTransport {self._base_url}>"

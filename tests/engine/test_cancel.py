@@ -1,0 +1,118 @@
+"""Cooperative cancellation: tokens, stage boundaries, shared state."""
+
+import pytest
+
+from repro.engine import (
+    CancelToken,
+    ExecutionContext,
+    Pipeline,
+    PipelineCancelled,
+    default_stages,
+)
+from repro.evaluation.workloads import figure2_query
+
+
+class TestCancelToken:
+    def test_fresh_token_passes_checks(self):
+        token = CancelToken()
+        token.check()  # must not raise
+        assert not token.cancelled
+        assert not token.expired
+        assert token.fire_reason() is None
+
+    def test_explicit_cancel_fires(self):
+        token = CancelToken()
+        token.cancel()
+        assert token.cancelled
+        assert token.fire_reason() == "cancelled"
+        with pytest.raises(PipelineCancelled, match="cancelled before"):
+            token.check(stages_completed=2, next_stage="clustering")
+
+    def test_expired_deadline_fires(self):
+        token = CancelToken.with_timeout(0.0)
+        assert token.expired
+        assert token.fire_reason() == "deadline"
+        with pytest.raises(PipelineCancelled, match="deadline expired"):
+            token.check(next_stage="sampling")
+
+    def test_remaining_counts_down_and_floors_at_zero(self):
+        token = CancelToken.with_timeout(3600.0)
+        assert 0.0 < token.remaining() <= 3600.0
+        expired = CancelToken.with_timeout(0.0)
+        assert expired.remaining() == 0.0
+        assert CancelToken().remaining() is None
+
+    def test_error_carries_boundary_proof(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(PipelineCancelled) as info:
+            token.check(stages_completed=3, next_stage="merging")
+        assert info.value.stages_completed == 3
+        assert info.value.next_stage == "merging"
+
+
+class TestPipelineCancellation:
+    def test_expired_deadline_stops_before_first_stage(self, census_small):
+        pipeline = Pipeline.default()
+        token = CancelToken.with_timeout(0.0)
+        with pytest.raises(PipelineCancelled) as info:
+            pipeline.run(figure2_query(), ExecutionContext(census_small), token)
+        assert info.value.stages_completed == 0
+        assert info.value.next_stage == "sampling"
+
+    def test_cancel_between_stages_runs_no_later_stage(self, census_small):
+        """A token fired inside stage N stops the run before stage N+1."""
+        ran = []
+
+        class Tripwire:
+            name = "tripwire"
+
+            def __init__(self, token):
+                self.token = token
+
+            def run(self, state, context):
+                ran.append(self.name)
+                self.token.cancel()
+
+        class MustNotRun:
+            name = "sentinel"
+
+            def run(self, state, context):  # pragma: no cover - the point
+                ran.append(self.name)
+
+        token = CancelToken()
+        pipeline = Pipeline((Tripwire(token), MustNotRun(), *default_stages()))
+        with pytest.raises(PipelineCancelled) as info:
+            pipeline.run(figure2_query(), ExecutionContext(census_small), token)
+        assert ran == ["tripwire"]
+        assert info.value.stages_completed == 1
+        assert info.value.next_stage == "sentinel"
+
+    def test_context_stays_usable_after_cancellation(self, census_small):
+        """A cancelled run leaves the shared context fully consistent:
+        the same context answers the same query afterwards, identically
+        to a never-cancelled context."""
+        context = ExecutionContext(census_small)
+        pipeline = Pipeline.default()
+        with pytest.raises(PipelineCancelled):
+            pipeline.run(
+                figure2_query(), context, CancelToken.with_timeout(0.0)
+            )
+        after = pipeline.run(figure2_query(), context)
+        fresh = pipeline.run(
+            figure2_query(), ExecutionContext(census_small)
+        )
+        assert after.maps == fresh.maps
+
+    def test_cancel_clears_token_slot_on_exit(self, census_small):
+        context = ExecutionContext(census_small)
+        token = CancelToken()
+        pipeline = Pipeline.default()
+        pipeline.run(figure2_query(), context, token)
+        assert context.active_cancel is None
+
+    def test_run_without_token_is_unaffected(self, census_small):
+        result = Pipeline.default().run(
+            figure2_query(), ExecutionContext(census_small)
+        )
+        assert result.maps

@@ -1,0 +1,163 @@
+"""The persistent query-history journal behind ``/history``."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.service.history import STATUSES, QueryHistory
+
+
+class TestRecordAndFinish:
+    def test_lifecycle_running_to_completed(self):
+        with QueryHistory() as history:
+            entry = history.record(
+                tenant="alice", table="census", query="Age: [17, 90]"
+            )
+            assert entry > 0
+            history.finish(entry, "completed", elapsed=0.25)
+            (row,) = history.recent()
+            assert row["tenant"] == "alice"
+            assert row["table"] == "census"
+            assert row["query"] == "Age: [17, 90]"
+            assert row["status"] == "completed"
+            assert row["elapsed"] == pytest.approx(0.25)
+
+    def test_detail_round_trips_as_json(self):
+        with QueryHistory() as history:
+            entry = history.record(tenant="a", table="t")
+            history.finish(
+                entry,
+                "deadline_exceeded",
+                detail={"stages_completed": 2, "next_stage": "clustering"},
+            )
+            (row,) = history.recent()
+            assert row["detail"] == {
+                "stages_completed": 2,
+                "next_stage": "clustering",
+            }
+
+    def test_terminal_on_arrival_statuses(self):
+        with QueryHistory() as history:
+            history.record(tenant="a", table="t", status="rate_limited")
+            (row,) = history.recent()
+            assert row["status"] == "rate_limited"
+
+    def test_unknown_status_rejected(self):
+        with QueryHistory() as history:
+            with pytest.raises(ValueError, match="unknown history status"):
+                history.record(tenant="a", table="t", status="exploded")
+            entry = history.record(tenant="a", table="t")
+            with pytest.raises(ValueError, match="unknown history status"):
+                history.finish(entry, "vanished")
+
+    def test_every_declared_status_is_accepted(self):
+        with QueryHistory() as history:
+            for status in STATUSES:
+                assert history.record(tenant="a", table="t", status=status)
+            assert len(history) == len(STATUSES)
+
+
+class TestQueries:
+    @pytest.fixture
+    def populated(self):
+        with QueryHistory() as history:
+            for i in range(6):
+                tenant = "alice" if i % 2 == 0 else "bob"
+                entry = history.record(tenant=tenant, table="census")
+                history.finish(
+                    entry, "completed" if i < 4 else "failed"
+                )
+            yield history
+
+    def test_recent_is_newest_first(self, populated):
+        rows = populated.recent()
+        assert [row["id"] for row in rows] == [6, 5, 4, 3, 2, 1]
+
+    def test_limit_and_filters(self, populated):
+        assert len(populated.recent(2)) == 2
+        assert all(
+            row["tenant"] == "bob" for row in populated.recent(tenant="bob")
+        )
+        failed = populated.recent(status="failed")
+        assert len(failed) == 2
+        only = populated.recent(tenant="alice", status="failed")
+        assert [row["tenant"] for row in only] == ["alice"]
+
+    def test_limit_is_clamped(self, populated):
+        assert len(populated.recent(0)) == 1  # floor 1
+        assert len(populated.recent(10_000)) == 6  # ceiling applies later
+
+    def test_counts_by_status(self, populated):
+        assert populated.counts() == {"completed": 4, "failed": 2}
+
+
+class TestBounds:
+    def test_max_rows_trims_oldest(self):
+        with QueryHistory(max_rows=3) as history:
+            for _ in range(10):
+                history.record(tenant="a", table="t")
+            rows = history.recent()
+            assert len(rows) == 3
+            assert [row["id"] for row in rows] == [10, 9, 8]
+
+    def test_max_rows_validation(self):
+        with pytest.raises(ValueError, match="max_rows"):
+            QueryHistory(max_rows=0)
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "history.db")
+        with QueryHistory(path) as history:
+            entry = history.record(tenant="alice", table="census")
+            history.finish(entry, "completed")
+        with QueryHistory(path) as reopened:
+            (row,) = reopened.recent()
+            assert row["tenant"] == "alice"
+            assert row["status"] == "completed"
+
+    def test_foreign_schema_version_rejected(self, tmp_path):
+        path = str(tmp_path / "history.db")
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version=99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="schema version"):
+            QueryHistory(path)
+
+
+class TestShutdown:
+    def test_post_close_operations_are_noops(self):
+        history = QueryHistory()
+        entry = history.record(tenant="a", table="t")
+        history.close()
+        history.close()  # idempotent
+        assert history.record(tenant="a", table="t") == 0
+        history.finish(entry, "completed")  # swallowed, no crash
+        assert history.recent() == []
+        assert history.counts() == {}
+        assert len(history) == 0
+
+    def test_concurrent_writers(self):
+        """Many threads journal through one connection without errors."""
+        with QueryHistory() as history:
+            errors = []
+
+            def write(n):
+                try:
+                    for _ in range(n):
+                        entry = history.record(tenant="a", table="t")
+                        history.finish(entry, "completed")
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=write, args=(25,)) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert len(history) == 200

@@ -168,3 +168,77 @@ class TestErrorRoundTrip:
         error = error_from_payload({}, 503)
         assert isinstance(error, RemoteServiceError)
         assert "503" in str(error)
+
+
+class TestErrorDetail:
+    def test_detail_round_trips(self):
+        from repro.service.protocol import RateLimitError
+
+        error = RateLimitError(
+            "slow down", detail={"retry_after": 1.5, "tenant": "alice"}
+        )
+        payload = error_to_dict(error)
+        assert payload["error"]["detail"] == {
+            "retry_after": 1.5, "tenant": "alice",
+        }
+        resurrected = error_from_payload(payload, 429)
+        assert type(resurrected) is RateLimitError
+        assert resurrected.detail == {"retry_after": 1.5, "tenant": "alice"}
+
+    def test_empty_detail_is_omitted_from_the_wire(self):
+        payload = error_to_dict(ServiceError("plain"))
+        assert "detail" not in payload["error"]
+
+    def test_payload_survives_json(self):
+        error = ServiceError("x", detail={"nested": {"deep": [1, 2]}})
+        payload = json.loads(json.dumps(error_to_dict(error)))
+        assert error_from_payload(payload, 500).detail["nested"]["deep"] == [
+            1, 2,
+        ]
+
+
+class TestNewErrorTypes:
+    def test_status_and_code_mapping(self):
+        from repro.service.protocol import (
+            AuthError,
+            DeadlineExceededError,
+            RateLimitError,
+        )
+
+        cases = [
+            (RateLimitError("x"), 429, "rate_limited"),
+            (AuthError("x"), 401, "unauthorized"),
+            (DeadlineExceededError("x"), 504, "deadline_exceeded"),
+        ]
+        for error, status, code in cases:
+            payload = error_to_dict(error)
+            assert payload["error"]["status"] == status
+            assert payload["error"]["code"] == code
+            assert type(error_from_payload(payload, status)) is type(error)
+
+    def test_rate_limit_is_catchable_as_admission_error(self):
+        from repro.service.protocol import RateLimitError
+
+        # Clients retrying on "busy" handle both rejections with one
+        # except clause.
+        assert issubclass(RateLimitError, AdmissionError)
+
+
+class TestDeadlineOnTheWire:
+    def test_round_trip(self):
+        request = ExploreRequest(table="census", deadline_seconds=2.5)
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["deadline_seconds"] == 2.5
+        assert ExploreRequest.from_dict(wire).deadline_seconds == 2.5
+
+    def test_omitted_when_unset(self):
+        assert "deadline_seconds" not in ExploreRequest(table="t").to_dict()
+        parsed = ExploreRequest.from_dict({"table": "t"})
+        assert parsed.deadline_seconds is None
+
+    def test_invalid_values_rejected(self):
+        for bad in (0, -1.0, "fast", True):
+            with pytest.raises(ProtocolError, match="deadline_seconds"):
+                ExploreRequest.from_dict(
+                    {"table": "t", "deadline_seconds": bad}
+                )

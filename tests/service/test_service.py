@@ -239,3 +239,219 @@ class TestMetricsAndErrors:
             ]
         assert len(results) == 40
         assert census_service.metrics()["requests"]["failed"] == 0
+
+
+class TestSlotLeaks:
+    """Satellite 3: every path between admit and release is leak-free."""
+
+    def test_pool_submit_failure_releases_the_slot(self, census_service):
+        """A worker pool that refuses the submission (e.g. shut down
+        behind the service's back) must not strand the admission slot."""
+        def broken_submit(*args, **kwargs):
+            raise RuntimeError("pool exploded")
+
+        original = census_service._pool.submit
+        census_service._pool.submit = broken_submit
+        try:
+            for _ in range(20):  # repeat: a leak accumulates
+                with pytest.raises(RuntimeError, match="pool exploded"):
+                    census_service.explore(
+                        "census", "Age: [17, 90]", use_cache=False
+                    )
+        finally:
+            census_service._pool.submit = original
+        assert census_service.metrics()["service"]["pending"] == 0
+        # The slots really came back: a normal request is admitted.
+        assert census_service.explore("census", "Age: [17, 90]").map_set
+
+    def test_failing_pipeline_releases_the_slot(self, census_service):
+        for _ in range(5):
+            with pytest.raises(Exception, match="expected 'attribute"):
+                census_service.explore("census", "Age ???")
+        assert census_service.metrics()["service"]["pending"] == 0
+
+    def test_threaded_churn_with_failures_never_leaks(self, census_service):
+        """Mixed success/failure churn across threads drains to zero."""
+        def job(i):
+            try:
+                census_service.explore(
+                    "census",
+                    "Age ???" if i % 3 == 0 else "Age: [17, 90]",
+                    use_cache=False,
+                )
+            except Exception:
+                pass
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [pool.submit(job, i) for i in range(48)]:
+                future.result(timeout=60)
+        assert census_service.metrics()["service"]["pending"] == 0
+        assert census_service.metrics()["service"]["pending_by_tenant"] == {}
+
+    def test_deadline_exceeded_releases_the_slot(self, census_service):
+        from repro.service.protocol import DeadlineExceededError
+
+        with pytest.raises(DeadlineExceededError):
+            census_service.explore(
+                "census", use_cache=False, deadline_seconds=1e-9
+            )
+        assert census_service.metrics()["service"]["pending"] == 0
+
+
+class TestAppendReregisterRace:
+    """Satellite 4: the re-register-during-append race answers 404."""
+
+    def test_reregistration_between_resolve_and_append(
+        self, census_service, census_small
+    ):
+        original_resolve = census_service._resolve_table
+
+        def hostile_resolve(name):
+            table = original_resolve(name)
+            # Another client re-registers the name after our resolve
+            # but before the append takes the registry lock: the
+            # materialized-table slot empties, and the append must not
+            # apply rows to a table object that is no longer served.
+            with census_service._registry:
+                census_service._tables.pop(name, None)
+            return table
+
+        census_service._resolve_table = hostile_resolve
+        try:
+            with pytest.raises(
+                UnknownTableError, match="re-registered during the append"
+            ):
+                (first_row,) = census_small.head(1)
+                census_service.append(
+                    "census",
+                    {name: [value] for name, value in first_row.items()},
+                )
+        finally:
+            census_service._resolve_table = original_resolve
+
+
+class TestDeadlines:
+    def test_expired_deadline_stops_before_any_stage(self, census_service):
+        from repro.service.protocol import DeadlineExceededError
+
+        with pytest.raises(DeadlineExceededError) as info:
+            census_service.explore(
+                "census", use_cache=False, deadline_seconds=1e-9
+            )
+        assert info.value.status == 504
+        assert info.value.detail["stages_completed"] == 0
+        assert info.value.detail["next_stage"] == "sampling"
+        assert census_service.metrics()["requests"]["deadline_exceeded"] == 1
+
+    def test_cancelled_run_leaves_context_and_cache_consistent(
+        self, census_service, census_small
+    ):
+        """Satellite 4: a deadline-cancelled run must neither poison the
+        shared context nor leave a partial answer in the result cache."""
+        from repro.engine.facade import explorer
+        from repro.service.protocol import DeadlineExceededError
+
+        with pytest.raises(DeadlineExceededError):
+            census_service.explore(
+                "census", "Age: [17, 90]", deadline_seconds=1e-9
+            )
+        # Nothing partial was cached: the same query now runs cold...
+        response = census_service.explore("census", "Age: [17, 90]")
+        assert response.cached is False
+        # ...through the same shared context, and matches a fresh local
+        # engine bit-for-bit.
+        local = explorer(census_small).explore("Age: [17, 90]")
+        assert response.map_set.maps == local.maps
+
+    def test_generous_deadline_is_invisible(self, census_service):
+        response = census_service.explore(
+            "census", "Age: [17, 90]", deadline_seconds=3600.0
+        )
+        assert response.map_set.maps
+        assert census_service.metrics()["requests"]["deadline_exceeded"] == 0
+
+    def test_deadline_never_part_of_the_cache_key(self, census_service):
+        census_service.explore("census", "Age: [17, 90]")
+        warm = census_service.explore(
+            "census", "Age: [17, 90]", deadline_seconds=3600.0
+        )
+        assert warm.cached is True
+
+
+class TestTenancyIntegration:
+    def test_explicit_tenant_is_journalled(self, census_small):
+        from repro.service.tenancy import Tenant
+
+        with ExplorationService(tenants=(Tenant("alice"),)) as service:
+            service.register_table(census_small)
+            service.explore("census", tenant="alice")
+            (entry,) = service.history_entries(1)
+            assert entry["tenant"] == "alice"
+            assert entry["status"] == "completed"
+
+    def test_rate_limited_tenant_journalled_and_counted(self, census_small):
+        from repro.service.protocol import RateLimitError
+        from repro.service.tenancy import Tenant
+
+        limited = Tenant("burst", rate=0.0001, burst=1)
+        with ExplorationService(tenants=(limited,)) as service:
+            service.register_table(census_small)
+            service.explore("census", tenant="burst")
+            with pytest.raises(RateLimitError):
+                service.explore("census", tenant="burst", use_cache=False)
+            assert service.metrics()["requests"]["rate_limited"] == 1
+            (entry,) = service.history_entries(1, status="rate_limited")
+            assert entry["detail"]["retry_after"] > 0
+            assert service.metrics()["history"]["rate_limited"] == 1
+
+    def test_tenant_inflight_cap_protects_other_tenants(
+        self, gated, census_small
+    ):
+        from repro.service.protocol import RateLimitError
+        from repro.service.tenancy import Tenant
+
+        service, gate = gated  # 2 workers + 2 queue slots
+        service.register_table(census_small)
+        service.register_tenant(Tenant("greedy", max_inflight=2))
+        pool = ThreadPoolExecutor(max_workers=4)
+        try:
+            futures = [
+                pool.submit(
+                    service.explore,
+                    "census",
+                    f"Age: [17, {40 + i}]",
+                    tenant="greedy",
+                )
+                for i in range(2)
+            ]
+            assert gate.entered.acquire(timeout=10)
+            assert gate.entered.acquire(timeout=10)
+            # greedy is at its own cap; its next request sheds...
+            with pytest.raises(RateLimitError, match="in-flight cap"):
+                service.explore(
+                    "census", "Age: [17, 90]", tenant="greedy"
+                )
+            # ...while the anonymous tenant still gets a slot (then
+            # queues behind the gate; shed it quickly via its result).
+            anon = pool.submit(
+                service.explore, "census", "Age: [17, 43]"
+            )
+            gate.release.set()
+            assert anon.result(timeout=30).map_set
+            for future in futures:
+                assert future.result(timeout=30).map_set
+        finally:
+            gate.release.set()
+            pool.shutdown(wait=True)
+
+    def test_history_persists_across_service_restarts(
+        self, census_small, tmp_path
+    ):
+        path = str(tmp_path / "journal.db")
+        with ExplorationService(history=path) as service:
+            service.register_table(census_small)
+            service.explore("census")
+        with ExplorationService(history=path) as reborn:
+            (entry,) = reborn.history_entries(1)
+            assert entry["table"] == "census"
+            assert entry["status"] == "completed"

@@ -1,0 +1,250 @@
+"""Tenancy primitives: token buckets, the registry, fair admission."""
+
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    AdmissionError,
+    AuthError,
+    RateLimitError,
+    ServiceError,
+)
+from repro.service.tenancy import (
+    ANONYMOUS,
+    AdmissionLedger,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    retry_after_header,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic bucket tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.5)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)  # idle forever: still only 2 tokens banked
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_default_burst_covers_one_request(self):
+        assert TokenBucket(rate=0.25).burst == 1.0
+        assert TokenBucket(rate=8.0).burst == 8.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError, match="rate must be > 0"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ServiceError, match="at least one request"):
+            TokenBucket(rate=5.0, burst=0.5)
+
+    def test_retry_hint_scales_with_shortfall(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=4.0, clock=clock)
+        assert bucket.try_acquire(4.0) == 0.0
+        assert bucket.try_acquire(2.0) == pytest.approx(2.0)
+
+
+class TestTenant:
+    def test_validation(self):
+        with pytest.raises(ServiceError, match="non-empty name"):
+            Tenant("")
+        with pytest.raises(ServiceError, match="rate must be > 0"):
+            Tenant("t", rate=-1.0)
+        with pytest.raises(ServiceError, match="max_inflight must be >= 1"):
+            Tenant("t", max_inflight=0)
+
+    def test_bucket_built_only_when_rate_limited(self):
+        assert Tenant("free").build_bucket() is None
+        bucket = Tenant("metered", rate=5.0, burst=10.0).build_bucket()
+        assert bucket.rate == 5.0
+        assert bucket.burst == 10.0
+
+
+class TestTenantRegistry:
+    def test_anonymous_exists_by_default(self):
+        registry = TenantRegistry()
+        assert registry.resolve().name == ANONYMOUS
+
+    def test_api_key_resolution(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("alice", api_key="k-a"))
+        assert registry.resolve(api_key="k-a").name == "alice"
+        with pytest.raises(AuthError, match="unknown API key"):
+            registry.resolve(api_key="k-wrong")
+
+    def test_explicit_name_wins_over_key(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("alice", api_key="k-a"))
+        registry.register(Tenant("bob", api_key="k-b"))
+        assert registry.resolve(tenant="bob", api_key="k-a").name == "bob"
+
+    def test_unknown_name_is_unauthorized(self):
+        with pytest.raises(AuthError, match="unknown tenant"):
+            TenantRegistry().resolve(tenant="ghost")
+
+    def test_require_api_key_rejects_anonymous(self):
+        registry = TenantRegistry(require_api_key=True)
+        with pytest.raises(AuthError, match="requires an API key"):
+            registry.resolve()
+
+    def test_reregistration_rebinds_key(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("alice", api_key="k-1"))
+        registry.register(Tenant("alice", api_key="k-2"))
+        assert registry.resolve(api_key="k-2").name == "alice"
+        with pytest.raises(AuthError):
+            registry.resolve(api_key="k-1")
+
+    def test_key_cannot_be_stolen_by_another_tenant(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("alice", api_key="shared"))
+        with pytest.raises(ServiceError, match="already.*bound"):
+            registry.register(Tenant("mallory", api_key="shared"))
+
+    def test_check_rate_charges_the_bucket(self):
+        registry = TenantRegistry()
+        metered = registry.register(Tenant("m", rate=1000.0, burst=2.0))
+        registry.check_rate(metered)
+        registry.check_rate(metered)
+        with pytest.raises(RateLimitError) as info:
+            registry.check_rate(metered)
+        assert info.value.status == 429
+        assert info.value.detail["retry_after"] > 0.0
+        assert info.value.detail["tenant"] == "m"
+
+    def test_unlimited_tenant_never_rate_limited(self):
+        registry = TenantRegistry()
+        for _ in range(100):
+            registry.check_rate(registry.get(ANONYMOUS))
+
+    def test_snapshot_has_no_secrets(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("alice", api_key="k-a", rate=5.0))
+        snapshot = registry.snapshot()
+        assert snapshot["alice"]["keyed"] is True
+        assert snapshot["alice"]["rate"] == 5.0
+        assert "k-a" not in str(snapshot)
+
+
+class TestAdmissionLedger:
+    def test_global_capacity(self):
+        ledger = AdmissionLedger(2)
+        tenant = Tenant("t")
+        ledger.admit(tenant)
+        ledger.admit(tenant)
+        with pytest.raises(AdmissionError, match="at capacity"):
+            ledger.admit(tenant)
+        ledger.release(tenant)
+        ledger.admit(tenant)  # slot came back
+
+    def test_tenant_cap_raises_rate_limit_error(self):
+        ledger = AdmissionLedger(8)
+        capped = Tenant("capped", max_inflight=1)
+        ledger.admit(capped)
+        with pytest.raises(RateLimitError, match="in-flight cap"):
+            ledger.admit(capped)
+
+    def test_active_tenant_reservation(self):
+        """With another tenant mid-request, one tenant cannot take the
+        last slots that would leave the other starved."""
+        ledger = AdmissionLedger(4)
+        alice, bob = Tenant("alice"), Tenant("bob")
+        ledger.admit(bob)  # bob is active with 1 slot
+        ledger.admit(alice)
+        ledger.admit(alice)
+        # alice may grow to max_inflight - others_active = 3, not 4.
+        ledger.admit(alice)
+        with pytest.raises(AdmissionError, match="starve"):
+            ledger.admit(alice)
+
+    def test_single_tenant_gets_full_capacity(self):
+        ledger = AdmissionLedger(4)
+        only = Tenant("only")
+        for _ in range(4):
+            ledger.admit(only)
+        assert ledger.pending_total() == 4
+
+    def test_weighted_admission(self):
+        ledger = AdmissionLedger(4)
+        tenant = Tenant("t")
+        ledger.admit(tenant, weight=3)
+        with pytest.raises(AdmissionError):
+            ledger.admit(tenant, weight=2)
+        ledger.release(tenant, weight=3)
+        assert ledger.pending_total() == 0
+
+    def test_closed_ledger_rejects(self):
+        ledger = AdmissionLedger(4)
+        ledger.close()
+        assert ledger.closed
+        with pytest.raises(ServiceError, match="shut down"):
+            ledger.admit(Tenant("t"))
+
+    def test_pending_by_tenant_drops_zero_entries(self):
+        ledger = AdmissionLedger(4)
+        alice = Tenant("alice")
+        ledger.admit(alice)
+        assert ledger.pending_by_tenant() == {"alice": 1}
+        ledger.release(alice)
+        assert ledger.pending_by_tenant() == {}
+
+    def test_thread_safety_under_churn(self):
+        ledger = AdmissionLedger(8)
+        tenants = [Tenant(f"t{i}") for i in range(4)]
+        outcomes = []
+        lock = threading.Lock()
+
+        def churn(tenant):
+            admitted = 0
+            for _ in range(200):
+                try:
+                    ledger.admit(tenant)
+                except (AdmissionError, RateLimitError):
+                    continue
+                admitted += 1
+                ledger.release(tenant)
+            with lock:
+                outcomes.append(admitted)
+
+        threads = [
+            threading.Thread(target=churn, args=(t,)) for t in tenants
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ledger.pending_total() == 0  # every admit was released
+        assert all(n > 0 for n in outcomes)  # nobody was fully starved
+
+
+class TestRetryAfterHeader:
+    def test_rounds_up_to_whole_seconds(self):
+        assert retry_after_header(0.05) == "1"
+        assert retry_after_header(1.2) == "2"
+
+    def test_minimum_is_one(self):
+        assert retry_after_header(0.0) == "1"

@@ -47,10 +47,60 @@ class TestKeepAlive:
 
     def test_close_drops_the_connection(self, transport):
         transport.request("GET", "/health")
+        first = transport._local.connection
         transport.close()
-        assert transport._local.connection is None
-        # And the next request transparently reconnects.
+        assert first.sock is None  # actually closed, not just forgotten
+        # And the next request transparently reconnects on a new socket.
         assert transport.request("GET", "/health")["status"] == "ok"
+        assert transport._local.connection is not first
+
+    def test_close_drops_other_threads_connections(self, transport):
+        """close() must sweep sockets opened by *other* threads.
+
+        The pre-PR-9 transport closed only the calling thread's
+        ``threading.local`` slot; every other thread's keep-alive
+        socket leaked until garbage collection.
+        """
+        import threading
+
+        opened = []
+
+        def use_from_thread():
+            transport.request("GET", "/health")
+            opened.append(transport._local.connection)
+
+        workers = [threading.Thread(target=use_from_thread) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(opened) == 4
+        assert all(connection.sock is not None for connection in opened)
+
+        transport.close()  # called from the MAIN thread
+        assert all(connection.sock is None for connection in opened)
+        assert transport._live == []
+
+        # Surviving threads reconnect cleanly after a foreign close().
+        results = []
+
+        def reuse_after_close():
+            results.append(transport.request("GET", "/health")["status"])
+
+        again = threading.Thread(target=reuse_after_close)
+        again.start()
+        again.join()
+        assert results == ["ok"]
+
+    def test_request_after_close_reconnects_in_same_thread(self, transport):
+        transport.request("GET", "/health")
+        stale = transport._local.connection
+        transport.close()
+        # The thread-local still references the swept connection; the
+        # epoch check must refuse to reuse it.
+        assert transport._local.connection is stale
+        assert transport.request("GET", "/health")["status"] == "ok"
+        assert transport._local.connection is not stale
 
 
 class TestReconnectOnDrop:
@@ -121,3 +171,43 @@ class TestTypedErrors:
         with pytest.raises(ProtocolError):
             transport.request("GET", "/nope")
         assert transport.request("GET", "/health")["status"] == "ok"
+
+
+class TestRetryDelay:
+    def test_first_retry_waits_a_full_step(self):
+        from repro.service.client import retry_delay
+        from repro.service.protocol import AdmissionError
+
+        # The regression this guards: a pre-increment multiplier made
+        # the first "retry" sleep 0s and hammer a saturated server.
+        delay = retry_delay(1, 0.05, AdmissionError("busy"))
+        assert delay >= 0.05
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        from repro.service.client import retry_delay
+        from repro.service.protocol import AdmissionError
+
+        error = AdmissionError("busy")
+        delays = [retry_delay(n, 0.05, error) for n in range(1, 6)]
+        again = [retry_delay(n, 0.05, error) for n in range(1, 6)]
+        assert delays == again  # no RNG anywhere
+        for n, delay in enumerate(delays, start=1):
+            base = 0.05 * n
+            assert base <= delay <= base * 1.25
+
+    def test_server_hint_is_a_floor(self):
+        from repro.service.client import retry_delay
+        from repro.service.protocol import AdmissionError
+
+        hinted = AdmissionError("busy", detail={"retry_after": 2.0})
+        assert retry_delay(1, 0.05, hinted) == 2.0
+        # A large backoff still wins over a smaller hint.
+        small = AdmissionError("busy", detail={"retry_after": 0.01})
+        assert retry_delay(1, 1.0, small) >= 1.0
+
+    def test_non_numeric_hint_ignored(self):
+        from repro.service.client import retry_delay
+        from repro.service.protocol import AdmissionError
+
+        weird = AdmissionError("busy", detail={"retry_after": "soon"})
+        assert retry_delay(1, 0.05, weird) < 0.1
