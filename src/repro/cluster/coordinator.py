@@ -335,6 +335,50 @@ class ClusterCoordinator:
         self._transports[server].request("POST", "/own", request.to_dict())
 
     # ------------------------------------------------------------------ #
+    # Catalog prewarm
+    # ------------------------------------------------------------------ #
+
+    def prewarm(
+        self,
+        catalog,
+        parallelism: Parallelism,
+        *,
+        persisted_only: bool = True,
+    ) -> dict[str, int]:
+        """Push a catalog's tables to their owning servers up front.
+
+        The lazy push-on-409 protocol means a restarted coordinator's
+        first build of each table pays one full data push inside the
+        query's critical path.  ``prewarm`` moves that cost to attach
+        time: every (by default persisted) table in the
+        :class:`~repro.service.catalog.Catalog` is resolved — a
+        store-backed catalog replays it from disk — sharded with the
+        given ``parallelism`` layout, and pushed shard by shard to the
+        server the layout assigns.  Returns shards pushed per table.
+
+        The push is idempotent server-side (``/own`` replaces shard
+        state at the table's version), so prewarming twice, or racing
+        a query's own push, is safe.
+        """
+        pushed: dict[str, int] = {}
+        n_servers = self.resolved_servers(parallelism)
+        for name in catalog.names():
+            if persisted_only and not catalog.is_persisted(name):
+                continue
+            table = catalog.resolve(name)
+            sharded = ShardedTable(table, parallelism.shards)
+            numeric, categorical = _sketch_attributes(table)
+            for index in range(sharded.n_shards):
+                server = server_for_shard(
+                    index, sharded.n_shards, n_servers
+                )
+                self._push_shard(
+                    server, table, sharded, index, numeric, categorical
+                )
+            pushed[name] = sharded.n_shards
+        return pushed
+
+    # ------------------------------------------------------------------ #
     # Streaming (append routing)
     # ------------------------------------------------------------------ #
 

@@ -13,6 +13,7 @@ from repro.datagen.dirty import (
     inject_missing,
     inject_outliers,
 )
+from repro.datagen.documents import support_tickets_table
 from repro.datagen.shapes import (
     bimodal_values,
     shape_table,
@@ -48,6 +49,7 @@ __all__ = [
     "StreamDriver",
     "StreamEvent",
     "subspace_dataset",
+    "support_tickets_table",
     "tpc_catalog",
     "uniform_values",
 ]

@@ -1,0 +1,128 @@
+"""Document-bearing dataset: a support-ticket table with a text column.
+
+The text-exploration experiments (E24) need a mixed table — numeric,
+categorical, *and* free-ish text — whose text carries real structure:
+a ``title`` assembled from component-specific vocabulary, so token
+predicates (``title match 'disk'``) restrict to coherent slices that
+the numeric/categorical attributes can then explain.
+
+Planted dependencies:
+
+* ``component`` picks the title's subject noun (storage tickets say
+  "disk"/"volume", auth tickets say "login"/"token", ...);
+* ``severity`` depends on ``component`` (infrastructure components
+  skew severe) and picks the title's issue word (critical tickets say
+  "outage"/"failure", low ones say "question"/"cleanup");
+* ``hours_open`` is lognormal with a severity-dependent scale, so
+  severity cuts are informative on the numeric axis too.
+
+Titles embed an entity id, so their distinct count grows with
+``n_entities`` — past the Section-5.2 cardinality guard
+(:data:`repro.dataset.types` ``TEXT_CARDINALITY_LIMIT``) the column is
+classed TEXT and excluded from dimension attributes, exactly the
+regime the text predicates are for.  Generation assembles each title
+in Python on purpose: regenerating a large document table is the
+honest "cold boot" cost the persistent store's warm start is measured
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+
+#: Subject nouns per component — the vocabulary a title draws from.
+_COMPONENT_NOUNS = {
+    "storage": ("disk", "volume", "raid", "snapshot"),
+    "network": ("packet", "latency", "dns", "gateway"),
+    "auth": ("login", "token", "password", "session"),
+    "ui": ("render", "layout", "button", "modal"),
+    "api": ("endpoint", "timeout", "schema", "quota"),
+    "billing": ("invoice", "charge", "refund", "subscription"),
+}
+_COMPONENTS = tuple(_COMPONENT_NOUNS)
+#: P(component) — infrastructure-heavy, like a real queue.
+_COMPONENT_PROBS = (0.24, 0.20, 0.18, 0.14, 0.14, 0.10)
+
+_SEVERITIES = ("low", "medium", "high", "critical")
+#: P(severity | component): storage/network skew severe, ui/billing mild.
+_SEVERITY_GIVEN_COMPONENT = {
+    "storage": (0.15, 0.30, 0.35, 0.20),
+    "network": (0.15, 0.30, 0.35, 0.20),
+    "auth": (0.25, 0.35, 0.25, 0.15),
+    "ui": (0.45, 0.35, 0.15, 0.05),
+    "api": (0.30, 0.35, 0.25, 0.10),
+    "billing": (0.40, 0.35, 0.20, 0.05),
+}
+#: Issue words per severity — the second planted text correlation.
+_ISSUE_WORDS = {
+    "low": ("question", "cleanup", "typo", "request"),
+    "medium": ("warning", "slowdown", "mismatch", "retry"),
+    "high": ("error", "regression", "spike", "corruption"),
+    "critical": ("outage", "failure", "breach", "loss"),
+}
+#: Lognormal scale of hours_open per severity (severe -> longer).
+_HOURS_SCALE = {"low": 4.0, "medium": 12.0, "high": 36.0, "critical": 96.0}
+
+
+def support_tickets_table(
+    n_rows: int = 20_000,
+    seed: int | None = 0,
+    n_entities: int = 500,
+) -> Table:
+    """Generate the support-ticket document table.
+
+    Columns: ``hours_open`` (numeric), ``severity``, ``component``
+    (categorical), ``title`` (text: high-cardinality categorical).
+    """
+    if n_rows < 1:
+        raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+    if n_entities < 1:
+        raise ValueError(f"n_entities must be >= 1, got {n_entities}")
+    rng = np.random.default_rng(seed)
+
+    component_idx = rng.choice(
+        len(_COMPONENTS), size=n_rows, p=_COMPONENT_PROBS
+    )
+    severity_idx = np.empty(n_rows, dtype=np.int64)
+    for index, component in enumerate(_COMPONENTS):
+        rows = component_idx == index
+        severity_idx[rows] = rng.choice(
+            len(_SEVERITIES),
+            size=int(rows.sum()),
+            p=_SEVERITY_GIVEN_COMPONENT[component],
+        )
+
+    scale = np.asarray(
+        [_HOURS_SCALE[_SEVERITIES[i]] for i in severity_idx],
+        dtype=np.float64,
+    )
+    hours_open = np.round(
+        scale * rng.lognormal(mean=0.0, sigma=0.8, size=n_rows), 1
+    )
+
+    noun_pick = rng.integers(0, 4, size=n_rows)
+    issue_pick = rng.integers(0, 4, size=n_rows)
+    entity = rng.integers(0, n_entities, size=n_rows)
+    titles = []
+    for i in range(n_rows):
+        component = _COMPONENTS[component_idx[i]]
+        noun = _COMPONENT_NOUNS[component][noun_pick[i]]
+        issue = _ISSUE_WORDS[_SEVERITIES[severity_idx[i]]][issue_pick[i]]
+        titles.append(f"{noun} {issue} on {component} node {entity[i]}")
+
+    return Table(
+        [
+            NumericColumn("hours_open", hours_open),
+            CategoricalColumn.from_values(
+                "severity", [_SEVERITIES[i] for i in severity_idx]
+            ),
+            CategoricalColumn.from_values(
+                "component", [_COMPONENTS[i] for i in component_idx]
+            ),
+            CategoricalColumn.from_values("title", titles),
+        ],
+        name="support_tickets",
+    )

@@ -227,6 +227,19 @@ class Table:
         out._version = self._version + 1
         return out
 
+    def coerce_delta(
+        self, rows: "Mapping[str, Iterable[object]] | Table"
+    ) -> "Table":
+        """``rows`` as the exact delta table :meth:`append` would add.
+
+        Public so persistence layers can record the coerced delta
+        (canonical column kinds, validated schema) instead of the raw
+        mapping — replaying a recorded delta through :meth:`append`
+        reproduces the appended table bit for bit, including the
+        dictionary-union order of categorical columns.
+        """
+        return self._coerce_delta(rows)
+
     def _coerce_delta(
         self, rows: "Mapping[str, Iterable[object]] | Table"
     ) -> "Table":

@@ -58,8 +58,24 @@ class BooleanLiteral:
     value: bool
 
 
+@dataclasses.dataclass(frozen=True)
+class TextMatch:
+    """``column CONTAINS 'needle'`` or ``column MATCH 'a b'``.
+
+    The dialect's FTS conditions (an extension in the QUALIFY spirit):
+    ``CONTAINS`` is a case-insensitive substring test; ``MATCH`` is the
+    FTS5-style conjunctive token match of
+    :func:`repro.query.predicate.tokenize_text`.  Both run against
+    categorical (dictionary-encoded text) columns only.
+    """
+
+    column: str
+    operator: str  # CONTAINS or MATCH
+    text: str
+
+
 #: A WHERE clause is a conjunction of these atoms.
-Condition = Comparison | Between | InList | IsNull | BooleanLiteral
+Condition = Comparison | Between | InList | IsNull | BooleanLiteral | TextMatch
 
 
 @dataclasses.dataclass(frozen=True)

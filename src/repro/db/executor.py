@@ -27,9 +27,11 @@ from repro.db.ast import (
     InList,
     IsNull,
     SelectStatement,
+    TextMatch,
     WindowFunction,
 )
 from repro.errors import QueryError
+from repro.query.predicate import tokenize_text
 
 
 class SqlExecutionError(QueryError):
@@ -183,7 +185,46 @@ def _condition_mask(condition: Condition, table: Table) -> np.ndarray:
         return np.isin(column.codes, np.fromiter(wanted, dtype=np.int32))
     if isinstance(condition, Comparison):
         return _comparison_mask(condition, table)
+    if isinstance(condition, TextMatch):
+        return _text_match_mask(condition, table)
     raise SqlExecutionError(f"unsupported condition {condition!r}")
+
+
+def _text_match_mask(condition: TextMatch, table: Table) -> np.ndarray:
+    """CONTAINS/MATCH over a dictionary-encoded text column.
+
+    Bit-identical to the masks of
+    :class:`repro.query.predicate.ContainsPredicate` /
+    :class:`~repro.query.predicate.MatchPredicate`: labels are tested
+    once, rows selected by code, missing rows (code -1) never match.
+    """
+    column = table.column(condition.column)
+    if not isinstance(column, CategoricalColumn):
+        raise SqlExecutionError(
+            f"{condition.operator} requires a text (categorical) column, "
+            f"got {condition.column!r}"
+        )
+    if condition.operator == "CONTAINS":
+        needle = condition.text.lower()
+        if not needle:
+            raise SqlExecutionError("CONTAINS needs a non-empty needle")
+        wanted = [
+            code
+            for code, cat in enumerate(column.categories)
+            if needle in cat.lower()
+        ]
+    else:
+        required = set(tokenize_text(condition.text))
+        if not required:
+            raise SqlExecutionError("MATCH needs at least one token")
+        wanted = [
+            code
+            for code, cat in enumerate(column.categories)
+            if required <= set(tokenize_text(cat))
+        ]
+    if not wanted:
+        return np.zeros(table.n_rows, dtype=bool)
+    return np.isin(column.codes, np.asarray(wanted, dtype=np.int32))
 
 
 def _comparison_mask(condition: Comparison, table: Table) -> np.ndarray:

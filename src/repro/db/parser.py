@@ -19,6 +19,7 @@ with a clear message)::
                | identifier op literal
                | identifier BETWEEN number AND number
                | identifier IN ( literal (, literal)* )
+               | identifier (CONTAINS|MATCH) string
 
 QUALIFY (the DuckDB/Snowflake idiom) filters on window outputs *after*
 they are computed — the sketch pushdowns of :mod:`repro.db.pushdown`
@@ -39,6 +40,7 @@ from repro.db.ast import (
     InList,
     IsNull,
     SelectStatement,
+    TextMatch,
     WindowFunction,
     conjunction_of,
 )
@@ -237,6 +239,12 @@ class _Parser:
             self._expect(TokenType.KEYWORD, "AND")
             high = self._number()
             return Between(column=column, low=low, high=high)
+
+        for operator in ("CONTAINS", "MATCH"):
+            if self._accept(TokenType.KEYWORD, operator):
+                return TextMatch(
+                    column=column, operator=operator, text=self._string()
+                )
 
         if self._accept(TokenType.KEYWORD, "IN"):
             self._expect(TokenType.PUNCTUATION, "(")

@@ -44,7 +44,7 @@ KEYWORDS = frozenset(
         "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN",
         "GROUP", "BY", "ORDER", "LIMIT", "COUNT", "MIN", "MAX", "AVG",
         "SUM", "AS", "TRUE", "FALSE", "ASC", "DESC", "IS", "NULL",
-        "OVER", "QUALIFY", "ROW_NUMBER",
+        "OVER", "QUALIFY", "ROW_NUMBER", "CONTAINS", "MATCH",
     }
 )
 

@@ -739,6 +739,7 @@ class SketchBackend:
         self.usage = self._inner.usage
         self._quantile_sketches: dict[str, object] = {}  # guarded-by: _lock
         self._frequency_sketches: dict[str, object] = {}  # guarded-by: _lock
+        self._token_sketches: dict[str, object] = {}  # guarded-by: _lock
         self._root_cuts: dict[tuple, DataMap] = {}  # guarded-by: _lock
 
     @property
@@ -837,6 +838,11 @@ class SketchBackend:
             self._table = new_table
             self._quantile_sketches = quantiles
             self._frequency_sketches = frequencies
+            # Token summaries rebuild lazily from the topped-up
+            # reservoir — they feed suggestions and persisted warm
+            # state, not ranked answers, so a rebuild is cheaper than
+            # a weighted merge and never observably different.
+            self._token_sketches = {}
             self._root_cuts.clear()
 
     def _topped_up_reservoir(
@@ -1054,6 +1060,68 @@ class SketchBackend:
                 return sketch  # stale build (see quantile_sketch)
             return self._frequency_sketches.setdefault(attribute, sketch)
 
+    def token_sketch(self, attribute: str):
+        """The memoized per-attribute token-frequency summary.
+
+        A Misra–Gries sketch over the *tokens* of the reservoir's
+        labels (:func:`repro.query.predicate.tokenize_text`), weighted
+        by how many reservoir rows carry each label — the text analogue
+        of :meth:`frequency_sketch`.  Heavy-hitter tokens seed MATCH
+        suggestions (the REPL's ``tokens`` command) and travel in
+        persisted warm-start summaries.
+        """
+        from repro.query.predicate import tokenize_text
+        from repro.sketch.frequency import MisraGriesSketch
+
+        with self._lock:
+            cached = self._token_sketches.get(attribute)
+            column = self._inner.table.column(attribute)
+            version = self._inner.version
+        if cached is not None:
+            return cached
+        if not isinstance(column, CategoricalColumn):
+            raise MapError(
+                f"column {attribute!r} is {column.kind}, expected categorical"
+            )
+        label_counts = np.bincount(
+            column.codes[column.codes >= 0],
+            minlength=len(column.categories),
+        )
+        token_counts: dict[str, int] = {}
+        for code, label in enumerate(column.categories):
+            weight = int(label_counts[code])
+            if not weight:
+                continue
+            for token in tokenize_text(label):
+                token_counts[token] = token_counts.get(token, 0) + weight
+        sketch = MisraGriesSketch(
+            max(1, min(_MG_CAPACITY, max(1, len(token_counts))))
+        )
+        sketch.extend_counts(token_counts)
+        with self._lock:
+            if version != self._inner.version:
+                return sketch  # stale build (see quantile_sketch)
+            return self._token_sketches.setdefault(attribute, sketch)
+
+    def export_state(self) -> dict:
+        """The built state a warm-start summary persists (one lock trip).
+
+        Returns the reservoir table plus every sketch built *so far*,
+        keyed the way :mod:`repro.store.warm` expects — a restored
+        backend re-seeded with exactly this state answers like this one
+        did, and sketches missing from the export simply rebuild lazily
+        from the (identical) restored reservoir.
+        """
+        with self._lock:
+            return {
+                "sample": self._inner.table,
+                "quantiles": dict(self._quantile_sketches),
+                "frequencies": dict(self._frequency_sketches),
+                "tokens": dict(self._token_sketches),
+                "version": self._inner.version,
+                "full_scan": self._delta_sketch_rate() >= 1.0,
+            }
+
     def _root_cut_cached(self, key: tuple) -> tuple[DataMap | None, int]:
         """(cached map or None, current version) in one lock trip."""
         with self._lock:
@@ -1156,6 +1224,7 @@ class SketchBackend:
                 "epsilon": self._fidelity.epsilon,
                 "quantile_sketches": len(self._quantile_sketches),
                 "frequency_sketches": len(self._frequency_sketches),
+                "token_sketches": len(self._token_sketches),
                 "kernels": self._kernels,
                 "kernel_nanos": self._kernel_timings.as_dict(),
                 "usage": dict(self.usage),

@@ -340,6 +340,41 @@ class ExecutionContext:
         """Statistics backend of the base table."""
         return self.stats_for(self.table)
 
+    def adopt_stats(self, factory) -> StatsBackend:
+        """Install an externally built backend for the *base* table.
+
+        ``factory(table, counters, lock, kernels)`` runs outside the
+        lock and must return a ready :class:`StatsBackend` over exactly
+        ``table`` — the warm-start path of :mod:`repro.store.warm`
+        passes a closure that decodes a persisted summary, so the first
+        explore on a restarted service skips the scan/build entirely.
+        The context stays free of store imports; only the seam lives
+        here.  If statistics already exist for the base table the
+        existing backend wins and the factory never runs.
+        """
+        table = self.table
+        fidelity = self._config.fidelity
+        with self._lock:
+            existing = self._stats.get(id(table))
+        if existing is not None:
+            return existing
+        backend = factory(
+            table,
+            self._kind_counters["sketch" if fidelity.is_sketch else "exact"],
+            self._lock,
+            self._config.kernels,
+        )
+        if backend.table is not table:
+            raise MapError(
+                "adopted backend must be built over the context's base table"
+            )
+        with self._lock:
+            current = self._stats.get(id(table))
+            if current is not None:
+                return current
+            _bounded_put(self._stats, id(table), backend, _MAX_TABLE_STATS)
+            return backend
+
     # ------------------------------------------------------------------ #
     # Streaming
     # ------------------------------------------------------------------ #

@@ -50,3 +50,7 @@ class ConfigError(AtlasError):
 
 class SketchError(AtlasError):
     """A streaming sketch was misused (e.g. query before any insert)."""
+
+
+class StoreError(AtlasError):
+    """Problems in the persistent table store (schema drift, bad replay)."""

@@ -15,6 +15,7 @@ Commands::
     parallel [spec] show or switch multi-core execution (serial / parallel)
     cluster [urls|off] attach shard servers (scatter/gather) or detach
     append <rows>   append rows (streaming): ``Age=30, Sex=F; Age=41, Sex=M``
+    tokens <column> top tokens of a text column (match/contains vocabulary)
     refresh         re-explore the breadcrumb against the latest version
     watch           toggle auto-refresh after every append
     serve [async] [port]  expose this table through an exploration service
@@ -60,6 +61,8 @@ HELP_TEXT = """commands:
   cluster [urls|off] attach shard-server URLs and explore over them;
                `cluster` alone shows the attached servers, `off` detaches
   append <rows> append rows, e.g. `append Age=30, Sex=F; Age=41, Sex=M`
+  tokens <column> top tokens of a text column — the vocabulary
+               `column: match '...'` / `contains '...'` predicates hit
   refresh      re-explore the breadcrumb at the latest table version
   watch        toggle auto-refresh after appends
   serve [async] [port] start an HTTP exploration service for this table
@@ -154,6 +157,8 @@ class ExplorerRepl:
             self._cluster(argument)
         elif command == "append":
             self._append(argument)
+        elif command == "tokens":
+            self._tokens(argument)
         elif command == "refresh":
             self._print(
                 render_map_set(
@@ -338,6 +343,59 @@ class ExplorerRepl:
         except ValueError:
             return text
 
+    def _tokens(self, argument: str) -> None:
+        """Show a text column's heavy-hitter tokens.
+
+        Under a sketch fidelity the counts come from the backend's
+        Misra–Gries token summary (the same state the persistent store
+        round-trips); under exact fidelity they are counted directly.
+        Either way this is the vocabulary ``column: match '...'`` and
+        ``contains '...'`` predicates select on.
+        """
+        from repro.dataset.column import CategoricalColumn
+        from repro.query.predicate import tokenize_text
+
+        name = argument.strip()
+        if not name:
+            raise AtlasError("tokens needs a column name, e.g. `tokens title`")
+        table = self._session.atlas.table
+        try:
+            column = table.column(name)
+        except AtlasError:
+            raise AtlasError(
+                f"unknown column {name!r}; table has: "
+                f"{', '.join(table.column_names)}"
+            ) from None
+        if not isinstance(column, CategoricalColumn):
+            raise AtlasError(f"column {name!r} is numeric; tokens need text")
+        backend = self._session.atlas.context.stats()
+        token_sketch = getattr(backend, "token_sketch", None)
+        if token_sketch is not None:
+            counts = token_sketch(name).heavy_hitters()
+            provenance = "sketched from the statistics reservoir"
+        else:
+            import numpy as np
+
+            label_counts = np.bincount(
+                column.codes[column.codes >= 0],
+                minlength=len(column.categories),
+            )
+            counts = {}
+            for label, occurrences in zip(column.categories, label_counts):
+                if not occurrences:
+                    continue
+                for token in tokenize_text(str(label)):
+                    counts[token] = counts.get(token, 0) + int(occurrences)
+            provenance = "exact"
+        top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:12]
+        if not top:
+            self._print(f"no tokens in {name!r}")
+            return
+        width = max(len(token) for token, _ in top)
+        lines = [f"top tokens of {name!r} ({provenance}):"]
+        lines += [f"  {token.ljust(width)}  {count}" for token, count in top]
+        self._print("\n".join(lines))
+
     # ------------------------------------------------------------------ #
     # Service bridge (`serve` / `connect` / `remote`)
     # ------------------------------------------------------------------ #
@@ -372,7 +430,7 @@ class ExplorerRepl:
         # Share the session's configuration so `remote` answers match
         # what the local loop shows for the same query.
         service = ExplorationService(config=self._session.atlas.config)
-        service.register_table(table)
+        service.register(table)
         start = serve_async if use_async else serve
         try:
             self._server = start(service, port=port)

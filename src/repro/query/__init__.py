@@ -1,8 +1,10 @@
 """Conjunctive query language: the paper's "Charles" dialect stand-in.
 
-Provides predicates (range / set / any), immutable conjunctive queries
-with cover evaluation, a parser for the paper's textual syntax, a SQL
-emitter, and the algebra used to verify the CUT partition contract.
+Provides predicates (range / set / any, plus contains / match over text
+columns), immutable conjunctive queries with cover evaluation, a parser
+for the paper's textual syntax, a SQL emitter, the public wire-kind
+registry (:func:`register_predicate_kind`), and the algebra used to
+verify the CUT partition contract.
 """
 
 from repro.query.algebra import (
@@ -15,9 +17,14 @@ from repro.query.algebra import (
 from repro.query.parser import parse_predicate, parse_query
 from repro.query.predicate import (
     AnyPredicate,
+    ContainsPredicate,
+    MatchPredicate,
     Predicate,
     RangePredicate,
     SetPredicate,
+    register_predicate_kind,
+    registered_predicate_kinds,
+    tokenize_text,
 )
 from repro.query.query import ConjunctiveQuery
 from repro.query.sql import count_to_sql, predicate_to_sql, query_to_sql
@@ -25,9 +32,14 @@ from repro.query.sql import count_to_sql, predicate_to_sql, query_to_sql
 __all__ = [
     "AnyPredicate",
     "ConjunctiveQuery",
+    "ContainsPredicate",
+    "MatchPredicate",
     "Predicate",
     "RangePredicate",
     "SetPredicate",
+    "register_predicate_kind",
+    "registered_predicate_kinds",
+    "tokenize_text",
     "count_to_sql",
     "parse_predicate",
     "parse_query",

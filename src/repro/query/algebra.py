@@ -14,16 +14,24 @@ import numpy as np
 from repro.dataset.table import Table
 from repro.query.predicate import (
     AnyPredicate,
+    ContainsPredicate,
+    MatchPredicate,
     Predicate,
     RangePredicate,
     SetPredicate,
 )
 from repro.query.query import ConjunctiveQuery
 
+_TEXT_KINDS = (ContainsPredicate, MatchPredicate)
+
 
 def predicates_disjoint(a: Predicate, b: Predicate) -> bool:
     """True when no value can satisfy both predicates (same attribute)."""
     if isinstance(a, AnyPredicate) or isinstance(b, AnyPredicate):
+        return False
+    if isinstance(a, _TEXT_KINDS) or isinstance(b, _TEXT_KINDS):
+        # Text predicates are never *provably* value-disjoint: any two
+        # needles / term sets can co-occur inside one label.
         return False
     return a.intersect(b) is None
 
@@ -44,6 +52,13 @@ def predicate_contains(outer: Predicate, inner: Predicate) -> bool:
         return low_ok and high_ok
     if isinstance(outer, SetPredicate) and isinstance(inner, SetPredicate):
         return inner.values <= outer.values
+    if isinstance(outer, ContainsPredicate) and isinstance(
+        inner, ContainsPredicate
+    ):
+        # Matching a superstring implies matching every substring of it.
+        return outer.needle.lower() in inner.needle.lower()
+    if isinstance(outer, MatchPredicate) and isinstance(inner, MatchPredicate):
+        return set(outer.terms) <= set(inner.terms)
     return False
 
 

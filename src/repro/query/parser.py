@@ -9,6 +9,8 @@ Accepted per-line forms, one predicate per line::
     Eye color: {'Blue', 'Green', 'Brown'}
     Education: 'MSc'         single-label shorthand for {'MSc'}
     Salary: any              unrestricted attribute
+    Title: contains 'disk'   case-insensitive substring (text columns)
+    Body: match 'error timeout'   FTS-style all-tokens match
 
 Attribute names may contain spaces (everything before the first colon).
 Blank lines and ``#`` comments are ignored.
@@ -21,6 +23,8 @@ import re
 from repro.errors import ParseError
 from repro.query.predicate import (
     AnyPredicate,
+    ContainsPredicate,
+    MatchPredicate,
     Predicate,
     RangePredicate,
     SetPredicate,
@@ -38,6 +42,12 @@ _RANGE_RE = re.compile(
 _SET_RE = re.compile(r"^\{(?P<body>.*)\}$", re.DOTALL)
 
 _QUOTED_RE = re.compile(r"'(?P<single>[^']*)'|\"(?P<double>[^\"]*)\"")
+
+_TEXT_RE = re.compile(
+    r"""^(?P<op>contains|match)\s+
+        (?:'(?P<single>[^']*)'|"(?P<double>[^"]*)")$""",
+    re.IGNORECASE | re.VERBOSE,
+)
 
 
 def parse_query(text: str) -> ConjunctiveQuery:
@@ -98,6 +108,10 @@ def _parse_line(line: str, line_number: int) -> Predicate:
     if set_match:
         return _build_set(attribute, set_match.group("body"), line_number)
 
+    text_match = _TEXT_RE.match(body)
+    if text_match:
+        return _build_text(attribute, text_match, line_number)
+
     quoted = _QUOTED_RE.fullmatch(body)
     if quoted:
         value = quoted.group("single")
@@ -107,8 +121,24 @@ def _parse_line(line: str, line_number: int) -> Predicate:
 
     raise ParseError(
         f"line {line_number}: cannot parse predicate body {body!r} "
-        "(expected a range [a, b], a set {'v', ...}, a quoted value, or 'any')"
+        "(expected a range [a, b], a set {'v', ...}, a quoted value, "
+        "contains '...', match '...', or 'any')"
     )
+
+
+def _build_text(
+    attribute: str, match: re.Match, line_number: int
+) -> Predicate:
+    value = match.group("single")
+    if value is None:
+        value = match.group("double")
+    operator = match.group("op").lower()
+    try:
+        if operator == "contains":
+            return ContainsPredicate(attribute, value)
+        return MatchPredicate(attribute, value)
+    except Exception as exc:
+        raise ParseError(f"line {line_number}: {exc}") from exc
 
 
 def _parse_bound(token: str, line_number: int) -> float:

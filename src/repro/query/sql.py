@@ -13,6 +13,8 @@ import math
 from repro.errors import QueryError
 from repro.query.predicate import (
     AnyPredicate,
+    ContainsPredicate,
+    MatchPredicate,
     Predicate,
     RangePredicate,
     SetPredicate,
@@ -67,6 +69,15 @@ def predicate_to_sql(predicate: Predicate) -> str:
     if isinstance(predicate, SetPredicate):
         values = ", ".join(quote_literal(v) for v in sorted(predicate.values))
         return f"{ident} IN ({values})"
+    if isinstance(predicate, ContainsPredicate):
+        # CONTAINS / MATCH are the dialect's FTS conditions (like
+        # QUALIFY, a DuckDB/Snowflake-style extension): parsed by
+        # repro.db and executed with exactly the mask semantics of the
+        # corresponding predicates, so pushdown counts agree with
+        # in-memory evaluation bit for bit.
+        return f"{ident} CONTAINS {quote_literal(predicate.needle)}"
+    if isinstance(predicate, MatchPredicate):
+        return f"{ident} MATCH {quote_literal(' '.join(predicate.terms))}"
     raise QueryError(f"cannot render predicate type {type(predicate).__name__}")
 
 

@@ -20,8 +20,12 @@ Layers, bottom up:
 * :mod:`repro.service.metrics` — request counters and per-stage
   latency percentiles fed by the pipeline's ``StageTimings``.
 * :mod:`repro.service.sources` — table sources: in-memory tables,
-  :mod:`repro.datagen` generator specs, and :mod:`repro.db`
-  connections, all served through one endpoint.
+  :mod:`repro.datagen` generator specs, :mod:`repro.db` connections,
+  and :class:`~repro.store.TableStore`-persisted tables, all served
+  through one endpoint.
+* :mod:`repro.service.catalog` — the :class:`Catalog`: one named-table
+  registry (sources, generations, persistence write-through) shared by
+  the service, the cluster coordinator, and the REPL.
 * :mod:`repro.service.tenancy` — per-tenant API keys, token-bucket
   rate limits, and the fairness-aware admission ledger.
 * :mod:`repro.service.history` — the persistent per-request journal
@@ -39,7 +43,7 @@ Quickstart::
     from repro.service import ExplorationService, ServiceClient, serve
 
     service = ExplorationService()
-    service.register_table(census_table(n_rows=20_000, seed=0))
+    service.register(census_table(n_rows=20_000, seed=0))
     with serve(service) as server:
         client = ServiceClient(server.url)
         answer = client.explore("census", "Age: [17, 90]")
@@ -52,6 +56,7 @@ from repro.service.async_server import (
     serve_async,
 )
 from repro.service.cache import ResultCache
+from repro.service.catalog import Catalog
 from repro.service.client import ServiceClient
 from repro.service.history import QueryHistory
 from repro.service.metrics import ServiceMetrics
@@ -77,6 +82,7 @@ from repro.service.sources import (
     TABLE_GENERATORS,
     ConnectionSource,
     InMemorySource,
+    StoreSource,
     TableSource,
     build_table,
 )
@@ -88,6 +94,7 @@ __all__ = [
     "AsyncServiceClient",
     "AsyncServiceServer",
     "AuthError",
+    "Catalog",
     "ConnectionSource",
     "DeadlineExceededError",
     "ExplorationService",
@@ -104,6 +111,7 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
+    "StoreSource",
     "TABLE_GENERATORS",
     "TableSource",
     "Tenant",

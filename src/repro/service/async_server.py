@@ -49,11 +49,13 @@ import time
 import urllib.parse
 from typing import Awaitable, Callable
 
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.service.client import retry_delay
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
     AppendRequest,
+    AppendResponse,
     ExploreRequest,
     ExploreResponse,
     ProtocolError,
@@ -61,6 +63,12 @@ from repro.service.protocol import (
     ServiceError,
     error_from_payload,
     error_to_dict,
+)
+from repro.service.requests import (
+    build_append_request,
+    build_explore_request,
+    build_register_payload,
+    history_path,
 )
 from repro.service.service import ExplorationService
 from repro.service.tenancy import retry_after_header
@@ -428,7 +436,7 @@ class AsyncServiceServer:
                         f"{type(payload).__name__}"
                     )
                 name = await self._call(
-                    self._service.register_spec,
+                    self._service.register,
                     payload,
                     overwrite=bool(payload.pop("overwrite", False)),
                 )
@@ -740,37 +748,53 @@ class AsyncServiceClient:
         status: str | None = None,
     ) -> list[dict]:
         """Recent request-journal entries, newest first."""
-        query = {"limit": str(limit)}
-        if tenant is not None:
-            query["tenant"] = tenant
-        if status is not None:
-            query["status"] = status
-        path = "/history?" + urllib.parse.urlencode(query)
+        path = history_path(limit, tenant=tenant, status=status)
         return (await self.request("GET", path))["history"]
+
+    async def register_table(self, generator: str, **params: object) -> str:
+        """Register a generated table; returns its served name
+        (see :meth:`ServiceClient.register_table`)."""
+        payload = build_register_payload(generator, **params)
+        return (await self.request("POST", "/tables", payload))["registered"]
+
+    async def append(self, table: str, rows: dict) -> AppendResponse:
+        """Append columnar rows to a served table
+        (see :meth:`ServiceClient.append`)."""
+        request = build_append_request(table, rows)
+        payload = await self.request("POST", "/append", request.to_dict())
+        return AppendResponse.from_dict(payload)
 
     async def explore(
         self,
         table: str,
         query: "str | dict | None" = None,
-        *,
-        fidelity: str | None = None,
+        config: "dict | AtlasConfig | None" = None,
         use_cache: bool = True,
+        *,
+        fidelity: "str | Fidelity | None" = None,
+        parallelism: "str | Parallelism | int | None" = None,
         deadline_seconds: float | None = None,
         retry_busy: int = 0,
         busy_backoff: float = 0.05,
     ) -> ExploreResponse:
         """Run one exploration (see :meth:`ServiceClient.explore`).
 
-        Busy retries sleep :func:`~repro.service.client.retry_delay`
-        seconds (full first step, deterministic jitter, server hint as
-        a floor) — an ``await asyncio.sleep``, so other clients on the
-        same loop keep running.
+        The full parameter surface of the blocking client — ``config``
+        overrides, ``fidelity``, and ``parallelism`` coerce through the
+        same :func:`~repro.service.requests.build_explore_request`, so
+        the two clients cannot drift.  Busy retries sleep
+        :func:`~repro.service.client.retry_delay` seconds (full first
+        step, deterministic jitter, server hint as a floor) — an
+        ``await asyncio.sleep``, so other clients on the same loop keep
+        running.
         """
-        request = ExploreRequest(
-            table=table,
-            query=query,
-            use_cache=use_cache,
+        request = build_explore_request(
+            table,
+            query,
+            config,
+            use_cache,
             fidelity=fidelity,
+            parallelism=parallelism,
             deadline_seconds=deadline_seconds,
         )
         attempt = 0

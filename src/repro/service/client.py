@@ -21,18 +21,21 @@ rejected together do not retry in lockstep, raised to the server's
 from __future__ import annotations
 
 import time
-import urllib.parse
 
 from repro.core.config import AtlasConfig, Fidelity, Parallelism
 from repro.query.query import ConjunctiveQuery
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AdmissionError,
-    AppendRequest,
     AppendResponse,
-    ExploreRequest,
     ExploreResponse,
     ProtocolError,
+)
+from repro.service.requests import (
+    build_append_request,
+    build_explore_request,
+    build_register_payload,
+    history_path,
 )
 from repro.service.transport import HttpTransport
 
@@ -120,12 +123,7 @@ class ServiceClient:
         status: str | None = None,
     ) -> list[dict]:
         """Recent request-journal entries, newest first."""
-        query = {"limit": str(limit)}
-        if tenant is not None:
-            query["tenant"] = tenant
-        if status is not None:
-            query["status"] = status
-        path = "/history?" + urllib.parse.urlencode(query)
+        path = history_path(limit, tenant=tenant, status=status)
         return self._request("GET", path)["history"]
 
     def register_table(self, generator: str, **params: object) -> str:
@@ -137,7 +135,7 @@ class ServiceClient:
             client.register_table("census", n_rows=20_000, seed=1,
                                   name="census_b")
         """
-        payload = {"generator": generator, **params}
+        payload = build_register_payload(generator, **params)
         return self._request("POST", "/tables", payload)["registered"]
 
     def append(self, table: str, rows: dict) -> AppendResponse:
@@ -149,7 +147,7 @@ class ServiceClient:
         subsequent explores at the returned ``version``; its result
         cache can never serve a pre-append answer for it.
         """
-        request = AppendRequest(table=table, rows=rows)
+        request = build_append_request(table, rows)
         payload = self._request("POST", "/append", request.to_dict())
         return AppendResponse.from_dict(payload)
 
@@ -183,19 +181,13 @@ class ServiceClient:
         429 rejection the call retries up to ``retry_busy`` times,
         sleeping :func:`retry_delay` seconds between tries.
         """
-        if isinstance(query, ConjunctiveQuery):
-            query = query.to_dict()
-        if isinstance(config, AtlasConfig):
-            config = config.to_dict()
-        if isinstance(fidelity, Fidelity):
-            fidelity = fidelity.spec()
-        if isinstance(parallelism, int) and not isinstance(parallelism, bool):
-            parallelism = Parallelism.of(workers=parallelism)
-        if isinstance(parallelism, Parallelism):
-            parallelism = parallelism.spec()
-        request = ExploreRequest(
-            table=table, query=query, config=config, use_cache=use_cache,
-            fidelity=fidelity, parallelism=parallelism,
+        request = build_explore_request(
+            table,
+            query,
+            config,
+            use_cache,
+            fidelity=fidelity,
+            parallelism=parallelism,
             deadline_seconds=deadline_seconds,
         )
         attempt = 0

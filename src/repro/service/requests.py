@@ -1,0 +1,98 @@
+"""Request builders shared by the blocking and asyncio clients.
+
+Both clients speak the same wire protocol, but each used to build its
+requests by hand — and the two surfaces drifted (the async client lost
+``config``/``parallelism``, keyword coercions diverged).  This module
+is the single place a Python-level call becomes a wire request:
+
+* :func:`build_explore_request` — every richly-typed argument
+  (:class:`~repro.query.query.ConjunctiveQuery`,
+  :class:`~repro.core.config.AtlasConfig`,
+  :class:`~repro.core.config.Fidelity`,
+  :class:`~repro.core.config.Parallelism` or a bare worker count) is
+  coerced to its wire shape exactly once, identically for every client;
+* :func:`build_append_request` — the columnar append payload;
+* :func:`build_register_payload` — the ``POST /tables`` generator spec;
+* :func:`history_path` — the ``GET /history`` query string.
+
+A client that builds requests any other way is a bug.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
+from repro.query.query import ConjunctiveQuery
+from repro.service.protocol import AppendRequest, ExploreRequest
+
+
+def build_explore_request(
+    table: str,
+    query: "str | dict | ConjunctiveQuery | None" = None,
+    config: "dict | AtlasConfig | None" = None,
+    use_cache: bool = True,
+    *,
+    fidelity: "str | Fidelity | None" = None,
+    parallelism: "str | Parallelism | int | None" = None,
+    deadline_seconds: float | None = None,
+) -> ExploreRequest:
+    """Coerce one explore call to its wire request.
+
+    ``query`` accepts the same shapes as the local facade: ``None``
+    (whole table), paper-syntax text, a wire dict, or a parsed
+    :class:`ConjunctiveQuery`.  ``config`` may be an
+    :class:`AtlasConfig` (serialized) or an override dict (sent as-is).
+    ``fidelity`` may be a spec string or a :class:`Fidelity`;
+    ``parallelism`` a spec string, a :class:`Parallelism`, or a bare
+    worker count (``4`` → ``"parallel:4"``-style spec via
+    :meth:`Parallelism.of`).
+    """
+    if isinstance(query, ConjunctiveQuery):
+        query = query.to_dict()
+    if isinstance(config, AtlasConfig):
+        config = config.to_dict()
+    if isinstance(fidelity, Fidelity):
+        fidelity = fidelity.spec()
+    if isinstance(parallelism, int) and not isinstance(parallelism, bool):
+        parallelism = Parallelism.of(workers=parallelism)
+    if isinstance(parallelism, Parallelism):
+        parallelism = parallelism.spec()
+    return ExploreRequest(
+        table=table,
+        query=query,
+        config=config,
+        use_cache=use_cache,
+        fidelity=fidelity,
+        parallelism=parallelism,
+        deadline_seconds=deadline_seconds,
+    )
+
+
+def build_append_request(table: str, rows: dict) -> AppendRequest:
+    """The wire shape of one columnar append."""
+    return AppendRequest(table=table, rows=rows)
+
+
+def build_register_payload(generator: str, **params: object) -> dict:
+    """The ``POST /tables`` payload registering a generated table.
+
+    ``params`` may include ``name`` (rename) and ``overwrite`` besides
+    the generator's own keyword arguments.
+    """
+    return {"generator": generator, **params}
+
+
+def history_path(
+    limit: int = 50,
+    *,
+    tenant: str | None = None,
+    status: str | None = None,
+) -> str:
+    """The ``GET /history`` path with its filter query string."""
+    query = {"limit": str(limit)}
+    if tenant is not None:
+        query["tenant"] = tenant
+    if status is not None:
+        query["status"] = status
+    return "/history?" + urllib.parse.urlencode(query)

@@ -119,7 +119,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "expected a table-spec object, got "
                         f"{type(payload).__name__}"
                     )
-                name = service.register_spec(
+                name = service.register(
                     payload, overwrite=bool(payload.pop("overwrite", False))
                 )
                 self._send(201, {"registered": name})

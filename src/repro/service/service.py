@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from threading import Lock
@@ -51,8 +52,10 @@ from repro.engine.context import (
 )
 from repro.engine.parallel import merge_shard_info, new_shard_aggregate
 from repro.engine.pipeline import Pipeline
+from repro.errors import MapError, StoreError
 from repro.query.query import ConjunctiveQuery
 from repro.service.cache import ResultCache
+from repro.service.catalog import Catalog
 from repro.service.history import QueryHistory
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -66,17 +69,11 @@ from repro.service.protocol import (
     ProtocolError,
     RateLimitError,
     ServiceError,
-    UnknownTableError,
     apply_config_overrides,
     resolve_query_payload,
 )
 from repro.service.tenancy import AdmissionLedger, Tenant, TenantRegistry
-from repro.service.sources import (
-    ConnectionSource,
-    InMemorySource,
-    TableSource,
-    build_table,
-)
+from repro.store import TableStore
 
 
 def result_cache_key(  # cache-key-of: ExploreRequest (exempt: use_cache, deadline_seconds)
@@ -168,6 +165,16 @@ class ExplorationService:
         A :class:`~repro.service.history.QueryHistory`, a database
         path (making the journal survive restarts), or ``None`` for a
         fresh in-memory journal.
+    store:
+        A :class:`~repro.store.TableStore` (or a database path the
+        service opens and owns) backing the catalog: tables registered
+        with ``persist=True`` write through, appends journal, built
+        sketch summaries round-trip — and every table already in the
+        store is served immediately, warm-starting a restarted service.
+    catalog:
+        Share an existing :class:`~repro.service.catalog.Catalog`
+        (e.g. with a REPL or a cluster coordinator) instead of building
+        one; mutually exclusive with ``store``.
     """
 
     def __init__(
@@ -182,6 +189,8 @@ class ExplorationService:
         tenants: "tuple[Tenant, ...] | list[Tenant] | None" = None,
         require_api_key: bool = False,
         history: "QueryHistory | str | None" = None,
+        store: "TableStore | str | None" = None,
+        catalog: Catalog | None = None,
     ):
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -207,16 +216,26 @@ class ExplorationService:
             self._history = history
         else:
             self._history = QueryHistory(history or ":memory:")
+        self._owns_store = False
+        if catalog is not None:
+            if store is not None:
+                raise ServiceError(
+                    "pass either store or catalog, not both (a catalog "
+                    "already carries its store)"
+                )
+            self._catalog = catalog
+        else:
+            if isinstance(store, str):
+                store = TableStore(store)
+                self._owns_store = True
+            self._catalog = Catalog(store=store)
+        # The registry lock guards only the context LRU; the table
+        # registry itself (sources, materializations, generations)
+        # lives in the catalog behind its own lock.  Lock order is
+        # catalog -> registry (appends advance contexts inside the
+        # catalog's critical section), never the reverse — anything
+        # needing catalog state must read it before taking _registry.
         self._registry = Lock()
-        self._sources: dict[str, TableSource] = {}  # guarded-by: _registry
-        self._tables: dict[str, Table] = {}  # guarded-by: _registry
-        #: Per-name registration generation, bumped on every (re-)
-        #: registration.  Result-cache keys carry ``(generation,
-        #: version)`` so neither an overwrite nor an append can leave a
-        #: stale answer reachable (an overwritten table restarts at
-        #: version 0 — the generation is what separates its cache
-        #: entries from the previous tenant's).
-        self._generations: dict[str, int] = {}  # guarded-by: _registry
         self._contexts: OrderedDict[tuple, ExecutionContext] = (
             OrderedDict()
         )  # guarded-by: _registry
@@ -227,102 +246,99 @@ class ExplorationService:
     # Table registration
     # ------------------------------------------------------------------ #
 
+    @property
+    def catalog(self) -> Catalog:
+        """The table registry this service serves from (shareable)."""
+        return self._catalog
+
+    @property
+    def store(self) -> "TableStore | None":
+        """The persistent store behind the catalog, if any."""
+        return self._catalog.store
+
+    def register(
+        self,
+        name: "str | None" = None,
+        source: "object | None" = None,
+        *,
+        overwrite: bool = False,
+        persist: bool = False,
+    ) -> "str | tuple[str, ...]":
+        """Serve a table from any source shape — *the* registration verb.
+
+        ``source`` may be a :class:`~repro.dataset.table.Table`, a
+        generator-spec mapping (what ``POST /tables`` accepts), any
+        :class:`~repro.service.sources.TableSource`, or a
+        :mod:`repro.db` connection — a connection with ``name=None``
+        registers every visible relation and returns the name tuple.
+        ``register(table)`` (source first, no name) derives the name
+        from the source.  ``persist=True`` writes the table through to
+        the catalog's store; see :meth:`Catalog.register`.
+        """
+        result = self._catalog.register(
+            name, source, overwrite=overwrite, persist=persist
+        )
+        names = result if isinstance(result, tuple) else (result,)
+        with self._registry:
+            # Re-registration invalidates any contexts (and through
+            # them, memoized statistics) built over the old tenant.
+            for key in [k for k in self._contexts if k[0] in names]:
+                del self._contexts[key]
+        return result
+
     def register_table(
         self, table: Table, name: str | None = None, *, overwrite: bool = False
     ) -> str:
-        """Serve an in-memory table under ``name`` (default: its own)."""
-        return self._add_source(
-            name or table.name, InMemorySource(table), overwrite
+        """Deprecated: use :meth:`register`\\ ``(name, table)``."""
+        warnings.warn(
+            "ExplorationService.register_table is deprecated; "
+            "use register(name, table)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        result = self.register(name, table, overwrite=overwrite)
+        assert isinstance(result, str)
+        return result
 
     def register_spec(self, spec: dict, *, overwrite: bool = False) -> str:
-        """Serve a generated table from a :func:`build_table` wire spec."""
-        table = build_table(spec)
-        return self.register_table(table, overwrite=overwrite)
+        """Deprecated: use :meth:`register`\\ ``(spec)``."""
+        warnings.warn(
+            "ExplorationService.register_spec is deprecated; "
+            "use register(spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.register(None, spec, overwrite=overwrite)
+        assert isinstance(result, str)
+        return result
 
     def register_connection(
         self, connection: Connection, *, overwrite: bool = False
     ) -> tuple[str, ...]:
-        """Serve every relation visible through a :mod:`repro.db` connection.
-
-        Tables are fetched lazily on first explore, so registering a
-        large DBMS surface is free until it is used; ``SqlAtlas``-style
-        SQL-backed tables become explorable through the same endpoint
-        as native ones.
-        """
-        names = []
-        for table_name in connection.table_names():
-            names.append(
-                self._add_source(
-                    table_name,
-                    ConnectionSource(connection, table_name),
-                    overwrite,
-                )
-            )
-        return tuple(names)
-
-    def _add_source(
-        self, name: str, source: TableSource, overwrite: bool
-    ) -> str:
-        with self._registry:
-            if name in self._sources and not overwrite:
-                raise ProtocolError(
-                    f"table {name!r} is already registered "
-                    "(pass overwrite=True to replace it)"
-                )
-            self._sources[name] = source
-            self._generations[name] = self._generations.get(name, 0) + 1
-            # Drop any stale materialization and its contexts.
-            self._tables.pop(name, None)
-            for key in [k for k in self._contexts if k[0] == name]:
-                del self._contexts[key]
-        return name
+        """Deprecated: use :meth:`register`\\ ``(connection)``."""
+        warnings.warn(
+            "ExplorationService.register_connection is deprecated; "
+            "use register(connection)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.register(None, connection, overwrite=overwrite)
+        assert isinstance(result, tuple)
+        return result
 
     def table_names(self) -> tuple[str, ...]:
         """Registered table names, registration order."""
-        with self._registry:
-            return tuple(self._sources)
+        return self._catalog.names()
 
     def describe_tables(self) -> dict[str, str]:
         """Name → provenance line, for ``/tables`` and diagnostics."""
-        with self._registry:
-            return {
-                name: source.describe()
-                for name, source in self._sources.items()
-            }
+        return self._catalog.describe()
 
     def _resolve_table(self, name: str) -> Table:
-        while True:
-            with self._registry:
-                table = self._tables.get(name)
-                if table is not None:
-                    return table
-                source = self._sources.get(name)
-            if source is None:
-                known = ", ".join(self.table_names()) or "(none registered)"
-                raise UnknownTableError(
-                    f"unknown table {name!r}; known: {known}"
-                )
-            table = source.load()
-            with self._registry:
-                if self._sources.get(name) is not source:
-                    # Re-registered (overwrite) while we were loading;
-                    # the materialization belongs to the old source and
-                    # must not be installed — resolve again.
-                    continue
-                # First materialization wins so context identity is stable.
-                return self._tables.setdefault(name, table)
+        return self._catalog.resolve(name)
 
     def _resolve_with_generation(self, name: str) -> tuple[Table, int]:
-        """The served table *and* the generation it belongs to, read
-        atomically — a re-registration racing an explore must not pair
-        the old tenant's table with the new tenant's generation (the
-        old answer would become reachable under new-generation keys)."""
-        while True:
-            table = self._resolve_table(name)
-            with self._registry:
-                if self._tables.get(name) is table:
-                    return table, self._generations.get(name, 0)
+        return self._catalog.resolve_with_generation(name)
 
     # ------------------------------------------------------------------ #
     # Tenancy and history
@@ -394,11 +410,34 @@ class ExplorationService:
                     # computed for (and cached under) a newer one.
                     context.advance(table)
                 return context
-            context = ExecutionContext(table, config)
-            while len(self._contexts) >= self._max_contexts:
-                self._contexts.popitem(last=False)
-            self._contexts[key] = context
-            return context
+        # Cold context.  Ask the catalog for a persisted-summary factory
+        # *before* taking the registry lock — the catalog lock may only
+        # be taken first (appends advance contexts inside it).
+        factory = self._catalog.warm_factory(table_name, table, config)
+        fresh = ExecutionContext(table, config)
+        with self._registry:
+            context = self._contexts.get(key)
+            if context is not None:
+                # Another request installed one while we built; theirs
+                # wins (its statistics may already be loaded).
+                self._contexts.move_to_end(key)
+                if context.version < table.version:
+                    context.advance(table)
+            else:
+                context = fresh
+                while len(self._contexts) >= self._max_contexts:
+                    self._contexts.popitem(last=False)
+                self._contexts[key] = context
+        if factory is not None:
+            try:
+                context.adopt_stats(factory)
+                self._metrics.count("warm_starts")
+            except (StoreError, MapError):
+                # An append raced the restore (summary version no longer
+                # matches the context's table) — a fresh build is always
+                # correct, so warm-start failures never fail an explore.
+                pass
+        return context
 
     # ------------------------------------------------------------------ #
     # Exploration
@@ -621,31 +660,30 @@ class ExplorationService:
         """Append rows to a served table; the twin of ``POST /append``.
 
         ``rows`` is a columnar mapping (or a same-schema table).  The
-        whole transition is atomic with respect to the registry: the
-        materialized table and its source are replaced by the
-        version-bumped successor, and every live execution context on
-        the table is *maintained incrementally* — sketch backends merge
-        delta sketches and top up reservoirs, exact backends drop their
-        version-stale memo families — before new explores see the new
-        version.  Old cache entries stay keyed to the old version and
-        simply become unreachable.
+        whole transition is atomic with respect to the catalog: the
+        delta is journaled to the store first if the table is persisted
+        (durability before visibility), the materialized table and its
+        source are replaced by the version-bumped successor, and every
+        live execution context on the table is *maintained
+        incrementally* — sketch backends merge delta sketches and top
+        up reservoirs, exact backends drop their version-stale memo
+        families — before new explores see the new version.  Old cache
+        entries stay keyed to the old version and simply become
+        unreachable.
         """
-        self._resolve_table(table)  # materialize lazy sources / 404
-        with self._registry:
-            current = self._tables.get(table)
-            if current is None:  # re-register racing the append
-                raise UnknownTableError(
-                    f"table {table!r} was re-registered during the append; "
-                    "retry"
-                )
-            new_table = current.append(rows)
-            self._tables[table] = new_table
-            self._sources[table] = InMemorySource(new_table)
-            # Appends are serialized by the registry lock, so contexts
-            # advance through versions in order.
-            for key, context in self._contexts.items():
-                if key[0] == table:
-                    context.advance(new_table)
+
+        def advance_contexts(new_table: Table) -> None:
+            # Runs inside the catalog's critical section (lock order
+            # catalog -> registry), so contexts advance through
+            # versions in append order.
+            with self._registry:
+                for key, context in self._contexts.items():
+                    if key[0] == table:
+                        context.advance(new_table)
+
+        current, new_table = self._catalog.append(
+            table, rows, advance_contexts
+        )
         self._metrics.count("appends")
         return AppendResponse(
             table=table,
@@ -686,7 +724,43 @@ class ExplorationService:
         )
         if cache_key is not None:
             self._results.put(cache_key, response)
+        self._maybe_persist_summary(table_name, table, context, config)
         return response
+
+    def _maybe_persist_summary(
+        self,
+        table_name: str,
+        table: Table,
+        context: ExecutionContext,
+        config: AtlasConfig,
+    ) -> None:
+        """Write the run's built sketch state through to the store.
+
+        Best-effort: the catalog skips tables that are not persisted,
+        configurations that are not summarizable, versions that moved
+        under the run, and keys already stored — and a store failure
+        must never fail the explore that happened to trigger it.
+        """
+        if self._catalog.store is None:
+            return
+        if not config.fidelity.is_sketch or config.sample_size is not None:
+            return
+        if not self._catalog.is_persisted(table_name):
+            return
+        if context.table is not table:
+            # An append advanced the context past the run's table;
+            # asking for statistics over the stale object would build a
+            # throwaway backend just to serialize it.  The next explore
+            # at the new version persists instead.
+            return
+        try:
+            backend = context.stats_for(table)
+            if self._catalog.persist_summary(
+                table_name, table, backend, config
+            ):
+                self._metrics.count("summaries_persisted")
+        except (StoreError, MapError):
+            pass
 
     def _coerce_query(
         self, query: "str | dict | ConjunctiveQuery | None"
@@ -775,6 +849,11 @@ class ExplorationService:
         self._admission.close()
         self._pool.shutdown(wait=True)
         self._history.close()
+        if self._owns_store and self._catalog.store is not None:
+            # Only a store the service opened itself (path argument) is
+            # closed here; an injected store or shared catalog belongs
+            # to the caller.
+            self._catalog.store.close()
 
     def __enter__(self) -> "ExplorationService":
         return self

@@ -1,6 +1,6 @@
 """Table sources: where served tables come from.
 
-Three shapes, one interface (:class:`TableSource.load`):
+Four shapes, one interface (:class:`TableSource.load`):
 
 * :class:`InMemorySource` — a table the host process already holds,
 * a :mod:`repro.datagen` generator spec built by :func:`build_table`
@@ -8,7 +8,10 @@ Three shapes, one interface (:class:`TableSource.load`):
 * :class:`ConnectionSource` — a relation behind a :mod:`repro.db`
   connection (:class:`~repro.db.connection.NativeConnection` or the
   SQL-text-only :class:`~repro.db.connection.SqlConnection`), so the
-  same endpoint serves ``SqlAtlas``-style DBMS-backed tables.
+  same endpoint serves ``SqlAtlas``-style DBMS-backed tables,
+* :class:`StoreSource` — a table persisted in a
+  :class:`~repro.store.store.TableStore`, replayed (base + append log)
+  on first use; what a restarted service's warm start loads from.
 
 Sources are lazy: the service materializes a table on first use and
 keeps it (tables are immutable), so registering a whole connection is
@@ -22,6 +25,7 @@ import abc
 from repro.dataset.table import Table
 from repro.db.connection import Connection
 from repro.service.protocol import ProtocolError
+from repro.store.store import TableStore
 
 #: Wire-registrable dataset generators, keyed by the name clients use.
 #: Each maps keyword parameters straight onto the generator call.
@@ -29,13 +33,19 @@ TABLE_GENERATORS: dict[str, object] = {}
 
 
 def _register_generators() -> None:
-    from repro.datagen import census_table, shape_table, sky_survey_table
+    from repro.datagen import (
+        census_table,
+        shape_table,
+        sky_survey_table,
+        support_tickets_table,
+    )
 
     TABLE_GENERATORS.update(
         {
             "census": census_table,
             "sky_survey": sky_survey_table,
             "shapes": shape_table,
+            "support_tickets": support_tickets_table,
         }
     )
 
@@ -86,6 +96,11 @@ class TableSource(abc.ABC):
     def describe(self) -> str:
         """One-line provenance for ``/tables`` listings."""
 
+    @property
+    def default_name(self) -> str | None:
+        """The name this source serves under when the caller gives none."""
+        return None
+
 
 class InMemorySource(TableSource):
     """A table the host process registered directly."""
@@ -104,6 +119,10 @@ class InMemorySource(TableSource):
             + ")"
         )
 
+    @property
+    def default_name(self) -> str | None:
+        return self._table.name
+
 
 class ConnectionSource(TableSource):
     """A relation fetched through a :mod:`repro.db` connection."""
@@ -117,3 +136,40 @@ class ConnectionSource(TableSource):
 
     def describe(self) -> str:
         return f"connection ({type(self._connection).__name__})"
+
+    @property
+    def default_name(self) -> str | None:
+        return self._table_name
+
+
+class StoreSource(TableSource):
+    """A table replayed from a persistent :class:`TableStore`.
+
+    Loading decodes the stored base buffers and replays the append log
+    through :meth:`repro.dataset.table.Table.append`, so the served
+    table is bit-identical — rows, versions, dictionary order — to the
+    one the writing process last held.
+    """
+
+    def __init__(self, store: TableStore, table_name: str):
+        self._store = store
+        self._table_name = table_name
+
+    @property
+    def store(self) -> TableStore:
+        """The backing store (the catalog checks identity on persist)."""
+        return self._store
+
+    def load(self) -> Table:
+        return self._store.load_table(self._table_name)
+
+    def describe(self) -> str:
+        info = self._store.describe(self._table_name)
+        return (
+            f"store ({info['n_rows']} rows, version {info['version']}, "
+            f"{self._store.path})"
+        )
+
+    @property
+    def default_name(self) -> str | None:
+        return self._table_name

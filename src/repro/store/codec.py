@@ -1,0 +1,121 @@
+"""Column / table serialization for the persistent store.
+
+The codec is deliberately dumb: a numeric column persists as its raw
+float64 buffer, a categorical column as its raw int32 code buffer plus
+the dictionary as JSON.  Decoding hands the buffers straight back to
+the column constructors, so a round trip is bit-identical — the
+property the warm-start fingerprint tests pin.
+
+Two encodings share the per-column logic:
+
+* **blob rows** (:func:`column_blob` / :func:`column_from_blob`) — the
+  ``columns`` table of :class:`repro.store.store.TableStore`, one BLOB
+  per column per table version;
+* **JSON payloads** (:func:`encode_table_payload` /
+  :func:`decode_table_payload`) — base64-wrapped blobs inside the
+  summary documents, where the reservoir sample travels with its
+  sketches.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import numpy as np
+
+from repro.dataset.column import CategoricalColumn, Column, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import StoreError
+
+#: Column kinds the codec understands, by tag stored on disk.
+_NUMERIC = "numeric"
+_CATEGORICAL = "categorical"
+
+
+def column_blob(column: Column) -> tuple[str, bytes, str | None]:
+    """``(kind, raw buffer, aux JSON)`` for one column.
+
+    ``aux`` carries the categorical dictionary (order matters — codes
+    index into it) and is ``None`` for numeric columns.
+    """
+    if isinstance(column, NumericColumn):
+        return _NUMERIC, np.ascontiguousarray(column.data).tobytes(), None
+    if isinstance(column, CategoricalColumn):
+        return (
+            _CATEGORICAL,
+            np.ascontiguousarray(column.codes).tobytes(),
+            json.dumps(list(column.categories)),
+        )
+    raise StoreError(
+        f"cannot persist column {column.name!r} of kind {column.kind!r}"
+    )
+
+
+def column_from_blob(
+    name: str, kind: str, blob: bytes, aux: str | None
+) -> Column:
+    """Rebuild one column from its stored row (inverse of
+    :func:`column_blob`)."""
+    if kind == _NUMERIC:
+        return NumericColumn(name, np.frombuffer(blob, dtype=np.float64))
+    if kind == _CATEGORICAL:
+        if aux is None:
+            raise StoreError(
+                f"stored categorical column {name!r} has no dictionary"
+            )
+        categories = json.loads(aux)
+        return CategoricalColumn(
+            name, np.frombuffer(blob, dtype=np.int32).copy(), categories
+        )
+    raise StoreError(f"unknown stored column kind {kind!r} for {name!r}")
+
+
+def encode_table_payload(table: Table) -> dict:
+    """The table as a JSON-ready document (blobs base64-wrapped)."""
+    columns = []
+    for column in table.columns:
+        kind, blob, aux = column_blob(column)
+        columns.append(
+            {
+                "name": column.name,
+                "kind": kind,
+                "data": base64.b64encode(blob).decode("ascii"),
+                "aux": aux,
+            }
+        )
+    return {
+        "name": table.name,
+        "version": table.version,
+        "n_rows": table.n_rows,
+        "columns": columns,
+    }
+
+
+def decode_table_payload(payload: dict) -> Table:
+    """Inverse of :func:`encode_table_payload` (restores the version)."""
+    columns = [
+        column_from_blob(
+            entry["name"],
+            entry["kind"],
+            base64.b64decode(entry["data"]),
+            entry.get("aux"),
+        )
+        for entry in payload["columns"]
+    ]
+    table = Table(columns, name=payload["name"])
+    if table.n_rows != payload["n_rows"]:
+        raise StoreError(
+            f"stored table {payload['name']!r} decoded to {table.n_rows} "
+            f"rows, expected {payload['n_rows']}"
+        )
+    table._version = int(payload["version"])
+    return table
+
+
+def table_schema(table: Table) -> list[dict]:
+    """The schema document recorded alongside a registered table."""
+    return [
+        {"name": column.name, "kind": column.kind.value}
+        for column in table.columns
+    ]

@@ -1,0 +1,208 @@
+"""Store persistence properties: replay bit-identity, crash recovery.
+
+Two invariants the persistent store promises:
+
+* a service restarted over the same database answers the same
+  exploration **bit-identically** (same :func:`map_set_fingerprint`) —
+  the append-log replay reconstructs the exact table and the persisted
+  sketch summary restores the exact statistics state;
+* the append log is **idempotent under replay** — a writer crashing
+  mid-retry re-issues version pairs it already logged, and the stored
+  history neither doubles rows nor drifts, for any crash point.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AtlasConfig, Fidelity
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.evaluation.metrics import map_set_fingerprint
+from repro.service.service import ExplorationService
+from repro.store import TableStore
+
+_WORDS = (
+    "disk",
+    "outage",
+    "network",
+    "timeout",
+    "error",
+    "latency",
+    "cpu",
+    "memory",
+)
+
+titles = st.lists(
+    st.sampled_from(_WORDS), min_size=1, max_size=3
+).map(" ".join)
+
+columns = st.integers(min_value=8, max_value=24).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(
+                min_value=0.0, max_value=100.0, allow_nan=False
+            ),
+            min_size=n,
+            max_size=n,
+        ),
+        st.lists(titles, min_size=n, max_size=n),
+    )
+)
+
+deltas = st.lists(
+    st.integers(min_value=1, max_value=4).flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.floats(
+                    min_value=0.0, max_value=100.0, allow_nan=False
+                ),
+                min_size=n,
+                max_size=n,
+            ),
+            st.lists(titles, min_size=n, max_size=n),
+        )
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+def build_table(data: tuple[list[float], list[str]]) -> Table:
+    hours, texts = data
+    return Table(
+        [
+            NumericColumn("hours", hours),
+            CategoricalColumn.from_values("title", texts),
+        ],
+        name="events",
+    )
+
+
+def tables_identical(left: Table, right: Table) -> None:
+    assert left.version == right.version
+    assert left.n_rows == right.n_rows
+    np.testing.assert_array_equal(
+        left.numeric("hours").data, right.numeric("hours").data
+    )
+    assert (
+        left.categorical("title").categories
+        == right.categorical("title").categories
+    )
+    np.testing.assert_array_equal(
+        left.categorical("title").codes, right.categorical("title").codes
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(base=columns, extra=deltas)
+def test_restarted_service_answers_bit_identically(base, extra):
+    """register → append → explore → restart → same fingerprint, warm."""
+    config = AtlasConfig(fidelity=Fidelity.parse("sketch:16"), seed=2)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/atlas.db"
+        with ExplorationService(max_workers=1, store=path) as service:
+            service.register(build_table(base), persist=True)
+            for hours, texts in extra:
+                service.append(
+                    "events", {"hours": hours, "title": texts}
+                )
+            cold = service.explore("events", config=config)
+            fingerprint = map_set_fingerprint(cold.map_set)
+            final = service.catalog.resolve("events")
+        with ExplorationService(max_workers=1, store=path) as again:
+            restored = again.catalog.resolve("events")
+            tables_identical(restored, final)
+            warm = again.explore("events", config=config)
+            assert map_set_fingerprint(warm.map_set) == fingerprint
+            assert again.metrics()["requests"]["warm_starts"] >= 1
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    base=columns,
+    extra=deltas,
+    crash_after=st.integers(min_value=0, max_value=3),
+)
+def test_crash_mid_append_replay_is_idempotent(base, extra, crash_after):
+    """Re-issuing already-logged version pairs never doubles rows."""
+    table = build_table(base)
+    coerced = []
+    current = table
+    for hours, texts in extra:
+        delta = current.coerce_delta({"hours": hours, "title": texts})
+        coerced.append(delta)
+        current = current.append(delta)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/atlas.db"
+        with TableStore(path) as store:
+            store.register_table(table)
+            for i, delta in enumerate(coerced[:crash_after]):
+                store.append(
+                    "events", delta, from_version=i, to_version=i + 1
+                )
+        # The writer "crashes" and restarts: it conservatively replays
+        # the whole append history from the beginning.  Already-logged
+        # pairs are no-ops; the rest apply normally.
+        with TableStore(path) as store:
+            for i, delta in enumerate(coerced):
+                applied = store.append(
+                    "events", delta, from_version=i, to_version=i + 1
+                )
+                assert applied == (i >= min(crash_after, len(coerced)))
+            tables_identical(store.load_table("events"), current)
+            assert store.describe("events")["appends"] == len(coerced)
+
+
+@settings(max_examples=10, deadline=None)
+@given(base=columns)
+def test_load_table_is_bit_identical_after_reopen(base):
+    table = build_table(base)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/atlas.db"
+        with TableStore(path) as store:
+            store.register_table(table)
+        with TableStore(path) as store:
+            tables_identical(store.load_table("events"), table)
+
+
+@pytest.mark.parametrize("mode", ["match", "contains"])
+def test_store_search_agrees_with_predicate_mask(mode):
+    """Stored-label search returns exactly the labels the mask selects."""
+    from repro.query.predicate import ContainsPredicate, MatchPredicate
+
+    table = build_table(
+        (
+            [1.0, 2.0, 3.0, 4.0],
+            [
+                "disk outage",
+                "network timeout error",
+                "disk error",
+                "cpu latency",
+            ],
+        )
+    )
+    with TableStore() as store:
+        store.register_table(table)
+        found = set(store.search("events", "title", "error", mode=mode))
+    if mode == "match":
+        predicate = MatchPredicate("title", "error")
+    else:
+        predicate = ContainsPredicate("title", "error")
+    mask = predicate.mask(table)
+    col = table.categorical("title")
+    from_mask = {col.categories[c] for c in col.codes[mask]}
+    assert found == from_mask

@@ -1,0 +1,124 @@
+"""Shared request builders: one coercion path for both clients."""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
+from repro.query.parser import parse_query
+from repro.service.async_server import AsyncServiceClient
+from repro.service.client import ServiceClient
+from repro.service.requests import (
+    build_append_request,
+    build_explore_request,
+    build_register_payload,
+    history_path,
+)
+
+
+class TestExploreBuilder:
+    def test_defaults(self):
+        request = build_explore_request("census")
+        assert request.table == "census"
+        assert request.query is None
+        assert request.config is None
+        assert request.use_cache is True
+        assert request.fidelity is None
+        assert request.parallelism is None
+        assert request.deadline_seconds is None
+
+    def test_query_object_serialized(self):
+        query = parse_query("Age: [20, 40]")
+        request = build_explore_request("census", query)
+        assert request.query == query.to_dict()
+
+    def test_query_text_passes_through(self):
+        request = build_explore_request("census", "Age: [20, 40]")
+        assert request.query == "Age: [20, 40]"
+
+    def test_config_object_serialized(self):
+        config = AtlasConfig(fidelity=Fidelity.parse("sketch:100"))
+        request = build_explore_request("census", config=config)
+        assert request.config == config.to_dict()
+
+    def test_config_dict_sent_as_is(self):
+        request = build_explore_request("census", config={"seed": 3})
+        assert request.config == {"seed": 3}
+
+    def test_fidelity_object_becomes_spec(self):
+        request = build_explore_request(
+            "census", fidelity=Fidelity.parse("sketch:50")
+        )
+        assert request.fidelity == Fidelity.parse("sketch:50").spec()
+
+    def test_parallelism_int_becomes_spec(self):
+        request = build_explore_request("census", parallelism=4)
+        assert request.parallelism == Parallelism.of(workers=4).spec()
+
+    def test_parallelism_object_becomes_spec(self):
+        parallelism = Parallelism(workers=2, shards=8)
+        request = build_explore_request("census", parallelism=parallelism)
+        assert request.parallelism == parallelism.spec()
+
+    def test_bool_is_not_a_worker_count(self):
+        # bool is an int subclass; True must not become "parallel:1".
+        request = build_explore_request("census", parallelism=True)
+        assert request.parallelism is True
+
+    def test_round_trips_the_wire(self):
+        request = build_explore_request(
+            "census",
+            parse_query("Age: [20, 40]"),
+            fidelity="sketch:100",
+            parallelism=2,
+            deadline_seconds=1.5,
+        )
+        assert type(request).from_dict(request.to_dict()) == request
+
+
+class TestOtherBuilders:
+    def test_append_request(self):
+        request = build_append_request("census", {"Age": [30]})
+        assert request.table == "census"
+        assert request.rows == {"Age": [30]}
+
+    def test_register_payload(self):
+        payload = build_register_payload(
+            "census", n_rows=100, name="c", overwrite=True
+        )
+        assert payload == {
+            "generator": "census",
+            "n_rows": 100,
+            "name": "c",
+            "overwrite": True,
+        }
+
+    def test_history_path(self):
+        assert history_path() == "/history?limit=50"
+        assert (
+            history_path(10, tenant="acme", status="ok")
+            == "/history?limit=10&tenant=acme&status=ok"
+        )
+
+
+class TestClientParity:
+    """The two clients expose the same explore surface.
+
+    The async client once drifted (no ``config``/``parallelism``); the
+    shared builders make drift structural — these pins make it loud.
+    """
+
+    def test_explore_signatures_agree(self):
+        sync = inspect.signature(ServiceClient.explore)
+        async_ = inspect.signature(AsyncServiceClient.explore)
+        assert list(sync.parameters) == list(async_.parameters)
+        for name, parameter in sync.parameters.items():
+            assert async_.parameters[name].default == parameter.default
+
+    def test_append_and_register_signatures_agree(self):
+        for method in ("append", "register_table", "history"):
+            sync = inspect.signature(getattr(ServiceClient, method))
+            async_ = inspect.signature(
+                getattr(AsyncServiceClient, method)
+            )
+            assert list(sync.parameters) == list(async_.parameters), method

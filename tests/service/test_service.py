@@ -69,14 +69,14 @@ class TestOverwriteRace:
                 self.service = service
 
             def load(self):
-                self.service.register_table(replacement, overwrite=True)
+                self.service.register(replacement, overwrite=True)
                 return census_small
 
             def describe(self):
                 return "sneaky"
 
         with ExplorationService() as service:
-            service._add_source("census", SneakySource(service), False)
+            service.register("census", SneakySource(service))
             resolved = service._resolve_table("census")
             assert resolved is replacement
 
@@ -304,19 +304,20 @@ class TestAppendReregisterRace:
     def test_reregistration_between_resolve_and_append(
         self, census_service, census_small
     ):
-        original_resolve = census_service._resolve_table
+        catalog = census_service.catalog
+        original_resolve = catalog.resolve
 
         def hostile_resolve(name):
             table = original_resolve(name)
             # Another client re-registers the name after our resolve
-            # but before the append takes the registry lock: the
+            # but before the append takes the catalog lock: the
             # materialized-table slot empties, and the append must not
             # apply rows to a table object that is no longer served.
-            with census_service._registry:
-                census_service._tables.pop(name, None)
+            with catalog._lock:
+                catalog._tables.pop(name, None)
             return table
 
-        census_service._resolve_table = hostile_resolve
+        catalog.resolve = hostile_resolve
         try:
             with pytest.raises(
                 UnknownTableError, match="re-registered during the append"
@@ -327,7 +328,7 @@ class TestAppendReregisterRace:
                     {name: [value] for name, value in first_row.items()},
                 )
         finally:
-            census_service._resolve_table = original_resolve
+            catalog.resolve = original_resolve
 
 
 class TestDeadlines:

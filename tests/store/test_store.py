@@ -1,0 +1,247 @@
+"""TableStore: registration, append log, replay, summaries, search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import CategoricalColumn, NumericColumn
+from repro.dataset.table import Table
+from repro.errors import StoreError
+from repro.store import TableStore
+
+
+def make_table(name: str = "events") -> Table:
+    return Table(
+        [
+            NumericColumn("hours", [1.0, 2.0, 3.0, 4.0]),
+            CategoricalColumn.from_values(
+                "title",
+                [
+                    "disk outage",
+                    "network timeout",
+                    "disk latency",
+                    "all nominal",
+                ],
+            ),
+        ],
+        name=name,
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> TableStore:
+    with TableStore(str(tmp_path / "atlas.db")) as store:
+        yield store
+
+
+class TestRegistration:
+    def test_register_and_load_round_trip(self, store):
+        table = make_table()
+        store.register_table(table)
+        assert store.table_names() == ["events"]
+        assert store.has_table("events")
+        loaded = store.load_table("events")
+        assert loaded.name == "events"
+        assert loaded.version == table.version
+        np.testing.assert_array_equal(
+            loaded.numeric("hours").data, table.numeric("hours").data
+        )
+        assert (
+            loaded.categorical("title").categories
+            == table.categorical("title").categories
+        )
+
+    def test_duplicate_registration_needs_overwrite(self, store):
+        store.register_table(make_table())
+        with pytest.raises(StoreError, match="already"):
+            store.register_table(make_table())
+        store.register_table(make_table(), overwrite=True)
+        assert store.table_names() == ["events"]
+
+    def test_delete_table(self, store):
+        store.register_table(make_table())
+        store.delete_table("events")
+        assert store.table_names() == []
+        with pytest.raises(StoreError):
+            store.load_table("events")
+
+    def test_describe(self, store):
+        store.register_table(make_table())
+        description = store.describe("events")
+        assert description["name"] == "events"
+        assert description["n_rows"] == 4
+        assert description["version"] == 0
+        assert description["appends"] == 0
+        assert description["summaries"] == 0
+        assert [c["name"] for c in description["schema"]] == [
+            "hours",
+            "title",
+        ]
+
+    def test_unknown_table_is_typed_error(self, store):
+        with pytest.raises(StoreError, match="unknown"):
+            store.describe("ghost")
+
+
+class TestAppendLog:
+    def append_delta(self, table: Table) -> tuple[Table, Table]:
+        delta = table.coerce_delta(
+            {"hours": [9.0], "title": ["disk failure"]}
+        )
+        return delta, table.append(delta)
+
+    def test_append_replays_to_identical_table(self, store):
+        table = make_table()
+        store.register_table(table)
+        delta, new_table = self.append_delta(table)
+        applied = store.append(
+            "events", delta, from_version=0, to_version=1
+        )
+        assert applied is True
+        loaded = store.load_table("events")
+        assert loaded.version == 1
+        assert loaded.n_rows == 5
+        np.testing.assert_array_equal(
+            loaded.numeric("hours").data,
+            new_table.numeric("hours").data,
+        )
+        assert (
+            loaded.categorical("title").categories
+            == new_table.categorical("title").categories
+        )
+
+    def test_replay_of_logged_pair_is_noop(self, store):
+        table = make_table()
+        store.register_table(table)
+        delta, _ = self.append_delta(table)
+        assert store.append("events", delta, from_version=0, to_version=1)
+        # A client retrying through a crash re-issues the same pair.
+        assert (
+            store.append("events", delta, from_version=0, to_version=1)
+            is False
+        )
+        assert store.load_table("events").n_rows == 5
+        assert store.describe("events")["appends"] == 1
+
+    def test_gap_is_rejected(self, store):
+        table = make_table()
+        store.register_table(table)
+        delta, _ = self.append_delta(table)
+        with pytest.raises(StoreError, match="ends at"):
+            store.append("events", delta, from_version=3, to_version=4)
+
+    def test_conflicting_history_is_rejected(self, store):
+        table = make_table()
+        store.register_table(table)
+        delta, _ = self.append_delta(table)
+        store.append("events", delta, from_version=0, to_version=1)
+        with pytest.raises(StoreError, match="one version at a time"):
+            store.append("events", delta, from_version=0, to_version=2)
+
+    def test_multi_append_replay_order(self, store):
+        table = make_table()
+        store.register_table(table)
+        for version in range(3):
+            delta = table.coerce_delta(
+                {"hours": [10.0 + version], "title": [f"event {version}"]}
+            )
+            table = table.append(delta)
+            store.append(
+                "events",
+                delta,
+                from_version=version,
+                to_version=version + 1,
+            )
+        loaded = store.load_table("events")
+        assert loaded.version == 3
+        np.testing.assert_array_equal(
+            loaded.numeric("hours").data, table.numeric("hours").data
+        )
+
+
+class TestSummaries:
+    def test_put_get_round_trip(self, store):
+        store.register_table(make_table())
+        payload = {"kind": "sketch-summary", "version": 0}
+        store.put_summary("events", 0, "sketch:100|seed=0", payload)
+        assert store.get_summary("events", 0, "sketch:100|seed=0") == payload
+        assert store.get_summary("events", 1, "sketch:100|seed=0") is None
+        assert store.summary_keys("events") == [(0, "sketch:100|seed=0")]
+
+    def test_summary_needs_registered_table(self, store):
+        with pytest.raises(StoreError, match="unregistered"):
+            store.put_summary("ghost", 0, "k", {})
+
+    def test_upsert_replaces(self, store):
+        store.register_table(make_table())
+        store.put_summary("events", 0, "k", {"generation": 1})
+        store.put_summary("events", 0, "k", {"generation": 2})
+        assert store.get_summary("events", 0, "k") == {"generation": 2}
+        assert len(store.summary_keys("events")) == 1
+
+
+class TestSearch:
+    @pytest.fixture
+    def indexed(self, store) -> TableStore:
+        store.register_table(make_table())
+        return store
+
+    def test_match_mode(self, indexed):
+        assert indexed.search("events", "title", "disk") == [
+            "disk latency",
+            "disk outage",
+        ]
+
+    def test_contains_mode(self, indexed):
+        assert indexed.search(
+            "events", "title", "time", mode="contains"
+        ) == ["network timeout"]
+
+    def test_python_fallback_agrees_with_index(self, indexed):
+        for mode in ("match", "contains"):
+            indexed_labels = indexed.search(
+                "events", "title", "disk", mode=mode
+            )
+            fallback = indexed._search_python(
+                "events", "title", "disk", mode
+            )
+            assert indexed_labels == sorted(fallback)
+
+    def test_appended_labels_are_searchable(self, indexed):
+        table = indexed.load_table("events")
+        delta = table.coerce_delta(
+            {"hours": [5.0], "title": ["disk meltdown"]}
+        )
+        indexed.append("events", delta, from_version=0, to_version=1)
+        assert "disk meltdown" in indexed.search("events", "title", "disk")
+
+
+class TestLifecycle:
+    def test_reopen_sees_everything(self, tmp_path):
+        path = str(tmp_path / "atlas.db")
+        table = make_table()
+        with TableStore(path) as store:
+            store.register_table(table)
+            delta = table.coerce_delta(
+                {"hours": [7.0], "title": ["late arrival"]}
+            )
+            store.append("events", delta, from_version=0, to_version=1)
+            store.put_summary("events", 1, "k", {"x": 1})
+        with TableStore(path) as store:
+            assert store.table_names() == ["events"]
+            assert store.load_table("events").n_rows == 5
+            assert store.get_summary("events", 1, "k") == {"x": 1}
+
+    def test_closed_store_raises(self, tmp_path):
+        store = TableStore(str(tmp_path / "atlas.db"))
+        store.register_table(make_table())
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            store.table_names()
+        store.close()  # idempotent
+
+    def test_memory_store_works(self):
+        with TableStore() as store:
+            store.register_table(make_table())
+            assert store.load_table("events").n_rows == 4

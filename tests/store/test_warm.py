@@ -1,0 +1,159 @@
+"""Warm-start summaries: extract, serialize, restore bit-identically."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtlasConfig, Fidelity, Parallelism
+from repro.datagen import census_table
+from repro.engine.backends import SketchBackend
+from repro.errors import StoreError
+from repro.store.warm import (
+    SketchSummary,
+    WarmSketchBackend,
+    extract_summary,
+    restore_backend,
+    summary_key,
+)
+
+
+@pytest.fixture(scope="module")
+def census():
+    return census_table(n_rows=2_000, seed=3)
+
+
+@pytest.fixture
+def built_backend(census) -> SketchBackend:
+    """A sketch backend with quantile, frequency, and token state built."""
+    backend = SketchBackend(census, Fidelity.parse("sketch:500"), rng=7)
+    backend.quantile_sketch("Age")
+    backend.frequency_sketch("Education")
+    backend.token_sketch("Education")
+    return backend
+
+
+class TestSummaryKey:
+    def test_workers_canonicalized_out(self):
+        base = AtlasConfig(fidelity=Fidelity.parse("sketch:500"), seed=4)
+        wide = base.replace(
+            parallelism=Parallelism(workers=8, shards=1)
+        )
+        assert summary_key(base) == summary_key(wide)
+
+    def test_shards_and_seed_are_identity(self):
+        base = AtlasConfig(fidelity=Fidelity.parse("sketch:500"), seed=4)
+        assert summary_key(base) != summary_key(base.replace(seed=5))
+        sharded = base.replace(
+            parallelism=Parallelism(workers=1, shards=4)
+        )
+        assert summary_key(base) != summary_key(sharded)
+
+    def test_exact_fidelity_rejected(self):
+        config = AtlasConfig(fidelity=Fidelity.exact())
+        with pytest.raises(StoreError, match="sketch"):
+            summary_key(config)
+
+
+class TestRoundTrip:
+    def test_summary_survives_json(self, built_backend, census):
+        summary = extract_summary(
+            built_backend, table_name="census", key="k"
+        )
+        payload = json.loads(json.dumps(summary.to_dict()))
+        again = SketchSummary.from_dict(payload)
+        assert again.version == summary.version
+        assert again.key == "k"
+        assert again.sample.n_rows == summary.sample.n_rows
+        assert set(again.quantiles) == {"Age"}
+        assert set(again.frequencies) == {"Education"}
+        assert set(again.tokens) == {"Education"}
+
+    def test_restored_backend_answers_identically(
+        self, built_backend, census
+    ):
+        summary = extract_summary(
+            built_backend, table_name="census", key="k"
+        )
+        payload = json.loads(json.dumps(summary.to_dict()))
+        warm = restore_backend(
+            SketchSummary.from_dict(payload), census
+        )
+        assert isinstance(warm, WarmSketchBackend)
+        np.testing.assert_array_equal(
+            warm.effective_table.numeric("Age").data,
+            built_backend.effective_table.numeric("Age").data,
+        )
+        cold_q = built_backend.quantile_sketch("Age")
+        warm_q = warm.quantile_sketch("Age")
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert warm_q.query(fraction) == cold_q.query(fraction)
+        assert (
+            warm.token_sketch("Education").heavy_hitters()
+            == built_backend.token_sketch("Education").heavy_hitters()
+        )
+
+    def test_missing_sketch_rebuilds_from_reservoir(
+        self, built_backend, census
+    ):
+        summary = extract_summary(
+            built_backend, table_name="census", key="k"
+        )
+        warm = restore_backend(summary, census)
+        # "Sex" was never sketched before capture: it rebuilds lazily
+        # from the restored (bit-identical) reservoir.
+        assert set(summary.frequencies) == {"Education"}
+        cold = built_backend.frequency_sketch("Sex")
+        assert (
+            warm.frequency_sketch("Sex").heavy_hitters()
+            == cold.heavy_hitters()
+        )
+
+    def test_snapshot_declares_warm_provenance(self, built_backend, census):
+        summary = extract_summary(
+            built_backend, table_name="census", key="k"
+        )
+        snapshot = restore_backend(summary, census).snapshot()
+        assert snapshot["warm"] is True
+
+
+class TestValidation:
+    def test_version_mismatch_is_store_error(self, built_backend, census):
+        summary = extract_summary(
+            built_backend, table_name="census", key="k"
+        )
+        moved = SketchSummary(
+            table_name=summary.table_name,
+            version=summary.version + 1,
+            key=summary.key,
+            fidelity=summary.fidelity,
+            full_scan=summary.full_scan,
+            sample=summary.sample,
+            quantiles=summary.quantiles,
+            frequencies=summary.frequencies,
+            tokens=summary.tokens,
+        )
+        with pytest.raises(StoreError, match="version"):
+            restore_backend(moved, census)
+
+    def test_oversized_reservoir_is_store_error(self, built_backend, census):
+        summary = extract_summary(
+            built_backend, table_name="census", key="k"
+        )
+        small = census.take(np.arange(100), name="small")
+        with pytest.raises(StoreError, match="reservoir"):
+            restore_backend(summary, small)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(StoreError, match="kind"):
+            SketchSummary.from_dict({"kind": "other"})
+
+    def test_full_budget_summary_adopts_live_table(self, census):
+        backend = SketchBackend(census, Fidelity.parse("sketch:100000"))
+        summary = extract_summary(backend, table_name="census", key="k")
+        warm = restore_backend(summary, census)
+        # The budget covered everything: the restored reservoir IS the
+        # live table object, so identity-keyed memos line up.
+        assert warm.effective_table is census
